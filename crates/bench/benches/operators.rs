@@ -1,0 +1,52 @@
+//! Genetic-operator cost across the four datasets.
+//!
+//! Confirms the paper's observation that the evolutionary machinery itself
+//! is negligible (its testbed measured 0.02 s of non-fitness work per
+//! generation): both operators are linear in the protected cells and run in
+//! microseconds.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cdp_core::operators::{crossover, mutate};
+use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operator_cost");
+    group.sample_size(20);
+
+    for kind in DatasetKind::all() {
+        let ds = kind.generate(&GeneratorConfig::seeded(1));
+        let a = ds.protected_subtable();
+        let b = {
+            let other = kind.generate(&GeneratorConfig::seeded(2));
+            other.protected_subtable()
+        };
+
+        group.bench_with_input(BenchmarkId::new("mutate", kind.name()), &a, |bench, a| {
+            let mut rng = StdRng::seed_from_u64(3);
+            bench.iter_batched(
+                || a.clone(),
+                |mut child| {
+                    mutate(&mut child, &mut rng);
+                    std::hint::black_box(child)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("crossover", kind.name()),
+            &(a, b),
+            |bench, (a, b)| {
+                let mut rng = StdRng::seed_from_u64(4);
+                bench.iter(|| std::hint::black_box(crossover(a, b, &mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

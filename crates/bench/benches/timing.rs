@@ -1,0 +1,81 @@
+//! Criterion counterpart of the paper's in-text timing table: cost of a
+//! mutation generation vs a crossover generation and the fitness share.
+//!
+//! The paper reports 120.34 s / 242.48 s per generation with > 99.9% spent
+//! in the fitness function. Absolute numbers are testbed-bound; the claims
+//! to verify are (a) fitness dominates, (b) crossover generations cost
+//! about twice mutation generations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cdp_core::operators::{crossover, mutate};
+use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+use cdp_metrics::{Evaluator, MetricConfig};
+use cdp_sdc::{build_population, NamedProtection, SuiteConfig};
+
+const RECORDS: usize = 300;
+
+fn setup() -> (Evaluator, Vec<NamedProtection>) {
+    let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(1).with_records(RECORDS));
+    let pop = build_population(&ds, &SuiteConfig::paper(ds.kind), 1).expect("suite");
+    let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).expect("evaluator");
+    (ev, pop)
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let (ev, pop) = setup();
+    let mut group = c.benchmark_group("generation_cost");
+    group.sample_size(10);
+
+    group.bench_function("fitness_evaluation", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % pop.len();
+            std::hint::black_box(ev.evaluate(&pop[i].data))
+        })
+    });
+
+    group.bench_function("mutation_operator_only", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter_batched(
+            || pop[0].data.clone(),
+            |mut child| {
+                mutate(&mut child, &mut rng);
+                std::hint::black_box(child)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("crossover_operator_only", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| std::hint::black_box(crossover(&pop[0].data, &pop[1].data, &mut rng)))
+    });
+
+    group.bench_function("mutation_generation", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            let i = rng.gen_range(0..pop.len());
+            let mut child = pop[i].data.clone();
+            mutate(&mut child, &mut rng);
+            std::hint::black_box(ev.evaluate(&child))
+        })
+    });
+
+    group.bench_function("crossover_generation", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let i = rng.gen_range(0..pop.len());
+            let j = rng.gen_range(0..pop.len());
+            let (z1, z2, _) = crossover(&pop[i].data, &pop[j].data, &mut rng);
+            std::hint::black_box((ev.evaluate(&z1), ev.evaluate(&z2)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_timing);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! The figure index of the paper: which run produces which figure.
+
+use cdp_dataset::generators::DatasetKind;
+use cdp_metrics::ScoreAggregator;
+
+/// What a figure displays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureKind {
+    /// Initial/final (IL, DR) dispersion plot.
+    Scatter,
+    /// Max/mean/min score evolution across generations.
+    Evolution,
+}
+
+/// One evolutionary run: the unit shared by a scatter/evolution figure
+/// pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// Which dataset population to evolve.
+    pub dataset: DatasetKind,
+    /// Eq. 1 (`Mean`) or Eq. 2 (`Max`).
+    pub aggregator: ScoreAggregator,
+    /// Fraction of best initial protections removed (§3.3); 0 elsewhere.
+    pub drop_fraction: f64,
+}
+
+/// A paper figure: its run plus what to plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FigureSpec {
+    /// Figure number as printed in the paper (1–20).
+    pub id: u8,
+    /// The run behind the figure.
+    pub run: RunSpec,
+    /// Scatter or evolution.
+    pub kind: FigureKind,
+}
+
+/// All twenty figure numbers.
+pub const ALL_FIGURES: [u8; 20] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20,
+];
+
+/// Resolve a paper figure number to its specification.
+pub fn figure_spec(id: u8) -> Option<FigureSpec> {
+    use DatasetKind::{Adult, Flare, German, Housing};
+    use FigureKind::{Evolution, Scatter};
+    use ScoreAggregator::{Max, Mean};
+
+    let (dataset, aggregator, drop_fraction, kind) = match id {
+        1 => (Adult, Mean, 0.0, Scatter),
+        2 => (Adult, Mean, 0.0, Evolution),
+        3 => (Housing, Mean, 0.0, Scatter),
+        4 => (Housing, Mean, 0.0, Evolution),
+        5 => (German, Mean, 0.0, Scatter),
+        6 => (German, Mean, 0.0, Evolution),
+        7 => (Flare, Mean, 0.0, Scatter),
+        8 => (Flare, Mean, 0.0, Evolution),
+        9 => (Adult, Max, 0.0, Scatter),
+        10 => (Adult, Max, 0.0, Evolution),
+        11 => (Housing, Max, 0.0, Scatter),
+        12 => (Housing, Max, 0.0, Evolution),
+        13 => (German, Max, 0.0, Scatter),
+        14 => (German, Max, 0.0, Evolution),
+        15 => (Flare, Max, 0.0, Scatter),
+        16 => (Flare, Max, 0.0, Evolution),
+        17 => (Flare, Max, 0.05, Scatter),
+        18 => (Flare, Max, 0.10, Scatter),
+        19 => (Flare, Max, 0.05, Evolution),
+        20 => (Flare, Max, 0.10, Evolution),
+        _ => return None,
+    };
+    Some(FigureSpec {
+        id,
+        run: RunSpec {
+            dataset,
+            aggregator,
+            drop_fraction,
+        },
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_twenty_figures_resolve() {
+        for id in ALL_FIGURES {
+            let spec = figure_spec(id).unwrap();
+            assert_eq!(spec.id, id);
+        }
+        assert!(figure_spec(0).is_none());
+        assert!(figure_spec(21).is_none());
+    }
+
+    #[test]
+    fn scatter_evolution_pairs_share_runs() {
+        for pair in [(1, 2), (3, 4), (9, 10), (15, 16)] {
+            let a = figure_spec(pair.0).unwrap();
+            let b = figure_spec(pair.1).unwrap();
+            assert_eq!(a.run, b.run);
+            assert_eq!(a.kind, FigureKind::Scatter);
+            assert_eq!(b.kind, FigureKind::Evolution);
+        }
+        // robustness evolution figures 19/20 pair with scatters 17/18
+        assert_eq!(figure_spec(17).unwrap().run, figure_spec(19).unwrap().run);
+        assert_eq!(figure_spec(18).unwrap().run, figure_spec(20).unwrap().run);
+    }
+
+    #[test]
+    fn first_experiment_uses_mean_second_uses_max() {
+        for id in 1..=8 {
+            assert_eq!(
+                figure_spec(id).unwrap().run.aggregator,
+                ScoreAggregator::Mean
+            );
+        }
+        for id in 9..=20 {
+            assert_eq!(
+                figure_spec(id).unwrap().run.aggregator,
+                ScoreAggregator::Max
+            );
+        }
+    }
+
+    #[test]
+    fn robustness_figures_drop_leaders() {
+        assert_eq!(figure_spec(17).unwrap().run.drop_fraction, 0.05);
+        assert_eq!(figure_spec(18).unwrap().run.drop_fraction, 0.10);
+        for id in 1..=16 {
+            assert_eq!(figure_spec(id).unwrap().run.drop_fraction, 0.0);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! ASCII renditions of the paper's two figure families.
+//!
+//! Not publication graphics — quick terminal visual checks that the shapes
+//! match the paper (clouds moving toward the origin / the diagonal, stepped
+//! monotone score curves). The CSVs written next to each plot carry the
+//! exact data for real plotting.
+
+use cdp_core::{GenerationStats, ScatterPoint};
+
+const W: usize = 64;
+const H: usize = 24;
+
+/// Render an initial-vs-final (IL, DR) dispersion plot.
+/// `.` initial, `o` final, `@` overlapping.
+pub fn scatter_plot(initial: &[ScatterPoint], fin: &[ScatterPoint], title: &str) -> String {
+    let max_axis = initial
+        .iter()
+        .chain(fin)
+        .flat_map(|p| [p.il, p.dr])
+        .fold(1.0_f64, f64::max)
+        .ceil();
+    let mut grid = vec![vec![' '; W]; H];
+    let place = |grid: &mut Vec<Vec<char>>, p: &ScatterPoint, mark: char| {
+        let x = ((p.il / max_axis) * (W - 1) as f64).round() as usize;
+        let y = ((p.dr / max_axis) * (H - 1) as f64).round() as usize;
+        let row = H - 1 - y.min(H - 1);
+        let col = x.min(W - 1);
+        let cell = &mut grid[row][col];
+        *cell = match (*cell, mark) {
+            (' ', m) => m,
+            ('.', 'o') | ('o', '.') => '@',
+            (c, _) => c,
+        };
+    };
+    for p in initial {
+        place(&mut grid, p, '.');
+    }
+    for p in fin {
+        place(&mut grid, p, 'o');
+    }
+    let mut s = format!("{title}\nDR ^  (. initial, o final, @ both)   axis 0..{max_axis:.0}\n");
+    for row in grid {
+        s.push_str("   |");
+        s.extend(row);
+        s.push('\n');
+    }
+    s.push_str("   +");
+    s.push_str(&"-".repeat(W));
+    s.push_str("> IL\n");
+    s
+}
+
+/// Render a max/mean/min score evolution plot (`M` max, `a` mean, `m` min).
+pub fn line_plot(series: &[GenerationStats], title: &str) -> String {
+    if series.is_empty() {
+        return format!("{title}\n(empty trace)\n");
+    }
+    let lo = series.iter().map(|g| g.min).fold(f64::INFINITY, f64::min);
+    let hi = series.iter().map(|g| g.max).fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let mut grid = vec![vec![' '; W]; H];
+    let n = series.len();
+    let place = |grid: &mut Vec<Vec<char>>, i: usize, v: f64, mark: char| {
+        let col = if n <= 1 { 0 } else { i * (W - 1) / (n - 1) };
+        let y = ((v - lo) / span * (H - 1) as f64).round() as usize;
+        let row = H - 1 - y.min(H - 1);
+        if grid[row][col] == ' ' {
+            grid[row][col] = mark;
+        }
+    };
+    for (i, g) in series.iter().enumerate() {
+        place(&mut grid, i, g.max, 'M');
+        place(&mut grid, i, g.mean, 'a');
+        place(&mut grid, i, g.min, 'm');
+    }
+    let mut s = format!(
+        "{title}\nscore ^  (M max, a mean, m min)   range {lo:.2}..{hi:.2}, {n} snapshots\n"
+    );
+    for row in grid {
+        s.push_str("   |");
+        s.extend(row);
+        s.push('\n');
+    }
+    s.push_str("   +");
+    s.push_str(&"-".repeat(W));
+    s.push_str("> generation\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_core::OperatorKind;
+
+    fn pt(il: f64, dr: f64) -> ScatterPoint {
+        ScatterPoint {
+            name: "x".into(),
+            il,
+            dr,
+            score: (il + dr) / 2.0,
+        }
+    }
+
+    #[test]
+    fn scatter_contains_marks() {
+        let s = scatter_plot(&[pt(10.0, 60.0)], &[pt(20.0, 20.0)], "t");
+        assert!(s.contains('.'));
+        assert!(s.contains('o'));
+        assert!(s.contains("> IL"));
+    }
+
+    #[test]
+    fn overlap_renders_at_sign() {
+        let s = scatter_plot(&[pt(30.0, 30.0)], &[pt(30.0, 30.0)], "t");
+        assert!(s.contains('@'));
+    }
+
+    #[test]
+    fn line_plot_renders_three_series() {
+        let gens: Vec<GenerationStats> = (0..50)
+            .map(|i| GenerationStats {
+                iteration: i,
+                min: 20.0,
+                mean: 30.0 - i as f64 * 0.1,
+                max: 45.0 - i as f64 * 0.2,
+                operator: Some(OperatorKind::Mutation),
+                accepted: true,
+            })
+            .collect();
+        let s = line_plot(&gens, "evolution");
+        assert!(s.contains('M'));
+        assert!(s.contains('a'));
+        assert!(s.contains('m'));
+    }
+
+    #[test]
+    fn empty_trace_is_graceful() {
+        assert!(line_plot(&[], "t").contains("empty"));
+    }
+}

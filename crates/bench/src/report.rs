@@ -1,0 +1,102 @@
+//! Small report writers: CSV files and markdown tables.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Quote a CSV field when it contains separators, quotes or newlines
+/// (RFC 4180) — protection names like `microagg(k=2,uni,median)` carry
+/// commas.
+fn csv_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Write rows as a CSV file (first row = header). Fields are quoted when
+/// needed; parent directories are created.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = std::io::BufWriter::new(fs::File::create(path)?);
+    let head: Vec<String> = header.iter().map(|h| csv_field(h)).collect();
+    writeln!(out, "{}", head.join(","))?;
+    for row in rows {
+        let fields: Vec<String> = row.iter().map(|f| csv_field(f)).collect();
+        writeln!(out, "{}", fields.join(","))?;
+    }
+    out.flush()
+}
+
+/// Render a markdown table.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = String::new();
+    s.push_str("| ");
+    s.push_str(&header.join(" | "));
+    s.push_str(" |\n|");
+    for _ in header {
+        s.push_str("---|");
+    }
+    s.push('\n');
+    for row in rows {
+        s.push_str("| ");
+        s.push_str(&row.join(" | "));
+        s.push_str(" |\n");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("cdp_report_test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        let dir = std::env::temp_dir().join("cdp_report_test_q");
+        let path = dir.join("q.csv");
+        write_csv(
+            &path,
+            &["name", "v"],
+            &[vec!["microagg(k=2,uni,median)".into(), "7".into()]],
+        )
+        .unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "name,v\n\"microagg(k=2,uni,median)\",7\n");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quotes_inside_fields_are_doubled() {
+        assert_eq!(csv_field("a\"b,c"), "\"a\"\"b,c\"");
+        assert_eq!(csv_field("plain"), "plain");
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = markdown_table(&["x", "y"], &[vec!["1".into(), "2".into()]]);
+        assert!(md.starts_with("| x | y |\n|---|---|\n"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+}

@@ -1,0 +1,379 @@
+//! `cdp optimize` — run the evolutionary optimizer (scalar fitness,
+//! Algorithm 1 of the paper) or the NSGA-II extension over a population of
+//! protections, writing figure-ready CSVs.
+
+use std::io::Write;
+use std::path::Path;
+
+use cdp_core::nsga::{Nsga2, NsgaConfig};
+use cdp_core::{EvoConfig, Evolution, ScatterPoint};
+use cdp_dataset::io::write_table_path;
+use cdp_dataset::{SubTable, Table};
+use cdp_metrics::{Evaluator, MetricConfig, ScoreAggregator};
+use cdp_sdc::{build_population, MethodContext, SuiteConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::Args;
+use crate::commands::generate::dataset_kind;
+use crate::data::{auto_hierarchies, load_table_with, resolve_attrs, subtable};
+use crate::error::{CliError, Result};
+use crate::spec::parse_method;
+
+/// Usage text.
+pub const USAGE: &str = "\
+cdp optimize (--dataset <name> | --input <file.csv>) --out <dir>
+             [--attrs <A,B,C>]           attributes to protect (input mode)
+             [--methods <spec,spec,...>] initial population (input mode)
+             [--copies <n>]              seeds per method spec (default 2)
+             [--suite <small|paper>]     population sweep (dataset mode)
+             [--records <n>]             record count (dataset mode)
+             [--schema <sidecar>]        attribute kinds/dictionaries (input mode)
+             [--mode <scalar|nsga>]      optimizer (default scalar)
+             [--fitness <mean|max>]      scalar aggregator (default max)
+             [--iters <n>]               iterations/generations (default 300)
+             [--seed <u64>]
+
+Scalar mode writes evolution.csv, scatter.csv and best.csv into --out;
+NSGA-II mode writes front.csv and hypervolume.csv.";
+
+/// Default initial-population recipe for `--input` mode.
+const DEFAULT_METHODS: &str =
+    "microagg:3,microagg:6,topcode:0.15,bottomcode:0.15,recode:1,rankswap:2,rankswap:8,pram:0.8,pram:0.65";
+
+/// Run the command.
+pub fn run(args: &Args) -> Result<()> {
+    args.expect_only(&[
+        "dataset", "input", "out", "attrs", "methods", "copies", "suite", "records", "mode",
+        "fitness", "iters", "seed", "schema",
+    ])?;
+    let out_dir = Path::new(args.require("out")?);
+    std::fs::create_dir_all(out_dir)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let iters: usize = args.get_or("iters", 300)?;
+
+    let (table, original, population) = load_inputs(args, seed)?;
+    let evaluator = Evaluator::new(&original, MetricConfig::default())?;
+
+    println!(
+        "optimizing {} protections of {} records x {} attributes ({} iterations)",
+        population.len(),
+        original.n_rows(),
+        original.n_attrs(),
+        iters
+    );
+
+    match args.get("mode").unwrap_or("scalar") {
+        "scalar" => run_scalar(args, evaluator, population, &table, out_dir, seed, iters),
+        "nsga" => run_nsga(evaluator, population, out_dir, seed, iters),
+        other => Err(CliError::Usage(format!(
+            "unknown mode `{other}` (scalar, nsga)"
+        ))),
+    }
+}
+
+/// A named initial population of protections.
+type NamedPopulation = Vec<(String, SubTable)>;
+
+/// Resolve the input mode into (full table, original sub-table, population).
+fn load_inputs(args: &Args, seed: u64) -> Result<(Table, SubTable, NamedPopulation)> {
+    match (args.get("dataset"), args.get("input")) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--dataset and --input are mutually exclusive".into(),
+        )),
+        (None, None) => Err(CliError::Usage(
+            "one of --dataset or --input is required".into(),
+        )),
+        (Some(name), None) => {
+            let kind = dataset_kind(name)?;
+            let mut cfg = cdp_dataset::generators::GeneratorConfig::seeded(seed);
+            if let Some(n) = args.get_parse::<usize>("records")? {
+                cfg = cfg.with_records(n);
+            }
+            let ds = kind.generate(&cfg);
+            let suite = match args.get("suite").unwrap_or("small") {
+                "small" => SuiteConfig::small(),
+                "paper" => SuiteConfig::paper(ds.kind),
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown suite `{other}` (small, paper)"
+                    )))
+                }
+            };
+            let population: Vec<(String, SubTable)> = build_population(&ds, &suite, seed)?
+                .into_iter()
+                .map(Into::into)
+                .collect();
+            Ok((ds.table.clone(), ds.protected_subtable(), population))
+        }
+        (None, Some(path)) => {
+            let table = load_table_with(path, args.get("schema"))?;
+            let indices = resolve_attrs(&table, args.list("attrs"))?;
+            let original = subtable(&table, &indices)?;
+            let hierarchies = auto_hierarchies(&table, &indices)?;
+            let hierarchy_refs: Vec<&cdp_dataset::Hierarchy> = hierarchies.iter().collect();
+            let ctx = MethodContext {
+                hierarchies: &hierarchy_refs,
+            };
+            let specs = args
+                .get("methods")
+                .unwrap_or(DEFAULT_METHODS)
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect::<Vec<_>>();
+            let copies: usize = args.get_or("copies", 2)?;
+            if copies == 0 {
+                return Err(CliError::Usage("--copies must be at least 1".into()));
+            }
+            let mut population = Vec::with_capacity(specs.len() * copies);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x000C_EA11);
+            for spec in &specs {
+                let method = parse_method(spec)?;
+                for copy in 0..copies {
+                    let data = method.protect(&original, &ctx, &mut rng)?;
+                    population.push((format!("{}#{}", method.name(), copy), data));
+                }
+            }
+            Ok((table, original, population))
+        }
+    }
+}
+
+fn run_scalar(
+    args: &Args,
+    evaluator: Evaluator,
+    population: Vec<(String, SubTable)>,
+    table: &Table,
+    out_dir: &Path,
+    seed: u64,
+    iters: usize,
+) -> Result<()> {
+    let aggregator = match args.get("fitness").unwrap_or("max") {
+        "mean" => ScoreAggregator::Mean,
+        "max" => ScoreAggregator::Max,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown fitness `{other}` (mean, max)"
+            )))
+        }
+    };
+    let config = EvoConfig::builder()
+        .iterations(iters)
+        .aggregator(aggregator)
+        .seed(seed)
+        .build();
+    let outcome = Evolution::new(evaluator, config)
+        .with_named_population(population)?
+        .run();
+
+    // evolution.csv: the paper's max/mean/min series
+    let mut evolution = std::fs::File::create(out_dir.join("evolution.csv"))?;
+    writeln!(evolution, "iteration,min,mean,max")?;
+    for g in &outcome.trace.generations {
+        writeln!(
+            evolution,
+            "{},{:.4},{:.4},{:.4}",
+            g.iteration, g.min, g.mean, g.max
+        )?;
+    }
+
+    // scatter.csv: initial + final (IL, DR) dispersion
+    let mut scatter = std::fs::File::create(out_dir.join("scatter.csv"))?;
+    writeln!(scatter, "phase,name,il,dr,score")?;
+    write_points(&mut scatter, "initial", &outcome.initial)?;
+    write_points(&mut scatter, "final", &outcome.final_points)?;
+
+    // best.csv: the winning protected file, substituted into the full table
+    let best = outcome.population.best();
+    let output = table.with_subtable(&best.data)?;
+    write_table_path(&output, out_dir.join("best.csv"))?;
+
+    let summary = outcome.summary();
+    println!(
+        "best score {:.2} -> {:.2} ({}), files in {}",
+        summary.initial_min,
+        summary.final_min,
+        best.name,
+        out_dir.display()
+    );
+    println!(
+        "max {:.2} -> {:.2} ({:+.2}%), mean {:.2} -> {:.2} ({:+.2}%)",
+        summary.initial_max,
+        summary.final_max,
+        -summary.improvement_max(),
+        summary.initial_mean,
+        summary.final_mean,
+        -summary.improvement_mean(),
+    );
+    Ok(())
+}
+
+fn run_nsga(
+    evaluator: Evaluator,
+    population: Vec<(String, SubTable)>,
+    out_dir: &Path,
+    seed: u64,
+    iters: usize,
+) -> Result<()> {
+    let config = NsgaConfig {
+        generations: iters,
+        seed,
+        ..NsgaConfig::default()
+    };
+    let outcome = Nsga2::new(evaluator, config)
+        .with_named_population(population)?
+        .run();
+
+    let mut front = std::fs::File::create(out_dir.join("front.csv"))?;
+    writeln!(front, "phase,name,il,dr,score")?;
+    write_points(&mut front, "initial", &outcome.initial_front)?;
+    write_points(&mut front, "final", &outcome.front)?;
+    write_points(&mut front, "archive", &outcome.archive_front)?;
+
+    let mut hv = std::fs::File::create(out_dir.join("hypervolume.csv"))?;
+    writeln!(hv, "generation,hypervolume")?;
+    for (generation, value) in outcome.hypervolume_series.iter().enumerate() {
+        writeln!(hv, "{generation},{value:.4}")?;
+    }
+
+    println!(
+        "front size {} -> {} (archive {}), hypervolume {:.0} -> {:.0}, {} evaluations, files in {}",
+        outcome.initial_front.len(),
+        outcome.front.len(),
+        outcome.archive_front.len(),
+        outcome.hypervolume_series.first().copied().unwrap_or(0.0),
+        outcome.hypervolume_series.last().copied().unwrap_or(0.0),
+        outcome.evaluations,
+        out_dir.display()
+    );
+    Ok(())
+}
+
+fn write_points(
+    out: &mut std::fs::File,
+    phase: &str,
+    points: &[ScatterPoint],
+) -> Result<()> {
+    for p in points {
+        writeln!(
+            out,
+            "{phase},{},{:.4},{:.4},{:.4}",
+            p.name, p.il, p.dr, p.score
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cdp_cli_optimize").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn dataset_scalar_mode_writes_artifacts() {
+        let out = tmp_dir("scalar");
+        run(&args(&[
+            "--dataset",
+            "adult",
+            "--records",
+            "60",
+            "--iters",
+            "20",
+            "--seed",
+            "3",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for file in ["evolution.csv", "scatter.csv", "best.csv"] {
+            let text = std::fs::read_to_string(out.join(file)).unwrap();
+            assert!(text.lines().count() > 1, "{file} has content");
+        }
+        let evolution = std::fs::read_to_string(out.join("evolution.csv")).unwrap();
+        assert!(evolution.starts_with("iteration,min,mean,max"));
+        assert_eq!(evolution.lines().count(), 22); // header + initial + 20
+    }
+
+    #[test]
+    fn input_nsga_mode_writes_front() {
+        let dir = tmp_dir("nsga");
+        let input = dir.join("input.csv");
+        let mut csv = String::from("X,Y,Z\n");
+        for i in 0..60 {
+            csv.push_str(["a,p,1\n", "b,q,2\n", "c,r,3\n", "a,q,1\n"][i % 4]);
+        }
+        std::fs::write(&input, csv).unwrap();
+        run(&args(&[
+            "--input",
+            input.to_str().unwrap(),
+            "--attrs",
+            "X,Y",
+            "--methods",
+            "pram:0.8,rankswap:3",
+            "--copies",
+            "3",
+            "--mode",
+            "nsga",
+            "--iters",
+            "5",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let front = std::fs::read_to_string(dir.join("front.csv")).unwrap();
+        assert!(front.starts_with("phase,name,il,dr,score"));
+        assert!(front.contains("final,"));
+        let hv = std::fs::read_to_string(dir.join("hypervolume.csv")).unwrap();
+        assert_eq!(hv.lines().count(), 7); // header + initial + 5 generations
+    }
+
+    #[test]
+    fn mutually_exclusive_inputs_rejected() {
+        let out = tmp_dir("bad");
+        let err = run(&args(&[
+            "--dataset",
+            "adult",
+            "--input",
+            "x.csv",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
+        let err2 = run(&args(&["--out", out.to_str().unwrap()])).unwrap_err();
+        assert!(err2.to_string().contains("required"));
+    }
+
+    #[test]
+    fn unknown_mode_and_fitness_rejected() {
+        let out = tmp_dir("flags");
+        for (flag, value) in [("mode", "annealing"), ("fitness", "min")] {
+            let err = run(&args(&[
+                "--dataset",
+                "adult",
+                "--records",
+                "40",
+                "--iters",
+                "2",
+                &format!("--{flag}"),
+                value,
+                "--out",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap_err();
+            assert!(err.to_string().contains(value), "--{flag} {value}");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Shared data-loading helpers for the CLI commands.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use cdp_dataset::io::{read_hierarchy_path, read_schema_path, read_table_path, SchemaSource};
+use cdp_dataset::{stats, AttrKind, Hierarchy, SubTable, Table};
+
+use crate::error::{CliError, Result};
+
+/// Load a CSV with an inferred schema (every attribute nominal, categories
+/// interned in order of first appearance).
+pub fn load_table<P: AsRef<Path>>(path: P) -> Result<Table> {
+    Ok(read_table_path(SchemaSource::Infer, path)?)
+}
+
+/// Resolve the `--schema` flag into a [`SchemaSource`]: a sidecar file
+/// (declaring attribute kinds and dictionary order) when given, inference
+/// otherwise.
+pub fn schema_source(sidecar: Option<&str>) -> Result<SchemaSource> {
+    match sidecar {
+        None => Ok(SchemaSource::Infer),
+        Some(path) => Ok(SchemaSource::Fixed(Arc::new(read_schema_path(path)?))),
+    }
+}
+
+/// Load a CSV against an optional sidecar schema.
+pub fn load_table_with<P: AsRef<Path>>(path: P, sidecar: Option<&str>) -> Result<Table> {
+    match sidecar {
+        None => load_table(path),
+        Some(_) => Ok(read_table_path(schema_source(sidecar)?, path)?),
+    }
+}
+
+/// Load an original/masked pair sharing one schema (the sidecar's when
+/// given, the original's inferred schema otherwise), so category codes
+/// align across the two files (required by every measure).
+pub fn load_pair<P: AsRef<Path>>(
+    original: P,
+    masked: P,
+    sidecar: Option<&str>,
+) -> Result<(Table, Table)> {
+    let orig = load_table_with(original, sidecar)?;
+    let schema = Arc::clone(orig.schema());
+    let masked = read_table_path(SchemaSource::Fixed(schema), masked)?;
+    if masked.n_rows() != orig.n_rows() {
+        return Err(CliError::Usage(format!(
+            "original has {} records, masked has {}; measures need aligned files",
+            orig.n_rows(),
+            masked.n_rows()
+        )));
+    }
+    Ok((orig, masked))
+}
+
+/// Resolve `--attrs` names to schema indices; `None` selects every
+/// attribute.
+pub fn resolve_attrs(table: &Table, names: Option<Vec<String>>) -> Result<Vec<usize>> {
+    match names {
+        None => Ok((0..table.n_attrs()).collect()),
+        Some(names) => {
+            if names.is_empty() {
+                return Err(CliError::Usage("--attrs list is empty".into()));
+            }
+            names
+                .iter()
+                .map(|name| {
+                    table.schema().index_of(name).ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "attribute `{name}` not in header ({})",
+                            table
+                                .schema()
+                                .attrs()
+                                .iter()
+                                .map(|a| a.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ))
+                    })
+                })
+                .collect()
+        }
+    }
+}
+
+/// Build a generalization hierarchy per selected attribute: merged runs for
+/// ordinal attributes, fold-into-mode for nominal ones (driven by the
+/// observed marginal counts).
+pub fn auto_hierarchies(table: &Table, indices: &[usize]) -> Result<Vec<Hierarchy>> {
+    indices
+        .iter()
+        .map(|&j| {
+            let attr = table.schema().attr(j);
+            match attr.kind() {
+                AttrKind::Ordinal => Ok(Hierarchy::ordinal_auto(attr)),
+                AttrKind::Nominal => {
+                    let counts =
+                        stats::marginal_counts(table.column(j), attr.n_categories());
+                    Ok(Hierarchy::nominal_from_counts(attr, &counts)?)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Extract the sub-table of the selected attributes.
+pub fn subtable(table: &Table, indices: &[usize]) -> Result<SubTable> {
+    Ok(table.subtable(indices)?)
+}
+
+/// Resolve one hierarchy per selected attribute: `<dir>/<NAME>.csv` when a
+/// hierarchy directory is given and the file exists, the auto-built
+/// hierarchy otherwise.
+pub fn hierarchies_for(
+    table: &Table,
+    indices: &[usize],
+    hierarchy_dir: Option<&str>,
+) -> Result<Vec<Hierarchy>> {
+    let auto = auto_hierarchies(table, indices)?;
+    let Some(dir) = hierarchy_dir else {
+        return Ok(auto);
+    };
+    indices
+        .iter()
+        .zip(auto)
+        .map(|(&j, fallback)| {
+            let attr = table.schema().attr(j);
+            let path = Path::new(dir).join(format!("{}.csv", attr.name()));
+            if path.exists() {
+                Ok(read_hierarchy_path(attr, &path)?)
+            } else {
+                Ok(fallback)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cdp_cli_data_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_sample(name: &str) -> PathBuf {
+        let path = tmp(name);
+        std::fs::write(&path, "A,B\nx,1\ny,2\nx,1\n").unwrap();
+        path
+    }
+
+    #[test]
+    fn load_and_resolve() {
+        let path = write_sample("sample.csv");
+        let t = load_table(&path).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(resolve_attrs(&t, None).unwrap(), vec![0, 1]);
+        assert_eq!(
+            resolve_attrs(&t, Some(vec!["B".into()])).unwrap(),
+            vec![1]
+        );
+        assert!(resolve_attrs(&t, Some(vec!["NOPE".into()])).is_err());
+        assert!(resolve_attrs(&t, Some(vec![])).is_err());
+    }
+
+    #[test]
+    fn pair_shares_schema_and_checks_length() {
+        let a = write_sample("orig.csv");
+        let b = write_sample("masked.csv");
+        let (orig, masked) = load_pair(&a, &b, None).unwrap();
+        assert!(Arc::ptr_eq(orig.schema(), masked.schema()));
+
+        let short = tmp("short.csv");
+        std::fs::write(&short, "A,B\nx,1\n").unwrap();
+        assert!(load_pair(&a, &short, None).is_err());
+    }
+
+    #[test]
+    fn pair_rejects_unknown_labels_in_masked() {
+        let a = write_sample("orig2.csv");
+        let bad = tmp("bad.csv");
+        std::fs::write(&bad, "A,B\nz,9\nz,9\nz,9\n").unwrap();
+        assert!(load_pair(&a, &bad, None).is_err());
+    }
+
+    #[test]
+    fn sidecar_schema_declares_kinds_and_order() {
+        let data = tmp("sidecar_data.csv");
+        std::fs::write(&data, "A,B\nx,1\ny,2\nx,1\n").unwrap();
+        let sidecar = tmp("sidecar.schema");
+        // declare B ordinal with reversed dictionary order
+        std::fs::write(&sidecar, "A,nominal,x|y\nB,ordinal,2|1\n").unwrap();
+        let t = load_table_with(&data, Some(sidecar.to_str().unwrap())).unwrap();
+        assert_eq!(t.schema().attr(1).kind(), AttrKind::Ordinal);
+        assert_eq!(t.schema().attr(1).code_of("2"), Some(0));
+        // dictionary is closed: labels outside it fail
+        let bad = tmp("sidecar_bad.csv");
+        std::fs::write(&bad, "A,B\nz,1\n").unwrap();
+        assert!(load_table_with(&bad, Some(sidecar.to_str().unwrap())).is_err());
+        // pair loading honours the sidecar too
+        let (orig, _) = load_pair(&data, &data, Some(sidecar.to_str().unwrap())).unwrap();
+        assert_eq!(orig.schema().attr(1).kind(), AttrKind::Ordinal);
+    }
+
+    #[test]
+    fn hierarchies_cover_all_selected() {
+        let path = write_sample("hier.csv");
+        let t = load_table(&path).unwrap();
+        let hs = auto_hierarchies(&t, &[0, 1]).unwrap();
+        assert_eq!(hs.len(), 2);
+        for (h, &j) in hs.iter().zip(&[0usize, 1]) {
+            assert_eq!(
+                h.level(0).repr_table().len(),
+                t.schema().attr(j).n_categories()
+            );
+        }
+    }
+
+    #[test]
+    fn subtable_extracts_columns() {
+        let path = write_sample("sub.csv");
+        let t = load_table(&path).unwrap();
+        let sub = subtable(&t, &[1]).unwrap();
+        assert_eq!(sub.n_attrs(), 1);
+        assert_eq!(sub.n_rows(), 3);
+    }
+
+    #[test]
+    fn hierarchy_dir_overrides_auto() {
+        let data = tmp("hdir_data.csv");
+        std::fs::write(&data, "A,B\nx,1\ny,2\nz,1\n").unwrap();
+        let t = load_table(&data).unwrap();
+
+        let dir = tmp("hdir");
+        std::fs::create_dir_all(&dir).unwrap();
+        // custom VGH for A only; B falls back to auto
+        std::fs::write(dir.join("A.csv"), "x,G\ny,G\nz,H\n").unwrap();
+
+        let hs = hierarchies_for(&t, &[0, 1], Some(dir.to_str().unwrap())).unwrap();
+        assert_eq!(hs[0].n_levels(), 2);
+        assert_eq!(hs[0].level(1).n_groups(), 2); // {x,y} and {z}
+        let auto = auto_hierarchies(&t, &[0, 1]).unwrap();
+        assert_eq!(hs[1], auto[1]);
+
+        // no dir -> pure auto
+        let plain = hierarchies_for(&t, &[0, 1], None).unwrap();
+        assert_eq!(plain, auto);
+    }
+
+    #[test]
+    fn hierarchy_dir_reports_bad_files() {
+        let data = tmp("hbad_data.csv");
+        std::fs::write(&data, "A\nx\ny\n").unwrap();
+        let t = load_table(&data).unwrap();
+        let dir = tmp("hbad");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("A.csv"), "x,G\nmars,H\n").unwrap();
+        assert!(hierarchies_for(&t, &[0], Some(dir.to_str().unwrap())).is_err());
+    }
+}

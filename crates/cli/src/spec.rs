@@ -1,0 +1,170 @@
+//! Method specifications: the `--method name:param` mini-grammar that maps
+//! CLI strings onto [`cdp_sdc::ProtectionMethod`] values.
+
+use cdp_sdc::{
+    Aggregate, BottomCoding, GlobalRecoding, Grouping, LocalSuppression, MicroVariant,
+    Microaggregation, Pram, PramMode, ProtectionMethod, RandomSwap, RankSwapping, TopCoding,
+};
+
+use crate::error::{CliError, Result};
+
+/// Grammar accepted by [`parse_method`], one line per method.
+pub const METHOD_GRAMMAR: &str = "\
+  microagg:<k>[:uni|multi|bi][:median|mode]   categorical microaggregation
+  bottomcode:<fraction>                       bottom coding
+  topcode:<fraction>                          top coding
+  recode:<level>                              global recoding (uniform level)
+  rankswap:<p>                                rank swapping, window p% of n
+  pram:<theta>[:unif|prop|inv]                PRAM, retention probability theta
+  suppress:<k>                                local suppression of classes < k
+  randomswap:<fraction>                       uncontrolled random swapping";
+
+/// Parse a method spec like `pram:0.2:inv` into a boxed method.
+///
+/// # Errors
+/// [`CliError::Usage`] with the offending token and the grammar.
+pub fn parse_method(spec: &str) -> Result<Box<dyn ProtectionMethod>> {
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or_default();
+    let params: Vec<&str> = parts.collect();
+    let bad = |msg: String| CliError::Usage(format!("{msg}\naccepted methods:\n{METHOD_GRAMMAR}"));
+
+    let one_param = |what: &str| -> Result<&str> {
+        match params.as_slice() {
+            [p] => Ok(*p),
+            _ => Err(bad(format!("{name} needs exactly one parameter ({what})"))),
+        }
+    };
+
+    match name {
+        "microagg" => {
+            if params.is_empty() || params.len() > 3 {
+                return Err(bad("microagg:<k>[:grouping][:aggregate]".into()));
+            }
+            let k: usize = params[0]
+                .parse()
+                .map_err(|_| bad(format!("microagg: bad k `{}`", params[0])))?;
+            let grouping = match params.get(1).copied() {
+                None | Some("uni") => Grouping::Univariate,
+                Some("multi") => Grouping::Multivariate,
+                Some("bi") => Grouping::Bivariate,
+                Some(other) => return Err(bad(format!("microagg: bad grouping `{other}`"))),
+            };
+            let aggregate = match params.get(2).copied() {
+                None | Some("median") => Aggregate::Median,
+                Some("mode") => Aggregate::Mode,
+                Some(other) => return Err(bad(format!("microagg: bad aggregate `{other}`"))),
+            };
+            Ok(Box::new(Microaggregation::new(
+                k,
+                MicroVariant {
+                    grouping,
+                    aggregate,
+                },
+            )))
+        }
+        "bottomcode" => {
+            let fraction: f64 = one_param("fraction")?
+                .parse()
+                .map_err(|_| bad("bottomcode: bad fraction".into()))?;
+            Ok(Box::new(BottomCoding { fraction }))
+        }
+        "topcode" => {
+            let fraction: f64 = one_param("fraction")?
+                .parse()
+                .map_err(|_| bad("topcode: bad fraction".into()))?;
+            Ok(Box::new(TopCoding { fraction }))
+        }
+        "recode" => {
+            let level: usize = one_param("level")?
+                .parse()
+                .map_err(|_| bad("recode: bad level".into()))?;
+            Ok(Box::new(GlobalRecoding::uniform(level)))
+        }
+        "rankswap" => {
+            let p: usize = one_param("p")?
+                .parse()
+                .map_err(|_| bad("rankswap: bad p".into()))?;
+            Ok(Box::new(RankSwapping::new(p)))
+        }
+        "pram" => {
+            if params.is_empty() || params.len() > 2 {
+                return Err(bad("pram:<theta>[:mode]".into()));
+            }
+            let theta: f64 = params[0]
+                .parse()
+                .map_err(|_| bad(format!("pram: bad theta `{}`", params[0])))?;
+            let mode = match params.get(1).copied() {
+                None | Some("unif") => PramMode::Uniform,
+                Some("prop") => PramMode::Proportional,
+                Some("inv") => PramMode::Invariant,
+                Some(other) => return Err(bad(format!("pram: bad mode `{other}`"))),
+            };
+            Ok(Box::new(Pram::new(theta, mode)))
+        }
+        "suppress" => {
+            let min_class_size: usize = one_param("k")?
+                .parse()
+                .map_err(|_| bad("suppress: bad k".into()))?;
+            Ok(Box::new(LocalSuppression { min_class_size }))
+        }
+        "randomswap" => {
+            let fraction: f64 = one_param("fraction")?
+                .parse()
+                .map_err(|_| bad("randomswap: bad fraction".into()))?;
+            Ok(Box::new(RandomSwap { fraction }))
+        }
+        other => Err(bad(format!("unknown method `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_method_family() {
+        for (spec, expected) in [
+            ("microagg:3", "microagg"),
+            ("microagg:5:multi:mode", "microagg"),
+            ("bottomcode:0.1", "bottom"),
+            ("topcode:0.2", "top"),
+            ("recode:1", "grec"),
+            ("rankswap:5", "rank"),
+            ("pram:0.8", "pram"),
+            ("pram:0.8:inv", "pram"),
+            ("suppress:3", "suppress"),
+            ("randomswap:0.25", "random"),
+        ] {
+            let m = parse_method(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert!(
+                m.name().to_lowercase().contains(expected),
+                "{spec} -> {}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        for spec in [
+            "nope:1",
+            "microagg",
+            "microagg:x",
+            "microagg:3:diag",
+            "microagg:3:uni:avg",
+            "pram",
+            "pram:0.5:weird",
+            "rankswap:0.5:extra",
+            "suppress:abc",
+        ] {
+            match parse_method(spec) {
+                Ok(m) => panic!("{spec} unexpectedly parsed as {}", m.name()),
+                Err(err) => assert!(
+                    err.to_string().contains("accepted methods"),
+                    "{spec} should fail with grammar help"
+                ),
+            }
+        }
+    }
+}

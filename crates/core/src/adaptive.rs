@@ -1,0 +1,165 @@
+//! Adaptive operator scheduling (extension).
+//!
+//! The paper fixes both operator rates at 0.5 "heuristically". A standard
+//! refinement is *adaptive pursuit*: track each operator's recent success
+//! (offspring that survived their duel) and shift probability mass toward
+//! the operator that is currently producing improvements, within bounds
+//! that keep both operators alive. The scheduler is deterministic given
+//! the acceptance sequence, so seeded runs stay reproducible.
+
+use crate::operators::OperatorKind;
+
+/// How the mutation-vs-crossover probability evolves during a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OperatorSchedule {
+    /// The paper's behaviour: a constant rate (from `EvoConfig::mutation_rate`).
+    Fixed,
+    /// Adaptive pursuit: every `window` iterations, set the mutation rate
+    /// to its recent success share, clamped to `[floor, ceil]`.
+    Adaptive {
+        /// Iterations per adaptation step.
+        window: usize,
+        /// Lower clamp for the mutation rate.
+        floor: f64,
+        /// Upper clamp for the mutation rate.
+        ceil: f64,
+    },
+}
+
+impl OperatorSchedule {
+    /// A reasonable adaptive default (window 50, rate within `[0.2, 0.8]`).
+    pub fn adaptive() -> Self {
+        OperatorSchedule::Adaptive {
+            window: 50,
+            floor: 0.2,
+            ceil: 0.8,
+        }
+    }
+}
+
+/// Sliding-window success tracker feeding the adaptive schedule.
+#[derive(Debug, Clone)]
+pub struct OperatorStats {
+    schedule: OperatorSchedule,
+    rate: f64,
+    in_window: usize,
+    attempts: [u32; 2],
+    successes: [u32; 2],
+}
+
+impl OperatorStats {
+    /// Start tracking from the configured base rate.
+    pub fn new(schedule: OperatorSchedule, base_rate: f64) -> Self {
+        OperatorStats {
+            schedule,
+            rate: base_rate,
+            in_window: 0,
+            attempts: [0; 2],
+            successes: [0; 2],
+        }
+    }
+
+    /// The current mutation rate.
+    pub fn mutation_rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Record one generation's outcome and adapt when the window closes.
+    pub fn record(&mut self, op: OperatorKind, accepted: bool) {
+        let OperatorSchedule::Adaptive {
+            window,
+            floor,
+            ceil,
+        } = self.schedule
+        else {
+            return;
+        };
+        let idx = match op {
+            OperatorKind::Mutation => 0,
+            OperatorKind::Crossover => 1,
+        };
+        self.attempts[idx] += 1;
+        if accepted {
+            self.successes[idx] += 1;
+        }
+        self.in_window += 1;
+        if self.in_window >= window.max(1) {
+            let s_mut = if self.attempts[0] > 0 {
+                f64::from(self.successes[0]) / f64::from(self.attempts[0])
+            } else {
+                0.0
+            };
+            let s_x = if self.attempts[1] > 0 {
+                f64::from(self.successes[1]) / f64::from(self.attempts[1])
+            } else {
+                0.0
+            };
+            if s_mut + s_x > 0.0 {
+                self.rate = (s_mut / (s_mut + s_x)).clamp(floor, ceil);
+            }
+            self.in_window = 0;
+            self.attempts = [0; 2];
+            self.successes = [0; 2];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_schedule_never_moves() {
+        let mut s = OperatorStats::new(OperatorSchedule::Fixed, 0.5);
+        for i in 0..500 {
+            s.record(
+                if i % 2 == 0 {
+                    OperatorKind::Mutation
+                } else {
+                    OperatorKind::Crossover
+                },
+                i % 3 == 0,
+            );
+        }
+        assert_eq!(s.mutation_rate(), 0.5);
+    }
+
+    #[test]
+    fn adaptive_moves_toward_the_successful_operator() {
+        let mut s = OperatorStats::new(OperatorSchedule::adaptive(), 0.5);
+        // mutation always succeeds, crossover never
+        for i in 0..100 {
+            let op = if i % 2 == 0 {
+                OperatorKind::Mutation
+            } else {
+                OperatorKind::Crossover
+            };
+            s.record(op, op == OperatorKind::Mutation);
+        }
+        assert!(s.mutation_rate() > 0.5);
+        assert!(s.mutation_rate() <= 0.8, "ceil respected");
+    }
+
+    #[test]
+    fn adaptive_respects_floor() {
+        let mut s = OperatorStats::new(OperatorSchedule::adaptive(), 0.5);
+        for i in 0..100 {
+            let op = if i % 2 == 0 {
+                OperatorKind::Mutation
+            } else {
+                OperatorKind::Crossover
+            };
+            s.record(op, op == OperatorKind::Crossover);
+        }
+        assert!((0.2..0.5).contains(&s.mutation_rate()));
+    }
+
+    #[test]
+    fn no_successes_keeps_rate() {
+        let mut s = OperatorStats::new(OperatorSchedule::adaptive(), 0.6);
+        for _ in 0..100 {
+            s.record(OperatorKind::Mutation, false);
+        }
+        assert_eq!(s.mutation_rate(), 0.6);
+    }
+}

@@ -1,0 +1,358 @@
+//! Algorithm 1 of the paper: the evolutionary loop.
+
+use cdp_dataset::SubTable;
+use cdp_metrics::Evaluator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::adaptive::OperatorStats;
+use crate::archive::ParetoArchive;
+use crate::config::EvoConfig;
+use crate::individual::Individual;
+use crate::operators::{crossover, mutate, OperatorKind};
+use crate::parallel::evaluate_all;
+use crate::population::Population;
+use crate::replacement::offspring_wins;
+use crate::selection::select_leader;
+use crate::telemetry::{ScatterPoint, Trace};
+use crate::{EvoError, Result};
+
+/// A configured evolutionary run.
+///
+/// Construction is a two-step builder: [`Evolution::new`] binds the fitness
+/// evaluator and configuration, [`Evolution::with_named_population`] loads
+/// and evaluates the initial protections, [`Evolution::run`] executes
+/// Algorithm 1.
+pub struct Evolution {
+    evaluator: Evaluator,
+    config: EvoConfig,
+    population: Option<Population>,
+}
+
+impl Evolution {
+    /// Bind evaluator and configuration.
+    pub fn new(evaluator: Evaluator, config: EvoConfig) -> Self {
+        Evolution {
+            evaluator,
+            config,
+            population: None,
+        }
+    }
+
+    /// Load the initial population of named protections; every individual
+    /// is evaluated here (in parallel when configured).
+    ///
+    /// # Errors
+    /// [`EvoError::EmptyPopulation`] or [`EvoError::IncompatibleIndividual`].
+    pub fn with_named_population<I>(mut self, items: I) -> Result<Self>
+    where
+        I: IntoIterator,
+        I::Item: Into<(String, SubTable)>,
+    {
+        self.config.validate()?;
+        let items: Vec<(String, SubTable)> = items.into_iter().map(Into::into).collect();
+        if items.is_empty() {
+            return Err(EvoError::EmptyPopulation);
+        }
+        for (name, data) in &items {
+            self.evaluator
+                .prepared()
+                .check_compatible(data)
+                .map_err(|source| EvoError::IncompatibleIndividual {
+                    name: name.clone(),
+                    source,
+                })?;
+        }
+        let states = evaluate_all(&self.evaluator, &items, self.config.parallel_init);
+        let members = items
+            .into_iter()
+            .zip(states)
+            .map(|((name, data), state)| {
+                Individual::new(name, data, state, self.config.aggregator)
+            })
+            .collect();
+        self.population = Some(Population::new(members));
+        Ok(self)
+    }
+
+    /// Drop the best fraction of the (already loaded) initial population —
+    /// the §3.3 robustness experiment.
+    ///
+    /// # Errors
+    /// [`EvoError::EmptyPopulation`] when called before loading.
+    pub fn drop_best_fraction(mut self, fraction: f64) -> Result<Self> {
+        let pop = self.population.as_mut().ok_or(EvoError::EmptyPopulation)?;
+        pop.drop_best_fraction(fraction);
+        Ok(self)
+    }
+
+    /// Run Algorithm 1 to completion.
+    ///
+    /// # Panics
+    /// Panics when no population was loaded (builder misuse).
+    pub fn run(self) -> EvolutionOutcome {
+        self.run_with(|_| {})
+    }
+
+    /// Run with a per-iteration observer (receives the trace entry just
+    /// recorded; useful for progress reporting in long experiments).
+    pub fn run_with<F>(mut self, mut observer: F) -> EvolutionOutcome
+    where
+        F: FnMut(&crate::telemetry::GenerationStats),
+    {
+        let mut pop = self
+            .population
+            .take()
+            .expect("population must be loaded before run()");
+        let cfg = self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE70_A160);
+        let mut trace = Trace::default();
+        let initial = pop.scatter();
+        let mut archive = ParetoArchive::new();
+        for point in &initial {
+            archive.offer(point.clone());
+        }
+        trace.record(0, &pop.scores(), None, false);
+
+        let mut best = pop.best().score();
+        let mut since_improvement = 0usize;
+        let mut t = 0usize;
+        let mut op_stats = OperatorStats::new(cfg.operator_schedule, cfg.mutation_rate);
+        while !cfg.stop.should_stop(t, since_improvement) {
+            let (op, accepted) = if rng.gen::<f64>() < op_stats.mutation_rate() {
+                (
+                    OperatorKind::Mutation,
+                    self.mutation_step(&mut pop, &mut archive, &mut rng),
+                )
+            } else {
+                (
+                    OperatorKind::Crossover,
+                    self.crossover_step(&mut pop, &mut archive, &mut rng),
+                )
+            };
+            op_stats.record(op, accepted);
+            t += 1;
+            let new_best = pop.best().score();
+            if new_best + 1e-12 < best {
+                best = new_best;
+                since_improvement = 0;
+            } else {
+                since_improvement += 1;
+            }
+            trace.record(t, &pop.scores(), Some(op), accepted);
+            observer(trace.last().expect("just recorded"));
+        }
+
+        EvolutionOutcome {
+            initial,
+            final_points: pop.scatter(),
+            trace,
+            iterations_run: t,
+            pareto_front: archive.front(),
+            final_mutation_rate: op_stats.mutation_rate(),
+            population: pop,
+        }
+    }
+
+    /// One mutation generation: proportional selection, single-cell
+    /// mutation, parent/offspring elitism. Returns whether the offspring
+    /// survived.
+    fn mutation_step(
+        &self,
+        pop: &mut Population,
+        archive: &mut ParetoArchive,
+        rng: &mut StdRng,
+    ) -> bool {
+        let i = self.config.selection.select(&pop.scores(), rng);
+        let parent = pop.get(i);
+        let mut child_data = parent.data.clone();
+        let Some(mu) = mutate(&mut child_data, rng) else {
+            return false;
+        };
+        let child_state = if self.config.incremental_mutation {
+            self.evaluator
+                .reassess_mutation(parent.state(), &child_data, mu.row, mu.attr, mu.old)
+        } else {
+            self.evaluator.assess(&child_data)
+        };
+        let child = Individual::new(
+            parent.name.clone(),
+            child_data,
+            child_state,
+            self.config.aggregator,
+        );
+        archive.offer(ScatterPoint::of(&child));
+        if offspring_wins(parent.score(), child.score()) {
+            pop.replace(i, child);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One crossover generation: leader + proportional selection, 2-point
+    /// crossover, Deterministic Crowding duels. Returns whether any
+    /// offspring survived.
+    fn crossover_step(
+        &self,
+        pop: &mut Population,
+        archive: &mut ParetoArchive,
+        rng: &mut StdRng,
+    ) -> bool {
+        let nb = self.config.leader_group(pop.len());
+        let i1 = select_leader(pop.len(), nb, rng);
+        let i2 = self.config.selection.select(&pop.scores(), rng);
+
+        let (z1_data, z2_data, _) = crossover(&pop.get(i1).data, &pop.get(i2).data, rng);
+        // offspring are genuinely new files -> full evaluation
+        let z1_state = self.evaluator.assess(&z1_data);
+        let z2_state = self.evaluator.assess(&z2_data);
+        let z1 = Individual::new(
+            pop.get(i1).name.clone(),
+            z1_data,
+            z1_state,
+            self.config.aggregator,
+        );
+        let z2 = Individual::new(
+            pop.get(i2).name.clone(),
+            z2_data,
+            z2_state,
+            self.config.aggregator,
+        );
+
+        archive.offer(ScatterPoint::of(&z1));
+        archive.offer(ScatterPoint::of(&z2));
+
+        // Deterministic Crowding: pair offspring with parents, then elitist
+        // duels within each pair.
+        let straight = self.config.replacement.pair_straight(
+            &pop.get(i1).data,
+            &pop.get(i2).data,
+            &z1.data,
+            &z2.data,
+        );
+        let (c1, c2) = if straight { (z1, z2) } else { (z2, z1) };
+
+        if i1 == i2 {
+            // degenerate draw: both offspring duel the same parent; the
+            // better offspring gets the single slot if it wins
+            let best_child = if c1.score() <= c2.score() { c1 } else { c2 };
+            if offspring_wins(pop.get(i1).score(), best_child.score()) {
+                pop.replace(i1, best_child);
+                return true;
+            }
+            return false;
+        }
+
+        let win1 = offspring_wins(pop.get(i1).score(), c1.score());
+        let win2 = offspring_wins(pop.get(i2).score(), c2.score());
+        if win1 {
+            pop.replace_unsorted(i1, c1);
+        }
+        if win2 {
+            pop.replace_unsorted(i2, c2);
+        }
+        if win1 || win2 {
+            pop.resort();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Summary of the score statistics the paper reports in §3.1/§3.2: initial
+/// and final max/mean/min with percentage improvements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreSummary {
+    /// Initial worst score.
+    pub initial_max: f64,
+    /// Final worst score.
+    pub final_max: f64,
+    /// Initial mean score.
+    pub initial_mean: f64,
+    /// Final mean score.
+    pub final_mean: f64,
+    /// Initial best score.
+    pub initial_min: f64,
+    /// Final best score.
+    pub final_min: f64,
+}
+
+impl ScoreSummary {
+    fn improvement(initial: f64, fin: f64) -> f64 {
+        if initial.abs() < 1e-12 {
+            0.0
+        } else {
+            100.0 * (initial - fin) / initial
+        }
+    }
+
+    /// Percentage improvement of the max score.
+    pub fn improvement_max(&self) -> f64 {
+        Self::improvement(self.initial_max, self.final_max)
+    }
+
+    /// Percentage improvement of the mean score.
+    pub fn improvement_mean(&self) -> f64 {
+        Self::improvement(self.initial_mean, self.final_mean)
+    }
+
+    /// Percentage improvement of the min score.
+    pub fn improvement_min(&self) -> f64 {
+        Self::improvement(self.initial_min, self.final_min)
+    }
+}
+
+/// Everything a run produces: the figure data and the final population.
+#[derive(Debug, Clone)]
+pub struct EvolutionOutcome {
+    /// Initial (IL, DR) snapshot (the paper's dispersion plots, "initial").
+    pub initial: Vec<ScatterPoint>,
+    /// Final (IL, DR) snapshot.
+    pub final_points: Vec<ScatterPoint>,
+    /// Max/mean/min score series (the paper's evolution plots).
+    pub trace: Trace,
+    /// Non-dominated (IL, DR) points over everything evaluated in the run
+    /// (extension; sorted by IL ascending).
+    pub pareto_front: Vec<ScatterPoint>,
+    /// Mutation rate at the end of the run (differs from the configured
+    /// rate only under the adaptive operator schedule).
+    pub final_mutation_rate: f64,
+    /// Iterations actually executed.
+    pub iterations_run: usize,
+    /// Final population, sorted by score.
+    pub population: Population,
+}
+
+impl EvolutionOutcome {
+    /// Best initial point (minimum score).
+    pub fn initial_best(&self) -> &ScatterPoint {
+        self.initial
+            .iter()
+            .min_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"))
+            .expect("non-empty population")
+    }
+
+    /// Best final point.
+    pub fn final_best(&self) -> &ScatterPoint {
+        self.final_points
+            .iter()
+            .min_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"))
+            .expect("non-empty population")
+    }
+
+    /// The §3.1/§3.2 summary table row.
+    pub fn summary(&self) -> ScoreSummary {
+        let first = self.trace.initial().expect("trace has initial snapshot");
+        let last = self.trace.last().expect("trace has final snapshot");
+        ScoreSummary {
+            initial_max: first.max,
+            final_max: last.max,
+            initial_mean: first.mean,
+            final_mean: last.mean,
+            initial_min: first.min,
+            final_min: last.min,
+        }
+    }
+}

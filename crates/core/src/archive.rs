@@ -1,0 +1,135 @@
+//! Pareto archive: the non-dominated (IL, DR) front seen during a run.
+//!
+//! The paper collapses the two objectives into one score (Eq. 1/Eq. 2) and
+//! observes that the mean lets unbalanced protections slip through. A
+//! natural extension is to also keep the *front*: every (IL, DR) pair not
+//! dominated by another one encountered anywhere in the run. The archive
+//! costs O(front) per offered point, is pure telemetry (it never feeds
+//! back into selection), and gives the analyst the full trade-off curve
+//! instead of a single scalar winner.
+
+use crate::telemetry::ScatterPoint;
+
+/// Does `a` dominate `b` (no worse in both objectives, better in one)?
+fn dominates(a: &ScatterPoint, b: &ScatterPoint) -> bool {
+    (a.il <= b.il && a.dr <= b.dr) && (a.il < b.il || a.dr < b.dr)
+}
+
+/// A minimal Pareto archive over (IL, DR), minimizing both.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoArchive {
+    points: Vec<ScatterPoint>,
+}
+
+impl ParetoArchive {
+    /// Empty archive.
+    pub fn new() -> Self {
+        ParetoArchive::default()
+    }
+
+    /// Offer a point: inserted iff no archived point dominates it;
+    /// archived points it dominates are evicted. Returns whether the point
+    /// entered the archive.
+    pub fn offer(&mut self, point: ScatterPoint) -> bool {
+        if self
+            .points
+            .iter()
+            .any(|p| dominates(p, &point) || (p.il == point.il && p.dr == point.dr))
+        {
+            return false;
+        }
+        self.points.retain(|p| !dominates(&point, p));
+        self.points.push(point);
+        true
+    }
+
+    /// The current front, sorted by IL ascending (DR therefore descending).
+    pub fn front(&self) -> Vec<ScatterPoint> {
+        let mut pts = self.points.clone();
+        pts.sort_by(|a, b| a.il.partial_cmp(&b.il).expect("finite"));
+        pts
+    }
+
+    /// Number of non-dominated points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(il: f64, dr: f64) -> ScatterPoint {
+        ScatterPoint {
+            name: format!("{il}/{dr}"),
+            il,
+            dr,
+            score: il.max(dr),
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_rejected() {
+        let mut a = ParetoArchive::new();
+        assert!(a.offer(pt(10.0, 10.0)));
+        assert!(!a.offer(pt(20.0, 20.0)));
+        assert!(!a.offer(pt(10.0, 11.0)));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn dominating_point_evicts() {
+        let mut a = ParetoArchive::new();
+        a.offer(pt(10.0, 30.0));
+        a.offer(pt(30.0, 10.0));
+        assert_eq!(a.len(), 2);
+        assert!(a.offer(pt(5.0, 5.0)));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.front()[0].il, 5.0);
+    }
+
+    #[test]
+    fn incomparable_points_coexist() {
+        let mut a = ParetoArchive::new();
+        a.offer(pt(10.0, 30.0));
+        a.offer(pt(20.0, 20.0));
+        a.offer(pt(30.0, 10.0));
+        assert_eq!(a.len(), 3);
+        let front = a.front();
+        // sorted by IL ascending, DR strictly descending along a front
+        for w in front.windows(2) {
+            assert!(w[0].il < w[1].il);
+            assert!(w[0].dr > w[1].dr);
+        }
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut a = ParetoArchive::new();
+        assert!(a.offer(pt(10.0, 20.0)));
+        assert!(!a.offer(pt(10.0, 20.0)));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn front_never_contains_dominated_pairs() {
+        let mut a = ParetoArchive::new();
+        for i in 0..50 {
+            let il = (i * 7 % 40) as f64;
+            let dr = (i * 13 % 40) as f64;
+            a.offer(pt(il, dr));
+        }
+        let front = a.front();
+        for x in &front {
+            for y in &front {
+                assert!(!(dominates(x, y)), "front contains dominated point");
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type of the evolutionary core.
+
+use std::fmt;
+
+use cdp_metrics::MetricError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EvoError>;
+
+/// Errors raised while assembling or running an evolution.
+#[derive(Debug)]
+pub enum EvoError {
+    /// No individuals were supplied.
+    EmptyPopulation,
+    /// A supplied protected file does not match the original's shape.
+    IncompatibleIndividual {
+        /// Name of the offending protection.
+        name: String,
+        /// Underlying mismatch.
+        source: MetricError,
+    },
+    /// Configuration outside admissible ranges.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for EvoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvoError::EmptyPopulation => write!(f, "initial population is empty"),
+            EvoError::IncompatibleIndividual { name, source } => {
+                write!(f, "individual `{name}` is incompatible: {source}")
+            }
+            EvoError::InvalidConfig(msg) => write!(f, "invalid evolution config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvoError::IncompatibleIndividual { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EvoError::EmptyPopulation.to_string().contains("empty"));
+        let e = EvoError::IncompatibleIndividual {
+            name: "pram".into(),
+            source: MetricError::ShapeMismatch("rows".into()),
+        };
+        assert!(e.to_string().contains("pram"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

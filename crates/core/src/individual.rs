@@ -1,0 +1,84 @@
+//! Individuals: one protected file plus its cached assessment.
+
+use cdp_dataset::SubTable;
+use cdp_metrics::{Assessment, EvalState, ScoreAggregator};
+
+/// A member of the evolutionary population.
+///
+/// The genotype is the protected file itself (no encoding, §2.1 of the
+/// paper); the cached [`EvalState`] carries the sufficient statistics that
+/// make incremental mutation re-assessment possible.
+#[derive(Debug, Clone)]
+pub struct Individual {
+    /// Provenance label (initial protections keep their method name;
+    /// offspring get derived labels).
+    pub name: String,
+    /// The protected columns.
+    pub data: SubTable,
+    state: EvalState,
+    score: f64,
+}
+
+impl Individual {
+    /// Wrap an evaluated protection.
+    pub fn new(name: String, data: SubTable, state: EvalState, agg: ScoreAggregator) -> Self {
+        let score = state.assessment.score(agg);
+        Individual {
+            name,
+            data,
+            state,
+            score,
+        }
+    }
+
+    /// Cached fitness score (smaller is better).
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// Full (IL, DR) assessment.
+    pub fn assessment(&self) -> &Assessment {
+        &self.state.assessment
+    }
+
+    /// Aggregated information loss.
+    pub fn il(&self) -> f64 {
+        self.state.assessment.il()
+    }
+
+    /// Aggregated disclosure risk.
+    pub fn dr(&self) -> f64 {
+        self.state.assessment.dr()
+    }
+
+    /// The cached evaluation state (for incremental re-assessment).
+    pub fn state(&self) -> &EvalState {
+        &self.state
+    }
+
+    /// Replace the cached state and re-derive the score.
+    pub fn replace_state(&mut self, state: EvalState, agg: ScoreAggregator) {
+        self.score = state.assessment.score(agg);
+        self.state = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+    use cdp_metrics::{Evaluator, MetricConfig};
+
+    #[test]
+    fn score_matches_assessment() {
+        let s = DatasetKind::Adult
+            .generate(&GeneratorConfig::seeded(1).with_records(60))
+            .protected_subtable();
+        let ev = Evaluator::new(&s, MetricConfig::default()).unwrap();
+        let state = ev.assess(&s);
+        let ind = Individual::new("id".into(), s, state, ScoreAggregator::Max);
+        assert!((ind.score() - ind.assessment().score(ScoreAggregator::Max)).abs() < 1e-12);
+        assert!(ind.il() < 1e-9);
+        assert!(ind.dr() > 0.0);
+    }
+}

@@ -1,0 +1,558 @@
+//! NSGA-II: true multi-objective optimization over (IL, DR).
+//!
+//! The paper collapses information loss and disclosure risk into one scalar
+//! (Eq. 1/Eq. 2) and §4 notes the approach "can be adapted to other fitness
+//! functions" — this module is that adaptation taken to its logical end:
+//! instead of a scalar, selection works directly on Pareto dominance
+//! (non-dominated sorting) with crowding-distance tie-breaking, as in
+//! Deb et al.'s NSGA-II. The outcome is a *front* of protections covering
+//! the whole IL/DR trade-off curve in one run, rather than one winner per
+//! aggregator choice.
+//!
+//! The genetic operators are exactly the paper's (§2.2): single-cell
+//! mutation and 2-point crossover at the value level, chosen per offspring
+//! with the same 0.5 rate. Only the selection/replacement scheme differs,
+//! which makes the scalar-vs-Pareto comparison in the `multi_objective`
+//! example and the extension bench a clean ablation.
+
+use cdp_dataset::SubTable;
+use cdp_metrics::{Evaluator, ScoreAggregator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::archive::ParetoArchive;
+use crate::individual::Individual;
+use crate::operators::{crossover, mutate};
+use crate::parallel::evaluate_all;
+use crate::telemetry::ScatterPoint;
+use crate::{EvoError, Result};
+
+/// Configuration of an NSGA-II run.
+#[derive(Debug, Clone, Copy)]
+pub struct NsgaConfig {
+    /// Number of generations.
+    pub generations: usize,
+    /// Offspring produced per generation; `0` means "population size".
+    pub offspring: usize,
+    /// Probability an offspring pair comes from crossover rather than
+    /// mutation (the paper's operator coin, 0.5).
+    pub crossover_prob: f64,
+    /// RNG seed; equal seeds reproduce runs exactly.
+    pub seed: u64,
+    /// Evaluate the initial population on all cores.
+    pub parallel_init: bool,
+}
+
+impl Default for NsgaConfig {
+    fn default() -> Self {
+        NsgaConfig {
+            generations: 100,
+            offspring: 0,
+            crossover_prob: 0.5,
+            seed: 0,
+            parallel_init: true,
+        }
+    }
+}
+
+impl NsgaConfig {
+    fn validate(&self) -> Result<()> {
+        if self.generations == 0 {
+            return Err(EvoError::InvalidConfig(
+                "NSGA-II needs at least one generation".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.crossover_prob) {
+            return Err(EvoError::InvalidConfig(format!(
+                "crossover_prob must lie in [0,1], got {}",
+                self.crossover_prob
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Fast non-dominated sort (Deb et al. 2002): partition points into fronts
+/// `F0, F1, …` where `F0` is the non-dominated set, `F1` the non-dominated
+/// set after removing `F0`, and so on. Both objectives are minimized.
+pub fn non_dominated_sort(objs: &[(f64, f64)]) -> Vec<Vec<usize>> {
+    let n = objs.len();
+    let dominates = |a: (f64, f64), b: (f64, f64)| {
+        a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
+    };
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(objs[i], objs[j]) {
+                dominated_by[i].push(j);
+                domination_count[j] += 1;
+            } else if dominates(objs[j], objs[i]) {
+                dominated_by[j].push(i);
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// Crowding distance of each member of one front (aligned with `front`'s
+/// order). Boundary points get `f64::INFINITY`; interior points the sum of
+/// normalized neighbour gaps per objective.
+pub fn crowding_distance(objs: &[(f64, f64)], front: &[usize]) -> Vec<f64> {
+    let m = front.len();
+    let mut dist = vec![0f64; m];
+    if m <= 2 {
+        dist.iter_mut().for_each(|d| *d = f64::INFINITY);
+        return dist;
+    }
+    for obj in 0..2 {
+        let value = |i: usize| if obj == 0 { objs[i].0 } else { objs[i].1 };
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            value(front[a])
+                .partial_cmp(&value(front[b]))
+                .expect("objectives are finite")
+        });
+        dist[order[0]] = f64::INFINITY;
+        dist[order[m - 1]] = f64::INFINITY;
+        let span = value(front[order[m - 1]]) - value(front[order[0]]);
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..m - 1 {
+            let gap = value(front[order[w + 1]]) - value(front[order[w - 1]]);
+            dist[order[w]] += gap / span;
+        }
+    }
+    dist
+}
+
+/// 2-D hypervolume (area dominated between the front and a reference point,
+/// minimization): the standard quality indicator for comparing fronts.
+/// Points at or beyond the reference contribute nothing.
+pub fn hypervolume(points: &[(f64, f64)], reference: (f64, f64)) -> f64 {
+    let mut front: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(x, y)| x < reference.0 && y < reference.1)
+        .collect();
+    if front.is_empty() {
+        return 0.0;
+    }
+    front.sort_by(|a, b| a.partial_cmp(b).expect("finite objectives"));
+    let mut hv = 0.0;
+    let mut prev_y = reference.1;
+    for (x, y) in front {
+        if y < prev_y {
+            hv += (reference.0 - x) * (prev_y - y);
+            prev_y = y;
+        }
+    }
+    hv
+}
+
+/// The non-dominated members of a population, as scatter points sorted by
+/// IL ascending.
+pub fn pareto_front_of(pop: &[Individual]) -> Vec<ScatterPoint> {
+    let objs: Vec<(f64, f64)> = pop.iter().map(|i| (i.il(), i.dr())).collect();
+    let fronts = non_dominated_sort(&objs);
+    let mut out: Vec<ScatterPoint> = fronts
+        .first()
+        .map(|f| f.iter().map(|&i| ScatterPoint::of(&pop[i])).collect())
+        .unwrap_or_default();
+    out.sort_by(|a, b| a.il.partial_cmp(&b.il).expect("finite"));
+    out
+}
+
+/// Result of an NSGA-II run.
+#[derive(Debug, Clone)]
+pub struct NsgaOutcome {
+    /// Non-dominated front of the *final population*, IL-ascending.
+    pub front: Vec<ScatterPoint>,
+    /// Non-dominated front of the *initial population*.
+    pub initial_front: Vec<ScatterPoint>,
+    /// All-time front across every individual ever evaluated (monotone in
+    /// hypervolume by construction).
+    pub archive_front: Vec<ScatterPoint>,
+    /// Hypervolume of the population front after each generation
+    /// (index 0 = initial population), reference point (100, 100).
+    pub hypervolume_series: Vec<f64>,
+    /// Total fitness evaluations performed (initial population included).
+    pub evaluations: usize,
+}
+
+/// The hypervolume reference point: measures live in `[0, 100]²`.
+pub const HV_REFERENCE: (f64, f64) = (100.0, 100.0);
+
+/// A configured NSGA-II run over protections of one file.
+pub struct Nsga2 {
+    evaluator: Evaluator,
+    config: NsgaConfig,
+    population: Option<Vec<Individual>>,
+}
+
+impl Nsga2 {
+    /// Bind evaluator and configuration.
+    pub fn new(evaluator: Evaluator, config: NsgaConfig) -> Self {
+        Nsga2 {
+            evaluator,
+            config,
+            population: None,
+        }
+    }
+
+    /// Load and evaluate the initial population of named protections.
+    ///
+    /// # Errors
+    /// [`EvoError::EmptyPopulation`], [`EvoError::IncompatibleIndividual`],
+    /// or [`EvoError::InvalidConfig`].
+    pub fn with_named_population<I>(mut self, items: I) -> Result<Self>
+    where
+        I: IntoIterator,
+        I::Item: Into<(String, SubTable)>,
+    {
+        self.config.validate()?;
+        let items: Vec<(String, SubTable)> = items.into_iter().map(Into::into).collect();
+        if items.is_empty() {
+            return Err(EvoError::EmptyPopulation);
+        }
+        for (name, data) in &items {
+            self.evaluator
+                .prepared()
+                .check_compatible(data)
+                .map_err(|source| EvoError::IncompatibleIndividual {
+                    name: name.clone(),
+                    source,
+                })?;
+        }
+        let states = evaluate_all(&self.evaluator, &items, self.config.parallel_init);
+        // the scalar score is unused by NSGA selection; Max is stored so
+        // ScatterPoint labels remain meaningful in mixed reports
+        let members = items
+            .into_iter()
+            .zip(states)
+            .map(|((name, data), state)| {
+                Individual::new(name, data, state, ScoreAggregator::Max)
+            })
+            .collect();
+        self.population = Some(members);
+        Ok(self)
+    }
+
+    /// Run to completion.
+    ///
+    /// # Panics
+    /// Panics when no population was loaded (builder misuse).
+    pub fn run(mut self) -> NsgaOutcome {
+        let mut pop = self
+            .population
+            .take()
+            .expect("population must be loaded before run()");
+        let cfg = self.config;
+        let n = pop.len();
+        let lambda = if cfg.offspring == 0 { n } else { cfg.offspring };
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0045_A6A2);
+        let mut evaluations = n;
+
+        let mut archive = ParetoArchive::new();
+        for ind in &pop {
+            archive.offer(ScatterPoint::of(ind));
+        }
+        let initial_front = pareto_front_of(&pop);
+        let mut hv_series = vec![front_hv(&pop)];
+
+        for gen in 0..cfg.generations {
+            let (rank_of, crowd_of) = rank_and_crowd(&pop);
+            let tournament = |rng: &mut StdRng| -> usize {
+                let a = rng.gen_range(0..pop.len());
+                let b = rng.gen_range(0..pop.len());
+                pick(a, b, &rank_of, &crowd_of, rng)
+            };
+
+            let mut children: Vec<(String, SubTable)> = Vec::with_capacity(lambda + 1);
+            while children.len() < lambda {
+                let use_crossover = pop.len() >= 2 && rng.gen::<f64>() < cfg.crossover_prob;
+                if use_crossover {
+                    let p1 = tournament(&mut rng);
+                    let mut p2 = tournament(&mut rng);
+                    if p2 == p1 {
+                        p2 = (p1 + 1) % pop.len();
+                    }
+                    let (z1, z2, _) = crossover(&pop[p1].data, &pop[p2].data, &mut rng);
+                    children.push((format!("nsga-x{gen}"), z1));
+                    children.push((format!("nsga-x{gen}"), z2));
+                } else {
+                    let p = tournament(&mut rng);
+                    let mut data = pop[p].data.clone();
+                    if mutate(&mut data, &mut rng).is_some() {
+                        children.push((format!("nsga-m{gen}"), data));
+                    } else {
+                        // degenerate schema (all attributes single-category):
+                        // crossover cannot help either; stop producing
+                        break;
+                    }
+                }
+            }
+            children.truncate(lambda);
+            if children.is_empty() {
+                break;
+            }
+
+            let states = evaluate_all(&self.evaluator, &children, cfg.parallel_init);
+            evaluations += children.len();
+            for ((name, data), state) in children.into_iter().zip(states) {
+                let ind = Individual::new(name, data, state, ScoreAggregator::Max);
+                archive.offer(ScatterPoint::of(&ind));
+                pop.push(ind);
+            }
+            pop = environmental_selection(pop, n);
+            hv_series.push(front_hv(&pop));
+        }
+
+        let mut archive_front = archive.front();
+        archive_front.sort_by(|a, b| a.il.partial_cmp(&b.il).expect("finite"));
+        NsgaOutcome {
+            front: pareto_front_of(&pop),
+            initial_front,
+            archive_front,
+            hypervolume_series: hv_series,
+            evaluations,
+        }
+    }
+}
+
+fn front_hv(pop: &[Individual]) -> f64 {
+    let pts: Vec<(f64, f64)> = pareto_front_of(pop).iter().map(|p| (p.il, p.dr)).collect();
+    hypervolume(&pts, HV_REFERENCE)
+}
+
+fn rank_and_crowd(pop: &[Individual]) -> (Vec<usize>, Vec<f64>) {
+    let objs: Vec<(f64, f64)> = pop.iter().map(|i| (i.il(), i.dr())).collect();
+    let fronts = non_dominated_sort(&objs);
+    let mut rank_of = vec![0usize; pop.len()];
+    let mut crowd_of = vec![0f64; pop.len()];
+    for (r, front) in fronts.iter().enumerate() {
+        let crowd = crowding_distance(&objs, front);
+        for (&i, &c) in front.iter().zip(&crowd) {
+            rank_of[i] = r;
+            crowd_of[i] = c;
+        }
+    }
+    (rank_of, crowd_of)
+}
+
+fn pick(a: usize, b: usize, rank_of: &[usize], crowd_of: &[f64], rng: &mut StdRng) -> usize {
+    match rank_of[a].cmp(&rank_of[b]) {
+        std::cmp::Ordering::Less => a,
+        std::cmp::Ordering::Greater => b,
+        std::cmp::Ordering::Equal => {
+            if crowd_of[a] > crowd_of[b] {
+                a
+            } else if crowd_of[b] > crowd_of[a] {
+                b
+            } else if rng.gen() {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// Keep the `n` best of `pop` by (rank, crowding): whole fronts first, the
+/// overflowing front truncated by descending crowding distance.
+fn environmental_selection(pop: Vec<Individual>, n: usize) -> Vec<Individual> {
+    let objs: Vec<(f64, f64)> = pop.iter().map(|i| (i.il(), i.dr())).collect();
+    let fronts = non_dominated_sort(&objs);
+    let mut keep: Vec<usize> = Vec::with_capacity(n);
+    for front in fronts {
+        if keep.len() + front.len() <= n {
+            keep.extend(front);
+        } else {
+            let crowd = crowding_distance(&objs, &front);
+            let mut order: Vec<usize> = (0..front.len()).collect();
+            order.sort_by(|&x, &y| {
+                crowd[y].partial_cmp(&crowd[x]).expect("crowding comparable")
+            });
+            keep.extend(order.into_iter().take(n - keep.len()).map(|w| front[w]));
+            break;
+        }
+    }
+    keep.sort_unstable();
+    let mut keep_flags = vec![false; pop.len()];
+    for &i in &keep {
+        keep_flags[i] = true;
+    }
+    pop.into_iter()
+        .zip(keep_flags)
+        .filter_map(|(ind, k)| k.then_some(ind))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+    use cdp_metrics::MetricConfig;
+    use cdp_sdc::{build_population, SuiteConfig};
+
+    #[test]
+    fn sort_splits_fronts_correctly() {
+        // (1,1) dominates everything; (2,3) and (3,2) incomparable; (4,4) last
+        let objs = vec![(2.0, 3.0), (1.0, 1.0), (3.0, 2.0), (4.0, 4.0)];
+        let fronts = non_dominated_sort(&objs);
+        assert_eq!(fronts.len(), 3);
+        assert_eq!(fronts[0], vec![1]);
+        assert_eq!({ let mut f = fronts[1].clone(); f.sort(); f }, vec![0, 2]);
+        assert_eq!(fronts[2], vec![3]);
+    }
+
+    #[test]
+    fn sort_of_identical_points_is_one_front() {
+        let objs = vec![(1.0, 1.0); 5];
+        let fronts = non_dominated_sort(&objs);
+        assert_eq!(fronts.len(), 1);
+        assert_eq!(fronts[0].len(), 5);
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite() {
+        let objs = vec![(1.0, 5.0), (2.0, 4.0), (3.0, 3.0), (4.0, 2.0), (5.0, 1.0)];
+        let front: Vec<usize> = (0..5).collect();
+        let d = crowding_distance(&objs, &front);
+        assert!(d[0].is_infinite());
+        assert!(d[4].is_infinite());
+        for x in &d[1..4] {
+            assert!(x.is_finite());
+            assert!(*x > 0.0);
+        }
+        // evenly spaced interior points share the same crowding
+        assert!((d[1] - d[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowding_small_fronts_all_infinite() {
+        let objs = vec![(1.0, 2.0), (2.0, 1.0)];
+        let d = crowding_distance(&objs, &[0, 1]);
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn hypervolume_basics() {
+        let r = (100.0, 100.0);
+        assert_eq!(hypervolume(&[], r), 0.0);
+        assert_eq!(hypervolume(&[(100.0, 0.0)], r), 0.0); // at reference edge
+        assert!((hypervolume(&[(0.0, 0.0)], r) - 10_000.0).abs() < 1e-9);
+        // two incomparable points: union of rectangles
+        let hv = hypervolume(&[(20.0, 40.0), (40.0, 20.0)], r);
+        // (80*60) + (60*20) = 4800 + 1200
+        assert!((hv - 6000.0).abs() < 1e-9);
+        // dominated point adds nothing
+        let hv2 = hypervolume(&[(20.0, 40.0), (40.0, 20.0), (50.0, 50.0)], r);
+        assert!((hv2 - hv).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_points() {
+        let r = (100.0, 100.0);
+        let worse = hypervolume(&[(30.0, 30.0)], r);
+        let better = hypervolume(&[(20.0, 20.0)], r);
+        assert!(better > worse);
+    }
+
+    fn small_run(seed: u64, generations: usize) -> NsgaOutcome {
+        let ds = DatasetKind::German.generate(&GeneratorConfig::seeded(seed).with_records(60));
+        let pop = build_population(&ds, &SuiteConfig::small(), seed).unwrap();
+        let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+        let cfg = NsgaConfig {
+            generations,
+            seed,
+            ..NsgaConfig::default()
+        };
+        Nsga2::new(ev, cfg)
+            .with_named_population(pop)
+            .unwrap()
+            .run()
+    }
+
+    #[test]
+    fn run_produces_mutually_nondominated_front() {
+        let out = small_run(11, 8);
+        for a in &out.front {
+            for b in &out.front {
+                let dominates =
+                    a.il <= b.il && a.dr <= b.dr && (a.il < b.il || a.dr < b.dr);
+                assert!(!dominates, "front contains dominated point");
+            }
+            assert!((0.0..=100.0).contains(&a.il));
+            assert!((0.0..=100.0).contains(&a.dr));
+        }
+        assert_eq!(out.hypervolume_series.len(), 9);
+    }
+
+    #[test]
+    fn archive_hypervolume_never_regresses() {
+        let out = small_run(12, 8);
+        let initial: Vec<(f64, f64)> =
+            out.initial_front.iter().map(|p| (p.il, p.dr)).collect();
+        let archive: Vec<(f64, f64)> =
+            out.archive_front.iter().map(|p| (p.il, p.dr)).collect();
+        let hv_initial = hypervolume(&initial, HV_REFERENCE);
+        let hv_archive = hypervolume(&archive, HV_REFERENCE);
+        assert!(
+            hv_archive >= hv_initial - 1e-9,
+            "archive {hv_archive} < initial {hv_initial}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = small_run(13, 5);
+        let b = small_run(13, 5);
+        assert_eq!(a.front.len(), b.front.len());
+        for (x, y) in a.front.iter().zip(&b.front) {
+            assert_eq!(x.il, y.il);
+            assert_eq!(x.dr, y.dr);
+        }
+        assert_eq!(a.hypervolume_series, b.hypervolume_series);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn config_guards() {
+        let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(1).with_records(40));
+        let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+        let bad = NsgaConfig {
+            generations: 0,
+            ..NsgaConfig::default()
+        };
+        let item: Vec<(String, SubTable)> = vec![("a".into(), ds.protected_subtable())];
+        assert!(Nsga2::new(ev, bad).with_named_population(item).is_err());
+    }
+
+    #[test]
+    fn empty_population_is_rejected() {
+        let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(1).with_records(40));
+        let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+        let none: Vec<(String, SubTable)> = vec![];
+        assert!(matches!(
+            Nsga2::new(ev, NsgaConfig::default()).with_named_population(none),
+            Err(EvoError::EmptyPopulation)
+        ));
+    }
+}

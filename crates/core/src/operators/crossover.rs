@@ -1,0 +1,130 @@
+//! Two-point crossover at the category level (§2.2.2).
+//!
+//! The paper flattens a protected file into its sequence of values, draws a
+//! first point `s` uniformly, a second point `r` uniformly in
+//! `[s, len − 1]`, and swaps the whole segment `[s, r]` between the two
+//! parents (a single value when `s = r`). Offspring `Z1` keeps parent `X`'s
+//! prefix/suffix, `Z2` keeps `Y`'s.
+
+use cdp_dataset::SubTable;
+use rand::Rng;
+
+/// Crossover with explicit cut points (inclusive segment `[s, r]`).
+///
+/// # Panics
+/// Panics when the parents have different shapes or `s > r`/`r` is out of
+/// bounds — caller bugs, not data conditions.
+pub fn crossover_at(x: &SubTable, y: &SubTable, s: usize, r: usize) -> (SubTable, SubTable) {
+    let mut z1 = x.clone();
+    let mut z2 = y.clone();
+    z1.swap_flat_range(&mut z2, s, r);
+    // z1 now holds y's segment inside x's frame; z2 the converse — but
+    // swap_flat_range mutated z1 (clone of x) and z2 (clone of y) in place,
+    // which is exactly Z1 = x-prefix + y-segment + x-suffix and vice versa.
+    (z1, z2)
+}
+
+/// Crossover with random cut points, returning the offspring and the chosen
+/// `(s, r)`.
+pub fn crossover<R: Rng + ?Sized>(
+    x: &SubTable,
+    y: &SubTable,
+    rng: &mut R,
+) -> (SubTable, SubTable, (usize, usize)) {
+    let len = x.flat_len();
+    debug_assert_eq!(len, y.flat_len());
+    let s = rng.gen_range(0..len);
+    let r = rng.gen_range(s..len);
+    let (z1, z2) = crossover_at(x, y, s, r);
+    (z1, z2, (s, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn parents() -> (SubTable, SubTable) {
+        let a = DatasetKind::Flare
+            .generate(&GeneratorConfig::seeded(5).with_records(40))
+            .protected_subtable();
+        let b = DatasetKind::Flare
+            .generate(&GeneratorConfig::seeded(6).with_records(40))
+            .protected_subtable();
+        (a, b)
+    }
+
+    #[test]
+    fn segment_is_swapped_rest_kept() {
+        let (x, y) = parents();
+        let (s, r) = (10, 25);
+        let (z1, z2) = crossover_at(&x, &y, s, r);
+        for p in 0..x.flat_len() {
+            if (s..=r).contains(&p) {
+                assert_eq!(z1.get_flat(p), y.get_flat(p));
+                assert_eq!(z2.get_flat(p), x.get_flat(p));
+            } else {
+                assert_eq!(z1.get_flat(p), x.get_flat(p));
+                assert_eq!(z2.get_flat(p), y.get_flat(p));
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_swap_when_s_equals_r() {
+        let (x, y) = parents();
+        let (z1, z2) = crossover_at(&x, &y, 7, 7);
+        assert_eq!(z1.get_flat(7), y.get_flat(7));
+        assert_eq!(z2.get_flat(7), x.get_flat(7));
+        assert!(x.hamming(&z1) <= 1);
+        assert!(y.hamming(&z2) <= 1);
+    }
+
+    #[test]
+    fn offspring_preserve_cell_multiset_per_position() {
+        // at every flat position, {z1, z2} values == {x, y} values
+        let (x, y) = parents();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let (z1, z2, _) = crossover(&x, &y, &mut rng);
+            for p in 0..x.flat_len() {
+                let mut before = [x.get_flat(p), y.get_flat(p)];
+                let mut after = [z1.get_flat(p), z2.get_flat(p)];
+                before.sort_unstable();
+                after.sort_unstable();
+                assert_eq!(before, after);
+            }
+        }
+    }
+
+    #[test]
+    fn random_points_are_ordered_and_in_bounds() {
+        let (x, y) = parents();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let (_, _, (s, r)) = crossover(&x, &y, &mut rng);
+            assert!(s <= r);
+            assert!(r < x.flat_len());
+        }
+    }
+
+    #[test]
+    fn identical_parents_produce_identical_offspring() {
+        let (x, _) = parents();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (z1, z2, _) = crossover(&x, &x, &mut rng);
+        assert_eq!(x.hamming(&z1), 0);
+        assert_eq!(x.hamming(&z2), 0);
+    }
+
+    #[test]
+    fn offspring_remain_valid() {
+        let (x, y) = parents();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (z1, z2, _) = crossover(&x, &y, &mut rng);
+        z1.validate().unwrap();
+        z2.validate().unwrap();
+    }
+}

@@ -1,0 +1,26 @@
+//! Genetic operators (§2.2 of the paper).
+
+mod crossover;
+mod mutation;
+
+pub use crossover::{crossover, crossover_at};
+pub use mutation::{mutate, Mutation};
+
+/// Which operator a generation applied (both rates are 0.5 in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorKind {
+    /// Single-cell random replacement.
+    Mutation,
+    /// Two-point crossover at the value level.
+    Crossover,
+}
+
+impl OperatorKind {
+    /// Display name used by telemetry and benches.
+    pub fn name(self) -> &'static str {
+        match self {
+            OperatorKind::Mutation => "mutation",
+            OperatorKind::Crossover => "crossover",
+        }
+    }
+}

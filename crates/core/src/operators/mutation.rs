@@ -1,0 +1,129 @@
+//! Mutation (§2.2.1): pick a random gene (cell) and replace it with a
+//! random value among the valid categories of its variable.
+//!
+//! The paper's wording — "changing it by a randomly selected value among
+//! all valid values" — is implemented as a draw from the categories
+//! *excluding* the current one, so a mutation always changes the genotype
+//! (a draw including the current value would waste ~1/c of iterations as
+//! no-ops without affecting the distribution of accepted offspring, since
+//! elitist replacement keeps the parent on ties anyway).
+
+use cdp_dataset::{Code, SubTable};
+use rand::Rng;
+
+/// The record of a performed mutation, as needed by the incremental
+/// evaluator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mutation {
+    /// Mutated record index.
+    pub row: usize,
+    /// Mutated protected-attribute index (local to the sub-table).
+    pub attr: usize,
+    /// Value before the mutation.
+    pub old: Code,
+    /// Value after the mutation.
+    pub new: Code,
+}
+
+/// Mutate one cell of `data` in place. Returns `None` when no attribute has
+/// at least two categories (mutation is impossible).
+pub fn mutate<R: Rng + ?Sized>(data: &mut SubTable, rng: &mut R) -> Option<Mutation> {
+    let flat = data.flat_len();
+    if flat == 0 {
+        return None;
+    }
+    // Retry over positions: attributes with one category cannot change.
+    for _ in 0..flat.max(16) {
+        let pos = rng.gen_range(0..flat);
+        let (row, attr) = data.coords_of_flat(pos);
+        let c = data.attr(attr).n_categories();
+        if c < 2 {
+            continue;
+        }
+        let old = data.get(row, attr);
+        // draw uniformly among the other c-1 categories
+        let draw = rng.gen_range(0..c - 1) as Code;
+        let new = if draw >= old { draw + 1 } else { draw };
+        data.set(row, attr, new);
+        return Some(Mutation {
+            row,
+            attr,
+            old,
+            new,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sub() -> SubTable {
+        DatasetKind::Adult
+            .generate(&GeneratorConfig::seeded(2).with_records(50))
+            .protected_subtable()
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_cell() {
+        let original = sub();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let mut m = original.clone();
+            let mu = mutate(&mut m, &mut rng).unwrap();
+            assert_eq!(original.hamming(&m), 1);
+            assert_eq!(m.get(mu.row, mu.attr), mu.new);
+            assert_eq!(original.get(mu.row, mu.attr), mu.old);
+            assert_ne!(mu.old, mu.new);
+        }
+    }
+
+    #[test]
+    fn mutated_value_is_valid() {
+        let mut m = sub();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            mutate(&mut m, &mut rng).unwrap();
+        }
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn mutation_covers_all_cells_eventually() {
+        let original = sub();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut touched = vec![false; original.flat_len()];
+        for _ in 0..original.flat_len() * 20 {
+            let mut m = original.clone();
+            if let Some(mu) = mutate(&mut m, &mut rng) {
+                touched[mu.row * original.n_attrs() + mu.attr] = true;
+            }
+        }
+        let coverage = touched.iter().filter(|&&t| t).count() as f64 / touched.len() as f64;
+        assert!(coverage > 0.95, "coverage only {coverage}");
+    }
+
+    #[test]
+    fn new_value_is_uniform_over_other_categories() {
+        // attribute 1 (MARITAL) has 7 categories; fix the cell and count
+        let original = sub();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 7];
+        let mut trials = 0;
+        while trials < 3000 {
+            let mut m = original.clone();
+            if let Some(mu) = mutate(&mut m, &mut rng) {
+                if mu.attr == 1 && mu.row == 0 {
+                    counts[mu.new as usize] += 1;
+                }
+            }
+            trials += 1;
+        }
+        let old = original.get(0, 1) as usize;
+        assert_eq!(counts[old], 0, "current value must never be drawn");
+    }
+}

@@ -1,0 +1,167 @@
+//! The population: individuals kept sorted ascending by score.
+
+use crate::individual::Individual;
+use crate::telemetry::ScatterPoint;
+
+/// A population sorted so that `members()[0]` is the best individual
+/// (minimal score), as §2.4 of the paper assumes.
+#[derive(Debug, Clone)]
+pub struct Population {
+    members: Vec<Individual>,
+}
+
+impl Population {
+    /// Build a population (sorts the members).
+    pub fn new(mut members: Vec<Individual>) -> Self {
+        members.sort_by(|a, b| a.score().partial_cmp(&b.score()).expect("finite scores"));
+        Population { members }
+    }
+
+    /// Number of individuals.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Sorted members (ascending score).
+    pub fn members(&self) -> &[Individual] {
+        &self.members
+    }
+
+    /// Member accessor.
+    pub fn get(&self, i: usize) -> &Individual {
+        &self.members[i]
+    }
+
+    /// Replace member `i` and restore the sort order.
+    pub fn replace(&mut self, i: usize, ind: Individual) {
+        self.replace_unsorted(i, ind);
+        self.resort();
+    }
+
+    /// Replace member `i` without re-sorting. Callers performing several
+    /// replacements in one generation (the crossover duels) batch them and
+    /// call [`Population::resort`] once, keeping indices stable in between.
+    pub fn replace_unsorted(&mut self, i: usize, ind: Individual) {
+        self.members[i] = ind;
+    }
+
+    /// Restore the ascending-score order after unsorted replacements.
+    pub fn resort(&mut self) {
+        self.members
+            .sort_by(|a, b| a.score().partial_cmp(&b.score()).expect("finite scores"));
+    }
+
+    /// All scores, sorted ascending.
+    pub fn scores(&self) -> Vec<f64> {
+        self.members.iter().map(Individual::score).collect()
+    }
+
+    /// (IL, DR) snapshot of the whole population.
+    pub fn scatter(&self) -> Vec<ScatterPoint> {
+        self.members.iter().map(ScatterPoint::of).collect()
+    }
+
+    /// Best (lowest-score) individual.
+    pub fn best(&self) -> &Individual {
+        &self.members[0]
+    }
+
+    /// Worst (highest-score) individual.
+    pub fn worst(&self) -> &Individual {
+        &self.members[self.members.len() - 1]
+    }
+
+    /// Drop the best `fraction` of individuals (the paper's §3.3 robustness
+    /// experiment removes the best 5% / 10%). At least one individual is
+    /// kept.
+    pub fn drop_best_fraction(&mut self, fraction: f64) {
+        let n = self.members.len();
+        let drop = ((n as f64 * fraction).round() as usize).min(n.saturating_sub(1));
+        self.members.drain(0..drop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+    use cdp_metrics::{Evaluator, MetricConfig, ScoreAggregator};
+
+    fn tiny_population(n: usize) -> Population {
+        let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(1).with_records(40));
+        let sub = ds.protected_subtable();
+        let ev = Evaluator::new(&sub, MetricConfig::default()).unwrap();
+        let mut members = Vec::new();
+        for i in 0..n {
+            let mut data = sub.clone();
+            // progressively distorted copies -> spread of scores
+            for r in 0..(i * 6) {
+                let row = r % data.n_rows();
+                data.set(row, 0, (data.get(row, 0) + 3) % 16);
+            }
+            let state = ev.assess(&data);
+            members.push(Individual::new(
+                format!("v{i}"),
+                data,
+                state,
+                ScoreAggregator::Mean,
+            ));
+        }
+        Population::new(members)
+    }
+
+    #[test]
+    fn members_are_sorted_ascending() {
+        let p = tiny_population(6);
+        let scores = p.scores();
+        for w in scores.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(p.best().score(), scores[0]);
+        assert_eq!(p.worst().score(), *scores.last().unwrap());
+    }
+
+    #[test]
+    fn replace_keeps_order() {
+        let mut p = tiny_population(5);
+        let worst = p.len() - 1;
+        let best_clone = p.best().clone();
+        p.replace(worst, best_clone);
+        let scores = p.scores();
+        for w in scores.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn drop_best_fraction_removes_leaders() {
+        let mut p = tiny_population(10);
+        let before_best = p.best().score();
+        p.drop_best_fraction(0.2);
+        assert_eq!(p.len(), 8);
+        assert!(p.best().score() >= before_best);
+    }
+
+    #[test]
+    fn drop_best_fraction_keeps_at_least_one() {
+        let mut p = tiny_population(3);
+        p.drop_best_fraction(5.0);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn scatter_mirrors_members() {
+        let p = tiny_population(4);
+        let sc = p.scatter();
+        assert_eq!(sc.len(), 4);
+        for (point, ind) in sc.iter().zip(p.members()) {
+            assert_eq!(point.name, ind.name);
+            assert_eq!(point.score, ind.score());
+        }
+    }
+}

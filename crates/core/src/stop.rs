@@ -1,0 +1,67 @@
+//! Stopping criteria.
+//!
+//! The paper leaves `stopping(P(t))` abstract; we stop after a fixed
+//! iteration budget, optionally earlier when the best score has stagnated.
+
+/// When the evolutionary loop terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StopCondition {
+    /// Hard iteration budget.
+    pub max_iterations: usize,
+    /// Stop early after this many iterations without improvement of the
+    /// population's best score.
+    pub stagnation: Option<usize>,
+}
+
+impl Default for StopCondition {
+    fn default() -> Self {
+        StopCondition {
+            max_iterations: 1000,
+            stagnation: None,
+        }
+    }
+}
+
+impl StopCondition {
+    /// Should the loop stop at iteration `t` with `since_improvement`
+    /// iterations since the best score last decreased?
+    pub fn should_stop(&self, t: usize, since_improvement: usize) -> bool {
+        if t >= self.max_iterations {
+            return true;
+        }
+        matches!(self.stagnation, Some(s) if since_improvement >= s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_caps_iterations() {
+        let c = StopCondition {
+            max_iterations: 10,
+            stagnation: None,
+        };
+        assert!(!c.should_stop(9, 9));
+        assert!(c.should_stop(10, 0));
+    }
+
+    #[test]
+    fn stagnation_triggers_early() {
+        let c = StopCondition {
+            max_iterations: 1000,
+            stagnation: Some(5),
+        };
+        assert!(!c.should_stop(100, 4));
+        assert!(c.should_stop(100, 5));
+    }
+
+    #[test]
+    fn default_is_budget_only() {
+        let c = StopCondition::default();
+        assert_eq!(c.max_iterations, 1000);
+        assert!(c.stagnation.is_none());
+        assert!(!c.should_stop(999, 999));
+    }
+}

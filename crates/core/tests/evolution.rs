@@ -1,0 +1,388 @@
+//! End-to-end tests of Algorithm 1 on small instances of the paper's
+//! datasets.
+
+use cdp_core::{
+    EvoConfig, Evolution, OperatorKind, OperatorSchedule, ReplacementPolicy, SelectionWeighting,
+};
+use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+use cdp_metrics::{Evaluator, MetricConfig, ScoreAggregator};
+use cdp_sdc::{build_population, NamedProtection, SuiteConfig};
+
+fn setup(
+    kind: DatasetKind,
+    n: usize,
+    seed: u64,
+) -> (Evaluator, Vec<NamedProtection>) {
+    let ds = kind.generate(&GeneratorConfig::seeded(seed).with_records(n));
+    let pop = build_population(&ds, &SuiteConfig::small(), seed).unwrap();
+    let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+    (ev, pop)
+}
+
+#[test]
+fn scores_never_worsen() {
+    // elitism + crowding guarantee monotone min and per-slot scores
+    let (ev, pop) = setup(DatasetKind::Adult, 90, 1);
+    let cfg = EvoConfig::builder().iterations(60).seed(1).build();
+    let outcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .run();
+    let s = outcome.summary();
+    assert!(s.final_min <= s.initial_min + 1e-9);
+    assert!(s.final_mean <= s.initial_mean + 1e-9);
+    assert!(s.final_max <= s.initial_max + 1e-9);
+    // min score series is non-increasing iteration by iteration
+    let mins: Vec<f64> = outcome.trace.generations.iter().map(|g| g.min).collect();
+    for w in mins.windows(2) {
+        assert!(w[1] <= w[0] + 1e-9, "min score increased: {w:?}");
+    }
+}
+
+#[test]
+fn population_size_is_invariant() {
+    let (ev, pop) = setup(DatasetKind::German, 80, 2);
+    let n0 = pop.len();
+    let cfg = EvoConfig::builder().iterations(40).seed(2).build();
+    let outcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .run();
+    assert_eq!(outcome.population.len(), n0);
+    assert_eq!(outcome.initial.len(), n0);
+    assert_eq!(outcome.final_points.len(), n0);
+}
+
+#[test]
+fn runs_are_seed_deterministic() {
+    let run = || {
+        let (ev, pop) = setup(DatasetKind::Flare, 70, 3);
+        let cfg = EvoConfig::builder().iterations(50).seed(33).build();
+        Evolution::new(ev, cfg)
+            .with_named_population(pop)
+            .unwrap()
+            .run()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.iterations_run, b.iterations_run);
+    let sa: Vec<f64> = a.population.scores();
+    let sb: Vec<f64> = b.population.scores();
+    assert_eq!(sa, sb);
+    for (x, y) in a.trace.generations.iter().zip(b.trace.generations.iter()) {
+        assert_eq!(x.min, y.min);
+        assert_eq!(x.mean, y.mean);
+        assert_eq!(x.max, y.max);
+        assert_eq!(x.operator, y.operator);
+    }
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    let run = |seed| {
+        let (ev, pop) = setup(DatasetKind::Adult, 70, 4);
+        let cfg = EvoConfig::builder().iterations(60).seed(seed).build();
+        Evolution::new(ev, cfg)
+            .with_named_population(pop)
+            .unwrap()
+            .run()
+    };
+    let a = run(1);
+    let b = run(2);
+    let ops_a: Vec<_> = a.trace.generations.iter().map(|g| g.operator).collect();
+    let ops_b: Vec<_> = b.trace.generations.iter().map(|g| g.operator).collect();
+    assert_ne!(ops_a, ops_b, "seeds should draw different operator schedules");
+}
+
+#[test]
+fn both_operators_fire_with_default_rate() {
+    let (ev, pop) = setup(DatasetKind::Adult, 60, 5);
+    let cfg = EvoConfig::builder().iterations(80).seed(5).build();
+    let outcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .run();
+    let ops: Vec<OperatorKind> = outcome
+        .trace
+        .generations
+        .iter()
+        .filter_map(|g| g.operator)
+        .collect();
+    assert!(ops.contains(&OperatorKind::Mutation));
+    assert!(ops.contains(&OperatorKind::Crossover));
+}
+
+#[test]
+fn mutation_only_run_works() {
+    let (ev, pop) = setup(DatasetKind::German, 60, 6);
+    let cfg = EvoConfig::builder()
+        .iterations(40)
+        .mutation_rate(1.0)
+        .seed(6)
+        .build();
+    let outcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .run();
+    assert!(outcome
+        .trace
+        .generations
+        .iter()
+        .filter_map(|g| g.operator)
+        .all(|o| o == OperatorKind::Mutation));
+}
+
+#[test]
+fn crossover_only_run_works() {
+    let (ev, pop) = setup(DatasetKind::German, 60, 7);
+    let cfg = EvoConfig::builder()
+        .iterations(40)
+        .mutation_rate(0.0)
+        .seed(7)
+        .build();
+    let outcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .run();
+    assert!(outcome
+        .trace
+        .generations
+        .iter()
+        .filter_map(|g| g.operator)
+        .all(|o| o == OperatorKind::Crossover));
+}
+
+#[test]
+fn stagnation_stops_early() {
+    let (ev, pop) = setup(DatasetKind::Adult, 60, 8);
+    let cfg = EvoConfig::builder()
+        .iterations(10_000)
+        .stagnation(15)
+        .seed(8)
+        .build();
+    let outcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .run();
+    assert!(outcome.iterations_run < 10_000);
+}
+
+#[test]
+fn empty_population_is_an_error() {
+    let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(9).with_records(50));
+    let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+    let cfg = EvoConfig::builder().iterations(5).build();
+    let empty: Vec<(String, cdp_dataset::SubTable)> = vec![];
+    assert!(Evolution::new(ev, cfg).with_named_population(empty).is_err());
+}
+
+#[test]
+fn incompatible_individual_is_an_error() {
+    let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(10).with_records(50));
+    let other = DatasetKind::Adult.generate(&GeneratorConfig::seeded(10).with_records(30));
+    let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+    let cfg = EvoConfig::builder().iterations(5).build();
+    let bad = vec![("wrong".to_string(), other.protected_subtable())];
+    let err = Evolution::new(ev, cfg).with_named_population(bad);
+    assert!(matches!(
+        err,
+        Err(cdp_core::EvoError::IncompatibleIndividual { .. })
+    ));
+}
+
+#[test]
+fn robustness_truncation_still_optimizes() {
+    // the paper's §3.3: drop the best 10%, evolution recovers
+    let (ev, pop) = setup(DatasetKind::Flare, 80, 11);
+    let n0 = pop.len();
+    let cfg = EvoConfig::builder()
+        .iterations(60)
+        .aggregator(ScoreAggregator::Max)
+        .seed(11)
+        .build();
+    let outcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .drop_best_fraction(0.10)
+        .unwrap()
+        .run();
+    assert!(outcome.population.len() < n0);
+    let s = outcome.summary();
+    assert!(s.final_min <= s.initial_min + 1e-9);
+}
+
+#[test]
+fn incremental_mutation_matches_full_closely() {
+    let run = |incremental: bool| {
+        let (ev, pop) = setup(DatasetKind::Adult, 70, 12);
+        let cfg = EvoConfig::builder()
+            .iterations(50)
+            .mutation_rate(1.0)
+            .incremental_mutation(incremental)
+            .seed(12)
+            .build();
+        Evolution::new(ev, cfg)
+            .with_named_population(pop)
+            .unwrap()
+            .run()
+    };
+    let full = run(false);
+    let inc = run(true);
+    let (sf, si) = (full.summary(), inc.summary());
+    // PRL/RSRL relinking is approximate: allow small drift, but the two
+    // modes must tell the same optimization story
+    assert!(
+        (sf.final_mean - si.final_mean).abs() < 3.0,
+        "incremental drifted: {} vs {}",
+        si.final_mean,
+        sf.final_mean
+    );
+}
+
+#[test]
+fn adaptive_schedule_runs_and_reports_final_rate() {
+    let (ev, pop) = setup(DatasetKind::Adult, 70, 21);
+    let cfg = EvoConfig::builder()
+        .iterations(120)
+        .operator_schedule(OperatorSchedule::adaptive())
+        .seed(21)
+        .build();
+    let outcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .run();
+    let rate = outcome.final_mutation_rate;
+    assert!((0.2..=0.8).contains(&rate), "rate {rate} escaped its bounds");
+    // scores still monotone under the adaptive schedule
+    let s = outcome.summary();
+    assert!(s.final_mean <= s.initial_mean + 1e-9);
+}
+
+#[test]
+fn fixed_schedule_reports_configured_rate() {
+    let (ev, pop) = setup(DatasetKind::Adult, 60, 22);
+    let cfg = EvoConfig::builder()
+        .iterations(30)
+        .mutation_rate(0.7)
+        .seed(22)
+        .build();
+    let outcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .run();
+    assert_eq!(outcome.final_mutation_rate, 0.7);
+}
+
+#[test]
+fn pareto_front_is_consistent() {
+    let (ev, pop) = setup(DatasetKind::Housing, 80, 20);
+    let cfg = EvoConfig::builder().iterations(60).seed(20).build();
+    let outcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .run();
+    let front = &outcome.pareto_front;
+    assert!(!front.is_empty());
+    // pairwise non-domination
+    for a in front {
+        for b in front {
+            let dominates = a.il <= b.il && a.dr <= b.dr && (a.il < b.il || a.dr < b.dr);
+            assert!(!dominates, "front holds a dominated point");
+        }
+    }
+    // the scalar best final individual must not dominate the whole front
+    let best = outcome.final_best();
+    assert!(
+        front
+            .iter()
+            .any(|p| p.il <= best.il + 1e-9 || p.dr <= best.dr + 1e-9),
+        "front should cover the scalar winner's neighbourhood"
+    );
+}
+
+#[test]
+fn all_selection_weightings_run() {
+    for sel in [
+        SelectionWeighting::InverseScore,
+        SelectionWeighting::Complement,
+        SelectionWeighting::RawScore,
+        SelectionWeighting::Rank,
+        SelectionWeighting::Tournament { k: 3 },
+    ] {
+        let (ev, pop) = setup(DatasetKind::Adult, 50, 13);
+        let cfg = EvoConfig::builder()
+            .iterations(20)
+            .selection(sel)
+            .seed(13)
+            .build();
+        let outcome = Evolution::new(ev, cfg)
+            .with_named_population(pop)
+            .unwrap()
+            .run();
+        assert_eq!(outcome.iterations_run, 20, "{}", sel.name());
+    }
+}
+
+#[test]
+fn both_replacement_policies_run() {
+    for rep in [
+        ReplacementPolicy::IndexPairedCrowding,
+        ReplacementPolicy::DistancePairedCrowding,
+    ] {
+        let (ev, pop) = setup(DatasetKind::German, 50, 14);
+        let cfg = EvoConfig::builder()
+            .iterations(20)
+            .mutation_rate(0.0)
+            .replacement(rep)
+            .seed(14)
+            .build();
+        let outcome = Evolution::new(ev, cfg)
+            .with_named_population(pop)
+            .unwrap()
+            .run();
+        assert_eq!(outcome.iterations_run, 20, "{}", rep.name());
+    }
+}
+
+#[test]
+fn observer_sees_every_generation() {
+    let (ev, pop) = setup(DatasetKind::Adult, 50, 15);
+    let cfg = EvoConfig::builder().iterations(25).seed(15).build();
+    let mut seen = 0usize;
+    let _ = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .run_with(|g| {
+            assert!(g.iteration >= 1);
+            seen += 1;
+        });
+    assert_eq!(seen, 25);
+}
+
+#[test]
+fn max_aggregator_balances_il_dr() {
+    // the paper's central claim (§3.2): Eq.2 yields more balanced final
+    // (IL, DR) pairs than Eq.1
+    let run = |agg| {
+        let (ev, pop) = setup(DatasetKind::Flare, 90, 16);
+        let cfg = EvoConfig::builder()
+            .iterations(150)
+            .aggregator(agg)
+            .seed(16)
+            .build();
+        Evolution::new(ev, cfg)
+            .with_named_population(pop)
+            .unwrap()
+            .run()
+    };
+    let mean_run = run(ScoreAggregator::Mean);
+    let max_run = run(ScoreAggregator::Max);
+    let imbalance = |points: &[cdp_core::ScatterPoint]| {
+        points.iter().map(|p| (p.il - p.dr).abs()).sum::<f64>() / points.len() as f64
+    };
+    let mean_imb = imbalance(&mean_run.final_points);
+    let max_imb = imbalance(&max_run.final_points);
+    assert!(
+        max_imb <= mean_imb + 5.0,
+        "Max should not be much less balanced: {max_imb} vs {mean_imb}"
+    );
+}

@@ -1,0 +1,197 @@
+//! Categorical attributes (variables) and their dictionaries.
+
+use crate::{Code, DatasetError, Result};
+
+/// Whether the categories of an attribute carry a meaningful order.
+///
+/// The distinction drives several subsystems:
+/// * distance-based measures use rank distance for ordinal attributes and
+///   0/1 distance for nominal ones;
+/// * rank swapping and top/bottom coding only make sense for ordinal
+///   attributes (for nominal ones the SDC crate falls back to
+///   frequency-order semantics);
+/// * interval disclosure brackets ordinal values by rank and degenerates to
+///   equality for nominal values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrKind {
+    /// Unordered categories (e.g. OCCUPATION).
+    Nominal,
+    /// Ordered categories (e.g. EDUCATION attainment, year-built ranges).
+    Ordinal,
+}
+
+impl AttrKind {
+    /// True for [`AttrKind::Ordinal`].
+    pub fn is_ordinal(self) -> bool {
+        matches!(self, AttrKind::Ordinal)
+    }
+}
+
+/// A categorical variable: a name, a kind, and an interned dictionary of
+/// category labels. The code of a category is its index in the dictionary;
+/// for ordinal attributes dictionary order *is* the category order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    kind: AttrKind,
+    categories: Vec<String>,
+}
+
+impl Attribute {
+    /// Build an attribute from a dictionary of labels.
+    ///
+    /// # Errors
+    /// Returns [`DatasetError::Empty`] when `categories` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        kind: AttrKind,
+        categories: Vec<String>,
+    ) -> Result<Self> {
+        let name = name.into();
+        if categories.is_empty() {
+            return Err(DatasetError::Empty(format!("category list of `{name}`")));
+        }
+        Ok(Attribute {
+            name,
+            kind,
+            categories,
+        })
+    }
+
+    /// Ordinal attribute with labels `"{prefix}0" .. "{prefix}{n-1}"`.
+    /// Convenient for generators and tests.
+    pub fn ordinal(name: impl Into<String>, n: usize) -> Self {
+        let name = name.into();
+        let categories = (0..n.max(1)).map(|i| format!("{name}_{i}")).collect();
+        Attribute {
+            name,
+            kind: AttrKind::Ordinal,
+            categories,
+        }
+    }
+
+    /// Nominal attribute with synthetic labels, mirror of [`Attribute::ordinal`].
+    pub fn nominal(name: impl Into<String>, n: usize) -> Self {
+        let name = name.into();
+        let categories = (0..n.max(1)).map(|i| format!("{name}_{i}")).collect();
+        Attribute {
+            name,
+            kind: AttrKind::Nominal,
+            categories,
+        }
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Nominal/ordinal kind.
+    pub fn kind(&self) -> AttrKind {
+        self.kind
+    }
+
+    /// Dictionary size.
+    pub fn n_categories(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// All labels in code order.
+    pub fn categories(&self) -> &[String] {
+        &self.categories
+    }
+
+    /// Label of `code`.
+    ///
+    /// # Panics
+    /// Panics when `code` is outside the dictionary; use [`Attribute::check`]
+    /// on untrusted input first.
+    pub fn label(&self, code: Code) -> &str {
+        &self.categories[code as usize]
+    }
+
+    /// Resolve a label to its code, `None` when absent.
+    pub fn code_of(&self, label: &str) -> Option<Code> {
+        self.categories
+            .iter()
+            .position(|c| c == label)
+            .map(|i| i as Code)
+    }
+
+    /// Validate that `code` belongs to this attribute's dictionary.
+    pub fn check(&self, code: Code) -> Result<()> {
+        if (code as usize) < self.categories.len() {
+            Ok(())
+        } else {
+            Err(DatasetError::InvalidCode {
+                attr: self.name.clone(),
+                code: code as u32,
+                n_categories: self.categories.len(),
+            })
+        }
+    }
+
+    /// Rank of a code normalized to `[0, 1]`: `code / (c - 1)`.
+    /// Single-category attributes map everything to `0.0`.
+    ///
+    /// This is the ordinal position used by distance-based measures; for
+    /// nominal attributes callers should prefer 0/1 distance, but the
+    /// normalized rank is still well-defined (dictionary order).
+    pub fn normalized_rank(&self, code: Code) -> f64 {
+        let c = self.categories.len();
+        if c <= 1 {
+            0.0
+        } else {
+            code as f64 / (c - 1) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let a = Attribute::new(
+            "SAVINGS",
+            AttrKind::Ordinal,
+            vec!["low".into(), "mid".into(), "high".into()],
+        )
+        .unwrap();
+        assert_eq!(a.n_categories(), 3);
+        assert_eq!(a.code_of("mid"), Some(1));
+        assert_eq!(a.label(2), "high");
+        assert!(a.code_of("absent").is_none());
+        assert!(a.kind().is_ordinal());
+    }
+
+    #[test]
+    fn empty_dictionary_rejected() {
+        assert!(Attribute::new("X", AttrKind::Nominal, vec![]).is_err());
+    }
+
+    #[test]
+    fn check_bounds() {
+        let a = Attribute::ordinal("DEGREE", 8);
+        assert!(a.check(7).is_ok());
+        assert!(a.check(8).is_err());
+    }
+
+    #[test]
+    fn synthetic_label_shape() {
+        let a = Attribute::nominal("CLASS", 4);
+        assert_eq!(a.label(0), "CLASS_0");
+        assert_eq!(a.label(3), "CLASS_3");
+        assert_eq!(a.kind(), AttrKind::Nominal);
+    }
+
+    #[test]
+    fn normalized_rank_endpoints() {
+        let a = Attribute::ordinal("B", 5);
+        assert_eq!(a.normalized_rank(0), 0.0);
+        assert_eq!(a.normalized_rank(4), 1.0);
+        let single = Attribute::ordinal("S", 1);
+        assert_eq!(single.normalized_rank(0), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Error type shared across the dataset crate.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DatasetError>;
+
+/// Errors raised while constructing or parsing categorical microdata.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// A table or column was built against the wrong schema.
+    SchemaMismatch(String),
+    /// A cell carries a code outside its attribute's dictionary.
+    InvalidCode {
+        /// Attribute name.
+        attr: String,
+        /// Offending code.
+        code: u32,
+        /// Dictionary size of the attribute.
+        n_categories: usize,
+    },
+    /// Columns of differing lengths were combined into one table.
+    RaggedColumns {
+        /// Length of the first column.
+        expected: usize,
+        /// Length of the offending column.
+        got: usize,
+        /// Index of the offending column.
+        column: usize,
+    },
+    /// An empty table/schema where data was required.
+    Empty(String),
+    /// An attribute index outside the schema.
+    AttrOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Number of attributes in the schema.
+        n_attrs: usize,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed input line while parsing CSV.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A category label not present in a fixed schema's dictionary.
+    UnknownCategory {
+        /// Attribute name.
+        attr: String,
+        /// The label that could not be resolved.
+        label: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            DatasetError::InvalidCode {
+                attr,
+                code,
+                n_categories,
+            } => write!(
+                f,
+                "invalid code {code} for attribute `{attr}` ({n_categories} categories)"
+            ),
+            DatasetError::RaggedColumns {
+                expected,
+                got,
+                column,
+            } => write!(
+                f,
+                "column {column} has {got} rows, expected {expected}"
+            ),
+            DatasetError::Empty(what) => write!(f, "empty {what}"),
+            DatasetError::AttrOutOfRange { index, n_attrs } => {
+                write!(f, "attribute index {index} out of range (schema has {n_attrs})")
+            }
+            DatasetError::Io(e) => write!(f, "I/O error: {e}"),
+            DatasetError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            DatasetError::UnknownCategory { attr, label } => {
+                write!(f, "unknown category `{label}` for attribute `{attr}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DatasetError::InvalidCode {
+            attr: "EDUCATION".into(),
+            code: 99,
+            n_categories: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("EDUCATION"));
+        assert!(s.contains("99"));
+        assert!(s.contains("16"));
+    }
+
+    #[test]
+    fn io_error_round_trip() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DatasetError = io.into();
+        assert!(matches!(e, DatasetError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn parse_error_mentions_line() {
+        let e = DatasetError::Parse {
+            line: 7,
+            msg: "too few fields".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

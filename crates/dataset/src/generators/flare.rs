@@ -1,0 +1,94 @@
+//! Solar Flare — 1066 records × 13 categorical attributes.
+//!
+//! Protected attributes (paper §3): CLASS (8 categories, modified Zurich
+//! class), LARGSPOT (7, size of the largest spot), SPOTDIST (5, spot
+//! distribution). Spot size and distribution both track the Zurich class,
+//! as in the original sunspot-group data. Flare-count attributes are very
+//! heavy-tailed (most groups produce no flares).
+
+use super::{AttrSpec, DatasetSpec, Marginal};
+
+pub(super) fn spec() -> DatasetSpec {
+    let attrs = vec![
+        // protected: modified Zurich class is roughly an evolution scale
+        AttrSpec::ordinal("CLASS", 8, Marginal::Zipf(0.9)),
+        // protected
+        AttrSpec::ordinal(
+            "LARGSPOT",
+            7,
+            Marginal::Peaked {
+                peak: 0.3,
+                spread: 0.35,
+            },
+        )
+        .linked(0, 0.15, 0.65),
+        // protected
+        AttrSpec::nominal("SPOTDIST", 5, Marginal::Zipf(0.8)).linked(0, 0.25, 0.5),
+        AttrSpec::nominal("ACTIVITY", 2, Marginal::Zipf(1.5)),
+        AttrSpec::ordinal(
+            "EVOLUTION",
+            3,
+            Marginal::Peaked {
+                peak: 0.6,
+                spread: 0.5,
+            },
+        ),
+        AttrSpec::ordinal("PREVACT", 3, Marginal::Zipf(1.0)),
+        AttrSpec::nominal("HISTCOMPLEX", 2, Marginal::Zipf(1.2)),
+        AttrSpec::nominal("BECOMEHIST", 2, Marginal::Zipf(2.0)),
+        AttrSpec::nominal("AREA", 2, Marginal::Zipf(1.6)),
+        AttrSpec::nominal("AREALARGEST", 2, Marginal::Zipf(1.4)),
+        AttrSpec::ordinal("CFLARES", 9, Marginal::Zipf(1.5)),
+        AttrSpec::ordinal("MFLARES", 6, Marginal::Zipf(2.0)),
+        AttrSpec::ordinal("XFLARES", 3, Marginal::Zipf(2.5)),
+    ];
+    DatasetSpec {
+        n_records: 1066,
+        attrs,
+        protected: vec![0, 1, 2],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generators::{DatasetKind, GeneratorConfig};
+
+    #[test]
+    fn shape_matches_paper() {
+        let ds = DatasetKind::Flare.generate(&GeneratorConfig::seeded(1));
+        assert_eq!(ds.table.n_rows(), 1066);
+        assert_eq!(ds.table.n_attrs(), 13);
+        let cats: Vec<usize> = ds
+            .protected
+            .iter()
+            .map(|&a| ds.table.schema().attr(a).n_categories())
+            .collect();
+        assert_eq!(cats, vec![8, 7, 5]);
+    }
+
+    #[test]
+    fn flare_counts_heavy_tailed() {
+        let ds = DatasetKind::Flare.generate(&GeneratorConfig::seeded(2));
+        let x = ds.table.column(12); // XFLARES
+        let zero = x.iter().filter(|&&v| v == 0).count();
+        assert!(zero * 2 > x.len(), "most groups produce no X flares");
+    }
+
+    #[test]
+    fn largspot_tracks_class() {
+        let ds = DatasetKind::Flare.generate(&GeneratorConfig::seeded(3));
+        let class = ds.table.column(0);
+        let spot = ds.table.column(1);
+        let (mut lo, mut ln, mut hi, mut hn) = (0f64, 0usize, 0f64, 0usize);
+        for i in 0..class.len() {
+            if class[i] <= 1 {
+                lo += spot[i] as f64;
+                ln += 1;
+            } else if class[i] >= 5 {
+                hi += spot[i] as f64;
+                hn += 1;
+            }
+        }
+        assert!(lo / (ln.max(1) as f64) < hi / (hn.max(1) as f64));
+    }
+}

@@ -1,0 +1,118 @@
+//! U.S. Housing Survey 1993 — 1000 records × 11 categorical attributes.
+//!
+//! Protected attributes (paper §3): BUILT (25 categories, year-built bins),
+//! DEGREE (8), GRADE1 (21). Year-built is unimodal around the post-war
+//! decades; GRADE1 tracks DEGREE and INCOME tracks DEGREE, mimicking the
+//! education/quality association of the survey.
+
+use super::{AttrSpec, DatasetSpec, Marginal};
+
+pub(super) fn spec() -> DatasetSpec {
+    let attrs = vec![
+        AttrSpec::nominal("REGION", 4, Marginal::Uniform),
+        AttrSpec::nominal("METRO", 2, Marginal::Zipf(0.5)),
+        AttrSpec::nominal("TENURE", 3, Marginal::Zipf(0.8)),
+        // protected: 25 year-built bins, most homes mid-century
+        AttrSpec::ordinal(
+            "BUILT",
+            25,
+            Marginal::Peaked {
+                peak: 0.55,
+                spread: 0.25,
+            },
+        ),
+        AttrSpec::ordinal(
+            "UNITSF",
+            9,
+            Marginal::Peaked {
+                peak: 0.4,
+                spread: 0.3,
+            },
+        ),
+        AttrSpec::ordinal(
+            "BEDRMS",
+            7,
+            Marginal::Peaked {
+                peak: 0.45,
+                spread: 0.25,
+            },
+        ),
+        // protected: educational attainment of householder
+        AttrSpec::ordinal(
+            "DEGREE",
+            8,
+            Marginal::Peaked {
+                peak: 0.35,
+                spread: 0.3,
+            },
+        ),
+        // protected: housing grade, correlated with DEGREE
+        AttrSpec::ordinal(
+            "GRADE1",
+            21,
+            Marginal::Peaked {
+                peak: 0.5,
+                spread: 0.3,
+            },
+        )
+        .linked(6, 0.12, 0.7),
+        AttrSpec::ordinal("VALUE", 12, Marginal::Zipf(0.6)).linked(4, 0.2, 0.6),
+        AttrSpec::ordinal(
+            "HHAGE",
+            10,
+            Marginal::Peaked {
+                peak: 0.5,
+                spread: 0.35,
+            },
+        ),
+        AttrSpec::ordinal("INCOME", 12, Marginal::Zipf(0.7)).linked(6, 0.2, 0.5),
+    ];
+    DatasetSpec {
+        n_records: 1000,
+        attrs,
+        protected: vec![3, 6, 7],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generators::{DatasetKind, GeneratorConfig};
+
+    #[test]
+    fn shape_matches_paper() {
+        let ds = DatasetKind::Housing.generate(&GeneratorConfig::seeded(1));
+        let schema = ds.table.schema();
+        assert_eq!(schema.n_attrs(), 11);
+        assert_eq!(schema.attr(ds.protected[0]).name(), "BUILT");
+        assert_eq!(schema.attr(ds.protected[0]).n_categories(), 25);
+        assert_eq!(schema.attr(ds.protected[1]).name(), "DEGREE");
+        assert_eq!(schema.attr(ds.protected[1]).n_categories(), 8);
+        assert_eq!(schema.attr(ds.protected[2]).name(), "GRADE1");
+        assert_eq!(schema.attr(ds.protected[2]).n_categories(), 21);
+    }
+
+    #[test]
+    fn protected_attrs_are_ordinal() {
+        let ds = DatasetKind::Housing.generate(&GeneratorConfig::seeded(1));
+        for &a in &ds.protected {
+            assert!(ds.table.schema().attr(a).kind().is_ordinal());
+        }
+    }
+
+    #[test]
+    fn built_is_unimodal_mid_range() {
+        let ds = DatasetKind::Housing.generate(&GeneratorConfig::seeded(17));
+        let col = ds.table.column(3);
+        let mut counts = [0usize; 25];
+        for &v in col {
+            counts[v as usize] += 1;
+        }
+        let argmax = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .unwrap()
+            .0;
+        assert!((6..=20).contains(&argmax), "peak at {argmax}");
+    }
+}

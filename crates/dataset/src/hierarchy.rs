@@ -1,0 +1,326 @@
+//! Generalization hierarchies (value generalization hierarchies, VGH).
+//!
+//! Global recoding and top/bottom coding replace categories by coarser
+//! groups. To keep every protected file inside the *original* category
+//! domain — a requirement of the paper's mutation operator, which draws
+//! replacements "among all valid values for the specific variable" — each
+//! group is represented by one of its member categories (the median member
+//! for ordinal attributes, the modal member for nominal ones). This is
+//! "global recoding followed by representative labeling": records merged
+//! into one group become indistinguishable on that attribute, which is the
+//! property the IL/DR measures react to.
+
+use crate::{Attribute, Code, DatasetError, Result};
+
+/// One level of a hierarchy: a total map from base categories to
+/// representative base categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyLevel {
+    repr_of: Vec<Code>,
+}
+
+impl HierarchyLevel {
+    /// Build a level from an explicit map `code -> representative code`.
+    ///
+    /// # Errors
+    /// [`DatasetError::InvalidCode`] when a representative falls outside the
+    /// base dictionary, [`DatasetError::SchemaMismatch`] when the map does
+    /// not cover every category.
+    pub fn new(attr: &Attribute, repr_of: Vec<Code>) -> Result<Self> {
+        if repr_of.len() != attr.n_categories() {
+            return Err(DatasetError::SchemaMismatch(format!(
+                "level maps {} categories, attribute `{}` has {}",
+                repr_of.len(),
+                attr.name(),
+                attr.n_categories()
+            )));
+        }
+        for &r in &repr_of {
+            attr.check(r)?;
+        }
+        Ok(HierarchyLevel { repr_of })
+    }
+
+    /// Representative of `code`.
+    #[inline]
+    pub fn map(&self, code: Code) -> Code {
+        self.repr_of[code as usize]
+    }
+
+    /// The raw map.
+    pub fn repr_table(&self) -> &[Code] {
+        &self.repr_of
+    }
+
+    /// Number of distinct groups at this level.
+    pub fn n_groups(&self) -> usize {
+        let mut seen = vec![false; self.repr_of.len()];
+        let mut n = 0;
+        for &r in &self.repr_of {
+            if !seen[r as usize] {
+                seen[r as usize] = true;
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+/// A chain of increasingly coarse recodings of one attribute.
+/// `level(0)` is always the identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hierarchy {
+    levels: Vec<HierarchyLevel>,
+}
+
+impl Hierarchy {
+    /// Build a hierarchy from explicit levels (e.g. a user-supplied VGH
+    /// loaded from a file). Level 0 must be the identity; all levels must
+    /// share the attribute's domain. Nestedness between consecutive levels
+    /// is *not* required here — the lattice searches in `cdp-privacy`
+    /// check it separately because only they depend on it.
+    ///
+    /// # Errors
+    /// [`DatasetError::Empty`] with no levels,
+    /// [`DatasetError::SchemaMismatch`] when level 0 is not the identity or
+    /// a level's domain disagrees with the attribute.
+    pub fn from_levels(attr: &Attribute, levels: Vec<HierarchyLevel>) -> Result<Self> {
+        if levels.is_empty() {
+            return Err(DatasetError::Empty("hierarchy levels".into()));
+        }
+        for (l, level) in levels.iter().enumerate() {
+            if level.repr_table().len() != attr.n_categories() {
+                return Err(DatasetError::SchemaMismatch(format!(
+                    "level {l} maps {} categories, attribute `{}` has {}",
+                    level.repr_table().len(),
+                    attr.name(),
+                    attr.n_categories()
+                )));
+            }
+        }
+        let identity = (0..attr.n_categories() as Code).collect::<Vec<_>>();
+        if levels[0].repr_table() != identity.as_slice() {
+            return Err(DatasetError::SchemaMismatch(
+                "hierarchy level 0 must be the identity".into(),
+            ));
+        }
+        Ok(Hierarchy { levels })
+    }
+
+    /// Identity-only hierarchy (no generalization available).
+    pub fn identity(attr: &Attribute) -> Self {
+        let repr_of = (0..attr.n_categories() as Code).collect();
+        Hierarchy {
+            levels: vec![HierarchyLevel { repr_of }],
+        }
+    }
+
+    /// Build a hierarchy for an *ordinal* attribute by repeatedly merging
+    /// contiguous runs of categories; level `ℓ ≥ 1` groups categories into
+    /// runs of `2^ℓ`, each represented by the run's median member. Levels
+    /// stop once a single group remains.
+    pub fn ordinal_auto(attr: &Attribute) -> Self {
+        let c = attr.n_categories();
+        let mut levels = vec![Hierarchy::identity(attr).levels.remove(0)];
+        let mut width = 2usize;
+        while width < 2 * c {
+            let mut repr_of = Vec::with_capacity(c);
+            for code in 0..c {
+                let start = (code / width) * width;
+                let end = (start + width).min(c);
+                let median = start + (end - start - 1) / 2;
+                repr_of.push(median as Code);
+            }
+            let level = HierarchyLevel { repr_of };
+            if level.n_groups() == levels.last().expect("non-empty").n_groups() {
+                break;
+            }
+            let finished = level.n_groups() == 1;
+            levels.push(level);
+            if finished {
+                break;
+            }
+            width *= 2;
+        }
+        Hierarchy { levels }
+    }
+
+    /// Build a hierarchy for a *nominal* attribute from observed counts:
+    /// level `ℓ ≥ 1` keeps the `max(1, c / 2^ℓ)` most frequent categories
+    /// and folds every other category into the modal (most frequent)
+    /// category. This mirrors the common "collapse rare categories" recoding
+    /// used by statistical agencies.
+    ///
+    /// # Errors
+    /// [`DatasetError::SchemaMismatch`] when `counts` does not cover the
+    /// dictionary.
+    pub fn nominal_from_counts(attr: &Attribute, counts: &[usize]) -> Result<Self> {
+        let c = attr.n_categories();
+        if counts.len() != c {
+            return Err(DatasetError::SchemaMismatch(format!(
+                "{} counts for attribute `{}` with {} categories",
+                counts.len(),
+                attr.name(),
+                c
+            )));
+        }
+        // category codes sorted by descending frequency (stable on ties)
+        let mut by_freq: Vec<usize> = (0..c).collect();
+        by_freq.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+        let modal = by_freq[0] as Code;
+
+        let mut levels = vec![Hierarchy::identity(attr).levels.remove(0)];
+        let mut keep = c / 2;
+        loop {
+            let keep_now = keep.max(1);
+            let mut repr_of: Vec<Code> = (0..c as Code).collect();
+            for &cat in by_freq.iter().skip(keep_now) {
+                repr_of[cat] = modal;
+            }
+            let level = HierarchyLevel { repr_of };
+            if level.n_groups() < levels.last().expect("non-empty").n_groups() {
+                let finished = level.n_groups() == 1;
+                levels.push(level);
+                if finished {
+                    break;
+                }
+            }
+            if keep_now == 1 {
+                break;
+            }
+            keep /= 2;
+        }
+        Ok(Hierarchy { levels })
+    }
+
+    /// Number of levels, counting the identity level 0.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Level accessor; `level(0)` is the identity.
+    ///
+    /// # Panics
+    /// Panics on out-of-range levels.
+    pub fn level(&self, l: usize) -> &HierarchyLevel {
+        &self.levels[l]
+    }
+
+    /// Clamp an arbitrary requested level to the deepest available one.
+    pub fn level_clamped(&self, l: usize) -> &HierarchyLevel {
+        &self.levels[l.min(self.levels.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Attribute;
+
+    #[test]
+    fn ordinal_auto_shrinks_groups() {
+        let attr = Attribute::ordinal("EDUCATION", 16);
+        let h = Hierarchy::ordinal_auto(&attr);
+        // levels: identity(16), 8, 4, 2, 1 groups
+        let groups: Vec<usize> = (0..h.n_levels()).map(|l| h.level(l).n_groups()).collect();
+        assert_eq!(groups, vec![16, 8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn ordinal_auto_representative_is_member_of_run() {
+        let attr = Attribute::ordinal("B", 10);
+        let h = Hierarchy::ordinal_auto(&attr);
+        let l1 = h.level(1); // runs of 2
+        for code in 0..10u16 {
+            let r = l1.map(code);
+            assert_eq!(r / 2, code / 2, "representative stays within the run");
+        }
+    }
+
+    #[test]
+    fn ordinal_auto_handles_odd_sizes() {
+        let attr = Attribute::ordinal("GRADE1", 21);
+        let h = Hierarchy::ordinal_auto(&attr);
+        for l in 0..h.n_levels() {
+            let level = h.level(l);
+            for code in 0..21u16 {
+                assert!(level.map(code) < 21);
+            }
+        }
+        assert_eq!(h.level(h.n_levels() - 1).n_groups(), 1);
+    }
+
+    #[test]
+    fn nominal_from_counts_folds_rare_into_modal() {
+        let attr = Attribute::nominal("OCC", 5);
+        let counts = [50, 10, 30, 5, 5];
+        let h = Hierarchy::nominal_from_counts(&attr, &counts).unwrap();
+        let l1 = h.level(1); // keeps 2 most frequent: codes 0 and 2
+        assert_eq!(l1.map(0), 0);
+        assert_eq!(l1.map(2), 2);
+        assert_eq!(l1.map(1), 0); // folded to modal
+        assert_eq!(l1.map(3), 0);
+        assert_eq!(h.level(h.n_levels() - 1).n_groups(), 1);
+    }
+
+    #[test]
+    fn nominal_counts_must_cover_dictionary() {
+        let attr = Attribute::nominal("OCC", 5);
+        assert!(Hierarchy::nominal_from_counts(&attr, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn identity_level_is_identity() {
+        let attr = Attribute::ordinal("A", 7);
+        let h = Hierarchy::ordinal_auto(&attr);
+        for code in 0..7u16 {
+            assert_eq!(h.level(0).map(code), code);
+        }
+    }
+
+    #[test]
+    fn level_clamped_saturates() {
+        let attr = Attribute::ordinal("A", 4);
+        let h = Hierarchy::ordinal_auto(&attr);
+        let deepest = h.level(h.n_levels() - 1).clone();
+        assert_eq!(h.level_clamped(99), &deepest);
+    }
+
+    #[test]
+    fn single_category_attribute() {
+        let attr = Attribute::ordinal("ONE", 1);
+        let h = Hierarchy::ordinal_auto(&attr);
+        assert_eq!(h.n_levels(), 1);
+        assert_eq!(h.level(0).map(0), 0);
+    }
+
+    #[test]
+    fn from_levels_accepts_custom_vgh() {
+        let attr = Attribute::nominal("REGION", 4);
+        let levels = vec![
+            HierarchyLevel::new(&attr, vec![0, 1, 2, 3]).unwrap(),
+            HierarchyLevel::new(&attr, vec![0, 0, 2, 2]).unwrap(),
+            HierarchyLevel::new(&attr, vec![0, 0, 0, 0]).unwrap(),
+        ];
+        let h = Hierarchy::from_levels(&attr, levels).unwrap();
+        assert_eq!(h.n_levels(), 3);
+        assert_eq!(h.level(1).map(1), 0);
+        assert_eq!(h.level(1).n_groups(), 2);
+    }
+
+    #[test]
+    fn from_levels_requires_identity_at_level_zero() {
+        let attr = Attribute::nominal("REGION", 3);
+        let not_identity = vec![HierarchyLevel::new(&attr, vec![0, 0, 2]).unwrap()];
+        assert!(Hierarchy::from_levels(&attr, not_identity).is_err());
+        assert!(Hierarchy::from_levels(&attr, vec![]).is_err());
+    }
+
+    #[test]
+    fn from_levels_checks_domain_width() {
+        let attr = Attribute::nominal("REGION", 3);
+        let other = Attribute::nominal("OTHER", 5);
+        let wrong = vec![HierarchyLevel::new(&other, vec![0, 1, 2, 3, 4]).unwrap()];
+        assert!(Hierarchy::from_levels(&attr, wrong).is_err());
+    }
+}

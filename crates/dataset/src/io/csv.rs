@@ -1,0 +1,316 @@
+//! Minimal CSV codec for categorical tables.
+//!
+//! The dialect is deliberately small: comma separator, one header line,
+//! no quoting (category labels in this domain are identifiers; labels
+//! containing commas, quotes or newlines are rejected on write rather than
+//! quoted). Hand-rolled to keep the workspace dependency-light.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::{AttrKind, Attribute, Code, DatasetError, Result, Schema, Table};
+
+/// Where the schema of a parsed file comes from.
+#[derive(Debug, Clone)]
+pub enum SchemaSource {
+    /// Build the schema from the file itself: every attribute is nominal and
+    /// categories are interned in order of first appearance.
+    Infer,
+    /// Enforce an existing schema; labels not in a dictionary are an error.
+    Fixed(Arc<Schema>),
+}
+
+/// Serialize a table as CSV.
+///
+/// # Errors
+/// I/O failures, or [`DatasetError::Parse`] when a label would corrupt the
+/// unquoted dialect.
+pub fn write_table<W: Write>(table: &Table, out: &mut W) -> Result<()> {
+    let schema = table.schema();
+    let mut w = BufWriter::new(out);
+    for (j, attr) in schema.attrs().iter().enumerate() {
+        check_label(attr.name())?;
+        if j > 0 {
+            write!(w, ",")?;
+        }
+        write!(w, "{}", attr.name())?;
+    }
+    writeln!(w)?;
+    for i in 0..table.n_rows() {
+        for j in 0..table.n_attrs() {
+            let label = schema.attr(j).label(table.value(i, j));
+            check_label(label)?;
+            if j > 0 {
+                write!(w, ",")?;
+            }
+            write!(w, "{label}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a table to a file path.
+pub fn write_table_path<P: AsRef<Path>>(table: &Table, path: P) -> Result<()> {
+    let mut f = File::create(path)?;
+    write_table(table, &mut f)
+}
+
+/// Parse a CSV table.
+///
+/// # Errors
+/// [`DatasetError::Parse`] on malformed rows, [`DatasetError::UnknownCategory`]
+/// for labels missing from a fixed schema.
+pub fn read_table<R: BufRead>(source: SchemaSource, input: R) -> Result<Table> {
+    let mut lines = input.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| DatasetError::Empty("CSV input".into()))?;
+    let header = header?;
+    let names: Vec<&str> = header.split(',').collect();
+    if names.iter().any(|n| n.is_empty()) {
+        return Err(DatasetError::Parse {
+            line: 1,
+            msg: "empty attribute name in header".into(),
+        });
+    }
+
+    match source {
+        SchemaSource::Fixed(schema) => {
+            if names.len() != schema.n_attrs()
+                || names
+                    .iter()
+                    .zip(schema.attrs())
+                    .any(|(n, a)| *n != a.name())
+            {
+                return Err(DatasetError::SchemaMismatch(
+                    "CSV header does not match the fixed schema".into(),
+                ));
+            }
+            let mut columns: Vec<Vec<Code>> = vec![Vec::new(); schema.n_attrs()];
+            for (idx, line) in lines {
+                let line = line?;
+                if line.is_empty() {
+                    continue;
+                }
+                parse_row_fixed(&schema, &line, idx + 1, &mut columns)?;
+            }
+            Table::from_columns(schema, columns)
+        }
+        SchemaSource::Infer => {
+            let mut dicts: Vec<Vec<String>> = vec![Vec::new(); names.len()];
+            let mut columns: Vec<Vec<Code>> = vec![Vec::new(); names.len()];
+            for (idx, line) in lines {
+                let line = line?;
+                if line.is_empty() {
+                    continue;
+                }
+                let fields: Vec<&str> = line.split(',').collect();
+                if fields.len() != names.len() {
+                    return Err(DatasetError::Parse {
+                        line: idx + 1,
+                        msg: format!(
+                            "{} fields, header has {}",
+                            fields.len(),
+                            names.len()
+                        ),
+                    });
+                }
+                for (j, field) in fields.iter().enumerate() {
+                    let code = match dicts[j].iter().position(|c| c == field) {
+                        Some(p) => p as Code,
+                        None => {
+                            dicts[j].push((*field).to_string());
+                            (dicts[j].len() - 1) as Code
+                        }
+                    };
+                    columns[j].push(code);
+                }
+            }
+            let attrs = names
+                .iter()
+                .zip(dicts)
+                .map(|(name, cats)| Attribute::new(*name, AttrKind::Nominal, cats))
+                .collect::<Result<Vec<_>>>()?;
+            let schema = Arc::new(Schema::new(attrs)?);
+            Table::from_columns(schema, columns)
+        }
+    }
+}
+
+/// Read a table from a file path.
+pub fn read_table_path<P: AsRef<Path>>(source: SchemaSource, path: P) -> Result<Table> {
+    let f = File::open(path)?;
+    read_table(source, BufReader::new(f))
+}
+
+fn parse_row_fixed(
+    schema: &Arc<Schema>,
+    line: &str,
+    line_no: usize,
+    columns: &mut [Vec<Code>],
+) -> Result<()> {
+    let mut j = 0;
+    for field in line.split(',') {
+        if j >= schema.n_attrs() {
+            return Err(DatasetError::Parse {
+                line: line_no,
+                msg: "too many fields".into(),
+            });
+        }
+        let attr = schema.attr(j);
+        let code = attr
+            .code_of(field)
+            .ok_or_else(|| DatasetError::UnknownCategory {
+                attr: attr.name().to_string(),
+                label: field.to_string(),
+            })?;
+        columns[j].push(code);
+        j += 1;
+    }
+    if j != schema.n_attrs() {
+        return Err(DatasetError::Parse {
+            line: line_no,
+            msg: format!("{} fields, schema has {}", j, schema.n_attrs()),
+        });
+    }
+    Ok(())
+}
+
+fn check_label(label: &str) -> Result<()> {
+    if label.contains(',') || label.contains('\n') || label.contains('"') {
+        Err(DatasetError::Parse {
+            line: 0,
+            msg: format!("label `{label}` cannot be written unquoted"),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Attribute::new(
+                    "COLOR",
+                    AttrKind::Nominal,
+                    vec!["red".into(), "green".into()],
+                )
+                .unwrap(),
+                Attribute::new(
+                    "SIZE",
+                    AttrKind::Ordinal,
+                    vec!["s".into(), "m".into(), "l".into()],
+                )
+                .unwrap(),
+            ])
+            .unwrap(),
+        );
+        Table::from_rows(schema, &[vec![0, 2], vec![1, 0], vec![0, 1]]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_fixed_schema() {
+        let t = sample_table();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).unwrap();
+        let parsed = read_table(
+            SchemaSource::Fixed(Arc::clone(t.schema())),
+            buf.as_slice(),
+        )
+        .unwrap();
+        assert_eq!(parsed.n_rows(), 3);
+        for j in 0..t.n_attrs() {
+            assert_eq!(parsed.column(j), t.column(j));
+        }
+    }
+
+    #[test]
+    fn round_trip_inferred_schema() {
+        let t = sample_table();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).unwrap();
+        let parsed = read_table(SchemaSource::Infer, buf.as_slice()).unwrap();
+        assert_eq!(parsed.n_rows(), 3);
+        // labels round-trip even though codes may be re-interned
+        assert_eq!(parsed.schema().attr(0).label(parsed.value(0, 0)), "red");
+        assert_eq!(parsed.schema().attr(1).label(parsed.value(0, 1)), "l");
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let t = sample_table();
+        let csv = "WRONG,SIZE\nred,s\n";
+        let res = read_table(
+            SchemaSource::Fixed(Arc::clone(t.schema())),
+            csv.as_bytes(),
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let t = sample_table();
+        let csv = "COLOR,SIZE\nblue,s\n";
+        let res = read_table(
+            SchemaSource::Fixed(Arc::clone(t.schema())),
+            csv.as_bytes(),
+        );
+        assert!(matches!(res, Err(DatasetError::UnknownCategory { .. })));
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let csv = "A,B\nx\n";
+        let res = read_table(SchemaSource::Infer, csv.as_bytes());
+        assert!(matches!(res, Err(DatasetError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let res = read_table(SchemaSource::Infer, "".as_bytes());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "A\nx\n\ny\n";
+        let t = read_table(SchemaSource::Infer, csv.as_bytes()).unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn comma_in_label_rejected_on_write() {
+        let schema = Arc::new(
+            Schema::new(vec![Attribute::new(
+                "X",
+                AttrKind::Nominal,
+                vec!["a,b".into()],
+            )
+            .unwrap()])
+            .unwrap(),
+        );
+        let t = Table::from_rows(schema, &[vec![0]]).unwrap();
+        let mut buf = Vec::new();
+        assert!(write_table(&t, &mut buf).is_err());
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let t = sample_table();
+        let dir = std::env::temp_dir().join("cdp_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_table_path(&t, &path).unwrap();
+        let parsed = read_table_path(SchemaSource::Fixed(Arc::clone(t.schema())), &path).unwrap();
+        assert_eq!(parsed.column(0), t.column(0));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,289 @@
+//! Hierarchy (VGH) files: the ARX-style per-attribute generalization table.
+//!
+//! One CSV-like file per attribute, no header. Each row describes one base
+//! category; column 0 is the base label, column `ℓ ≥ 1` the group label at
+//! level `ℓ`. Example for a 4-category REGION attribute with two
+//! generalization levels:
+//!
+//! ```text
+//! north,north-ish,anywhere
+//! south,south-ish,anywhere
+//! east,north-ish,anywhere
+//! west,south-ish,anywhere
+//! ```
+//!
+//! Because the workspace keeps every masked file inside the *original*
+//! category domain (the paper's mutation operator requires it), group
+//! labels are not added to the dictionary: each level-`ℓ` group is
+//! represented by its first member category in file order. Group labels
+//! therefore only define the *grouping*; `write_hierarchy` emits
+//! representative member labels so a round-trip is exact.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::{Attribute, Code, DatasetError, Hierarchy, HierarchyLevel, Result};
+
+/// Parse a hierarchy file for `attr`.
+///
+/// Every base category must appear exactly once in column 0; all rows must
+/// share one column count; level 0 (the base column) is the identity by
+/// construction.
+///
+/// # Errors
+/// [`DatasetError::Parse`] on ragged or duplicate rows,
+/// [`DatasetError::UnknownCategory`] for labels outside the dictionary,
+/// [`DatasetError::SchemaMismatch`] when categories are missing.
+pub fn read_hierarchy<R: BufRead>(attr: &Attribute, input: R) -> Result<Hierarchy> {
+    let c = attr.n_categories();
+    let mut n_levels: Option<usize> = None;
+    // group label per (level-1, base code); level 0 is implicit
+    let mut group_labels: Vec<Vec<Option<String>>> = Vec::new();
+    let mut seen = vec![false; c];
+
+    for (idx, line) in input.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        match n_levels {
+            None => {
+                if fields.len() < 2 {
+                    return Err(DatasetError::Parse {
+                        line: idx + 1,
+                        msg: "hierarchy rows need a base label and at least one level".into(),
+                    });
+                }
+                n_levels = Some(fields.len());
+                group_labels = vec![vec![None; c]; fields.len() - 1];
+            }
+            Some(expected) if fields.len() != expected => {
+                return Err(DatasetError::Parse {
+                    line: idx + 1,
+                    msg: format!("{} fields, first row has {}", fields.len(), expected),
+                });
+            }
+            Some(_) => {}
+        }
+        let base = attr
+            .code_of(fields[0])
+            .ok_or_else(|| DatasetError::UnknownCategory {
+                attr: attr.name().to_string(),
+                label: fields[0].to_string(),
+            })?;
+        if seen[base as usize] {
+            return Err(DatasetError::Parse {
+                line: idx + 1,
+                msg: format!("duplicate base category `{}`", fields[0]),
+            });
+        }
+        seen[base as usize] = true;
+        for (l, field) in fields.iter().skip(1).enumerate() {
+            group_labels[l][base as usize] = Some((*field).to_string());
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(DatasetError::SchemaMismatch(format!(
+            "hierarchy file misses category `{}` of `{}`",
+            attr.label(missing as Code),
+            attr.name()
+        )));
+    }
+
+    // levels: identity + one per group column. The representative of a
+    // group is the member whose label equals the group label when there is
+    // one (so `write_hierarchy` output — and user files that name groups by
+    // a member category — round-trip exactly), otherwise the group's first
+    // member in code order.
+    let mut levels = vec![HierarchyLevel::new(
+        attr,
+        (0..c as Code).collect::<Vec<_>>(),
+    )?];
+    for labels in &group_labels {
+        let mut groups: Vec<(&str, Vec<Code>)> = Vec::new();
+        for (code, label) in labels.iter().enumerate() {
+            let label = label.as_ref().expect("all rows seen").as_str();
+            match groups.iter_mut().find(|(g, _)| *g == label) {
+                Some((_, members)) => members.push(code as Code),
+                None => groups.push((label, vec![code as Code])),
+            }
+        }
+        let mut repr_of: Vec<Code> = vec![0; c];
+        for (label, members) in &groups {
+            let repr = members
+                .iter()
+                .copied()
+                .find(|&m| attr.label(m) == *label)
+                .unwrap_or(members[0]);
+            for &m in members {
+                repr_of[m as usize] = repr;
+            }
+        }
+        levels.push(HierarchyLevel::new(attr, repr_of)?);
+    }
+    Hierarchy::from_levels(attr, levels)
+}
+
+/// Read a hierarchy from a file path.
+pub fn read_hierarchy_path<P: AsRef<Path>>(attr: &Attribute, path: P) -> Result<Hierarchy> {
+    let f = File::open(path)?;
+    read_hierarchy(attr, BufReader::new(f))
+}
+
+/// Serialize a hierarchy in the format [`read_hierarchy`] parses. Group
+/// labels are the representative member labels, so
+/// `read_hierarchy(write_hierarchy(h)) == h`.
+///
+/// # Errors
+/// I/O failures, or [`DatasetError::Parse`] when a label would corrupt the
+/// unquoted dialect.
+pub fn write_hierarchy<W: Write>(attr: &Attribute, h: &Hierarchy, out: &mut W) -> Result<()> {
+    let mut w = BufWriter::new(out);
+    for label in attr.categories() {
+        if label.contains(',') || label.contains('\n') || label.contains('"') {
+            return Err(DatasetError::Parse {
+                line: 0,
+                msg: format!("label `{label}` cannot be written unquoted"),
+            });
+        }
+    }
+    for code in 0..attr.n_categories() as Code {
+        write!(w, "{}", attr.label(code))?;
+        for l in 1..h.n_levels() {
+            write!(w, ",{}", attr.label(h.level(l).map(code)))?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a hierarchy to a file path.
+pub fn write_hierarchy_path<P: AsRef<Path>>(
+    attr: &Attribute,
+    h: &Hierarchy,
+    path: P,
+) -> Result<()> {
+    let mut f = File::create(path)?;
+    write_hierarchy(attr, h, &mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrKind;
+
+    fn region() -> Attribute {
+        Attribute::new(
+            "REGION",
+            AttrKind::Nominal,
+            vec!["north".into(), "south".into(), "east".into(), "west".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_grouping_and_uses_member_representatives() {
+        let attr = region();
+        let text = "north,N,all\nsouth,S,all\neast,N,all\nwest,S,all\n";
+        let h = read_hierarchy(&attr, text.as_bytes()).unwrap();
+        assert_eq!(h.n_levels(), 3);
+        // level 1: north/east -> north (first member), south/west -> south
+        assert_eq!(h.level(1).map(0), 0);
+        assert_eq!(h.level(1).map(2), 0);
+        assert_eq!(h.level(1).map(1), 1);
+        assert_eq!(h.level(1).map(3), 1);
+        // level 2: everything -> north
+        for code in 0..4 {
+            assert_eq!(h.level(2).map(code), 0);
+        }
+    }
+
+    #[test]
+    fn round_trips_through_write() {
+        let attr = region();
+        let text = "north,N,all\nsouth,S,all\neast,N,all\nwest,S,all\n";
+        let h = read_hierarchy(&attr, text.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_hierarchy(&attr, &h, &mut buf).unwrap();
+        let h2 = read_hierarchy(&attr, buf.as_slice()).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn auto_hierarchies_round_trip() {
+        let attr = Attribute::ordinal("GRADE", 9);
+        let h = Hierarchy::ordinal_auto(&attr);
+        let mut buf = Vec::new();
+        write_hierarchy(&attr, &h, &mut buf).unwrap();
+        let h2 = read_hierarchy(&attr, buf.as_slice()).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn missing_category_rejected() {
+        let attr = region();
+        let text = "north,N\nsouth,S\neast,N\n"; // west missing
+        let err = read_hierarchy(&attr, text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("west"));
+    }
+
+    #[test]
+    fn duplicate_category_rejected() {
+        let attr = region();
+        let text = "north,N\nnorth,S\neast,N\nwest,S\n";
+        assert!(read_hierarchy(&attr, text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let attr = region();
+        let text = "north,N\nsouth,S\neast,N\nmars,X\n";
+        assert!(matches!(
+            read_hierarchy(&attr, text.as_bytes()),
+            Err(DatasetError::UnknownCategory { .. })
+        ));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let attr = region();
+        let text = "north,N,all\nsouth,S\neast,N,all\nwest,S,all\n";
+        assert!(matches!(
+            read_hierarchy(&attr, text.as_bytes()),
+            Err(DatasetError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn base_only_rows_rejected() {
+        let attr = region();
+        let text = "north\nsouth\neast\nwest\n";
+        assert!(read_hierarchy(&attr, text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_path_round_trip() {
+        let attr = region();
+        let dir = std::env::temp_dir().join("cdp_hierarchy_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("region.csv");
+        std::fs::write(&path, "north,N\n\nsouth,S\neast,N\nwest,S\n").unwrap();
+        let h = read_hierarchy_path(&attr, &path).unwrap();
+        assert_eq!(h.n_levels(), 2);
+        let out = dir.join("region_out.csv");
+        write_hierarchy_path(&attr, &h, &out).unwrap();
+        assert_eq!(read_hierarchy_path(&attr, &out).unwrap(), h);
+    }
+
+    #[test]
+    fn comma_label_rejected_on_write() {
+        let attr = Attribute::new("X", AttrKind::Nominal, vec!["a,b".into(), "c".into()])
+            .unwrap();
+        let h = Hierarchy::identity(&attr);
+        let mut buf = Vec::new();
+        assert!(write_hierarchy(&attr, &h, &mut buf).is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! Reading and writing categorical microdata files.
+//!
+//! Only one interchange format is supported — header-carrying CSV — which is
+//! what the original experiments consumed (protected files produced by SDC
+//! tooling). Schemas can either be inferred from the file (all attributes
+//! nominal, categories interned in order of first appearance) or imposed,
+//! in which case unknown labels are an error.
+
+mod csv;
+mod hierarchy;
+mod schema;
+
+pub use csv::{read_table, read_table_path, write_table, write_table_path, SchemaSource};
+pub use hierarchy::{
+    read_hierarchy, read_hierarchy_path, write_hierarchy, write_hierarchy_path,
+};
+pub use schema::{read_schema, read_schema_path, write_schema, write_schema_path};

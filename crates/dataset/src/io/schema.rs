@@ -1,0 +1,195 @@
+//! Schema sidecar files: declaring attribute kinds and dictionaries.
+//!
+//! CSV inference (see [`super::SchemaSource::Infer`]) has two limits: every
+//! attribute comes out nominal, and the category order is first-appearance
+//! order — wrong for ordinal attributes, whose order drives the rank-based
+//! measures (DBIL, interval disclosure, rank swapping) and the merged-run
+//! hierarchies. A sidecar file fixes both. One attribute per line:
+//!
+//! ```text
+//! AGE,ordinal,young|middle|old
+//! CITY,nominal,north|south|east|west
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. Category labels may
+//! not contain `,`, `|`, `"` or newlines.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::{AttrKind, Attribute, DatasetError, Result, Schema};
+
+/// Parse a schema sidecar.
+///
+/// # Errors
+/// [`DatasetError::Parse`] on malformed lines or unknown kinds,
+/// [`DatasetError::Empty`] when no attribute lines are present.
+pub fn read_schema<R: BufRead>(input: R) -> Result<Schema> {
+    let mut attrs = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.splitn(3, ',');
+        let (name, kind_raw, cats_raw) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(n), Some(k), Some(c)) if !n.is_empty() => (n, k, c),
+            _ => {
+                return Err(DatasetError::Parse {
+                    line: idx + 1,
+                    msg: "expected `name,kind,cat|cat|...`".into(),
+                })
+            }
+        };
+        let kind = match kind_raw {
+            "ordinal" => AttrKind::Ordinal,
+            "nominal" => AttrKind::Nominal,
+            other => {
+                return Err(DatasetError::Parse {
+                    line: idx + 1,
+                    msg: format!("unknown kind `{other}` (ordinal, nominal)"),
+                })
+            }
+        };
+        let categories: Vec<String> = cats_raw.split('|').map(str::to_string).collect();
+        if categories.iter().any(String::is_empty) {
+            return Err(DatasetError::Parse {
+                line: idx + 1,
+                msg: "empty category label".into(),
+            });
+        }
+        attrs.push(Attribute::new(name, kind, categories)?);
+    }
+    if attrs.is_empty() {
+        return Err(DatasetError::Empty("schema file".into()));
+    }
+    Schema::new(attrs)
+}
+
+/// Read a schema from a file path.
+pub fn read_schema_path<P: AsRef<Path>>(path: P) -> Result<Schema> {
+    let f = File::open(path)?;
+    read_schema(BufReader::new(f))
+}
+
+/// Serialize a schema in the sidecar format.
+///
+/// # Errors
+/// I/O failures, or [`DatasetError::Parse`] when a label would corrupt the
+/// format.
+pub fn write_schema<W: Write>(schema: &Schema, out: &mut W) -> Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "# name,kind,categories (|-separated, in order)")?;
+    for attr in schema.attrs() {
+        for label in attr.categories().iter().chain(std::iter::once(
+            &attr.name().to_string(),
+        )) {
+            if label.contains(',') || label.contains('|') || label.contains('\n')
+                || label.contains('"')
+            {
+                return Err(DatasetError::Parse {
+                    line: 0,
+                    msg: format!("label `{label}` cannot be written in schema format"),
+                });
+            }
+        }
+        let kind = match attr.kind() {
+            AttrKind::Ordinal => "ordinal",
+            AttrKind::Nominal => "nominal",
+        };
+        writeln!(w, "{},{},{}", attr.name(), kind, attr.categories().join("|"))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a schema to a file path.
+pub fn write_schema_path<P: AsRef<Path>>(schema: &Schema, path: P) -> Result<()> {
+    let mut f = File::create(path)?;
+    write_schema(schema, &mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_kinds_and_dictionaries() {
+        let text = "\
+# comment
+AGE,ordinal,young|middle|old
+
+CITY,nominal,n|s|e|w
+";
+        let schema = read_schema(text.as_bytes()).unwrap();
+        assert_eq!(schema.n_attrs(), 2);
+        assert_eq!(schema.attr(0).kind(), AttrKind::Ordinal);
+        assert_eq!(schema.attr(0).n_categories(), 3);
+        assert_eq!(schema.attr(0).label(1), "middle");
+        assert_eq!(schema.attr(1).kind(), AttrKind::Nominal);
+        assert_eq!(schema.attr(1).code_of("w"), Some(3));
+    }
+
+    #[test]
+    fn round_trips() {
+        let text = "A,ordinal,1|2|3\nB,nominal,x|y\n";
+        let schema = read_schema(text.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_schema(&schema, &mut buf).unwrap();
+        let again = read_schema(buf.as_slice()).unwrap();
+        assert_eq!(again.n_attrs(), 2);
+        for j in 0..2 {
+            assert_eq!(again.attr(j).name(), schema.attr(j).name());
+            assert_eq!(again.attr(j).kind(), schema.attr(j).kind());
+            assert_eq!(again.attr(j).categories(), schema.attr(j).categories());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "A,ordinal",              // missing categories
+            "A,diagonal,x|y",         // unknown kind
+            "A,nominal,x||y",         // empty category
+            ",nominal,x|y",           // empty name
+        ] {
+            assert!(read_schema(bad.as_bytes()).is_err(), "{bad} should fail");
+        }
+        assert!(read_schema("# only comments\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "A,ordinal,1|2\nB,diagonal,x\n";
+        match read_schema(text.as_bytes()) {
+            Err(DatasetError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let dir = std::env::temp_dir().join("cdp_schema_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("schema.txt");
+        let schema = read_schema("X,nominal,a|b\n".as_bytes()).unwrap();
+        write_schema_path(&schema, &path).unwrap();
+        let again = read_schema_path(&path).unwrap();
+        assert_eq!(again.attr(0).name(), "X");
+    }
+
+    #[test]
+    fn pipe_in_label_rejected_on_write() {
+        let schema = Schema::new(vec![Attribute::new(
+            "X",
+            AttrKind::Nominal,
+            vec!["a|b".into(), "c".into()],
+        )
+        .unwrap()])
+        .unwrap();
+        let mut buf = Vec::new();
+        assert!(write_schema(&schema, &mut buf).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Sampling utilities used by the synthetic dataset generators.
+//!
+//! The generators need skewed, correlated categorical marginals that mimic
+//! survey data. Three primitives cover everything:
+//!
+//! * [`zipf_weights`] — heavy-tailed marginals (rare categories exist, as in
+//!   OCCUPATION or solar-flare CLASS);
+//! * [`peaked_weights`] — unimodal ordinal marginals (most homes built in a
+//!   middle decade, most credits of middling duration);
+//! * [`correlated_code`] — a child ordinal value sampled around the parent's
+//!   normalized position, producing the inter-attribute association real
+//!   microdata shows (e.g. EDUCATION ↔ OCCUPATION).
+
+use rand::Rng;
+
+use crate::Code;
+
+/// Zipf-like weights `1 / (i + 1)^s` for `n` categories.
+///
+/// # Panics
+/// Panics when `n == 0`.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf_weights needs at least one category");
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
+}
+
+/// Discretized triangular-ish weights peaking at `peak` (a fraction of the
+/// range, `0.0..=1.0`) with exponential decay controlled by `spread`
+/// (larger = flatter).
+///
+/// # Panics
+/// Panics when `n == 0` or `spread <= 0`.
+pub fn peaked_weights(n: usize, peak: f64, spread: f64) -> Vec<f64> {
+    assert!(n > 0, "peaked_weights needs at least one category");
+    assert!(spread > 0.0, "spread must be positive");
+    let peak_pos = peak.clamp(0.0, 1.0) * (n.saturating_sub(1)) as f64;
+    (0..n)
+        .map(|i| (-((i as f64 - peak_pos).abs()) / (spread * n as f64)).exp())
+        .collect()
+}
+
+/// Draw an index proportional to `weights`.
+///
+/// Hand-rolled cumulative scan: the weight vectors here have ≤ 25 entries,
+/// so a linear scan beats building a `WeightedIndex` table per draw.
+///
+/// # Panics
+/// Panics when `weights` is empty or sums to zero.
+pub fn weighted_index<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    assert!(!weights.is_empty(), "weighted_index needs weights");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut t = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Sample a child category correlated with a parent category.
+///
+/// The parent's normalized position (`parent_code / (parent_cats - 1)`) is
+/// projected onto the child range and the child code is drawn from a peaked
+/// distribution centred there; `spread` ∈ (0, 1] controls how tight the
+/// association is (small = tight).
+pub fn correlated_code<R: Rng + ?Sized>(
+    parent_code: Code,
+    parent_cats: usize,
+    child_cats: usize,
+    spread: f64,
+    rng: &mut R,
+) -> Code {
+    if child_cats <= 1 {
+        return 0;
+    }
+    let frac = if parent_cats <= 1 {
+        0.5
+    } else {
+        parent_code as f64 / (parent_cats - 1) as f64
+    };
+    let weights = peaked_weights(child_cats, frac, spread.max(1e-3));
+    weighted_index(&weights, rng) as Code
+}
+
+/// Generate a full column of `n` values drawn independently from `weights`.
+pub fn column_from_weights<R: Rng + ?Sized>(
+    weights: &[f64],
+    n: usize,
+    rng: &mut R,
+) -> Vec<Code> {
+    (0..n).map(|_| weighted_index(weights, rng) as Code).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_decreasing() {
+        let w = zipf_weights(10, 1.2);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+
+    #[test]
+    fn peaked_peaks_at_requested_position() {
+        let w = peaked_weights(11, 0.5, 0.1);
+        let argmax = w
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 5);
+    }
+
+    #[test]
+    fn weighted_index_respects_mass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = [0.0, 0.0, 1.0];
+        for _ in 0..100 {
+            assert_eq!(weighted_index(&w, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn weighted_index_covers_support() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = [1.0, 1.0, 1.0, 1.0];
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[weighted_index(&w, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn correlated_code_tracks_parent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // tight association: low parent -> low child on average
+        let mut low_sum = 0u64;
+        let mut high_sum = 0u64;
+        for _ in 0..500 {
+            low_sum += correlated_code(0, 10, 20, 0.05, &mut rng) as u64;
+            high_sum += correlated_code(9, 10, 20, 0.05, &mut rng) as u64;
+        }
+        assert!(low_sum < high_sum, "low parents must yield lower children");
+    }
+
+    #[test]
+    fn correlated_code_single_child() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(correlated_code(3, 5, 1, 0.2, &mut rng), 0);
+    }
+
+    #[test]
+    fn column_has_requested_length_and_valid_codes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = zipf_weights(6, 1.0);
+        let col = column_from_weights(&w, 256, &mut rng);
+        assert_eq!(col.len(), 256);
+        assert!(col.iter().all(|&c| (c as usize) < 6));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let w = zipf_weights(8, 0.9);
+        let a = column_from_weights(&w, 64, &mut StdRng::seed_from_u64(7));
+        let b = column_from_weights(&w, 64, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

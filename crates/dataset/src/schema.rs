@@ -1,0 +1,126 @@
+//! Table schemas: an ordered list of attributes.
+
+use crate::{Attribute, DatasetError, Result};
+
+/// The schema of a categorical microdata file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema from attributes.
+    ///
+    /// # Errors
+    /// Returns [`DatasetError::Empty`] for an empty attribute list and
+    /// [`DatasetError::SchemaMismatch`] when two attributes share a name.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Self> {
+        if attrs.is_empty() {
+            return Err(DatasetError::Empty("schema".into()));
+        }
+        for i in 0..attrs.len() {
+            for j in (i + 1)..attrs.len() {
+                if attrs[i].name() == attrs[j].name() {
+                    return Err(DatasetError::SchemaMismatch(format!(
+                        "duplicate attribute name `{}`",
+                        attrs[i].name()
+                    )));
+                }
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute at `index`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices; use [`Schema::try_attr`] for untrusted
+    /// input.
+    pub fn attr(&self, index: usize) -> &Attribute {
+        &self.attrs[index]
+    }
+
+    /// Fallible accessor mirror of [`Schema::attr`].
+    pub fn try_attr(&self, index: usize) -> Result<&Attribute> {
+        self.attrs.get(index).ok_or(DatasetError::AttrOutOfRange {
+            index,
+            n_attrs: self.attrs.len(),
+        })
+    }
+
+    /// All attributes in order.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Resolve an attribute name to its index.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name() == name)
+    }
+
+    /// Sum over attributes of `log2(n_categories)`: the per-record entropy
+    /// capacity of the schema. Used to normalize the entropy-based
+    /// information loss measure.
+    pub fn entropy_capacity(&self) -> f64 {
+        self.attrs
+            .iter()
+            .map(|a| (a.n_categories() as f64).log2())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrKind;
+
+    fn schema3() -> Schema {
+        Schema::new(vec![
+            Attribute::ordinal("A", 4),
+            Attribute::nominal("B", 3),
+            Attribute::ordinal("C", 2),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = schema3();
+        assert_eq!(s.index_of("B"), Some(1));
+        assert_eq!(s.index_of("Z"), None);
+        assert_eq!(s.attr(0).kind(), AttrKind::Ordinal);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![Attribute::ordinal("A", 2), Attribute::nominal("A", 3)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Schema::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn try_attr_bounds() {
+        let s = schema3();
+        assert!(s.try_attr(2).is_ok());
+        assert!(matches!(
+            s.try_attr(3),
+            Err(DatasetError::AttrOutOfRange { index: 3, n_attrs: 3 })
+        ));
+    }
+
+    #[test]
+    fn entropy_capacity_sums_logs() {
+        let s = schema3();
+        let expected = 4f64.log2() + 3f64.log2() + 2f64.log2();
+        assert!((s.entropy_capacity() - expected).abs() < 1e-12);
+    }
+}

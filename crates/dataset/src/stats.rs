@@ -1,0 +1,207 @@
+//! Descriptive statistics for categorical columns.
+//!
+//! Used by the generators' own tests (to verify the synthetic data carries
+//! the skew and associations the substitution argument relies on), by the
+//! examples, and by anyone assessing a protected file beyond the paper's
+//! seven measures.
+
+use crate::{Code, SubTable, Table};
+
+/// Marginal counts of one column.
+pub fn marginal_counts(column: &[Code], n_categories: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_categories];
+    for &c in column {
+        counts[c as usize] += 1;
+    }
+    counts
+}
+
+/// Shannon entropy (bits) of a column's empirical distribution.
+pub fn entropy(column: &[Code], n_categories: usize) -> f64 {
+    let n = column.len();
+    if n == 0 {
+        return 0.0;
+    }
+    marginal_counts(column, n_categories)
+        .into_iter()
+        .filter(|&c| c > 0)
+        .map(|c| {
+            let p = c as f64 / n as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Pearson chi-square statistic of the joint distribution of two columns.
+pub fn chi_square(a: &[Code], ca: usize, b: &[Code], cb: usize) -> f64 {
+    let n = a.len();
+    debug_assert_eq!(n, b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut joint = vec![0usize; ca * cb];
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        joint[x as usize * cb + y as usize] += 1;
+    }
+    let ma = marginal_counts(a, ca);
+    let mb = marginal_counts(b, cb);
+    let mut chi2 = 0.0;
+    for i in 0..ca {
+        for j in 0..cb {
+            let expected = ma[i] as f64 * mb[j] as f64 / n as f64;
+            if expected > 0.0 {
+                let observed = joint[i * cb + j] as f64;
+                chi2 += (observed - expected).powi(2) / expected;
+            }
+        }
+    }
+    chi2
+}
+
+/// Cramér's V association between two columns, in `[0, 1]`
+/// (0 = independent, 1 = perfectly associated).
+pub fn cramers_v(a: &[Code], ca: usize, b: &[Code], cb: usize) -> f64 {
+    let n = a.len();
+    if n == 0 || ca < 2 || cb < 2 {
+        return 0.0;
+    }
+    let chi2 = chi_square(a, ca, b, cb);
+    let k = (ca.min(cb) - 1) as f64;
+    (chi2 / (n as f64 * k)).sqrt().min(1.0)
+}
+
+/// Cramér's V between two attributes of a table.
+pub fn table_association(table: &Table, i: usize, j: usize) -> f64 {
+    cramers_v(
+        table.column(i),
+        table.schema().attr(i).n_categories(),
+        table.column(j),
+        table.schema().attr(j).n_categories(),
+    )
+}
+
+/// Share of records that are *unique* on the given sub-table's attribute
+/// combination — the classic uniqueness-based disclosure indicator: a
+/// unique record is trivially re-identifiable by anyone holding the
+/// original attribute values.
+pub fn uniqueness(sub: &SubTable) -> f64 {
+    let n = sub.n_rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut keys: Vec<Vec<Code>> = (0..n)
+        .map(|r| (0..sub.n_attrs()).map(|k| sub.get(r, k)).collect())
+        .collect();
+    keys.sort_unstable();
+    let mut unique = 0usize;
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && keys[j] == keys[i] {
+            j += 1;
+        }
+        if j - i == 1 {
+            unique += 1;
+        }
+        i = j;
+    }
+    unique as f64 / n as f64
+}
+
+/// Smallest equivalence-class size over the sub-table's attribute
+/// combination — the `k` in k-anonymity (`1` means unique records exist).
+pub fn k_anonymity(sub: &SubTable) -> usize {
+    let n = sub.n_rows();
+    if n == 0 {
+        return 0;
+    }
+    let mut keys: Vec<Vec<Code>> = (0..n)
+        .map(|r| (0..sub.n_attrs()).map(|k| sub.get(r, k)).collect())
+        .collect();
+    keys.sort_unstable();
+    let mut min_class = usize::MAX;
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && keys[j] == keys[i] {
+            j += 1;
+        }
+        min_class = min_class.min(j - i);
+        i = j;
+    }
+    min_class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{DatasetKind, GeneratorConfig};
+    use crate::{Attribute, Schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn entropy_of_constant_and_uniform() {
+        let constant = vec![0u16; 64];
+        assert_eq!(entropy(&constant, 4), 0.0);
+        let uniform: Vec<Code> = (0..64).map(|i| (i % 4) as Code).collect();
+        assert!((entropy(&uniform, 4) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cramers_v_detects_perfect_association() {
+        let a: Vec<Code> = (0..100).map(|i| (i % 3) as Code).collect();
+        let b = a.clone();
+        assert!((cramers_v(&a, 3, &b, 3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cramers_v_near_zero_for_independent_columns() {
+        let a: Vec<Code> = (0..1000).map(|i| (i % 2) as Code).collect();
+        let b: Vec<Code> = (0..1000).map(|i| ((i / 2) % 2) as Code).collect();
+        assert!(cramers_v(&a, 2, &b, 2) < 0.05);
+    }
+
+    #[test]
+    fn generated_adult_links_education_to_occupation() {
+        let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(1));
+        let v_linked = table_association(&ds.table, 1, 3); // EDUCATION vs OCCUPATION
+        let v_free = table_association(&ds.table, 5, 6); // RACE vs SEX (independent)
+        assert!(
+            v_linked > v_free + 0.1,
+            "linked {v_linked:.3} vs free {v_free:.3}"
+        );
+    }
+
+    fn tiny_sub(columns: Vec<Vec<Code>>) -> SubTable {
+        let attrs = (0..columns.len())
+            .map(|i| Attribute::ordinal(format!("A{i}"), 4))
+            .collect();
+        let schema = Arc::new(Schema::new(attrs).unwrap());
+        SubTable::new(schema, (0..columns.len()).collect(), columns).unwrap()
+    }
+
+    #[test]
+    fn uniqueness_counts_singletons() {
+        // rows: (0,0), (0,0), (1,1), (2,2) -> two unique of four
+        let sub = tiny_sub(vec![vec![0, 0, 1, 2], vec![0, 0, 1, 2]]);
+        assert!((uniqueness(&sub) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_anonymity_is_min_class_size() {
+        let sub = tiny_sub(vec![vec![0, 0, 0, 1, 1], vec![0, 0, 0, 1, 1]]);
+        assert_eq!(k_anonymity(&sub), 2);
+        let all_same = tiny_sub(vec![vec![1; 6], vec![2; 6]]);
+        assert_eq!(k_anonymity(&all_same), 6);
+        let has_unique = tiny_sub(vec![vec![0, 1], vec![0, 1]]);
+        assert_eq!(k_anonymity(&has_unique), 1);
+    }
+
+    #[test]
+    fn chi_square_zero_when_one_category() {
+        let a = vec![0u16; 10];
+        let b: Vec<Code> = (0..10).map(|i| (i % 2) as Code).collect();
+        assert_eq!(chi_square(&a, 1, &b, 2), 0.0);
+        assert_eq!(cramers_v(&a, 1, &b, 2), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Column-major categorical tables (the paper's data files).
+
+use std::sync::Arc;
+
+use crate::{Code, DatasetError, Result, Schema, SubTable};
+
+/// A categorical microdata file: an immutable, column-major matrix of
+/// interned category codes plus its schema.
+///
+/// Columns are stored as `Vec<Code>` so per-attribute scans (contingency
+/// tables, rank computations, swapping) are cache-friendly, which is where
+/// the fitness function — by far the dominant cost reported by the paper —
+/// spends its time.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Arc<Schema>,
+    columns: Vec<Vec<Code>>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// Build a table from per-attribute columns.
+    ///
+    /// # Errors
+    /// * [`DatasetError::SchemaMismatch`] when the column count differs from
+    ///   the schema;
+    /// * [`DatasetError::RaggedColumns`] when columns disagree in length;
+    /// * [`DatasetError::InvalidCode`] when a cell is outside its dictionary.
+    pub fn from_columns(schema: Arc<Schema>, columns: Vec<Vec<Code>>) -> Result<Self> {
+        if columns.len() != schema.n_attrs() {
+            return Err(DatasetError::SchemaMismatch(format!(
+                "{} columns for a schema of {} attributes",
+                columns.len(),
+                schema.n_attrs()
+            )));
+        }
+        let n_rows = columns.first().map_or(0, Vec::len);
+        for (j, col) in columns.iter().enumerate() {
+            if col.len() != n_rows {
+                return Err(DatasetError::RaggedColumns {
+                    expected: n_rows,
+                    got: col.len(),
+                    column: j,
+                });
+            }
+            let attr = schema.attr(j);
+            for &code in col {
+                attr.check(code)?;
+            }
+        }
+        Ok(Table {
+            schema,
+            columns,
+            n_rows,
+        })
+    }
+
+    /// Build a table from row tuples.
+    pub fn from_rows(schema: Arc<Schema>, rows: &[Vec<Code>]) -> Result<Self> {
+        let a = schema.n_attrs();
+        let mut columns: Vec<Vec<Code>> = (0..a).map(|_| Vec::with_capacity(rows.len())).collect();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != a {
+                return Err(DatasetError::Parse {
+                    line: i + 1,
+                    msg: format!("row has {} fields, schema has {a}", row.len()),
+                });
+            }
+            for (j, &code) in row.iter().enumerate() {
+                columns[j].push(code);
+            }
+        }
+        Table::from_columns(schema, columns)
+    }
+
+    /// The schema, shared.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column of attribute `j`.
+    pub fn column(&self, j: usize) -> &[Code] {
+        &self.columns[j]
+    }
+
+    /// Cell accessor.
+    pub fn value(&self, row: usize, attr: usize) -> Code {
+        self.columns[attr][row]
+    }
+
+    /// Materialize row `i` into `buf` (cleared first). Reusing one buffer
+    /// across calls avoids per-row allocation.
+    pub fn row_into(&self, i: usize, buf: &mut Vec<Code>) {
+        buf.clear();
+        buf.extend(self.columns.iter().map(|c| c[i]));
+    }
+
+    /// Extract an owned [`SubTable`] of the given attributes — the genotype
+    /// of the evolutionary algorithm is the sub-table of protected columns.
+    ///
+    /// # Errors
+    /// [`DatasetError::AttrOutOfRange`] for invalid indices.
+    pub fn subtable(&self, attrs: &[usize]) -> Result<SubTable> {
+        for &a in attrs {
+            self.schema.try_attr(a)?;
+        }
+        let columns = attrs.iter().map(|&a| self.columns[a].clone()).collect();
+        SubTable::new(Arc::clone(&self.schema), attrs.to_vec(), columns)
+    }
+
+    /// Produce a copy of this table with the protected columns replaced by a
+    /// masked sub-table (e.g. to export a protected file).
+    ///
+    /// # Errors
+    /// [`DatasetError::SchemaMismatch`] when `sub` was not derived from this
+    /// table's schema or row count.
+    pub fn with_subtable(&self, sub: &SubTable) -> Result<Table> {
+        if !Arc::ptr_eq(sub.schema(), &self.schema) && **sub.schema() != *self.schema {
+            return Err(DatasetError::SchemaMismatch(
+                "sub-table built against a different schema".into(),
+            ));
+        }
+        if sub.n_rows() != self.n_rows {
+            return Err(DatasetError::SchemaMismatch(format!(
+                "sub-table has {} rows, table has {}",
+                sub.n_rows(),
+                self.n_rows
+            )));
+        }
+        let mut columns = self.columns.clone();
+        for (k, &a) in sub.attr_indices().iter().enumerate() {
+            columns[a] = sub.column(k).to_vec();
+        }
+        Table::from_columns(Arc::clone(&self.schema), columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrKind, Attribute};
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                Attribute::ordinal("A", 3),
+                Attribute::nominal("B", 2),
+                Attribute::ordinal("C", 4),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn table() -> Table {
+        Table::from_rows(
+            schema(),
+            &[vec![0, 1, 3], vec![1, 0, 2], vec![2, 1, 0], vec![1, 1, 1]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rows_and_columns_agree() {
+        let t = table();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_attrs(), 3);
+        assert_eq!(t.column(2), &[3, 2, 0, 1]);
+        assert_eq!(t.value(1, 0), 1);
+        let mut buf = Vec::new();
+        t.row_into(2, &mut buf);
+        assert_eq!(buf, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn invalid_code_rejected() {
+        let res = Table::from_rows(schema(), &[vec![0, 5, 0]]);
+        assert!(matches!(res, Err(DatasetError::InvalidCode { .. })));
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let res = Table::from_columns(schema(), vec![vec![0, 1], vec![1], vec![0, 0]]);
+        assert!(matches!(res, Err(DatasetError::RaggedColumns { .. })));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let res = Table::from_rows(schema(), &[vec![0, 1]]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn subtable_round_trip() {
+        let t = table();
+        let sub = t.subtable(&[0, 2]).unwrap();
+        assert_eq!(sub.n_attrs(), 2);
+        assert_eq!(sub.column(1), t.column(2));
+        let back = t.with_subtable(&sub).unwrap();
+        assert_eq!(back.column(0), t.column(0));
+        assert_eq!(back.column(1), t.column(1));
+    }
+
+    #[test]
+    fn with_subtable_applies_masked_values() {
+        let t = table();
+        let mut sub = t.subtable(&[1]).unwrap();
+        sub.set(0, 0, 0);
+        let masked = t.with_subtable(&sub).unwrap();
+        assert_eq!(masked.value(0, 1), 0);
+        // untouched column preserved
+        assert_eq!(masked.column(0), t.column(0));
+    }
+
+    #[test]
+    fn subtable_bad_index() {
+        let t = table();
+        assert!(t.subtable(&[7]).is_err());
+    }
+
+    #[test]
+    fn kind_preserved_through_schema() {
+        let t = table();
+        assert_eq!(t.schema().attr(1).kind(), AttrKind::Nominal);
+    }
+}

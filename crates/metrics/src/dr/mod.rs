@@ -1,0 +1,12 @@
+//! Disclosure-risk measures that are not record-linkage based.
+//!
+//! The record-linkage measures (DBRL, PRL, RSRL) live in
+//! [`crate::linkage`]; this module hosts interval disclosure (part of the
+//! paper's DR aggregate) and attribute disclosure (the alternative risk
+//! notion the paper names but does not evaluate — an extension here).
+
+mod attribute;
+mod interval;
+
+pub use attribute::{attribute_disclosure, attribute_disclosure_avg};
+pub use interval::{cell_disclosed, disclosed_counts, id_value, interval_disclosure};

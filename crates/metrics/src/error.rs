@@ -1,0 +1,41 @@
+//! Error type of the metrics crate.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MetricError>;
+
+/// Errors raised while preparing or applying measures.
+#[derive(Debug)]
+pub enum MetricError {
+    /// The masked sub-table does not match the original's shape/schema.
+    ShapeMismatch(String),
+    /// A configuration value outside its admissible range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            MetricError::InvalidConfig(msg) => write!(f, "invalid metric config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MetricError::InvalidConfig("x".into())
+            .to_string()
+            .contains("invalid metric config"));
+        assert!(MetricError::ShapeMismatch("y".into())
+            .to_string()
+            .contains("shape mismatch"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Distance-based information loss (DBIL).
+//!
+//! The mean per-cell categorical distance between original and masked
+//! values: normalized code distance `|x − x′| / (c − 1)` for ordinal
+//! attributes, 0/1 disagreement for nominal ones; scaled to `[0, 100]`.
+
+use cdp_dataset::SubTable;
+
+use crate::prepared::PreparedOriginal;
+
+/// Sum of per-cell distances (the quantity cached for incremental updates).
+pub fn dbil_sum(prep: &PreparedOriginal, masked: &SubTable) -> f64 {
+    let mut sum = 0.0;
+    for k in 0..prep.n_attrs() {
+        let (o, m) = (prep.orig().column(k), masked.column(k));
+        if prep.is_ordinal(k) {
+            let scale = prep.inv_span(k);
+            let mut acc = 0u64;
+            for (&x, &y) in o.iter().zip(m.iter()) {
+                acc += u64::from(x.abs_diff(y));
+            }
+            sum += acc as f64 * scale;
+        } else {
+            sum += o.iter().zip(m.iter()).filter(|(x, y)| x != y).count() as f64;
+        }
+    }
+    sum
+}
+
+/// Convert a distance sum into the `[0, 100]` DBIL value.
+pub fn dbil_value(sum: f64, n_rows: usize, n_attrs: usize) -> f64 {
+    let cells = (n_rows * n_attrs) as f64;
+    if cells == 0.0 {
+        0.0
+    } else {
+        100.0 * sum / cells
+    }
+}
+
+/// DBIL of a masked file.
+pub fn dbil(prep: &PreparedOriginal, masked: &SubTable) -> f64 {
+    dbil_value(dbil_sum(prep, masked), prep.n_rows(), prep.n_attrs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+
+    fn prep_and_sub() -> (PreparedOriginal, SubTable) {
+        let s = DatasetKind::Adult
+            .generate(&GeneratorConfig::seeded(4).with_records(100))
+            .protected_subtable();
+        (PreparedOriginal::new(&s), s)
+    }
+
+    #[test]
+    fn identity_is_zero() {
+        let (p, s) = prep_and_sub();
+        assert_eq!(dbil(&p, &s), 0.0);
+    }
+
+    #[test]
+    fn single_ordinal_step_is_small() {
+        let (p, s) = prep_and_sub();
+        let mut m = s.clone();
+        // EDUCATION ordinal with 16 categories: one step = 1/15 of a cell
+        let v = m.get(0, 0);
+        m.set(0, 0, if v == 0 { 1 } else { v - 1 });
+        let expected = 100.0 * (1.0 / 15.0) / (100.0 * 3.0);
+        assert!((dbil(&p, &m) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nominal_changes_cost_full_cell() {
+        let (p, s) = prep_and_sub();
+        let mut m = s.clone();
+        // MARITAL nominal: any change costs 1 cell
+        let v = m.get(0, 1);
+        m.set(0, 1, if v == 0 { 1 } else { 0 });
+        let expected = 100.0 * 1.0 / (100.0 * 3.0);
+        assert!((dbil(&p, &m) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maximal_distortion_approaches_100() {
+        let (p, s) = prep_and_sub();
+        let mut m = s.clone();
+        for r in 0..m.n_rows() {
+            // push every ordinal cell to the opposite end, flip nominal cells
+            let e = m.get(r, 0);
+            m.set(r, 0, if e < 8 { 15 } else { 0 });
+            m.set(r, 1, (m.get(r, 1) + 1) % 7);
+            m.set(r, 2, (m.get(r, 2) + 1) % 14);
+        }
+        let v = dbil(&p, &m);
+        assert!(v > 50.0);
+        assert!(v <= 100.0);
+    }
+
+    #[test]
+    fn sum_and_value_agree_with_direct() {
+        let (p, s) = prep_and_sub();
+        let mut m = s.clone();
+        for r in (0..m.n_rows()).step_by(3) {
+            m.set(r, 2, (m.get(r, 2) + 3) % 14);
+        }
+        let direct = dbil(&p, &m);
+        let via_sum = dbil_value(dbil_sum(&p, &m), p.n_rows(), p.n_attrs());
+        assert!((direct - via_sum).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,18 @@
+//! Information-loss measures.
+//!
+//! The paper uses three published measures, normalized here to `[0, 100]`,
+//! and averages them into the final IL value:
+//!
+//! * [`ctbil`] — contingency-table-based IL: total-variation distance
+//!   between the original and masked contingency tables of orders 1 and 2;
+//! * [`dbil`] — distance-based IL: mean per-cell categorical distance;
+//! * [`ebil`] — entropy-based IL: expected bits needed to recover the
+//!   original value from the masked one, per Kooiman et al. (1998).
+
+mod ctbil;
+mod dbil;
+mod ebil;
+
+pub use ctbil::ctbil;
+pub use dbil::{dbil, dbil_sum, dbil_value};
+pub use ebil::{build_confusion, ebil, ebil_from_confusion, update_confusion};

@@ -1,0 +1,204 @@
+//! Distance-based record linkage (DBRL).
+//!
+//! Domingo-Ferrer & Torra (2002): link every masked record to the original
+//! record(s) at minimal distance. A masked record is re-identified when its
+//! true source is among the nearest originals; ties are credited
+//! fractionally (`1/|ties|`), the standard correction when the intruder
+//! must pick among equally close candidates.
+
+use cdp_dataset::SubTable;
+
+use crate::linkage::credits_value;
+use crate::prepared::PreparedOriginal;
+
+/// Re-identification credit of masked record `i` (0, or `1/|ties|`).
+pub fn dbrl_credit(prep: &PreparedOriginal, masked: &SubTable, i: usize) -> f64 {
+    let n = prep.n_rows();
+    let a = prep.n_attrs();
+    let mut best = f64::INFINITY;
+    let mut ties = 0usize;
+    let mut self_is_best = false;
+    for j in 0..n {
+        let mut d = 0.0;
+        for k in 0..a {
+            d += prep.cell_distance(k, masked.get(i, k), prep.orig().get(j, k));
+        }
+        if d + 1e-12 < best {
+            best = d;
+            ties = 1;
+            self_is_best = j == i;
+        } else if (d - best).abs() <= 1e-12 {
+            ties += 1;
+            self_is_best |= j == i;
+        }
+    }
+    if self_is_best {
+        1.0 / ties as f64
+    } else {
+        0.0
+    }
+}
+
+/// Credits for every masked record.
+pub fn dbrl_credits(prep: &PreparedOriginal, masked: &SubTable) -> Vec<f64> {
+    (0..prep.n_rows())
+        .map(|i| dbrl_credit(prep, masked, i))
+        .collect()
+}
+
+/// Top-`k` variant (extension, the LD-kNN attack): masked record `i` is
+/// considered re-identified when its true source ranks among the `k`
+/// nearest originals (fewer than `k` records strictly closer). Reduces to
+/// a 0/1 version of [`dbrl_credit`] at `k = 1` minus tie credit.
+pub fn dbrl_topk_disclosed(
+    prep: &PreparedOriginal,
+    masked: &SubTable,
+    i: usize,
+    k: usize,
+) -> bool {
+    let n = prep.n_rows();
+    let a = prep.n_attrs();
+    let mut d_self = 0.0;
+    for kx in 0..a {
+        d_self += prep.cell_distance(kx, masked.get(i, kx), prep.orig().get(i, kx));
+    }
+    let mut strictly_closer = 0usize;
+    for j in 0..n {
+        if j == i {
+            continue;
+        }
+        let mut d = 0.0;
+        for kx in 0..a {
+            d += prep.cell_distance(kx, masked.get(i, kx), prep.orig().get(j, kx));
+        }
+        if d + 1e-12 < d_self {
+            strictly_closer += 1;
+            if strictly_closer >= k {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Share of records disclosed by the top-`k` attack, in `[0, 100]`.
+pub fn dbrl_topk(prep: &PreparedOriginal, masked: &SubTable, k: usize) -> f64 {
+    let n = prep.n_rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let hits = (0..n)
+        .filter(|&i| dbrl_topk_disclosed(prep, masked, i, k.max(1)))
+        .count();
+    100.0 * hits as f64 / n as f64
+}
+
+/// DBRL of a masked file, in `[0, 100]`.
+pub fn dbrl(prep: &PreparedOriginal, masked: &SubTable) -> f64 {
+    credits_value(&dbrl_credits(prep, masked))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn prep_and_sub(n: usize) -> (PreparedOriginal, SubTable) {
+        let s = DatasetKind::Adult
+            .generate(&GeneratorConfig::seeded(7).with_records(n))
+            .protected_subtable();
+        (PreparedOriginal::new(&s), s)
+    }
+
+    #[test]
+    fn identity_links_almost_everything() {
+        let (p, s) = prep_and_sub(150);
+        let v = dbrl(&p, &s);
+        // every record is its own nearest neighbour (ties with duplicates)
+        assert!(v > 50.0, "got {v}");
+        assert!(v <= 100.0);
+    }
+
+    #[test]
+    fn heavy_randomization_breaks_links() {
+        let (p, s) = prep_and_sub(150);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = s.clone();
+        for k in 0..m.n_attrs() {
+            let c = p.cats(k) as u16;
+            for r in 0..m.n_rows() {
+                m.set(r, k, rng.gen_range(0..c));
+            }
+        }
+        let masked = dbrl(&p, &m);
+        let clear = dbrl(&p, &s);
+        assert!(masked < clear / 2.0, "masked {masked} vs clear {clear}");
+    }
+
+    #[test]
+    fn duplicate_records_share_credit() {
+        // two identical originals: a masked copy of either links with 1/2
+        let (_p, s) = prep_and_sub(60);
+        let mut dup = s.clone();
+        for k in 0..dup.n_attrs() {
+            let v = dup.get(0, k);
+            dup.set(1, k, v);
+        }
+        let p2 = PreparedOriginal::new(&dup);
+        let credit = dbrl_credit(&p2, &dup, 0);
+        assert!(credit <= 0.5 + 1e-12);
+        assert!(credit > 0.0);
+    }
+
+    #[test]
+    fn per_record_credits_sum_to_value() {
+        let (p, s) = prep_and_sub(80);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = s.clone();
+        for r in 0..m.n_rows() {
+            if rng.gen_bool(0.4) {
+                m.set(r, 0, rng.gen_range(0..16));
+            }
+        }
+        let credits = dbrl_credits(&p, &m);
+        let direct = dbrl(&p, &m);
+        assert!((credits_value(&credits) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topk_widens_with_k() {
+        let (p, s) = prep_and_sub(120);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = s.clone();
+        for r in 0..m.n_rows() {
+            if rng.gen_bool(0.6) {
+                m.set(r, 0, rng.gen_range(0..16));
+            }
+        }
+        let k1 = dbrl_topk(&p, &m, 1);
+        let k5 = dbrl_topk(&p, &m, 5);
+        let k50 = dbrl_topk(&p, &m, 50);
+        assert!(k1 <= k5 && k5 <= k50, "{k1} <= {k5} <= {k50} violated");
+        assert!((0.0..=100.0).contains(&k50));
+    }
+
+    #[test]
+    fn topk_identity_discloses_everything() {
+        let (p, s) = prep_and_sub(80);
+        // with k >= 1 every identity record has no one strictly closer
+        assert_eq!(dbrl_topk(&p, &s, 1), 100.0);
+    }
+
+    #[test]
+    fn credit_is_record_local() {
+        // changing record 5 must not change record 9's credit
+        let (p, s) = prep_and_sub(80);
+        let before = dbrl_credit(&p, &s, 9);
+        let mut m = s.clone();
+        m.set(5, 0, (m.get(5, 0) + 4) % 16);
+        let after = dbrl_credit(&p, &m, 9);
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,383 @@
+//! Cached statistics of the original file and of one masked file.
+//!
+//! Every measure consults the original data only through
+//! [`PreparedOriginal`], built once per experiment; the per-evaluation
+//! masked-side statistics live in [`MaskedStats`]. Keeping both explicit is
+//! what makes the incremental (single-mutation) re-assessment possible.
+
+use cdp_dataset::{AttrKind, Code, SubTable};
+
+use crate::contingency::ContingencyTables;
+use crate::{MetricError, Result};
+
+/// Immutable, precomputed view of the original protected columns.
+#[derive(Debug, Clone)]
+pub struct PreparedOriginal {
+    orig: SubTable,
+    cats: Vec<usize>,
+    ordinal: Vec<bool>,
+    /// `1 / (c − 1)` per attribute (0 for single-category attributes);
+    /// the scale of ordinal code distances.
+    inv_span: Vec<f64>,
+    counts: Vec<Vec<u32>>,
+    probs: Vec<Vec<f64>>,
+    /// Total-order position of each category: dictionary order for ordinal
+    /// attributes, ascending frequency order (of the original column) for
+    /// nominal ones.
+    order_keys: Vec<Vec<usize>>,
+    /// First rank (0-based) of each category when the original column is
+    /// sorted by `order_keys`.
+    rank_start: Vec<Vec<usize>>,
+    tables: ContingencyTables,
+    /// `Σ_v p(v)²` per attribute: the probability two random records agree
+    /// by chance (the Fellegi–Sunter `u` initialization).
+    chance_agreement: Vec<f64>,
+}
+
+impl PreparedOriginal {
+    /// Precompute all original-side statistics.
+    pub fn new(orig: &SubTable) -> Self {
+        let a = orig.n_attrs();
+        let n = orig.n_rows();
+        let cats: Vec<usize> = (0..a).map(|k| orig.attr(k).n_categories()).collect();
+        let ordinal: Vec<bool> = (0..a).map(|k| orig.attr(k).kind().is_ordinal()).collect();
+        let inv_span: Vec<f64> = cats
+            .iter()
+            .map(|&c| if c > 1 { 1.0 / (c - 1) as f64 } else { 0.0 })
+            .collect();
+
+        let mut counts: Vec<Vec<u32>> = cats.iter().map(|&c| vec![0u32; c]).collect();
+        for (k, count) in counts.iter_mut().enumerate() {
+            for &v in orig.column(k) {
+                count[v as usize] += 1;
+            }
+        }
+        let probs: Vec<Vec<f64>> = counts
+            .iter()
+            .map(|cnt| cnt.iter().map(|&x| x as f64 / n.max(1) as f64).collect())
+            .collect();
+
+        let order_keys: Vec<Vec<usize>> = (0..a)
+            .map(|k| match orig.attr(k).kind() {
+                AttrKind::Ordinal => (0..cats[k]).collect(),
+                AttrKind::Nominal => {
+                    let mut codes: Vec<usize> = (0..cats[k]).collect();
+                    codes.sort_by_key(|&c| (counts[k][c], c));
+                    let mut key = vec![0usize; cats[k]];
+                    for (pos, &c) in codes.iter().enumerate() {
+                        key[c] = pos;
+                    }
+                    key
+                }
+            })
+            .collect();
+
+        let rank_start = rank_starts(&counts, &order_keys);
+
+        let chance_agreement: Vec<f64> = probs
+            .iter()
+            .map(|p| p.iter().map(|&x| x * x).sum())
+            .collect();
+
+        PreparedOriginal {
+            tables: ContingencyTables::build(orig),
+            orig: orig.clone(),
+            cats,
+            ordinal,
+            inv_span,
+            counts,
+            probs,
+            order_keys,
+            rank_start,
+            chance_agreement,
+        }
+    }
+
+    /// The original sub-table.
+    pub fn orig(&self) -> &SubTable {
+        &self.orig
+    }
+
+    /// Number of records.
+    pub fn n_rows(&self) -> usize {
+        self.orig.n_rows()
+    }
+
+    /// Number of protected attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.orig.n_attrs()
+    }
+
+    /// Category count of attribute `k`.
+    pub fn cats(&self, k: usize) -> usize {
+        self.cats[k]
+    }
+
+    /// Whether attribute `k` is ordinal.
+    pub fn is_ordinal(&self, k: usize) -> bool {
+        self.ordinal[k]
+    }
+
+    /// `1/(c−1)` scale of attribute `k`.
+    pub fn inv_span(&self, k: usize) -> f64 {
+        self.inv_span[k]
+    }
+
+    /// Original marginal counts of attribute `k`.
+    pub fn counts(&self, k: usize) -> &[u32] {
+        &self.counts[k]
+    }
+
+    /// Original marginal probabilities of attribute `k`.
+    pub fn probs(&self, k: usize) -> &[f64] {
+        &self.probs[k]
+    }
+
+    /// Total-order keys of attribute `k`.
+    pub fn order_keys(&self, k: usize) -> &[usize] {
+        &self.order_keys[k]
+    }
+
+    /// First sorted-rank of each category in the original column `k`.
+    pub fn rank_start(&self, k: usize) -> &[usize] {
+        &self.rank_start[k]
+    }
+
+    /// Original contingency tables (orders 1 and 2).
+    pub fn tables(&self) -> &ContingencyTables {
+        &self.tables
+    }
+
+    /// Chance-agreement probability of attribute `k`.
+    pub fn chance_agreement(&self, k: usize) -> f64 {
+        self.chance_agreement[k]
+    }
+
+    /// Distance between two codes of attribute `k`: normalized code
+    /// distance for ordinal attributes, 0/1 for nominal ones.
+    #[inline]
+    pub fn cell_distance(&self, k: usize, x: Code, y: Code) -> f64 {
+        if self.ordinal[k] {
+            f64::from(x.abs_diff(y)) * self.inv_span[k]
+        } else if x == y {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Verify that a masked file is comparable to the original (same schema
+    /// object semantics, attribute selection and row count).
+    pub fn check_compatible(&self, masked: &SubTable) -> Result<()> {
+        if masked.n_rows() != self.orig.n_rows()
+            || masked.attr_indices() != self.orig.attr_indices()
+            || **masked.schema() != **self.orig.schema()
+        {
+            return Err(MetricError::ShapeMismatch(format!(
+                "masked file ({} rows, attrs {:?}) does not match original ({} rows, attrs {:?})",
+                masked.n_rows(),
+                masked.attr_indices(),
+                self.orig.n_rows(),
+                self.orig.attr_indices(),
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Per-evaluation statistics of one masked file: marginal counts and the
+/// first sorted-rank of each category (under the *original* order keys, the
+/// attacker's fixed view of the category order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskedStats {
+    /// Marginal counts per attribute.
+    pub counts: Vec<Vec<u32>>,
+    /// First rank of each category in the sorted masked column.
+    pub rank_start: Vec<Vec<usize>>,
+}
+
+impl MaskedStats {
+    /// Build the masked-side statistics.
+    pub fn build(prep: &PreparedOriginal, masked: &SubTable) -> Self {
+        let a = prep.n_attrs();
+        let mut counts: Vec<Vec<u32>> = (0..a).map(|k| vec![0u32; prep.cats(k)]).collect();
+        for (k, count) in counts.iter_mut().enumerate() {
+            for &v in masked.column(k) {
+                count[v as usize] += 1;
+            }
+        }
+        let order_keys: Vec<Vec<usize>> =
+            (0..a).map(|k| prep.order_keys(k).to_vec()).collect();
+        let rank_start = rank_starts(&counts, &order_keys);
+        MaskedStats { counts, rank_start }
+    }
+
+    /// Midrank of category `v` of attribute `k` in the masked column.
+    pub fn midrank(&self, k: usize, v: Code) -> f64 {
+        let c = self.counts[k][v as usize];
+        self.rank_start[k][v as usize] as f64 + (c.saturating_sub(1)) as f64 / 2.0
+    }
+
+    /// Update after one cell of attribute `k` changed from `old` to `new`.
+    /// Recomputes that attribute's rank starts (O(c)).
+    pub fn apply_mutation(&mut self, prep: &PreparedOriginal, k: usize, old: Code, new: Code) {
+        if old == new {
+            return;
+        }
+        self.counts[k][old as usize] -= 1;
+        self.counts[k][new as usize] += 1;
+        let keys = prep.order_keys(k);
+        recompute_rank_start(&self.counts[k], keys, &mut self.rank_start[k]);
+    }
+}
+
+fn rank_starts(counts: &[Vec<u32>], order_keys: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    counts
+        .iter()
+        .zip(order_keys.iter())
+        .map(|(cnt, keys)| {
+            let mut start = vec![0usize; cnt.len()];
+            recompute_rank_start(cnt, keys, &mut start);
+            start
+        })
+        .collect()
+}
+
+fn recompute_rank_start(counts: &[u32], keys: &[usize], out: &mut [usize]) {
+    // categories visited in total-order position
+    let mut by_key: Vec<usize> = (0..counts.len()).collect();
+    by_key.sort_by_key(|&c| keys[c]);
+    let mut cum = 0usize;
+    for &c in &by_key {
+        out[c] = cum;
+        cum += counts[c] as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+
+    fn sub() -> SubTable {
+        DatasetKind::Adult
+            .generate(&GeneratorConfig::seeded(2).with_records(100))
+            .protected_subtable()
+    }
+
+    #[test]
+    fn counts_and_probs_are_consistent() {
+        let s = sub();
+        let p = PreparedOriginal::new(&s);
+        for k in 0..p.n_attrs() {
+            let total: u32 = p.counts(k).iter().sum();
+            assert_eq!(total as usize, p.n_rows());
+            let psum: f64 = p.probs(k).iter().sum();
+            assert!((psum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ordinal_order_keys_are_identity() {
+        let s = sub();
+        let p = PreparedOriginal::new(&s);
+        // EDUCATION (k=0) is ordinal in Adult
+        assert!(p.is_ordinal(0));
+        assert_eq!(p.order_keys(0), &(0..16).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn nominal_order_keys_sort_by_frequency() {
+        let s = sub();
+        let p = PreparedOriginal::new(&s);
+        // MARITAL (k=1) is nominal: key order must sort counts ascending
+        assert!(!p.is_ordinal(1));
+        let keys = p.order_keys(1);
+        let counts = p.counts(1);
+        let mut by_key: Vec<usize> = (0..counts.len()).collect();
+        by_key.sort_by_key(|&c| keys[c]);
+        for w in by_key.windows(2) {
+            assert!(counts[w[0]] <= counts[w[1]]);
+        }
+    }
+
+    #[test]
+    fn rank_starts_partition_the_records() {
+        let s = sub();
+        let p = PreparedOriginal::new(&s);
+        for k in 0..p.n_attrs() {
+            let starts = p.rank_start(k);
+            let counts = p.counts(k);
+            let keys = p.order_keys(k);
+            let mut spans: Vec<(usize, usize)> = (0..counts.len())
+                .filter(|&c| counts[c] > 0)
+                .map(|c| (starts[c], starts[c] + counts[c] as usize))
+                .collect();
+            spans.sort_unstable();
+            let mut expected = 0usize;
+            for (s0, s1) in spans {
+                assert_eq!(s0, expected);
+                expected = s1;
+            }
+            assert_eq!(expected, p.n_rows());
+            let _ = keys;
+        }
+    }
+
+    #[test]
+    fn cell_distance_semantics() {
+        let s = sub();
+        let p = PreparedOriginal::new(&s);
+        // ordinal EDUCATION: 16 categories, span 15
+        assert!((p.cell_distance(0, 0, 15) - 1.0).abs() < 1e-12);
+        assert!((p.cell_distance(0, 3, 3) - 0.0).abs() < 1e-12);
+        assert!((p.cell_distance(0, 3, 4) - 1.0 / 15.0).abs() < 1e-12);
+        // nominal MARITAL: 0/1
+        assert_eq!(p.cell_distance(1, 2, 2), 0.0);
+        assert_eq!(p.cell_distance(1, 2, 3), 1.0);
+    }
+
+    #[test]
+    fn masked_stats_mutation_matches_rebuild() {
+        let s = sub();
+        let p = PreparedOriginal::new(&s);
+        let mut m = s.clone();
+        let mut stats = MaskedStats::build(&p, &m);
+        let muts = [(0usize, 0usize, 9u16), (5, 1, 3), (10, 2, 7), (0, 0, 2)];
+        for &(row, k, new) in &muts {
+            let new = new % p.cats(k) as Code;
+            let old = m.get(row, k);
+            m.set(row, k, new);
+            stats.apply_mutation(&p, k, old, new);
+        }
+        assert_eq!(stats, MaskedStats::build(&p, &m));
+    }
+
+    #[test]
+    fn midrank_of_unique_value() {
+        let s = sub();
+        let p = PreparedOriginal::new(&s);
+        let stats = MaskedStats::build(&p, &s);
+        for k in 0..p.n_attrs() {
+            for v in 0..p.cats(k) as Code {
+                if stats.counts[k][v as usize] == 1 {
+                    assert_eq!(
+                        stats.midrank(k, v),
+                        stats.rank_start[k][v as usize] as f64
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incompatible_masked_rejected() {
+        let s = sub();
+        let p = PreparedOriginal::new(&s);
+        let other = DatasetKind::Adult
+            .generate(&GeneratorConfig::seeded(2).with_records(50))
+            .protected_subtable();
+        assert!(p.check_compatible(&other).is_err());
+        assert!(p.check_compatible(&s).is_ok());
+    }
+}

@@ -1,0 +1,166 @@
+//! Hand-computed ground truth on a 4-record, 2-attribute table.
+//!
+//! Original (O ordinal with 3 categories, N nominal with 2):
+//!
+//! | row | O | N |
+//! |-----|---|---|
+//! | 0   | 0 | 0 |
+//! | 1   | 1 | 0 |
+//! | 2   | 2 | 1 |
+//! | 3   | 1 | 1 |
+//!
+//! The masked variant changes exactly one cell: row 0's O from 0 to 1.
+//! Every expected value below is derived in the comments, making this the
+//! arithmetic anchor for the whole measure suite.
+
+use std::sync::Arc;
+
+use cdp_dataset::{AttrKind, Attribute, Schema, SubTable};
+use cdp_metrics::{Evaluator, MetricConfig};
+
+fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::new(vec![
+            Attribute::new("O", AttrKind::Ordinal, vec!["o0".into(), "o1".into(), "o2".into()])
+                .unwrap(),
+            Attribute::new("N", AttrKind::Nominal, vec!["n0".into(), "n1".into()]).unwrap(),
+        ])
+        .unwrap(),
+    )
+}
+
+fn original() -> SubTable {
+    SubTable::new(schema(), vec![0, 1], vec![vec![0, 1, 2, 1], vec![0, 0, 1, 1]]).unwrap()
+}
+
+fn masked() -> SubTable {
+    // row 0: O 0 -> 1
+    SubTable::new(schema(), vec![0, 1], vec![vec![1, 1, 2, 1], vec![0, 0, 1, 1]]).unwrap()
+}
+
+fn evaluator() -> Evaluator {
+    Evaluator::new(&original(), MetricConfig::default()).unwrap()
+}
+
+const TOL: f64 = 1e-3;
+
+#[test]
+fn dbil_single_ordinal_step() {
+    // one changed cell at ordinal distance |0-1|/(3-1) = 0.5;
+    // 8 cells total -> 100 * 0.5 / 8 = 6.25
+    let a = evaluator().evaluate(&masked());
+    assert!((a.il_parts.dbil - 6.25).abs() < TOL, "dbil = {}", a.il_parts.dbil);
+}
+
+#[test]
+fn ctbil_by_table_counting() {
+    // singles O: [1,2,1] vs [0,3,1] -> |diff| = 2; singles N: 0;
+    // pair O×N: orig {(0,0):1,(1,0):1,(2,1):1,(1,1):1},
+    //           masked {(1,0):2,(2,1):1,(1,1):1} -> |diff| = 2;
+    // total 4 over denominator 2·n·T = 2·4·3 = 24 -> 100·4/24 = 16.667
+    let a = evaluator().evaluate(&masked());
+    assert!(
+        (a.il_parts.ctbil - 100.0 * 4.0 / 24.0).abs() < TOL,
+        "ctbil = {}",
+        a.il_parts.ctbil
+    );
+}
+
+#[test]
+fn ebil_from_the_confusion_channel() {
+    // attr O: masked value o1 was published for originals {o0 ×1, o1 ×2},
+    // so H(orig | masked=o1) = H(1/3, 2/3) = 0.918296 bits, charged to 3
+    // records -> 2.754887 bits. masked o2 is unambiguous. attr N identical.
+    // capacity = n · (log2 3 + log2 2) = 4 · 2.584963 = 10.339850
+    // EBIL = 100 · 2.754887 / 10.339850 = 26.6434
+    let a = evaluator().evaluate(&masked());
+    assert!((a.il_parts.ebil - 26.6434).abs() < TOL, "ebil = {}", a.il_parts.ebil);
+}
+
+#[test]
+fn interval_disclosure_window_catches_one_step() {
+    // O window = max(1, round(0.1·2)) = 1 -> the 0->1 change stays inside
+    // the interval; everything else is identical. ID = 100.
+    let a = evaluator().evaluate(&masked());
+    assert!((a.dr_parts.id - 100.0).abs() < TOL, "id = {}", a.dr_parts.id);
+}
+
+#[test]
+fn dbrl_links_three_of_four() {
+    // masked rows: (1,0),(1,0),(2,1),(1,1)
+    // record 0 -> nearest original is row 1 (distance 0), not itself: 0
+    // records 1..3 -> their own originals at distance 0, unique: 1 each
+    let a = evaluator().evaluate(&masked());
+    assert!((a.dr_parts.dbrl - 75.0).abs() < TOL, "dbrl = {}", a.dr_parts.dbrl);
+}
+
+#[test]
+fn prl_links_three_of_four() {
+    // full-agreement candidates are unique for records 1..3 and point to
+    // row 1 (not 0) for record 0; with m > u the full-agreement pattern
+    // dominates, so PRL = 75 regardless of the exact EM estimates
+    let a = evaluator().evaluate(&masked());
+    assert!((a.dr_parts.prl - 75.0).abs() < TOL, "prl = {}", a.dr_parts.prl);
+}
+
+#[test]
+fn rsrl_candidate_sets_by_hand() {
+    // window = max(1, 0.05·4) = 1 rank position.
+    // original rank starts O: o0:0, o1:1, o2:3; N: n0:0, n1:2.
+    // masked midranks O: o1 -> 1.0 (3 holders from rank 0), o2 -> 3.
+    // record 0 (1,0): O∈{o0,o1}, N=n0 -> candidates {row0,row1}, self in -> 1/2
+    // record 1 (1,0): same set -> 1/2
+    // record 2 (2,1): O∈{o1,o2}, N=n1 -> {row2,row3} -> 1/2
+    // record 3 (1,1): O∈{o0,o1}, N=n1 -> {row3} -> 1
+    // RSRL = 100·(0.5+0.5+0.5+1)/4 = 62.5
+    let a = evaluator().evaluate(&masked());
+    assert!((a.dr_parts.rsrl - 62.5).abs() < TOL, "rsrl = {}", a.dr_parts.rsrl);
+}
+
+#[test]
+fn identity_reference_values() {
+    // identity masking: IL components all zero; ID = 100; all four rows
+    // are distinct so DBRL = PRL = 100.
+    // RSRL by hand: midranks O: o0->0, o1->1.5, o2->3; candidate sets
+    // {row0,row1}, {row1}, {row2,row3}, {row3} -> (0.5+1+0.5+1)/4 = 75.
+    let a = evaluator().evaluate(&original());
+    assert!(a.il_parts.ctbil.abs() < TOL);
+    assert!(a.il_parts.dbil.abs() < TOL);
+    assert!(a.il_parts.ebil.abs() < TOL);
+    assert!((a.dr_parts.id - 100.0).abs() < TOL);
+    assert!((a.dr_parts.dbrl - 100.0).abs() < TOL);
+    assert!((a.dr_parts.prl - 100.0).abs() < TOL);
+    assert!((a.dr_parts.rsrl - 75.0).abs() < TOL, "rsrl = {}", a.dr_parts.rsrl);
+}
+
+#[test]
+fn aggregates_follow_from_components() {
+    let a = evaluator().evaluate(&masked());
+    let il = (a.il_parts.ctbil + a.il_parts.dbil + a.il_parts.ebil) / 3.0;
+    let dr = (a.dr_parts.id + a.dr_parts.dbrl + a.dr_parts.prl + a.dr_parts.rsrl) / 4.0;
+    assert!((a.il() - il).abs() < 1e-12);
+    assert!((a.dr() - dr).abs() < 1e-12);
+}
+
+#[test]
+fn incremental_path_il_and_dbrl_exact_rsrl_approximate() {
+    let ev = evaluator();
+    let orig = original();
+    let state0 = ev.assess(&orig);
+    let m = masked();
+    let state1 = ev.reassess_mutation(&state0, &m, 0, 0, 0);
+    let full = ev.evaluate(&m);
+    // IL and DBRL are exact under the incremental contract
+    assert!((state1.assessment.il() - full.il()).abs() < 1e-9);
+    assert!((state1.assessment.dr_parts.dbrl - 75.0).abs() < TOL);
+    // RSRL is the documented approximation: only the mutated record is
+    // relinked, so records 1..3 keep their identity-run credits (1, ½, 1)
+    // while record 0 is recomputed to ½ -> 100·(½+1+½+1)/4 = 75, whereas
+    // the exact value (all records relinked) is 62.5.
+    assert!(
+        (state1.assessment.dr_parts.rsrl - 75.0).abs() < TOL,
+        "incremental rsrl = {}",
+        state1.assessment.dr_parts.rsrl
+    );
+    assert!((full.dr_parts.rsrl - 62.5).abs() < TOL);
+}

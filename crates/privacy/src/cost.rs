@@ -1,0 +1,168 @@
+//! Utility-cost metrics for generalized files — the objective functions of
+//! the lattice search, mirroring the metrics the anonymization literature
+//! (Samarati, Incognito, OLA) optimizes.
+//!
+//! All costs *decrease with better utility* (smaller is better), matching
+//! the orientation of the workspace's IL measures.
+
+use crate::lattice::Lattice;
+use crate::partition::Partition;
+
+/// The discernibility metric (DM): `Σ_classes |E|²`, with every record of a
+/// class violating k-anonymity charged `n` instead (the classic penalty:
+/// violating records are as discernible as if the file had been released
+/// unprotected). Normalized by `n²` so files of different sizes compare.
+pub fn discernibility(partition: &Partition, k: usize) -> f64 {
+    let n = partition.n_rows() as f64;
+    let mut dm = 0f64;
+    for &size in partition.class_sizes() {
+        let s = size as f64;
+        if (size as usize) < k {
+            dm += s * n;
+        } else {
+            dm += s * s;
+        }
+    }
+    dm / (n * n)
+}
+
+/// The average-class-size metric `C_avg = (n / n_classes) / k`: how much
+/// larger the average class is than the minimum the model requires. Values
+/// near 1 mean the recoding is tight; large values mean over-generalization.
+pub fn avg_class_size(partition: &Partition, k: usize) -> f64 {
+    debug_assert!(k >= 1);
+    (partition.n_rows() as f64 / partition.n_classes() as f64) / k as f64
+}
+
+/// Generalization imprecision: the mean, over attributes, of
+/// `level / (levels − 1)` — 0 at the lattice bottom, 1 at the top.
+/// (This is `1 − Prec` of Sweeney's precision metric, oriented so smaller
+/// is better.) Attributes with an identity-only hierarchy contribute 0.
+pub fn imprecision(lattice: &Lattice, node: &[u8]) -> f64 {
+    let mut total = 0f64;
+    for (&level, &dim) in node.iter().zip(lattice.dims()) {
+        if dim > 1 {
+            total += level as f64 / (dim - 1) as f64;
+        }
+    }
+    total / lattice.n_attrs() as f64
+}
+
+/// The cost function minimized by [`crate::search::LatticeSearch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostKind {
+    /// Discernibility metric (partition-shape based).
+    Discernibility,
+    /// Average class size relative to `k` (partition-shape based).
+    AvgClassSize,
+    /// Mean normalized generalization level (node based).
+    Imprecision,
+}
+
+impl CostKind {
+    /// Evaluate this cost for a node and the partition it induces.
+    pub fn evaluate(
+        self,
+        lattice: &Lattice,
+        node: &[u8],
+        partition: &Partition,
+        k: usize,
+    ) -> f64 {
+        match self {
+            CostKind::Discernibility => discernibility(partition, k),
+            CostKind::AvgClassSize => avg_class_size(partition, k),
+            CostKind::Imprecision => imprecision(lattice, node),
+        }
+    }
+
+    /// Identifier for reports and bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostKind::Discernibility => "dm",
+            CostKind::AvgClassSize => "cavg",
+            CostKind::Imprecision => "imprec",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::{Attribute, Code, Schema, SubTable};
+    use std::sync::Arc;
+
+    fn partition(col: Vec<Code>) -> Partition {
+        let schema = Arc::new(Schema::new(vec![Attribute::nominal("Q", 8)]).unwrap());
+        let sub = SubTable::new(schema, vec![0], vec![col]).unwrap();
+        Partition::of_subtable(&sub).unwrap()
+    }
+
+    #[test]
+    fn discernibility_of_one_class_is_one() {
+        let p = partition(vec![0; 10]);
+        assert!((discernibility(&p, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discernibility_charges_violators_n() {
+        // 4 records: class of 3 + singleton; k = 2
+        let p = partition(vec![0, 0, 0, 1]);
+        // (3² + 1·4) / 4² = 13/16
+        assert!((discernibility(&p, 2) - 13.0 / 16.0).abs() < 1e-12);
+        // with k = 1 nothing violates: (9 + 1) / 16
+        assert!((discernibility(&p, 1) - 10.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finer_partitions_discern_better() {
+        let fine = partition(vec![0, 0, 1, 1, 2, 2]);
+        let coarse = partition(vec![0, 0, 0, 0, 0, 0]);
+        assert!(discernibility(&fine, 2) < discernibility(&coarse, 2));
+    }
+
+    #[test]
+    fn avg_class_size_is_one_when_tight() {
+        let p = partition(vec![0, 0, 1, 1, 2, 2]);
+        assert!((avg_class_size(&p, 2) - 1.0).abs() < 1e-12);
+        assert!((avg_class_size(&p, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imprecision_spans_zero_to_one() {
+        let lat = Lattice::new(vec![4, 3]).unwrap();
+        assert_eq!(imprecision(&lat, &lat.bottom()), 0.0);
+        assert!((imprecision(&lat, &lat.top()) - 1.0).abs() < 1e-12);
+        // halfway on one attribute only
+        let mid = vec![0u8, 1];
+        assert!((imprecision(&lat, &mid) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_only_attribute_contributes_nothing() {
+        let lat = Lattice::new(vec![1, 3]).unwrap();
+        assert_eq!(imprecision(&lat, &lat.bottom()), 0.0);
+        assert!((imprecision(&lat, &lat.top()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_kind_dispatch_and_names() {
+        let lat = Lattice::new(vec![2]).unwrap();
+        let p = partition(vec![0, 0, 1, 1]);
+        let node = vec![0u8];
+        assert_eq!(
+            CostKind::Discernibility.evaluate(&lat, &node, &p, 2),
+            discernibility(&p, 2)
+        );
+        assert_eq!(
+            CostKind::AvgClassSize.evaluate(&lat, &node, &p, 2),
+            avg_class_size(&p, 2)
+        );
+        assert_eq!(
+            CostKind::Imprecision.evaluate(&lat, &node, &p, 2),
+            imprecision(&lat, &node)
+        );
+        assert_eq!(CostKind::Discernibility.name(), "dm");
+        assert_eq!(CostKind::AvgClassSize.name(), "cavg");
+        assert_eq!(CostKind::Imprecision.name(), "imprec");
+    }
+}

@@ -1,0 +1,114 @@
+//! Error type for the privacy-model crate.
+
+use std::fmt;
+
+/// Errors raised by privacy-model computations and lattice searches.
+#[derive(Debug)]
+pub enum PrivacyError {
+    /// An input collection was empty where data is required.
+    Empty(String),
+    /// Two inputs that must describe the same records disagree in shape.
+    ShapeMismatch {
+        /// What was being compared.
+        what: String,
+        /// Size of the first operand.
+        left: usize,
+        /// Size of the second operand.
+        right: usize,
+    },
+    /// A parameter was outside its admissible range.
+    InvalidParam(String),
+    /// No lattice node satisfies the requested privacy model.
+    Unsatisfiable {
+        /// The requested minimum class size.
+        k: usize,
+    },
+    /// A hierarchy's levels are not nested, so monotonic pruning (and the
+    /// correctness of the Samarati binary search) is not guaranteed.
+    NotNested {
+        /// Attribute name of the offending hierarchy.
+        attribute: String,
+        /// The first level that fails to coarsen its predecessor.
+        level: usize,
+    },
+    /// An underlying dataset operation failed.
+    Dataset(cdp_dataset::DatasetError),
+}
+
+impl fmt::Display for PrivacyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivacyError::Empty(what) => write!(f, "empty input: {what}"),
+            PrivacyError::ShapeMismatch { what, left, right } => {
+                write!(f, "shape mismatch in {what}: {left} vs {right}")
+            }
+            PrivacyError::InvalidParam(msg) => write!(f, "invalid parameter: {msg}"),
+            PrivacyError::Unsatisfiable { k } => write!(
+                f,
+                "no generalization in the lattice reaches {k}-anonymity"
+            ),
+            PrivacyError::NotNested { attribute, level } => write!(
+                f,
+                "hierarchy of `{attribute}` is not nested at level {level}; \
+                 lattice search requires each level to coarsen the previous one"
+            ),
+            PrivacyError::Dataset(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrivacyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PrivacyError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cdp_dataset::DatasetError> for PrivacyError {
+    fn from(e: cdp_dataset::DatasetError) -> Self {
+        PrivacyError::Dataset(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PrivacyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_are_informative() {
+        let msgs = [
+            PrivacyError::Empty("partition".into()).to_string(),
+            PrivacyError::ShapeMismatch {
+                what: "sensitive column".into(),
+                left: 10,
+                right: 12,
+            }
+            .to_string(),
+            PrivacyError::InvalidParam("k must be >= 2".into()).to_string(),
+            PrivacyError::Unsatisfiable { k: 5 }.to_string(),
+            PrivacyError::NotNested {
+                attribute: "OCC".into(),
+                level: 2,
+            }
+            .to_string(),
+        ];
+        assert!(msgs[0].contains("partition"));
+        assert!(msgs[1].contains("10 vs 12"));
+        assert!(msgs[2].contains("k must be"));
+        assert!(msgs[3].contains("5-anonymity"));
+        assert!(msgs[4].contains("OCC") && msgs[4].contains("level 2"));
+    }
+
+    #[test]
+    fn dataset_error_is_chained() {
+        let inner = cdp_dataset::DatasetError::Empty("x".into());
+        let err = PrivacyError::from(inner);
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("dataset error"));
+    }
+}

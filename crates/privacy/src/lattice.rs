@@ -1,0 +1,252 @@
+//! The generalization lattice: the search space of full-domain recoding.
+//!
+//! Each attribute contributes a chain of hierarchy levels `0..n_levels`;
+//! a lattice *node* fixes one level per attribute. Nodes are partially
+//! ordered coordinate-wise: `u ≤ v` when `u` generalizes no attribute
+//! beyond `v`. The classic anonymization searches (Samarati's binary
+//! search, Incognito/OLA-style breadth-first sweeps) all walk this
+//! lattice; [`crate::search`] implements them on top of this module.
+
+use crate::{PrivacyError, Result};
+
+/// A lattice node: the hierarchy level applied to each attribute.
+/// Hierarchies in this domain are shallow (≤ 255 levels by construction).
+pub type Node = Vec<u8>;
+
+/// The product lattice of per-attribute level chains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lattice {
+    /// Number of levels per attribute, each ≥ 1 (level 0 = identity).
+    dims: Vec<usize>,
+}
+
+impl Lattice {
+    /// Build from the number of levels of each attribute's hierarchy.
+    ///
+    /// # Errors
+    /// [`PrivacyError::Empty`] with no attributes,
+    /// [`PrivacyError::InvalidParam`] when a dimension is zero or exceeds
+    /// the `u8` node representation.
+    pub fn new(dims: Vec<usize>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(PrivacyError::Empty("lattice dimensions".into()));
+        }
+        for (i, &d) in dims.iter().enumerate() {
+            if d == 0 {
+                return Err(PrivacyError::InvalidParam(format!(
+                    "attribute {i} has zero hierarchy levels"
+                )));
+            }
+            if d > u8::MAX as usize + 1 {
+                return Err(PrivacyError::InvalidParam(format!(
+                    "attribute {i} has {d} levels; at most 256 are supported"
+                )));
+            }
+        }
+        Ok(Lattice { dims })
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Levels available for each attribute.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of nodes (`Π dims`).
+    pub fn n_nodes(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// The identity node (no generalization).
+    pub fn bottom(&self) -> Node {
+        vec![0; self.dims.len()]
+    }
+
+    /// The fully generalized node.
+    pub fn top(&self) -> Node {
+        self.dims.iter().map(|&d| (d - 1) as u8).collect()
+    }
+
+    /// Height of a node: the sum of its levels.
+    pub fn height(&self, node: &[u8]) -> usize {
+        node.iter().map(|&l| l as usize).sum()
+    }
+
+    /// Maximum height (height of [`Lattice::top`]).
+    pub fn max_height(&self) -> usize {
+        self.dims.iter().map(|&d| d - 1).sum()
+    }
+
+    /// Whether `node` is a valid member of this lattice.
+    pub fn contains(&self, node: &[u8]) -> bool {
+        node.len() == self.dims.len()
+            && node
+                .iter()
+                .zip(&self.dims)
+                .all(|(&l, &d)| (l as usize) < d)
+    }
+
+    /// Immediate successors: one attribute generalized one level further.
+    pub fn successors(&self, node: &[u8]) -> Vec<Node> {
+        debug_assert!(self.contains(node));
+        let mut out = Vec::new();
+        for (i, &d) in self.dims.iter().enumerate() {
+            if (node[i] as usize) + 1 < d {
+                let mut next = node.to_vec();
+                next[i] += 1;
+                out.push(next);
+            }
+        }
+        out
+    }
+
+    /// Immediate predecessors: one attribute de-generalized one level.
+    pub fn predecessors(&self, node: &[u8]) -> Vec<Node> {
+        debug_assert!(self.contains(node));
+        let mut out = Vec::new();
+        for i in 0..self.dims.len() {
+            if node[i] > 0 {
+                let mut prev = node.to_vec();
+                prev[i] -= 1;
+                out.push(prev);
+            }
+        }
+        out
+    }
+
+    /// Is `a ≤ b` coordinate-wise (every attribute of `a` at most as
+    /// generalized as in `b`)? Reflexive.
+    pub fn leq(&self, a: &[u8], b: &[u8]) -> bool {
+        debug_assert!(self.contains(a) && self.contains(b));
+        a.iter().zip(b).all(|(x, y)| x <= y)
+    }
+
+    /// All nodes of a given height, in lexicographic order.
+    pub fn nodes_at_height(&self, h: usize) -> Vec<Node> {
+        let mut out = Vec::new();
+        let mut node = vec![0u8; self.dims.len()];
+        self.fill_height(0, h, &mut node, &mut out);
+        out
+    }
+
+    fn fill_height(&self, attr: usize, remaining: usize, node: &mut Node, out: &mut Vec<Node>) {
+        if attr == self.dims.len() {
+            if remaining == 0 {
+                out.push(node.clone());
+            }
+            return;
+        }
+        // max the remaining attributes can still absorb; prunes dead branches
+        let tail_capacity: usize = self.dims[attr + 1..].iter().map(|&d| d - 1).sum();
+        let max_here = (self.dims[attr] - 1).min(remaining);
+        let min_here = remaining.saturating_sub(tail_capacity);
+        for l in min_here..=max_here {
+            node[attr] = l as u8;
+            self.fill_height(attr + 1, remaining - l, node, out);
+        }
+        node[attr] = 0;
+    }
+
+    /// Every node, iterated bottom-up by height (the order breadth-first
+    /// anonymization sweeps use).
+    pub fn nodes_bottom_up(&self) -> impl Iterator<Item = Node> + '_ {
+        (0..=self.max_height()).flat_map(move |h| self.nodes_at_height(h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat() -> Lattice {
+        Lattice::new(vec![3, 2, 4]).unwrap()
+    }
+
+    #[test]
+    fn construction_guards() {
+        assert!(Lattice::new(vec![]).is_err());
+        assert!(Lattice::new(vec![3, 0]).is_err());
+        assert!(Lattice::new(vec![300]).is_err());
+        assert!(Lattice::new(vec![1]).is_ok()); // identity-only hierarchy
+    }
+
+    #[test]
+    fn counts_and_extremes() {
+        let l = lat();
+        assert_eq!(l.n_nodes(), 24);
+        assert_eq!(l.bottom(), vec![0, 0, 0]);
+        assert_eq!(l.top(), vec![2, 1, 3]);
+        assert_eq!(l.max_height(), 6);
+        assert_eq!(l.height(&l.top()), 6);
+        assert_eq!(l.height(&l.bottom()), 0);
+    }
+
+    #[test]
+    fn successors_and_predecessors_are_inverse() {
+        let l = lat();
+        let node = vec![1u8, 0, 2];
+        for succ in l.successors(&node) {
+            assert!(l.contains(&succ));
+            assert!(l.predecessors(&succ).contains(&node));
+            assert_eq!(l.height(&succ), l.height(&node) + 1);
+        }
+        assert_eq!(l.successors(&l.top()), Vec::<Node>::new());
+        assert_eq!(l.predecessors(&l.bottom()), Vec::<Node>::new());
+    }
+
+    #[test]
+    fn heights_partition_the_lattice() {
+        let l = lat();
+        let total: usize = (0..=l.max_height())
+            .map(|h| l.nodes_at_height(h).len())
+            .sum();
+        assert_eq!(total, l.n_nodes());
+        for h in 0..=l.max_height() {
+            for node in l.nodes_at_height(h) {
+                assert!(l.contains(&node));
+                assert_eq!(l.height(&node), h);
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_up_enumerates_every_node_once() {
+        let l = lat();
+        let mut seen: Vec<Node> = l.nodes_bottom_up().collect();
+        assert_eq!(seen.len(), l.n_nodes());
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), l.n_nodes());
+        // heights are non-decreasing along the iteration
+        let heights: Vec<usize> = l.nodes_bottom_up().map(|n| l.height(&n)).collect();
+        assert!(heights.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn leq_is_coordinatewise() {
+        let l = lat();
+        assert!(l.leq(&[0, 0, 0], &[2, 1, 3]));
+        assert!(l.leq(&[1, 1, 1], &[1, 1, 1]));
+        assert!(!l.leq(&[2, 0, 0], &[1, 1, 3]));
+    }
+
+    #[test]
+    fn contains_rejects_out_of_range() {
+        let l = lat();
+        assert!(!l.contains(&[3, 0, 0]));
+        assert!(!l.contains(&[0, 0]));
+        assert!(l.contains(&[2, 1, 3]));
+    }
+
+    #[test]
+    fn single_attribute_lattice_is_a_chain() {
+        let l = Lattice::new(vec![5]).unwrap();
+        assert_eq!(l.n_nodes(), 5);
+        let nodes: Vec<Node> = l.nodes_bottom_up().collect();
+        assert_eq!(nodes, vec![vec![0], vec![1], vec![2], vec![3], vec![4]]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Syntactic privacy models: k-anonymity, l-diversity, t-closeness.
+//!
+//! These are *assessments* — given a partition of a (masked) file into
+//! equivalence classes, they report the strongest parameter the file
+//! satisfies, plus the violation profile an agency would audit. Enforcement
+//! (finding a recoding that reaches a target) lives in
+//! [`crate::LatticeSearch`] and [`crate::mondrian_anonymize`].
+
+use cdp_dataset::{AttrKind, Attribute, Code};
+
+use crate::partition::Partition;
+use crate::{PrivacyError, Result};
+
+/// k-anonymity assessment of a partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KAnonymity {
+    /// The largest `k` the file satisfies: the minimum class size.
+    pub k: usize,
+    /// Number of equivalence classes.
+    pub n_classes: usize,
+    /// Number of singleton classes (records unique on the QIs).
+    pub singletons: usize,
+    /// Mean class size `n / n_classes`.
+    pub mean_class_size: f64,
+}
+
+/// Assess k-anonymity from a partition.
+pub fn k_anonymity(partition: &Partition) -> KAnonymity {
+    let singletons = partition
+        .class_sizes()
+        .iter()
+        .filter(|&&s| s == 1)
+        .count();
+    KAnonymity {
+        k: partition.min_class_size(),
+        n_classes: partition.n_classes(),
+        singletons,
+        mean_class_size: partition.n_rows() as f64 / partition.n_classes() as f64,
+    }
+}
+
+/// l-diversity assessment of a partition with respect to one sensitive
+/// column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LDiversity {
+    /// Distinct l-diversity: the minimum, over classes, of the number of
+    /// distinct sensitive values present.
+    pub distinct_l: usize,
+    /// Entropy l-diversity: the minimum over classes of `2^H(S | class)` —
+    /// the effective number of sensitive values an intruder must still
+    /// choose among.
+    pub entropy_l: f64,
+}
+
+/// Assess l-diversity. `sensitive` holds the sensitive value of each record
+/// (aligned with the partition's rows); `n_sensitive` is that attribute's
+/// category count.
+///
+/// # Errors
+/// [`PrivacyError::ShapeMismatch`] when the column length disagrees with the
+/// partition, [`PrivacyError::InvalidParam`] on a zero-category dictionary.
+pub fn l_diversity(
+    partition: &Partition,
+    sensitive: &[Code],
+    n_sensitive: usize,
+) -> Result<LDiversity> {
+    if sensitive.len() != partition.n_rows() {
+        return Err(PrivacyError::ShapeMismatch {
+            what: "sensitive column vs partition".into(),
+            left: sensitive.len(),
+            right: partition.n_rows(),
+        });
+    }
+    if n_sensitive == 0 {
+        return Err(PrivacyError::InvalidParam(
+            "sensitive attribute has no categories".into(),
+        ));
+    }
+    let mut distinct_l = usize::MAX;
+    let mut entropy_l = f64::INFINITY;
+    let mut counts = vec![0usize; n_sensitive];
+    for class in partition.classes() {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for &row in &class {
+            counts[sensitive[row] as usize] += 1;
+        }
+        let total = class.len() as f64;
+        let distinct = counts.iter().filter(|&&c| c > 0).count();
+        let entropy: f64 = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.log2()
+            })
+            .sum();
+        distinct_l = distinct_l.min(distinct);
+        entropy_l = entropy_l.min(entropy.exp2());
+    }
+    Ok(LDiversity {
+        distinct_l,
+        entropy_l,
+    })
+}
+
+/// t-closeness assessment of a partition with respect to one sensitive
+/// column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TCloseness {
+    /// The smallest `t` the file satisfies: the maximum, over classes, of
+    /// the distance between the class-conditional sensitive distribution
+    /// and the global one. In `[0, 1]`.
+    pub t: f64,
+}
+
+/// Assess t-closeness. Distances follow Li et al.'s original proposal: the
+/// ordered (Earth Mover's) distance for ordinal attributes, total variation
+/// distance for nominal ones.
+///
+/// # Errors
+/// Same contract as [`l_diversity`].
+pub fn t_closeness(
+    partition: &Partition,
+    sensitive: &[Code],
+    attr: &Attribute,
+) -> Result<TCloseness> {
+    let c = attr.n_categories();
+    if sensitive.len() != partition.n_rows() {
+        return Err(PrivacyError::ShapeMismatch {
+            what: "sensitive column vs partition".into(),
+            left: sensitive.len(),
+            right: partition.n_rows(),
+        });
+    }
+    if c == 0 {
+        return Err(PrivacyError::InvalidParam(
+            "sensitive attribute has no categories".into(),
+        ));
+    }
+    let n = sensitive.len() as f64;
+    let mut global = vec![0f64; c];
+    for &v in sensitive {
+        global[v as usize] += 1.0;
+    }
+    global.iter_mut().for_each(|g| *g /= n);
+
+    let mut t = 0f64;
+    let mut local = vec![0f64; c];
+    for class in partition.classes() {
+        local.iter_mut().for_each(|l| *l = 0.0);
+        for &row in &class {
+            local[sensitive[row] as usize] += 1.0;
+        }
+        let total = class.len() as f64;
+        local.iter_mut().for_each(|l| *l /= total);
+        let d = match attr.kind() {
+            AttrKind::Ordinal => ordered_distance(&local, &global),
+            AttrKind::Nominal => total_variation(&local, &global),
+        };
+        t = t.max(d);
+    }
+    Ok(TCloseness { t })
+}
+
+/// Ordered (1-D Earth Mover's) distance between two distributions over the
+/// same ordinal support: `Σ_i |Σ_{j≤i} (p_j − q_j)| / (c − 1)`.
+fn ordered_distance(p: &[f64], q: &[f64]) -> f64 {
+    let c = p.len();
+    if c <= 1 {
+        return 0.0;
+    }
+    let mut cum = 0.0;
+    let mut sum = 0.0;
+    for i in 0..c {
+        cum += p[i] - q[i];
+        sum += cum.abs();
+    }
+    sum / (c - 1) as f64
+}
+
+/// Total variation distance `max_A |P(A) − Q(A)| = Σ|p−q| / 2`.
+fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::{Attribute, Schema, SubTable};
+    use std::sync::Arc;
+
+    fn partition(columns: Vec<Vec<Code>>) -> Partition {
+        let attrs = (0..columns.len())
+            .map(|i| Attribute::nominal(format!("Q{i}"), 8))
+            .collect();
+        let schema = Arc::new(Schema::new(attrs).unwrap());
+        let sub = SubTable::new(schema, (0..columns.len()).collect(), columns).unwrap();
+        Partition::of_subtable(&sub).unwrap()
+    }
+
+    #[test]
+    fn k_anonymity_reports_profile() {
+        // classes: {0,1,2}, {3,4}, {5}
+        let p = partition(vec![vec![0, 0, 0, 1, 1, 2]]);
+        let ka = k_anonymity(&p);
+        assert_eq!(ka.k, 1);
+        assert_eq!(ka.n_classes, 3);
+        assert_eq!(ka.singletons, 1);
+        assert!((ka.mean_class_size - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_l_is_min_over_classes() {
+        // class A = rows 0..3 with sensitive {0,1,2}; class B = rows 3..6 with {0,0,0}
+        let p = partition(vec![vec![0, 0, 0, 1, 1, 1]]);
+        let sensitive = vec![0, 1, 2, 0, 0, 0];
+        let ld = l_diversity(&p, &sensitive, 4).unwrap();
+        assert_eq!(ld.distinct_l, 1);
+        // entropy of class B is 0 bits -> effective 1 value
+        assert!((ld.entropy_l - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_l_of_uniform_class() {
+        let p = partition(vec![vec![0, 0, 0, 0]]);
+        let sensitive = vec![0, 1, 2, 3];
+        let ld = l_diversity(&p, &sensitive, 4).unwrap();
+        assert_eq!(ld.distinct_l, 4);
+        assert!((ld.entropy_l - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l_diversity_shape_checks() {
+        let p = partition(vec![vec![0, 0]]);
+        assert!(l_diversity(&p, &[0], 4).is_err());
+        assert!(l_diversity(&p, &[0, 1], 0).is_err());
+    }
+
+    #[test]
+    fn t_closeness_zero_when_classes_mirror_global() {
+        // two classes, each with sensitive distribution {0,1}
+        let p = partition(vec![vec![0, 0, 1, 1]]);
+        let sensitive = vec![0, 1, 0, 1];
+        let attr = Attribute::nominal("S", 2);
+        let tc = t_closeness(&p, &sensitive, &attr).unwrap();
+        assert!(tc.t < 1e-12);
+    }
+
+    #[test]
+    fn t_closeness_maximal_when_classes_are_pure() {
+        // global = 50/50, each class pure -> TVD = 0.5
+        let p = partition(vec![vec![0, 0, 1, 1]]);
+        let sensitive = vec![0, 0, 1, 1];
+        let attr = Attribute::nominal("S", 2);
+        let tc = t_closeness(&p, &sensitive, &attr).unwrap();
+        assert!((tc.t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordinal_distance_weights_how_far_mass_moves() {
+        // For an ordinal attribute, shifting mass one step is cheaper than
+        // shifting it across the whole range.
+        let attr = Attribute::ordinal("S", 3);
+        let p = partition(vec![vec![0, 0, 1, 1]]);
+        // global: half 0, half 2. class A pure 0, class B pure 2.
+        let far = t_closeness(&p, &[0, 0, 2, 2], &attr).unwrap();
+        // global: half 0, half 1. class A pure 0, class B pure 1.
+        let near = t_closeness(&p, &[0, 0, 1, 1], &attr).unwrap();
+        assert!(near.t < far.t, "near {} !< far {}", near.t, far.t);
+    }
+
+    #[test]
+    fn ordered_distance_basics() {
+        assert_eq!(ordered_distance(&[1.0], &[1.0]), 0.0);
+        // all mass moves from one end to the other of a 2-point support
+        assert!((ordered_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        // 3-point support: end-to-end move costs 1.0 after the 1/(c-1) scale
+        assert!((ordered_distance(&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_basics() {
+        assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((total_variation(&[0.75, 0.25], &[0.25, 0.75]) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,316 @@
+//! Mondrian multidimensional partitioning (LeFevre et al., ICDE 2006),
+//! adapted to categorical data: the *local recoding* counterpart of the
+//! full-domain lattice search.
+//!
+//! The lattice applies one generalization level per attribute to the whole
+//! file; Mondrian instead recursively cuts the record set into regions and
+//! generalizes each region independently, so dense regions keep fine
+//! values while sparse ones coarsen. The usual result is markedly better
+//! utility at the same k — measured against the lattice in the `ext-kanon`
+//! experiment.
+//!
+//! Adaptation notes:
+//! * **Strict partitioning**: a cut never separates records sharing the
+//!   cut attribute's value, so classes are value-definable.
+//! * **Cut choice**: the attribute with the most distinct values inside
+//!   the region (normalized by dictionary size) is cut at the value
+//!   boundary closest to the median record; both sides must keep ≥ k
+//!   records.
+//! * **Recoding with representative labeling**: each final region maps
+//!   every attribute to a member category (median member for ordinal
+//!   attributes, modal for nominal), keeping the output inside the
+//!   original dictionaries — the workspace-wide domain-closure invariant.
+//!   Note the *same* original value may map differently in different
+//!   regions (that is what "local" buys).
+
+use cdp_dataset::{AttrKind, Code, SubTable};
+
+use crate::partition::Partition;
+use crate::{PrivacyError, Result};
+
+/// Outcome statistics of a Mondrian run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MondrianStats {
+    /// Number of final regions (equivalence classes).
+    pub n_classes: usize,
+    /// Number of cuts performed.
+    pub cuts: usize,
+    /// The k the output actually achieves (≥ the requested k).
+    pub achieved_k: usize,
+}
+
+/// Anonymize by Mondrian local recoding: the output is k-anonymous on the
+/// sub-table's attributes.
+///
+/// # Errors
+/// [`PrivacyError::InvalidParam`] when `k < 2` or `k > n`.
+pub fn mondrian_anonymize(sub: &SubTable, k: usize) -> Result<(SubTable, MondrianStats)> {
+    let n = sub.n_rows();
+    if k < 2 {
+        return Err(PrivacyError::InvalidParam(format!(
+            "Mondrian needs k >= 2, got {k}"
+        )));
+    }
+    if k > n {
+        return Err(PrivacyError::InvalidParam(format!(
+            "k = {k} exceeds the number of records ({n})"
+        )));
+    }
+    let a = sub.n_attrs();
+
+    // recursive strict-median cuts
+    let mut regions: Vec<Vec<u32>> = Vec::new();
+    let mut stack: Vec<Vec<u32>> = vec![(0..n as u32).collect()];
+    let mut cuts = 0usize;
+    while let Some(region) = stack.pop() {
+        match best_cut(sub, &region, k) {
+            Some((left, right)) => {
+                cuts += 1;
+                stack.push(left);
+                stack.push(right);
+            }
+            None => regions.push(region),
+        }
+    }
+
+    // local recoding: per-region representative per attribute
+    let mut columns: Vec<Vec<Code>> = (0..a).map(|j| sub.column(j).to_vec()).collect();
+    for region in &regions {
+        for (j, col) in columns.iter_mut().enumerate() {
+            let repr = representative(sub, region, j);
+            for &r in region {
+                col[r as usize] = repr;
+            }
+        }
+    }
+    let masked = SubTable::new(
+        std::sync::Arc::clone(sub.schema()),
+        sub.attr_indices().to_vec(),
+        columns,
+    )?;
+    let achieved_k = Partition::of_subtable(&masked)?.min_class_size();
+    Ok((
+        masked,
+        MondrianStats {
+            n_classes: regions.len(),
+            cuts,
+            achieved_k,
+        },
+    ))
+}
+
+/// The best allowable cut of a region, or `None` when the region is final.
+/// Attributes are ranked by relative width (distinct values / dictionary
+/// size); the cut splits the region at the value boundary nearest the
+/// median record with both sides ≥ k.
+fn best_cut(sub: &SubTable, region: &[u32], k: usize) -> Option<(Vec<u32>, Vec<u32>)> {
+    if region.len() < 2 * k {
+        return None;
+    }
+    let a = sub.n_attrs();
+    let mut order: Vec<usize> = (0..a).collect();
+    let width = |j: usize| -> f64 {
+        let mut seen = vec![false; sub.attr(j).n_categories()];
+        let mut distinct = 0usize;
+        for &r in region {
+            let v = sub.get(r as usize, j) as usize;
+            if !seen[v] {
+                seen[v] = true;
+                distinct += 1;
+            }
+        }
+        distinct as f64 / sub.attr(j).n_categories() as f64
+    };
+    order.sort_by(|&x, &y| width(y).partial_cmp(&width(x)).expect("finite widths"));
+
+    for j in order {
+        if let Some(split) = strict_median_cut(sub, region, j, k) {
+            return Some(split);
+        }
+    }
+    None
+}
+
+/// Cut `region` on attribute `j` between two distinct values, as close to
+/// the median as the strictness constraint allows. Returns `None` when no
+/// boundary leaves ≥ k records on both sides.
+fn strict_median_cut(
+    sub: &SubTable,
+    region: &[u32],
+    j: usize,
+    k: usize,
+) -> Option<(Vec<u32>, Vec<u32>)> {
+    // counts per value, then prefix sums over the value order
+    let c = sub.attr(j).n_categories();
+    let mut counts = vec![0usize; c];
+    for &r in region {
+        counts[sub.get(r as usize, j) as usize] += 1;
+    }
+    let total = region.len();
+    // candidate boundaries: after value v, left = prefix(v); feasible when
+    // k <= left <= total - k; choose the boundary closest to total/2
+    let mut best: Option<(usize, usize)> = None; // (boundary value, left count)
+    let mut prefix = 0usize;
+    for (v, &count) in counts.iter().enumerate() {
+        prefix += count;
+        if count == 0 || prefix == total {
+            continue;
+        }
+        if prefix >= k && total - prefix >= k {
+            let better = match best {
+                None => true,
+                Some((_, left)) => {
+                    (prefix as i64 - total as i64 / 2).abs()
+                        < (left as i64 - total as i64 / 2).abs()
+                }
+            };
+            if better {
+                best = Some((v, prefix));
+            }
+        }
+    }
+    let (boundary, left_count) = best?;
+    let mut left = Vec::with_capacity(left_count);
+    let mut right = Vec::with_capacity(total - left_count);
+    for &r in region {
+        if (sub.get(r as usize, j) as usize) <= boundary {
+            left.push(r);
+        } else {
+            right.push(r);
+        }
+    }
+    Some((left, right))
+}
+
+/// Member representative of a region on attribute `j`: the median member
+/// (by code order) for ordinal attributes, the modal member for nominal
+/// ones.
+fn representative(sub: &SubTable, region: &[u32], j: usize) -> Code {
+    let c = sub.attr(j).n_categories();
+    let mut counts = vec![0usize; c];
+    for &r in region {
+        counts[sub.get(r as usize, j) as usize] += 1;
+    }
+    match sub.attr(j).kind() {
+        AttrKind::Ordinal => {
+            let half = (region.len() - 1) / 2;
+            let mut seen = 0usize;
+            for (v, &count) in counts.iter().enumerate() {
+                seen += count;
+                if count > 0 && seen > half {
+                    return v as Code;
+                }
+            }
+            0
+        }
+        AttrKind::Nominal => counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &count)| count)
+            .map(|(v, _)| v as Code)
+            .unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::{Attribute, Schema, SubTable};
+    use std::sync::Arc;
+
+    fn sub(columns: Vec<Vec<Code>>, cats: usize) -> SubTable {
+        let attrs = (0..columns.len())
+            .map(|i| Attribute::ordinal(format!("Q{i}"), cats))
+            .collect();
+        let schema = Arc::new(Schema::new(attrs).unwrap());
+        SubTable::new(schema, (0..columns.len()).collect(), columns).unwrap()
+    }
+
+    #[test]
+    fn output_is_k_anonymous() {
+        let data = sub(
+            vec![(0..16).map(|i| (i % 8) as Code).collect(), (0..16).map(|i| (i / 2) as Code).collect()],
+            8,
+        );
+        for k in [2usize, 3, 5, 8] {
+            let (masked, stats) = mondrian_anonymize(&data, k).unwrap();
+            masked.validate().unwrap();
+            assert!(
+                stats.achieved_k >= k,
+                "k = {k}: achieved only {}",
+                stats.achieved_k
+            );
+            assert_eq!(
+                Partition::of_subtable(&masked).unwrap().min_class_size(),
+                stats.achieved_k
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_guards() {
+        let data = sub(vec![vec![0, 1, 2, 3]], 8);
+        assert!(mondrian_anonymize(&data, 1).is_err());
+        assert!(mondrian_anonymize(&data, 5).is_err());
+    }
+
+    #[test]
+    fn no_cut_possible_collapses_to_one_region() {
+        let data = sub(vec![vec![0, 1, 2]], 8);
+        let (masked, stats) = mondrianize(&data, 2);
+        assert_eq!(stats.n_classes, 1);
+        assert_eq!(stats.cuts, 0);
+        assert_eq!(stats.achieved_k, 3);
+        // one region, ordinal median member = 1
+        assert!(masked.column(0).iter().all(|&v| v == 1));
+    }
+
+    fn mondrianize(data: &SubTable, k: usize) -> (SubTable, MondrianStats) {
+        mondrian_anonymize(data, k).unwrap()
+    }
+
+    #[test]
+    fn cuts_preserve_k_on_both_sides() {
+        // 10 records over one attribute with clean halves
+        let data = sub(vec![vec![0, 0, 0, 0, 0, 7, 7, 7, 7, 7]], 8);
+        let (masked, stats) = mondrianize(&data, 5);
+        assert_eq!(stats.n_classes, 2);
+        assert_eq!(stats.cuts, 1);
+        // each region collapses onto its median member
+        assert_eq!(&masked.column(0)[..5], &[0, 0, 0, 0, 0]);
+        assert_eq!(&masked.column(0)[5..], &[7, 7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn strict_cut_never_splits_a_value() {
+        // 6 copies of value 3 and 2 of value 5: k = 4 cannot cut (6/2 split
+        // would need to divide the 3s)
+        let data = sub(vec![vec![3, 3, 3, 3, 3, 3, 5, 5]], 8);
+        let (_, stats) = mondrianize(&data, 4);
+        assert_eq!(stats.n_classes, 1, "strictness forbids splitting ties");
+    }
+
+    #[test]
+    fn local_recoding_beats_global_on_class_count() {
+        // two dense clusters + noise: local recoding should produce more
+        // classes (finer data) than collapsing everything
+        let mut col0 = Vec::new();
+        let mut col1 = Vec::new();
+        for i in 0..40 {
+            col0.push((i % 4) as Code); // cluster A values 0..3
+            col1.push((4 + i % 4) as Code); // cluster B values 4..7
+        }
+        let data = sub(vec![col0, col1], 8);
+        let (_, stats) = mondrianize(&data, 4);
+        assert!(stats.n_classes > 1, "mondrian should keep local structure");
+    }
+
+    #[test]
+    fn nominal_representative_is_mode() {
+        let attrs = vec![Attribute::nominal("N", 4)];
+        let schema = Arc::new(Schema::new(attrs).unwrap());
+        let data = SubTable::new(schema, vec![0], vec![vec![2, 2, 2, 1]]).unwrap();
+        let (masked, _) = mondrian_anonymize(&data, 2).unwrap();
+        assert!(masked.column(0).iter().all(|&v| v == 2));
+    }
+}

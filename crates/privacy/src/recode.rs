@@ -1,0 +1,260 @@
+//! Applying lattice nodes to data: full-domain recoding through the
+//! attribute hierarchies, plus the nestedness check the searches rely on.
+
+use cdp_dataset::{Code, Hierarchy, SubTable};
+
+use crate::lattice::Lattice;
+use crate::{PrivacyError, Result};
+
+/// Verify that a hierarchy's levels are *nested*: whenever two categories
+/// share a group at level `ℓ`, they also share one at level `ℓ + 1`.
+/// Nestedness makes k-anonymity monotone along lattice edges, which is the
+/// property that justifies predictive tagging and Samarati's binary search.
+/// Returns the first offending level, or `None` when nested.
+pub fn first_non_nested_level(h: &Hierarchy) -> Option<usize> {
+    let n_codes = h.level(0).repr_table().len();
+    for l in 1..h.n_levels() {
+        let prev = h.level(l - 1);
+        let cur = h.level(l);
+        // group representatives at `prev` must map consistently at `cur`
+        let mut group_repr: Vec<Option<Code>> = vec![None; n_codes];
+        for code in 0..n_codes as Code {
+            let g = prev.map(code) as usize;
+            let mapped = cur.map(code);
+            match group_repr[g] {
+                None => group_repr[g] = Some(mapped),
+                Some(expected) if expected != mapped => return Some(l),
+                Some(_) => {}
+            }
+        }
+    }
+    None
+}
+
+/// A set of hierarchies bound to the columns of one sub-table, with the
+/// lattice they induce. This is the entry point for recoding and for
+/// [`crate::search::LatticeSearch`].
+#[derive(Debug, Clone)]
+pub struct Recoder<'a> {
+    hierarchies: Vec<&'a Hierarchy>,
+    lattice: Lattice,
+}
+
+impl<'a> Recoder<'a> {
+    /// Bind hierarchies to columns (one per column, in column order) and
+    /// verify nestedness.
+    ///
+    /// # Errors
+    /// [`PrivacyError::Empty`] with no hierarchies,
+    /// [`PrivacyError::NotNested`] when a hierarchy violates nesting (the
+    /// attribute is named by position when the sub-table is not available).
+    pub fn new(sub: &SubTable, hierarchies: Vec<&'a Hierarchy>) -> Result<Self> {
+        if hierarchies.len() != sub.n_attrs() {
+            return Err(PrivacyError::ShapeMismatch {
+                what: "hierarchies vs sub-table columns".into(),
+                left: hierarchies.len(),
+                right: sub.n_attrs(),
+            });
+        }
+        for (k, h) in hierarchies.iter().enumerate() {
+            if h.level(0).repr_table().len() != sub.attr(k).n_categories() {
+                return Err(PrivacyError::ShapeMismatch {
+                    what: format!("hierarchy domain for `{}`", sub.attr(k).name()),
+                    left: h.level(0).repr_table().len(),
+                    right: sub.attr(k).n_categories(),
+                });
+            }
+            if let Some(level) = first_non_nested_level(h) {
+                return Err(PrivacyError::NotNested {
+                    attribute: sub.attr(k).name().to_string(),
+                    level,
+                });
+            }
+        }
+        let lattice = Lattice::new(hierarchies.iter().map(|h| h.n_levels()).collect())?;
+        Ok(Recoder {
+            hierarchies,
+            lattice,
+        })
+    }
+
+    /// The induced lattice.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// The bound hierarchies.
+    pub fn hierarchies(&self) -> &[&'a Hierarchy] {
+        &self.hierarchies
+    }
+
+    /// The per-column recode maps of a node (level representative tables),
+    /// for partition building without materializing the recoded file.
+    ///
+    /// # Panics
+    /// Panics when `node` is not a member of the lattice (caller bug).
+    pub fn maps_of(&self, node: &[u8]) -> Vec<&[Code]> {
+        assert!(self.lattice.contains(node), "node outside lattice");
+        self.hierarchies
+            .iter()
+            .zip(node)
+            .map(|(h, &l)| h.level(l as usize).repr_table())
+            .collect()
+    }
+
+    /// Materialize the recoding of `sub` under `node`: every cell is
+    /// replaced by its group representative at the node's level. Output
+    /// codes stay inside the original dictionaries (the workspace-wide
+    /// domain-closure invariant).
+    ///
+    /// # Errors
+    /// Propagates [`PrivacyError::Dataset`] if reassembly fails (cannot
+    /// happen for maps produced by valid hierarchies).
+    ///
+    /// # Panics
+    /// Panics when `node` is not a member of the lattice (caller bug).
+    pub fn apply(&self, sub: &SubTable, node: &[u8]) -> Result<SubTable> {
+        let maps = self.maps_of(node);
+        let columns: Vec<Vec<Code>> = (0..sub.n_attrs())
+            .map(|k| {
+                sub.column(k)
+                    .iter()
+                    .map(|&c| maps[k][c as usize])
+                    .collect()
+            })
+            .collect();
+        Ok(SubTable::new(
+            std::sync::Arc::clone(sub.schema()),
+            sub.attr_indices().to_vec(),
+            columns,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::{Attribute, Hierarchy, Schema, SubTable};
+    use std::sync::Arc;
+
+    fn sub() -> SubTable {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Attribute::ordinal("A", 8),
+                Attribute::ordinal("B", 4),
+            ])
+            .unwrap(),
+        );
+        SubTable::new(
+            schema,
+            vec![0, 1],
+            vec![vec![0, 1, 2, 3, 4, 5, 6, 7], vec![0, 1, 2, 3, 0, 1, 2, 3]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn auto_hierarchies_are_nested() {
+        for c in [2usize, 5, 8, 16, 21, 25] {
+            let attr = Attribute::ordinal("X", c);
+            let h = Hierarchy::ordinal_auto(&attr);
+            assert_eq!(first_non_nested_level(&h), None, "c = {c}");
+        }
+    }
+
+    #[test]
+    fn nominal_count_hierarchies_are_nested() {
+        let attr = Attribute::nominal("X", 7);
+        let counts = [40, 25, 12, 9, 8, 4, 2];
+        let h = Hierarchy::nominal_from_counts(&attr, &counts).unwrap();
+        assert_eq!(first_non_nested_level(&h), None);
+    }
+
+    #[test]
+    fn detects_non_nested_hierarchy() {
+        use cdp_dataset::HierarchyLevel;
+        let attr = Attribute::ordinal("X", 4);
+        // level 1 groups {0,1} {2,3}; level 2 groups {0,2} {1,3} — crossing
+        let levels = vec![
+            HierarchyLevel::new(&attr, vec![0, 1, 2, 3]).unwrap(),
+            HierarchyLevel::new(&attr, vec![0, 0, 2, 2]).unwrap(),
+            HierarchyLevel::new(&attr, vec![0, 1, 0, 1]).unwrap(),
+        ];
+        let h = Hierarchy::from_levels(&attr, levels).unwrap();
+        assert_eq!(first_non_nested_level(&h), Some(2));
+    }
+
+    #[test]
+    fn recoder_rejects_non_nested_hierarchy() {
+        use cdp_dataset::HierarchyLevel;
+        let s = sub();
+        let attr_b = s.attr(1); // 4 categories
+        let crossing = Hierarchy::from_levels(
+            attr_b,
+            vec![
+                HierarchyLevel::new(attr_b, vec![0, 1, 2, 3]).unwrap(),
+                HierarchyLevel::new(attr_b, vec![0, 0, 2, 2]).unwrap(),
+                HierarchyLevel::new(attr_b, vec![0, 1, 0, 1]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let ha = Hierarchy::ordinal_auto(s.attr(0));
+        let err = Recoder::new(&s, vec![&ha, &crossing]).unwrap_err();
+        assert!(err.to_string().contains("not nested"));
+    }
+
+    #[test]
+    fn recoder_binds_and_builds_lattice() {
+        let s = sub();
+        let ha = Hierarchy::ordinal_auto(s.attr(0)); // 8 cats: levels 0..4
+        let hb = Hierarchy::ordinal_auto(s.attr(1)); // 4 cats: levels 0..3
+        let r = Recoder::new(&s, vec![&ha, &hb]).unwrap();
+        assert_eq!(r.lattice().dims(), &[4, 3]);
+        assert_eq!(r.lattice().n_nodes(), 12);
+    }
+
+    #[test]
+    fn recoder_rejects_wrong_domain() {
+        let s = sub();
+        let wrong = Hierarchy::ordinal_auto(&Attribute::ordinal("Z", 5));
+        let hb = Hierarchy::ordinal_auto(s.attr(1));
+        assert!(Recoder::new(&s, vec![&wrong, &hb]).is_err());
+        assert!(Recoder::new(&s, vec![&hb]).is_err()); // arity
+    }
+
+    #[test]
+    fn bottom_node_is_identity() {
+        let s = sub();
+        let ha = Hierarchy::ordinal_auto(s.attr(0));
+        let hb = Hierarchy::ordinal_auto(s.attr(1));
+        let r = Recoder::new(&s, vec![&ha, &hb]).unwrap();
+        let out = r.apply(&s, &r.lattice().bottom()).unwrap();
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn top_node_collapses_every_column() {
+        let s = sub();
+        let ha = Hierarchy::ordinal_auto(s.attr(0));
+        let hb = Hierarchy::ordinal_auto(s.attr(1));
+        let r = Recoder::new(&s, vec![&ha, &hb]).unwrap();
+        let out = r.apply(&s, &r.lattice().top()).unwrap();
+        for k in 0..out.n_attrs() {
+            let col = out.column(k);
+            assert!(col.iter().all(|&c| c == col[0]), "column {k} collapsed");
+        }
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn apply_stays_in_domain_at_every_node() {
+        let s = sub();
+        let ha = Hierarchy::ordinal_auto(s.attr(0));
+        let hb = Hierarchy::ordinal_auto(s.attr(1));
+        let r = Recoder::new(&s, vec![&ha, &hb]).unwrap();
+        for node in r.lattice().nodes_bottom_up() {
+            let out = r.apply(&s, &node).unwrap();
+            out.validate().unwrap();
+        }
+    }
+}

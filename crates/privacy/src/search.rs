@@ -1,0 +1,398 @@
+//! Lattice searches for k-anonymous full-domain recodings — the
+//! anonymization baselines the evolutionary approach is compared against.
+//!
+//! Two classic strategies are implemented:
+//!
+//! * [`LatticeSearch::samarati_minimal`] — Samarati's binary search on
+//!   lattice height: the lowest height holding at least one k-anonymous
+//!   node is located in `O(log max_height)` sweeps; all satisfying nodes of
+//!   that height are returned.
+//! * [`LatticeSearch::optimal`] — a bottom-up breadth-first sweep with
+//!   *predictive tagging*: once a node satisfies k-anonymity, every
+//!   ancestor is known to satisfy it too (k-anonymity is monotone along
+//!   generalization edges when hierarchies are nested, which
+//!   [`crate::recode::Recoder::new`] verifies), so ancestors whose cost is
+//!   node-determined need no partition computation. Returns the satisfying
+//!   node with the smallest cost.
+//!
+//! Both report how many partitions were actually computed, so the pruning
+//! is measurable (see the `privacy` bench).
+
+use cdp_dataset::SubTable;
+
+use crate::cost::CostKind;
+use crate::lattice::Node;
+use crate::models::k_anonymity;
+use crate::partition::Partition;
+use crate::recode::Recoder;
+use crate::{PrivacyError, Result};
+
+/// Outcome of a lattice search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The chosen node (hierarchy level per attribute).
+    pub node: Node,
+    /// The k the node actually achieves (≥ the requested k).
+    pub achieved_k: usize,
+    /// Cost of the node under the requested [`CostKind`].
+    pub cost: f64,
+    /// Number of nodes whose partition was computed — the search's real
+    /// work; smaller is better for equal results.
+    pub partitions_computed: usize,
+}
+
+/// A k-anonymity search over the recoding lattice of one sub-table.
+pub struct LatticeSearch<'a> {
+    sub: &'a SubTable,
+    recoder: &'a Recoder<'a>,
+}
+
+impl<'a> LatticeSearch<'a> {
+    /// Bind the search to data and its recoder.
+    pub fn new(sub: &'a SubTable, recoder: &'a Recoder<'a>) -> Self {
+        LatticeSearch { sub, recoder }
+    }
+
+    /// The minimum class size the recoding at `node` achieves.
+    pub fn k_of(&self, node: &[u8]) -> Result<usize> {
+        let maps = self.recoder.maps_of(node);
+        Ok(Partition::of_mapped(self.sub, &maps)?.min_class_size())
+    }
+
+    /// Samarati's algorithm: binary-search the lattice height for the
+    /// lowest height with a k-anonymous node; return all satisfying nodes
+    /// at that height (callers pick by cost or domain preference).
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParam`] when `k < 2` (k = 1 is a no-op) or
+    /// `k > n`; [`PrivacyError::Unsatisfiable`] when even the top node
+    /// fails (only possible when `k` exceeds the most frequent collapsed
+    /// key count).
+    pub fn samarati_minimal(&self, k: usize) -> Result<(Vec<Node>, usize)> {
+        self.check_k(k)?;
+        let lattice = self.recoder.lattice();
+        let mut computed = 0usize;
+
+        let satisfying_at = |h: usize, computed: &mut usize| -> Result<Vec<Node>> {
+            let mut hits = Vec::new();
+            for node in lattice.nodes_at_height(h) {
+                *computed += 1;
+                if self.k_of(&node)? >= k {
+                    hits.push(node);
+                }
+            }
+            Ok(hits)
+        };
+
+        // the top must satisfy, else the model is unsatisfiable everywhere
+        if self.k_of(&lattice.top())? < k {
+            return Err(PrivacyError::Unsatisfiable { k });
+        }
+        computed += 1;
+
+        let mut lo = 0usize; // highest height known to have no satisfying node, +1
+        let mut hi = lattice.max_height(); // height known to have one
+        let mut best = vec![lattice.top()];
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let hits = satisfying_at(mid, &mut computed)?;
+            if hits.is_empty() {
+                lo = mid + 1;
+            } else {
+                best = hits;
+                hi = mid;
+            }
+        }
+        // `best` may be stale when the loop exited via lo == hi without
+        // probing `hi` last; re-probe unless hi is where best came from
+        if best.first().map(|n| lattice.height(n)) != Some(hi) {
+            best = satisfying_at(hi, &mut computed)?;
+        }
+        Ok((best, computed))
+    }
+
+    /// Bottom-up optimal search: among *all* k-anonymous nodes, return the
+    /// one minimizing `cost`, using predictive tagging to skip partition
+    /// computation for ancestors of known-satisfying nodes whenever the
+    /// cost does not need the partition ([`CostKind::Imprecision`]), and to
+    /// skip the k-anonymity test (but not the cost) otherwise.
+    ///
+    /// # Errors
+    /// Same contract as [`LatticeSearch::samarati_minimal`].
+    pub fn optimal(&self, k: usize, cost: CostKind) -> Result<SearchOutcome> {
+        self.check_k(k)?;
+        let lattice = self.recoder.lattice();
+        let nodes: Vec<Node> = lattice.nodes_bottom_up().collect();
+        let index_of = |node: &Node| nodes.binary_search_by(|probe| {
+            lattice
+                .height(probe)
+                .cmp(&lattice.height(node))
+                .then_with(|| probe.cmp(node))
+        });
+
+        let mut known_k: Vec<Option<bool>> = vec![None; nodes.len()];
+        let mut computed = 0usize;
+        let mut best: Option<SearchOutcome> = None;
+
+        for (i, node) in nodes.iter().enumerate() {
+            let tagged_satisfying = known_k[i] == Some(true);
+            let needs_partition =
+                !tagged_satisfying || cost != CostKind::Imprecision;
+
+            let (satisfies, partition) = if needs_partition {
+                let maps = self.recoder.maps_of(node);
+                let p = Partition::of_mapped(self.sub, &maps)?;
+                computed += 1;
+                (tagged_satisfying || p.min_class_size() >= k, Some(p))
+            } else {
+                (true, None)
+            };
+            known_k[i] = Some(satisfies);
+
+            if satisfies {
+                // predictive tagging: every successor chain satisfies too
+                let mut stack = lattice.successors(node);
+                while let Some(succ) = stack.pop() {
+                    if let Ok(j) = index_of(&succ) {
+                        if known_k[j] != Some(true) {
+                            known_k[j] = Some(true);
+                            stack.extend(lattice.successors(&succ));
+                        }
+                    }
+                }
+                let c = match cost {
+                    CostKind::Imprecision => crate::cost::imprecision(lattice, node),
+                    _ => cost.evaluate(
+                        lattice,
+                        node,
+                        partition
+                            .as_ref()
+                            .expect("partition computed for partition-based costs"),
+                        k,
+                    ),
+                };
+                let achieved_k = match &partition {
+                    Some(p) => p.min_class_size(),
+                    // tagged node whose partition was skipped: `k` is a
+                    // sound lower bound (imprecision strictly grows along
+                    // edges, so such a node never wins ties anyway)
+                    None => k,
+                };
+                let better = best
+                    .as_ref()
+                    .map(|b| c < b.cost)
+                    .unwrap_or(true);
+                if better {
+                    best = Some(SearchOutcome {
+                        node: node.clone(),
+                        achieved_k,
+                        cost: c,
+                        partitions_computed: 0, // patched below
+                    });
+                }
+            }
+        }
+
+        match best {
+            Some(mut outcome) => {
+                outcome.partitions_computed = computed;
+                Ok(outcome)
+            }
+            None => Err(PrivacyError::Unsatisfiable { k }),
+        }
+    }
+
+    fn check_k(&self, k: usize) -> Result<()> {
+        if k < 2 {
+            return Err(PrivacyError::InvalidParam(format!(
+                "k-anonymity needs k >= 2, got {k}"
+            )));
+        }
+        if k > self.sub.n_rows() {
+            return Err(PrivacyError::InvalidParam(format!(
+                "k = {k} exceeds the number of records ({})",
+                self.sub.n_rows()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Convenience wrapper: k-anonymity of a masked sub-table (no recoding).
+pub fn assess_k(sub: &SubTable) -> Result<crate::models::KAnonymity> {
+    Ok(k_anonymity(&Partition::of_subtable(sub)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::{Attribute, Hierarchy, Schema, SubTable};
+    use std::sync::Arc;
+
+    /// 8 records over two ordinal attributes whose identity partition has
+    /// singletons but whose level-1 recodings merge neighbours.
+    fn setup() -> (SubTable, Vec<Hierarchy>) {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Attribute::ordinal("A", 8),
+                Attribute::ordinal("B", 4),
+            ])
+            .unwrap(),
+        );
+        let sub = SubTable::new(
+            Arc::clone(&schema),
+            vec![0, 1],
+            vec![
+                vec![0, 1, 2, 3, 4, 5, 6, 7],
+                vec![0, 0, 1, 1, 2, 2, 3, 3],
+            ],
+        )
+        .unwrap();
+        let hs = vec![
+            Hierarchy::ordinal_auto(schema.attr(0)),
+            Hierarchy::ordinal_auto(schema.attr(1)),
+        ];
+        (sub, hs)
+    }
+
+    fn recoder<'a>(sub: &'a SubTable, hs: &'a [Hierarchy]) -> Recoder<'a> {
+        Recoder::new(sub, hs.iter().collect()).unwrap()
+    }
+
+    #[test]
+    fn k_of_bottom_and_top() {
+        let (sub, hs) = setup();
+        let rec = recoder(&sub, &hs);
+        let search = LatticeSearch::new(&sub, &rec);
+        assert_eq!(search.k_of(&rec.lattice().bottom()).unwrap(), 1);
+        assert_eq!(search.k_of(&rec.lattice().top()).unwrap(), 8);
+    }
+
+    #[test]
+    fn samarati_finds_lowest_satisfying_height() {
+        let (sub, hs) = setup();
+        let rec = recoder(&sub, &hs);
+        let search = LatticeSearch::new(&sub, &rec);
+        let (nodes, _computed) = search.samarati_minimal(2).unwrap();
+        assert!(!nodes.is_empty());
+        let lattice = rec.lattice();
+        let h = lattice.height(&nodes[0]);
+        // every returned node satisfies; every node strictly below fails
+        for node in &nodes {
+            assert_eq!(lattice.height(node), h);
+            assert!(search.k_of(node).unwrap() >= 2);
+        }
+        for lower_h in 0..h {
+            for node in lattice.nodes_at_height(lower_h) {
+                assert!(search.k_of(&node).unwrap() < 2, "height {lower_h} satisfies");
+            }
+        }
+    }
+
+    #[test]
+    fn samarati_agrees_with_exhaustive_scan() {
+        let (sub, hs) = setup();
+        let rec = recoder(&sub, &hs);
+        let search = LatticeSearch::new(&sub, &rec);
+        for k in [2usize, 3, 4, 8] {
+            let (nodes, _) = search.samarati_minimal(k).unwrap();
+            let lattice = rec.lattice();
+            let min_h_exhaustive = lattice
+                .nodes_bottom_up()
+                .filter(|n| search.k_of(n).unwrap() >= k)
+                .map(|n| lattice.height(&n))
+                .min()
+                .unwrap();
+            assert_eq!(lattice.height(&nodes[0]), min_h_exhaustive, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn optimal_picks_minimum_cost_satisfying_node() {
+        let (sub, hs) = setup();
+        let rec = recoder(&sub, &hs);
+        let search = LatticeSearch::new(&sub, &rec);
+        for cost in [
+            CostKind::Discernibility,
+            CostKind::AvgClassSize,
+            CostKind::Imprecision,
+        ] {
+            let outcome = search.optimal(2, cost).unwrap();
+            assert!(search.k_of(&outcome.node).unwrap() >= 2);
+            // exhaustive check
+            let lattice = rec.lattice();
+            for node in lattice.nodes_bottom_up() {
+                let maps = rec.maps_of(&node);
+                let p = Partition::of_mapped(&sub, &maps).unwrap();
+                if p.min_class_size() >= 2 {
+                    let c = cost.evaluate(lattice, &node, &p, 2);
+                    assert!(
+                        outcome.cost <= c + 1e-12,
+                        "{}: node {node:?} has cost {c} < chosen {}",
+                        cost.name(),
+                        outcome.cost
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn imprecision_search_computes_fewer_partitions() {
+        let (sub, hs) = setup();
+        let rec = recoder(&sub, &hs);
+        let search = LatticeSearch::new(&sub, &rec);
+        let tagged = search.optimal(2, CostKind::Imprecision).unwrap();
+        let full = search.optimal(2, CostKind::Discernibility).unwrap();
+        assert!(
+            tagged.partitions_computed <= full.partitions_computed,
+            "tagging should never compute more partitions"
+        );
+        assert!(tagged.partitions_computed < rec.lattice().n_nodes());
+    }
+
+    #[test]
+    fn unsatisfiable_when_k_exceeds_collapsed_majority() {
+        // two attributes that keep two groups even at the top
+        let schema = Arc::new(Schema::new(vec![Attribute::ordinal("A", 4)]).unwrap());
+        let sub = SubTable::new(
+            Arc::clone(&schema),
+            vec![0],
+            vec![vec![0, 0, 0, 1, 2, 3]],
+        )
+        .unwrap();
+        let attr = schema.attr(0);
+        // identity-only hierarchy: nothing can merge, so k=2 is hopeless
+        // (row with value 1, 2, 3 stay singletons)
+        let h = Hierarchy::identity(attr);
+        let hs = vec![h];
+        let rec = recoder(&sub, &hs);
+        let search = LatticeSearch::new(&sub, &rec);
+        assert!(matches!(
+            search.samarati_minimal(2),
+            Err(PrivacyError::Unsatisfiable { k: 2 })
+        ));
+        assert!(matches!(
+            search.optimal(2, CostKind::Imprecision),
+            Err(PrivacyError::Unsatisfiable { k: 2 })
+        ));
+    }
+
+    #[test]
+    fn k_parameter_guards() {
+        let (sub, hs) = setup();
+        let rec = recoder(&sub, &hs);
+        let search = LatticeSearch::new(&sub, &rec);
+        assert!(search.samarati_minimal(1).is_err());
+        assert!(search.samarati_minimal(9).is_err());
+        assert!(search.optimal(0, CostKind::Imprecision).is_err());
+    }
+
+    #[test]
+    fn assess_k_matches_partition_min() {
+        let (sub, _) = setup();
+        let ka = assess_k(&sub).unwrap();
+        assert_eq!(ka.k, 1);
+        assert_eq!(ka.n_classes, 8);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for the privacy-model invariants the lattice
+//! search relies on.
+
+use std::sync::Arc;
+
+use cdp_dataset::{Attribute, Code, Hierarchy, Schema, SubTable};
+use cdp_privacy::{
+    models, mondrian_anonymize, risk, CostKind, Lattice, LatticeSearch, Partition, Recoder,
+};
+use proptest::prelude::*;
+
+/// A random two-column sub-table with bounded cardinalities, plus its auto
+/// hierarchies.
+fn arb_data() -> impl Strategy<Value = (SubTable, Vec<Hierarchy>)> {
+    (2usize..=12, 2usize..=8, 4usize..=40).prop_flat_map(|(c0, c1, n)| {
+        (
+            proptest::collection::vec(0..c0 as Code, n),
+            proptest::collection::vec(0..c1 as Code, n),
+        )
+            .prop_map(move |(col0, col1)| {
+                let schema = Arc::new(
+                    Schema::new(vec![
+                        Attribute::ordinal("A", c0),
+                        Attribute::nominal("B", c1),
+                    ])
+                    .unwrap(),
+                );
+                let sub =
+                    SubTable::new(Arc::clone(&schema), vec![0, 1], vec![col0, col1]).unwrap();
+                let counts = {
+                    let mut c = vec![0usize; c1];
+                    for &v in sub.column(1) {
+                        c[v as usize] += 1;
+                    }
+                    c
+                };
+                let hs = vec![
+                    Hierarchy::ordinal_auto(schema.attr(0)),
+                    Hierarchy::nominal_from_counts(schema.attr(1), &counts).unwrap(),
+                ];
+                (sub, hs)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_sizes_sum_to_n((sub, _hs) in arb_data()) {
+        let p = Partition::of_subtable(&sub).unwrap();
+        let total: u32 = p.class_sizes().iter().sum();
+        prop_assert_eq!(total as usize, sub.n_rows());
+        for row in 0..sub.n_rows() {
+            prop_assert!(p.class_of(row) < p.n_classes());
+            prop_assert!(p.class_size_of(row) >= 1);
+        }
+    }
+
+    #[test]
+    fn k_is_monotone_along_lattice_edges((sub, hs) in arb_data()) {
+        let recoder = Recoder::new(&sub, hs.iter().collect()).unwrap();
+        let search = LatticeSearch::new(&sub, &recoder);
+        let lattice = recoder.lattice();
+        for node in lattice.nodes_bottom_up() {
+            let k_here = search.k_of(&node).unwrap();
+            for succ in lattice.successors(&node) {
+                let k_succ = search.k_of(&succ).unwrap();
+                prop_assert!(
+                    k_succ >= k_here,
+                    "k dropped from {} to {} along {:?} -> {:?}",
+                    k_here, k_succ, node, succ
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn samarati_height_is_minimal((sub, hs) in arb_data()) {
+        let recoder = Recoder::new(&sub, hs.iter().collect()).unwrap();
+        let search = LatticeSearch::new(&sub, &recoder);
+        let lattice = recoder.lattice();
+        let k = 2;
+        match search.samarati_minimal(k) {
+            Ok((nodes, _)) => {
+                let found_h = lattice.height(&nodes[0]);
+                let exhaustive_h = lattice
+                    .nodes_bottom_up()
+                    .filter(|n| search.k_of(n).unwrap() >= k)
+                    .map(|n| lattice.height(&n))
+                    .min()
+                    .unwrap();
+                prop_assert_eq!(found_h, exhaustive_h);
+                for node in &nodes {
+                    prop_assert!(search.k_of(node).unwrap() >= k);
+                }
+            }
+            Err(_) => {
+                // unsatisfiable: verify the top really fails
+                prop_assert!(search.k_of(&lattice.top()).unwrap() < k);
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_node_always_satisfies_k((sub, hs) in arb_data()) {
+        let recoder = Recoder::new(&sub, hs.iter().collect()).unwrap();
+        let search = LatticeSearch::new(&sub, &recoder);
+        for cost in [CostKind::Discernibility, CostKind::AvgClassSize, CostKind::Imprecision] {
+            if let Ok(outcome) = search.optimal(2, cost) {
+                prop_assert!(search.k_of(&outcome.node).unwrap() >= 2);
+                prop_assert!(outcome.cost.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn recode_apply_agrees_with_mapped_partition((sub, hs) in arb_data()) {
+        let recoder = Recoder::new(&sub, hs.iter().collect()).unwrap();
+        for node in recoder.lattice().nodes_bottom_up() {
+            let materialized = recoder.apply(&sub, &node).unwrap();
+            materialized.validate().unwrap();
+            let p_mat = Partition::of_subtable(&materialized).unwrap();
+            let maps = recoder.maps_of(&node);
+            let p_map = Partition::of_mapped(&sub, &maps).unwrap();
+            prop_assert_eq!(p_mat, p_map);
+        }
+    }
+
+    #[test]
+    fn risk_figures_are_coherent((sub, _hs) in arb_data()) {
+        let p = Partition::of_subtable(&sub).unwrap();
+        let pr = risk::prosecutor_risk(&p);
+        prop_assert!(pr.max >= pr.mean - 1e-12);
+        prop_assert!(pr.mean > 0.0 && pr.mean <= 1.0);
+        prop_assert!((0.0..=1.0).contains(&pr.high_risk_fraction));
+        prop_assert_eq!(pr.expected_reidentifications as usize, p.n_classes());
+        // self-population journalist risk equals prosecutor risk
+        let jr = risk::journalist_risk(&sub, &sub).unwrap();
+        prop_assert!((jr.max - pr.max).abs() < 1e-12);
+        prop_assert!((jr.mean - pr.mean).abs() < 1e-12);
+        prop_assert_eq!(jr.orphan_fraction, 0.0);
+    }
+
+    #[test]
+    fn diversity_models_stay_in_range((sub, _hs) in arb_data()) {
+        let p = Partition::of_subtable(&sub).unwrap();
+        // use column B itself as the sensitive attribute
+        let attr = sub.attr(1);
+        let sens = sub.column(1);
+        let ld = models::l_diversity(&p, sens, attr.n_categories()).unwrap();
+        prop_assert!(ld.distinct_l >= 1);
+        prop_assert!(ld.entropy_l >= 1.0 - 1e-12);
+        prop_assert!(ld.entropy_l <= ld.distinct_l as f64 + 1e-9,
+            "entropy l {} exceeds distinct l {}", ld.entropy_l, ld.distinct_l);
+        let tc = models::t_closeness(&p, sens, attr).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&tc.t));
+    }
+
+    #[test]
+    fn mondrian_always_reaches_k((sub, _hs) in arb_data(), k in 2usize..5) {
+        prop_assume!(sub.n_rows() >= k);
+        let (masked, stats) = mondrian_anonymize(&sub, k).unwrap();
+        masked.validate().unwrap();
+        prop_assert!(stats.achieved_k >= k,
+            "requested {k}, achieved {}", stats.achieved_k);
+        prop_assert_eq!(
+            Partition::of_subtable(&masked).unwrap().n_classes(),
+            stats.n_classes
+        );
+        // local recoding can only merge or keep classes of the identity
+        let identity_classes = Partition::of_subtable(&sub).unwrap().n_classes();
+        prop_assert!(stats.n_classes <= identity_classes);
+    }
+
+    #[test]
+    fn mondrian_is_deterministic((sub, _hs) in arb_data()) {
+        prop_assume!(sub.n_rows() >= 2);
+        let (a, sa) = mondrian_anonymize(&sub, 2).unwrap();
+        let (b, sb) = mondrian_anonymize(&sub, 2).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn generalizing_never_hurts_k_anonymity_audit((sub, hs) in arb_data()) {
+        let recoder = Recoder::new(&sub, hs.iter().collect()).unwrap();
+        let lattice = recoder.lattice();
+        let bottom_k = models::k_anonymity(
+            &Partition::of_subtable(&sub).unwrap()).k;
+        let top = recoder.apply(&sub, &lattice.top()).unwrap();
+        let top_k = models::k_anonymity(&Partition::of_subtable(&top).unwrap()).k;
+        prop_assert!(top_k >= bottom_k);
+        prop_assert_eq!(top_k, sub.n_rows()); // everything collapses
+    }
+}
+
+#[test]
+fn lattice_node_count_matches_dims_product() {
+    let lat = Lattice::new(vec![5, 4, 3]).unwrap();
+    assert_eq!(lat.n_nodes(), 60);
+    assert_eq!(lat.nodes_bottom_up().count(), 60);
+}

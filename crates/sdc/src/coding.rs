@@ -1,0 +1,301 @@
+//! Top and bottom coding.
+//!
+//! Classic threshold recodings for ordinal attributes: bottom coding
+//! replaces every value below the `q`-record-quantile category with that
+//! category; top coding does the same above the `(1−q)` quantile. The
+//! extreme (identifying) tails of the distribution disappear while the bulk
+//! is untouched.
+//!
+//! Nominal attributes have no tails, so both methods use the standard
+//! frequency-order adaptation: the rare categories jointly covering at most
+//! a fraction `q` of the records are folded away — bottom coding folds them
+//! into the *most frequent category of the folded tail* (keeping a distinct
+//! "rare/other" value), top coding folds them into the *global modal*
+//! category (maximal smoothing).
+
+use cdp_dataset::{AttrKind, Code, SubTable};
+use rand::RngCore;
+
+use crate::method::{MethodContext, MethodFamily, ProtectionMethod};
+use crate::order::category_frequencies;
+use crate::{Result, SdcError};
+
+/// Shared implementation of the two coding directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Bottom,
+    Top,
+}
+
+fn check_fraction(q: f64) -> Result<()> {
+    if !(q > 0.0 && q < 1.0) {
+        return Err(SdcError::InvalidParam(format!(
+            "coding fraction must lie in (0, 1), got {q}"
+        )));
+    }
+    Ok(())
+}
+
+/// Recode one ordinal column: values beyond the record-quantile threshold
+/// collapse onto the threshold category.
+fn code_ordinal(col: &[Code], n_categories: usize, q: f64, dir: Direction) -> Vec<Code> {
+    let n = col.len();
+    let counts = category_frequencies(col, n_categories);
+    let target = ((q * n as f64).ceil() as usize).min(n);
+    let threshold = match dir {
+        Direction::Bottom => {
+            let mut cum = 0usize;
+            let mut t = 0usize;
+            for (code, &c) in counts.iter().enumerate() {
+                cum += c;
+                if cum >= target {
+                    t = code;
+                    break;
+                }
+            }
+            t
+        }
+        Direction::Top => {
+            let mut cum = 0usize;
+            let mut t = n_categories.saturating_sub(1);
+            for code in (0..n_categories).rev() {
+                cum += counts[code];
+                if cum >= target {
+                    t = code;
+                    break;
+                }
+            }
+            t
+        }
+    } as Code;
+    col.iter()
+        .map(|&v| match dir {
+            Direction::Bottom => v.max(threshold),
+            Direction::Top => v.min(threshold),
+        })
+        .collect()
+}
+
+/// Recode one nominal column by folding the rare tail (cumulative record
+/// share ≤ `q`).
+fn code_nominal(col: &[Code], n_categories: usize, q: f64, dir: Direction) -> Vec<Code> {
+    let n = col.len();
+    let counts = category_frequencies(col, n_categories);
+    let mut codes: Vec<usize> = (0..n_categories).collect();
+    codes.sort_by_key(|&c| (counts[c], c)); // ascending frequency
+
+    let budget = (q * n as f64).floor() as usize;
+    let mut folded: Vec<usize> = Vec::new();
+    let mut used = 0usize;
+    for &c in &codes {
+        if counts[c] == 0 {
+            continue;
+        }
+        if used + counts[c] <= budget {
+            used += counts[c];
+            folded.push(c);
+        } else {
+            break;
+        }
+    }
+    if folded.is_empty() {
+        return col.to_vec();
+    }
+    let target: Code = match dir {
+        // most frequent member of the folded tail
+        Direction::Bottom => *folded
+            .iter()
+            .max_by_key(|&&c| (counts[c], std::cmp::Reverse(c)))
+            .expect("non-empty") as Code,
+        // global modal category
+        Direction::Top => codes[n_categories - 1] as Code,
+    };
+    let mut fold_mask = vec![false; n_categories];
+    for &c in &folded {
+        fold_mask[c] = true;
+    }
+    col.iter()
+        .map(|&v| if fold_mask[v as usize] { target } else { v })
+        .collect()
+}
+
+fn apply(original: &SubTable, q: f64, dir: Direction) -> Result<SubTable> {
+    check_fraction(q)?;
+    let columns = (0..original.n_attrs())
+        .map(|k| {
+            let attr = original.attr(k);
+            match attr.kind() {
+                AttrKind::Ordinal => code_ordinal(original.column(k), attr.n_categories(), q, dir),
+                AttrKind::Nominal => code_nominal(original.column(k), attr.n_categories(), q, dir),
+            }
+        })
+        .collect();
+    Ok(SubTable::new(
+        std::sync::Arc::clone(original.schema()),
+        original.attr_indices().to_vec(),
+        columns,
+    )?)
+}
+
+/// Bottom coding: collapse the low/rare tail (fraction `q` of records).
+#[derive(Debug, Clone, Copy)]
+pub struct BottomCoding {
+    /// Fraction of records in the collapsed tail, in `(0, 1)`.
+    pub fraction: f64,
+}
+
+impl ProtectionMethod for BottomCoding {
+    fn name(&self) -> String {
+        format!("bottom(q={:.2})", self.fraction)
+    }
+
+    fn family(&self) -> MethodFamily {
+        MethodFamily::BottomCoding
+    }
+
+    fn protect(
+        &self,
+        original: &SubTable,
+        _ctx: &MethodContext<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<SubTable> {
+        apply(original, self.fraction, Direction::Bottom)
+    }
+}
+
+/// Top coding: collapse the high/rare tail (fraction `q` of records).
+#[derive(Debug, Clone, Copy)]
+pub struct TopCoding {
+    /// Fraction of records in the collapsed tail, in `(0, 1)`.
+    pub fraction: f64,
+}
+
+impl ProtectionMethod for TopCoding {
+    fn name(&self) -> String {
+        format!("top(q={:.2})", self.fraction)
+    }
+
+    fn family(&self) -> MethodFamily {
+        MethodFamily::TopCoding
+    }
+
+    fn protect(
+        &self,
+        original: &SubTable,
+        _ctx: &MethodContext<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<SubTable> {
+        apply(original, self.fraction, Direction::Top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn housing_sub() -> SubTable {
+        DatasetKind::Housing
+            .generate(&GeneratorConfig::seeded(5).with_records(200))
+            .protected_subtable()
+    }
+
+    #[test]
+    fn bottom_coding_raises_low_values() {
+        let sub = housing_sub();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let ctx = MethodContext { hierarchies: &hs };
+        let mut rng = StdRng::seed_from_u64(1);
+        let masked = BottomCoding { fraction: 0.2 }
+            .protect(&sub, &ctx, &mut rng)
+            .unwrap();
+        for k in 0..sub.n_attrs() {
+            let min_orig = sub.column(k).iter().min().copied().unwrap();
+            let min_mask = masked.column(k).iter().min().copied().unwrap();
+            assert!(min_mask >= min_orig);
+        }
+        assert!(sub.hamming(&masked) > 0);
+    }
+
+    #[test]
+    fn top_coding_lowers_high_values() {
+        let sub = housing_sub();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let ctx = MethodContext { hierarchies: &hs };
+        let mut rng = StdRng::seed_from_u64(1);
+        let masked = TopCoding { fraction: 0.2 }
+            .protect(&sub, &ctx, &mut rng)
+            .unwrap();
+        for k in 0..sub.n_attrs() {
+            let max_orig = sub.column(k).iter().max().copied().unwrap();
+            let max_mask = masked.column(k).iter().max().copied().unwrap();
+            assert!(max_mask <= max_orig);
+        }
+        assert!(sub.hamming(&masked) > 0);
+    }
+
+    #[test]
+    fn larger_fraction_distorts_more() {
+        let sub = housing_sub();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let ctx = MethodContext { hierarchies: &hs };
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = TopCoding { fraction: 0.05 }
+            .protect(&sub, &ctx, &mut rng)
+            .unwrap();
+        let large = TopCoding { fraction: 0.4 }
+            .protect(&sub, &ctx, &mut rng)
+            .unwrap();
+        assert!(sub.hamming(&large) >= sub.hamming(&small));
+    }
+
+    #[test]
+    fn nominal_fold_preserves_dictionary() {
+        let sub = DatasetKind::Adult
+            .generate(&GeneratorConfig::seeded(2).with_records(200))
+            .protected_subtable();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let ctx = MethodContext { hierarchies: &hs };
+        let mut rng = StdRng::seed_from_u64(1);
+        for m in [
+            Box::new(BottomCoding { fraction: 0.15 }) as Box<dyn ProtectionMethod>,
+            Box::new(TopCoding { fraction: 0.15 }),
+        ] {
+            let masked = m.protect(&sub, &ctx, &mut rng).unwrap();
+            masked.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let sub = housing_sub();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let ctx = MethodContext { hierarchies: &hs };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(BottomCoding { fraction: 0.0 }
+            .protect(&sub, &ctx, &mut rng)
+            .is_err());
+        assert!(TopCoding { fraction: 1.0 }
+            .protect(&sub, &ctx, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_and_named() {
+        let sub = housing_sub();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let ctx = MethodContext { hierarchies: &hs };
+        let m = BottomCoding { fraction: 0.1 };
+        let a = m
+            .protect(&sub, &ctx, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let b = m
+            .protect(&sub, &ctx, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(m.name(), "bottom(q=0.10)");
+        assert_eq!(TopCoding { fraction: 0.25 }.name(), "top(q=0.25)");
+    }
+}

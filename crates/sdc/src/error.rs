@@ -1,0 +1,55 @@
+//! Error type of the SDC crate.
+
+use std::fmt;
+
+use cdp_dataset::DatasetError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SdcError>;
+
+/// Errors raised by protection methods.
+#[derive(Debug)]
+pub enum SdcError {
+    /// A parameter outside its admissible range (e.g. `k = 0`
+    /// microaggregation, a swap window larger than the file).
+    InvalidParam(String),
+    /// Propagated data-model error.
+    Dataset(DatasetError),
+}
+
+impl fmt::Display for SdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdcError::InvalidParam(msg) => write!(f, "invalid parameter: {msg}"),
+            SdcError::Dataset(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SdcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SdcError::Dataset(e) => Some(e),
+            SdcError::InvalidParam(_) => None,
+        }
+    }
+}
+
+impl From<DatasetError> for SdcError {
+    fn from(e: DatasetError) -> Self {
+        SdcError::Dataset(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SdcError::InvalidParam("k must be >= 2".into());
+        assert!(e.to_string().contains("k must be >= 2"));
+        let d: SdcError = DatasetError::Empty("x".into()).into();
+        assert!(std::error::Error::source(&d).is_some());
+    }
+}

@@ -1,0 +1,258 @@
+//! Extension methods beyond the paper's six: two classic SDC baselines
+//! that slot into the same [`ProtectionMethod`] interface and can be mixed
+//! into evolutionary populations (see the `custom_method` example for the
+//! pattern).
+//!
+//! * [`LocalSuppression`] — suppress the cells of *rare* combinations to
+//!   the attribute mode: the targeted counterpart of global recoding,
+//!   touching only risky records.
+//! * [`RandomSwap`] — uncontrolled data swapping: swap whole attribute
+//!   values between random record pairs. Unlike rank swapping there is no
+//!   rank window, so marginals are preserved but multivariate structure
+//!   degrades fast; a useful lower-bound baseline.
+
+use cdp_dataset::{Code, SubTable};
+use rand::Rng;
+use rand::RngCore;
+
+use crate::method::{MethodContext, MethodFamily, ProtectionMethod};
+use crate::order::category_frequencies;
+use crate::{Result, SdcError};
+
+/// Suppress cells belonging to combinations held by fewer than
+/// `min_class_size` records, replacing each suppressed cell with its
+/// attribute's modal category.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSuppression {
+    /// Combinations with fewer holders than this are suppressed.
+    pub min_class_size: usize,
+}
+
+impl ProtectionMethod for LocalSuppression {
+    fn name(&self) -> String {
+        format!("local-suppress(k={})", self.min_class_size)
+    }
+
+    fn family(&self) -> MethodFamily {
+        MethodFamily::LocalSuppression
+    }
+
+    fn protect(
+        &self,
+        original: &SubTable,
+        _ctx: &MethodContext<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<SubTable> {
+        if self.min_class_size < 2 {
+            return Err(SdcError::InvalidParam(format!(
+                "local suppression needs min_class_size >= 2, got {}",
+                self.min_class_size
+            )));
+        }
+        let n = original.n_rows();
+        let a = original.n_attrs();
+
+        // class size per record: sort keys, count runs
+        let mut keyed: Vec<(Vec<Code>, usize)> = (0..n)
+            .map(|r| ((0..a).map(|k| original.get(r, k)).collect(), r))
+            .collect();
+        keyed.sort();
+        let mut class_size = vec![0usize; n];
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && keyed[j].0 == keyed[i].0 {
+                j += 1;
+            }
+            for item in keyed.iter().take(j).skip(i) {
+                class_size[item.1] = j - i;
+            }
+            i = j;
+        }
+
+        let modes: Vec<Code> = (0..a)
+            .map(|k| {
+                let counts =
+                    category_frequencies(original.column(k), original.attr(k).n_categories());
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)
+                    .map(|(code, _)| code as Code)
+                    .unwrap_or(0)
+            })
+            .collect();
+
+        let mut columns: Vec<Vec<Code>> = (0..a).map(|k| original.column(k).to_vec()).collect();
+        for r in 0..n {
+            if class_size[r] < self.min_class_size {
+                for (k, col) in columns.iter_mut().enumerate() {
+                    col[r] = modes[k];
+                }
+            }
+        }
+        Ok(SubTable::new(
+            std::sync::Arc::clone(original.schema()),
+            original.attr_indices().to_vec(),
+            columns,
+        )?)
+    }
+}
+
+/// Uncontrolled swapping: for each attribute, `fraction` of the records
+/// exchange values with a uniformly random partner.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSwap {
+    /// Fraction of records swapped per attribute, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+impl ProtectionMethod for RandomSwap {
+    fn name(&self) -> String {
+        format!("random-swap(q={:.2})", self.fraction)
+    }
+
+    fn family(&self) -> MethodFamily {
+        MethodFamily::RandomSwapping
+    }
+
+    fn protect(
+        &self,
+        original: &SubTable,
+        _ctx: &MethodContext<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Result<SubTable> {
+        if !(self.fraction > 0.0 && self.fraction <= 1.0) {
+            return Err(SdcError::InvalidParam(format!(
+                "random swap fraction must lie in (0, 1], got {}",
+                self.fraction
+            )));
+        }
+        let n = original.n_rows();
+        let mut columns: Vec<Vec<Code>> = (0..original.n_attrs())
+            .map(|k| original.column(k).to_vec())
+            .collect();
+        let swaps = ((n as f64 * self.fraction / 2.0).round() as usize).max(1);
+        for col in &mut columns {
+            for _ in 0..swaps {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                col.swap(i, j);
+            }
+        }
+        Ok(SubTable::new(
+            std::sync::Arc::clone(original.schema()),
+            original.attr_indices().to_vec(),
+            columns,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+    use cdp_dataset::stats::{k_anonymity, uniqueness};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> SubTable {
+        DatasetKind::German
+            .generate(&GeneratorConfig::seeded(13).with_records(250))
+            .protected_subtable()
+    }
+
+    fn ctx<'a>(hs: &'a [&'a cdp_dataset::Hierarchy]) -> MethodContext<'a> {
+        MethodContext { hierarchies: hs }
+    }
+
+    #[test]
+    fn local_suppression_reduces_uniqueness() {
+        let sub = setup();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let mut rng = StdRng::seed_from_u64(1);
+        let masked = LocalSuppression { min_class_size: 3 }
+            .protect(&sub, &ctx(&hs), &mut rng)
+            .unwrap();
+        assert!(uniqueness(&masked) < uniqueness(&sub) + 1e-12);
+        masked.validate().unwrap();
+    }
+
+    #[test]
+    fn local_suppression_larger_k_suppresses_more() {
+        let sub = setup();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let mut rng = StdRng::seed_from_u64(1);
+        let soft = LocalSuppression { min_class_size: 2 }
+            .protect(&sub, &ctx(&hs), &mut rng)
+            .unwrap();
+        let hard = LocalSuppression { min_class_size: 10 }
+            .protect(&sub, &ctx(&hs), &mut rng)
+            .unwrap();
+        assert!(sub.hamming(&hard) >= sub.hamming(&soft));
+        // suppressed records collapse onto the modal combination, so the
+        // smallest class can only grow or stay
+        assert!(k_anonymity(&hard) >= k_anonymity(&sub));
+    }
+
+    #[test]
+    fn local_suppression_rejects_trivial_k() {
+        let sub = setup();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(LocalSuppression { min_class_size: 1 }
+            .protect(&sub, &ctx(&hs), &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn random_swap_preserves_marginals() {
+        let sub = setup();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let mut rng = StdRng::seed_from_u64(2);
+        let masked = RandomSwap { fraction: 0.5 }
+            .protect(&sub, &ctx(&hs), &mut rng)
+            .unwrap();
+        for k in 0..sub.n_attrs() {
+            let count = |col: &[Code]| {
+                let mut c = vec![0usize; sub.attr(k).n_categories()];
+                for &v in col {
+                    c[v as usize] += 1;
+                }
+                c
+            };
+            assert_eq!(count(sub.column(k)), count(masked.column(k)));
+        }
+        assert!(sub.hamming(&masked) > 0);
+    }
+
+    #[test]
+    fn random_swap_fraction_bounds() {
+        let sub = setup();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(RandomSwap { fraction: 0.0 }
+            .protect(&sub, &ctx(&hs), &mut rng)
+            .is_err());
+        assert!(RandomSwap { fraction: 1.5 }
+            .protect(&sub, &ctx(&hs), &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn names_and_families() {
+        assert_eq!(
+            LocalSuppression { min_class_size: 4 }.name(),
+            "local-suppress(k=4)"
+        );
+        assert_eq!(RandomSwap { fraction: 0.3 }.name(), "random-swap(q=0.30)");
+        assert_eq!(
+            LocalSuppression { min_class_size: 4 }.family(),
+            MethodFamily::LocalSuppression
+        );
+        assert_eq!(
+            RandomSwap { fraction: 0.3 }.family(),
+            MethodFamily::RandomSwapping
+        );
+    }
+}

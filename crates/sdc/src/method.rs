@@ -1,0 +1,100 @@
+//! The protection-method abstraction.
+
+use cdp_dataset::{Hierarchy, SubTable};
+use rand::RngCore;
+
+use crate::Result;
+
+/// The family a concrete protection belongs to; used by the suite builder
+/// and by experiment reports to group protections as the paper does
+/// ("72 of Microaggregation, 6 of Bottom Coding, …").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodFamily {
+    /// Categorical microaggregation.
+    Microaggregation,
+    /// Bottom coding.
+    BottomCoding,
+    /// Top coding.
+    TopCoding,
+    /// Global recoding over generalization hierarchies.
+    GlobalRecoding,
+    /// Rank swapping.
+    RankSwapping,
+    /// Post Randomization Method.
+    Pram,
+    /// Extension: local suppression of rare combinations (not part of the
+    /// paper's population sweeps).
+    LocalSuppression,
+    /// Extension: uncontrolled random swapping baseline.
+    RandomSwapping,
+}
+
+impl MethodFamily {
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodFamily::Microaggregation => "Microaggregation",
+            MethodFamily::BottomCoding => "Bottom Coding",
+            MethodFamily::TopCoding => "Top Coding",
+            MethodFamily::GlobalRecoding => "Global Recoding",
+            MethodFamily::RankSwapping => "Rank Swapping",
+            MethodFamily::Pram => "PRAM",
+            MethodFamily::LocalSuppression => "Local Suppression",
+            MethodFamily::RandomSwapping => "Random Swapping",
+        }
+    }
+
+    /// The paper's six families in its listing order (extensions excluded).
+    pub fn all() -> [MethodFamily; 6] {
+        [
+            MethodFamily::Microaggregation,
+            MethodFamily::BottomCoding,
+            MethodFamily::TopCoding,
+            MethodFamily::GlobalRecoding,
+            MethodFamily::RankSwapping,
+            MethodFamily::Pram,
+        ]
+    }
+}
+
+/// Side information a method may need beyond the data itself.
+pub struct MethodContext<'a> {
+    /// Generalization hierarchy for each protected column, aligned with the
+    /// sub-table's local attribute order.
+    pub hierarchies: &'a [&'a Hierarchy],
+}
+
+/// A categorical masking method: original protected columns in, masked
+/// protected columns out.
+///
+/// Implementations must keep the output inside the input's category
+/// dictionaries and preserve shape; [`SubTable::new`] re-validates this on
+/// construction, so a buggy method fails loudly rather than poisoning the
+/// population.
+pub trait ProtectionMethod {
+    /// Identifier including parameters, e.g. `"microagg(k=5,multi,median)"`.
+    fn name(&self) -> String;
+
+    /// Which family this method belongs to.
+    fn family(&self) -> MethodFamily;
+
+    /// Produce a protected copy of `original`.
+    fn protect(
+        &self,
+        original: &SubTable,
+        ctx: &MethodContext<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Result<SubTable>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_match_paper_vocabulary() {
+        assert_eq!(MethodFamily::Pram.name(), "PRAM");
+        assert_eq!(MethodFamily::RankSwapping.name(), "Rank Swapping");
+        assert_eq!(MethodFamily::all().len(), 6);
+    }
+}

@@ -1,0 +1,125 @@
+//! Ordering utilities shared by the rank-based methods.
+//!
+//! Ordinal attributes have an intrinsic category order (the dictionary
+//! order). Nominal attributes do not; rank-based methods (rank swapping,
+//! microaggregation grouping, quantile coding) fall back to **frequency
+//! order** — categories sorted by how often they occur — which is the usual
+//! adaptation in the SDC literature when a total order is required.
+
+use cdp_dataset::{AttrKind, Code};
+
+/// Occurrences of each category in a column.
+pub fn category_frequencies(column: &[Code], n_categories: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_categories];
+    for &c in column {
+        counts[c as usize] += 1;
+    }
+    counts
+}
+
+/// A total order on the categories of an attribute: `order_key[code]` is the
+/// sort position of `code`. Ordinal attributes use dictionary order; nominal
+/// attributes use ascending frequency order (ties broken by code) so that
+/// "low" means "rare".
+pub fn category_order_keys(kind: AttrKind, column: &[Code], n_categories: usize) -> Vec<usize> {
+    match kind {
+        AttrKind::Ordinal => (0..n_categories).collect(),
+        AttrKind::Nominal => {
+            let freq = category_frequencies(column, n_categories);
+            let mut codes: Vec<usize> = (0..n_categories).collect();
+            codes.sort_by_key(|&c| (freq[c], c));
+            let mut key = vec![0usize; n_categories];
+            for (pos, &c) in codes.iter().enumerate() {
+                key[c] = pos;
+            }
+            key
+        }
+    }
+}
+
+/// Record indices sorted by the attribute's total order (stable: ties keep
+/// record order, making every method deterministic given its inputs).
+pub fn sort_indices(column: &[Code], kind: AttrKind, n_categories: usize) -> Vec<usize> {
+    let keys = category_order_keys(kind, column, n_categories);
+    let mut idx: Vec<usize> = (0..column.len()).collect();
+    idx.sort_by_key(|&i| (keys[column[i] as usize], i));
+    idx
+}
+
+/// The modal (most frequent) category of a slice of codes; ties resolve to
+/// the smallest code.
+pub fn mode(codes: impl Iterator<Item = Code>, n_categories: usize) -> Code {
+    let mut counts = vec![0usize; n_categories];
+    for c in codes {
+        counts[c as usize] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(code, &cnt)| (cnt, std::cmp::Reverse(code)))
+        .map(|(code, _)| code as Code)
+        .unwrap_or(0)
+}
+
+/// The median category of a slice of codes under the given order keys.
+pub fn median_by_keys(mut codes: Vec<Code>, keys: &[usize]) -> Code {
+    debug_assert!(!codes.is_empty());
+    codes.sort_by_key(|&c| keys[c as usize]);
+    codes[(codes.len() - 1) / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_count() {
+        let col = [0u16, 1, 1, 2, 2, 2];
+        assert_eq!(category_frequencies(&col, 4), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn ordinal_order_is_dictionary_order() {
+        let col = [2u16, 0, 1];
+        assert_eq!(
+            category_order_keys(AttrKind::Ordinal, &col, 3),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn nominal_order_is_frequency_order() {
+        let col = [0u16, 1, 1, 2, 2, 2];
+        // freq: code0=1, code1=2, code2=3, code3=0 -> ascending: 3,0,1,2
+        assert_eq!(
+            category_order_keys(AttrKind::Nominal, &col, 4),
+            vec![1, 2, 3, 0]
+        );
+    }
+
+    #[test]
+    fn sort_indices_is_stable() {
+        let col = [1u16, 0, 1, 0];
+        let idx = sort_indices(&col, AttrKind::Ordinal, 2);
+        assert_eq!(idx, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn mode_breaks_ties_low() {
+        let col = [3u16, 1, 1, 3];
+        assert_eq!(mode(col.iter().copied(), 4), 1);
+    }
+
+    #[test]
+    fn median_respects_order_keys() {
+        // dictionary order
+        let keys: Vec<usize> = (0..5).collect();
+        assert_eq!(median_by_keys(vec![4, 0, 2], &keys), 2);
+        // even count -> lower middle
+        assert_eq!(median_by_keys(vec![0, 1, 2, 3], &keys), 1);
+        // custom order reversing the dictionary
+        let rev: Vec<usize> = (0..5).rev().collect();
+        assert_eq!(median_by_keys(vec![4, 0, 2], &rev), 2);
+        assert_eq!(median_by_keys(vec![4, 0], &rev), 4);
+    }
+}

@@ -1,0 +1,52 @@
+//! Extension demo: the Pareto front of (IL, DR) pairs discovered during a
+//! run.
+//!
+//! The paper collapses both objectives into one score and §3.1 shows what
+//! is lost that way: unbalanced protections score as well as balanced
+//! ones. The `ParetoArchive` keeps every non-dominated pair seen across
+//! the whole run — initial protections, surviving offspring, and even
+//! offspring that lost their crowding duel — giving the analyst the whole
+//! trade-off curve to pick from.
+//!
+//! ```sh
+//! cargo run --release --example pareto_front
+//! ```
+
+use cdp::prelude::*;
+
+fn main() {
+    let ds = DatasetKind::Housing.generate(&GeneratorConfig::seeded(9).with_records(300));
+    let population = build_population(&ds, &SuiteConfig::small(), 9).expect("sweep");
+    let evaluator =
+        Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).expect("evaluator");
+    let config = EvoConfig::builder()
+        .iterations(250)
+        .aggregator(ScoreAggregator::Max)
+        .seed(9)
+        .build();
+    let outcome = Evolution::new(evaluator, config)
+        .with_named_population(population)
+        .expect("compatible population")
+        .run();
+
+    println!(
+        "Pareto front after {} iterations ({} non-dominated points):\n",
+        outcome.iterations_run,
+        outcome.pareto_front.len()
+    );
+    println!("{:>8} {:>8}   origin", "IL", "DR");
+    for p in &outcome.pareto_front {
+        println!("{:>8.2} {:>8.2}   {}", p.il, p.dr, p.name);
+    }
+
+    // The scalar winner is on (or dominated-adjacent to) the front:
+    let best = outcome.final_best();
+    println!(
+        "\nscalar best under Eq. 2: `{}` (IL {:.2}, DR {:.2}, score {:.2})",
+        best.name, best.il, best.dr, best.score
+    );
+    println!(
+        "the front additionally exposes low-IL and low-DR corner options\n\
+         that a single aggregated score hides."
+    );
+}

@@ -1,0 +1,56 @@
+//! Using the metrics crate standalone: sweep PRAM's retention probability
+//! and chart the information-loss / disclosure-risk trade-off — the raw
+//! material the evolutionary algorithm optimizes over.
+//!
+//! Also contrasts the three transition-matrix constructions (uniform,
+//! proportional, invariant): invariant PRAM preserves expected marginals,
+//! which shows up as lower CTBIL at equal theta.
+//!
+//! ```sh
+//! cargo run --release --example pram_tuning
+//! ```
+
+use cdp::prelude::*;
+use cdp::sdc::{MethodContext, Pram, PramMode, ProtectionMethod};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ds = DatasetKind::Flare.generate(&GeneratorConfig::seeded(4).with_records(500));
+    let original = ds.protected_subtable();
+    let evaluator = Evaluator::new(&original, MetricConfig::default()).expect("evaluator");
+    let hierarchies = ds.protected_hierarchies();
+    let ctx = MethodContext {
+        hierarchies: &hierarchies,
+    };
+
+    println!("Flare dataset, PRAM sweep (500 records)\n");
+    println!(
+        "{:<28} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}",
+        "method", "IL", "DR", "CTBIL", "EBIL", "score-1", "score-2"
+    );
+    for mode in [PramMode::Uniform, PramMode::Proportional, PramMode::Invariant] {
+        for theta in [0.95, 0.9, 0.8, 0.7, 0.6, 0.5] {
+            let pram = Pram::new(theta, mode);
+            let mut rng = StdRng::seed_from_u64(4);
+            let masked = pram.protect(&original, &ctx, &mut rng).expect("protect");
+            let a = evaluator.evaluate(&masked);
+            println!(
+                "{:<28} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>8.2} {:>8.2}",
+                pram.name(),
+                a.il(),
+                a.dr(),
+                a.il_parts.ctbil,
+                a.il_parts.ebil,
+                a.score(ScoreAggregator::Mean),
+                a.score(ScoreAggregator::Max),
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading the table: theta down -> IL up, DR down. The invariant\n\
+         construction keeps CTBIL (marginal damage) lower at equal theta,\n\
+         because expected marginals are preserved by design."
+    );
+}

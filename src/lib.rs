@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! # cdp — Categorical Data Protection
+//!
+//! Facade crate for the reproduction of Marés & Torra, *"An Evolutionary
+//! Optimization Approach for Categorical Data Protection"* (PAIS/EDBT 2012).
+//!
+//! The workspace is organized as four library crates plus a benchmark
+//! harness; this crate re-exports all of them so downstream users can depend
+//! on a single name:
+//!
+//! * [`dataset`] — categorical microdata model, CSV I/O, generalization
+//!   hierarchies, and seeded generators for the paper's four evaluation
+//!   datasets.
+//! * [`sdc`] — the six statistical disclosure control methods used to build
+//!   the initial populations (microaggregation, top/bottom coding, global
+//!   recoding, rank swapping, PRAM).
+//! * [`metrics`] — information loss (CTBIL, DBIL, EBIL) and disclosure risk
+//!   (ID, DBRL, PRL, RSRL) measures, score aggregators, and the cached
+//!   evaluator.
+//! * [`core`] — the paper's contribution: the post-masking evolutionary
+//!   algorithm.
+//! * [`privacy`] — syntactic privacy models (k-anonymity, l-diversity,
+//!   t-closeness), re-identification risk, and the lattice-based optimal
+//!   recoding baseline (Samarati-style search over generalization
+//!   hierarchies).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cdp::prelude::*;
+//!
+//! // 1. Original file (synthetic stand-in for UCI Adult, paper shape).
+//! let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(7).with_records(120));
+//!
+//! // 2. Initial population: a small sweep of SDC protections.
+//! let suite = SuiteConfig::small();
+//! let population = build_population(&ds, &suite, 7).unwrap();
+//!
+//! // 3. Fitness: mean of IL and DR (the paper's Eq. 1).
+//! let evaluator = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+//!
+//! // 4. Evolve.
+//! let config = EvoConfig::builder()
+//!     .iterations(40)
+//!     .aggregator(ScoreAggregator::Mean)
+//!     .seed(7)
+//!     .build();
+//! let outcome = Evolution::new(evaluator, config)
+//!     .with_named_population(population)
+//!     .unwrap()
+//!     .run();
+//! assert!(outcome.final_best().score <= outcome.initial_best().score);
+//! ```
+
+pub use cdp_core as core;
+pub use cdp_dataset as dataset;
+pub use cdp_metrics as metrics;
+pub use cdp_privacy as privacy;
+pub use cdp_sdc as sdc;
+
+/// One-stop imports for examples and downstream experiments.
+pub mod prelude {
+    pub use cdp_core::{
+        Evolution, EvolutionOutcome, EvoConfig, Individual, Population, ReplacementPolicy,
+        SelectionWeighting, StopCondition,
+    };
+    pub use cdp_dataset::generators::{Dataset, DatasetKind, GeneratorConfig};
+    pub use cdp_dataset::{AttrKind, Attribute, Code, Hierarchy, Schema, SubTable, Table};
+    pub use cdp_metrics::{
+        Assessment, DrBreakdown, Evaluator, IlBreakdown, MetricConfig, ScoreAggregator,
+    };
+    pub use cdp_privacy::{CostKind, LatticeSearch, PrivacyReport, Recoder};
+    pub use cdp_sdc::{build_population, ProtectionMethod, SuiteConfig};
+}

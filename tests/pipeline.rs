@@ -1,0 +1,114 @@
+//! Cross-crate integration: the full paper pipeline at reduced scale on
+//! every dataset, plus the publish/export path.
+
+use std::sync::Arc;
+
+use cdp::dataset::io::{read_table, write_table, SchemaSource};
+use cdp::prelude::*;
+
+fn mini_run(kind: DatasetKind, aggregator: ScoreAggregator, seed: u64) -> EvolutionOutcome {
+    let ds = kind.generate(&GeneratorConfig::seeded(seed).with_records(80));
+    let population = build_population(&ds, &SuiteConfig::small(), seed).unwrap();
+    let evaluator = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+    let config = EvoConfig::builder()
+        .iterations(30)
+        .aggregator(aggregator)
+        .seed(seed)
+        .build();
+    Evolution::new(evaluator, config)
+        .with_named_population(population)
+        .unwrap()
+        .run()
+}
+
+#[test]
+fn all_four_datasets_run_both_fitness_functions() {
+    for kind in DatasetKind::all() {
+        for agg in [ScoreAggregator::Mean, ScoreAggregator::Max] {
+            let outcome = mini_run(kind, agg, 1);
+            let s = outcome.summary();
+            assert!(
+                s.final_mean <= s.initial_mean + 1e-9,
+                "{} / {} regressed",
+                kind.name(),
+                agg.name()
+            );
+            assert!(s.final_min > 0.0, "scores are meaningful");
+            assert!(s.initial_max <= 100.0, "scores are bounded");
+        }
+    }
+}
+
+#[test]
+fn final_individuals_remain_valid_protected_files() {
+    let outcome = mini_run(DatasetKind::Housing, ScoreAggregator::Max, 2);
+    for ind in outcome.population.members() {
+        ind.data.validate().unwrap();
+    }
+}
+
+#[test]
+fn best_protection_exports_and_reimports() {
+    let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(3).with_records(80));
+    let population = build_population(&ds, &SuiteConfig::small(), 3).unwrap();
+    let evaluator = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+    let config = EvoConfig::builder().iterations(20).seed(3).build();
+    let outcome = Evolution::new(evaluator, config)
+        .with_named_population(population)
+        .unwrap()
+        .run();
+
+    let published = ds.table.with_subtable(&outcome.population.best().data).unwrap();
+    let mut buf = Vec::new();
+    write_table(&published, &mut buf).unwrap();
+    let back = read_table(
+        SchemaSource::Fixed(Arc::clone(published.schema())),
+        buf.as_slice(),
+    )
+    .unwrap();
+    assert_eq!(back.n_rows(), published.n_rows());
+    for j in 0..published.n_attrs() {
+        assert_eq!(back.column(j), published.column(j));
+    }
+}
+
+#[test]
+fn evolution_improves_over_pure_initial_population() {
+    // the point of the paper: post-masking optimization beats the best
+    // off-the-shelf protection on at least some run
+    let outcome = mini_run(DatasetKind::Flare, ScoreAggregator::Max, 4);
+    let initial_best = outcome.initial_best().score;
+    let final_best = outcome.final_best().score;
+    assert!(final_best <= initial_best + 1e-9);
+}
+
+#[test]
+fn unbalanced_protections_penalized_only_by_max() {
+    // construct an extreme protection: identity (IL 0, DR high)
+    let ds = DatasetKind::German.generate(&GeneratorConfig::seeded(5).with_records(80));
+    let original = ds.protected_subtable();
+    let evaluator = Evaluator::new(&original, MetricConfig::default()).unwrap();
+    let a = evaluator.evaluate(&original);
+    let eq1 = a.score(ScoreAggregator::Mean);
+    let eq2 = a.score(ScoreAggregator::Max);
+    assert!(eq2 > eq1, "max must punish the unbalanced identity masking");
+    assert!((eq2 - a.dr()).abs() < 1e-12);
+}
+
+#[test]
+fn facade_prelude_covers_the_whole_pipeline() {
+    // compile-time check that the prelude exposes every type the
+    // quickstart needs, and a behavioural smoke test on top
+    let ds: Dataset = DatasetKind::Adult.generate(&GeneratorConfig::seeded(6).with_records(60));
+    let pop: Vec<cdp::sdc::NamedProtection> =
+        build_population(&ds, &SuiteConfig::small(), 6).unwrap();
+    let ev: Evaluator = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+    let cfg: EvoConfig = EvoConfig::builder().iterations(5).build();
+    let out: EvolutionOutcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .run();
+    let _: &Population = &out.population;
+    let _: &Individual = out.population.best();
+    assert_eq!(out.iterations_run, 5);
+}
