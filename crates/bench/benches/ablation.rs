@@ -30,8 +30,10 @@ fn setup() -> (Evaluator, Vec<NamedProtection>) {
 }
 
 fn run(ev: &Evaluator, pop: &[NamedProtection], cfg: EvoConfig) -> f64 {
-    let items: Vec<(String, SubTable)> =
-        pop.iter().map(|p| (p.name.clone(), p.data.clone())).collect();
+    let items: Vec<(String, SubTable)> = pop
+        .iter()
+        .map(|p| (p.name.clone(), p.data.clone()))
+        .collect();
     let outcome = Evolution::new(ev.clone(), cfg)
         .with_named_population(items)
         .expect("compatible population")
@@ -51,16 +53,20 @@ fn bench_ablation(c: &mut Criterion) {
         SelectionWeighting::RawScore,
         SelectionWeighting::Tournament { k: 3 },
     ] {
-        group.bench_with_input(BenchmarkId::new("selection", sel.name()), &sel, |b, &sel| {
-            b.iter(|| {
-                let cfg = EvoConfig::builder()
-                    .iterations(ITERS)
-                    .selection(sel)
-                    .seed(1)
-                    .build();
-                std::hint::black_box(run(&ev, &pop, cfg))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("selection", sel.name()),
+            &sel,
+            |b, &sel| {
+                b.iter(|| {
+                    let cfg = EvoConfig::builder()
+                        .iterations(ITERS)
+                        .selection(sel)
+                        .seed(1)
+                        .build();
+                    std::hint::black_box(run(&ev, &pop, cfg))
+                })
+            },
+        );
     }
 
     for rep in [
@@ -116,8 +122,10 @@ fn bench_ablation(c: &mut Criterion) {
         );
     }
 
-    let items: Vec<(String, SubTable)> =
-        pop.iter().map(|p| (p.name.clone(), p.data.clone())).collect();
+    let items: Vec<(String, SubTable)> = pop
+        .iter()
+        .map(|p| (p.name.clone(), p.data.clone()))
+        .collect();
     for (name, parallel) in [("serial", false), ("parallel", true)] {
         group.bench_with_input(BenchmarkId::new("init_eval", name), &parallel, |b, &par| {
             b.iter(|| std::hint::black_box(evaluate_all(&ev, &items, par)))

@@ -8,8 +8,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
 use cdp_dataset::SubTable;
-use cdp_metrics::il::{ctbil, dbil, ebil};
 use cdp_metrics::dr::interval_disclosure;
+use cdp_metrics::il::{ctbil, dbil, ebil};
 use cdp_metrics::linkage::{dbrl, prl, rsrl};
 use cdp_metrics::PreparedOriginal;
 use cdp_sdc::{MethodContext, Pram, PramMode, ProtectionMethod};

@@ -19,22 +19,30 @@ fn bench_partition(c: &mut Criterion) {
     for records in [100usize, 300, 1000] {
         let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(1).with_records(records));
         let sub = ds.protected_subtable();
-        group.bench_with_input(BenchmarkId::new("of_subtable", records), &records, |b, _| {
-            b.iter(|| std::hint::black_box(Partition::of_subtable(&sub).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("of_subtable", records),
+            &records,
+            |b, _| b.iter(|| std::hint::black_box(Partition::of_subtable(&sub).unwrap())),
+        );
         let partition = Partition::of_subtable(&sub).unwrap();
-        group.bench_with_input(BenchmarkId::new("k_anonymity", records), &records, |b, _| {
-            b.iter(|| std::hint::black_box(models::k_anonymity(&partition)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("k_anonymity", records),
+            &records,
+            |b, _| b.iter(|| std::hint::black_box(models::k_anonymity(&partition))),
+        );
         let sensitive = ds.table.column(0);
         let n_cats = ds.table.schema().attr(0).n_categories();
-        group.bench_with_input(BenchmarkId::new("l_diversity", records), &records, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(
-                    models::l_diversity(&partition, sensitive, n_cats).unwrap(),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("l_diversity", records),
+            &records,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        models::l_diversity(&partition, sensitive, n_cats).unwrap(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -49,16 +57,16 @@ fn bench_lattice_search(c: &mut Criterion) {
         let recoder = Recoder::new(&sub, hierarchies).unwrap();
         let search = LatticeSearch::new(&sub, &recoder);
 
-        group.bench_with_input(BenchmarkId::new("samarati_k3", records), &records, |b, _| {
-            b.iter(|| std::hint::black_box(search.samarati_minimal(3).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("samarati_k3", records),
+            &records,
+            |b, _| b.iter(|| std::hint::black_box(search.samarati_minimal(3).unwrap())),
+        );
         group.bench_with_input(
             BenchmarkId::new("optimal_tagged_k3", records),
             &records,
             |b, _| {
-                b.iter(|| {
-                    std::hint::black_box(search.optimal(3, CostKind::Imprecision).unwrap())
-                })
+                b.iter(|| std::hint::black_box(search.optimal(3, CostKind::Imprecision).unwrap()))
             },
         );
         group.bench_with_input(
@@ -66,9 +74,7 @@ fn bench_lattice_search(c: &mut Criterion) {
             &records,
             |b, _| {
                 b.iter(|| {
-                    std::hint::black_box(
-                        search.optimal(3, CostKind::Discernibility).unwrap(),
-                    )
+                    std::hint::black_box(search.optimal(3, CostKind::Discernibility).unwrap())
                 })
             },
         );

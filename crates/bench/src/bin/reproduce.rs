@@ -21,8 +21,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cdp_bench::{
-    figure_spec, kanon_comparison, markdown_table, measure_timing, pareto_comparison,
-    write_csv, ExperimentConfig, Harness, SummaryRow, ALL_FIGURES,
+    figure_spec, kanon_comparison, markdown_table, measure_timing, pareto_comparison, write_csv,
+    ExperimentConfig, Harness, SummaryRow, ALL_FIGURES,
 };
 use cdp_dataset::generators::DatasetKind;
 use cdp_metrics::ScoreAggregator;
@@ -93,7 +93,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut summary_md = String::new();
 
     for target in targets {
-        if let Some(id) = target.strip_prefix("fig").and_then(|s| s.parse::<u8>().ok()) {
+        if let Some(id) = target
+            .strip_prefix("fig")
+            .and_then(|s| s.parse::<u8>().ok())
+        {
             if figure_spec(id).is_none() {
                 return Err(format!("unknown figure id {id}"));
             }
@@ -235,21 +238,28 @@ fn summary_markdown(rows: &[SummaryRow]) -> String {
             let s = row.summary;
             vec![
                 row.dataset.name().to_string(),
-                format!("{:.2} -> {:.2} ({:.2}%)", s.initial_max, s.final_max, s.improvement_max()),
+                format!(
+                    "{:.2} -> {:.2} ({:.2}%)",
+                    s.initial_max,
+                    s.final_max,
+                    s.improvement_max()
+                ),
                 format!(
                     "{:.2} -> {:.2} ({:.2}%)",
                     s.initial_mean,
                     s.final_mean,
                     s.improvement_mean()
                 ),
-                format!("{:.2} -> {:.2} ({:.2}%)", s.initial_min, s.final_min, s.improvement_min()),
+                format!(
+                    "{:.2} -> {:.2} ({:.2}%)",
+                    s.initial_min,
+                    s.final_min,
+                    s.improvement_min()
+                ),
             ]
         })
         .collect();
-    markdown_table(
-        &["dataset", "max score", "mean score", "min score"],
-        &body,
-    )
+    markdown_table(&["dataset", "max score", "mean score", "min score"], &body)
 }
 
 fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> Result<T, String> {

@@ -36,7 +36,10 @@ fn parse_args() -> Args {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--records" => {
-                args.records = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.records)
+                args.records = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.records)
             }
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
             "--out" => args.out = it.next().map(PathBuf::from).unwrap_or(args.out),
@@ -103,8 +106,12 @@ fn main() {
         }
     }
     let path = args.out.join("convergence.csv");
-    write_csv(&path, &["dataset", "iterations", "max", "mean", "min"], &rows)
-        .expect("write convergence.csv");
+    write_csv(
+        &path,
+        &["dataset", "iterations", "max", "mean", "min"],
+        &rows,
+    )
+    .expect("write convergence.csv");
     println!("-> {}", path.display());
 
     // sweep 2: population size (keep the first fraction of the sweep)
@@ -130,7 +137,11 @@ fn main() {
         }
     }
     let path = args.out.join("popsize.csv");
-    write_csv(&path, &["dataset", "keep_fraction", "max", "mean", "min"], &rows)
-        .expect("write popsize.csv");
+    write_csv(
+        &path,
+        &["dataset", "keep_fraction", "max", "mean", "min"],
+        &rows,
+    )
+    .expect("write popsize.csv");
     println!("-> {}", path.display());
 }

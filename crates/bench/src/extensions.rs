@@ -290,8 +290,7 @@ mod tests {
         // satisfiable baseline rows meet their k and carry finite measures
         for row in &cmp.rows[1..] {
             if !row.label.contains("unsatisfiable") && !row.label.contains("infeasible") {
-                let k: usize = row.label
-                    [row.label.find('=').unwrap() + 1..row.label.len() - 1]
+                let k: usize = row.label[row.label.find('=').unwrap() + 1..row.label.len() - 1]
                     .parse()
                     .unwrap();
                 assert!(row.achieved_k >= k, "{}: {}", row.label, row.achieved_k);

@@ -104,11 +104,7 @@ impl Harness {
 
     /// Execute (or fetch) the run behind a spec.
     pub fn run(&mut self, spec: RunSpec) -> Rc<EvolutionOutcome> {
-        if let Some((_, cached)) = self
-            .cache
-            .iter()
-            .find(|(s, _)| *s == spec)
-        {
+        if let Some((_, cached)) = self.cache.iter().find(|(s, _)| *s == spec) {
             return Rc::clone(cached);
         }
         let mut gc = GeneratorConfig::seeded(self.cfg.seed);
@@ -164,7 +160,10 @@ impl Harness {
             FigureKind::Scatter => {
                 let path = self.cfg.out_dir.join(format!("fig{id:02}_scatter.csv"));
                 let mut rows = Vec::new();
-                for (phase, points) in [("initial", &outcome.initial), ("final", &outcome.final_points)] {
+                for (phase, points) in [
+                    ("initial", &outcome.initial),
+                    ("final", &outcome.final_points),
+                ] {
                     for p in points.iter() {
                         rows.push(vec![
                             phase.to_string(),
@@ -208,11 +207,7 @@ impl Harness {
         };
         let plot_path = csv_path.with_extension("txt");
         std::fs::write(&plot_path, &plot)?;
-        Ok(FigureOutput {
-            id,
-            csv_path,
-            plot,
-        })
+        Ok(FigureOutput { id, csv_path, plot })
     }
 
     /// The §3.1 (Eq. 1) or §3.2 (Eq. 2) summary rows, in the paper's

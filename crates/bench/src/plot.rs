@@ -56,7 +56,10 @@ pub fn line_plot(series: &[GenerationStats], title: &str) -> String {
         return format!("{title}\n(empty trace)\n");
     }
     let lo = series.iter().map(|g| g.min).fold(f64::INFINITY, f64::min);
-    let hi = series.iter().map(|g| g.max).fold(f64::NEG_INFINITY, f64::max);
+    let hi = series
+        .iter()
+        .map(|g| g.max)
+        .fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(1e-9);
     let mut grid = vec![vec![' '; W]; H];
     let n = series.len();

@@ -97,7 +97,10 @@ impl TimingReport {
                 format!("{:.2}", self.crossover_to_mutation_ratio()),
             ],
         ];
-        markdown_table(&["quantity", "paper (testbed)", "this implementation"], &rows)
+        markdown_table(
+            &["quantity", "paper (testbed)", "this implementation"],
+            &rows,
+        )
     }
 }
 

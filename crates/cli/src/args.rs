@@ -33,7 +33,11 @@ impl Args {
             }
             if let Some((key, value)) = stripped.split_once('=') {
                 flags.insert(key.to_string(), value.to_string());
-            } else if iter.peek().map(|next| !next.starts_with("--")).unwrap_or(false) {
+            } else if iter
+                .peek()
+                .map(|next| !next.starts_with("--"))
+                .unwrap_or(false)
+            {
                 let value = iter.next().expect("peeked");
                 flags.insert(stripped.to_string(), value);
             } else {
@@ -59,9 +63,9 @@ impl Args {
     pub fn get_or<T: FromStr>(&self, key: &str, default: T) -> Result<T> {
         match self.get(key) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                CliError::Usage(format!("flag --{key}: cannot parse `{raw}`"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag --{key}: cannot parse `{raw}`"))),
         }
     }
 
@@ -69,9 +73,10 @@ impl Args {
     pub fn get_parse<T: FromStr>(&self, key: &str) -> Result<Option<T>> {
         match self.get(key) {
             None => Ok(None),
-            Some(raw) => raw.parse().map(Some).map_err(|_| {
-                CliError::Usage(format!("flag --{key}: cannot parse `{raw}`"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("flag --{key}: cannot parse `{raw}`"))),
         }
     }
 

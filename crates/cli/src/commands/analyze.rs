@@ -75,10 +75,7 @@ pub fn run(args: &Args) -> Result<()> {
     let sensitive: Vec<(&cdp_dataset::Attribute, &[cdp_dataset::Code])> = sensitive_names
         .iter()
         .map(|n| {
-            let j = masked
-                .schema()
-                .index_of(n)
-                .expect("validated above");
+            let j = masked.schema().index_of(n).expect("validated above");
             (masked.schema().attr(j), masked.column(j))
         })
         .collect();

@@ -60,10 +60,7 @@ pub fn run(args: &Args) -> Result<()> {
     println!("  RSRL  {:7.2}", a.dr_parts.rsrl);
     println!("  DR    {:7.2}  (mean of 4)", a.dr());
     println!("scores");
-    println!(
-        "  mean (Eq.1) {:7.2}",
-        a.score(ScoreAggregator::Mean)
-    );
+    println!("  mean (Eq.1) {:7.2}", a.score(ScoreAggregator::Mean));
     println!("  max  (Eq.2) {:7.2}", a.score(ScoreAggregator::Max));
     Ok(())
 }

@@ -66,11 +66,7 @@ mod tests {
     fn exports_hierarchies_that_read_back() {
         let dir = tmp("export");
         let input = dir.join("data.csv");
-        std::fs::write(
-            &input,
-            "CITY,JOB\na,x\nb,y\na,x\nc,z\na,y\nb,x\na,x\nb,y\n",
-        )
-        .unwrap();
+        std::fs::write(&input, "CITY,JOB\na,x\nb,y\na,x\nc,z\na,y\nb,x\na,x\nb,y\n").unwrap();
         run(&args(&[
             "--input",
             input.to_str().unwrap(),

@@ -251,11 +251,7 @@ fn run_nsga(
     Ok(())
 }
 
-fn write_points(
-    out: &mut std::fs::File,
-    phase: &str,
-    points: &[ScatterPoint],
-) -> Result<()> {
+fn write_points(out: &mut std::fs::File, phase: &str, points: &[ScatterPoint]) -> Result<()> {
     for p in points {
         writeln!(
             out,

@@ -30,7 +30,15 @@ method specs:
 
 /// Run the command.
 pub fn run(args: &Args) -> Result<()> {
-    args.expect_only(&["input", "method", "out", "attrs", "seed", "hierarchy-dir", "schema"])?;
+    args.expect_only(&[
+        "input",
+        "method",
+        "out",
+        "attrs",
+        "seed",
+        "hierarchy-dir",
+        "schema",
+    ])?;
     let table = load_table_with(args.require("input")?, args.get("schema"))?;
     let indices = resolve_attrs(&table, args.list("attrs"))?;
     let method = parse_method(args.require("method")?)?;
@@ -139,8 +147,7 @@ mod tests {
     fn missing_method_is_usage_error() {
         let input = tmp("um.csv");
         std::fs::write(&input, "A\nx\n").unwrap();
-        let e = run(&args(&["--input", input.to_str().unwrap(), "--out", "o"]))
-            .unwrap_err();
+        let e = run(&args(&["--input", input.to_str().unwrap(), "--out", "o"])).unwrap_err();
         assert!(e.to_string().contains("--method"));
     }
 }

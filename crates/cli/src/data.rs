@@ -94,8 +94,7 @@ pub fn auto_hierarchies(table: &Table, indices: &[usize]) -> Result<Vec<Hierarch
             match attr.kind() {
                 AttrKind::Ordinal => Ok(Hierarchy::ordinal_auto(attr)),
                 AttrKind::Nominal => {
-                    let counts =
-                        stats::marginal_counts(table.column(j), attr.n_categories());
+                    let counts = stats::marginal_counts(table.column(j), attr.n_categories());
                     Ok(Hierarchy::nominal_from_counts(attr, &counts)?)
                 }
             }
@@ -158,10 +157,7 @@ mod tests {
         let t = load_table(&path).unwrap();
         assert_eq!(t.n_rows(), 3);
         assert_eq!(resolve_attrs(&t, None).unwrap(), vec![0, 1]);
-        assert_eq!(
-            resolve_attrs(&t, Some(vec!["B".into()])).unwrap(),
-            vec![1]
-        );
+        assert_eq!(resolve_attrs(&t, Some(vec!["B".into()])).unwrap(), vec![1]);
         assert!(resolve_attrs(&t, Some(vec!["NOPE".into()])).is_err());
         assert!(resolve_attrs(&t, Some(vec![])).is_err());
     }

@@ -98,7 +98,9 @@ fn full_workflow_generate_protect_evaluate_analyze() {
         masked.to_str().unwrap(),
     ]);
     let eval_text = stdout_of(&eval_out);
-    for token in ["CTBIL", "DBIL", "EBIL", "ID", "DBRL", "PRL", "RSRL", "Eq.1", "Eq.2"] {
+    for token in [
+        "CTBIL", "DBIL", "EBIL", "ID", "DBRL", "PRL", "RSRL", "Eq.1", "Eq.2",
+    ] {
         assert!(eval_text.contains(token), "evaluate prints {token}");
     }
 

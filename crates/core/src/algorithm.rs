@@ -67,9 +67,7 @@ impl Evolution {
         let members = items
             .into_iter()
             .zip(states)
-            .map(|((name, data), state)| {
-                Individual::new(name, data, state, self.config.aggregator)
-            })
+            .map(|((name, data), state)| Individual::new(name, data, state, self.config.aggregator))
             .collect();
         self.population = Some(Population::new(members));
         Ok(self)

@@ -77,9 +77,8 @@ impl NsgaConfig {
 /// set after removing `F0`, and so on. Both objectives are minimized.
 pub fn non_dominated_sort(objs: &[(f64, f64)]) -> Vec<Vec<usize>> {
     let n = objs.len();
-    let dominates = |a: (f64, f64), b: (f64, f64)| {
-        a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
-    };
+    let dominates =
+        |a: (f64, f64), b: (f64, f64)| a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1);
     let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
     let mut domination_count = vec![0usize; n];
     for i in 0..n {
@@ -246,9 +245,7 @@ impl Nsga2 {
         let members = items
             .into_iter()
             .zip(states)
-            .map(|((name, data), state)| {
-                Individual::new(name, data, state, ScoreAggregator::Max)
-            })
+            .map(|((name, data), state)| Individual::new(name, data, state, ScoreAggregator::Max))
             .collect();
         self.population = Some(members);
         Ok(self)
@@ -387,7 +384,9 @@ fn environmental_selection(pop: Vec<Individual>, n: usize) -> Vec<Individual> {
             let crowd = crowding_distance(&objs, &front);
             let mut order: Vec<usize> = (0..front.len()).collect();
             order.sort_by(|&x, &y| {
-                crowd[y].partial_cmp(&crowd[x]).expect("crowding comparable")
+                crowd[y]
+                    .partial_cmp(&crowd[x])
+                    .expect("crowding comparable")
             });
             keep.extend(order.into_iter().take(n - keep.len()).map(|w| front[w]));
             break;
@@ -418,7 +417,14 @@ mod tests {
         let fronts = non_dominated_sort(&objs);
         assert_eq!(fronts.len(), 3);
         assert_eq!(fronts[0], vec![1]);
-        assert_eq!({ let mut f = fronts[1].clone(); f.sort(); f }, vec![0, 2]);
+        assert_eq!(
+            {
+                let mut f = fronts[1].clone();
+                f.sort();
+                f
+            },
+            vec![0, 2]
+        );
         assert_eq!(fronts[2], vec![3]);
     }
 
@@ -495,8 +501,7 @@ mod tests {
         let out = small_run(11, 8);
         for a in &out.front {
             for b in &out.front {
-                let dominates =
-                    a.il <= b.il && a.dr <= b.dr && (a.il < b.il || a.dr < b.dr);
+                let dominates = a.il <= b.il && a.dr <= b.dr && (a.il < b.il || a.dr < b.dr);
                 assert!(!dominates, "front contains dominated point");
             }
             assert!((0.0..=100.0).contains(&a.il));
@@ -508,10 +513,8 @@ mod tests {
     #[test]
     fn archive_hypervolume_never_regresses() {
         let out = small_run(12, 8);
-        let initial: Vec<(f64, f64)> =
-            out.initial_front.iter().map(|p| (p.il, p.dr)).collect();
-        let archive: Vec<(f64, f64)> =
-            out.archive_front.iter().map(|p| (p.il, p.dr)).collect();
+        let initial: Vec<(f64, f64)> = out.initial_front.iter().map(|p| (p.il, p.dr)).collect();
+        let archive: Vec<(f64, f64)> = out.archive_front.iter().map(|p| (p.il, p.dr)).collect();
         let hv_initial = hypervolume(&initial, HV_REFERENCE);
         let hv_archive = hypervolume(&archive, HV_REFERENCE);
         assert!(

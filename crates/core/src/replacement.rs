@@ -24,13 +24,7 @@ impl ReplacementPolicy {
     /// Decide the pairing for parents `(p1, p2)` and offspring `(z1, z2)`:
     /// returns `true` when `z1` should duel `p1` (and `z2` duel `p2`),
     /// `false` for the crossed pairing.
-    pub fn pair_straight(
-        self,
-        p1: &SubTable,
-        p2: &SubTable,
-        z1: &SubTable,
-        z2: &SubTable,
-    ) -> bool {
+    pub fn pair_straight(self, p1: &SubTable, p2: &SubTable, z1: &SubTable, z2: &SubTable) -> bool {
         match self {
             ReplacementPolicy::IndexPairedCrowding => true,
             ReplacementPolicy::DistancePairedCrowding => {

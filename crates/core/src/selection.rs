@@ -67,9 +67,7 @@ impl SelectionWeighting {
                 let min = scores.iter().cloned().fold(f64::MAX, f64::min);
                 scores.iter().map(|&s| (max + min - s).max(EPS)).collect()
             }
-            SelectionWeighting::RawScore => {
-                scores.iter().map(|&s| s.max(EPS)).collect()
-            }
+            SelectionWeighting::RawScore => scores.iter().map(|&s| s.max(EPS)).collect(),
             SelectionWeighting::Tournament { .. } => {
                 panic!("tournament selection has no weight vector; use select()")
             }
@@ -77,9 +75,7 @@ impl SelectionWeighting {
                 // scores are not assumed sorted; rank them
                 let n = scores.len();
                 let mut idx: Vec<usize> = (0..n).collect();
-                idx.sort_by(|&a, &b| {
-                    scores[a].partial_cmp(&scores[b]).expect("finite scores")
-                });
+                idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
                 let mut w = vec![0.0; n];
                 for (rank, &i) in idx.iter().enumerate() {
                     w[i] = (n - rank) as f64;

@@ -8,11 +8,7 @@ use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
 use cdp_metrics::{Evaluator, MetricConfig, ScoreAggregator};
 use cdp_sdc::{build_population, NamedProtection, SuiteConfig};
 
-fn setup(
-    kind: DatasetKind,
-    n: usize,
-    seed: u64,
-) -> (Evaluator, Vec<NamedProtection>) {
+fn setup(kind: DatasetKind, n: usize, seed: u64) -> (Evaluator, Vec<NamedProtection>) {
     let ds = kind.generate(&GeneratorConfig::seeded(seed).with_records(n));
     let pop = build_population(&ds, &SuiteConfig::small(), seed).unwrap();
     let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
@@ -90,7 +86,10 @@ fn different_seeds_explore_differently() {
     let b = run(2);
     let ops_a: Vec<_> = a.trace.generations.iter().map(|g| g.operator).collect();
     let ops_b: Vec<_> = b.trace.generations.iter().map(|g| g.operator).collect();
-    assert_ne!(ops_a, ops_b, "seeds should draw different operator schedules");
+    assert_ne!(
+        ops_a, ops_b,
+        "seeds should draw different operator schedules"
+    );
 }
 
 #[test]
@@ -172,7 +171,9 @@ fn empty_population_is_an_error() {
     let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
     let cfg = EvoConfig::builder().iterations(5).build();
     let empty: Vec<(String, cdp_dataset::SubTable)> = vec![];
-    assert!(Evolution::new(ev, cfg).with_named_population(empty).is_err());
+    assert!(Evolution::new(ev, cfg)
+        .with_named_population(empty)
+        .is_err());
 }
 
 #[test]
@@ -251,7 +252,10 @@ fn adaptive_schedule_runs_and_reports_final_rate() {
         .unwrap()
         .run();
     let rate = outcome.final_mutation_rate;
-    assert!((0.2..=0.8).contains(&rate), "rate {rate} escaped its bounds");
+    assert!(
+        (0.2..=0.8).contains(&rate),
+        "rate {rate} escaped its bounds"
+    );
     // scores still monotone under the adaptive schedule
     let s = outcome.summary();
     assert!(s.final_mean <= s.initial_mean + 1e-9);

@@ -42,11 +42,7 @@ impl Attribute {
     ///
     /// # Errors
     /// Returns [`DatasetError::Empty`] when `categories` is empty.
-    pub fn new(
-        name: impl Into<String>,
-        kind: AttrKind,
-        categories: Vec<String>,
-    ) -> Result<Self> {
+    pub fn new(name: impl Into<String>, kind: AttrKind, categories: Vec<String>) -> Result<Self> {
         let name = name.into();
         if categories.is_empty() {
             return Err(DatasetError::Empty(format!("category list of `{name}`")));

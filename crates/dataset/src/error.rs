@@ -71,13 +71,13 @@ impl fmt::Display for DatasetError {
                 expected,
                 got,
                 column,
-            } => write!(
-                f,
-                "column {column} has {got} rows, expected {expected}"
-            ),
+            } => write!(f, "column {column} has {got} rows, expected {expected}"),
             DatasetError::Empty(what) => write!(f, "empty {what}"),
             DatasetError::AttrOutOfRange { index, n_attrs } => {
-                write!(f, "attribute index {index} out of range (schema has {n_attrs})")
+                write!(
+                    f,
+                    "attribute index {index} out of range (schema has {n_attrs})"
+                )
             }
             DatasetError::Io(e) => write!(f, "I/O error: {e}"),
             DatasetError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),

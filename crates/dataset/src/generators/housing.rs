@@ -107,12 +107,7 @@ mod tests {
         for &v in col {
             counts[v as usize] += 1;
         }
-        let argmax = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .unwrap()
-            .0;
+        let argmax = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
         assert!((6..=20).contains(&argmax), "peak at {argmax}");
     }
 }

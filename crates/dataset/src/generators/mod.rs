@@ -19,7 +19,9 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::sample::{column_from_weights, correlated_code, peaked_weights, weighted_index, zipf_weights};
+use crate::sample::{
+    column_from_weights, correlated_code, peaked_weights, weighted_index, zipf_weights,
+};
 use crate::{AttrKind, Attribute, Code, Hierarchy, Result, Schema, SubTable, Table};
 
 /// Which of the paper's four evaluation datasets to generate.
@@ -130,7 +132,10 @@ impl Dataset {
 
     /// Hierarchies of the protected attributes, in protected order.
     pub fn protected_hierarchies(&self) -> Vec<&Hierarchy> {
-        self.protected.iter().map(|&a| &self.hierarchies[a]).collect()
+        self.protected
+            .iter()
+            .map(|&a| &self.hierarchies[a])
+            .collect()
     }
 }
 
@@ -220,7 +225,11 @@ pub(crate) struct DatasetSpec {
 }
 
 /// Materialize a spec into a dataset.
-pub(crate) fn build(kind: DatasetKind, spec: &DatasetSpec, cfg: &GeneratorConfig) -> Result<Dataset> {
+pub(crate) fn build(
+    kind: DatasetKind,
+    spec: &DatasetSpec,
+    cfg: &GeneratorConfig,
+) -> Result<Dataset> {
     let n = cfg.n_records.unwrap_or(spec.n_records);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC0FFEE ^ (kind as u64) << 32);
 
@@ -373,7 +382,10 @@ mod tests {
             }
         }
         let (ml, mh) = (low / ln.max(1) as f64, high / hn.max(1) as f64);
-        assert!((ml - mh).abs() > 0.3, "expected association, got {ml} vs {mh}");
+        assert!(
+            (ml - mh).abs() > 0.3,
+            "expected association, got {ml} vs {mh}"
+        );
     }
 
     #[test]

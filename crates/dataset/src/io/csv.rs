@@ -112,11 +112,7 @@ pub fn read_table<R: BufRead>(source: SchemaSource, input: R) -> Result<Table> {
                 if fields.len() != names.len() {
                     return Err(DatasetError::Parse {
                         line: idx + 1,
-                        msg: format!(
-                            "{} fields, header has {}",
-                            fields.len(),
-                            names.len()
-                        ),
+                        msg: format!("{} fields, header has {}", fields.len(), names.len()),
                     });
                 }
                 for (j, field) in fields.iter().enumerate() {
@@ -221,11 +217,8 @@ mod tests {
         let t = sample_table();
         let mut buf = Vec::new();
         write_table(&t, &mut buf).unwrap();
-        let parsed = read_table(
-            SchemaSource::Fixed(Arc::clone(t.schema())),
-            buf.as_slice(),
-        )
-        .unwrap();
+        let parsed =
+            read_table(SchemaSource::Fixed(Arc::clone(t.schema())), buf.as_slice()).unwrap();
         assert_eq!(parsed.n_rows(), 3);
         for j in 0..t.n_attrs() {
             assert_eq!(parsed.column(j), t.column(j));
@@ -248,10 +241,7 @@ mod tests {
     fn header_mismatch_rejected() {
         let t = sample_table();
         let csv = "WRONG,SIZE\nred,s\n";
-        let res = read_table(
-            SchemaSource::Fixed(Arc::clone(t.schema())),
-            csv.as_bytes(),
-        );
+        let res = read_table(SchemaSource::Fixed(Arc::clone(t.schema())), csv.as_bytes());
         assert!(res.is_err());
     }
 
@@ -259,10 +249,7 @@ mod tests {
     fn unknown_label_rejected() {
         let t = sample_table();
         let csv = "COLOR,SIZE\nblue,s\n";
-        let res = read_table(
-            SchemaSource::Fixed(Arc::clone(t.schema())),
-            csv.as_bytes(),
-        );
+        let res = read_table(SchemaSource::Fixed(Arc::clone(t.schema())), csv.as_bytes());
         assert!(matches!(res, Err(DatasetError::UnknownCategory { .. })));
     }
 

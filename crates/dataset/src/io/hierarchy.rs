@@ -280,8 +280,7 @@ mod tests {
 
     #[test]
     fn comma_label_rejected_on_write() {
-        let attr = Attribute::new("X", AttrKind::Nominal, vec!["a,b".into(), "c".into()])
-            .unwrap();
+        let attr = Attribute::new("X", AttrKind::Nominal, vec!["a,b".into(), "c".into()]).unwrap();
         let h = Hierarchy::identity(&attr);
         let mut buf = Vec::new();
         assert!(write_hierarchy(&attr, &h, &mut buf).is_err());

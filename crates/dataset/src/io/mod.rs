@@ -11,7 +11,5 @@ mod hierarchy;
 mod schema;
 
 pub use csv::{read_table, read_table_path, write_table, write_table_path, SchemaSource};
-pub use hierarchy::{
-    read_hierarchy, read_hierarchy_path, write_hierarchy, write_hierarchy_path,
-};
+pub use hierarchy::{read_hierarchy, read_hierarchy_path, write_hierarchy, write_hierarchy_path};
 pub use schema::{read_schema, read_schema_path, write_schema, write_schema_path};

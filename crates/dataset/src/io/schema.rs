@@ -83,10 +83,14 @@ pub fn write_schema<W: Write>(schema: &Schema, out: &mut W) -> Result<()> {
     let mut w = BufWriter::new(out);
     writeln!(w, "# name,kind,categories (|-separated, in order)")?;
     for attr in schema.attrs() {
-        for label in attr.categories().iter().chain(std::iter::once(
-            &attr.name().to_string(),
-        )) {
-            if label.contains(',') || label.contains('|') || label.contains('\n')
+        for label in attr
+            .categories()
+            .iter()
+            .chain(std::iter::once(&attr.name().to_string()))
+        {
+            if label.contains(',')
+                || label.contains('|')
+                || label.contains('\n')
                 || label.contains('"')
             {
                 return Err(DatasetError::Parse {
@@ -99,7 +103,13 @@ pub fn write_schema<W: Write>(schema: &Schema, out: &mut W) -> Result<()> {
             AttrKind::Ordinal => "ordinal",
             AttrKind::Nominal => "nominal",
         };
-        writeln!(w, "{},{},{}", attr.name(), kind, attr.categories().join("|"))?;
+        writeln!(
+            w,
+            "{},{},{}",
+            attr.name(),
+            kind,
+            attr.categories().join("|")
+        )?;
     }
     w.flush()?;
     Ok(())
@@ -150,10 +160,10 @@ CITY,nominal,n|s|e|w
     #[test]
     fn rejects_malformed_lines() {
         for bad in [
-            "A,ordinal",              // missing categories
-            "A,diagonal,x|y",         // unknown kind
-            "A,nominal,x||y",         // empty category
-            ",nominal,x|y",           // empty name
+            "A,ordinal",      // missing categories
+            "A,diagonal,x|y", // unknown kind
+            "A,nominal,x||y", // empty category
+            ",nominal,x|y",   // empty name
         ] {
             assert!(read_schema(bad.as_bytes()).is_err(), "{bad} should fail");
         }

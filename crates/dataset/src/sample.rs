@@ -86,12 +86,10 @@ pub fn correlated_code<R: Rng + ?Sized>(
 }
 
 /// Generate a full column of `n` values drawn independently from `weights`.
-pub fn column_from_weights<R: Rng + ?Sized>(
-    weights: &[f64],
-    n: usize,
-    rng: &mut R,
-) -> Vec<Code> {
-    (0..n).map(|_| weighted_index(weights, rng) as Code).collect()
+pub fn column_from_weights<R: Rng + ?Sized>(weights: &[f64], n: usize, rng: &mut R) -> Vec<Code> {
+    (0..n)
+        .map(|_| weighted_index(weights, rng) as Code)
+        .collect()
 }
 
 #[cfg(test)]

@@ -113,7 +113,10 @@ mod tests {
         assert!(s.try_attr(2).is_ok());
         assert!(matches!(
             s.try_attr(3),
-            Err(DatasetError::AttrOutOfRange { index: 3, n_attrs: 3 })
+            Err(DatasetError::AttrOutOfRange {
+                index: 3,
+                n_attrs: 3
+            })
         ));
     }
 

@@ -142,10 +142,18 @@ mod tests {
         let s = sub();
         let base = ContingencyTables::build(&s);
         let mut one = s.clone();
-        one.set(0, 0, (one.get(0, 0) + 1) % one.attr(0).n_categories() as Code);
+        one.set(
+            0,
+            0,
+            (one.get(0, 0) + 1) % one.attr(0).n_categories() as Code,
+        );
         let mut many = one.clone();
         for r in 1..20 {
-            many.set(r, 1, (many.get(r, 1) + 1) % many.attr(1).n_categories() as Code);
+            many.set(
+                r,
+                1,
+                (many.get(r, 1) + 1) % many.attr(1).n_categories() as Code,
+            );
         }
         let d1 = base.distance(&ContingencyTables::build(&one));
         let d2 = base.distance(&ContingencyTables::build(&many));

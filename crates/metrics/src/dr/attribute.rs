@@ -80,11 +80,7 @@ pub fn attribute_disclosure(
 }
 
 /// Attribute disclosure averaged over every protected attribute as target.
-pub fn attribute_disclosure_avg(
-    prep: &PreparedOriginal,
-    masked: &SubTable,
-    fraction: f64,
-) -> f64 {
+pub fn attribute_disclosure_avg(prep: &PreparedOriginal, masked: &SubTable, fraction: f64) -> f64 {
     let a = prep.n_attrs();
     if a == 0 {
         return 0.0;

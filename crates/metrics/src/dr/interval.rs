@@ -59,11 +59,8 @@ pub fn id_value(prep: &PreparedOriginal, counts: &[u32]) -> f64 {
     if n == 0 || counts.is_empty() {
         return 0.0;
     }
-    let per_attr: f64 = counts
-        .iter()
-        .map(|&c| f64::from(c) / n as f64)
-        .sum::<f64>()
-        / counts.len() as f64;
+    let per_attr: f64 =
+        counts.iter().map(|&c| f64::from(c) / n as f64).sum::<f64>() / counts.len() as f64;
     100.0 * per_attr
 }
 

@@ -22,9 +22,7 @@ use cdp_dataset::{Code, SubTable};
 
 use crate::contingency::ContingencyTables;
 use crate::dr::{cell_disclosed, disclosed_counts, id_value};
-use crate::il::{
-    build_confusion, dbil_sum, dbil_value, ebil_from_confusion, update_confusion,
-};
+use crate::il::{build_confusion, dbil_sum, dbil_value, ebil_from_confusion, update_confusion};
 use crate::linkage::{
     credits_value, dbrl_credit, dbrl_credits, prl_credit, prl_credits, rsrl_credit, rsrl_credits,
     PrlModel,
@@ -279,8 +277,20 @@ impl Evaluator {
         update_confusion(&mut state.confusion, prep, row, k, old, new);
 
         // exact interval-disclosure update
-        let was = cell_disclosed(prep, k, prep.orig().get(row, k), old, self.cfg.interval_fraction);
-        let is = cell_disclosed(prep, k, prep.orig().get(row, k), new, self.cfg.interval_fraction);
+        let was = cell_disclosed(
+            prep,
+            k,
+            prep.orig().get(row, k),
+            old,
+            self.cfg.interval_fraction,
+        );
+        let is = cell_disclosed(
+            prep,
+            k,
+            prep.orig().get(row, k),
+            new,
+            self.cfg.interval_fraction,
+        );
         match (was, is) {
             (true, false) => state.id_counts[k] -= 1,
             (false, true) => state.id_counts[k] += 1,
@@ -428,7 +438,10 @@ mod tests {
         assert!((a.il_parts.dbil - b.il_parts.dbil).abs() < 1e-9);
         assert!((a.il_parts.ebil - b.il_parts.ebil).abs() < 1e-9);
         assert!((a.dr_parts.id - b.dr_parts.id).abs() < 1e-9);
-        assert!((a.dr_parts.dbrl - b.dr_parts.dbrl).abs() < 1e-9, "DBRL relink is exact");
+        assert!(
+            (a.dr_parts.dbrl - b.dr_parts.dbrl).abs() < 1e-9,
+            "DBRL relink is exact"
+        );
     }
 
     #[test]

@@ -50,12 +50,7 @@ pub fn dbrl_credits(prep: &PreparedOriginal, masked: &SubTable) -> Vec<f64> {
 /// considered re-identified when its true source ranks among the `k`
 /// nearest originals (fewer than `k` records strictly closer). Reduces to
 /// a 0/1 version of [`dbrl_credit`] at `k = 1` minus tie credit.
-pub fn dbrl_topk_disclosed(
-    prep: &PreparedOriginal,
-    masked: &SubTable,
-    i: usize,
-    k: usize,
-) -> bool {
+pub fn dbrl_topk_disclosed(prep: &PreparedOriginal, masked: &SubTable, i: usize, k: usize) -> bool {
     let n = prep.n_rows();
     let a = prep.n_attrs();
     let mut d_self = 0.0;

@@ -104,7 +104,13 @@ impl PrlModel {
 
     /// Match weight of pair `(masked i, original j)`.
     #[inline]
-    pub fn pair_weight(&self, prep: &PreparedOriginal, masked: &SubTable, i: usize, j: usize) -> f64 {
+    pub fn pair_weight(
+        &self,
+        prep: &PreparedOriginal,
+        masked: &SubTable,
+        i: usize,
+        j: usize,
+    ) -> f64 {
         let mut w = 0.0;
         for k in 0..prep.n_attrs() {
             if masked.get(i, k) == prep.orig().get(j, k) {

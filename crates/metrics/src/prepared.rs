@@ -206,8 +206,7 @@ impl MaskedStats {
                 count[v as usize] += 1;
             }
         }
-        let order_keys: Vec<Vec<usize>> =
-            (0..a).map(|k| prep.order_keys(k).to_vec()).collect();
+        let order_keys: Vec<Vec<usize>> = (0..a).map(|k| prep.order_keys(k).to_vec()).collect();
         let rank_start = rank_starts(&counts, &order_keys);
         MaskedStats { counts, rank_start }
     }
@@ -361,10 +360,7 @@ mod tests {
         for k in 0..p.n_attrs() {
             for v in 0..p.cats(k) as Code {
                 if stats.counts[k][v as usize] == 1 {
-                    assert_eq!(
-                        stats.midrank(k, v),
-                        stats.rank_start[k][v as usize] as f64
-                    );
+                    assert_eq!(stats.midrank(k, v), stats.rank_start[k][v as usize] as f64);
                 }
             }
         }

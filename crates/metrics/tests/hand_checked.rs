@@ -21,8 +21,12 @@ use cdp_metrics::{Evaluator, MetricConfig};
 fn schema() -> Arc<Schema> {
     Arc::new(
         Schema::new(vec![
-            Attribute::new("O", AttrKind::Ordinal, vec!["o0".into(), "o1".into(), "o2".into()])
-                .unwrap(),
+            Attribute::new(
+                "O",
+                AttrKind::Ordinal,
+                vec!["o0".into(), "o1".into(), "o2".into()],
+            )
+            .unwrap(),
             Attribute::new("N", AttrKind::Nominal, vec!["n0".into(), "n1".into()]).unwrap(),
         ])
         .unwrap(),
@@ -30,12 +34,22 @@ fn schema() -> Arc<Schema> {
 }
 
 fn original() -> SubTable {
-    SubTable::new(schema(), vec![0, 1], vec![vec![0, 1, 2, 1], vec![0, 0, 1, 1]]).unwrap()
+    SubTable::new(
+        schema(),
+        vec![0, 1],
+        vec![vec![0, 1, 2, 1], vec![0, 0, 1, 1]],
+    )
+    .unwrap()
 }
 
 fn masked() -> SubTable {
     // row 0: O 0 -> 1
-    SubTable::new(schema(), vec![0, 1], vec![vec![1, 1, 2, 1], vec![0, 0, 1, 1]]).unwrap()
+    SubTable::new(
+        schema(),
+        vec![0, 1],
+        vec![vec![1, 1, 2, 1], vec![0, 0, 1, 1]],
+    )
+    .unwrap()
 }
 
 fn evaluator() -> Evaluator {
@@ -49,7 +63,11 @@ fn dbil_single_ordinal_step() {
     // one changed cell at ordinal distance |0-1|/(3-1) = 0.5;
     // 8 cells total -> 100 * 0.5 / 8 = 6.25
     let a = evaluator().evaluate(&masked());
-    assert!((a.il_parts.dbil - 6.25).abs() < TOL, "dbil = {}", a.il_parts.dbil);
+    assert!(
+        (a.il_parts.dbil - 6.25).abs() < TOL,
+        "dbil = {}",
+        a.il_parts.dbil
+    );
 }
 
 #[test]
@@ -74,7 +92,11 @@ fn ebil_from_the_confusion_channel() {
     // capacity = n · (log2 3 + log2 2) = 4 · 2.584963 = 10.339850
     // EBIL = 100 · 2.754887 / 10.339850 = 26.6434
     let a = evaluator().evaluate(&masked());
-    assert!((a.il_parts.ebil - 26.6434).abs() < TOL, "ebil = {}", a.il_parts.ebil);
+    assert!(
+        (a.il_parts.ebil - 26.6434).abs() < TOL,
+        "ebil = {}",
+        a.il_parts.ebil
+    );
 }
 
 #[test]
@@ -82,7 +104,11 @@ fn interval_disclosure_window_catches_one_step() {
     // O window = max(1, round(0.1·2)) = 1 -> the 0->1 change stays inside
     // the interval; everything else is identical. ID = 100.
     let a = evaluator().evaluate(&masked());
-    assert!((a.dr_parts.id - 100.0).abs() < TOL, "id = {}", a.dr_parts.id);
+    assert!(
+        (a.dr_parts.id - 100.0).abs() < TOL,
+        "id = {}",
+        a.dr_parts.id
+    );
 }
 
 #[test]
@@ -91,7 +117,11 @@ fn dbrl_links_three_of_four() {
     // record 0 -> nearest original is row 1 (distance 0), not itself: 0
     // records 1..3 -> their own originals at distance 0, unique: 1 each
     let a = evaluator().evaluate(&masked());
-    assert!((a.dr_parts.dbrl - 75.0).abs() < TOL, "dbrl = {}", a.dr_parts.dbrl);
+    assert!(
+        (a.dr_parts.dbrl - 75.0).abs() < TOL,
+        "dbrl = {}",
+        a.dr_parts.dbrl
+    );
 }
 
 #[test]
@@ -100,7 +130,11 @@ fn prl_links_three_of_four() {
     // row 1 (not 0) for record 0; with m > u the full-agreement pattern
     // dominates, so PRL = 75 regardless of the exact EM estimates
     let a = evaluator().evaluate(&masked());
-    assert!((a.dr_parts.prl - 75.0).abs() < TOL, "prl = {}", a.dr_parts.prl);
+    assert!(
+        (a.dr_parts.prl - 75.0).abs() < TOL,
+        "prl = {}",
+        a.dr_parts.prl
+    );
 }
 
 #[test]
@@ -114,7 +148,11 @@ fn rsrl_candidate_sets_by_hand() {
     // record 3 (1,1): O∈{o0,o1}, N=n1 -> {row3} -> 1
     // RSRL = 100·(0.5+0.5+0.5+1)/4 = 62.5
     let a = evaluator().evaluate(&masked());
-    assert!((a.dr_parts.rsrl - 62.5).abs() < TOL, "rsrl = {}", a.dr_parts.rsrl);
+    assert!(
+        (a.dr_parts.rsrl - 62.5).abs() < TOL,
+        "rsrl = {}",
+        a.dr_parts.rsrl
+    );
 }
 
 #[test]
@@ -130,7 +168,11 @@ fn identity_reference_values() {
     assert!((a.dr_parts.id - 100.0).abs() < TOL);
     assert!((a.dr_parts.dbrl - 100.0).abs() < TOL);
     assert!((a.dr_parts.prl - 100.0).abs() < TOL);
-    assert!((a.dr_parts.rsrl - 75.0).abs() < TOL, "rsrl = {}", a.dr_parts.rsrl);
+    assert!(
+        (a.dr_parts.rsrl - 75.0).abs() < TOL,
+        "rsrl = {}",
+        a.dr_parts.rsrl
+    );
 }
 
 #[test]

@@ -61,13 +61,7 @@ pub enum CostKind {
 
 impl CostKind {
     /// Evaluate this cost for a node and the partition it induces.
-    pub fn evaluate(
-        self,
-        lattice: &Lattice,
-        node: &[u8],
-        partition: &Partition,
-        k: usize,
-    ) -> f64 {
+    pub fn evaluate(self, lattice: &Lattice, node: &[u8], partition: &Partition, k: usize) -> f64 {
         match self {
             CostKind::Discernibility => discernibility(partition, k),
             CostKind::AvgClassSize => avg_class_size(partition, k),

@@ -43,10 +43,9 @@ impl fmt::Display for PrivacyError {
                 write!(f, "shape mismatch in {what}: {left} vs {right}")
             }
             PrivacyError::InvalidParam(msg) => write!(f, "invalid parameter: {msg}"),
-            PrivacyError::Unsatisfiable { k } => write!(
-                f,
-                "no generalization in the lattice reaches {k}-anonymity"
-            ),
+            PrivacyError::Unsatisfiable { k } => {
+                write!(f, "no generalization in the lattice reaches {k}-anonymity")
+            }
             PrivacyError::NotNested { attribute, level } => write!(
                 f,
                 "hierarchy of `{attribute}` is not nested at level {level}; \

@@ -84,10 +84,7 @@ impl Lattice {
     /// Whether `node` is a valid member of this lattice.
     pub fn contains(&self, node: &[u8]) -> bool {
         node.len() == self.dims.len()
-            && node
-                .iter()
-                .zip(&self.dims)
-                .all(|(&l, &d)| (l as usize) < d)
+            && node.iter().zip(&self.dims).all(|(&l, &d)| (l as usize) < d)
     }
 
     /// Immediate successors: one attribute generalized one level further.

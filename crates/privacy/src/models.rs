@@ -26,11 +26,7 @@ pub struct KAnonymity {
 
 /// Assess k-anonymity from a partition.
 pub fn k_anonymity(partition: &Partition) -> KAnonymity {
-    let singletons = partition
-        .class_sizes()
-        .iter()
-        .filter(|&&s| s == 1)
-        .count();
+    let singletons = partition.class_sizes().iter().filter(|&&s| s == 1).count();
     KAnonymity {
         k: partition.min_class_size(),
         n_classes: partition.n_classes(),

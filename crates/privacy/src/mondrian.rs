@@ -229,7 +229,10 @@ mod tests {
     #[test]
     fn output_is_k_anonymous() {
         let data = sub(
-            vec![(0..16).map(|i| (i % 8) as Code).collect(), (0..16).map(|i| (i / 2) as Code).collect()],
+            vec![
+                (0..16).map(|i| (i % 8) as Code).collect(),
+                (0..16).map(|i| (i / 2) as Code).collect(),
+            ],
             8,
         );
         for k in [2usize, 3, 5, 8] {

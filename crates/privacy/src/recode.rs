@@ -116,12 +116,7 @@ impl<'a> Recoder<'a> {
     pub fn apply(&self, sub: &SubTable, node: &[u8]) -> Result<SubTable> {
         let maps = self.maps_of(node);
         let columns: Vec<Vec<Code>> = (0..sub.n_attrs())
-            .map(|k| {
-                sub.column(k)
-                    .iter()
-                    .map(|&c| maps[k][c as usize])
-                    .collect()
-            })
+            .map(|k| sub.column(k).iter().map(|&c| maps[k][c as usize]).collect())
             .collect();
         Ok(SubTable::new(
             std::sync::Arc::clone(sub.schema()),
@@ -139,11 +134,7 @@ mod tests {
 
     fn sub() -> SubTable {
         let schema = Arc::new(
-            Schema::new(vec![
-                Attribute::ordinal("A", 8),
-                Attribute::ordinal("B", 4),
-            ])
-            .unwrap(),
+            Schema::new(vec![Attribute::ordinal("A", 8), Attribute::ordinal("B", 4)]).unwrap(),
         );
         SubTable::new(
             schema,

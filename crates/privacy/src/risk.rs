@@ -154,8 +154,7 @@ mod tests {
     #[test]
     fn high_risk_threshold_counts_small_classes() {
         // one class of 3 (risk 1/3 > 0.2) and one of 7 (risk 1/7 < 0.2)
-        let p =
-            Partition::of_subtable(&sub(vec![vec![0, 0, 0, 1, 1, 1, 1, 1, 1, 1]])).unwrap();
+        let p = Partition::of_subtable(&sub(vec![vec![0, 0, 0, 1, 1, 1, 1, 1, 1, 1]])).unwrap();
         let r = prosecutor_risk(&p);
         assert!((r.high_risk_fraction - 0.3).abs() < 1e-12);
     }

@@ -123,12 +123,14 @@ impl<'a> LatticeSearch<'a> {
         self.check_k(k)?;
         let lattice = self.recoder.lattice();
         let nodes: Vec<Node> = lattice.nodes_bottom_up().collect();
-        let index_of = |node: &Node| nodes.binary_search_by(|probe| {
-            lattice
-                .height(probe)
-                .cmp(&lattice.height(node))
-                .then_with(|| probe.cmp(node))
-        });
+        let index_of = |node: &Node| {
+            nodes.binary_search_by(|probe| {
+                lattice
+                    .height(probe)
+                    .cmp(&lattice.height(node))
+                    .then_with(|| probe.cmp(node))
+            })
+        };
 
         let mut known_k: Vec<Option<bool>> = vec![None; nodes.len()];
         let mut computed = 0usize;
@@ -136,8 +138,7 @@ impl<'a> LatticeSearch<'a> {
 
         for (i, node) in nodes.iter().enumerate() {
             let tagged_satisfying = known_k[i] == Some(true);
-            let needs_partition =
-                !tagged_satisfying || cost != CostKind::Imprecision;
+            let needs_partition = !tagged_satisfying || cost != CostKind::Imprecision;
 
             let (satisfies, partition) = if needs_partition {
                 let maps = self.recoder.maps_of(node);
@@ -178,10 +179,7 @@ impl<'a> LatticeSearch<'a> {
                     // edges, so such a node never wins ties anyway)
                     None => k,
                 };
-                let better = best
-                    .as_ref()
-                    .map(|b| c < b.cost)
-                    .unwrap_or(true);
+                let better = best.as_ref().map(|b| c < b.cost).unwrap_or(true);
                 if better {
                     best = Some(SearchOutcome {
                         node: node.clone(),
@@ -233,19 +231,12 @@ mod tests {
     /// singletons but whose level-1 recodings merge neighbours.
     fn setup() -> (SubTable, Vec<Hierarchy>) {
         let schema = Arc::new(
-            Schema::new(vec![
-                Attribute::ordinal("A", 8),
-                Attribute::ordinal("B", 4),
-            ])
-            .unwrap(),
+            Schema::new(vec![Attribute::ordinal("A", 8), Attribute::ordinal("B", 4)]).unwrap(),
         );
         let sub = SubTable::new(
             Arc::clone(&schema),
             vec![0, 1],
-            vec![
-                vec![0, 1, 2, 3, 4, 5, 6, 7],
-                vec![0, 0, 1, 1, 2, 2, 3, 3],
-            ],
+            vec![vec![0, 1, 2, 3, 4, 5, 6, 7], vec![0, 0, 1, 1, 2, 2, 3, 3]],
         )
         .unwrap();
         let hs = vec![
@@ -284,7 +275,10 @@ mod tests {
         }
         for lower_h in 0..h {
             for node in lattice.nodes_at_height(lower_h) {
-                assert!(search.k_of(&node).unwrap() < 2, "height {lower_h} satisfies");
+                assert!(
+                    search.k_of(&node).unwrap() < 2,
+                    "height {lower_h} satisfies"
+                );
             }
         }
     }
@@ -355,12 +349,8 @@ mod tests {
     fn unsatisfiable_when_k_exceeds_collapsed_majority() {
         // two attributes that keep two groups even at the top
         let schema = Arc::new(Schema::new(vec![Attribute::ordinal("A", 4)]).unwrap());
-        let sub = SubTable::new(
-            Arc::clone(&schema),
-            vec![0],
-            vec![vec![0, 0, 0, 1, 2, 3]],
-        )
-        .unwrap();
+        let sub =
+            SubTable::new(Arc::clone(&schema), vec![0], vec![vec![0, 0, 0, 1, 2, 3]]).unwrap();
         let attr = schema.attr(0);
         // identity-only hierarchy: nothing can merge, so k=2 is hopeless
         // (row with value 1, 2, 3 stay singletons)

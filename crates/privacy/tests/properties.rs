@@ -25,8 +25,7 @@ fn arb_data() -> impl Strategy<Value = (SubTable, Vec<Hierarchy>)> {
                     ])
                     .unwrap(),
                 );
-                let sub =
-                    SubTable::new(Arc::clone(&schema), vec![0, 1], vec![col0, col1]).unwrap();
+                let sub = SubTable::new(Arc::clone(&schema), vec![0, 1], vec![col0, col1]).unwrap();
                 let counts = {
                     let mut c = vec![0usize; c1];
                     for &v in sub.column(1) {

@@ -44,8 +44,8 @@ mod suite;
 pub use coding::{BottomCoding, TopCoding};
 pub use error::{Result, SdcError};
 pub use extra::{LocalSuppression, RandomSwap};
-pub use mdav::Mdav;
 pub use global_recoding::GlobalRecoding;
+pub use mdav::Mdav;
 pub use method::{MethodContext, MethodFamily, ProtectionMethod};
 pub use microaggregation::{Aggregate, Grouping, MicroVariant, Microaggregation};
 pub use order::{category_frequencies, sort_indices};

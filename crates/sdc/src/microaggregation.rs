@@ -149,9 +149,7 @@ impl Microaggregation {
         out: &mut [Code],
     ) {
         let rep = match self.variant.aggregate {
-            Aggregate::Median => {
-                median_by_keys(rows.iter().map(|&i| col[i]).collect(), keys)
-            }
+            Aggregate::Median => median_by_keys(rows.iter().map(|&i| col[i]).collect(), keys),
             Aggregate::Mode => mode(rows.iter().map(|&i| col[i]), n_categories),
         };
         for &i in rows {

@@ -193,7 +193,11 @@ mod tests {
     #[test]
     fn rows_of_every_matrix_sum_to_one() {
         let probs = [0.5, 0.3, 0.15, 0.05];
-        for mode in [PramMode::Uniform, PramMode::Proportional, PramMode::Invariant] {
+        for mode in [
+            PramMode::Uniform,
+            PramMode::Proportional,
+            PramMode::Invariant,
+        ] {
             let m = Pram::new(0.7, mode).transition_matrix(&probs);
             for row in &m {
                 let s: f64 = row.iter().sum();

@@ -171,11 +171,8 @@ mod tests {
             // a swapped-in value must originate within the window, hence its
             // order key may shift by at most `window` positions worth of
             // category boundaries; verify via value-level rank bound
-            let keys = crate::order::category_order_keys(
-                attr.kind(),
-                sub.column(k),
-                attr.n_categories(),
-            );
+            let keys =
+                crate::order::category_order_keys(attr.kind(), sub.column(k), attr.n_categories());
             for i in 0..n {
                 if masked.get(i, k) != sub.get(i, k) {
                     // partner's original rank within window of i's rank
@@ -184,8 +181,7 @@ mod tests {
                     // the category key can move only while ranks move <= window,
                     // and each rank step crosses at most one category boundary
                     assert!(
-                        (old_key - new_key).unsigned_abs() as usize
-                            <= window.max(1) + 1,
+                        (old_key - new_key).unsigned_abs() as usize <= window.max(1) + 1,
                         "rank displacement too large at record {i}, attr {k}"
                     );
                     let _ = rank_of[i];

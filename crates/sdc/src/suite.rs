@@ -86,12 +86,9 @@ impl SuiteConfig {
                 vec![2, 2, 1],
                 vec![2, 2, 2],
             ],
-            DatasetKind::German | DatasetKind::Flare => vec![
-                vec![1, 1, 1],
-                vec![1, 2, 1],
-                vec![2, 1, 2],
-                vec![2, 2, 2],
-            ],
+            DatasetKind::German | DatasetKind::Flare => {
+                vec![vec![1, 1, 1], vec![1, 2, 1], vec![2, 1, 2], vec![2, 2, 2]]
+            }
         };
         SuiteConfig {
             microagg_ks,
@@ -147,8 +144,8 @@ pub fn build_population(
     let mut out = Vec::with_capacity(cfg.total());
 
     let run = |method: &dyn ProtectionMethod,
-                   rng: &mut StdRng,
-                   out: &mut Vec<NamedProtection>|
+               rng: &mut StdRng,
+               out: &mut Vec<NamedProtection>|
      -> Result<()> {
         let data = method.protect(&original, &ctx, rng)?;
         out.push(NamedProtection {
@@ -171,7 +168,11 @@ pub fn build_population(
         run(&TopCoding { fraction: q }, &mut rng, &mut out)?;
     }
     for levels in &cfg.recoding_levels {
-        run(&GlobalRecoding::per_attr(levels.clone()), &mut rng, &mut out)?;
+        run(
+            &GlobalRecoding::per_attr(levels.clone()),
+            &mut rng,
+            &mut out,
+        )?;
     }
     for &p in &cfg.rank_swap_ps {
         run(&RankSwapping::new(p), &mut rng, &mut out)?;

@@ -76,12 +76,11 @@ fn main() {
     };
 
     // built-in sweep + three custom protections
-    let mut population: Vec<(String, SubTable)> =
-        build_population(&ds, &SuiteConfig::small(), 21)
-            .expect("sweep")
-            .into_iter()
-            .map(Into::into)
-            .collect();
+    let mut population: Vec<(String, SubTable)> = build_population(&ds, &SuiteConfig::small(), 21)
+        .expect("sweep")
+        .into_iter()
+        .map(Into::into)
+        .collect();
     let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(21);
     for q in [0.1, 0.25, 0.5] {
         let method = ModeSuppression { fraction: q };

@@ -29,7 +29,11 @@ fn main() {
         "{:<28} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}",
         "method", "IL", "DR", "CTBIL", "EBIL", "score-1", "score-2"
     );
-    for mode in [PramMode::Uniform, PramMode::Proportional, PramMode::Invariant] {
+    for mode in [
+        PramMode::Uniform,
+        PramMode::Proportional,
+        PramMode::Invariant,
+    ] {
         for theta in [0.95, 0.9, 0.8, 0.7, 0.6, 0.5] {
             let pram = Pram::new(theta, mode);
             let mut rng = StdRng::seed_from_u64(4);

@@ -33,12 +33,21 @@ fn run(ds: &Dataset, drop_fraction: f64) -> (usize, f64, f64) {
 fn main() {
     let ds = DatasetKind::Flare.generate(&GeneratorConfig::seeded(11).with_records(400));
     println!("Flare dataset, Eq. 2 fitness, 250 iterations\n");
-    println!("{:<18} {:>4} {:>12} {:>11}", "population", "N", "initial min", "final min");
+    println!(
+        "{:<18} {:>4} {:>12} {:>11}",
+        "population", "N", "initial min", "final min"
+    );
 
     let (n_full, init_full, final_full) = run(&ds, 0.0);
-    println!("{:<18} {n_full:>4} {init_full:>12.2} {final_full:>11.2}", "full");
+    println!(
+        "{:<18} {n_full:>4} {init_full:>12.2} {final_full:>11.2}",
+        "full"
+    );
 
-    for (label, fraction, paper_gap) in [("best 5% removed", 0.05, 1.33), ("best 10% removed", 0.10, 1.08)] {
+    for (label, fraction, paper_gap) in [
+        ("best 5% removed", 0.05, 1.33),
+        ("best 10% removed", 0.10, 1.08),
+    ] {
         let (n, init, fin) = run(&ds, fraction);
         println!(
             "{label:<18} {n:>4} {init:>12.2} {fin:>11.2}   gap {:+.2} (paper: +{paper_gap})",

@@ -62,7 +62,7 @@ pub use cdp_sdc as sdc;
 /// One-stop imports for examples and downstream experiments.
 pub mod prelude {
     pub use cdp_core::{
-        Evolution, EvolutionOutcome, EvoConfig, Individual, Population, ReplacementPolicy,
+        EvoConfig, Evolution, EvolutionOutcome, Individual, Population, ReplacementPolicy,
         SelectionWeighting, StopCondition,
     };
     pub use cdp_dataset::generators::{Dataset, DatasetKind, GeneratorConfig};

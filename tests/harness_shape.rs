@@ -1,9 +1,9 @@
 //! Integration tests of the experiment harness: every paper artifact is
 //! regenerable and produces well-formed output (run here at smoke scale).
 
-use cdp_bench::{figure_spec, measure_timing, ExperimentConfig, Harness, ALL_FIGURES};
 use cdp::dataset::generators::DatasetKind;
 use cdp::metrics::ScoreAggregator;
+use cdp_bench::{figure_spec, measure_timing, ExperimentConfig, Harness, ALL_FIGURES};
 
 fn smoke_harness(tag: &str) -> Harness {
     Harness::new(ExperimentConfig {
@@ -70,8 +70,16 @@ fn summaries_report_non_regressing_scores() {
     for agg in [ScoreAggregator::Mean, ScoreAggregator::Max] {
         for row in h.summary(agg) {
             let s = row.summary;
-            assert!(s.final_max <= s.initial_max + 1e-9, "{}", row.dataset.name());
-            assert!(s.final_min <= s.initial_min + 1e-9, "{}", row.dataset.name());
+            assert!(
+                s.final_max <= s.initial_max + 1e-9,
+                "{}",
+                row.dataset.name()
+            );
+            assert!(
+                s.final_min <= s.initial_min + 1e-9,
+                "{}",
+                row.dataset.name()
+            );
             assert!(s.improvement_max() >= -1e-9);
         }
     }

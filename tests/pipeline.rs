@@ -58,7 +58,10 @@ fn best_protection_exports_and_reimports() {
         .unwrap()
         .run();
 
-    let published = ds.table.with_subtable(&outcome.population.best().data).unwrap();
+    let published = ds
+        .table
+        .with_subtable(&outcome.population.best().data)
+        .unwrap();
     let mut buf = Vec::new();
     write_table(&published, &mut buf).unwrap();
     let back = read_table(

@@ -9,9 +9,7 @@ use std::sync::Arc;
 use cdp::core::operators::{crossover, mutate};
 use cdp::dataset::{AttrKind, Attribute, Code, Hierarchy, Schema, SubTable};
 use cdp::metrics::{Evaluator, MetricConfig, ScoreAggregator};
-use cdp::sdc::{
-    MethodContext, Pram, PramMode, ProtectionMethod, RankSwapping,
-};
+use cdp::sdc::{MethodContext, Pram, PramMode, ProtectionMethod, RankSwapping};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

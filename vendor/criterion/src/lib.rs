@@ -1,0 +1,254 @@
+//! Offline stand-in for the subset of `criterion` this workspace's bench
+//! targets use. It keeps the call shapes (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `iter`/`iter_batched`,
+//! `BenchmarkId`, `BatchSize`) and performs a real — if statistically
+//! unsophisticated — wall-clock measurement: a short warm-up, then
+//! `sample_size` timed samples, reporting min/mean.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Hand `x` to the optimizer-opaque sink (re-export shim over `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in times every
+/// routine invocation individually, so the variants only exist for call
+/// compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// A `function-name/parameter` benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Label composed of a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Label from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`. Each sample times a batch of invocations sized so
+    /// the timed region is ≳10µs, then divides — otherwise sub-microsecond
+    /// routines would mostly measure `Instant` overhead.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_micros(10).as_nanos() / once.as_nanos()).clamp(1, 1024) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample);
+        }
+    }
+
+    /// Time `routine` on inputs produced by an untimed `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "{id:<50} min {:>12?}   mean {:>12?}   ({} samples)",
+            min,
+            mean,
+            self.samples.len()
+        );
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's default is 100;
+    /// the stand-in defaults to 10 to keep `cargo bench` quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored; accepted for call compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (upstream flushes reports here; the stand-in prints
+    /// eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit the `main` that runs each group (bench targets set `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scale", 4), &4u64, |b, &k| {
+            b.iter_batched(
+                || vec![k; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs_targets() {
+        benches();
+    }
+}

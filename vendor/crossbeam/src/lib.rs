@@ -1,0 +1,59 @@
+//! Offline stand-in for the `crossbeam::thread::scope` API this workspace
+//! uses, implemented on top of `std::thread::scope` (stable since 1.63).
+//!
+//! Differences from upstream crossbeam are confined to panic plumbing: a
+//! panicking worker propagates through `std::thread::scope` instead of
+//! surfacing as `Err`, so the `Ok` arm is the only one this wrapper ever
+//! returns. Callers in this workspace immediately `.expect()` the result,
+//! which behaves identically under both implementations.
+
+/// Scoped threads with the crossbeam 0.8 call shape.
+pub mod thread {
+    use std::any::Any;
+
+    /// Wrapper over [`std::thread::Scope`] whose `spawn` passes the scope
+    /// back into the closure, like crossbeam's.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker; the closure receives the scope so it can spawn
+        /// nested workers (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, non-`'static` threads can
+    /// be spawned; all workers are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|scope| {
+            for (slot, &x) in out.iter_mut().zip(data.iter()) {
+                scope.spawn(move |_| {
+                    *slot = x * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+}

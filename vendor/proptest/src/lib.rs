@@ -1,0 +1,193 @@
+//! Offline stand-in for the subset of `proptest` this workspace's
+//! property tests use: the `proptest!` macro, `Strategy` with
+//! `prop_map`/`prop_flat_map`, range/tuple/`collection::vec` strategies,
+//! `any::<T>()`, `ProptestConfig`, and the `prop_assert*`/`prop_assume!`
+//! macros.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! case number and the formatted assertion message. Cases are generated
+//! from a fixed per-case seed, so failures reproduce deterministically.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_test(stringify!($name), case);
+                    $(let $pat = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!("proptest case {case}: {message}");
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$attr])*
+                fn $name($($pat in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Skip the current case unless `cond` holds (upstream rejects and
+/// resamples; the stand-in counts the case as passed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 2usize..=4, n in 8usize..30, x in 0.5f64..2.0) {
+            prop_assert!((2..=4).contains(&a));
+            prop_assert!((8..30).contains(&n));
+            prop_assert!((0.5..2.0).contains(&x));
+        }
+
+        #[test]
+        fn any_and_assume(seed in any::<u64>(), flag in any::<bool>()) {
+            prop_assume!(flag || !flag);
+            prop_assert_eq!(seed.wrapping_add(0), seed);
+        }
+
+        #[test]
+        fn vec_and_combinators(v in crate::collection::vec(0u16..10, 1..40)) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn flat_map_dependent_sizes(
+            (len, v) in (1usize..=8).prop_flat_map(|len| {
+                (crate::strategy::Just(len), crate::collection::vec(0u8..5, len))
+            })
+        ) {
+            prop_assert_eq!(v.len(), len);
+        }
+
+        #[test]
+        fn map_transforms(doubled in (1u32..50).prop_map(|x| x * 2)) {
+            prop_assert!(doubled % 2 == 0);
+            prop_assert_ne!(doubled, 1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = 0u64..1000;
+        let a: Vec<u64> = (0..5)
+            .map(|c| Strategy::sample(&s, &mut crate::TestRng::for_case(c)))
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|c| Strategy::sample(&s, &mut crate::TestRng::for_case(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

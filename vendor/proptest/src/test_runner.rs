@@ -1,0 +1,72 @@
+//! Case scheduling: configuration and the per-case RNG.
+
+/// How many cases each property runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64 generator; each test case gets an independent, fixed stream
+/// so failures reproduce without persisted seeds.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The deterministic RNG for case number `case`.
+    pub fn for_case(case: u32) -> Self {
+        TestRng {
+            state: 0x9E37_79B9_7F4A_7C15 ^ (case as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+        }
+    }
+
+    /// The deterministic RNG for case `case` of the test named `name`:
+    /// folding the name in gives each property its own input stream
+    /// instead of every test sampling the identical sequence.
+    pub fn for_test(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ 0x9E37_79B9_7F4A_7C15 ^ (case as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)` as a signed 128-bit span (covers every
+    /// primitive integer type after widening).
+    pub fn next_in_span(&mut self, lo: i128, hi_exclusive: i128) -> i128 {
+        assert!(lo < hi_exclusive, "cannot sample empty range");
+        let span = (hi_exclusive - lo) as u128;
+        lo + ((self.next_u64() as u128) % span) as i128
+    }
+}
