@@ -1,12 +1,17 @@
 //! The experiment driver: run cache, figure emission, summary tables.
+//!
+//! Runs execute as [`cdp::pipeline::ProtectionJob`]s through one
+//! [`cdp::pipeline::Session`], so sweep points against the same dataset
+//! (aggregator/truncation variations) prepare the original's measure
+//! statistics exactly once.
 
 use std::path::PathBuf;
 use std::rc::Rc;
 
-use cdp_core::{EvoConfig, Evolution, EvolutionOutcome, ScoreSummary};
-use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
-use cdp_metrics::{Evaluator, MetricConfig, ScoreAggregator};
-use cdp_sdc::{build_population, SuiteConfig};
+use cdp::pipeline::{ProtectionJob, Session};
+use cdp_core::{EvolutionOutcome, ScoreSummary};
+use cdp_dataset::generators::DatasetKind;
+use cdp_metrics::ScoreAggregator;
 
 use crate::experiments::{figure_spec, FigureKind, RunSpec};
 use crate::plot::{line_plot, scatter_plot};
@@ -85,6 +90,7 @@ impl RobustnessReport {
 /// exactly as in the paper, where each figure pair describes one run.
 pub struct Harness {
     cfg: ExperimentConfig,
+    session: Session,
     cache: Vec<(RunSpec, Rc<EvolutionOutcome>)>,
 }
 
@@ -93,6 +99,7 @@ impl Harness {
     pub fn new(cfg: ExperimentConfig) -> Self {
         Harness {
             cfg,
+            session: Session::new(),
             cache: Vec::new(),
         }
     }
@@ -102,34 +109,38 @@ impl Harness {
         &self.cfg
     }
 
+    /// The session executing the runs (its preparation counter shows how
+    /// much original-side work the cache amortized).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The job a spec maps onto.
+    fn job(&self, spec: RunSpec) -> ProtectionJob {
+        let mut builder = ProtectionJob::builder()
+            .dataset(spec.dataset)
+            .suite_paper()
+            .aggregator(spec.aggregator)
+            .iterations(self.cfg.iterations)
+            .drop_best_fraction(spec.drop_fraction)
+            .seed(self.cfg.seed);
+        if let Some(n) = self.cfg.records {
+            builder = builder.records(n);
+        }
+        builder.build().expect("experiment specs are valid jobs")
+    }
+
     /// Execute (or fetch) the run behind a spec.
     pub fn run(&mut self, spec: RunSpec) -> Rc<EvolutionOutcome> {
         if let Some((_, cached)) = self.cache.iter().find(|(s, _)| *s == spec) {
             return Rc::clone(cached);
         }
-        let mut gc = GeneratorConfig::seeded(self.cfg.seed);
-        if let Some(n) = self.cfg.records {
-            gc = gc.with_records(n);
-        }
-        let ds = spec.dataset.generate(&gc);
-        let pop = build_population(&ds, &SuiteConfig::paper(spec.dataset), self.cfg.seed)
+        let job = self.job(spec);
+        let report = self
+            .session
+            .run(&job)
             .expect("paper suite applies to generated data");
-        let evaluator = Evaluator::new(&ds.protected_subtable(), MetricConfig::default())
-            .expect("default metric config is valid");
-        let evo_cfg = EvoConfig::builder()
-            .iterations(self.cfg.iterations)
-            .aggregator(spec.aggregator)
-            .seed(self.cfg.seed)
-            .build();
-        let mut evolution = Evolution::new(evaluator, evo_cfg)
-            .with_named_population(pop)
-            .expect("population is compatible by construction");
-        if spec.drop_fraction > 0.0 {
-            evolution = evolution
-                .drop_best_fraction(spec.drop_fraction)
-                .expect("population loaded");
-        }
-        let outcome = Rc::new(evolution.run());
+        let outcome = Rc::new(report.outcome.expect("harness jobs evolve"));
         self.cache.push((spec, Rc::clone(&outcome)));
         outcome
     }
@@ -289,6 +300,28 @@ mod tests {
         assert!(f2.csv_path.exists());
         assert!(f2.plot.contains("generation"));
         std::fs::remove_dir_all(h.config().out_dir.clone()).ok();
+    }
+
+    #[test]
+    fn sweep_points_share_one_preparation_per_dataset() {
+        let mut h = tiny();
+        // three Flare runs (full, drop 5%, drop 10%) — one original
+        h.robustness();
+        assert_eq!(h.session().preparations(), 1, "one dataset, one prep");
+        // a different aggregator on the same dataset still reuses it
+        h.run(RunSpec {
+            dataset: DatasetKind::Flare,
+            aggregator: ScoreAggregator::Mean,
+            drop_fraction: 0.0,
+        });
+        assert_eq!(h.session().preparations(), 1);
+        // a new dataset pays its own preparation
+        h.run(RunSpec {
+            dataset: DatasetKind::Adult,
+            aggregator: ScoreAggregator::Max,
+            drop_fraction: 0.0,
+        });
+        assert_eq!(h.session().preparations(), 2);
     }
 
     #[test]

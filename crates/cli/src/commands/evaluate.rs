@@ -1,6 +1,11 @@
 //! `cdp evaluate` — the paper's seven measures for an original/masked pair.
+//!
+//! A mask-and-score [`cdp::pipeline::ProtectionJob`] with a pre-masked
+//! population of one: the pipeline binds the evaluator to the original and
+//! assesses the masked file, exactly as the optimizer would score it.
 
-use cdp_metrics::{Evaluator, MetricConfig, ScoreAggregator};
+use cdp::pipeline::ProtectionJob;
+use cdp_metrics::{MetricConfig, ScoreAggregator};
 
 use crate::args::Args;
 use crate::data::{load_pair, resolve_attrs, subtable};
@@ -37,16 +42,20 @@ pub fn run(args: &Args) -> Result<()> {
     cfg.interval_fraction = args.get_or("interval-fraction", cfg.interval_fraction)?;
     cfg.rsrl_window_fraction = args.get_or("rsrl-window", cfg.rsrl_window_fraction)?;
 
-    let orig_sub = subtable(&orig, &indices)?;
     let masked_sub = subtable(&masked, &indices)?;
-    let evaluator = Evaluator::new(&orig_sub, cfg)?;
-    let state = evaluator.assess(&masked_sub);
-    let a = &state.assessment;
+    let report = ProtectionJob::builder()
+        .table(orig, indices)
+        .named_population([("masked".to_string(), masked_sub)])
+        .metrics(cfg)
+        .iterations(0) // score only
+        .build()?
+        .run()?;
+    let a = &report.best.assessment;
 
     println!(
         "measures over {} records x {} attributes",
-        orig_sub.n_rows(),
-        orig_sub.n_attrs()
+        report.table.n_rows(),
+        report.protected.len()
     );
     println!("information loss");
     println!("  CTBIL {:7.2}", a.il_parts.ctbil);

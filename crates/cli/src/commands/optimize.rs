@@ -1,28 +1,28 @@
 //! `cdp optimize` — run the evolutionary optimizer (scalar fitness,
 //! Algorithm 1 of the paper) or the NSGA-II extension over a population of
 //! protections, writing figure-ready CSVs.
+//!
+//! Flags deserialize into one [`cdp::pipeline::ProtectionJob`]; the scalar
+//! path is exactly [`Session::run`], so the CLI and the library cannot
+//! drift.
 
 use std::io::Write;
 use std::path::Path;
 
+use cdp::pipeline::{JobEvent, ProtectionJob, Session};
 use cdp_core::nsga::{Nsga2, NsgaConfig};
-use cdp_core::{EvoConfig, Evolution, ScatterPoint};
+use cdp_core::ScatterPoint;
 use cdp_dataset::io::write_table_path;
-use cdp_dataset::{SubTable, Table};
-use cdp_metrics::{Evaluator, MetricConfig, ScoreAggregator};
-use cdp_sdc::{build_population, MethodContext, SuiteConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::args::Args;
 use crate::commands::generate::dataset_kind;
-use crate::data::{auto_hierarchies, load_table_with, resolve_attrs, subtable};
+use crate::data::{load_table_with, resolve_attrs};
 use crate::error::{CliError, Result};
-use crate::spec::parse_method;
+use crate::spec::{parse_fitness, parse_method, parse_suite, JobSpec};
 
 /// Usage text.
 pub const USAGE: &str = "\
-cdp optimize (--dataset <name> | --input <file.csv>) --out <dir>
+cdp optimize (--dataset <name> | --input <file.csv> | --job <spec>) --out <dir>
              [--attrs <A,B,C>]           attributes to protect (input mode)
              [--methods <spec,spec,...>] initial population (input mode)
              [--copies <n>]              seeds per method spec (default 2)
@@ -32,10 +32,15 @@ cdp optimize (--dataset <name> | --input <file.csv>) --out <dir>
              [--mode <scalar|nsga>]      optimizer (default scalar)
              [--fitness <mean|max>]      scalar aggregator (default max)
              [--iters <n>]               iterations/generations (default 300)
+             [--drop <fraction>]         drop best initial fraction (scalar)
              [--seed <u64>]
 
 Scalar mode writes evolution.csv, scatter.csv and best.csv into --out;
-NSGA-II mode writes front.csv and hypervolume.csv.";
+NSGA-II mode writes front.csv and hypervolume.csv.
+
+--job takes one quoted key=value job spec — exactly the `job:` line a
+dataset-mode run echoes — so any run can be reproduced verbatim:
+  cdp optimize --job 'dataset=adult suite=paper fitness=max iters=300 seed=7' --out dir";
 
 /// Default initial-population recipe for `--input` mode.
 const DEFAULT_METHODS: &str =
@@ -44,39 +49,33 @@ const DEFAULT_METHODS: &str =
 /// Run the command.
 pub fn run(args: &Args) -> Result<()> {
     args.expect_only(&[
-        "dataset", "input", "out", "attrs", "methods", "copies", "suite", "records", "mode",
-        "fitness", "iters", "seed", "schema",
+        "dataset", "input", "job", "out", "attrs", "methods", "copies", "suite", "records", "mode",
+        "fitness", "iters", "drop", "seed", "schema",
     ])?;
     let out_dir = Path::new(args.require("out")?);
     std::fs::create_dir_all(out_dir)?;
-    let seed: u64 = args.get_or("seed", 42)?;
-    let iters: usize = args.get_or("iters", 300)?;
 
-    let (table, original, population) = load_inputs(args, seed)?;
-    let evaluator = Evaluator::new(&original, MetricConfig::default())?;
-
-    println!(
-        "optimizing {} protections of {} records x {} attributes ({} iterations)",
-        population.len(),
-        original.n_rows(),
-        original.n_attrs(),
-        iters
-    );
-
+    let job = job_from_args(args)?;
     match args.get("mode").unwrap_or("scalar") {
-        "scalar" => run_scalar(args, evaluator, population, &table, out_dir, seed, iters),
-        "nsga" => run_nsga(evaluator, population, out_dir, seed, iters),
+        "scalar" => run_scalar(&job, out_dir),
+        "nsga" => run_nsga(&job, out_dir),
         other => Err(CliError::Usage(format!(
             "unknown mode `{other}` (scalar, nsga)"
         ))),
     }
 }
 
-/// A named initial population of protections.
-type NamedPopulation = Vec<(String, SubTable)>;
-
-/// Resolve the input mode into (full table, original sub-table, population).
-fn load_inputs(args: &Args, seed: u64) -> Result<(Table, SubTable, NamedPopulation)> {
+/// Deserialize the flags into one [`ProtectionJob`].
+fn job_from_args(args: &Args) -> Result<ProtectionJob> {
+    if let Some(text) = args.get("job") {
+        // a whole run as one pasteable spec string
+        if args.get("dataset").is_some() || args.get("input").is_some() {
+            return Err(CliError::Usage(
+                "--job replaces --dataset/--input; pass one source only".into(),
+            ));
+        }
+        return JobSpec::parse(text)?.to_job();
+    }
     match (args.get("dataset"), args.get("input")) {
         (Some(_), Some(_)) => Err(CliError::Usage(
             "--dataset and --input are mutually exclusive".into(),
@@ -85,88 +84,83 @@ fn load_inputs(args: &Args, seed: u64) -> Result<(Table, SubTable, NamedPopulati
             "one of --dataset or --input is required".into(),
         )),
         (Some(name), None) => {
-            let kind = dataset_kind(name)?;
-            let mut cfg = cdp_dataset::generators::GeneratorConfig::seeded(seed);
-            if let Some(n) = args.get_parse::<usize>("records")? {
-                cfg = cfg.with_records(n);
-            }
-            let ds = kind.generate(&cfg);
-            let suite = match args.get("suite").unwrap_or("small") {
-                "small" => SuiteConfig::small(),
-                "paper" => SuiteConfig::paper(ds.kind),
-                other => {
-                    return Err(CliError::Usage(format!(
-                        "unknown suite `{other}` (small, paper)"
-                    )))
-                }
+            // dataset mode: the flags map 1:1 onto the CLI job-spec fields
+            let mut spec = JobSpec {
+                dataset: dataset_kind(name)?,
+                ..JobSpec::default()
             };
-            let population: Vec<(String, SubTable)> = build_population(&ds, &suite, seed)?
-                .into_iter()
-                .map(Into::into)
-                .collect();
-            Ok((ds.table.clone(), ds.protected_subtable(), population))
+            spec.records = args.get_parse("records")?;
+            if let Some(value) = args.get("suite") {
+                spec.suite = parse_suite(value)?;
+            }
+            if let Some(value) = args.get("fitness") {
+                spec.fitness = parse_fitness(value)?;
+            }
+            spec.iters = args.get_or("iters", spec.iters)?;
+            spec.seed = args.get_or("seed", spec.seed)?;
+            spec.drop = args.get_or("drop", spec.drop)?;
+            spec.to_job()
         }
         (None, Some(path)) => {
             let table = load_table_with(path, args.get("schema"))?;
             let indices = resolve_attrs(&table, args.list("attrs"))?;
-            let original = subtable(&table, &indices)?;
-            let hierarchies = auto_hierarchies(&table, &indices)?;
-            let hierarchy_refs: Vec<&cdp_dataset::Hierarchy> = hierarchies.iter().collect();
-            let ctx = MethodContext {
-                hierarchies: &hierarchy_refs,
-            };
-            let specs = args
+            let methods = args
                 .get("methods")
                 .unwrap_or(DEFAULT_METHODS)
                 .split(',')
                 .map(str::trim)
                 .filter(|s| !s.is_empty())
-                .map(str::to_string)
-                .collect::<Vec<_>>();
+                .map(parse_method)
+                .collect::<Result<Vec<_>>>()?;
             let copies: usize = args.get_or("copies", 2)?;
-            if copies == 0 {
-                return Err(CliError::Usage("--copies must be at least 1".into()));
+            if args.get("suite").is_some() {
+                return Err(CliError::Usage(
+                    "--suite applies to dataset mode; use --methods with --input".into(),
+                ));
             }
-            let mut population = Vec::with_capacity(specs.len() * copies);
-            let mut rng = StdRng::seed_from_u64(seed ^ 0x000C_EA11);
-            for spec in &specs {
-                let method = parse_method(spec)?;
-                for copy in 0..copies {
-                    let data = method.protect(&original, &ctx, &mut rng)?;
-                    population.push((format!("{}#{}", method.name(), copy), data));
-                }
+            let mut builder = ProtectionJob::builder()
+                .table(table, indices)
+                .methods(methods)
+                .copies(copies)
+                .iterations(args.get_or("iters", 300)?)
+                .drop_best_fraction(args.get_or("drop", 0.0)?)
+                .seed(args.get_or("seed", 42)?);
+            if let Some(value) = args.get("fitness") {
+                builder = builder.aggregator(parse_fitness(value)?);
+            } else {
+                builder = builder.aggregator(cdp_metrics::ScoreAggregator::Max);
             }
-            Ok((table, original, population))
+            Ok(builder.build()?)
         }
     }
 }
 
-fn run_scalar(
-    args: &Args,
-    evaluator: Evaluator,
-    population: Vec<(String, SubTable)>,
-    table: &Table,
-    out_dir: &Path,
-    seed: u64,
-    iters: usize,
-) -> Result<()> {
-    let aggregator = match args.get("fitness").unwrap_or("max") {
-        "mean" => ScoreAggregator::Mean,
-        "max" => ScoreAggregator::Max,
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown fitness `{other}` (mean, max)"
-            )))
-        }
-    };
-    let config = EvoConfig::builder()
-        .iterations(iters)
-        .aggregator(aggregator)
-        .seed(seed)
-        .build();
-    let outcome = Evolution::new(evaluator, config)
-        .with_named_population(population)?
-        .run();
+fn run_scalar(job: &ProtectionJob, out_dir: &Path) -> Result<()> {
+    if job.iterations() == 0 {
+        return Err(CliError::Usage(
+            "scalar mode needs --iters >= 1 (0 is mask-and-score only)".into(),
+        ));
+    }
+    // echo the canonical spec so any dataset-mode run can be reproduced by
+    // pasting the line back into the flags
+    if let Ok(spec) = JobSpec::from_job(job) {
+        println!("job: {}", spec.to_spec_string());
+    }
+    let mut session = Session::new();
+    let mut dims = (0usize, 0usize);
+    let report = session.run_with(job, |event| match event {
+        JobEvent::SourceReady {
+            rows, protected, ..
+        } => dims = (*rows, *protected),
+        JobEvent::PopulationReady { size } => println!(
+            "optimizing {size} protections of {} records x {} attributes ({} iterations)",
+            dims.0,
+            dims.1,
+            job.iterations()
+        ),
+        _ => {}
+    })?;
+    let outcome = report.outcome.as_ref().expect("iterations >= 1 evolves");
 
     // evolution.csv: the paper's max/mean/min series
     let mut evolution = std::fs::File::create(out_dir.join("evolution.csv"))?;
@@ -186,16 +180,14 @@ fn run_scalar(
     write_points(&mut scatter, "final", &outcome.final_points)?;
 
     // best.csv: the winning protected file, substituted into the full table
-    let best = outcome.population.best();
-    let output = table.with_subtable(&best.data)?;
-    write_table_path(&output, out_dir.join("best.csv"))?;
+    write_table_path(&report.published_best()?, out_dir.join("best.csv"))?;
 
     let summary = outcome.summary();
     println!(
         "best score {:.2} -> {:.2} ({}), files in {}",
         summary.initial_min,
         summary.final_min,
-        best.name,
+        report.best.name,
         out_dir.display()
     );
     println!(
@@ -210,16 +202,24 @@ fn run_scalar(
     Ok(())
 }
 
-fn run_nsga(
-    evaluator: Evaluator,
-    population: Vec<(String, SubTable)>,
-    out_dir: &Path,
-    seed: u64,
-    iters: usize,
-) -> Result<()> {
+fn run_nsga(job: &ProtectionJob, out_dir: &Path) -> Result<()> {
+    // NSGA-II is not (yet) a pipeline stage, but it optimizes the exact
+    // problem the job describes: same source, same population, same
+    // prepared evaluator.
+    let src = job.resolve_source()?;
+    let population = job.seed_population(&src)?;
+    let mut session = Session::new();
+    let (evaluator, _) = session.evaluator_for(&src.original(), job.metrics())?;
+    println!(
+        "optimizing {} protections of {} records x {} attributes ({} generations)",
+        population.len(),
+        src.table.n_rows(),
+        src.protected.len(),
+        job.iterations()
+    );
     let config = NsgaConfig {
-        generations: iters,
-        seed,
+        generations: job.iterations(),
+        seed: job.seed(),
         ..NsgaConfig::default()
     };
     let outcome = Nsga2::new(evaluator, config)
@@ -300,6 +300,71 @@ mod tests {
         let evolution = std::fs::read_to_string(out.join("evolution.csv")).unwrap();
         assert!(evolution.starts_with("iteration,min,mean,max"));
         assert_eq!(evolution.lines().count(), 22); // header + initial + 20
+    }
+
+    #[test]
+    fn job_flag_runs_a_pasted_spec() {
+        let out = tmp_dir("jobflag");
+        run(&args(&[
+            "--job",
+            "dataset=german suite=small fitness=mean iters=5 seed=2 records=50",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.join("best.csv").exists());
+        // --job excludes the other source flags
+        let err = run(&args(&[
+            "--job",
+            "dataset=german",
+            "--dataset",
+            "adult",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--job replaces"));
+    }
+
+    #[test]
+    fn scalar_mode_rejects_zero_iterations_up_front() {
+        let out = tmp_dir("zeroiters");
+        let err = run(&args(&[
+            "--dataset",
+            "adult",
+            "--records",
+            "40",
+            "--iters",
+            "0",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--iters >= 1"));
+    }
+
+    #[test]
+    fn dataset_mode_supports_drop_fraction() {
+        let out = tmp_dir("drop");
+        run(&args(&[
+            "--dataset",
+            "flare",
+            "--records",
+            "60",
+            "--iters",
+            "5",
+            "--drop",
+            "0.10",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let scatter = std::fs::read_to_string(out.join("scatter.csv")).unwrap();
+        let initial = scatter
+            .lines()
+            .filter(|l| l.starts_with("initial,"))
+            .count();
+        assert!(initial < 12, "drop must shrink the population: {initial}");
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! `cdp protect` — apply one protection method to a CSV file.
+//!
+//! A mask-and-score [`cdp::pipeline::ProtectionJob`] (iteration budget 0):
+//! the file is masked and assessed with the paper's seven measures in one
+//! pass.
 
+use cdp::pipeline::ProtectionJob;
 use cdp_dataset::io::write_table_path;
-use cdp_sdc::MethodContext;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cdp_metrics::ScoreAggregator;
 
 use crate::args::Args;
-use crate::data::{hierarchies_for, load_table_with, resolve_attrs, subtable};
+use crate::data::{hierarchies_for, load_table_with, resolve_attrs};
 use crate::error::Result;
 use crate::spec::{parse_method, METHOD_GRAMMAR};
 
@@ -19,9 +22,10 @@ cdp protect --input <file.csv> --method <spec> --out <file.csv>
             [--schema <sidecar>]
 
 Masks the selected attributes (default: all) with one method and writes the
-full file back with the masked columns substituted. Recoding methods use
-<dir>/<ATTR>.csv hierarchy files when present (see `cdp help hierarchy`),
-frequency-built hierarchies otherwise.
+full file back with the masked columns substituted, reporting the change
+rate and the paper's IL/DR scores. Recoding methods use <dir>/<ATTR>.csv
+hierarchy files when present (see `cdp help hierarchy`), frequency-built
+hierarchies otherwise.
 
 method specs:
 {METHOD_GRAMMAR}"
@@ -42,28 +46,38 @@ pub fn run(args: &Args) -> Result<()> {
     let table = load_table_with(args.require("input")?, args.get("schema"))?;
     let indices = resolve_attrs(&table, args.list("attrs"))?;
     let method = parse_method(args.require("method")?)?;
-    let seed: u64 = args.get_or("seed", 42)?;
+    let method_name = method.name();
     let out = args.require("out")?;
 
-    let original = subtable(&table, &indices)?;
     let hierarchies = hierarchies_for(&table, &indices, args.get("hierarchy-dir"))?;
-    let hierarchy_refs: Vec<&cdp_dataset::Hierarchy> = hierarchies.iter().collect();
-    let ctx = MethodContext {
-        hierarchies: &hierarchy_refs,
-    };
-    let mut rng = StdRng::seed_from_u64(seed);
-    let masked = method.protect(&original, &ctx, &mut rng)?;
-    let changed = original.hamming(&masked);
+    let job = ProtectionJob::builder()
+        .table(table, indices)
+        .hierarchies(hierarchies)
+        .methods(vec![method])
+        .copies(1)
+        .iterations(0) // mask and score, no evolution
+        .seed(args.get_or("seed", 42)?)
+        .build()?;
+    let report = job.run()?;
 
-    let output = table.with_subtable(&masked)?;
-    write_table_path(&output, out)?;
+    let original = report.original();
+    let changed = original.hamming(&report.best.data);
+    write_table_path(&report.published_best()?, out)?;
     println!(
         "wrote {} ({}; {} of {} cells changed, {:.1}%)",
         out,
-        method.name(),
+        method_name,
         changed,
         original.flat_len(),
         100.0 * changed as f64 / original.flat_len() as f64
+    );
+    let a = &report.best.assessment;
+    println!(
+        "IL {:.2}, DR {:.2} (Eq.1 {:.2}, Eq.2 {:.2})",
+        a.il(),
+        a.dr(),
+        a.score(ScoreAggregator::Mean),
+        a.score(ScoreAggregator::Max)
     );
     Ok(())
 }

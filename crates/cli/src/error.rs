@@ -17,6 +17,8 @@ pub enum CliError {
     Privacy(cdp_privacy::PrivacyError),
     /// Evolution failure.
     Evo(cdp_core::EvoError),
+    /// Pipeline-job failure (invalid job description or staged execution).
+    Pipeline(cdp::pipeline::PipelineError),
     /// Filesystem failure outside the dataset layer.
     Io(std::io::Error),
 }
@@ -30,6 +32,7 @@ impl fmt::Display for CliError {
             CliError::Metric(e) => write!(f, "{e}"),
             CliError::Privacy(e) => write!(f, "{e}"),
             CliError::Evo(e) => write!(f, "{e}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -44,6 +47,7 @@ impl std::error::Error for CliError {
             CliError::Metric(e) => Some(e),
             CliError::Privacy(e) => Some(e),
             CliError::Evo(e) => Some(e),
+            CliError::Pipeline(e) => Some(e),
             CliError::Io(e) => Some(e),
         }
     }
@@ -72,6 +76,16 @@ impl From<cdp_privacy::PrivacyError> for CliError {
 impl From<cdp_core::EvoError> for CliError {
     fn from(e: cdp_core::EvoError) -> Self {
         CliError::Evo(e)
+    }
+}
+impl From<cdp::pipeline::PipelineError> for CliError {
+    fn from(e: cdp::pipeline::PipelineError) -> Self {
+        // surface invalid-job descriptions as usage errors (they almost
+        // always stem from flag values)
+        match e {
+            cdp::pipeline::PipelineError::InvalidJob(msg) => CliError::Usage(msg),
+            other => CliError::Pipeline(other),
+        }
     }
 }
 impl From<std::io::Error> for CliError {

@@ -1,12 +1,262 @@
-//! Method specifications: the `--method name:param` mini-grammar that maps
-//! CLI strings onto [`cdp_sdc::ProtectionMethod`] values.
+//! Protection specifications: the CLI's two mini-grammars.
+//!
+//! * [`parse_method`] — the `--method name:param` grammar mapping CLI
+//!   strings onto [`cdp_sdc::ProtectionMethod`] values.
+//! * [`JobSpec`] — the `key=value` job grammar that deserializes a whole
+//!   `cdp optimize` invocation straight into a
+//!   [`cdp::pipeline::ProtectionJob`], and serializes one back, so CLI
+//!   jobs and library jobs cannot drift.
 
+use cdp::pipeline::{DataSource, PopulationSpec, ProtectionJob, SuiteKind};
+use cdp_dataset::generators::DatasetKind;
+use cdp_metrics::ScoreAggregator;
 use cdp_sdc::{
     Aggregate, BottomCoding, GlobalRecoding, Grouping, LocalSuppression, MicroVariant,
     Microaggregation, Pram, PramMode, ProtectionMethod, RandomSwap, RankSwapping, TopCoding,
 };
 
+use crate::commands::generate::dataset_kind;
 use crate::error::{CliError, Result};
+
+/// Grammar accepted by [`JobSpec::parse`]: whitespace-separated
+/// `key=value` tokens, order-insensitive.
+pub const JOB_GRAMMAR: &str = "\
+  dataset=<adult|housing|german|flare>   evaluation dataset (required)
+  records=<n>                            record-count override
+  suite=<small|paper>                    initial population sweep
+  fitness=<mean|max>                     scalar aggregator
+  iters=<n>                              evolution budget (0 = mask only)
+  seed=<u64>                             master seed
+  drop=<fraction>                        drop best initial fraction (§3.3)
+  audit=<true|false>                     privacy-audit the winner";
+
+/// A `cdp optimize` dataset-mode invocation as data: the textual job
+/// format the CLI exchanges with [`ProtectionJob`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Evaluation dataset.
+    pub dataset: DatasetKind,
+    /// Record-count override.
+    pub records: Option<usize>,
+    /// Initial population sweep.
+    pub suite: SuiteKind,
+    /// Scalar fitness aggregator.
+    pub fitness: ScoreAggregator,
+    /// Evolution budget (0 = mask and score only).
+    pub iters: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Fraction of best initial protections dropped before evolving.
+    pub drop: f64,
+    /// Whether to privacy-audit the winner.
+    pub audit: bool,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            dataset: DatasetKind::Adult,
+            records: None,
+            suite: SuiteKind::Small,
+            fitness: ScoreAggregator::Max,
+            iters: 300,
+            seed: 42,
+            drop: 0.0,
+            audit: false,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parse the `key=value` grammar.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] with the offending token and the grammar.
+    pub fn parse(text: &str) -> Result<JobSpec> {
+        let bad = |msg: String| CliError::Usage(format!("{msg}\njob spec keys:\n{JOB_GRAMMAR}"));
+        let mut spec = JobSpec::default();
+        let mut saw_dataset = false;
+        for token in text.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| bad(format!("expected key=value, got `{token}`")))?;
+            match key {
+                "dataset" => {
+                    spec.dataset = dataset_kind(value)?;
+                    saw_dataset = true;
+                }
+                "records" => {
+                    spec.records = Some(
+                        value
+                            .parse()
+                            .map_err(|_| bad(format!("records: bad count `{value}`")))?,
+                    );
+                }
+                "suite" => {
+                    spec.suite = parse_suite(value)?;
+                }
+                "fitness" => {
+                    spec.fitness = parse_fitness(value)?;
+                }
+                "iters" => {
+                    spec.iters = value
+                        .parse()
+                        .map_err(|_| bad(format!("iters: bad count `{value}`")))?;
+                }
+                "seed" => {
+                    spec.seed = value
+                        .parse()
+                        .map_err(|_| bad(format!("seed: bad value `{value}`")))?;
+                }
+                "drop" => {
+                    spec.drop = value
+                        .parse()
+                        .map_err(|_| bad(format!("drop: bad fraction `{value}`")))?;
+                }
+                "audit" => {
+                    spec.audit = value
+                        .parse()
+                        .map_err(|_| bad(format!("audit: expected true/false, got `{value}`")))?;
+                }
+                other => return Err(bad(format!("unknown key `{other}`"))),
+            }
+        }
+        if !saw_dataset {
+            return Err(bad("a dataset= key is required".into()));
+        }
+        Ok(spec)
+    }
+
+    /// Canonical serialization: every key, fixed order, re-parses to an
+    /// equal spec.
+    pub fn to_spec_string(&self) -> String {
+        let mut out = format!(
+            "dataset={} suite={} fitness={} iters={} seed={}",
+            self.dataset.name().to_ascii_lowercase(),
+            self.suite.name(),
+            self.fitness.name(),
+            self.iters,
+            self.seed,
+        );
+        if let Some(n) = self.records {
+            out.push_str(&format!(" records={n}"));
+        }
+        if self.drop > 0.0 {
+            out.push_str(&format!(" drop={}", self.drop));
+        }
+        if self.audit {
+            out.push_str(" audit=true");
+        }
+        out
+    }
+
+    /// Deserialize into a runnable [`ProtectionJob`].
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] for inconsistent knob combinations.
+    pub fn to_job(&self) -> Result<ProtectionJob> {
+        let mut builder = ProtectionJob::builder()
+            .dataset(self.dataset)
+            .suite_kind(self.suite)
+            .aggregator(self.fitness)
+            .iterations(self.iters)
+            .drop_best_fraction(self.drop)
+            .seed(self.seed);
+        if let Some(n) = self.records {
+            builder = builder.records(n);
+        }
+        if self.audit {
+            builder = builder.audit();
+        }
+        Ok(builder.build()?)
+    }
+
+    /// Recover the spec from a [`ProtectionJob`], when the job is
+    /// expressible in the CLI grammar (generated source, suite
+    /// population, default knobs). The exact inverse of
+    /// [`JobSpec::to_job`]: `from_job(spec.to_job()?) == spec`.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] for jobs carrying values the textual format
+    /// cannot represent: loaded tables, custom suites, explicit method
+    /// lists, pre-masked populations, `add_protection` extras, a
+    /// generator-seed override, named sensitive audit attributes, or
+    /// non-default metric/evolution knobs.
+    pub fn from_job(job: &ProtectionJob) -> Result<JobSpec> {
+        let unrepresentable =
+            |what: &str| CliError::Usage(format!("{what} is not expressible as a CLI job spec"));
+        let (dataset, records) = match job.source() {
+            DataSource::Generated {
+                kind,
+                records,
+                seed,
+            } => {
+                if seed.is_some() && *seed != Some(job.seed()) {
+                    return Err(unrepresentable("a generator-seed override"));
+                }
+                (*kind, *records)
+            }
+            _ => return Err(unrepresentable("a non-generated data source")),
+        };
+        let suite = match job.population() {
+            PopulationSpec::Suite(kind) => *kind,
+            _ => return Err(unrepresentable("a non-suite population recipe")),
+        };
+        if !job.extras().is_empty() {
+            return Err(unrepresentable("an add_protection extra"));
+        }
+        if job
+            .audit_spec()
+            .is_some_and(|spec| !spec.sensitive.is_empty())
+        {
+            return Err(unrepresentable("a named sensitive audit attribute"));
+        }
+        if job.metrics() != cdp_metrics::MetricConfig::default() {
+            return Err(unrepresentable("a non-default metric configuration"));
+        }
+        // the grammar only carries fitness/iters/seed; every other
+        // evolution knob must sit at its default
+        let mut expected = cdp_core::EvoConfig::default();
+        expected.aggregator = job.evo_config().aggregator;
+        expected.seed = job.seed();
+        expected.stop.max_iterations = job.iterations().max(1);
+        if job.evo_config() != expected {
+            return Err(unrepresentable("a non-default evolution knob"));
+        }
+        Ok(JobSpec {
+            dataset,
+            records,
+            suite,
+            fitness: job.evo_config().aggregator,
+            iters: job.iterations(),
+            seed: job.seed(),
+            drop: job.drop_fraction(),
+            audit: job.audit_spec().is_some(),
+        })
+    }
+}
+
+/// Parse a `--suite` / `suite=` value.
+pub fn parse_suite(value: &str) -> Result<SuiteKind> {
+    match value {
+        "small" => Ok(SuiteKind::Small),
+        "paper" => Ok(SuiteKind::Paper),
+        other => Err(CliError::Usage(format!(
+            "unknown suite `{other}` (small, paper)"
+        ))),
+    }
+}
+
+/// Parse a `--fitness` / `fitness=` value.
+pub fn parse_fitness(value: &str) -> Result<ScoreAggregator> {
+    match value {
+        "mean" => Ok(ScoreAggregator::Mean),
+        "max" => Ok(ScoreAggregator::Max),
+        other => Err(CliError::Usage(format!(
+            "unknown fitness `{other}` (mean, max)"
+        ))),
+    }
+}
 
 /// Grammar accepted by [`parse_method`], one line per method.
 pub const METHOD_GRAMMAR: &str = "\
@@ -142,6 +392,115 @@ mod tests {
                 "{spec} -> {}",
                 m.name()
             );
+        }
+    }
+
+    #[test]
+    fn job_spec_round_trips_through_protection_job() {
+        // spec text -> JobSpec -> ProtectionJob -> JobSpec -> spec text:
+        // CLI jobs and library jobs cannot drift
+        for text in [
+            "dataset=adult suite=small fitness=max iters=300 seed=42",
+            "dataset=flare suite=paper fitness=mean iters=250 seed=7 records=120 drop=0.05",
+            "dataset=german suite=small fitness=max iters=0 seed=1 audit=true",
+            "dataset=housing suite=paper fitness=max iters=10 seed=3 records=80 drop=0.1 audit=true",
+        ] {
+            let spec = JobSpec::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            let job = spec.to_job().unwrap_or_else(|e| panic!("{text}: {e}"));
+            let back = JobSpec::from_job(&job).unwrap();
+            assert_eq!(spec, back, "{text}");
+            assert_eq!(spec.to_spec_string(), back.to_spec_string());
+            // the canonical string re-parses to the same spec
+            assert_eq!(JobSpec::parse(&spec.to_spec_string()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn job_spec_is_order_insensitive_and_defaulted() {
+        let a = JobSpec::parse("seed=9 dataset=adult").unwrap();
+        let b = JobSpec::parse("dataset=adult seed=9").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.suite, cdp::pipeline::SuiteKind::Small);
+        assert_eq!(a.iters, 300);
+    }
+
+    #[test]
+    fn job_spec_rejects_malformed_input() {
+        for text in [
+            "",                          // dataset missing
+            "dataset=iris",              // unknown dataset
+            "dataset=adult suite=huge",  // unknown suite
+            "dataset=adult fitness=min", // unknown fitness
+            "dataset=adult iters=many",  // bad number
+            "dataset=adult audit=yes",   // bad bool
+            "dataset=adult unknown=1",   // unknown key
+            "dataset=adult records",     // not key=value
+            "dataset=adult drop=1.5",    // builder rejects the fraction
+        ] {
+            let result = JobSpec::parse(text).and_then(|s| s.to_job().map(|_| ()));
+            assert!(result.is_err(), "`{text}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn non_cli_expressible_jobs_are_reported() {
+        let ds = cdp_dataset::generators::DatasetKind::Adult
+            .generate(&cdp_dataset::generators::GeneratorConfig::seeded(1).with_records(30));
+        let job = ProtectionJob::builder()
+            .table(ds.table, ds.protected)
+            .build()
+            .unwrap();
+        assert!(JobSpec::from_job(&job).is_err());
+
+        let job = ProtectionJob::builder()
+            .dataset(cdp_dataset::generators::DatasetKind::Adult)
+            .methods(vec![Box::new(Pram::new(0.8, PramMode::Uniform))])
+            .build()
+            .unwrap();
+        assert!(JobSpec::from_job(&job).is_err());
+
+        // knobs outside the grammar must be reported, not silently dropped
+        let adult = cdp_dataset::generators::DatasetKind::Adult;
+        for (what, job) in [
+            (
+                "generator seed override",
+                ProtectionJob::builder()
+                    .dataset(adult)
+                    .generator_seed(5)
+                    .seed(42)
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                "sensitive audit attribute",
+                ProtectionJob::builder()
+                    .dataset(adult)
+                    .audit_sensitive(["INCOME"])
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                "mutation rate",
+                ProtectionJob::builder()
+                    .dataset(adult)
+                    .mutation_rate(0.9)
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                "metric config",
+                ProtectionJob::builder()
+                    .dataset(adult)
+                    .metrics(cdp_metrics::MetricConfig {
+                        prl_em_iters: 3,
+                        ..cdp_metrics::MetricConfig::default()
+                    })
+                    .build()
+                    .unwrap(),
+            ),
+        ] {
+            let err = JobSpec::from_job(&job).unwrap_err();
+            assert!(err.to_string().contains("not expressible"), "{what}: {err}");
         }
     }
 

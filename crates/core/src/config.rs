@@ -9,7 +9,7 @@ use crate::stop::StopCondition;
 use crate::{EvoError, Result};
 
 /// All knobs of Algorithm 1 plus this implementation's extensions.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvoConfig {
     /// RNG seed; the whole run is deterministic given seed + population.
     pub seed: u64,

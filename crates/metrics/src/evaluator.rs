@@ -32,7 +32,7 @@ use crate::score::ScoreAggregator;
 use crate::{MetricError, Result};
 
 /// Tunable measure parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricConfig {
     /// Interval-disclosure half-width as a fraction of the category range.
     pub interval_fraction: f64,

@@ -51,4 +51,4 @@ pub use microaggregation::{Aggregate, Grouping, MicroVariant, Microaggregation};
 pub use order::{category_frequencies, sort_indices};
 pub use pram::{Pram, PramMode};
 pub use rank_swap::RankSwapping;
-pub use suite::{build_population, NamedProtection, SuiteConfig};
+pub use suite::{build_population, build_population_from, NamedProtection, SuiteConfig};

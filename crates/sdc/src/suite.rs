@@ -15,7 +15,7 @@
 //! here are our choice — documented in DESIGN.md §5).
 
 use cdp_dataset::generators::{Dataset, DatasetKind};
-use cdp_dataset::SubTable;
+use cdp_dataset::{Hierarchy, SubTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -137,9 +137,25 @@ pub fn build_population(
 ) -> Result<Vec<NamedProtection>> {
     let original = ds.protected_subtable();
     let hierarchies = ds.protected_hierarchies();
-    let ctx = MethodContext {
-        hierarchies: &hierarchies,
-    };
+    build_population_from(&original, &hierarchies, cfg, seed)
+}
+
+/// [`build_population`] for an arbitrary original sub-table (a loaded CSV,
+/// a masked file, …) with caller-supplied hierarchies — the entry point the
+/// `cdp::pipeline` layer uses when the data did not come from a generator.
+///
+/// The RNG stream is identical to [`build_population`]'s for the same seed,
+/// so both paths produce the same protections for the same original.
+///
+/// # Errors
+/// Propagates the first method failure, as in [`build_population`].
+pub fn build_population_from(
+    original: &SubTable,
+    hierarchies: &[&Hierarchy],
+    cfg: &SuiteConfig,
+    seed: u64,
+) -> Result<Vec<NamedProtection>> {
+    let ctx = MethodContext { hierarchies };
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5DC0_15EB);
     let mut out = Vec::with_capacity(cfg.total());
 
@@ -147,7 +163,7 @@ pub fn build_population(
                rng: &mut StdRng,
                out: &mut Vec<NamedProtection>|
      -> Result<()> {
-        let data = method.protect(&original, &ctx, rng)?;
+        let data = method.protect(original, &ctx, rng)?;
         out.push(NamedProtection {
             name: method.name(),
             family: method.family(),

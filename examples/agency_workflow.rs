@@ -1,11 +1,11 @@
-//! A statistical agency's end-to-end workflow:
+//! A statistical agency's end-to-end workflow, as one [`ProtectionJob`]:
 //!
 //! 1. ingest a raw survey file from disk (CSV),
 //! 2. seed a population of protections (built-ins + MDAV),
 //! 3. evolve it under Eq. 2 with the adaptive operator schedule,
 //! 4. audit the winner — IL/DR breakdown, attribute disclosure (the risk
-//!    notion the paper names but does not evaluate), uniqueness and
-//!    k-anonymity before/after,
+//!    notion the paper names but does not evaluate), the built-in privacy
+//!    audit (k-anonymity, prosecutor/journalist risk),
 //! 5. publish the protected file.
 //!
 //! ```sh
@@ -15,7 +15,6 @@
 use std::sync::Arc;
 
 use cdp::dataset::io::{read_table_path, write_table_path, SchemaSource};
-use cdp::dataset::stats::{k_anonymity, uniqueness};
 use cdp::metrics::dr::attribute_disclosure_avg;
 use cdp::prelude::*;
 use cdp::sdc::{Mdav, MethodContext, ProtectionMethod};
@@ -42,48 +41,44 @@ fn main() {
         raw_path.display()
     );
 
+    // -- 2.+3. describe the whole job declaratively -----------------------
+    // extra candidates beyond the built-in sweep: three MDAV protections
     let original = table.subtable(&ds.protected).expect("protected columns");
     let hierarchies = ds.protected_hierarchies();
     let ctx = MethodContext {
         hierarchies: &hierarchies,
     };
-
-    // -- 2. candidate protections: built-in sweep + MDAV -----------------
-    let mut population: Vec<(String, SubTable)> = build_population(&ds, &SuiteConfig::small(), 77)
-        .expect("sweep")
-        .into_iter()
-        .map(Into::into)
-        .collect();
+    let mut builder = ProtectionJob::builder()
+        .table(table, ds.protected.clone())
+        .suite_small()
+        .aggregator(ScoreAggregator::Max)
+        .operator_schedule(cdp::core::OperatorSchedule::adaptive())
+        .selection(SelectionWeighting::Tournament { k: 3 })
+        .iterations(200)
+        .seed(77)
+        .audit();
     let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(77);
     for k in [3, 5, 10] {
         let mdav = Mdav::new(k);
         let data = mdav.protect(&original, &ctx, &mut rng).expect("mdav");
-        population.push((mdav.name(), data));
+        builder = builder.add_protection(mdav.name(), data);
     }
-    println!("candidate protections: {}", population.len());
+    let job = builder.build().expect("valid job");
 
-    // -- 3. evolve --------------------------------------------------------
-    let evaluator = Evaluator::new(&original, MetricConfig::default()).expect("evaluator");
-    let audit_eval = evaluator.clone();
-    let config = EvoConfig::builder()
-        .iterations(200)
-        .aggregator(ScoreAggregator::Max)
-        .operator_schedule(cdp::core::OperatorSchedule::adaptive())
-        .selection(SelectionWeighting::Tournament { k: 3 })
-        .seed(77)
-        .build();
-    let outcome = Evolution::new(evaluator, config)
-        .with_named_population(population)
-        .expect("compatible population")
-        .run();
-    println!(
-        "evolved {} iterations (final mutation rate {:.2})",
-        outcome.iterations_run, outcome.final_mutation_rate
-    );
+    let mut session = Session::new();
+    let report = session
+        .run_with(&job, |event| match event {
+            JobEvent::PopulationReady { size } => println!("candidate protections: {size}"),
+            JobEvent::EvolutionFinished { iterations } => {
+                println!("evolved {iterations} iterations");
+            }
+            _ => {}
+        })
+        .expect("job runs");
 
     // -- 4. audit the winner ----------------------------------------------
-    let best = outcome.population.best();
-    let assessment = audit_eval.evaluate(&best.data);
+    let best = &report.best;
+    let assessment = &best.assessment;
     println!("\naudit of `{}`:", best.name);
     println!(
         "  information loss  {:.2}  (CTBIL {:.2}, DBIL {:.2}, EBIL {:.2})",
@@ -100,20 +95,19 @@ fn main() {
         assessment.dr_parts.prl,
         assessment.dr_parts.rsrl
     );
+    // ad-hoc extra measures reuse the session's prepared evaluator
+    let (audit_eval, reused) = session
+        .evaluator_for(&report.original(), MetricConfig::default())
+        .expect("evaluator");
+    assert!(reused, "the job already prepared this original");
     println!(
         "  attribute disclosure (extension): {:.2}",
         attribute_disclosure_avg(audit_eval.prepared(), &best.data, 0.1)
     );
-    println!(
-        "  uniqueness: {:.1}% -> {:.1}%   k-anonymity: {} -> {}",
-        100.0 * uniqueness(&original),
-        100.0 * uniqueness(&best.data),
-        k_anonymity(&original),
-        k_anonymity(&best.data)
-    );
+    println!("{}", report.privacy.as_ref().expect("audit enabled"));
 
     // -- 5. publish ---------------------------------------------------------
-    let published = table.with_subtable(&best.data).expect("same shape");
+    let published = report.published_best().expect("same shape");
     let out_path = dir.join("survey_protected.csv");
     write_table_path(&published, &out_path).expect("publish");
     println!("\nprotected file published to {}", out_path.display());

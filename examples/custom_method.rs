@@ -6,7 +6,7 @@
 //! cells is replaced by the attribute's modal category — a crude but
 //! common masking heuristic. The example shows the two extension points a
 //! downstream user touches: implementing `ProtectionMethod`, and feeding
-//! extra `(name, SubTable)` pairs into `with_named_population`.
+//! extra protections into the job with `add_protection`.
 //!
 //! ```sh
 //! cargo run --release --example custom_method
@@ -75,31 +75,31 @@ fn main() {
         hierarchies: &hierarchies,
     };
 
-    // built-in sweep + three custom protections
-    let mut population: Vec<(String, SubTable)> = build_population(&ds, &SuiteConfig::small(), 21)
-        .expect("sweep")
-        .into_iter()
-        .map(Into::into)
-        .collect();
+    // built-in sweep + three custom protections, one declarative job
+    let mut builder = ProtectionJob::builder()
+        .generated(ds.clone())
+        .suite_small()
+        .aggregator(ScoreAggregator::Max)
+        .iterations(150)
+        .seed(21);
     let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(21);
     for q in [0.1, 0.25, 0.5] {
         let method = ModeSuppression { fraction: q };
         let data = method.protect(&original, &ctx, &mut rng).expect("protect");
-        population.push((method.name(), data));
+        builder = builder.add_protection(method.name(), data);
     }
-    println!("population: {} protections (3 custom)", population.len());
 
-    let evaluator = Evaluator::new(&original, MetricConfig::default()).expect("evaluator");
-    let config = EvoConfig::builder()
-        .iterations(150)
-        .aggregator(ScoreAggregator::Max)
-        .seed(21)
-        .build();
-    let outcome = Evolution::new(evaluator, config)
-        .with_named_population(population)
-        .expect("compatible population")
-        .run();
+    let report = builder
+        .build()
+        .expect("valid job")
+        .run_with(|event| {
+            if let JobEvent::PopulationReady { size } = event {
+                println!("population: {size} protections (3 custom)");
+            }
+        })
+        .expect("job runs");
 
+    let outcome = report.outcome.as_ref().expect("evolved");
     println!("final top five:");
     for ind in outcome.population.members().iter().take(5) {
         println!(

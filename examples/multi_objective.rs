@@ -6,6 +6,10 @@
 //! example gives all three contenders a comparable evaluation budget and
 //! compares the fronts they discover by 2-D hypervolume.
 //!
+//! The scalar contenders are [`ProtectionJob`]s sharing one [`Session`];
+//! NSGA-II reuses the same job's source and population via the job's
+//! resolution API, so all three contenders optimize the identical problem.
+//!
 //! ```sh
 //! cargo run --release --example multi_objective
 //! ```
@@ -20,15 +24,32 @@ fn hv(points: &[ScatterPoint]) -> f64 {
 }
 
 fn main() {
-    let ds = DatasetKind::German.generate(&GeneratorConfig::seeded(3).with_records(250));
-    let sub = ds.protected_subtable();
-    let population = build_population(&ds, &SuiteConfig::small(), 3).expect("sweep");
-    let pop_size = population.len();
     let iterations = 150usize;
+    let mut session = Session::new();
 
+    let job = |aggregator: ScoreAggregator| {
+        ProtectionJob::builder()
+            .dataset(DatasetKind::German)
+            .records(250)
+            .suite_small()
+            .aggregator(aggregator)
+            .iterations(iterations)
+            .seed(3)
+            .build()
+            .expect("valid job")
+    };
+
+    // every contender optimizes this exact source + population
+    let src = job(ScoreAggregator::Max)
+        .resolve_source()
+        .expect("generated source");
+    let population = job(ScoreAggregator::Max)
+        .seed_population(&src)
+        .expect("sweep");
+    let pop_size = population.len();
     println!(
         "dataset {} / population {} / scalar budget {} iterations",
-        ds.kind.name(),
+        DatasetKind::German.name(),
         pop_size,
         iterations
     );
@@ -39,16 +60,8 @@ fn main() {
     // --- scalar contenders: the paper's Algorithm 1, Eq. 1 then Eq. 2 ---
     let mut initial_hv = 0.0;
     for aggregator in [ScoreAggregator::Mean, ScoreAggregator::Max] {
-        let evaluator = Evaluator::new(&sub, MetricConfig::default()).expect("evaluator");
-        let config = EvoConfig::builder()
-            .iterations(iterations)
-            .aggregator(aggregator)
-            .seed(3)
-            .build();
-        let outcome = Evolution::new(evaluator, config)
-            .with_named_population(population.clone())
-            .expect("compatible population")
-            .run();
+        let report = session.run(&job(aggregator)).expect("job runs");
+        let outcome = report.outcome.as_ref().expect("evolved");
         initial_hv = hv(&outcome.initial);
         println!(
             "ga({:<4})         {:>4}   {:>10.0}",
@@ -62,7 +75,10 @@ fn main() {
     // a scalar run spends ~1.5 evaluations per iteration (1 for mutation
     // generations, 2 for crossover generations, both at rate 0.5)
     let generations = (iterations * 3 / 2 / pop_size).max(2);
-    let evaluator = Evaluator::new(&sub, MetricConfig::default()).expect("evaluator");
+    let (evaluator, reused) = session
+        .evaluator_for(&src.original(), MetricConfig::default())
+        .expect("evaluator");
+    assert!(reused, "scalar jobs already prepared this original");
     let outcome = Nsga2::new(
         evaluator,
         NsgaConfig {

@@ -6,7 +6,7 @@
 //! ones. The `ParetoArchive` keeps every non-dominated pair seen across
 //! the whole run — initial protections, surviving offspring, and even
 //! offspring that lost their crowding duel — giving the analyst the whole
-//! trade-off curve to pick from.
+//! trade-off curve to pick from. The [`JobReport`] carries the front.
 //!
 //! ```sh
 //! cargo run --release --example pareto_front
@@ -15,19 +15,18 @@
 use cdp::prelude::*;
 
 fn main() {
-    let ds = DatasetKind::Housing.generate(&GeneratorConfig::seeded(9).with_records(300));
-    let population = build_population(&ds, &SuiteConfig::small(), 9).expect("sweep");
-    let evaluator =
-        Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).expect("evaluator");
-    let config = EvoConfig::builder()
-        .iterations(250)
+    let report = ProtectionJob::builder()
+        .dataset(DatasetKind::Housing)
+        .records(300)
+        .suite_small()
         .aggregator(ScoreAggregator::Max)
+        .iterations(250)
         .seed(9)
-        .build();
-    let outcome = Evolution::new(evaluator, config)
-        .with_named_population(population)
-        .expect("compatible population")
-        .run();
+        .build()
+        .expect("valid job")
+        .run()
+        .expect("job runs");
+    let outcome = report.outcome.as_ref().expect("evolved");
 
     println!(
         "Pareto front after {} iterations ({} non-dominated points):\n",
@@ -40,10 +39,13 @@ fn main() {
     }
 
     // The scalar winner is on (or dominated-adjacent to) the front:
-    let best = outcome.final_best();
+    let best = &report.best;
     println!(
         "\nscalar best under Eq. 2: `{}` (IL {:.2}, DR {:.2}, score {:.2})",
-        best.name, best.il, best.dr, best.score
+        best.name,
+        best.assessment.il(),
+        best.assessment.dr(),
+        best.assessment.score(ScoreAggregator::Max)
     );
     println!(
         "the front additionally exposes low-IL and low-DR corner options\n\

@@ -1,6 +1,10 @@
-//! Using the metrics crate standalone: sweep PRAM's retention probability
-//! and chart the information-loss / disclosure-risk trade-off — the raw
-//! material the evolutionary algorithm optimizes over.
+//! Sweeping PRAM's retention probability with mask-and-score jobs: chart
+//! the information-loss / disclosure-risk trade-off — the raw material the
+//! evolutionary algorithm optimizes over.
+//!
+//! Each sweep point is a [`ProtectionJob`] with an iteration budget of 0
+//! (mask and score, no evolution); the shared [`Session`] prepares the
+//! original's measure statistics exactly once for all 18 points.
 //!
 //! Also contrasts the three transition-matrix constructions (uniform,
 //! proportional, invariant): invariant PRAM preserves expected marginals,
@@ -11,18 +15,11 @@
 //! ```
 
 use cdp::prelude::*;
-use cdp::sdc::{MethodContext, Pram, PramMode, ProtectionMethod};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cdp::sdc::{Pram, PramMode};
 
 fn main() {
     let ds = DatasetKind::Flare.generate(&GeneratorConfig::seeded(4).with_records(500));
-    let original = ds.protected_subtable();
-    let evaluator = Evaluator::new(&original, MetricConfig::default()).expect("evaluator");
-    let hierarchies = ds.protected_hierarchies();
-    let ctx = MethodContext {
-        hierarchies: &hierarchies,
-    };
+    let mut session = Session::new();
 
     println!("Flare dataset, PRAM sweep (500 records)\n");
     println!(
@@ -36,12 +33,20 @@ fn main() {
     ] {
         for theta in [0.95, 0.9, 0.8, 0.7, 0.6, 0.5] {
             let pram = Pram::new(theta, mode);
-            let mut rng = StdRng::seed_from_u64(4);
-            let masked = pram.protect(&original, &ctx, &mut rng).expect("protect");
-            let a = evaluator.evaluate(&masked);
+            let name = pram.name();
+            let job = ProtectionJob::builder()
+                .generated(ds.clone())
+                .methods(vec![Box::new(pram)])
+                .copies(1)
+                .iterations(0) // mask and score only
+                .seed(4)
+                .build()
+                .expect("valid job");
+            let report = session.run(&job).expect("job runs");
+            let a = &report.best.assessment;
             println!(
                 "{:<28} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>8.2} {:>8.2}",
-                pram.name(),
+                name,
                 a.il(),
                 a.dr(),
                 a.il_parts.ctbil,
@@ -52,6 +57,10 @@ fn main() {
         }
         println!();
     }
+    println!(
+        "(evaluator prepared {} time(s) for 18 sweep points)\n",
+        session.preparations()
+    );
     println!(
         "Reading the table: theta down -> IL up, DR down. The invariant\n\
          construction keeps CTBIL (marginal damage) lower at equal theta,\n\

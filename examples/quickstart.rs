@@ -1,4 +1,5 @@
-//! Quickstart: evolve a better protection for the Adult dataset.
+//! Quickstart: evolve a better protection for the Adult dataset — the
+//! whole workflow as one declarative [`ProtectionJob`].
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,43 +8,37 @@
 use cdp::prelude::*;
 
 fn main() {
-    // 1. The original file: a synthetic stand-in for UCI Adult with the
-    //    paper's exact shape (1000 × 8; EDUCATION/MARITAL-STATUS/OCCUPATION
-    //    protected). Reduced here so the example finishes in seconds.
-    let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(42).with_records(300));
-    println!(
-        "dataset: {} ({} records, {} attributes, protecting {:?})",
-        ds.kind.name(),
-        ds.table.n_rows(),
-        ds.table.n_attrs(),
-        ds.protected
-            .iter()
-            .map(|&a| ds.table.schema().attr(a).name())
-            .collect::<Vec<_>>()
-    );
-
-    // 2. Initial population: a sweep of classic SDC protections.
-    let population = build_population(&ds, &SuiteConfig::small(), 42).expect("valid sweep");
-    println!("initial population: {} protections", population.len());
-
-    // 3. Fitness: IL/DR measures bound to the original file; Eq. 2 (max)
-    //    as the paper recommends.
-    let evaluator =
-        Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).expect("evaluator");
-
-    // 4. Evolve.
-    let config = EvoConfig::builder()
-        .iterations(200)
+    // One job describes the paper's whole pipeline: the original file (a
+    // synthetic stand-in for UCI Adult, reduced so the example finishes in
+    // seconds), the initial SDC population, the fitness (Eq. 2 max, as the
+    // paper recommends), and the evolution budget.
+    let job = ProtectionJob::builder()
+        .dataset(DatasetKind::Adult)
+        .records(300)
+        .suite_small()
         .aggregator(ScoreAggregator::Max)
+        .iterations(200)
         .seed(42)
-        .build();
-    let outcome = Evolution::new(evaluator, config)
-        .with_named_population(population)
-        .expect("compatible population")
-        .run();
+        .build()
+        .expect("valid job");
 
-    // 5. Report.
-    let s = outcome.summary();
+    // Run it, streaming progress through the shared event channel.
+    let report = job
+        .run_with(|event| match event {
+            JobEvent::SourceReady {
+                rows,
+                attrs,
+                protected,
+            } => println!("dataset: {rows} records, {attrs} attributes, {protected} protected"),
+            JobEvent::PopulationReady { size } => {
+                println!("initial population: {size} protections")
+            }
+            _ => {}
+        })
+        .expect("job runs");
+
+    // Report.
+    let s = report.summary().expect("evolved job");
     println!(
         "max score:  {:6.2} -> {:6.2}  ({:+.2}%)",
         s.initial_max,
@@ -62,9 +57,11 @@ fn main() {
         s.final_min,
         -s.improvement_min()
     );
-    let best = outcome.final_best();
+    let best = &report.best;
     println!(
         "best protection: `{}` with IL = {:.2}, DR = {:.2}",
-        best.name, best.il, best.dr
+        best.name,
+        best.assessment.il(),
+        best.assessment.dr()
     );
 }

@@ -2,43 +2,41 @@
 //! initial protections (Solar Flare dataset, Eq. 2 fitness) and show the
 //! evolution still reaches nearly the same best score.
 //!
+//! The three runs differ only in `drop_best_fraction`, so they share one
+//! [`Session`]: the original is generated and prepared once.
+//!
 //! ```sh
 //! cargo run --release --example robustness_study
 //! ```
 
 use cdp::prelude::*;
 
-fn run(ds: &Dataset, drop_fraction: f64) -> (usize, f64, f64) {
-    let population = build_population(ds, &SuiteConfig::paper(ds.kind), 11).expect("paper sweep");
-    let evaluator =
-        Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).expect("evaluator");
-    let config = EvoConfig::builder()
-        .iterations(250)
+fn run(session: &mut Session, drop_fraction: f64) -> (usize, f64, f64) {
+    let job = ProtectionJob::builder()
+        .dataset(DatasetKind::Flare)
+        .records(400)
+        .suite_paper()
         .aggregator(ScoreAggregator::Max)
+        .iterations(250)
         .seed(11)
-        .build();
-    let mut evolution = Evolution::new(evaluator, config)
-        .with_named_population(population)
-        .expect("compatible population");
-    if drop_fraction > 0.0 {
-        evolution = evolution
-            .drop_best_fraction(drop_fraction)
-            .expect("population loaded");
-    }
-    let outcome = evolution.run();
+        .drop_best_fraction(drop_fraction)
+        .build()
+        .expect("valid job");
+    let report = session.run(&job).expect("job runs");
+    let outcome = report.outcome.as_ref().expect("evolved");
     let s = outcome.summary();
     (outcome.population.len(), s.initial_min, s.final_min)
 }
 
 fn main() {
-    let ds = DatasetKind::Flare.generate(&GeneratorConfig::seeded(11).with_records(400));
+    let mut session = Session::new();
     println!("Flare dataset, Eq. 2 fitness, 250 iterations\n");
     println!(
         "{:<18} {:>4} {:>12} {:>11}",
         "population", "N", "initial min", "final min"
     );
 
-    let (n_full, init_full, final_full) = run(&ds, 0.0);
+    let (n_full, init_full, final_full) = run(&mut session, 0.0);
     println!(
         "{:<18} {n_full:>4} {init_full:>12.2} {final_full:>11.2}",
         "full"
@@ -48,12 +46,16 @@ fn main() {
         ("best 5% removed", 0.05, 1.33),
         ("best 10% removed", 0.10, 1.08),
     ] {
-        let (n, init, fin) = run(&ds, fraction);
+        let (n, init, fin) = run(&mut session, fraction);
         println!(
             "{label:<18} {n:>4} {init:>12.2} {fin:>11.2}   gap {:+.2} (paper: +{paper_gap})",
             fin - final_full
         );
     }
+    println!(
+        "\n(evaluator prepared {} time(s) for 3 runs)",
+        session.preparations()
+    );
     println!(
         "\nThe paper's conclusion: the evolutionary search recovers protections\n\
          close to the removed leaders — the approach does not depend on the\n\

@@ -5,9 +5,10 @@
 //! Facade crate for the reproduction of Marés & Torra, *"An Evolutionary
 //! Optimization Approach for Categorical Data Protection"* (PAIS/EDBT 2012).
 //!
-//! The workspace is organized as four library crates plus a benchmark
+//! The workspace is organized as five library crates plus a benchmark
 //! harness; this crate re-exports all of them so downstream users can depend
-//! on a single name:
+//! on a single name, and adds the [`pipeline`] layer that drives them as one
+//! declarative job:
 //!
 //! * [`dataset`] — categorical microdata model, CSV I/O, generalization
 //!   hierarchies, and seeded generators for the paper's four evaluation
@@ -24,23 +25,50 @@
 //!   t-closeness), re-identification risk, and the lattice-based optimal
 //!   recoding baseline (Samarati-style search over generalization
 //!   hierarchies).
+//! * [`pipeline`] — the unified job API: [`pipeline::ProtectionJob`] (one
+//!   declarative builder for the whole mask → score → evolve → audit
+//!   workflow), [`pipeline::Session`] (evaluator preparation amortized
+//!   across jobs), and [`pipeline::JobReport`].
 //!
 //! ## Quickstart
+//!
+//! The paper's whole workflow — mask the original with an SDC suite, score
+//! IL/DR, evolve the population, audit the winner — is one builder chain:
 //!
 //! ```
 //! use cdp::prelude::*;
 //!
-//! // 1. Original file (synthetic stand-in for UCI Adult, paper shape).
+//! let report = ProtectionJob::builder()
+//!     .dataset(DatasetKind::Adult)         // original file (paper shape)
+//!     .records(120)                        // reduced for doc-test speed
+//!     .suite_small()                       // initial SDC population
+//!     .aggregator(ScoreAggregator::Mean)   // fitness: the paper's Eq. 1
+//!     .iterations(40)                      // evolution budget
+//!     .seed(7)
+//!     .audit()                             // privacy audit of the winner
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//!
+//! let summary = report.summary().expect("evolved job");
+//! assert!(summary.final_min <= summary.initial_min);
+//! assert!(report.privacy.as_ref().expect("audited").k_anonymity.k >= 1);
+//! assert_eq!(report.published_best().unwrap().n_rows(), 120);
+//! ```
+//!
+//! ## Low-level entry points
+//!
+//! The free-form APIs the pipeline is built from stay public — existing
+//! experiments keep compiling, and a job reproduces their RNG streams
+//! exactly:
+//!
+//! ```
+//! use cdp::prelude::*;
+//!
 //! let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(7).with_records(120));
-//!
-//! // 2. Initial population: a small sweep of SDC protections.
-//! let suite = SuiteConfig::small();
-//! let population = build_population(&ds, &suite, 7).unwrap();
-//!
-//! // 3. Fitness: mean of IL and DR (the paper's Eq. 1).
+//! let population = build_population(&ds, &SuiteConfig::small(), 7).unwrap();
 //! let evaluator = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
-//!
-//! // 4. Evolve.
 //! let config = EvoConfig::builder()
 //!     .iterations(40)
 //!     .aggregator(ScoreAggregator::Mean)
@@ -59,6 +87,8 @@ pub use cdp_metrics as metrics;
 pub use cdp_privacy as privacy;
 pub use cdp_sdc as sdc;
 
+pub mod pipeline;
+
 /// One-stop imports for examples and downstream experiments.
 pub mod prelude {
     pub use cdp_core::{
@@ -72,4 +102,9 @@ pub mod prelude {
     };
     pub use cdp_privacy::{CostKind, LatticeSearch, PrivacyReport, Recoder};
     pub use cdp_sdc::{build_population, ProtectionMethod, SuiteConfig};
+
+    pub use crate::pipeline::{
+        BestProtection, DataSource, JobEvent, JobReport, PipelineError, PopulationSpec,
+        ProtectionJob, Session, SuiteKind,
+    };
 }

@@ -1,0 +1,877 @@
+//! The declarative job description and its builder.
+
+use std::fmt;
+
+use cdp_core::{EvoConfig, OperatorSchedule, ReplacementPolicy, SelectionWeighting};
+use cdp_dataset::generators::{Dataset, DatasetKind, GeneratorConfig};
+use cdp_dataset::{stats, AttrKind, Hierarchy, SubTable, Table};
+use cdp_metrics::{MetricConfig, ScoreAggregator};
+use cdp_sdc::{build_population_from, MethodContext, ProtectionMethod, SuiteConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::report::JobReport;
+use super::session::Session;
+use super::stages::JobEvent;
+use super::{PipelineError, Result};
+
+/// Where the original file comes from.
+///
+/// The `Debug` representation is a compact summary (method lists and
+/// tables are large).
+pub enum DataSource {
+    /// One of the paper's four evaluation datasets, generated on demand.
+    Generated {
+        /// Which dataset to generate.
+        kind: DatasetKind,
+        /// Record-count override (`None` = the paper's 1000/1066).
+        records: Option<usize>,
+        /// Generator seed (`None` = the job seed).
+        seed: Option<u64>,
+    },
+    /// An already-generated dataset (reuses its hierarchies verbatim).
+    Dataset(Dataset),
+    /// A loaded table (CSV ingest, upstream pipeline output, …).
+    Table {
+        /// The full original file.
+        table: Table,
+        /// Indices of the attributes to protect.
+        protected: Vec<usize>,
+        /// One generalization hierarchy per protected attribute, in
+        /// protected order; `None` auto-builds them (range merging for
+        /// ordinal attributes, frequency folding for nominal ones).
+        hierarchies: Option<Vec<Hierarchy>>,
+    },
+}
+
+/// A resolved data source: the concrete table a job will run against.
+pub struct SourceData {
+    /// The evaluation dataset kind, when the source was generated.
+    pub kind: Option<DatasetKind>,
+    /// The full original file.
+    pub table: Table,
+    /// Indices of the protected attributes.
+    pub protected: Vec<usize>,
+    /// One hierarchy per protected attribute, in protected order. Empty
+    /// when the pipeline resolved a table source for a pre-masked
+    /// ([`PopulationSpec::Named`]) job, which never masks;
+    /// [`ProtectionJob::resolve_source`] always fills it.
+    pub hierarchies: Vec<Hierarchy>,
+}
+
+impl SourceData {
+    /// The sub-table of protected columns (what methods mask and measures
+    /// score).
+    pub fn original(&self) -> SubTable {
+        self.table
+            .subtable(&self.protected)
+            .expect("protected indices validated at resolve time")
+    }
+
+    /// Hierarchy references in the layout protection methods expect.
+    pub fn hierarchy_refs(&self) -> Vec<&Hierarchy> {
+        self.hierarchies.iter().collect()
+    }
+}
+
+impl fmt::Debug for DataSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataSource::Generated {
+                kind,
+                records,
+                seed,
+            } => f
+                .debug_struct("Generated")
+                .field("kind", kind)
+                .field("records", records)
+                .field("seed", seed)
+                .finish(),
+            DataSource::Dataset(ds) => f.debug_tuple("Dataset").field(&ds.kind).finish(),
+            DataSource::Table {
+                table, protected, ..
+            } => f
+                .debug_struct("Table")
+                .field("rows", &table.n_rows())
+                .field("attrs", &table.n_attrs())
+                .field("protected", protected)
+                .finish(),
+        }
+    }
+}
+
+impl fmt::Debug for PopulationSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopulationSpec::Suite(kind) => f.debug_tuple("Suite").field(kind).finish(),
+            PopulationSpec::Custom(cfg) => f
+                .debug_struct("Custom")
+                .field("total", &cfg.total())
+                .finish(),
+            PopulationSpec::Methods(methods) => {
+                let names: Vec<String> = methods.iter().map(|m| m.name()).collect();
+                f.debug_tuple("Methods").field(&names).finish()
+            }
+            PopulationSpec::Named(items) => f
+                .debug_struct("Named")
+                .field("count", &items.len())
+                .finish(),
+        }
+    }
+}
+
+impl fmt::Debug for ProtectionJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProtectionJob")
+            .field("source", &self.source)
+            .field("population", &self.population)
+            .field("copies", &self.copies)
+            .field("extra", &self.extra.len())
+            .field("iterations", &self.iterations)
+            .field("aggregator", &self.evo.aggregator)
+            .field("drop_best_fraction", &self.drop_best_fraction)
+            .field("audit", &self.audit)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl DataSource {
+    /// `need_hierarchies = false` skips auto-building hierarchies for a
+    /// table source (used when the population recipe never masks — e.g. a
+    /// pre-masked [`PopulationSpec::Named`] job like `cdp evaluate`).
+    pub(crate) fn resolve(&self, default_seed: u64, need_hierarchies: bool) -> Result<SourceData> {
+        match self {
+            DataSource::Generated {
+                kind,
+                records,
+                seed,
+            } => {
+                let mut cfg = GeneratorConfig::seeded(seed.unwrap_or(default_seed));
+                if let Some(n) = records {
+                    cfg = cfg.with_records(*n);
+                }
+                let ds = kind.generate(&cfg);
+                Ok(SourceData {
+                    kind: Some(*kind),
+                    hierarchies: ds.protected_hierarchies().into_iter().cloned().collect(),
+                    table: ds.table,
+                    protected: ds.protected,
+                })
+            }
+            DataSource::Dataset(ds) => Ok(SourceData {
+                kind: Some(ds.kind),
+                hierarchies: ds.protected_hierarchies().into_iter().cloned().collect(),
+                table: ds.table.clone(),
+                protected: ds.protected.clone(),
+            }),
+            DataSource::Table {
+                table,
+                protected,
+                hierarchies,
+            } => {
+                if protected.is_empty() {
+                    return Err(PipelineError::InvalidJob(
+                        "a table source needs at least one protected attribute".into(),
+                    ));
+                }
+                for &j in protected {
+                    if j >= table.n_attrs() {
+                        return Err(PipelineError::InvalidJob(format!(
+                            "protected attribute index {j} out of range (table has {} attributes)",
+                            table.n_attrs()
+                        )));
+                    }
+                }
+                let hierarchies = match hierarchies {
+                    Some(hs) => {
+                        if hs.len() != protected.len() {
+                            return Err(PipelineError::InvalidJob(format!(
+                                "{} hierarchies supplied for {} protected attributes",
+                                hs.len(),
+                                protected.len()
+                            )));
+                        }
+                        hs.clone()
+                    }
+                    None if need_hierarchies => auto_hierarchies(table, protected)?,
+                    None => Vec::new(),
+                };
+                Ok(SourceData {
+                    kind: None,
+                    table: table.clone(),
+                    protected: protected.clone(),
+                    hierarchies,
+                })
+            }
+        }
+    }
+}
+
+/// Build one hierarchy per selected attribute from the observed data:
+/// merged runs for ordinal attributes, fold-into-mode for nominal ones.
+fn auto_hierarchies(table: &Table, indices: &[usize]) -> Result<Vec<Hierarchy>> {
+    indices
+        .iter()
+        .map(|&j| {
+            let attr = table.schema().attr(j);
+            match attr.kind() {
+                AttrKind::Ordinal => Ok(Hierarchy::ordinal_auto(attr)),
+                AttrKind::Nominal => {
+                    let counts = stats::marginal_counts(table.column(j), attr.n_categories());
+                    Ok(Hierarchy::nominal_from_counts(attr, &counts)?)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Which predefined masking sweep seeds the initial population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteKind {
+    /// [`SuiteConfig::small`] — 12 protections, fast.
+    Small,
+    /// [`SuiteConfig::paper`] — the paper's per-dataset composition
+    /// (86–110 protections); requires a generated-dataset source.
+    Paper,
+}
+
+impl SuiteKind {
+    /// The CLI spelling of the suite (`small` / `paper`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SuiteKind::Small => "small",
+            SuiteKind::Paper => "paper",
+        }
+    }
+}
+
+/// How the initial population of protections is produced.
+pub enum PopulationSpec {
+    /// A predefined sweep, resolved against the source's dataset kind.
+    Suite(SuiteKind),
+    /// An explicit sweep configuration.
+    Custom(SuiteConfig),
+    /// A list of protection methods, each applied `copies` times with a
+    /// shared seeded RNG stream.
+    Methods(Vec<Box<dyn ProtectionMethod>>),
+    /// Pre-masked files supplied by the caller.
+    Named(Vec<(String, SubTable)>),
+}
+
+/// Optional privacy-audit stage configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AuditSpec {
+    /// Names of sensitive attributes (columns of the *full* table) to
+    /// audit for l-diversity / t-closeness within the winner's classes.
+    pub sensitive: Vec<String>,
+}
+
+/// A declarative protection job: the paper's whole workflow in one value.
+///
+/// Build with [`ProtectionJob::builder`]; execute with
+/// [`ProtectionJob::run`] (one-shot) or [`Session::run`] (amortizing
+/// evaluator preparation across jobs). A job is immutable and reusable:
+/// running it twice produces identical reports.
+pub struct ProtectionJob {
+    pub(crate) source: DataSource,
+    pub(crate) population: PopulationSpec,
+    pub(crate) copies: usize,
+    pub(crate) extra: Vec<(String, SubTable)>,
+    pub(crate) metrics: MetricConfig,
+    pub(crate) evo: EvoConfig,
+    pub(crate) iterations: usize,
+    pub(crate) drop_best_fraction: f64,
+    pub(crate) audit: Option<AuditSpec>,
+    pub(crate) seed: u64,
+}
+
+impl ProtectionJob {
+    /// Start describing a job.
+    pub fn builder() -> ProtectionJobBuilder {
+        ProtectionJobBuilder::default()
+    }
+
+    /// Execute in a throwaway [`Session`].
+    ///
+    /// # Errors
+    /// Any [`PipelineError`] raised by a stage.
+    pub fn run(&self) -> Result<JobReport> {
+        Session::new().run(self)
+    }
+
+    /// Execute in a throwaway [`Session`] with a progress observer.
+    ///
+    /// # Errors
+    /// Any [`PipelineError`] raised by a stage.
+    pub fn run_with<F: FnMut(&JobEvent)>(&self, observer: F) -> Result<JobReport> {
+        Session::new().run_with(self, observer)
+    }
+
+    /// Resolve the data source into the concrete table the job runs
+    /// against (generation happens here for generated sources; table
+    /// sources get their hierarchies auto-built when not supplied).
+    ///
+    /// # Errors
+    /// [`PipelineError::InvalidJob`] for inconsistent table sources.
+    pub fn resolve_source(&self) -> Result<SourceData> {
+        self.source.resolve(self.seed, true)
+    }
+
+    /// Resolution as the run engine performs it: hierarchy auto-building
+    /// is skipped when the population recipe is pre-masked and therefore
+    /// never needs them.
+    pub(crate) fn resolve_for_run(&self) -> Result<SourceData> {
+        let population_masks = !matches!(self.population, PopulationSpec::Named(_));
+        self.source.resolve(self.seed, population_masks)
+    }
+
+    /// Materialize the initial population against a resolved source.
+    ///
+    /// The RNG streams match the free-form entry points
+    /// ([`cdp_sdc::build_population`] for suites), so a job reproduces the
+    /// exact population a hand-wired experiment with the same seed built.
+    ///
+    /// # Errors
+    /// Method failures while masking, or [`PipelineError::InvalidJob`] for
+    /// an empty population / a paper suite without a dataset kind.
+    pub fn seed_population(&self, src: &SourceData) -> Result<Vec<(String, SubTable)>> {
+        let original = src.original();
+        let refs = src.hierarchy_refs();
+        let from_suite = |cfg: &SuiteConfig| -> Result<Vec<(String, SubTable)>> {
+            Ok(build_population_from(&original, &refs, cfg, self.seed)?
+                .into_iter()
+                .map(Into::into)
+                .collect())
+        };
+        let mut pop = match &self.population {
+            PopulationSpec::Suite(SuiteKind::Small) => from_suite(&SuiteConfig::small())?,
+            PopulationSpec::Suite(SuiteKind::Paper) => {
+                let kind = src.kind.ok_or_else(|| {
+                    PipelineError::InvalidJob(
+                        "the paper suite is defined per evaluation dataset; \
+                         use a generated-dataset source or a custom suite"
+                            .into(),
+                    )
+                })?;
+                from_suite(&SuiteConfig::paper(kind))?
+            }
+            PopulationSpec::Custom(cfg) => from_suite(cfg)?,
+            PopulationSpec::Methods(methods) => {
+                let ctx = MethodContext { hierarchies: &refs };
+                let mut rng = StdRng::seed_from_u64(self.seed ^ 0x000C_EA11);
+                let mut out = Vec::with_capacity(methods.len() * self.copies);
+                for method in methods {
+                    for copy in 0..self.copies {
+                        let data = method.protect(&original, &ctx, &mut rng)?;
+                        let name = if self.copies == 1 {
+                            method.name()
+                        } else {
+                            format!("{}#{copy}", method.name())
+                        };
+                        out.push((name, data));
+                    }
+                }
+                out
+            }
+            PopulationSpec::Named(items) => items.clone(),
+        };
+        pop.extend(self.extra.iter().cloned());
+        if pop.is_empty() {
+            return Err(PipelineError::InvalidJob(
+                "the population recipe produced no protections".into(),
+            ));
+        }
+        Ok(pop)
+    }
+
+    /// The evolution configuration the job will run with (the job seed and
+    /// iteration budget already applied).
+    pub fn evo_config(&self) -> EvoConfig {
+        self.evo
+    }
+
+    /// Metric configuration.
+    pub fn metrics(&self) -> MetricConfig {
+        self.metrics
+    }
+
+    /// The data source description.
+    pub fn source(&self) -> &DataSource {
+        &self.source
+    }
+
+    /// The population recipe.
+    pub fn population(&self) -> &PopulationSpec {
+        &self.population
+    }
+
+    /// Copies per method for [`PopulationSpec::Methods`].
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Extra protections appended on top of the population recipe.
+    pub fn extras(&self) -> &[(String, SubTable)] {
+        &self.extra
+    }
+
+    /// Iteration budget; `0` means mask-and-score only (no evolution).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Master seed (population masking and evolution).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fraction of best initial protections dropped before evolving.
+    pub fn drop_fraction(&self) -> f64 {
+        self.drop_best_fraction
+    }
+
+    /// The audit stage, when enabled.
+    pub fn audit_spec(&self) -> Option<&AuditSpec> {
+        self.audit.as_ref()
+    }
+}
+
+/// Fluent builder for [`ProtectionJob`]; see the module docs for the
+/// one-chain quickstart.
+pub struct ProtectionJobBuilder {
+    source: Option<DataSource>,
+    records: Option<usize>,
+    generator_seed: Option<u64>,
+    hierarchies: Option<Vec<Hierarchy>>,
+    population: Option<PopulationSpec>,
+    copies: usize,
+    extra: Vec<(String, SubTable)>,
+    metrics: MetricConfig,
+    evo: EvoConfig,
+    iterations: usize,
+    stagnation: Option<usize>,
+    drop_best_fraction: f64,
+    audit: Option<AuditSpec>,
+    seed: u64,
+}
+
+impl Default for ProtectionJobBuilder {
+    fn default() -> Self {
+        ProtectionJobBuilder {
+            source: None,
+            records: None,
+            generator_seed: None,
+            hierarchies: None,
+            population: None,
+            copies: 2,
+            extra: Vec::new(),
+            metrics: MetricConfig::default(),
+            evo: EvoConfig::default(),
+            iterations: 300,
+            stagnation: None,
+            drop_best_fraction: 0.0,
+            audit: None,
+            seed: 42,
+        }
+    }
+}
+
+impl ProtectionJobBuilder {
+    /// Source: generate one of the paper's evaluation datasets.
+    pub fn dataset(mut self, kind: DatasetKind) -> Self {
+        self.source = Some(DataSource::Generated {
+            kind,
+            records: None,
+            seed: None,
+        });
+        self
+    }
+
+    /// Record-count override for a generated source.
+    pub fn records(mut self, n: usize) -> Self {
+        self.records = Some(n);
+        self
+    }
+
+    /// Generator seed override (defaults to the job seed).
+    pub fn generator_seed(mut self, seed: u64) -> Self {
+        self.generator_seed = Some(seed);
+        self
+    }
+
+    /// Source: an already-generated dataset.
+    pub fn generated(mut self, ds: Dataset) -> Self {
+        self.source = Some(DataSource::Dataset(ds));
+        self
+    }
+
+    /// Source: a loaded table with the given protected attribute indices.
+    pub fn table(mut self, table: Table, protected: Vec<usize>) -> Self {
+        self.source = Some(DataSource::Table {
+            table,
+            protected,
+            hierarchies: None,
+        });
+        self
+    }
+
+    /// Hierarchies for a table source (protected order); auto-built when
+    /// omitted.
+    pub fn hierarchies(mut self, hierarchies: Vec<Hierarchy>) -> Self {
+        self.hierarchies = Some(hierarchies);
+        self
+    }
+
+    /// Any [`DataSource`] value (escape hatch).
+    pub fn source(mut self, source: DataSource) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Population: the small 12-protection sweep (default).
+    pub fn suite_small(mut self) -> Self {
+        self.population = Some(PopulationSpec::Suite(SuiteKind::Small));
+        self
+    }
+
+    /// Population: the paper's per-dataset sweep.
+    pub fn suite_paper(mut self) -> Self {
+        self.population = Some(PopulationSpec::Suite(SuiteKind::Paper));
+        self
+    }
+
+    /// Population: a predefined suite by tag.
+    pub fn suite_kind(mut self, kind: SuiteKind) -> Self {
+        self.population = Some(PopulationSpec::Suite(kind));
+        self
+    }
+
+    /// Population: an explicit sweep configuration.
+    pub fn suite(mut self, cfg: SuiteConfig) -> Self {
+        self.population = Some(PopulationSpec::Custom(cfg));
+        self
+    }
+
+    /// Population: explicit protection methods, `copies()` each.
+    pub fn methods(mut self, methods: Vec<Box<dyn ProtectionMethod>>) -> Self {
+        self.population = Some(PopulationSpec::Methods(methods));
+        self
+    }
+
+    /// Masked copies per method for [`ProtectionJobBuilder::methods`]
+    /// (default 2).
+    pub fn copies(mut self, copies: usize) -> Self {
+        self.copies = copies;
+        self
+    }
+
+    /// Population: caller-supplied pre-masked files.
+    pub fn named_population<I>(mut self, items: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<(String, SubTable)>,
+    {
+        self.population = Some(PopulationSpec::Named(
+            items.into_iter().map(Into::into).collect(),
+        ));
+        self
+    }
+
+    /// Append one extra protection on top of whatever the population
+    /// recipe produces (custom methods, MDAV, hand-tuned files, …).
+    pub fn add_protection(mut self, name: impl Into<String>, data: SubTable) -> Self {
+        self.extra.push((name.into(), data));
+        self
+    }
+
+    /// Measure parameters (interval fraction, RSRL window, EM iterations).
+    pub fn metrics(mut self, cfg: MetricConfig) -> Self {
+        self.metrics = cfg;
+        self
+    }
+
+    /// Fitness aggregator (the paper's Eq. 1 `Mean` or Eq. 2 `Max`).
+    pub fn aggregator(mut self, agg: ScoreAggregator) -> Self {
+        self.evo.aggregator = agg;
+        self
+    }
+
+    /// Iteration budget; `0` skips evolution (mask-and-score only).
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    /// Early-stop stagnation window.
+    pub fn stagnation(mut self, window: usize) -> Self {
+        self.stagnation = Some(window);
+        self
+    }
+
+    /// Probability of a mutation generation (vs crossover).
+    pub fn mutation_rate(mut self, rate: f64) -> Self {
+        self.evo.mutation_rate = rate;
+        self
+    }
+
+    /// Fixed (paper) or adaptive operator schedule.
+    pub fn operator_schedule(mut self, schedule: OperatorSchedule) -> Self {
+        self.evo.operator_schedule = schedule;
+        self
+    }
+
+    /// Selection weighting (Eq. 3 resolution).
+    pub fn selection(mut self, selection: SelectionWeighting) -> Self {
+        self.evo.selection = selection;
+        self
+    }
+
+    /// Crossover replacement pairing.
+    pub fn replacement(mut self, replacement: ReplacementPolicy) -> Self {
+        self.evo.replacement = replacement;
+        self
+    }
+
+    /// Leader-group fraction for crossover selection.
+    pub fn leader_fraction(mut self, fraction: f64) -> Self {
+        self.evo.leader_fraction = fraction;
+        self
+    }
+
+    /// Toggle the incremental evaluator for mutation offspring.
+    pub fn incremental_mutation(mut self, on: bool) -> Self {
+        self.evo.incremental_mutation = on;
+        self
+    }
+
+    /// Toggle parallel initial evaluation.
+    pub fn parallel_init(mut self, on: bool) -> Self {
+        self.evo.parallel_init = on;
+        self
+    }
+
+    /// Drop the best fraction of the initial population before evolving
+    /// (the §3.3 robustness experiment).
+    pub fn drop_best_fraction(mut self, fraction: f64) -> Self {
+        self.drop_best_fraction = fraction;
+        self
+    }
+
+    /// Enable the privacy-audit stage (k-anonymity, prosecutor/journalist
+    /// risk) on the winning protection.
+    pub fn audit(mut self) -> Self {
+        self.audit.get_or_insert_with(AuditSpec::default);
+        self
+    }
+
+    /// Enable the audit stage and name sensitive attributes (full-table
+    /// column names) to additionally check for l-diversity / t-closeness.
+    pub fn audit_sensitive<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let spec = self.audit.get_or_insert_with(AuditSpec::default);
+        spec.sensitive.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Master seed: population masking, evolution, and the generator
+    /// (unless overridden with [`ProtectionJobBuilder::generator_seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate and finish.
+    ///
+    /// # Errors
+    /// [`PipelineError::InvalidJob`] when no source was given, `copies` is
+    /// zero, the drop fraction is out of range, or the evolution knobs are
+    /// invalid; [`PipelineError::Evolution`] wraps the latter.
+    pub fn build(mut self) -> Result<ProtectionJob> {
+        let mut source = self.source.take().ok_or_else(|| {
+            PipelineError::InvalidJob(
+                "a data source is required (dataset(), table() or source())".into(),
+            )
+        })?;
+        if let DataSource::Generated { records, seed, .. } = &mut source {
+            if self.records.is_some() {
+                *records = self.records;
+            }
+            if self.generator_seed.is_some() {
+                *seed = self.generator_seed;
+            }
+        }
+        if let Some(hs) = self.hierarchies.take() {
+            match &mut source {
+                DataSource::Table { hierarchies, .. } => *hierarchies = Some(hs),
+                _ => {
+                    return Err(PipelineError::InvalidJob(
+                        "hierarchies() only applies to a table source".into(),
+                    ))
+                }
+            }
+        }
+        if self.copies == 0 {
+            return Err(PipelineError::InvalidJob(
+                "copies must be at least 1".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.drop_best_fraction) {
+            return Err(PipelineError::InvalidJob(format!(
+                "drop_best_fraction must lie in [0,1), got {}",
+                self.drop_best_fraction
+            )));
+        }
+        let mut evo = self.evo;
+        evo.seed = self.seed;
+        evo.stop.max_iterations = self.iterations.max(1);
+        evo.stop.stagnation = self.stagnation;
+        evo.validate()?;
+        Ok(ProtectionJob {
+            source,
+            population: self
+                .population
+                .unwrap_or(PopulationSpec::Suite(SuiteKind::Small)),
+            copies: self.copies,
+            extra: self.extra,
+            metrics: self.metrics,
+            evo,
+            iterations: self.iterations,
+            drop_best_fraction: self.drop_best_fraction,
+            audit: self.audit,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_requires_a_source() {
+        let err = ProtectionJob::builder().build().unwrap_err();
+        assert!(err.to_string().contains("data source"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_knobs() {
+        for (what, result) in [
+            (
+                "copies",
+                ProtectionJob::builder()
+                    .dataset(DatasetKind::Adult)
+                    .copies(0)
+                    .build()
+                    .map(|_| ()),
+            ),
+            (
+                "drop",
+                ProtectionJob::builder()
+                    .dataset(DatasetKind::Adult)
+                    .drop_best_fraction(1.0)
+                    .build()
+                    .map(|_| ()),
+            ),
+            (
+                "mutation rate",
+                ProtectionJob::builder()
+                    .dataset(DatasetKind::Adult)
+                    .mutation_rate(1.5)
+                    .build()
+                    .map(|_| ()),
+            ),
+            (
+                "hierarchies",
+                ProtectionJob::builder()
+                    .dataset(DatasetKind::Adult)
+                    .hierarchies(Vec::new())
+                    .build()
+                    .map(|_| ()),
+            ),
+        ] {
+            assert!(result.is_err(), "{what} should be rejected");
+        }
+    }
+
+    #[test]
+    fn generated_source_defaults_to_job_seed() {
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::German)
+            .records(50)
+            .seed(9)
+            .build()
+            .unwrap();
+        let a = job.resolve_source().unwrap();
+        let direct = DatasetKind::German.generate(&GeneratorConfig::seeded(9).with_records(50));
+        assert_eq!(a.table.column(0), direct.table.column(0));
+        assert_eq!(a.kind, Some(DatasetKind::German));
+    }
+
+    #[test]
+    fn suite_population_matches_free_form_entry_point() {
+        let ds = DatasetKind::Flare.generate(&GeneratorConfig::seeded(3).with_records(60));
+        let direct: Vec<(String, SubTable)> =
+            cdp_sdc::build_population(&ds, &SuiteConfig::small(), 3)
+                .unwrap()
+                .into_iter()
+                .map(Into::into)
+                .collect();
+        let job = ProtectionJob::builder()
+            .generated(ds)
+            .suite_small()
+            .seed(3)
+            .build()
+            .unwrap();
+        let src = job.resolve_source().unwrap();
+        let pop = job.seed_population(&src).unwrap();
+        assert_eq!(pop.len(), direct.len());
+        for ((an, ad), (bn, bd)) in pop.iter().zip(direct.iter()) {
+            assert_eq!(an, bn);
+            assert_eq!(ad, bd);
+        }
+    }
+
+    #[test]
+    fn paper_suite_requires_dataset_kind() {
+        let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(1).with_records(40));
+        let job = ProtectionJob::builder()
+            .table(ds.table.clone(), ds.protected.clone())
+            .suite_paper()
+            .build()
+            .unwrap();
+        let src = job.resolve_source().unwrap();
+        let err = job.seed_population(&src).unwrap_err();
+        assert!(err.to_string().contains("paper suite"));
+    }
+
+    #[test]
+    fn table_source_auto_builds_hierarchies() {
+        let ds = DatasetKind::German.generate(&GeneratorConfig::seeded(2).with_records(60));
+        let job = ProtectionJob::builder()
+            .table(ds.table.clone(), ds.protected.clone())
+            .build()
+            .unwrap();
+        let src = job.resolve_source().unwrap();
+        assert_eq!(src.hierarchies.len(), ds.protected.len());
+        assert!(src.kind.is_none());
+    }
+
+    #[test]
+    fn table_source_validates_indices() {
+        let ds = DatasetKind::Adult.generate(&GeneratorConfig::seeded(1).with_records(30));
+        let job = ProtectionJob::builder()
+            .table(ds.table.clone(), vec![999])
+            .build()
+            .unwrap();
+        assert!(job.resolve_source().is_err());
+        let job = ProtectionJob::builder()
+            .table(ds.table, vec![])
+            .build()
+            .unwrap();
+        assert!(job.resolve_source().is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! The unified job API: one declarative builder for the paper's whole
+//! workflow.
+//!
+//! The workspace crates expose the pipeline's *pieces* — datasets
+//! ([`cdp_dataset`]), SDC masking suites ([`cdp_sdc`]), IL/DR measures
+//! ([`cdp_metrics`]), the evolutionary optimizer ([`cdp_core`]) and privacy
+//! audits ([`cdp_privacy`]) — but the paper's workflow is one fixed shape:
+//! *mask the original with a suite of protections, score them, evolve the
+//! population, audit and publish the winner*. This module packages that
+//! shape behind three types:
+//!
+//! * [`ProtectionJob`] — a declarative description of one run: data source,
+//!   population recipe, metric configuration, evolution knobs, stop
+//!   conditions and an optional privacy audit. Built with
+//!   [`ProtectionJob::builder`], executed with [`ProtectionJob::run`].
+//! * [`Session`] — an execution context that caches the prepared
+//!   original-side statistics ([`cdp_metrics::PreparedOriginal`] inside an
+//!   [`cdp_metrics::Evaluator`]), so repeated jobs against the same
+//!   original skip re-preparation. One session can serve many jobs — the
+//!   CLI, the bench harness and (eventually) a protection server all drive
+//!   this type.
+//! * [`JobReport`] — everything a run produces: the
+//!   [`cdp_core::EvolutionOutcome`], the winning protection with its full
+//!   IL/DR breakdown, and the optional [`cdp_privacy::PrivacyReport`].
+//!
+//! Progress streams through [`JobEvent`] observers ([`Session::run_with`]),
+//! giving interactive consumers one channel for preparation, population and
+//! per-generation telemetry.
+//!
+//! ```
+//! use cdp::prelude::*;
+//!
+//! let report = ProtectionJob::builder()
+//!     .dataset(DatasetKind::Adult)
+//!     .records(100)
+//!     .suite_small()
+//!     .aggregator(ScoreAggregator::Max)
+//!     .iterations(30)
+//!     .seed(7)
+//!     .audit()
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//! assert!(report.best.assessment.il() >= 0.0);
+//! assert!(report.privacy.is_some());
+//! ```
+
+mod job;
+mod report;
+mod session;
+mod stages;
+
+use std::fmt;
+
+pub use job::{
+    AuditSpec, DataSource, PopulationSpec, ProtectionJob, ProtectionJobBuilder, SourceData,
+    SuiteKind,
+};
+pub use report::{BestProtection, JobReport};
+pub use session::Session;
+pub use stages::JobEvent;
+
+/// Everything that can go wrong while describing or executing a job.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The job description itself is inconsistent (missing source, empty
+    /// population, unresolvable attribute names, …).
+    InvalidJob(String),
+    /// Dataset layer failure (bad indices, I/O, schema mismatch).
+    Dataset(cdp_dataset::DatasetError),
+    /// A protection method failed while seeding the population.
+    Sdc(cdp_sdc::SdcError),
+    /// Metric configuration or evaluation failure.
+    Metric(cdp_metrics::MetricError),
+    /// The evolutionary run rejected its configuration or population.
+    Evolution(cdp_core::EvoError),
+    /// The privacy audit failed.
+    Privacy(cdp_privacy::PrivacyError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
+            PipelineError::Dataset(e) => write!(f, "dataset: {e}"),
+            PipelineError::Sdc(e) => write!(f, "protection: {e}"),
+            PipelineError::Metric(e) => write!(f, "metrics: {e}"),
+            PipelineError::Evolution(e) => write!(f, "evolution: {e}"),
+            PipelineError::Privacy(e) => write!(f, "privacy: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::InvalidJob(_) => None,
+            PipelineError::Dataset(e) => Some(e),
+            PipelineError::Sdc(e) => Some(e),
+            PipelineError::Metric(e) => Some(e),
+            PipelineError::Evolution(e) => Some(e),
+            PipelineError::Privacy(e) => Some(e),
+        }
+    }
+}
+
+impl From<cdp_dataset::DatasetError> for PipelineError {
+    fn from(e: cdp_dataset::DatasetError) -> Self {
+        PipelineError::Dataset(e)
+    }
+}
+
+impl From<cdp_sdc::SdcError> for PipelineError {
+    fn from(e: cdp_sdc::SdcError) -> Self {
+        PipelineError::Sdc(e)
+    }
+}
+
+impl From<cdp_metrics::MetricError> for PipelineError {
+    fn from(e: cdp_metrics::MetricError) -> Self {
+        PipelineError::Metric(e)
+    }
+}
+
+impl From<cdp_core::EvoError> for PipelineError {
+    fn from(e: cdp_core::EvoError) -> Self {
+        PipelineError::Evolution(e)
+    }
+}
+
+impl From<cdp_privacy::PrivacyError> for PipelineError {
+    fn from(e: cdp_privacy::PrivacyError) -> Self {
+        PipelineError::Privacy(e)
+    }
+}
+
+/// Pipeline result alias.
+pub type Result<T> = std::result::Result<T, PipelineError>;

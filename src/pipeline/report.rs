@@ -1,0 +1,68 @@
+//! The typed result of a job: evolution outcome, winner breakdown, audit.
+
+use cdp_core::{EvolutionOutcome, ScatterPoint, ScoreSummary};
+use cdp_dataset::generators::DatasetKind;
+use cdp_dataset::{SubTable, Table};
+use cdp_metrics::Assessment;
+use cdp_privacy::PrivacyReport;
+
+use super::Result;
+
+/// The winning protection of a run with its full IL/DR breakdown.
+#[derive(Debug, Clone)]
+pub struct BestProtection {
+    /// Provenance label (method name, possibly evolved far from it).
+    pub name: String,
+    /// The masked protected columns.
+    pub data: SubTable,
+    /// The seven-measure assessment of the winner.
+    pub assessment: Assessment,
+}
+
+/// Everything one [`super::ProtectionJob`] produced.
+#[derive(Debug)]
+pub struct JobReport {
+    /// The evaluation dataset kind, when the source was generated.
+    pub kind: Option<DatasetKind>,
+    /// The full original table the job ran against.
+    pub table: Table,
+    /// Indices of the protected attributes within [`JobReport::table`].
+    pub protected: Vec<usize>,
+    /// Number of protections that entered the run.
+    pub population_size: usize,
+    /// Whether the session served a cached evaluator preparation.
+    pub evaluator_reused: bool,
+    /// The evolutionary run's full telemetry; `None` for mask-and-score
+    /// jobs (iteration budget 0).
+    pub outcome: Option<EvolutionOutcome>,
+    /// Final (IL, DR) snapshot of the population — the evolved population,
+    /// or the assessed initial protections for mask-and-score jobs.
+    pub points: Vec<ScatterPoint>,
+    /// The winning protection.
+    pub best: BestProtection,
+    /// Privacy audit of the winner, when the job enabled it.
+    pub privacy: Option<PrivacyReport>,
+}
+
+impl JobReport {
+    /// The §3.1/§3.2 summary row, when the job evolved.
+    pub fn summary(&self) -> Option<ScoreSummary> {
+        self.outcome.as_ref().map(EvolutionOutcome::summary)
+    }
+
+    /// The original protected columns (reference side of every measure).
+    pub fn original(&self) -> SubTable {
+        self.table
+            .subtable(&self.protected)
+            .expect("protected indices validated at resolve time")
+    }
+
+    /// The publishable file: the full original table with the winning
+    /// protected columns substituted.
+    ///
+    /// # Errors
+    /// Shape mismatch (cannot happen for reports built by the pipeline).
+    pub fn published_best(&self) -> Result<Table> {
+        Ok(self.table.with_subtable(&self.best.data)?)
+    }
+}

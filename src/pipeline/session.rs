@@ -1,0 +1,210 @@
+//! The reusable execution context: evaluator preparation amortized across
+//! jobs.
+
+use cdp_dataset::SubTable;
+use cdp_metrics::{Evaluator, MetricConfig};
+
+use super::job::ProtectionJob;
+use super::report::JobReport;
+use super::stages::{run_job, JobEvent};
+use super::Result;
+
+/// One prepared evaluator, keyed by the original it was built for.
+struct CacheEntry {
+    original: SubTable,
+    cfg: MetricConfig,
+    evaluator: Evaluator,
+}
+
+/// A job execution context that caches prepared originals.
+///
+/// Preparing an [`Evaluator`] computes the original file's ranks,
+/// marginals, contingency tables and chance-agreement probabilities —
+/// work that depends only on the original, not on the job. A `Session`
+/// keeps those preparations, so sweeps (many jobs over one original) and
+/// future services (many requests over few originals) pay the cost once.
+///
+/// ```
+/// use cdp::prelude::*;
+///
+/// let job = ProtectionJob::builder()
+///     .dataset(DatasetKind::German)
+///     .records(80)
+///     .iterations(10)
+///     .seed(3)
+///     .build()
+///     .unwrap();
+/// let mut session = Session::new();
+/// session.run(&job).unwrap();
+/// session.run(&job).unwrap(); // same original: no second preparation
+/// assert_eq!(session.preparations(), 1);
+/// ```
+#[derive(Default)]
+pub struct Session {
+    cache: Vec<CacheEntry>,
+    preparations: usize,
+}
+
+impl Session {
+    /// An empty session.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// How many evaluator preparations this session has performed (cache
+    /// misses; the observable the reuse tests assert on).
+    pub fn preparations(&self) -> usize {
+        self.preparations
+    }
+
+    /// Number of distinct (original, metric-config) pairs currently cached.
+    pub fn cached_evaluators(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drop all cached preparations.
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The evaluator for an original, preparing it on first sight. Returns
+    /// the evaluator and whether it came from the cache.
+    ///
+    /// # Errors
+    /// [`cdp_metrics::MetricError`] for an invalid metric configuration.
+    pub fn evaluator_for(
+        &mut self,
+        original: &SubTable,
+        cfg: MetricConfig,
+    ) -> Result<(Evaluator, bool)> {
+        if let Some(entry) = self
+            .cache
+            .iter()
+            .find(|e| e.cfg == cfg && e.original == *original)
+        {
+            return Ok((entry.evaluator.clone(), true));
+        }
+        let evaluator = Evaluator::new(original, cfg)?;
+        self.preparations += 1;
+        self.cache.push(CacheEntry {
+            original: original.clone(),
+            cfg,
+            evaluator: evaluator.clone(),
+        });
+        Ok((evaluator, false))
+    }
+
+    /// Execute a job.
+    ///
+    /// # Errors
+    /// Any [`super::PipelineError`] raised by a stage.
+    pub fn run(&mut self, job: &ProtectionJob) -> Result<JobReport> {
+        self.run_with(job, |_| {})
+    }
+
+    /// Execute a job, streaming [`JobEvent`]s to `observer`.
+    ///
+    /// # Errors
+    /// Any [`super::PipelineError`] raised by a stage.
+    pub fn run_with<F: FnMut(&JobEvent)>(
+        &mut self,
+        job: &ProtectionJob,
+        mut observer: F,
+    ) -> Result<JobReport> {
+        run_job(self, job, &mut observer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::DatasetKind;
+
+    fn tiny_job(kind: DatasetKind, seed: u64, iterations: usize) -> ProtectionJob {
+        ProtectionJob::builder()
+            .dataset(kind)
+            .records(60)
+            .iterations(iterations)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn second_job_reuses_the_preparation() {
+        let mut session = Session::new();
+        let a = tiny_job(DatasetKind::Adult, 7, 5);
+        let b = tiny_job(DatasetKind::Adult, 7, 8); // same original, new budget
+        let ra = session.run(&a).unwrap();
+        let rb = session.run(&b).unwrap();
+        assert!(!ra.evaluator_reused);
+        assert!(rb.evaluator_reused);
+        assert_eq!(session.preparations(), 1);
+        assert_eq!(session.cached_evaluators(), 1);
+    }
+
+    #[test]
+    fn different_original_prepares_again() {
+        let mut session = Session::new();
+        session.run(&tiny_job(DatasetKind::Adult, 7, 5)).unwrap();
+        session.run(&tiny_job(DatasetKind::German, 7, 5)).unwrap();
+        // same dataset, different generator seed -> different original
+        session.run(&tiny_job(DatasetKind::Adult, 8, 5)).unwrap();
+        assert_eq!(session.preparations(), 3);
+    }
+
+    #[test]
+    fn clear_forgets_preparations() {
+        let mut session = Session::new();
+        let job = tiny_job(DatasetKind::Flare, 3, 5);
+        session.run(&job).unwrap();
+        session.clear();
+        let r = session.run(&job).unwrap();
+        assert!(!r.evaluator_reused);
+        assert_eq!(session.preparations(), 2);
+    }
+
+    #[test]
+    fn events_stream_in_stage_order() {
+        let mut session = Session::new();
+        let job = tiny_job(DatasetKind::German, 5, 6);
+        let mut tags = Vec::new();
+        session
+            .run_with(&job, |e| {
+                tags.push(match e {
+                    JobEvent::SourceReady { .. } => "source",
+                    JobEvent::EvaluatorReady { .. } => "evaluator",
+                    JobEvent::PopulationReady { .. } => "population",
+                    JobEvent::Generation(_) => "generation",
+                    JobEvent::EvolutionFinished { .. } => "finished",
+                    JobEvent::AuditReady => "audit",
+                });
+            })
+            .unwrap();
+        assert_eq!(tags[..3], ["source", "evaluator", "population"]);
+        assert_eq!(tags.iter().filter(|t| **t == "generation").count(), 6);
+        assert_eq!(*tags.last().unwrap(), "finished");
+    }
+
+    #[test]
+    fn mask_only_job_scores_without_evolving() {
+        let mut session = Session::new();
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .records(60)
+            .iterations(0)
+            .seed(4)
+            .build()
+            .unwrap();
+        let report = session.run(&job).unwrap();
+        assert!(report.outcome.is_none());
+        assert_eq!(report.points.len(), report.population_size);
+        let best_score = report
+            .points
+            .iter()
+            .map(|p| p.score)
+            .fold(f64::INFINITY, f64::min);
+        let agg = job.evo_config().aggregator;
+        assert!((report.best.assessment.score(agg) - best_score).abs() < 1e-12);
+    }
+}

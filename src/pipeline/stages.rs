@@ -1,0 +1,176 @@
+//! Job execution: the staged engine behind [`Session::run_with`], and the
+//! event stream it emits.
+
+use cdp_core::{evaluate_all, Evolution, GenerationStats, ScatterPoint};
+use cdp_dataset::{Attribute, Code, SubTable};
+use cdp_privacy::PrivacyReport;
+
+use super::job::{AuditSpec, ProtectionJob, SourceData};
+use super::report::{BestProtection, JobReport};
+use super::session::Session;
+use super::{PipelineError, Result};
+
+/// Progress events emitted while a job executes.
+///
+/// One stream serves every consumer — CLI progress lines, bench telemetry,
+/// future server push channels — instead of each re-wiring
+/// [`Evolution::run_with`] by hand.
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// The data source resolved into a concrete table.
+    SourceReady {
+        /// Records in the original file.
+        rows: usize,
+        /// Attributes in the full table.
+        attrs: usize,
+        /// Number of protected attributes.
+        protected: usize,
+    },
+    /// The fitness evaluator is bound to the original.
+    EvaluatorReady {
+        /// `true` when the session served a cached preparation instead of
+        /// re-computing the original-side statistics.
+        reused: bool,
+    },
+    /// The initial population of protections is masked and ready.
+    PopulationReady {
+        /// Number of protections entering the run.
+        size: usize,
+    },
+    /// One evolutionary iteration finished (forwarded from
+    /// [`Evolution::run_with`]).
+    Generation(GenerationStats),
+    /// The evolutionary stage finished.
+    EvolutionFinished {
+        /// Iterations actually executed.
+        iterations: usize,
+    },
+    /// The privacy audit of the winner completed.
+    AuditReady,
+}
+
+pub(crate) fn run_job<F: FnMut(&JobEvent)>(
+    session: &mut Session,
+    job: &ProtectionJob,
+    observer: &mut F,
+) -> Result<JobReport> {
+    let src = job.resolve_for_run()?;
+    observer(&JobEvent::SourceReady {
+        rows: src.table.n_rows(),
+        attrs: src.table.n_attrs(),
+        protected: src.protected.len(),
+    });
+    let original = src.original();
+
+    let (evaluator, reused) = session.evaluator_for(&original, job.metrics)?;
+    observer(&JobEvent::EvaluatorReady { reused });
+
+    let population = job.seed_population(&src)?;
+    observer(&JobEvent::PopulationReady {
+        size: population.len(),
+    });
+    let population_size = population.len();
+
+    let evo_cfg = job.evo_config();
+    let (outcome, points, best) = if job.iterations() == 0 {
+        // mask-and-score only: assess the population, pick the winner
+        for (name, data) in &population {
+            evaluator.prepared().check_compatible(data).map_err(|e| {
+                PipelineError::InvalidJob(format!("protection `{name}` incompatible: {e}"))
+            })?;
+        }
+        let states = evaluate_all(&evaluator, &population, evo_cfg.parallel_init);
+        let points: Vec<ScatterPoint> = population
+            .iter()
+            .zip(&states)
+            .map(|((name, _), state)| ScatterPoint {
+                name: name.clone(),
+                il: state.assessment.il(),
+                dr: state.assessment.dr(),
+                score: state.assessment.score(evo_cfg.aggregator),
+            })
+            .collect();
+        let (i, _) = points
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.score.partial_cmp(&b.score).expect("finite scores"))
+            .expect("population validated non-empty");
+        let best = BestProtection {
+            name: population[i].0.clone(),
+            data: population[i].1.clone(),
+            assessment: states[i].assessment,
+        };
+        (None, points, best)
+    } else {
+        let mut evolution =
+            Evolution::new(evaluator.clone(), evo_cfg).with_named_population(population)?;
+        if job.drop_fraction() > 0.0 {
+            evolution = evolution.drop_best_fraction(job.drop_fraction())?;
+        }
+        let outcome = evolution.run_with(|g| observer(&JobEvent::Generation(*g)));
+        observer(&JobEvent::EvolutionFinished {
+            iterations: outcome.iterations_run,
+        });
+        let winner = outcome.population.best();
+        let best = BestProtection {
+            name: winner.name.clone(),
+            data: winner.data.clone(),
+            assessment: *winner.assessment(),
+        };
+        let points = outcome.final_points.clone();
+        (Some(outcome), points, best)
+    };
+
+    let privacy = match job.audit_spec() {
+        None => None,
+        Some(spec) => {
+            let report = audit_best(&src, spec, &best.data, &original)?;
+            observer(&JobEvent::AuditReady);
+            Some(report)
+        }
+    };
+
+    Ok(JobReport {
+        kind: src.kind,
+        table: src.table,
+        protected: src.protected,
+        population_size,
+        evaluator_reused: reused,
+        outcome,
+        points,
+        best,
+        privacy,
+    })
+}
+
+/// Audit the winning protection: k-anonymity and re-identification risk
+/// over the masked quasi-identifiers, plus diversity/closeness for each
+/// named sensitive attribute.
+fn audit_best(
+    src: &SourceData,
+    spec: &AuditSpec,
+    best: &SubTable,
+    original: &SubTable,
+) -> Result<PrivacyReport> {
+    let schema = src.table.schema();
+    let mut sensitive: Vec<(&Attribute, &[Code])> = Vec::with_capacity(spec.sensitive.len());
+    for name in &spec.sensitive {
+        let j = schema.index_of(name).ok_or_else(|| {
+            PipelineError::InvalidJob(format!(
+                "sensitive attribute `{name}` not in the table (header: {})",
+                schema
+                    .attrs()
+                    .iter()
+                    .map(|a| a.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+        sensitive.push((schema.attr(j), src.table.column(j)));
+    }
+    Ok(cdp_privacy::report::audit(
+        best,
+        Some(original),
+        &sensitive,
+    )?)
+}

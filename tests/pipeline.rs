@@ -99,6 +99,100 @@ fn unbalanced_protections_penalized_only_by_max() {
 }
 
 #[test]
+fn protection_job_reproduces_the_hand_wired_run_exactly() {
+    // the pipeline is a re-packaging, not a re-implementation: same seeds
+    // -> same RNG streams -> bit-identical outcome
+    let hand = mini_run(DatasetKind::German, ScoreAggregator::Max, 6);
+    let job = ProtectionJob::builder()
+        .dataset(DatasetKind::German)
+        .records(80)
+        .suite_small()
+        .aggregator(ScoreAggregator::Max)
+        .iterations(30)
+        .seed(6)
+        .build()
+        .unwrap();
+    let report = job.run().unwrap();
+    let outcome = report.outcome.expect("evolved");
+    assert_eq!(outcome.summary(), hand.summary());
+    assert_eq!(outcome.iterations_run, hand.iterations_run);
+    assert_eq!(
+        outcome.population.best().data,
+        hand.population.best().data,
+        "winning protected file must be identical"
+    );
+    assert_eq!(report.best.name, hand.population.best().name);
+}
+
+#[test]
+fn session_skips_evaluator_re_preparation_across_jobs() {
+    // acceptance: a second job against the same original must not prepare
+    // the evaluator again, observable via the event hook and the counter
+    let job = |iters: usize| {
+        ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .records(80)
+            .suite_small()
+            .iterations(iters)
+            .seed(3)
+            .build()
+            .unwrap()
+    };
+    let mut session = Session::new();
+    let mut reused_flags = Vec::new();
+    let mut observe = |flags: &mut Vec<bool>, e: &JobEvent| {
+        if let JobEvent::EvaluatorReady { reused } = e {
+            flags.push(*reused);
+        }
+    };
+    let first = session
+        .run_with(&job(10), |e| observe(&mut reused_flags, e))
+        .unwrap();
+    let second = session
+        .run_with(&job(20), |e| observe(&mut reused_flags, e))
+        .unwrap();
+    assert_eq!(reused_flags, [false, true]);
+    assert!(!first.evaluator_reused);
+    assert!(second.evaluator_reused);
+    assert_eq!(session.preparations(), 1, "one original, one preparation");
+
+    // and the cached preparation changes nothing about the results: a
+    // fresh session produces the identical outcome
+    let fresh = Session::new().run(&job(20)).unwrap();
+    assert_eq!(
+        fresh.outcome.unwrap().summary(),
+        second.outcome.unwrap().summary()
+    );
+}
+
+#[test]
+fn job_report_publishes_and_audits_the_winner() {
+    let report = ProtectionJob::builder()
+        .dataset(DatasetKind::Housing)
+        .records(80)
+        .suite_small()
+        .iterations(15)
+        .seed(8)
+        .audit()
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    // published table: full schema, winner's columns substituted
+    let published = report.published_best().unwrap();
+    assert_eq!(published.n_rows(), 80);
+    assert_eq!(published.n_attrs(), report.table.n_attrs());
+    for (k, &j) in report.protected.iter().enumerate() {
+        assert_eq!(published.column(j), report.best.data.column(k));
+    }
+    // audit: k-anonymity + prosecutor always, journalist vs the original
+    let privacy = report.privacy.expect("audit enabled");
+    assert!(privacy.k_anonymity.k >= 1);
+    assert!(privacy.journalist.is_some());
+    assert!(privacy.sensitive.is_empty(), "no sensitive attrs named");
+}
+
+#[test]
 fn facade_prelude_covers_the_whole_pipeline() {
     // compile-time check that the prelude exposes every type the
     // quickstart needs, and a behavioural smoke test on top
