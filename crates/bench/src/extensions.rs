@@ -9,12 +9,12 @@
 //!   against true multi-objective selection, compared by the hypervolume of
 //!   the (IL, DR) fronts each run discovers for the same budget.
 
-use cdp_core::nsga::{hypervolume, Nsga2, NsgaConfig, HV_REFERENCE};
+use cdp_core::nsga::{hypervolume, HV_REFERENCE};
 use cdp_core::ScatterPoint;
 use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
 use cdp_metrics::{Evaluator, MetricConfig, ScoreAggregator};
 use cdp_privacy::{mondrian_anonymize, CostKind, LatticeSearch, Partition, Recoder};
-use cdp_sdc::{build_population, SuiteConfig};
+use cdp_sdc::SuiteConfig;
 
 use crate::harness::Harness;
 use crate::report::markdown_table;
@@ -208,8 +208,9 @@ fn hv_of(points: &[ScatterPoint]) -> f64 {
 
 /// Run the scalar-vs-NSGA-II comparison. The scalar contenders reuse the
 /// harness's cached Eq. 1/Eq. 2 runs (their all-time Pareto archives); the
-/// NSGA-II contender runs the same initial population for
-/// `iterations / population-size` generations so every contender spends a
+/// NSGA-II contender is the harness's nsga job mode over the same paper
+/// suite ([`Harness::run_front`], shared session and evaluator cache) for
+/// `iterations / population-size` generations, so every contender spends a
 /// comparable number of evaluations.
 pub fn pareto_comparison(harness: &mut Harness, dataset: DatasetKind) -> ParetoComparison {
     let cfg = harness.config().clone();
@@ -232,38 +233,21 @@ pub fn pareto_comparison(harness: &mut Harness, dataset: DatasetKind) -> ParetoC
         });
     }
 
-    let mut gc = GeneratorConfig::seeded(cfg.seed);
-    if let Some(n) = cfg.records {
-        gc = gc.with_records(n);
-    }
-    let ds = dataset.generate(&gc);
-    let pop = build_population(&ds, &SuiteConfig::paper(dataset), cfg.seed)
-        .expect("paper suite applies to generated data");
-    let pop_size = pop.len();
-    let evaluator = Evaluator::new(&ds.protected_subtable(), MetricConfig::default())
-        .expect("default metric config is valid");
+    let pop_size = SuiteConfig::paper(dataset).total();
     let generations = (cfg.iterations * 3 / 2 / pop_size).max(1);
-    let nsga_cfg = NsgaConfig {
-        generations,
-        seed: cfg.seed,
-        ..NsgaConfig::default()
-    };
-    let outcome = Nsga2::new(evaluator, nsga_cfg)
-        .with_named_population(pop)
-        .expect("population is compatible by construction")
-        .run();
+    let front = harness.run_front(dataset, generations);
     rows.push(ParetoRow {
         label: format!("nsga2({generations} gen)"),
-        front_size: outcome.archive_front.len(),
-        hypervolume: hv_of(&outcome.archive_front),
-        evaluations: outcome.evaluations,
+        front_size: front.archive.len(),
+        hypervolume: hv_of(&front.archive),
+        evaluations: front.evaluations,
     });
 
     ParetoComparison {
         dataset,
         initial_hypervolume: initial_hv,
         rows,
-        nsga_front: outcome.archive_front,
+        nsga_front: front.archive.clone(),
     }
 }
 

@@ -2,13 +2,14 @@
 //!
 //! Runs execute as [`cdp::pipeline::ProtectionJob`]s through one
 //! [`cdp::pipeline::Session`], so sweep points against the same dataset
-//! (aggregator/truncation variations) prepare the original's measure
-//! statistics exactly once.
+//! (aggregator/truncation variations — and NSGA-II contenders via
+//! [`Harness::run_front`]) prepare the original's measure statistics
+//! exactly once.
 
 use std::path::PathBuf;
 use std::rc::Rc;
 
-use cdp::pipeline::{ProtectionJob, Session};
+use cdp::pipeline::{Front, ProtectionJob, Session};
 use cdp_core::{EvolutionOutcome, ScoreSummary};
 use cdp_dataset::generators::DatasetKind;
 use cdp_metrics::ScoreAggregator;
@@ -92,6 +93,7 @@ pub struct Harness {
     cfg: ExperimentConfig,
     session: Session,
     cache: Vec<(RunSpec, Rc<EvolutionOutcome>)>,
+    front_cache: Vec<((DatasetKind, usize), Rc<Front>)>,
 }
 
 impl Harness {
@@ -101,6 +103,7 @@ impl Harness {
             cfg,
             session: Session::new(),
             cache: Vec::new(),
+            front_cache: Vec::new(),
         }
     }
 
@@ -140,9 +143,42 @@ impl Harness {
             .session
             .run(&job)
             .expect("paper suite applies to generated data");
-        let outcome = Rc::new(report.outcome.expect("harness jobs evolve"));
+        let outcome = Rc::new(report.outcome.into_scalar().expect("harness jobs evolve"));
         self.cache.push((spec, Rc::clone(&outcome)));
         outcome
+    }
+
+    /// Execute (or fetch) an NSGA-II sweep point: the paper-suite
+    /// population of `dataset` optimized for `generations` Pareto
+    /// generations. The job runs through the shared [`Session`], so the
+    /// dataset's evaluator preparation is amortized with the scalar runs.
+    pub fn run_front(&mut self, dataset: DatasetKind, generations: usize) -> Rc<Front> {
+        let key = (dataset, generations);
+        if let Some((_, cached)) = self.front_cache.iter().find(|(k, _)| *k == key) {
+            return Rc::clone(cached);
+        }
+        let mut builder = ProtectionJob::builder()
+            .dataset(dataset)
+            .suite_paper()
+            .nsga()
+            .iterations(generations)
+            .seed(self.cfg.seed);
+        if let Some(n) = self.cfg.records {
+            builder = builder.records(n);
+        }
+        let job = builder.build().expect("experiment specs are valid jobs");
+        let report = self
+            .session
+            .run(&job)
+            .expect("paper suite applies to generated data");
+        let front = Rc::new(
+            report
+                .outcome
+                .into_front()
+                .expect("nsga jobs produce fronts"),
+        );
+        self.front_cache.push((key, Rc::clone(&front)));
+        front
     }
 
     /// Emit one paper figure: CSV + ASCII plot under `out_dir`.
@@ -322,6 +358,25 @@ mod tests {
             drop_fraction: 0.0,
         });
         assert_eq!(h.session().preparations(), 2);
+    }
+
+    #[test]
+    fn nsga_sweep_points_share_the_scalar_preparation() {
+        let mut h = tiny();
+        h.run(RunSpec {
+            dataset: DatasetKind::German,
+            aggregator: ScoreAggregator::Max,
+            drop_fraction: 0.0,
+        });
+        assert_eq!(h.session().preparations(), 1);
+        // the nsga contender on the same dataset reuses the preparation …
+        let front = h.run_front(DatasetKind::German, 2);
+        assert_eq!(h.session().preparations(), 1, "nsga shares the session");
+        assert!(!front.points.is_empty());
+        assert_eq!(front.generations_run(), 2);
+        // … and the front cache dedupes repeated sweep points
+        let again = h.run_front(DatasetKind::German, 2);
+        assert!(Rc::ptr_eq(&front, &again), "same spec must not re-run");
     }
 
     #[test]

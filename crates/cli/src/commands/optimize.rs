@@ -1,16 +1,15 @@
 //! `cdp optimize` — run the evolutionary optimizer (scalar fitness,
-//! Algorithm 1 of the paper) or the NSGA-II extension over a population of
-//! protections, writing figure-ready CSVs.
+//! Algorithm 1 of the paper) or NSGA-II over a population of protections,
+//! writing figure-ready CSVs.
 //!
-//! Flags deserialize into one [`cdp::pipeline::ProtectionJob`]; the scalar
-//! path is exactly [`Session::run`], so the CLI and the library cannot
-//! drift.
+//! Flags deserialize into one [`cdp::pipeline::ProtectionJob`] carrying
+//! its [`cdp::pipeline::OptimizerMode`]; both modes run through
+//! [`Session::run_with`], so the CLI and the library cannot drift.
 
 use std::io::Write;
 use std::path::Path;
 
-use cdp::pipeline::{JobEvent, ProtectionJob, Session};
-use cdp_core::nsga::{Nsga2, NsgaConfig};
+use cdp::pipeline::{JobEvent, OptimizerMode, ProtectionJob, Session};
 use cdp_core::ScatterPoint;
 use cdp_dataset::io::write_table_path;
 
@@ -18,7 +17,7 @@ use crate::args::Args;
 use crate::commands::generate::dataset_kind;
 use crate::data::{load_table_with, resolve_attrs};
 use crate::error::{CliError, Result};
-use crate::spec::{parse_fitness, parse_method, parse_suite, JobSpec};
+use crate::spec::{parse_fitness, parse_method, parse_mode, parse_suite, JobSpec, SpecMode};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -33,14 +32,18 @@ cdp optimize (--dataset <name> | --input <file.csv> | --job <spec>) --out <dir>
              [--fitness <mean|max>]      scalar aggregator (default max)
              [--iters <n>]               iterations/generations (default 300)
              [--drop <fraction>]         drop best initial fraction (scalar)
+             [--offspring <n>]           offspring per generation (nsga; 0 = pop size)
+             [--xprob <p>]               crossover probability (nsga; default 0.5)
              [--seed <u64>]
 
 Scalar mode writes evolution.csv, scatter.csv and best.csv into --out;
-NSGA-II mode writes front.csv and hypervolume.csv.
+NSGA-II mode writes front.csv, hypervolume.csv and best.csv (the front's
+knee point).
 
 --job takes one quoted key=value job spec — exactly the `job:` line a
 dataset-mode run echoes — so any run can be reproduced verbatim:
-  cdp optimize --job 'dataset=adult suite=paper fitness=max iters=300 seed=7' --out dir";
+  cdp optimize --job 'dataset=adult suite=paper fitness=max iters=300 seed=7' --out dir
+  cdp optimize --job 'dataset=german suite=small mode=nsga gens=200 seed=7' --out dir";
 
 /// Default initial-population recipe for `--input` mode.
 const DEFAULT_METHODS: &str =
@@ -49,20 +52,50 @@ const DEFAULT_METHODS: &str =
 /// Run the command.
 pub fn run(args: &Args) -> Result<()> {
     args.expect_only(&[
-        "dataset", "input", "job", "out", "attrs", "methods", "copies", "suite", "records", "mode",
-        "fitness", "iters", "drop", "seed", "schema",
+        "dataset",
+        "input",
+        "job",
+        "out",
+        "attrs",
+        "methods",
+        "copies",
+        "suite",
+        "records",
+        "mode",
+        "fitness",
+        "iters",
+        "drop",
+        "offspring",
+        "xprob",
+        "seed",
+        "schema",
     ])?;
     let out_dir = Path::new(args.require("out")?);
     std::fs::create_dir_all(out_dir)?;
 
     let job = job_from_args(args)?;
-    match args.get("mode").unwrap_or("scalar") {
-        "scalar" => run_scalar(&job, out_dir),
-        "nsga" => run_nsga(&job, out_dir),
-        other => Err(CliError::Usage(format!(
-            "unknown mode `{other}` (scalar, nsga)"
-        ))),
+    match job.optimizer() {
+        OptimizerMode::Scalar(_) => run_scalar(&job, out_dir),
+        OptimizerMode::Nsga(_) => run_nsga(&job, out_dir),
     }
+}
+
+/// Reject flags that do not apply under the selected optimizer mode, with
+/// the right mode named.
+fn reject_cross_mode_flags(args: &Args, mode: SpecMode) -> Result<()> {
+    let (wrong, hint) = match mode {
+        SpecMode::Scalar => (["offspring", "xprob"].as_slice(), "--mode nsga"),
+        SpecMode::Nsga => (["fitness", "drop"].as_slice(), "the (default) scalar mode"),
+    };
+    for flag in wrong {
+        if args.get(flag).is_some() {
+            return Err(CliError::Usage(format!(
+                "--{flag} applies to {hint}, not --mode {}",
+                mode.name()
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Deserialize the flags into one [`ProtectionJob`].
@@ -74,8 +107,18 @@ fn job_from_args(args: &Args) -> Result<ProtectionJob> {
                 "--job replaces --dataset/--input; pass one source only".into(),
             ));
         }
+        if args.get("mode").is_some() {
+            return Err(CliError::Usage(
+                "the optimizer mode is part of the --job spec (mode=nsga); drop --mode".into(),
+            ));
+        }
         return JobSpec::parse(text)?.to_job();
     }
+    let mode = match args.get("mode") {
+        Some(value) => parse_mode(value)?,
+        None => SpecMode::Scalar,
+    };
+    reject_cross_mode_flags(args, mode)?;
     match (args.get("dataset"), args.get("input")) {
         (Some(_), Some(_)) => Err(CliError::Usage(
             "--dataset and --input are mutually exclusive".into(),
@@ -87,18 +130,30 @@ fn job_from_args(args: &Args) -> Result<ProtectionJob> {
             // dataset mode: the flags map 1:1 onto the CLI job-spec fields
             let mut spec = JobSpec {
                 dataset: dataset_kind(name)?,
+                mode,
                 ..JobSpec::default()
             };
             spec.records = args.get_parse("records")?;
             if let Some(value) = args.get("suite") {
                 spec.suite = parse_suite(value)?;
             }
-            if let Some(value) = args.get("fitness") {
-                spec.fitness = parse_fitness(value)?;
-            }
-            spec.iters = args.get_or("iters", spec.iters)?;
             spec.seed = args.get_or("seed", spec.seed)?;
-            spec.drop = args.get_or("drop", spec.drop)?;
+            match mode {
+                SpecMode::Scalar => {
+                    if let Some(value) = args.get("fitness") {
+                        spec.fitness = parse_fitness(value)?;
+                    }
+                    spec.iters = args.get_or("iters", spec.iters)?;
+                    spec.drop = args.get_or("drop", spec.drop)?;
+                }
+                SpecMode::Nsga => {
+                    // --iters doubles as the generation count, keeping the
+                    // historical flag spelling
+                    spec.gens = args.get_or("iters", spec.gens)?;
+                    spec.offspring = args.get_or("offspring", spec.offspring)?;
+                    spec.xprob = args.get_or("xprob", spec.xprob)?;
+                }
+            }
             spec.to_job()
         }
         (None, Some(path)) => {
@@ -123,12 +178,25 @@ fn job_from_args(args: &Args) -> Result<ProtectionJob> {
                 .methods(methods)
                 .copies(copies)
                 .iterations(args.get_or("iters", 300)?)
-                .drop_best_fraction(args.get_or("drop", 0.0)?)
                 .seed(args.get_or("seed", 42)?);
-            if let Some(value) = args.get("fitness") {
-                builder = builder.aggregator(parse_fitness(value)?);
-            } else {
-                builder = builder.aggregator(cdp_metrics::ScoreAggregator::Max);
+            match mode {
+                SpecMode::Scalar => {
+                    builder = builder.drop_best_fraction(args.get_or("drop", 0.0)?);
+                    if let Some(value) = args.get("fitness") {
+                        builder = builder.aggregator(parse_fitness(value)?);
+                    } else {
+                        builder = builder.aggregator(cdp_metrics::ScoreAggregator::Max);
+                    }
+                }
+                SpecMode::Nsga => {
+                    builder = builder.nsga();
+                    if let Some(n) = args.get_parse::<usize>("offspring")? {
+                        builder = builder.offspring(n);
+                    }
+                    if let Some(p) = args.get_parse::<f64>("xprob")? {
+                        builder = builder.crossover_prob(p);
+                    }
+                }
             }
             Ok(builder.build()?)
         }
@@ -160,7 +228,7 @@ fn run_scalar(job: &ProtectionJob, out_dir: &Path) -> Result<()> {
         ),
         _ => {}
     })?;
-    let outcome = report.outcome.as_ref().expect("iterations >= 1 evolves");
+    let outcome = report.scalar_outcome().expect("iterations >= 1 evolves");
 
     // evolution.csv: the paper's max/mean/min series
     let mut evolution = std::fs::File::create(out_dir.join("evolution.csv"))?;
@@ -203,50 +271,48 @@ fn run_scalar(job: &ProtectionJob, out_dir: &Path) -> Result<()> {
 }
 
 fn run_nsga(job: &ProtectionJob, out_dir: &Path) -> Result<()> {
-    // NSGA-II is not (yet) a pipeline stage, but it optimizes the exact
-    // problem the job describes: same source, same population, same
-    // prepared evaluator.
-    let src = job.resolve_source()?;
-    let population = job.seed_population(&src)?;
-    let mut session = Session::new();
-    let (evaluator, _) = session.evaluator_for(&src.original(), job.metrics())?;
-    println!(
-        "optimizing {} protections of {} records x {} attributes ({} generations)",
-        population.len(),
-        src.table.n_rows(),
-        src.protected.len(),
-        job.iterations()
-    );
-    let config = NsgaConfig {
-        generations: job.iterations(),
-        seed: job.seed(),
-        ..NsgaConfig::default()
-    };
-    let outcome = Nsga2::new(evaluator, config)
-        .with_named_population(population)?
-        .run();
-
-    let mut front = std::fs::File::create(out_dir.join("front.csv"))?;
-    writeln!(front, "phase,name,il,dr,score")?;
-    write_points(&mut front, "initial", &outcome.initial_front)?;
-    write_points(&mut front, "final", &outcome.front)?;
-    write_points(&mut front, "archive", &outcome.archive_front)?;
-
-    let mut hv = std::fs::File::create(out_dir.join("hypervolume.csv"))?;
-    writeln!(hv, "generation,hypervolume")?;
-    for (generation, value) in outcome.hypervolume_series.iter().enumerate() {
-        writeln!(hv, "{generation},{value:.4}")?;
+    // NSGA-II is a first-class job mode: the run goes through the same
+    // Session engine as the scalar path, artifact emission lives on the
+    // report's `Front`.
+    if let Ok(spec) = JobSpec::from_job(job) {
+        println!("job: {}", spec.to_spec_string());
     }
+    let mut session = Session::new();
+    let mut dims = (0usize, 0usize);
+    let report = session.run_with(job, |event| match event {
+        JobEvent::SourceReady {
+            rows, protected, ..
+        } => dims = (*rows, *protected),
+        JobEvent::PopulationReady { size } => println!(
+            "optimizing {size} protections of {} records x {} attributes ({} generations)",
+            dims.0,
+            dims.1,
+            job.iterations()
+        ),
+        _ => {}
+    })?;
+    let front = report.front().expect("nsga jobs produce a front");
+
+    front.write_front_csv(std::fs::File::create(out_dir.join("front.csv"))?)?;
+    front.write_hypervolume_csv(std::fs::File::create(out_dir.join("hypervolume.csv"))?)?;
+    // best.csv: the knee point of the front, substituted into the full table
+    write_table_path(&report.published_best()?, out_dir.join("best.csv"))?;
 
     println!(
         "front size {} -> {} (archive {}), hypervolume {:.0} -> {:.0}, {} evaluations, files in {}",
-        outcome.initial_front.len(),
-        outcome.front.len(),
-        outcome.archive_front.len(),
-        outcome.hypervolume_series.first().copied().unwrap_or(0.0),
-        outcome.hypervolume_series.last().copied().unwrap_or(0.0),
-        outcome.evaluations,
+        front.initial.len(),
+        front.points.len(),
+        front.archive.len(),
+        front.initial_hypervolume(),
+        front.final_hypervolume(),
+        front.evaluations,
         out_dir.display()
+    );
+    println!(
+        "knee point `{}` (IL {:.2}, DR {:.2}) written to best.csv",
+        report.best.name,
+        report.best.assessment.il(),
+        report.best.assessment.dr()
     );
     Ok(())
 }
@@ -398,6 +464,98 @@ mod tests {
         assert!(front.contains("final,"));
         let hv = std::fs::read_to_string(dir.join("hypervolume.csv")).unwrap();
         assert_eq!(hv.lines().count(), 7); // header + initial + 5 generations
+    }
+
+    #[test]
+    fn dataset_nsga_mode_writes_front_and_knee_point() {
+        let out = tmp_dir("nsga_ds");
+        run(&args(&[
+            "--dataset",
+            "german",
+            "--records",
+            "60",
+            "--mode",
+            "nsga",
+            "--iters",
+            "4",
+            "--seed",
+            "6",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let front = std::fs::read_to_string(out.join("front.csv")).unwrap();
+        assert!(front.starts_with("phase,name,il,dr,score"));
+        for phase in ["initial,", "final,", "archive,"] {
+            assert!(front.contains(phase), "missing {phase} rows");
+        }
+        let hv = std::fs::read_to_string(out.join("hypervolume.csv")).unwrap();
+        assert_eq!(hv.lines().count(), 6); // header + initial + 4 generations
+        let best = std::fs::read_to_string(out.join("best.csv")).unwrap();
+        assert_eq!(best.lines().count(), 61); // header + 60 records
+    }
+
+    #[test]
+    fn nsga_job_spec_reruns_identically() {
+        // the echoed `job:` line is re-runnable and reproduces the artifacts
+        let out = tmp_dir("nsga_spec_a");
+        let out2 = tmp_dir("nsga_spec_b");
+        run(&args(&[
+            "--dataset",
+            "flare",
+            "--records",
+            "60",
+            "--mode",
+            "nsga",
+            "--iters",
+            "3",
+            "--seed",
+            "9",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "--job",
+            "dataset=flare suite=small mode=nsga gens=3 seed=9 records=60",
+            "--out",
+            out2.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for file in ["front.csv", "hypervolume.csv", "best.csv"] {
+            assert_eq!(
+                std::fs::read_to_string(out.join(file)).unwrap(),
+                std::fs::read_to_string(out2.join(file)).unwrap(),
+                "{file} must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_mode_flags_rejected_with_mode_named() {
+        let out = tmp_dir("cross");
+        for (flags, needle) in [
+            (vec!["--mode", "nsga", "--fitness", "max"], "--fitness"),
+            (vec!["--mode", "nsga", "--drop", "0.05"], "--drop"),
+            (vec!["--offspring", "4"], "--offspring"),
+            (vec!["--xprob", "0.7"], "--xprob"),
+        ] {
+            let mut tokens = vec!["--dataset", "adult", "--out", out.to_str().unwrap()];
+            tokens.extend(flags);
+            let err = run(&args(&tokens)).unwrap_err();
+            assert!(err.to_string().contains(needle), "{needle}: {err}");
+        }
+        // --mode belongs inside a --job spec
+        let err = run(&args(&[
+            "--job",
+            "dataset=adult",
+            "--mode",
+            "nsga",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--job spec"));
     }
 
     #[test]

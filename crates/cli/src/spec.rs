@@ -7,7 +7,8 @@
 //!   [`cdp::pipeline::ProtectionJob`], and serializes one back, so CLI
 //!   jobs and library jobs cannot drift.
 
-use cdp::pipeline::{DataSource, PopulationSpec, ProtectionJob, SuiteKind};
+use cdp::pipeline::{DataSource, OptimizerMode, PopulationSpec, ProtectionJob, SuiteKind};
+use cdp_core::NsgaConfig;
 use cdp_dataset::generators::DatasetKind;
 use cdp_metrics::ScoreAggregator;
 use cdp_sdc::{
@@ -19,16 +20,42 @@ use crate::commands::generate::dataset_kind;
 use crate::error::{CliError, Result};
 
 /// Grammar accepted by [`JobSpec::parse`]: whitespace-separated
-/// `key=value` tokens, order-insensitive.
+/// `key=value` tokens, order-insensitive. Scalar-only keys under
+/// `mode=nsga` (and vice versa) are rejected with the offending key named.
 pub const JOB_GRAMMAR: &str = "\
   dataset=<adult|housing|german|flare>   evaluation dataset (required)
   records=<n>                            record-count override
   suite=<small|paper>                    initial population sweep
+  mode=<scalar|nsga>                     optimizer (default scalar)
+  seed=<u64>                             master seed
+  audit=<true|false>                     privacy-audit the winner
+  -- scalar mode only --
   fitness=<mean|max>                     scalar aggregator
   iters=<n>                              evolution budget (0 = mask only)
-  seed=<u64>                             master seed
   drop=<fraction>                        drop best initial fraction (§3.3)
-  audit=<true|false>                     privacy-audit the winner";
+  -- nsga mode only --
+  gens=<n>                               NSGA-II generations
+  offspring=<n>                          offspring per generation (0 = population size)
+  xprob=<p>                              crossover probability";
+
+/// The optimizer selector of the job grammar (`mode=` key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecMode {
+    /// The paper's scalar algorithm (default).
+    Scalar,
+    /// NSGA-II over Pareto dominance.
+    Nsga,
+}
+
+impl SpecMode {
+    /// The CLI spelling (`scalar` / `nsga`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecMode::Scalar => "scalar",
+            SpecMode::Nsga => "nsga",
+        }
+    }
+}
 
 /// A `cdp optimize` dataset-mode invocation as data: the textual job
 /// format the CLI exchanges with [`ProtectionJob`].
@@ -40,13 +67,22 @@ pub struct JobSpec {
     pub records: Option<usize>,
     /// Initial population sweep.
     pub suite: SuiteKind,
+    /// Which optimizer drives the run.
+    pub mode: SpecMode,
     /// Scalar fitness aggregator.
     pub fitness: ScoreAggregator,
-    /// Evolution budget (0 = mask and score only).
+    /// Scalar evolution budget (0 = mask and score only).
     pub iters: usize,
+    /// NSGA-II generations.
+    pub gens: usize,
+    /// NSGA-II offspring per generation (0 = population size).
+    pub offspring: usize,
+    /// NSGA-II crossover probability.
+    pub xprob: f64,
     /// Master seed.
     pub seed: u64,
-    /// Fraction of best initial protections dropped before evolving.
+    /// Fraction of best initial protections dropped before evolving
+    /// (scalar).
     pub drop: f64,
     /// Whether to privacy-audit the winner.
     pub audit: bool,
@@ -54,12 +90,19 @@ pub struct JobSpec {
 
 impl Default for JobSpec {
     fn default() -> Self {
+        let nsga = NsgaConfig::default();
         JobSpec {
             dataset: DatasetKind::Adult,
             records: None,
             suite: SuiteKind::Small,
+            mode: SpecMode::Scalar,
             fitness: ScoreAggregator::Max,
             iters: 300,
+            // match the scalar `iters` default, so a budget-less CLI run
+            // spends the same 300 steps in either mode
+            gens: 300,
+            offspring: nsga.offspring,
+            xprob: nsga.crossover_prob,
             seed: 42,
             drop: 0.0,
             audit: false,
@@ -70,12 +113,18 @@ impl Default for JobSpec {
 impl JobSpec {
     /// Parse the `key=value` grammar.
     ///
+    /// Mode consistency is validated after all tokens are read (the
+    /// grammar is order-insensitive, so `mode=` may come last): scalar-only
+    /// keys under `mode=nsga` — and nsga-only keys under the (default)
+    /// scalar mode — are usage errors naming the offending key.
+    ///
     /// # Errors
     /// [`CliError::Usage`] with the offending token and the grammar.
     pub fn parse(text: &str) -> Result<JobSpec> {
         let bad = |msg: String| CliError::Usage(format!("{msg}\njob spec keys:\n{JOB_GRAMMAR}"));
         let mut spec = JobSpec::default();
         let mut saw_dataset = false;
+        let mut seen: Vec<&str> = Vec::new();
         for token in text.split_whitespace() {
             let (key, value) = token
                 .split_once('=')
@@ -95,13 +144,36 @@ impl JobSpec {
                 "suite" => {
                     spec.suite = parse_suite(value)?;
                 }
+                "mode" => {
+                    spec.mode = parse_mode(value)?;
+                }
                 "fitness" => {
                     spec.fitness = parse_fitness(value)?;
+                    seen.push("fitness");
                 }
                 "iters" => {
                     spec.iters = value
                         .parse()
                         .map_err(|_| bad(format!("iters: bad count `{value}`")))?;
+                    seen.push("iters");
+                }
+                "gens" => {
+                    spec.gens = value
+                        .parse()
+                        .map_err(|_| bad(format!("gens: bad count `{value}`")))?;
+                    seen.push("gens");
+                }
+                "offspring" => {
+                    spec.offspring = value
+                        .parse()
+                        .map_err(|_| bad(format!("offspring: bad count `{value}`")))?;
+                    seen.push("offspring");
+                }
+                "xprob" => {
+                    spec.xprob = value
+                        .parse()
+                        .map_err(|_| bad(format!("xprob: bad probability `{value}`")))?;
+                    seen.push("xprob");
                 }
                 "seed" => {
                     spec.seed = value
@@ -112,6 +184,7 @@ impl JobSpec {
                     spec.drop = value
                         .parse()
                         .map_err(|_| bad(format!("drop: bad fraction `{value}`")))?;
+                    seen.push("drop");
                 }
                 "audit" => {
                     spec.audit = value
@@ -124,25 +197,57 @@ impl JobSpec {
         if !saw_dataset {
             return Err(bad("a dataset= key is required".into()));
         }
+        let (wrong, right_mode) = match spec.mode {
+            SpecMode::Scalar => (["gens", "offspring", "xprob"], "mode=nsga"),
+            SpecMode::Nsga => (["fitness", "iters", "drop"], "the (default) scalar mode"),
+        };
+        if let Some(key) = seen.iter().find(|k| wrong.contains(k)) {
+            return Err(bad(format!(
+                "`{key}` applies to {right_mode} (this spec runs {})",
+                spec.mode.name()
+            )));
+        }
         Ok(spec)
     }
 
-    /// Canonical serialization: every key, fixed order, re-parses to an
-    /// equal spec.
+    /// Canonical serialization: fixed order, mode-appropriate keys only,
+    /// re-parses to an equal spec (`parse ∘ to_spec_string = id`).
     pub fn to_spec_string(&self) -> String {
-        let mut out = format!(
-            "dataset={} suite={} fitness={} iters={} seed={}",
-            self.dataset.name().to_ascii_lowercase(),
-            self.suite.name(),
-            self.fitness.name(),
-            self.iters,
-            self.seed,
-        );
+        let defaults = JobSpec::default();
+        let mut out = match self.mode {
+            SpecMode::Scalar => format!(
+                "dataset={} suite={} fitness={} iters={} seed={}",
+                self.dataset.name().to_ascii_lowercase(),
+                self.suite.name(),
+                self.fitness.name(),
+                self.iters,
+                self.seed,
+            ),
+            SpecMode::Nsga => format!(
+                "dataset={} suite={} mode=nsga gens={} seed={}",
+                self.dataset.name().to_ascii_lowercase(),
+                self.suite.name(),
+                self.gens,
+                self.seed,
+            ),
+        };
         if let Some(n) = self.records {
             out.push_str(&format!(" records={n}"));
         }
-        if self.drop > 0.0 {
-            out.push_str(&format!(" drop={}", self.drop));
+        match self.mode {
+            SpecMode::Scalar => {
+                if self.drop > 0.0 {
+                    out.push_str(&format!(" drop={}", self.drop));
+                }
+            }
+            SpecMode::Nsga => {
+                if self.offspring != defaults.offspring {
+                    out.push_str(&format!(" offspring={}", self.offspring));
+                }
+                if self.xprob != defaults.xprob {
+                    out.push_str(&format!(" xprob={}", self.xprob));
+                }
+            }
         }
         if self.audit {
             out.push_str(" audit=true");
@@ -158,10 +263,18 @@ impl JobSpec {
         let mut builder = ProtectionJob::builder()
             .dataset(self.dataset)
             .suite_kind(self.suite)
-            .aggregator(self.fitness)
-            .iterations(self.iters)
-            .drop_best_fraction(self.drop)
             .seed(self.seed);
+        builder = match self.mode {
+            SpecMode::Scalar => builder
+                .aggregator(self.fitness)
+                .iterations(self.iters)
+                .drop_best_fraction(self.drop),
+            SpecMode::Nsga => builder
+                .nsga()
+                .iterations(self.gens)
+                .offspring(self.offspring)
+                .crossover_prob(self.xprob),
+        };
         if let Some(n) = self.records {
             builder = builder.records(n);
         }
@@ -173,8 +286,9 @@ impl JobSpec {
 
     /// Recover the spec from a [`ProtectionJob`], when the job is
     /// expressible in the CLI grammar (generated source, suite
-    /// population, default knobs). The exact inverse of
-    /// [`JobSpec::to_job`]: `from_job(spec.to_job()?) == spec`.
+    /// population, default knobs) — both optimizer modes round-trip. The
+    /// exact inverse of [`JobSpec::to_job`]:
+    /// `from_job(spec.to_job()?) == spec`.
     ///
     /// # Errors
     /// [`CliError::Usage`] for jobs carrying values the textual format
@@ -214,25 +328,54 @@ impl JobSpec {
         if job.metrics() != cdp_metrics::MetricConfig::default() {
             return Err(unrepresentable("a non-default metric configuration"));
         }
-        // the grammar only carries fitness/iters/seed; every other
-        // evolution knob must sit at its default
-        let mut expected = cdp_core::EvoConfig::default();
-        expected.aggregator = job.evo_config().aggregator;
-        expected.seed = job.seed();
-        expected.stop.max_iterations = job.iterations().max(1);
-        if job.evo_config() != expected {
-            return Err(unrepresentable("a non-default evolution knob"));
-        }
-        Ok(JobSpec {
+        let mut spec = JobSpec {
             dataset,
             records,
             suite,
-            fitness: job.evo_config().aggregator,
-            iters: job.iterations(),
             seed: job.seed(),
-            drop: job.drop_fraction(),
             audit: job.audit_spec().is_some(),
-        })
+            ..JobSpec::default()
+        };
+        match job.optimizer() {
+            OptimizerMode::Scalar(evo) => {
+                // the grammar only carries fitness/iters/drop/seed; every
+                // other evolution knob must sit at its default
+                let mut expected = cdp_core::EvoConfig {
+                    aggregator: evo.aggregator,
+                    seed: job.seed(),
+                    ..cdp_core::EvoConfig::default()
+                };
+                expected.stop.max_iterations = job.iterations().max(1);
+                if evo != expected {
+                    return Err(unrepresentable("a non-default evolution knob"));
+                }
+                spec.mode = SpecMode::Scalar;
+                spec.fitness = evo.aggregator;
+                spec.iters = job.iterations();
+                spec.drop = job.drop_fraction();
+            }
+            OptimizerMode::Nsga(cfg) => {
+                if !cfg.parallel_init {
+                    return Err(unrepresentable("a parallel_init override"));
+                }
+                spec.mode = SpecMode::Nsga;
+                spec.gens = cfg.generations;
+                spec.offspring = cfg.offspring;
+                spec.xprob = cfg.crossover_prob;
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// Parse a `--mode` / `mode=` value.
+pub fn parse_mode(value: &str) -> Result<SpecMode> {
+    match value {
+        "scalar" => Ok(SpecMode::Scalar),
+        "nsga" => Ok(SpecMode::Nsga),
+        other => Err(CliError::Usage(format!(
+            "unknown mode `{other}` (scalar, nsga)"
+        ))),
     }
 }
 
@@ -398,12 +541,15 @@ mod tests {
     #[test]
     fn job_spec_round_trips_through_protection_job() {
         // spec text -> JobSpec -> ProtectionJob -> JobSpec -> spec text:
-        // CLI jobs and library jobs cannot drift
+        // CLI jobs and library jobs cannot drift — in either mode
         for text in [
             "dataset=adult suite=small fitness=max iters=300 seed=42",
             "dataset=flare suite=paper fitness=mean iters=250 seed=7 records=120 drop=0.05",
             "dataset=german suite=small fitness=max iters=0 seed=1 audit=true",
             "dataset=housing suite=paper fitness=max iters=10 seed=3 records=80 drop=0.1 audit=true",
+            "dataset=adult suite=small mode=nsga gens=100 seed=42",
+            "dataset=german suite=paper mode=nsga gens=25 seed=9 records=100 offspring=6",
+            "dataset=flare suite=small mode=nsga gens=12 seed=3 xprob=0.8 audit=true",
         ] {
             let spec = JobSpec::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
             let job = spec.to_job().unwrap_or_else(|e| panic!("{text}: {e}"));
@@ -412,6 +558,32 @@ mod tests {
             assert_eq!(spec.to_spec_string(), back.to_spec_string());
             // the canonical string re-parses to the same spec
             assert_eq!(JobSpec::parse(&spec.to_spec_string()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn cross_mode_keys_are_rejected_with_the_key_named() {
+        // scalar-only keys under mode=nsga …
+        for (text, key) in [
+            ("dataset=adult mode=nsga fitness=max", "fitness"),
+            ("dataset=adult mode=nsga iters=10", "iters"),
+            ("dataset=adult mode=nsga drop=0.05", "drop"),
+            // … and mode= may come after the offending key
+            ("dataset=adult iters=10 mode=nsga", "iters"),
+        ] {
+            let err = JobSpec::parse(text).unwrap_err().to_string();
+            assert!(err.contains(&format!("`{key}`")), "{text}: {err}");
+            assert!(err.contains("scalar"), "{text}: {err}");
+        }
+        // nsga-only keys under the default scalar mode
+        for (text, key) in [
+            ("dataset=adult gens=10", "gens"),
+            ("dataset=adult offspring=4", "offspring"),
+            ("dataset=adult mode=scalar xprob=0.5", "xprob"),
+        ] {
+            let err = JobSpec::parse(text).unwrap_err().to_string();
+            assert!(err.contains(&format!("`{key}`")), "{text}: {err}");
+            assert!(err.contains("mode=nsga"), "{text}: {err}");
         }
     }
 
@@ -427,18 +599,82 @@ mod tests {
     #[test]
     fn job_spec_rejects_malformed_input() {
         for text in [
-            "",                          // dataset missing
-            "dataset=iris",              // unknown dataset
-            "dataset=adult suite=huge",  // unknown suite
-            "dataset=adult fitness=min", // unknown fitness
-            "dataset=adult iters=many",  // bad number
-            "dataset=adult audit=yes",   // bad bool
-            "dataset=adult unknown=1",   // unknown key
-            "dataset=adult records",     // not key=value
-            "dataset=adult drop=1.5",    // builder rejects the fraction
+            "",                                // dataset missing
+            "dataset=iris",                    // unknown dataset
+            "dataset=adult suite=huge",        // unknown suite
+            "dataset=adult fitness=min",       // unknown fitness
+            "dataset=adult iters=many",        // bad number
+            "dataset=adult audit=yes",         // bad bool
+            "dataset=adult unknown=1",         // unknown key
+            "dataset=adult records",           // not key=value
+            "dataset=adult drop=1.5",          // builder rejects the fraction
+            "dataset=adult mode=annealing",    // unknown mode
+            "dataset=adult mode=nsga gens=x",  // bad count
+            "dataset=adult mode=nsga gens=0",  // builder rejects 0 generations
+            "dataset=adult mode=nsga xprob=2", // builder rejects the probability
         ] {
             let result = JobSpec::parse(text).and_then(|s| s.to_job().map(|_| ()));
             assert!(result.is_err(), "`{text}` should be rejected");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(96))]
+
+        /// parse ∘ to_spec_string = id, and from_job ∘ to_job = id, over
+        /// randomly drawn specs of *both* optimizer modes.
+        #[test]
+        fn job_spec_grammar_round_trips_both_modes(
+            dataset_i in 0usize..4,
+            records_set in proptest::prelude::any::<bool>(),
+            records_n in 30usize..200,
+            paper_suite in proptest::prelude::any::<bool>(),
+            nsga_mode in proptest::prelude::any::<bool>(),
+            mean_fitness in proptest::prelude::any::<bool>(),
+            iters in 0usize..400,
+            gens in 1usize..200,
+            offspring in 0usize..40,
+            xprob_pct in 0u8..=100,
+            seed in proptest::prelude::any::<u64>(),
+            drop_20th in 0u8..20,
+            audit in proptest::prelude::any::<bool>(),
+        ) {
+            let mut spec = JobSpec {
+                dataset: [
+                    DatasetKind::Adult,
+                    DatasetKind::Housing,
+                    DatasetKind::German,
+                    DatasetKind::Flare,
+                ][dataset_i],
+                records: records_set.then_some(records_n),
+                suite: if paper_suite { SuiteKind::Paper } else { SuiteKind::Small },
+                seed,
+                audit,
+                ..JobSpec::default()
+            };
+            if nsga_mode {
+                spec.mode = SpecMode::Nsga;
+                spec.gens = gens;
+                spec.offspring = offspring;
+                spec.xprob = f64::from(xprob_pct) / 100.0;
+            } else {
+                spec.fitness = if mean_fitness {
+                    ScoreAggregator::Mean
+                } else {
+                    ScoreAggregator::Max
+                };
+                spec.iters = iters;
+                spec.drop = f64::from(drop_20th) / 20.0;
+            }
+            let text = spec.to_spec_string();
+            let reparsed = JobSpec::parse(&text)
+                .unwrap_or_else(|e| panic!("canonical `{text}` must parse: {e}"));
+            proptest::prop_assert_eq!(&reparsed, &spec, "parse ∘ render: {}", text);
+            let job = spec.to_job()
+                .unwrap_or_else(|e| panic!("canonical `{text}` must build: {e}"));
+            let back = JobSpec::from_job(&job)
+                .unwrap_or_else(|e| panic!("job from `{text}` must serialize: {e}"));
+            proptest::prop_assert_eq!(&back, &spec, "from_job ∘ to_job: {}", text);
         }
     }
 

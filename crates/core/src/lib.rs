@@ -61,7 +61,7 @@ pub use archive::ParetoArchive;
 pub use config::{EvoConfig, EvoConfigBuilder};
 pub use error::{EvoError, Result};
 pub use individual::Individual;
-pub use nsga::{Nsga2, NsgaConfig, NsgaOutcome};
+pub use nsga::{FrontStats, Nsga2, NsgaConfig, NsgaOutcome};
 pub use operators::OperatorKind;
 pub use parallel::evaluate_all;
 pub use population::Population;

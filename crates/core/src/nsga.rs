@@ -28,7 +28,7 @@ use crate::telemetry::ScatterPoint;
 use crate::{EvoError, Result};
 
 /// Configuration of an NSGA-II run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NsgaConfig {
     /// Number of generations.
     pub generations: usize,
@@ -56,7 +56,12 @@ impl Default for NsgaConfig {
 }
 
 impl NsgaConfig {
-    fn validate(&self) -> Result<()> {
+    /// Validate ranges (at least one generation, crossover probability in
+    /// `[0,1]`).
+    ///
+    /// # Errors
+    /// [`EvoError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<()> {
         if self.generations == 0 {
             return Err(EvoError::InvalidConfig(
                 "NSGA-II needs at least one generation".into(),
@@ -165,17 +170,37 @@ pub fn hypervolume(points: &[(f64, f64)], reference: (f64, f64)) -> f64 {
     hv
 }
 
+/// Indices of a population's non-dominated members, IL-ascending.
+fn front_indices(pop: &[Individual]) -> Vec<usize> {
+    let objs: Vec<(f64, f64)> = pop.iter().map(|i| (i.il(), i.dr())).collect();
+    let fronts = non_dominated_sort(&objs);
+    let mut idx = fronts.into_iter().next().unwrap_or_default();
+    idx.sort_by(|&a, &b| objs[a].0.partial_cmp(&objs[b].0).expect("finite"));
+    idx
+}
+
 /// The non-dominated members of a population, as scatter points sorted by
 /// IL ascending.
 pub fn pareto_front_of(pop: &[Individual]) -> Vec<ScatterPoint> {
-    let objs: Vec<(f64, f64)> = pop.iter().map(|i| (i.il(), i.dr())).collect();
-    let fronts = non_dominated_sort(&objs);
-    let mut out: Vec<ScatterPoint> = fronts
-        .first()
-        .map(|f| f.iter().map(|&i| ScatterPoint::of(&pop[i])).collect())
-        .unwrap_or_default();
-    out.sort_by(|a, b| a.il.partial_cmp(&b.il).expect("finite"));
-    out
+    front_indices(pop)
+        .into_iter()
+        .map(|i| ScatterPoint::of(&pop[i]))
+        .collect()
+}
+
+/// Per-generation front progress, streamed to [`Nsga2::run_with`]
+/// observers (the multi-objective counterpart of
+/// [`crate::GenerationStats`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontStats {
+    /// Generation index, 1-based (aligned with
+    /// [`NsgaOutcome::hypervolume_series`], whose index 0 is the initial
+    /// population).
+    pub generation: usize,
+    /// Size of the population's non-dominated front after the generation.
+    pub front_size: usize,
+    /// Hypervolume of that front w.r.t. [`HV_REFERENCE`].
+    pub hypervolume: f64,
 }
 
 /// Result of an NSGA-II run.
@@ -183,6 +208,10 @@ pub fn pareto_front_of(pop: &[Individual]) -> Vec<ScatterPoint> {
 pub struct NsgaOutcome {
     /// Non-dominated front of the *final population*, IL-ascending.
     pub front: Vec<ScatterPoint>,
+    /// The front's members with their protected files, aligned with
+    /// [`NsgaOutcome::front`] (what a consumer publishes after picking a
+    /// trade-off point).
+    pub front_members: Vec<Individual>,
     /// Non-dominated front of the *initial population*.
     pub initial_front: Vec<ScatterPoint>,
     /// All-time front across every individual ever evaluated (monotone in
@@ -255,7 +284,17 @@ impl Nsga2 {
     ///
     /// # Panics
     /// Panics when no population was loaded (builder misuse).
-    pub fn run(mut self) -> NsgaOutcome {
+    pub fn run(self) -> NsgaOutcome {
+        self.run_with(|_| {})
+    }
+
+    /// Run to completion, streaming per-generation [`FrontStats`] to
+    /// `observer`. The observer draws nothing from the RNG stream: a run
+    /// with an observer is bit-identical to one without.
+    ///
+    /// # Panics
+    /// Panics when no population was loaded (builder misuse).
+    pub fn run_with<F: FnMut(&FrontStats)>(mut self, mut observer: F) -> NsgaOutcome {
         let mut pop = self
             .population
             .take()
@@ -318,13 +357,24 @@ impl Nsga2 {
                 pop.push(ind);
             }
             pop = environmental_selection(pop, n);
-            hv_series.push(front_hv(&pop));
+            let (front_size, hv) = front_metrics(&pop);
+            hv_series.push(hv);
+            observer(&FrontStats {
+                generation: gen + 1,
+                front_size,
+                hypervolume: hv,
+            });
         }
 
         let mut archive_front = archive.front();
         archive_front.sort_by(|a, b| a.il.partial_cmp(&b.il).expect("finite"));
+        let front_idx = front_indices(&pop);
         NsgaOutcome {
-            front: pareto_front_of(&pop),
+            front: front_idx
+                .iter()
+                .map(|&i| ScatterPoint::of(&pop[i]))
+                .collect(),
+            front_members: front_idx.into_iter().map(|i| pop[i].clone()).collect(),
             initial_front,
             archive_front,
             hypervolume_series: hv_series,
@@ -334,8 +384,13 @@ impl Nsga2 {
 }
 
 fn front_hv(pop: &[Individual]) -> f64 {
+    front_metrics(pop).1
+}
+
+/// Size and hypervolume of a population's non-dominated front.
+fn front_metrics(pop: &[Individual]) -> (usize, f64) {
     let pts: Vec<(f64, f64)> = pareto_front_of(pop).iter().map(|p| (p.il, p.dr)).collect();
-    hypervolume(&pts, HV_REFERENCE)
+    (pts.len(), hypervolume(&pts, HV_REFERENCE))
 }
 
 fn rank_and_crowd(pop: &[Individual]) -> (Vec<usize>, Vec<f64>) {

@@ -99,7 +99,7 @@ fn main() {
         })
         .expect("job runs");
 
-    let outcome = report.outcome.as_ref().expect("evolved");
+    let outcome = report.scalar_outcome().expect("evolved");
     println!("final top five:");
     for ind in outcome.population.members().iter().take(5) {
         println!(

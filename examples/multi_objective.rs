@@ -6,15 +6,16 @@
 //! example gives all three contenders a comparable evaluation budget and
 //! compares the fronts they discover by 2-D hypervolume.
 //!
-//! The scalar contenders are [`ProtectionJob`]s sharing one [`Session`];
-//! NSGA-II reuses the same job's source and population via the job's
-//! resolution API, so all three contenders optimize the identical problem.
+//! Every contender is the *same* [`ProtectionJob`] builder chain — the
+//! scalar-vs-Pareto ablation is literally a one-flag flip (`.nsga()`) —
+//! and all three run through one [`Session`], so the original's measure
+//! statistics are prepared exactly once.
 //!
 //! ```sh
 //! cargo run --release --example multi_objective
 //! ```
 
-use cdp::core::nsga::{hypervolume, Nsga2, NsgaConfig, HV_REFERENCE};
+use cdp::core::nsga::{hypervolume, HV_REFERENCE};
 use cdp::core::ScatterPoint;
 use cdp::prelude::*;
 
@@ -38,15 +39,7 @@ fn main() {
             .build()
             .expect("valid job")
     };
-
-    // every contender optimizes this exact source + population
-    let src = job(ScoreAggregator::Max)
-        .resolve_source()
-        .expect("generated source");
-    let population = job(ScoreAggregator::Max)
-        .seed_population(&src)
-        .expect("sweep");
-    let pop_size = population.len();
+    let pop_size = SuiteConfig::small().total();
     println!(
         "dataset {} / population {} / scalar budget {} iterations",
         DatasetKind::German.name(),
@@ -61,7 +54,7 @@ fn main() {
     let mut initial_hv = 0.0;
     for aggregator in [ScoreAggregator::Mean, ScoreAggregator::Max] {
         let report = session.run(&job(aggregator)).expect("job runs");
-        let outcome = report.outcome.as_ref().expect("evolved");
+        let outcome = report.scalar_outcome().expect("evolved");
         initial_hv = hv(&outcome.initial);
         println!(
             "ga({:<4})         {:>4}   {:>10.0}",
@@ -71,42 +64,50 @@ fn main() {
         );
     }
 
-    // --- NSGA-II with a matched evaluation budget ---
+    // --- NSGA-II: the same job shape, one flag flipped, matched budget ---
     // a scalar run spends ~1.5 evaluations per iteration (1 for mutation
     // generations, 2 for crossover generations, both at rate 0.5)
     let generations = (iterations * 3 / 2 / pop_size).max(2);
-    let (evaluator, reused) = session
-        .evaluator_for(&src.original(), MetricConfig::default())
-        .expect("evaluator");
-    assert!(reused, "scalar jobs already prepared this original");
-    let outcome = Nsga2::new(
-        evaluator,
-        NsgaConfig {
-            generations,
-            seed: 3,
-            ..NsgaConfig::default()
-        },
-    )
-    .with_named_population(population)
-    .expect("compatible population")
-    .run();
+    let nsga_job = ProtectionJob::builder()
+        .dataset(DatasetKind::German)
+        .records(250)
+        .suite_small()
+        .nsga()
+        .iterations(generations)
+        .seed(3)
+        .build()
+        .expect("valid job");
+    let report = session.run(&nsga_job).expect("job runs");
+    assert!(
+        report.evaluator_reused,
+        "scalar jobs already prepared this original"
+    );
+    assert_eq!(session.preparations(), 1, "one original, one preparation");
+    let front = report.front().expect("nsga outcome");
     println!(
         "nsga2({:>2} gen)    {:>4}   {:>10.0}",
         generations,
-        outcome.archive_front.len(),
-        hv(&outcome.archive_front)
+        front.archive.len(),
+        hv(&front.archive)
     );
     println!("initial pop         -   {initial_hv:>10.0}");
 
     println!();
-    println!("NSGA-II front (IL ascending):");
-    for p in &outcome.front {
-        println!("  IL {:6.2}  DR {:6.2}   [{}]", p.il, p.dr, p.name);
+    println!("NSGA-II front (IL ascending, * = knee point):");
+    let knee = front.knee_index();
+    for (i, p) in front.points.iter().enumerate() {
+        println!(
+            "  {}IL {:6.2}  DR {:6.2}   [{}]",
+            if i == knee { "*" } else { " " },
+            p.il,
+            p.dr,
+            p.name
+        );
     }
     println!();
     println!(
         "hypervolume over generations: {:.0} -> {:.0}",
-        outcome.hypervolume_series.first().copied().unwrap_or(0.0),
-        outcome.hypervolume_series.last().copied().unwrap_or(0.0)
+        front.initial_hypervolume(),
+        front.final_hypervolume()
     );
 }

@@ -1,12 +1,13 @@
-//! Extension demo: the Pareto front of (IL, DR) pairs discovered during a
-//! run.
+//! Extension demo: the Pareto front of (IL, DR) trade-offs from one
+//! NSGA-II job, and publishing any point of it.
 //!
 //! The paper collapses both objectives into one score and §3.1 shows what
 //! is lost that way: unbalanced protections score as well as balanced
-//! ones. The `ParetoArchive` keeps every non-dominated pair seen across
-//! the whole run — initial protections, surviving offspring, and even
-//! offspring that lost their crowding duel — giving the analyst the whole
-//! trade-off curve to pick from. The [`JobReport`] carries the front.
+//! ones. Flipping a [`ProtectionJob`] into NSGA-II mode (`.nsga()`) turns
+//! the same mask→score→evolve workflow into a true multi-objective run:
+//! the report carries a [`Front`] whose every member keeps its protected
+//! file, so the analyst can publish the knee point (what
+//! [`JobReport::published_best`] does) *or* any other trade-off corner.
 //!
 //! ```sh
 //! cargo run --release --example pareto_front
@@ -19,36 +20,56 @@ fn main() {
         .dataset(DatasetKind::Housing)
         .records(300)
         .suite_small()
-        .aggregator(ScoreAggregator::Max)
-        .iterations(250)
+        .nsga()
+        .iterations(20)
         .seed(9)
         .build()
         .expect("valid job")
         .run()
         .expect("job runs");
-    let outcome = report.outcome.as_ref().expect("evolved");
+    let front = report.front().expect("nsga job");
 
     println!(
-        "Pareto front after {} iterations ({} non-dominated points):\n",
-        outcome.iterations_run,
-        outcome.pareto_front.len()
+        "Pareto front after {} generations ({} non-dominated points, \
+         hypervolume {:.0} -> {:.0}):\n",
+        front.generations_run(),
+        front.points.len(),
+        front.initial_hypervolume(),
+        front.final_hypervolume()
     );
     println!("{:>8} {:>8}   origin", "IL", "DR");
-    for p in &outcome.pareto_front {
-        println!("{:>8.2} {:>8.2}   {}", p.il, p.dr, p.name);
+    let knee = front.knee_index();
+    for (i, p) in front.points.iter().enumerate() {
+        println!(
+            "{:>8.2} {:>8.2}   {}{}",
+            p.il,
+            p.dr,
+            p.name,
+            if i == knee { "   <- knee point" } else { "" }
+        );
     }
 
-    // The scalar winner is on (or dominated-adjacent to) the front:
-    let best = &report.best;
+    // published_best() substitutes the knee point into the full table …
+    let published = report.published_best().expect("same shape");
     println!(
-        "\nscalar best under Eq. 2: `{}` (IL {:.2}, DR {:.2}, score {:.2})",
-        best.name,
-        best.assessment.il(),
-        best.assessment.dr(),
-        best.assessment.score(ScoreAggregator::Max)
+        "\nknee point `{}` published: {} records x {} attributes",
+        report.best.name,
+        published.n_rows(),
+        published.n_attrs()
+    );
+    // … but any front member is publishable: here, the lowest-DR corner
+    let safest = front.members.last().expect("non-empty front");
+    let alt = report.publish_member(safest).expect("same shape");
+    println!(
+        "lowest-DR corner `{}` (IL {:.2}, DR {:.2}) is equally publishable \
+         ({} records)",
+        safest.name,
+        safest.assessment.il(),
+        safest.assessment.dr(),
+        alt.n_rows()
     );
     println!(
-        "the front additionally exposes low-IL and low-DR corner options\n\
-         that a single aggregated score hides."
+        "\nthe front exposes low-IL and low-DR corner options that a \
+         single aggregated score hides."
     );
 }

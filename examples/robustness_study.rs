@@ -23,7 +23,7 @@ fn run(session: &mut Session, drop_fraction: f64) -> (usize, f64, f64) {
         .build()
         .expect("valid job");
     let report = session.run(&job).expect("job runs");
-    let outcome = report.outcome.as_ref().expect("evolved");
+    let outcome = report.scalar_outcome().expect("evolved");
     let s = outcome.summary();
     (outcome.population.len(), s.initial_min, s.final_min)
 }

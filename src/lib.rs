@@ -27,8 +27,10 @@
 //!   hierarchies).
 //! * [`pipeline`] — the unified job API: [`pipeline::ProtectionJob`] (one
 //!   declarative builder for the whole mask → score → evolve → audit
-//!   workflow), [`pipeline::Session`] (evaluator preparation amortized
-//!   across jobs), and [`pipeline::JobReport`].
+//!   workflow, scalar or NSGA-II via [`pipeline::OptimizerMode`]),
+//!   [`pipeline::Session`] (evaluator preparation amortized across jobs of
+//!   either mode), and [`pipeline::JobReport`] (mode-aware
+//!   [`pipeline::JobOutcome`]).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,39 @@
 //! assert!(summary.final_min <= summary.initial_min);
 //! assert!(report.privacy.as_ref().expect("audited").k_anonymity.k >= 1);
 //! assert_eq!(report.published_best().unwrap().n_rows(), 120);
+//! ```
+//!
+//! ## Multi-objective mode
+//!
+//! NSGA-II is a first-class job mode, not a separate API: flip the same
+//! builder chain with [`pipeline::ProtectionJobBuilder::nsga`] and the
+//! run optimizes Pareto dominance over (IL, DR) directly, returning the
+//! whole trade-off curve as a [`pipeline::Front`].
+//! [`pipeline::JobReport::published_best`] then publishes the front's
+//! *knee point* — the balanced trade-off — and any other front member is
+//! publishable via [`pipeline::JobReport::publish_member`]:
+//!
+//! ```
+//! use cdp::prelude::*;
+//!
+//! let report = ProtectionJob::builder()
+//!     .dataset(DatasetKind::Adult)
+//!     .records(100)
+//!     .suite_small()
+//!     .nsga()                              // Pareto dominance over (IL, DR)
+//!     .iterations(8)                       // now counts generations
+//!     .seed(7)
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//!
+//! let front = report.front().expect("nsga job");
+//! assert!(!front.members.is_empty());
+//! assert!(front.final_hypervolume() >= front.initial_hypervolume() - 1e-9);
+//! // the published winner is the front's knee point
+//! assert_eq!(report.best.data, front.knee().data);
+//! assert_eq!(report.published_best().unwrap().n_rows(), 100);
 //! ```
 //!
 //! ## Low-level entry points
@@ -104,7 +139,7 @@ pub mod prelude {
     pub use cdp_sdc::{build_population, ProtectionMethod, SuiteConfig};
 
     pub use crate::pipeline::{
-        BestProtection, DataSource, JobEvent, JobReport, PipelineError, PopulationSpec,
-        ProtectionJob, Session, SuiteKind,
+        BestProtection, DataSource, Front, JobEvent, JobOutcome, JobReport, OptimizerMode,
+        PipelineError, PopulationSpec, ProtectionJob, Session, SuiteKind,
     };
 }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use cdp_core::{EvoConfig, OperatorSchedule, ReplacementPolicy, SelectionWeighting};
+use cdp_core::{EvoConfig, NsgaConfig, OperatorSchedule, ReplacementPolicy, SelectionWeighting};
 use cdp_dataset::generators::{Dataset, DatasetKind, GeneratorConfig};
 use cdp_dataset::{stats, AttrKind, Hierarchy, SubTable, Table};
 use cdp_metrics::{MetricConfig, ScoreAggregator};
@@ -122,13 +122,17 @@ impl fmt::Debug for PopulationSpec {
 
 impl fmt::Debug for ProtectionJob {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let optimizer = match &self.mode {
+            OptimizerMode::Scalar(cfg) => format!("scalar({})", cfg.aggregator.name()),
+            OptimizerMode::Nsga(_) => "nsga".to_string(),
+        };
         f.debug_struct("ProtectionJob")
             .field("source", &self.source)
             .field("population", &self.population)
             .field("copies", &self.copies)
             .field("extra", &self.extra.len())
+            .field("optimizer", &optimizer)
             .field("iterations", &self.iterations)
-            .field("aggregator", &self.evo.aggregator)
             .field("drop_best_fraction", &self.drop_best_fraction)
             .field("audit", &self.audit)
             .field("seed", &self.seed)
@@ -226,6 +230,22 @@ fn auto_hierarchies(table: &Table, indices: &[usize]) -> Result<Vec<Hierarchy>> 
         .collect()
 }
 
+/// Which optimizer drives a job's evolve stage.
+///
+/// Scalar and Pareto runs share every other part of the job shape — source,
+/// population recipe, metrics, seed, audit — so the paper-vs-NSGA-II
+/// ablation is a one-flag flip ([`ProtectionJobBuilder::nsga`]) on an
+/// otherwise identical job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerMode {
+    /// The paper's Algorithm 1: scalarized fitness (Eq. 1 mean / Eq. 2
+    /// max), one winner per run.
+    Scalar(EvoConfig),
+    /// NSGA-II over Pareto dominance on (IL, DR) (the §4 "other fitness
+    /// functions" extension): one run, the whole trade-off front.
+    Nsga(NsgaConfig),
+}
+
 /// Which predefined masking sweep seeds the initial population.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SuiteKind {
@@ -279,7 +299,7 @@ pub struct ProtectionJob {
     pub(crate) copies: usize,
     pub(crate) extra: Vec<(String, SubTable)>,
     pub(crate) metrics: MetricConfig,
-    pub(crate) evo: EvoConfig,
+    pub(crate) mode: OptimizerMode,
     pub(crate) iterations: usize,
     pub(crate) drop_best_fraction: f64,
     pub(crate) audit: Option<AuditSpec>,
@@ -385,10 +405,37 @@ impl ProtectionJob {
         Ok(pop)
     }
 
-    /// The evolution configuration the job will run with (the job seed and
-    /// iteration budget already applied).
+    /// Which optimizer drives the evolve stage, with its full
+    /// configuration (the job seed and iteration budget already applied).
+    pub fn optimizer(&self) -> OptimizerMode {
+        self.mode
+    }
+
+    /// The scalar evolution configuration the job runs with. In NSGA-II
+    /// mode this is the *scalar view* of the shared knobs (seed, budget,
+    /// parallelism at their job values; everything else at its default) —
+    /// what an otherwise-identical scalar job would use.
     pub fn evo_config(&self) -> EvoConfig {
-        self.evo
+        match self.mode {
+            OptimizerMode::Scalar(cfg) => cfg,
+            OptimizerMode::Nsga(cfg) => {
+                let mut evo = EvoConfig {
+                    seed: self.seed,
+                    parallel_init: cfg.parallel_init,
+                    ..EvoConfig::default()
+                };
+                evo.stop.max_iterations = self.iterations.max(1);
+                evo
+            }
+        }
+    }
+
+    /// The NSGA-II configuration, when the job runs in that mode.
+    pub fn nsga_config(&self) -> Option<NsgaConfig> {
+        match self.mode {
+            OptimizerMode::Scalar(_) => None,
+            OptimizerMode::Nsga(cfg) => Some(cfg),
+        }
     }
 
     /// Metric configuration.
@@ -416,7 +463,9 @@ impl ProtectionJob {
         &self.extra
     }
 
-    /// Iteration budget; `0` means mask-and-score only (no evolution).
+    /// Iteration budget: scalar iterations, or NSGA-II generations. `0`
+    /// means mask-and-score only (scalar mode; NSGA-II needs at least one
+    /// generation).
     pub fn iterations(&self) -> usize {
         self.iterations
     }
@@ -449,6 +498,9 @@ pub struct ProtectionJobBuilder {
     extra: Vec<(String, SubTable)>,
     metrics: MetricConfig,
     evo: EvoConfig,
+    multi_objective: bool,
+    offspring: Option<usize>,
+    crossover_prob: Option<f64>,
     iterations: usize,
     stagnation: Option<usize>,
     drop_best_fraction: f64,
@@ -468,6 +520,9 @@ impl Default for ProtectionJobBuilder {
             extra: Vec::new(),
             metrics: MetricConfig::default(),
             evo: EvoConfig::default(),
+            multi_objective: false,
+            offspring: None,
+            crossover_prob: None,
             iterations: 300,
             stagnation: None,
             drop_best_fraction: 0.0,
@@ -592,8 +647,66 @@ impl ProtectionJobBuilder {
     }
 
     /// Fitness aggregator (the paper's Eq. 1 `Mean` or Eq. 2 `Max`).
+    /// Scalar mode only: NSGA-II selection works on Pareto dominance and
+    /// never aggregates.
     pub fn aggregator(mut self, agg: ScoreAggregator) -> Self {
         self.evo.aggregator = agg;
+        self
+    }
+
+    /// Optimize with NSGA-II (Pareto dominance over (IL, DR)) instead of
+    /// the paper's scalarized fitness. [`ProtectionJobBuilder::iterations`]
+    /// then counts *generations*; the report carries a
+    /// [`super::Front`] instead of a scalar winner.
+    pub fn nsga(mut self) -> Self {
+        self.multi_objective = true;
+        self
+    }
+
+    /// NSGA-II offspring per generation (`0` = population size; the
+    /// default). NSGA-II mode only.
+    pub fn offspring(mut self, n: usize) -> Self {
+        self.offspring = Some(n);
+        self
+    }
+
+    /// NSGA-II probability that an offspring pair comes from crossover
+    /// rather than mutation (the paper's operator coin, 0.5). NSGA-II mode
+    /// only.
+    pub fn crossover_prob(mut self, p: f64) -> Self {
+        self.crossover_prob = Some(p);
+        self
+    }
+
+    /// Any [`OptimizerMode`] value (escape hatch): adopts the mode and its
+    /// whole configuration, resetting the other mode's knobs — so a reused
+    /// builder ends up in the same state regardless of what was set before.
+    /// The job seed still overrides the config's embedded seed at
+    /// [`ProtectionJobBuilder::build`] time, keeping one master seed per
+    /// job.
+    pub fn optimizer(mut self, mode: OptimizerMode) -> Self {
+        match mode {
+            OptimizerMode::Scalar(cfg) => {
+                self.multi_objective = false;
+                self.offspring = None;
+                self.crossover_prob = None;
+                self.iterations = cfg.stop.max_iterations;
+                self.stagnation = cfg.stop.stagnation;
+                self.evo = cfg;
+            }
+            OptimizerMode::Nsga(cfg) => {
+                self.multi_objective = true;
+                self.iterations = cfg.generations;
+                self.offspring = Some(cfg.offspring);
+                self.crossover_prob = Some(cfg.crossover_prob);
+                self.evo = EvoConfig {
+                    parallel_init: cfg.parallel_init,
+                    ..EvoConfig::default()
+                };
+                self.stagnation = None;
+                self.drop_best_fraction = 0.0;
+            }
+        }
         self
     }
 
@@ -725,11 +838,62 @@ impl ProtectionJobBuilder {
                 self.drop_best_fraction
             )));
         }
-        let mut evo = self.evo;
-        evo.seed = self.seed;
-        evo.stop.max_iterations = self.iterations.max(1);
-        evo.stop.stagnation = self.stagnation;
-        evo.validate()?;
+        let mode = if self.multi_objective {
+            // scalar-only knobs have no effect under Pareto selection;
+            // reject them instead of silently dropping them
+            let scalar_view = EvoConfig {
+                parallel_init: self.evo.parallel_init,
+                ..EvoConfig::default()
+            };
+            if self.evo != scalar_view {
+                return Err(PipelineError::InvalidJob(
+                    "scalar-only evolution knobs (aggregator(), mutation_rate(), \
+                     operator_schedule(), selection(), replacement(), \
+                     leader_fraction(), incremental_mutation()) do not apply \
+                     to the NSGA-II mode"
+                        .into(),
+                ));
+            }
+            if self.stagnation.is_some() {
+                return Err(PipelineError::InvalidJob(
+                    "stagnation() applies to the scalar mode only".into(),
+                ));
+            }
+            if self.drop_best_fraction != 0.0 {
+                return Err(PipelineError::InvalidJob(
+                    "drop_best_fraction() is the §3.3 scalar robustness knob; \
+                     it does not apply to the NSGA-II mode"
+                        .into(),
+                ));
+            }
+            let defaults = NsgaConfig::default();
+            let cfg = NsgaConfig {
+                generations: self.iterations,
+                offspring: self.offspring.unwrap_or(defaults.offspring),
+                crossover_prob: self.crossover_prob.unwrap_or(defaults.crossover_prob),
+                seed: self.seed,
+                parallel_init: self.evo.parallel_init,
+            };
+            cfg.validate()?;
+            OptimizerMode::Nsga(cfg)
+        } else {
+            if self.offspring.is_some() {
+                return Err(PipelineError::InvalidJob(
+                    "offspring() applies to the NSGA-II mode; call nsga() first".into(),
+                ));
+            }
+            if self.crossover_prob.is_some() {
+                return Err(PipelineError::InvalidJob(
+                    "crossover_prob() applies to the NSGA-II mode; call nsga() first".into(),
+                ));
+            }
+            let mut evo = self.evo;
+            evo.seed = self.seed;
+            evo.stop.max_iterations = self.iterations.max(1);
+            evo.stop.stagnation = self.stagnation;
+            evo.validate()?;
+            OptimizerMode::Scalar(evo)
+        };
         Ok(ProtectionJob {
             source,
             population: self
@@ -738,7 +902,7 @@ impl ProtectionJobBuilder {
             copies: self.copies,
             extra: self.extra,
             metrics: self.metrics,
-            evo,
+            mode,
             iterations: self.iterations,
             drop_best_fraction: self.drop_best_fraction,
             audit: self.audit,
@@ -794,6 +958,145 @@ mod tests {
             ),
         ] {
             assert!(result.is_err(), "{what} should be rejected");
+        }
+    }
+
+    #[test]
+    fn nsga_mode_builds_its_config_from_the_shared_knobs() {
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::German)
+            .nsga()
+            .iterations(40)
+            .offspring(6)
+            .crossover_prob(0.8)
+            .parallel_init(false)
+            .seed(11)
+            .build()
+            .unwrap();
+        let cfg = job.nsga_config().expect("nsga mode");
+        assert_eq!(cfg.generations, 40);
+        assert_eq!(cfg.offspring, 6);
+        assert_eq!(cfg.crossover_prob, 0.8);
+        assert_eq!(cfg.seed, 11);
+        assert!(!cfg.parallel_init);
+        assert!(matches!(job.optimizer(), OptimizerMode::Nsga(_)));
+        // the scalar view keeps the shared knobs
+        assert_eq!(job.evo_config().seed, 11);
+        assert!(!job.evo_config().parallel_init);
+    }
+
+    #[test]
+    fn optimizer_escape_hatch_round_trips_both_modes() {
+        let nsga = NsgaConfig {
+            generations: 7,
+            offspring: 3,
+            crossover_prob: 0.25,
+            seed: 2,
+            parallel_init: true,
+        };
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .optimizer(OptimizerMode::Nsga(nsga))
+            .seed(9)
+            .build()
+            .unwrap();
+        // job seed wins over the embedded one; everything else is adopted
+        assert_eq!(job.nsga_config(), Some(NsgaConfig { seed: 9, ..nsga }));
+
+        let scalar = EvoConfig {
+            mutation_rate: 0.7,
+            ..EvoConfig::default()
+        };
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .optimizer(OptimizerMode::Scalar(scalar))
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(job.evo_config().mutation_rate, 0.7);
+        assert_eq!(job.evo_config().seed, 9);
+
+        // switching modes resets the other mode's knobs: a reused builder
+        // template cannot poison the new mode
+        use cdp_metrics::ScoreAggregator;
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .aggregator(ScoreAggregator::Mean)
+            .drop_best_fraction(0.1)
+            .optimizer(OptimizerMode::Nsga(nsga))
+            .seed(9)
+            .build()
+            .expect("nsga escape hatch clears scalar-only knobs");
+        assert_eq!(job.nsga_config(), Some(NsgaConfig { seed: 9, ..nsga }));
+    }
+
+    #[test]
+    fn nsga_mode_rejects_scalar_only_knobs() {
+        use cdp_metrics::ScoreAggregator;
+        for (what, result) in [
+            (
+                "aggregator",
+                ProtectionJob::builder()
+                    .dataset(DatasetKind::Adult)
+                    .nsga()
+                    .aggregator(ScoreAggregator::Mean)
+                    .build()
+                    .map(|_| ()),
+            ),
+            (
+                "drop_best_fraction",
+                ProtectionJob::builder()
+                    .dataset(DatasetKind::Adult)
+                    .nsga()
+                    .drop_best_fraction(0.05)
+                    .build()
+                    .map(|_| ()),
+            ),
+            (
+                "stagnation",
+                ProtectionJob::builder()
+                    .dataset(DatasetKind::Adult)
+                    .nsga()
+                    .stagnation(10)
+                    .build()
+                    .map(|_| ()),
+            ),
+            (
+                "zero generations",
+                ProtectionJob::builder()
+                    .dataset(DatasetKind::Adult)
+                    .nsga()
+                    .iterations(0)
+                    .build()
+                    .map(|_| ()),
+            ),
+        ] {
+            assert!(result.is_err(), "{what} must be rejected under nsga");
+        }
+    }
+
+    #[test]
+    fn scalar_mode_rejects_nsga_only_knobs() {
+        for (what, result) in [
+            (
+                "offspring",
+                ProtectionJob::builder()
+                    .dataset(DatasetKind::Adult)
+                    .offspring(4)
+                    .build()
+                    .map(|_| ()),
+            ),
+            (
+                "crossover_prob",
+                ProtectionJob::builder()
+                    .dataset(DatasetKind::Adult)
+                    .crossover_prob(0.9)
+                    .build()
+                    .map(|_| ()),
+            ),
+        ] {
+            let err = result.unwrap_err();
+            assert!(err.to_string().contains("NSGA-II mode"), "{what}: {err}");
         }
     }
 

@@ -10,22 +10,26 @@
 //! shape behind three types:
 //!
 //! * [`ProtectionJob`] — a declarative description of one run: data source,
-//!   population recipe, metric configuration, evolution knobs, stop
-//!   conditions and an optional privacy audit. Built with
-//!   [`ProtectionJob::builder`], executed with [`ProtectionJob::run`].
+//!   population recipe, metric configuration, optimizer mode
+//!   ([`OptimizerMode`]: the paper's scalar algorithm or NSGA-II over
+//!   Pareto dominance), evolution knobs, stop conditions and an optional
+//!   privacy audit. Built with [`ProtectionJob::builder`], executed with
+//!   [`ProtectionJob::run`].
 //! * [`Session`] — an execution context that caches the prepared
 //!   original-side statistics ([`cdp_metrics::PreparedOriginal`] inside an
 //!   [`cdp_metrics::Evaluator`]), so repeated jobs against the same
-//!   original skip re-preparation. One session can serve many jobs — the
-//!   CLI, the bench harness and (eventually) a protection server all drive
-//!   this type.
-//! * [`JobReport`] — everything a run produces: the
-//!   [`cdp_core::EvolutionOutcome`], the winning protection with its full
-//!   IL/DR breakdown, and the optional [`cdp_privacy::PrivacyReport`].
+//!   original skip re-preparation — scalar and NSGA-II jobs share the one
+//!   cache. One session can serve many jobs — the CLI, the bench harness
+//!   and (eventually) a protection server all drive this type.
+//! * [`JobReport`] — everything a run produces: the mode-aware
+//!   [`JobOutcome`] (scalar [`cdp_core::EvolutionOutcome`] telemetry, or a
+//!   Pareto [`Front`] with hypervolume trajectory), the winning protection
+//!   with its full IL/DR breakdown (the front's knee point in NSGA-II
+//!   mode), and the optional [`cdp_privacy::PrivacyReport`].
 //!
 //! Progress streams through [`JobEvent`] observers ([`Session::run_with`]),
-//! giving interactive consumers one channel for preparation, population and
-//! per-generation telemetry.
+//! giving interactive consumers one channel for preparation, population,
+//! per-generation and front-progress telemetry.
 //!
 //! ```
 //! use cdp::prelude::*;
@@ -54,10 +58,10 @@ mod stages;
 use std::fmt;
 
 pub use job::{
-    AuditSpec, DataSource, PopulationSpec, ProtectionJob, ProtectionJobBuilder, SourceData,
-    SuiteKind,
+    AuditSpec, DataSource, OptimizerMode, PopulationSpec, ProtectionJob, ProtectionJobBuilder,
+    SourceData, SuiteKind,
 };
-pub use report::{BestProtection, JobReport};
+pub use report::{BestProtection, Front, JobOutcome, JobReport};
 pub use session::Session;
 pub use stages::JobEvent;
 

@@ -1,6 +1,8 @@
-//! The typed result of a job: evolution outcome, winner breakdown, audit.
+//! The typed result of a job: mode-aware outcome, winner breakdown, audit.
 
-use cdp_core::{EvolutionOutcome, ScatterPoint, ScoreSummary};
+use std::io::{self, Write};
+
+use cdp_core::{EvolutionOutcome, NsgaOutcome, ScatterPoint, ScoreSummary};
 use cdp_dataset::generators::DatasetKind;
 use cdp_dataset::{SubTable, Table};
 use cdp_metrics::Assessment;
@@ -19,6 +21,202 @@ pub struct BestProtection {
     pub assessment: Assessment,
 }
 
+/// A Pareto front over (IL, DR): what an NSGA-II job produces instead of a
+/// single scalar winner.
+///
+/// Every front member carries its protected file, so any trade-off point —
+/// not just the [`Front::knee`] — can be published via
+/// [`JobReport::publish_member`].
+#[derive(Debug, Clone)]
+pub struct Front {
+    /// The final population's non-dominated members with their protected
+    /// files and full assessments, IL-ascending.
+    pub members: Vec<BestProtection>,
+    /// The members' (IL, DR) points, aligned with [`Front::members`].
+    pub points: Vec<ScatterPoint>,
+    /// Non-dominated front of the *initial* population.
+    pub initial: Vec<ScatterPoint>,
+    /// All-time front across every individual ever evaluated (monotone in
+    /// hypervolume by construction).
+    pub archive: Vec<ScatterPoint>,
+    /// Hypervolume trajectory: the population front's hypervolume after
+    /// each generation, index 0 = initial population.
+    pub hypervolume: Vec<f64>,
+    /// Total fitness evaluations performed (initial population included).
+    pub evaluations: usize,
+}
+
+impl Front {
+    pub(crate) fn from_outcome(outcome: NsgaOutcome) -> Front {
+        let members = outcome
+            .front_members
+            .into_iter()
+            .map(|ind| BestProtection {
+                assessment: *ind.assessment(),
+                name: ind.name,
+                data: ind.data,
+            })
+            .collect();
+        Front {
+            members,
+            points: outcome.front,
+            initial: outcome.initial_front,
+            archive: outcome.archive_front,
+            hypervolume: outcome.hypervolume_series,
+            evaluations: outcome.evaluations,
+        }
+    }
+
+    /// Generations actually executed (the trajectory minus its initial
+    /// snapshot).
+    pub fn generations_run(&self) -> usize {
+        self.hypervolume.len().saturating_sub(1)
+    }
+
+    /// Hypervolume of the initial population's front.
+    pub fn initial_hypervolume(&self) -> f64 {
+        self.hypervolume.first().copied().unwrap_or(0.0)
+    }
+
+    /// Hypervolume of the final population's front.
+    pub fn final_hypervolume(&self) -> f64 {
+        self.hypervolume.last().copied().unwrap_or(0.0)
+    }
+
+    /// Index of the knee point: the member closest (in objective space
+    /// normalized to the front's extent) to the ideal point — the
+    /// balanced trade-off a scalar consumer publishes by default.
+    ///
+    /// # Panics
+    /// Panics on an empty front (pipeline-built fronts never are:
+    /// populations are validated non-empty).
+    pub fn knee_index(&self) -> usize {
+        assert!(!self.points.is_empty(), "a front has at least one member");
+        let min =
+            |f: fn(&ScatterPoint) -> f64| self.points.iter().map(f).fold(f64::INFINITY, f64::min);
+        let max = |f: fn(&ScatterPoint) -> f64| {
+            self.points.iter().map(f).fold(f64::NEG_INFINITY, f64::max)
+        };
+        let (il_min, il_span) = (min(|p| p.il), max(|p| p.il) - min(|p| p.il));
+        let (dr_min, dr_span) = (min(|p| p.dr), max(|p| p.dr) - min(|p| p.dr));
+        let norm = |v: f64, lo: f64, span: f64| if span > 0.0 { (v - lo) / span } else { 0.0 };
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let x = norm(p.il, il_min, il_span);
+                let y = norm(p.dr, dr_min, dr_span);
+                (i, x * x + y * y)
+            })
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite distances"))
+            .map(|(i, _)| i)
+            .expect("front is non-empty")
+    }
+
+    /// The knee-point member (see [`Front::knee_index`]).
+    ///
+    /// # Panics
+    /// Panics when [`Front::members`] is not aligned with
+    /// [`Front::points`] (hand-built fronts only; pipeline-built fronts
+    /// always align).
+    pub fn knee(&self) -> &BestProtection {
+        assert_eq!(
+            self.members.len(),
+            self.points.len(),
+            "Front::members must align with Front::points"
+        );
+        &self.members[self.knee_index()]
+    }
+
+    /// Write the `front.csv` artifact: initial, final and archive fronts
+    /// as `phase,name,il,dr,score` rows.
+    ///
+    /// # Errors
+    /// Propagates writer failures.
+    pub fn write_front_csv<W: Write>(&self, mut out: W) -> io::Result<()> {
+        writeln!(out, "phase,name,il,dr,score")?;
+        for (phase, points) in [
+            ("initial", &self.initial),
+            ("final", &self.points),
+            ("archive", &self.archive),
+        ] {
+            for p in points {
+                writeln!(
+                    out,
+                    "{phase},{},{:.4},{:.4},{:.4}",
+                    p.name, p.il, p.dr, p.score
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write the `hypervolume.csv` artifact: the
+    /// `generation,hypervolume` trajectory (generation 0 = initial
+    /// population).
+    ///
+    /// # Errors
+    /// Propagates writer failures.
+    pub fn write_hypervolume_csv<W: Write>(&self, mut out: W) -> io::Result<()> {
+        writeln!(out, "generation,hypervolume")?;
+        for (generation, value) in self.hypervolume.iter().enumerate() {
+            writeln!(out, "{generation},{value:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What the optimizer stage of a job produced, by mode.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// Iteration budget 0: the population was masked and scored, nothing
+    /// evolved.
+    Scored,
+    /// The paper's scalar evolution ran; full telemetry attached.
+    Scalar(EvolutionOutcome),
+    /// NSGA-II ran; the result is a Pareto front.
+    Pareto(Front),
+}
+
+impl JobOutcome {
+    /// The scalar evolution telemetry, when Algorithm 1 ran.
+    pub fn scalar(&self) -> Option<&EvolutionOutcome> {
+        match self {
+            JobOutcome::Scalar(outcome) => Some(outcome),
+            _ => None,
+        }
+    }
+
+    /// Consume into the scalar telemetry, when Algorithm 1 ran.
+    pub fn into_scalar(self) -> Option<EvolutionOutcome> {
+        match self {
+            JobOutcome::Scalar(outcome) => Some(outcome),
+            _ => None,
+        }
+    }
+
+    /// The Pareto front, when NSGA-II ran.
+    pub fn front(&self) -> Option<&Front> {
+        match self {
+            JobOutcome::Pareto(front) => Some(front),
+            _ => None,
+        }
+    }
+
+    /// Consume into the Pareto front, when NSGA-II ran.
+    pub fn into_front(self) -> Option<Front> {
+        match self {
+            JobOutcome::Pareto(front) => Some(front),
+            _ => None,
+        }
+    }
+
+    /// Whether the job only masked and scored (iteration budget 0).
+    pub fn is_scored_only(&self) -> bool {
+        matches!(self, JobOutcome::Scored)
+    }
+}
+
 /// Everything one [`super::ProtectionJob`] produced.
 #[derive(Debug)]
 pub struct JobReport {
@@ -32,22 +230,34 @@ pub struct JobReport {
     pub population_size: usize,
     /// Whether the session served a cached evaluator preparation.
     pub evaluator_reused: bool,
-    /// The evolutionary run's full telemetry; `None` for mask-and-score
-    /// jobs (iteration budget 0).
-    pub outcome: Option<EvolutionOutcome>,
-    /// Final (IL, DR) snapshot of the population — the evolved population,
-    /// or the assessed initial protections for mask-and-score jobs.
+    /// The optimizer's result: scalar telemetry, a Pareto [`Front`], or
+    /// [`JobOutcome::Scored`] for mask-and-score jobs.
+    pub outcome: JobOutcome,
+    /// Final (IL, DR) snapshot of the population — the evolved population
+    /// (the front, in NSGA-II mode), or the assessed initial protections
+    /// for mask-and-score jobs.
     pub points: Vec<ScatterPoint>,
-    /// The winning protection.
+    /// The winning protection: the scalar winner, or the front's knee
+    /// point in NSGA-II mode.
     pub best: BestProtection,
     /// Privacy audit of the winner, when the job enabled it.
     pub privacy: Option<PrivacyReport>,
 }
 
 impl JobReport {
-    /// The §3.1/§3.2 summary row, when the job evolved.
+    /// The §3.1/§3.2 summary row, when the job ran the scalar optimizer.
     pub fn summary(&self) -> Option<ScoreSummary> {
-        self.outcome.as_ref().map(EvolutionOutcome::summary)
+        self.outcome.scalar().map(EvolutionOutcome::summary)
+    }
+
+    /// The scalar evolution telemetry, when Algorithm 1 ran.
+    pub fn scalar_outcome(&self) -> Option<&EvolutionOutcome> {
+        self.outcome.scalar()
+    }
+
+    /// The Pareto front, when the job ran NSGA-II.
+    pub fn front(&self) -> Option<&Front> {
+        self.outcome.front()
     }
 
     /// The original protected columns (reference side of every measure).
@@ -58,11 +268,102 @@ impl JobReport {
     }
 
     /// The publishable file: the full original table with the winning
-    /// protected columns substituted.
+    /// protected columns substituted. In NSGA-II mode the winner is the
+    /// front's knee point ([`Front::knee`]); [`JobReport::publish_member`]
+    /// publishes any other trade-off point.
     ///
     /// # Errors
     /// Shape mismatch (cannot happen for reports built by the pipeline).
     pub fn published_best(&self) -> Result<Table> {
-        Ok(self.table.with_subtable(&self.best.data)?)
+        self.publish_member(&self.best)
+    }
+
+    /// Publish an arbitrary protection (e.g. a non-knee [`Front`] member)
+    /// into the full original table.
+    ///
+    /// # Errors
+    /// Shape mismatch for protections not built against this original.
+    pub fn publish_member(&self, member: &BestProtection) -> Result<Table> {
+        Ok(self.table.with_subtable(&member.data)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(name: &str, il: f64, dr: f64) -> ScatterPoint {
+        ScatterPoint {
+            name: name.into(),
+            il,
+            dr,
+            score: il.max(dr),
+        }
+    }
+
+    fn front_of(points: Vec<ScatterPoint>) -> Front {
+        Front {
+            members: Vec::new(),
+            points,
+            initial: Vec::new(),
+            archive: Vec::new(),
+            hypervolume: vec![0.0, 1.0],
+            evaluations: 0,
+        }
+    }
+
+    #[test]
+    fn knee_picks_the_balanced_point() {
+        // corners (0,100) and (100,0) vs a near-ideal middle point
+        let front = front_of(vec![
+            pt("low-il", 0.0, 100.0),
+            pt("knee", 20.0, 20.0),
+            pt("low-dr", 100.0, 0.0),
+        ]);
+        assert_eq!(front.knee_index(), 1);
+    }
+
+    #[test]
+    fn knee_of_single_point_front_is_that_point() {
+        let front = front_of(vec![pt("only", 10.0, 10.0)]);
+        assert_eq!(front.knee_index(), 0);
+    }
+
+    #[test]
+    fn knee_handles_degenerate_spans() {
+        // all members share one IL: the DR axis decides
+        let front = front_of(vec![pt("a", 5.0, 30.0), pt("b", 5.0, 10.0)]);
+        assert_eq!(front.knee_index(), 1);
+    }
+
+    #[test]
+    fn csv_writers_emit_headers_and_rows() {
+        let mut front = front_of(vec![pt("f", 1.0, 2.0)]);
+        front.initial = vec![pt("i", 3.0, 4.0)];
+        front.archive = vec![pt("a", 1.0, 2.0)];
+        let mut buf = Vec::new();
+        front.write_front_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("phase,name,il,dr,score\n"));
+        assert!(text.contains("initial,i,3.0000,4.0000,"));
+        assert!(text.contains("final,f,1.0000,2.0000,"));
+        assert!(text.contains("archive,a,"));
+
+        let mut buf = Vec::new();
+        front.write_hypervolume_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "generation,hypervolume\n0,0.0000\n1,1.0000\n");
+    }
+
+    #[test]
+    fn outcome_accessors_discriminate_modes() {
+        let scored = JobOutcome::Scored;
+        assert!(scored.is_scored_only());
+        assert!(scored.scalar().is_none());
+        assert!(scored.front().is_none());
+        let pareto = JobOutcome::Pareto(front_of(vec![pt("x", 1.0, 1.0)]));
+        assert!(pareto.front().is_some());
+        assert!(pareto.scalar().is_none());
+        assert!(pareto.into_front().is_some());
     }
 }

@@ -164,26 +164,68 @@ mod tests {
         assert_eq!(session.preparations(), 2);
     }
 
+    fn tag_of(e: &JobEvent) -> &'static str {
+        match e {
+            JobEvent::SourceReady { .. } => "source",
+            JobEvent::EvaluatorReady { .. } => "evaluator",
+            JobEvent::PopulationReady { .. } => "population",
+            JobEvent::Generation(_) => "generation",
+            JobEvent::FrontAdvanced { .. } => "front",
+            JobEvent::EvolutionFinished { .. } => "finished",
+            JobEvent::AuditReady => "audit",
+        }
+    }
+
     #[test]
     fn events_stream_in_stage_order() {
         let mut session = Session::new();
         let job = tiny_job(DatasetKind::German, 5, 6);
         let mut tags = Vec::new();
+        session.run_with(&job, |e| tags.push(tag_of(e))).unwrap();
+        assert_eq!(tags[..3], ["source", "evaluator", "population"]);
+        assert_eq!(tags.iter().filter(|t| **t == "generation").count(), 6);
+        assert!(!tags.contains(&"front"), "scalar jobs emit no front events");
+        assert_eq!(*tags.last().unwrap(), "finished");
+    }
+
+    #[test]
+    fn nsga_job_streams_front_events_on_the_same_channel() {
+        let mut session = Session::new();
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::German)
+            .records(60)
+            .nsga()
+            .iterations(4)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut tags = Vec::new();
+        let mut fronts = Vec::new();
         session
             .run_with(&job, |e| {
-                tags.push(match e {
-                    JobEvent::SourceReady { .. } => "source",
-                    JobEvent::EvaluatorReady { .. } => "evaluator",
-                    JobEvent::PopulationReady { .. } => "population",
-                    JobEvent::Generation(_) => "generation",
-                    JobEvent::EvolutionFinished { .. } => "finished",
-                    JobEvent::AuditReady => "audit",
-                });
+                tags.push(tag_of(e));
+                if let JobEvent::FrontAdvanced {
+                    generation,
+                    front_size,
+                    hypervolume,
+                } = e
+                {
+                    fronts.push((*generation, *front_size, *hypervolume));
+                }
             })
             .unwrap();
         assert_eq!(tags[..3], ["source", "evaluator", "population"]);
-        assert_eq!(tags.iter().filter(|t| **t == "generation").count(), 6);
+        assert_eq!(tags.iter().filter(|t| **t == "front").count(), 4);
+        assert!(!tags.contains(&"generation"), "nsga emits front events");
         assert_eq!(*tags.last().unwrap(), "finished");
+        let report = session.run(&job).unwrap();
+        let front = report.front().expect("nsga outcome");
+        // event stream and report trajectory agree
+        for (generation, front_size, hv) in fronts {
+            assert_eq!(front.hypervolume[generation], hv);
+            assert!(front_size >= 1);
+        }
+        assert_eq!(front.generations_run(), 4);
     }
 
     #[test]
@@ -197,7 +239,7 @@ mod tests {
             .build()
             .unwrap();
         let report = session.run(&job).unwrap();
-        assert!(report.outcome.is_none());
+        assert!(report.outcome.is_scored_only());
         assert_eq!(report.points.len(), report.population_size);
         let best_score = report
             .points

@@ -1,12 +1,12 @@
 //! Job execution: the staged engine behind [`Session::run_with`], and the
 //! event stream it emits.
 
-use cdp_core::{evaluate_all, Evolution, GenerationStats, ScatterPoint};
+use cdp_core::{evaluate_all, Evolution, GenerationStats, Nsga2, ScatterPoint};
 use cdp_dataset::{Attribute, Code, SubTable};
 use cdp_privacy::PrivacyReport;
 
-use super::job::{AuditSpec, ProtectionJob, SourceData};
-use super::report::{BestProtection, JobReport};
+use super::job::{AuditSpec, OptimizerMode, ProtectionJob, SourceData};
+use super::report::{BestProtection, Front, JobOutcome, JobReport};
 use super::session::Session;
 use super::{PipelineError, Result};
 
@@ -38,11 +38,22 @@ pub enum JobEvent {
         size: usize,
     },
     /// One evolutionary iteration finished (forwarded from
-    /// [`Evolution::run_with`]).
+    /// [`Evolution::run_with`]; scalar mode).
     Generation(GenerationStats),
-    /// The evolutionary stage finished.
+    /// One NSGA-II generation finished and the population front moved
+    /// (forwarded from [`Nsga2::run_with`]; NSGA-II mode).
+    FrontAdvanced {
+        /// Generation index, 1-based (0 is the initial population).
+        generation: usize,
+        /// Size of the population's non-dominated front.
+        front_size: usize,
+        /// Hypervolume of that front w.r.t.
+        /// [`cdp_core::nsga::HV_REFERENCE`].
+        hypervolume: f64,
+    },
+    /// The optimizer stage finished (either mode).
     EvolutionFinished {
-        /// Iterations actually executed.
+        /// Iterations (scalar) or generations (NSGA-II) actually executed.
         iterations: usize,
     },
     /// The privacy audit of the winner completed.
@@ -71,54 +82,74 @@ pub(crate) fn run_job<F: FnMut(&JobEvent)>(
     });
     let population_size = population.len();
 
-    let evo_cfg = job.evo_config();
-    let (outcome, points, best) = if job.iterations() == 0 {
-        // mask-and-score only: assess the population, pick the winner
-        for (name, data) in &population {
-            evaluator.prepared().check_compatible(data).map_err(|e| {
-                PipelineError::InvalidJob(format!("protection `{name}` incompatible: {e}"))
-            })?;
+    let (outcome, points, best) = match job.optimizer() {
+        OptimizerMode::Scalar(evo_cfg) if job.iterations() == 0 => {
+            // mask-and-score only: assess the population, pick the winner
+            for (name, data) in &population {
+                evaluator.prepared().check_compatible(data).map_err(|e| {
+                    PipelineError::InvalidJob(format!("protection `{name}` incompatible: {e}"))
+                })?;
+            }
+            let states = evaluate_all(&evaluator, &population, evo_cfg.parallel_init);
+            let points: Vec<ScatterPoint> = population
+                .iter()
+                .zip(&states)
+                .map(|((name, _), state)| ScatterPoint {
+                    name: name.clone(),
+                    il: state.assessment.il(),
+                    dr: state.assessment.dr(),
+                    score: state.assessment.score(evo_cfg.aggregator),
+                })
+                .collect();
+            let (i, _) = points
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.score.partial_cmp(&b.score).expect("finite scores"))
+                .expect("population validated non-empty");
+            let best = BestProtection {
+                name: population[i].0.clone(),
+                data: population[i].1.clone(),
+                assessment: states[i].assessment,
+            };
+            (JobOutcome::Scored, points, best)
         }
-        let states = evaluate_all(&evaluator, &population, evo_cfg.parallel_init);
-        let points: Vec<ScatterPoint> = population
-            .iter()
-            .zip(&states)
-            .map(|((name, _), state)| ScatterPoint {
-                name: name.clone(),
-                il: state.assessment.il(),
-                dr: state.assessment.dr(),
-                score: state.assessment.score(evo_cfg.aggregator),
-            })
-            .collect();
-        let (i, _) = points
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| a.score.partial_cmp(&b.score).expect("finite scores"))
-            .expect("population validated non-empty");
-        let best = BestProtection {
-            name: population[i].0.clone(),
-            data: population[i].1.clone(),
-            assessment: states[i].assessment,
-        };
-        (None, points, best)
-    } else {
-        let mut evolution =
-            Evolution::new(evaluator.clone(), evo_cfg).with_named_population(population)?;
-        if job.drop_fraction() > 0.0 {
-            evolution = evolution.drop_best_fraction(job.drop_fraction())?;
+        OptimizerMode::Scalar(evo_cfg) => {
+            let mut evolution =
+                Evolution::new(evaluator.clone(), evo_cfg).with_named_population(population)?;
+            if job.drop_fraction() > 0.0 {
+                evolution = evolution.drop_best_fraction(job.drop_fraction())?;
+            }
+            let outcome = evolution.run_with(|g| observer(&JobEvent::Generation(*g)));
+            observer(&JobEvent::EvolutionFinished {
+                iterations: outcome.iterations_run,
+            });
+            let winner = outcome.population.best();
+            let best = BestProtection {
+                name: winner.name.clone(),
+                data: winner.data.clone(),
+                assessment: *winner.assessment(),
+            };
+            let points = outcome.final_points.clone();
+            (JobOutcome::Scalar(outcome), points, best)
         }
-        let outcome = evolution.run_with(|g| observer(&JobEvent::Generation(*g)));
-        observer(&JobEvent::EvolutionFinished {
-            iterations: outcome.iterations_run,
-        });
-        let winner = outcome.population.best();
-        let best = BestProtection {
-            name: winner.name.clone(),
-            data: winner.data.clone(),
-            assessment: *winner.assessment(),
-        };
-        let points = outcome.final_points.clone();
-        (Some(outcome), points, best)
+        OptimizerMode::Nsga(cfg) => {
+            let nsga_outcome = Nsga2::new(evaluator.clone(), cfg)
+                .with_named_population(population)?
+                .run_with(|s| {
+                    observer(&JobEvent::FrontAdvanced {
+                        generation: s.generation,
+                        front_size: s.front_size,
+                        hypervolume: s.hypervolume,
+                    });
+                });
+            let front = Front::from_outcome(nsga_outcome);
+            observer(&JobEvent::EvolutionFinished {
+                iterations: front.generations_run(),
+            });
+            let best = front.knee().clone();
+            let points = front.points.clone();
+            (JobOutcome::Pareto(front), points, best)
+        }
     };
 
     let privacy = match job.audit_spec() {

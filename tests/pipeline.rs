@@ -113,7 +113,7 @@ fn protection_job_reproduces_the_hand_wired_run_exactly() {
         .build()
         .unwrap();
     let report = job.run().unwrap();
-    let outcome = report.outcome.expect("evolved");
+    let outcome = report.outcome.into_scalar().expect("evolved");
     assert_eq!(outcome.summary(), hand.summary());
     assert_eq!(outcome.iterations_run, hand.iterations_run);
     assert_eq!(
@@ -122,6 +122,105 @@ fn protection_job_reproduces_the_hand_wired_run_exactly() {
         "winning protected file must be identical"
     );
     assert_eq!(report.best.name, hand.population.best().name);
+}
+
+#[test]
+fn nsga_job_reproduces_the_hand_wired_run_exactly() {
+    // the nsga job mode is a re-packaging of `Nsga2`, not a
+    // re-implementation: same seeds -> same RNG streams -> bit-identical
+    // fronts, trajectory and evaluation counts
+    use cdp::core::nsga::{Nsga2, NsgaConfig};
+    let ds = DatasetKind::German.generate(&GeneratorConfig::seeded(6).with_records(80));
+    let population = build_population(&ds, &SuiteConfig::small(), 6).unwrap();
+    let evaluator = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+    let hand = Nsga2::new(
+        evaluator,
+        NsgaConfig {
+            generations: 12,
+            seed: 6,
+            ..NsgaConfig::default()
+        },
+    )
+    .with_named_population(population)
+    .unwrap()
+    .run();
+
+    let job = ProtectionJob::builder()
+        .dataset(DatasetKind::German)
+        .records(80)
+        .suite_small()
+        .nsga()
+        .iterations(12)
+        .seed(6)
+        .build()
+        .unwrap();
+    let report = job.run().unwrap();
+    let front = report.front().expect("nsga job");
+
+    assert_eq!(front.hypervolume, hand.hypervolume_series);
+    assert_eq!(front.evaluations, hand.evaluations);
+    for (ours, theirs) in [
+        (&front.points, &hand.front),
+        (&front.initial, &hand.initial_front),
+        (&front.archive, &hand.archive_front),
+    ] {
+        assert_eq!(ours.len(), theirs.len());
+        for (a, b) in ours.iter().zip(theirs.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.il, b.il);
+            assert_eq!(a.dr, b.dr);
+        }
+    }
+    // front members carry the exact protected files the hand-wired run ends
+    // with, and the published winner is the knee point among them
+    assert_eq!(front.members.len(), hand.front_members.len());
+    for (a, b) in front.members.iter().zip(hand.front_members.iter()) {
+        assert_eq!(a.data, b.data, "front member files must be identical");
+    }
+    assert_eq!(report.best.data, front.knee().data);
+    let published = report.published_best().unwrap();
+    for (k, &j) in report.protected.iter().enumerate() {
+        assert_eq!(published.column(j), report.best.data.column(k));
+    }
+}
+
+#[test]
+fn session_shares_one_preparation_across_optimizer_modes() {
+    // acceptance: a scalar job followed by an nsga job against the same
+    // original must reuse the cached evaluator preparation
+    let scalar = ProtectionJob::builder()
+        .dataset(DatasetKind::Adult)
+        .records(80)
+        .iterations(10)
+        .seed(3)
+        .build()
+        .unwrap();
+    let nsga = ProtectionJob::builder()
+        .dataset(DatasetKind::Adult)
+        .records(80)
+        .nsga()
+        .iterations(5)
+        .seed(3)
+        .build()
+        .unwrap();
+    let mut session = Session::new();
+    let a = session.run(&scalar).unwrap();
+    let b = session.run(&nsga).unwrap();
+    assert!(!a.evaluator_reused);
+    assert!(
+        b.evaluator_reused,
+        "nsga job must hit the scalar job's cache"
+    );
+    assert_eq!(session.preparations(), 1, "one original, one preparation");
+
+    // and the cached preparation changes nothing: a fresh session produces
+    // the identical front
+    let fresh = Session::new().run(&nsga).unwrap();
+    assert_eq!(
+        fresh.front().unwrap().hypervolume,
+        b.front().unwrap().hypervolume
+    );
+    assert_eq!(fresh.best.data, b.best.data);
 }
 
 #[test]
@@ -140,7 +239,7 @@ fn session_skips_evaluator_re_preparation_across_jobs() {
     };
     let mut session = Session::new();
     let mut reused_flags = Vec::new();
-    let mut observe = |flags: &mut Vec<bool>, e: &JobEvent| {
+    let observe = |flags: &mut Vec<bool>, e: &JobEvent| {
         if let JobEvent::EvaluatorReady { reused } = e {
             flags.push(*reused);
         }
@@ -159,10 +258,7 @@ fn session_skips_evaluator_re_preparation_across_jobs() {
     // and the cached preparation changes nothing about the results: a
     // fresh session produces the identical outcome
     let fresh = Session::new().run(&job(20)).unwrap();
-    assert_eq!(
-        fresh.outcome.unwrap().summary(),
-        second.outcome.unwrap().summary()
-    );
+    assert_eq!(fresh.summary().unwrap(), second.summary().unwrap());
 }
 
 #[test]

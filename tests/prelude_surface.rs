@@ -8,10 +8,11 @@
 #[allow(unused_imports)]
 use cdp::prelude::{
     build_population, AttrKind, Attribute, BestProtection, Code, DataSource, Dataset, DatasetKind,
-    DrBreakdown, EvoConfig, Evolution, EvolutionOutcome, GeneratorConfig, Hierarchy, IlBreakdown,
-    Individual, JobEvent, JobReport, MetricConfig, PipelineError, Population, PopulationSpec,
-    ProtectionJob, ProtectionMethod, Recoder, ReplacementPolicy, Schema, ScoreAggregator,
-    SelectionWeighting, Session, StopCondition, SubTable, SuiteConfig, SuiteKind, Table,
+    DrBreakdown, EvoConfig, Evolution, EvolutionOutcome, Front, GeneratorConfig, Hierarchy,
+    IlBreakdown, Individual, JobEvent, JobOutcome, JobReport, MetricConfig, OptimizerMode,
+    PipelineError, Population, PopulationSpec, ProtectionJob, ProtectionMethod, Recoder,
+    ReplacementPolicy, Schema, ScoreAggregator, SelectionWeighting, Session, StopCondition,
+    SubTable, SuiteConfig, SuiteKind, Table,
 };
 use cdp::prelude::{Assessment, CostKind, Evaluator, LatticeSearch, PrivacyReport};
 
@@ -50,6 +51,25 @@ fn pipeline_types_are_usable_from_the_prelude() {
     let assessment: &Assessment = &best.assessment;
     assert!(assessment.il() >= 0.0);
     assert!(!events.is_empty());
+
+    // the mode-aware surface: OptimizerMode on the job, JobOutcome/Front
+    // on the report
+    let mode: OptimizerMode = job.optimizer();
+    assert!(matches!(mode, OptimizerMode::Scalar(_)));
+    let outcome: &JobOutcome = &report.outcome;
+    assert!(outcome.scalar().is_some());
+    let nsga_job = ProtectionJob::builder()
+        .dataset(DatasetKind::Adult)
+        .records(40)
+        .nsga()
+        .iterations(2)
+        .seed(1)
+        .build()
+        .expect("valid nsga job");
+    let nsga_report = session.run(&nsga_job).expect("nsga job runs");
+    assert_eq!(session.preparations(), 1, "modes share the evaluator cache");
+    let front: &Front = nsga_report.front().expect("front");
+    assert!(!front.members.is_empty());
 
     let err: PipelineError = ProtectionJob::builder().build().unwrap_err();
     assert!(err.to_string().contains("invalid job"));

@@ -44,7 +44,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let mut out = vec![0u64; 4];
         super::thread::scope(|scope| {
             for (slot, &x) in out.iter_mut().zip(data.iter()) {

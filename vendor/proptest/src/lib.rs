@@ -153,7 +153,7 @@ mod tests {
 
         #[test]
         fn any_and_assume(seed in any::<u64>(), flag in any::<bool>()) {
-            prop_assume!(flag || !flag);
+            prop_assume!(flag || seed.is_multiple_of(2));
             prop_assert_eq!(seed.wrapping_add(0), seed);
         }
 
