@@ -1,0 +1,325 @@
+//! Delta-vs-full evaluation benchmark: the perf baseline for the
+//! `Evaluator::assess` / `Evaluator::reassess` hot path.
+//!
+//! Two sections, written as `BENCH_evaluator.json`:
+//!
+//! 1. **micro** — per-dataset-size cost of a full assessment vs a
+//!    single-cell and a quarter-segment patch re-assessment (ns/op and the
+//!    resulting speedups), across 1k/5k/20k rows.
+//! 2. **evolution** — a 250-iteration paper-suite evolution run with the
+//!    incremental knobs off vs on: wall time, the full/incremental
+//!    assessment split, and the best point's (IL, DR) drift.
+//!
+//! ```text
+//! cargo run --release -p cdp_bench --bin evaluator_bench -- [--quick] [--out PATH] [--seed S]
+//! ```
+//!
+//! `--quick` shrinks sizes and budgets for CI smoke runs (~seconds).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cdp_core::{EvoConfig, Evolution, EvolutionOutcome};
+use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+use cdp_dataset::{Code, SubTable};
+use cdp_metrics::{Evaluator, MetricConfig, Patch};
+use cdp_sdc::{build_population, SuiteConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: PathBuf::from("BENCH_evaluator.json"),
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().map(PathBuf::from).unwrap_or(args.out),
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    args
+}
+
+/// A masked variant with ~30% of cells re-drawn (a realistic distance from
+/// the original, so linkage work is neither trivial nor degenerate).
+fn masked_variant(original: &SubTable, seed: u64) -> SubTable {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBE9C);
+    let mut m = original.clone();
+    for k in 0..m.n_attrs() {
+        let c = m.attr(k).n_categories() as Code;
+        for r in 0..m.n_rows() {
+            if rng.gen_bool(0.3) {
+                m.set(r, k, rng.gen_range(0..c));
+            }
+        }
+    }
+    m
+}
+
+struct MicroRow {
+    rows: usize,
+    ns_assess: f64,
+    ns_reassess_cell: f64,
+    ns_reassess_segment: f64,
+}
+
+fn micro_row(rows: usize, assess_reps: usize, seed: u64) -> MicroRow {
+    let original = DatasetKind::Adult
+        .generate(&GeneratorConfig::seeded(seed).with_records(rows))
+        .protected_subtable();
+    let ev = Evaluator::new(&original, MetricConfig::default()).expect("evaluator");
+    let mut masked = masked_variant(&original, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+
+    let t0 = Instant::now();
+    for _ in 0..assess_reps {
+        std::hint::black_box(ev.assess(&masked));
+    }
+    let ns_assess = t0.elapsed().as_nanos() as f64 / assess_reps as f64;
+
+    // single-cell patches into a reused scratch (the mutation path's shape)
+    let state = ev.assess(&masked);
+    let mut scratch = state.clone();
+    let cell_reps = (assess_reps * 16).max(32);
+    let t0 = Instant::now();
+    for _ in 0..cell_reps {
+        let row = rng.gen_range(0..masked.n_rows());
+        let k = rng.gen_range(0..masked.n_attrs());
+        let c = masked.attr(k).n_categories() as Code;
+        let old = masked.get(row, k);
+        masked.set(row, k, rng.gen_range(0..c));
+        ev.reassess_into(&state, &masked, &Patch::cell(row, k, old), &mut scratch);
+        masked.set(row, k, old); // revert so `state` stays the baseline
+    }
+    let ns_reassess_cell = t0.elapsed().as_nanos() as f64 / cell_reps as f64;
+
+    // quarter-of-the-file flat segments (the crossover path's shape)
+    let other = masked_variant(&original, seed ^ 0x5EC);
+    let seg_reps = (assess_reps * 4).max(8);
+    let seg_len = (masked.flat_len() / 4).max(1);
+    let t0 = Instant::now();
+    for _ in 0..seg_reps {
+        let s = rng.gen_range(0..masked.flat_len() - seg_len + 1);
+        let r = s + seg_len - 1;
+        let old_values: Vec<Code> = (s..=r).map(|p| masked.get_flat(p)).collect();
+        let mut child = masked.clone();
+        for p in s..=r {
+            child.set_flat(p, other.get_flat(p));
+        }
+        std::hint::black_box(ev.reassess(&state, &child, &Patch::flat_range(s, r, old_values)));
+    }
+    let ns_reassess_segment = t0.elapsed().as_nanos() as f64 / seg_reps as f64;
+
+    MicroRow {
+        rows,
+        ns_assess,
+        ns_reassess_cell,
+        ns_reassess_segment,
+    }
+}
+
+/// Largest absolute difference on the exact measures between a multi-cell
+/// patch re-assessment and the full recompute (must sit at float noise).
+fn exactness_delta(seed: u64) -> f64 {
+    let original = DatasetKind::Adult
+        .generate(&GeneratorConfig::seeded(seed).with_records(400))
+        .protected_subtable();
+    let ev = Evaluator::new(&original, MetricConfig::default()).expect("evaluator");
+    let mut masked = masked_variant(&original, seed);
+    let state = ev.assess(&masked);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE44C7);
+    let mut cells = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while cells.len() < 60 {
+        let row = rng.gen_range(0..masked.n_rows());
+        let k = rng.gen_range(0..masked.n_attrs());
+        if !seen.insert((row, k)) {
+            continue;
+        }
+        let c = masked.attr(k).n_categories() as Code;
+        let old = masked.get(row, k);
+        masked.set(row, k, rng.gen_range(0..c));
+        cells.push(cdp_metrics::PatchCell { row, attr: k, old });
+    }
+    let patched = ev.reassess(&state, &masked, &Patch::from_cells(cells));
+    let full = ev.assess(&masked);
+    let (p, f) = (patched.assessment, full.assessment);
+    [
+        p.il_parts.ctbil - f.il_parts.ctbil,
+        p.il_parts.dbil - f.il_parts.dbil,
+        p.il_parts.ebil - f.il_parts.ebil,
+        p.dr_parts.id - f.dr_parts.id,
+        p.dr_parts.dbrl - f.dr_parts.dbrl,
+    ]
+    .into_iter()
+    .map(f64::abs)
+    .fold(0.0, f64::max)
+}
+
+struct EvoRun {
+    wall_ms: f64,
+    outcome: EvolutionOutcome,
+}
+
+fn evolution_run(
+    kind: DatasetKind,
+    records: usize,
+    iterations: usize,
+    paper_suite: bool,
+    incremental: bool,
+    seed: u64,
+) -> EvoRun {
+    let ds = kind.generate(&GeneratorConfig::seeded(seed).with_records(records));
+    let suite = if paper_suite {
+        SuiteConfig::paper(kind)
+    } else {
+        SuiteConfig::small()
+    };
+    let pop = build_population(&ds, &suite, seed).expect("suite");
+    let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).expect("evaluator");
+    let cfg = EvoConfig::builder()
+        .iterations(iterations)
+        .incremental_mutation(incremental)
+        .incremental_crossover(incremental)
+        .seed(seed)
+        .build();
+    let t0 = Instant::now();
+    let outcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .expect("compatible population")
+        .run();
+    EvoRun {
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        outcome,
+    }
+}
+
+fn evo_json(run: &EvoRun) -> String {
+    let best = run.outcome.final_best();
+    format!(
+        "{{\"wall_ms\": {:.1}, \"assess_full\": {}, \"assess_incremental\": {}, \
+         \"best_il\": {:.4}, \"best_dr\": {:.4}, \"best_score\": {:.4}}}",
+        run.wall_ms,
+        run.outcome.eval_counts.full,
+        run.outcome.eval_counts.incremental,
+        best.il,
+        best.dr,
+        best.score
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let sizes: &[(usize, usize)] = if args.quick {
+        &[(1000, 2)] // (rows, assess reps)
+    } else {
+        &[(1000, 6), (5000, 3), (20000, 2)]
+    };
+
+    let mut micro = Vec::new();
+    for &(rows, reps) in sizes {
+        eprintln!("micro: {rows} rows …");
+        micro.push(micro_row(rows, reps, args.seed));
+    }
+    let exact_delta = exactness_delta(args.seed);
+
+    // the acceptance-criteria run: paper suite, 250 iterations (reduced
+    // under --quick so CI smoke stays in seconds)
+    let (records, iterations, paper_suite) = if args.quick {
+        (300, 80, false)
+    } else {
+        (1000, 250, true)
+    };
+    eprintln!("evolution: full …");
+    let full = evolution_run(
+        DatasetKind::Adult,
+        records,
+        iterations,
+        paper_suite,
+        false,
+        args.seed,
+    );
+    eprintln!("evolution: incremental …");
+    let inc = evolution_run(
+        DatasetKind::Adult,
+        records,
+        iterations,
+        paper_suite,
+        true,
+        args.seed,
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"quick\": {},", args.quick);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"micro\": [");
+    for (i, row) in micro.iter().enumerate() {
+        let comma = if i + 1 < micro.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"rows\": {}, \"ns_assess\": {:.0}, \"ns_reassess_cell\": {:.0}, \
+             \"ns_reassess_segment\": {:.0}, \"speedup_cell\": {:.1}, \
+             \"speedup_segment\": {:.1}}}{comma}",
+            row.rows,
+            row.ns_assess,
+            row.ns_reassess_cell,
+            row.ns_reassess_segment,
+            row.ns_assess / row.ns_reassess_cell,
+            row.ns_assess / row.ns_reassess_segment,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"exactness_max_abs_delta\": {exact_delta:e},");
+    let _ = writeln!(json, "  \"evolution\": {{");
+    let _ = writeln!(
+        json,
+        "    \"dataset\": \"adult\", \"records\": {records}, \"iterations\": {iterations}, \
+         \"suite\": \"{}\",",
+        if paper_suite { "paper" } else { "small" }
+    );
+    let _ = writeln!(json, "    \"full\": {},", evo_json(&full));
+    let _ = writeln!(json, "    \"incremental\": {},", evo_json(&inc));
+    let _ = writeln!(
+        json,
+        "    \"full_assess_reduction\": {:.2},",
+        full.outcome.eval_counts.full as f64 / inc.outcome.eval_counts.full.max(1) as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"wall_speedup\": {:.2},",
+        full.wall_ms / inc.wall_ms.max(1e-9)
+    );
+    let _ = writeln!(
+        json,
+        "    \"best_il_drift\": {:.4}, \"best_dr_drift\": {:.4}",
+        (full.outcome.final_best().il - inc.outcome.final_best().il).abs(),
+        (full.outcome.final_best().dr - inc.outcome.final_best().dr).abs()
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    if let Some(parent) = args.out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&args.out, &json).expect("write BENCH_evaluator.json");
+    print!("{json}");
+    eprintln!("wrote {}", args.out.display());
+}

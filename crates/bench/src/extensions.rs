@@ -228,8 +228,8 @@ pub fn pareto_comparison(harness: &mut Harness, dataset: DatasetKind) -> ParetoC
             label: format!("ga({})", aggregator.name()),
             front_size: outcome.pareto_front.len(),
             hypervolume: hv_of(&outcome.pareto_front),
-            // initial evaluations + ~1.5 per iteration (mutation 1, crossover 2)
-            evaluations: outcome.initial.len() + outcome.iterations_run * 3 / 2,
+            // exact count from the run's telemetry (full + incremental)
+            evaluations: outcome.eval_counts.total(),
         });
     }
 

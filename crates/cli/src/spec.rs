@@ -29,6 +29,8 @@ pub const JOB_GRAMMAR: &str = "\
   mode=<scalar|nsga>                     optimizer (default scalar)
   seed=<u64>                             master seed
   audit=<true|false>                     privacy-audit the winner
+  inc=<off|mut|xover|all>                incremental offspring evaluation
+                                         (mut/all: scalar mode only)
   -- scalar mode only --
   fitness=<mean|max>                     scalar aggregator
   iters=<n>                              evolution budget (0 = mask only)
@@ -37,6 +39,59 @@ pub const JOB_GRAMMAR: &str = "\
   gens=<n>                               NSGA-II generations
   offspring=<n>                          offspring per generation (0 = population size)
   xprob=<p>                              crossover probability";
+
+/// The incremental-evaluation selector of the job grammar (`inc=` key).
+///
+/// `xover` is valid in both modes (it maps onto
+/// `EvoConfig::incremental_crossover` in scalar mode and
+/// `NsgaConfig::incremental` under `mode=nsga`); `mut` and `all` name the
+/// mutation path and are scalar-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncMode {
+    /// Every offspring pays a full assessment (default).
+    Off,
+    /// Incremental mutation offspring only.
+    Mutation,
+    /// Incremental crossover offspring only.
+    Crossover,
+    /// Both operators evaluate incrementally.
+    All,
+}
+
+impl IncMode {
+    /// The CLI spelling (`off` / `mut` / `xover` / `all`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IncMode::Off => "off",
+            IncMode::Mutation => "mut",
+            IncMode::Crossover => "xover",
+            IncMode::All => "all",
+        }
+    }
+
+    /// Whether the mutation path evaluates incrementally.
+    pub fn mutation(self) -> bool {
+        matches!(self, IncMode::Mutation | IncMode::All)
+    }
+
+    /// Whether the crossover path evaluates incrementally.
+    pub fn crossover(self) -> bool {
+        matches!(self, IncMode::Crossover | IncMode::All)
+    }
+}
+
+/// Parse an `inc=` value.
+pub fn parse_inc(value: &str) -> Result<IncMode> {
+    match value {
+        "off" => Ok(IncMode::Off),
+        "mut" => Ok(IncMode::Mutation),
+        "xover" => Ok(IncMode::Crossover),
+        "all" => Ok(IncMode::All),
+        other => Err(CliError::Usage(format!(
+            "unknown inc `{other}` (off, mut, xover, all)"
+        ))),
+    }
+}
 
 /// The optimizer selector of the job grammar (`mode=` key).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +141,8 @@ pub struct JobSpec {
     pub drop: f64,
     /// Whether to privacy-audit the winner.
     pub audit: bool,
+    /// Incremental offspring evaluation (`inc=` key).
+    pub inc: IncMode,
 }
 
 impl Default for JobSpec {
@@ -106,6 +163,7 @@ impl Default for JobSpec {
             seed: 42,
             drop: 0.0,
             audit: false,
+            inc: IncMode::Off,
         }
     }
 }
@@ -191,6 +249,9 @@ impl JobSpec {
                         .parse()
                         .map_err(|_| bad(format!("audit: expected true/false, got `{value}`")))?;
                 }
+                "inc" => {
+                    spec.inc = parse_inc(value)?;
+                }
                 other => return Err(bad(format!("unknown key `{other}`"))),
             }
         }
@@ -205,6 +266,13 @@ impl JobSpec {
             return Err(bad(format!(
                 "`{key}` applies to {right_mode} (this spec runs {})",
                 spec.mode.name()
+            )));
+        }
+        if spec.mode == SpecMode::Nsga && spec.inc.mutation() {
+            return Err(bad(format!(
+                "`inc={}` names the mutation path and applies to the \
+                 (default) scalar mode; under mode=nsga use inc=xover",
+                spec.inc.name()
             )));
         }
         Ok(spec)
@@ -249,6 +317,9 @@ impl JobSpec {
                 }
             }
         }
+        if self.inc != IncMode::Off {
+            out.push_str(&format!(" inc={}", self.inc.name()));
+        }
         if self.audit {
             out.push_str(" audit=true");
         }
@@ -268,12 +339,15 @@ impl JobSpec {
             SpecMode::Scalar => builder
                 .aggregator(self.fitness)
                 .iterations(self.iters)
-                .drop_best_fraction(self.drop),
+                .drop_best_fraction(self.drop)
+                .incremental_mutation(self.inc.mutation())
+                .incremental_crossover(self.inc.crossover()),
             SpecMode::Nsga => builder
                 .nsga()
                 .iterations(self.gens)
                 .offspring(self.offspring)
-                .crossover_prob(self.xprob),
+                .crossover_prob(self.xprob)
+                .incremental_crossover(self.inc.crossover()),
         };
         if let Some(n) = self.records {
             builder = builder.records(n);
@@ -338,11 +412,13 @@ impl JobSpec {
         };
         match job.optimizer() {
             OptimizerMode::Scalar(evo) => {
-                // the grammar only carries fitness/iters/drop/seed; every
+                // the grammar carries fitness/iters/drop/seed/inc; every
                 // other evolution knob must sit at its default
                 let mut expected = cdp_core::EvoConfig {
                     aggregator: evo.aggregator,
                     seed: job.seed(),
+                    incremental_mutation: evo.incremental_mutation,
+                    incremental_crossover: evo.incremental_crossover,
                     ..cdp_core::EvoConfig::default()
                 };
                 expected.stop.max_iterations = job.iterations().max(1);
@@ -353,15 +429,29 @@ impl JobSpec {
                 spec.fitness = evo.aggregator;
                 spec.iters = job.iterations();
                 spec.drop = job.drop_fraction();
+                spec.inc = match (evo.incremental_mutation, evo.incremental_crossover) {
+                    (false, false) => IncMode::Off,
+                    (true, false) => IncMode::Mutation,
+                    (false, true) => IncMode::Crossover,
+                    (true, true) => IncMode::All,
+                };
             }
             OptimizerMode::Nsga(cfg) => {
                 if !cfg.parallel_init {
                     return Err(unrepresentable("a parallel_init override"));
                 }
+                if cfg.incremental_refresh != NsgaConfig::default().incremental_refresh {
+                    return Err(unrepresentable("an incremental_refresh override"));
+                }
                 spec.mode = SpecMode::Nsga;
                 spec.gens = cfg.generations;
                 spec.offspring = cfg.offspring;
                 spec.xprob = cfg.crossover_prob;
+                spec.inc = if cfg.incremental {
+                    IncMode::Crossover
+                } else {
+                    IncMode::Off
+                };
             }
         }
         Ok(spec)
@@ -550,6 +640,10 @@ mod tests {
             "dataset=adult suite=small mode=nsga gens=100 seed=42",
             "dataset=german suite=paper mode=nsga gens=25 seed=9 records=100 offspring=6",
             "dataset=flare suite=small mode=nsga gens=12 seed=3 xprob=0.8 audit=true",
+            "dataset=adult suite=small fitness=max iters=250 seed=4 inc=all",
+            "dataset=flare suite=paper fitness=mean iters=100 seed=5 inc=mut",
+            "dataset=german suite=small fitness=max iters=90 seed=6 inc=xover",
+            "dataset=housing suite=small mode=nsga gens=15 seed=7 inc=xover",
         ] {
             let spec = JobSpec::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
             let job = spec.to_job().unwrap_or_else(|e| panic!("{text}: {e}"));
@@ -585,6 +679,19 @@ mod tests {
             assert!(err.contains(&format!("`{key}`")), "{text}: {err}");
             assert!(err.contains("mode=nsga"), "{text}: {err}");
         }
+        // inc values naming the mutation path are scalar-only, wherever
+        // mode= appears in the token stream
+        for text in [
+            "dataset=adult mode=nsga inc=mut",
+            "dataset=adult inc=all mode=nsga",
+        ] {
+            let err = JobSpec::parse(text).unwrap_err().to_string();
+            assert!(err.contains("inc="), "{text}: {err}");
+            assert!(err.contains("scalar"), "{text}: {err}");
+        }
+        // … while inc=xover is valid in both modes
+        assert!(JobSpec::parse("dataset=adult mode=nsga inc=xover").is_ok());
+        assert!(JobSpec::parse("dataset=adult inc=xover").is_ok());
     }
 
     #[test]
@@ -612,6 +719,7 @@ mod tests {
             "dataset=adult mode=nsga gens=x",  // bad count
             "dataset=adult mode=nsga gens=0",  // builder rejects 0 generations
             "dataset=adult mode=nsga xprob=2", // builder rejects the probability
+            "dataset=adult inc=fast",          // unknown inc value
         ] {
             let result = JobSpec::parse(text).and_then(|s| s.to_job().map(|_| ()));
             assert!(result.is_err(), "`{text}` should be rejected");
@@ -638,6 +746,7 @@ mod tests {
             seed in proptest::prelude::any::<u64>(),
             drop_20th in 0u8..20,
             audit in proptest::prelude::any::<bool>(),
+            inc_i in 0usize..4,
         ) {
             let mut spec = JobSpec {
                 dataset: [
@@ -657,6 +766,8 @@ mod tests {
                 spec.gens = gens;
                 spec.offspring = offspring;
                 spec.xprob = f64::from(xprob_pct) / 100.0;
+                // only the crossover path exists as an nsga inc value
+                spec.inc = [IncMode::Off, IncMode::Crossover][inc_i % 2];
             } else {
                 spec.fitness = if mean_fitness {
                     ScoreAggregator::Mean
@@ -665,6 +776,8 @@ mod tests {
                 };
                 spec.iters = iters;
                 spec.drop = f64::from(drop_20th) / 20.0;
+                spec.inc = [IncMode::Off, IncMode::Mutation, IncMode::Crossover, IncMode::All]
+                    [inc_i];
             }
             let text = spec.to_spec_string();
             let reparsed = JobSpec::parse(&text)

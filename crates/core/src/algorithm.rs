@@ -1,7 +1,7 @@
 //! Algorithm 1 of the paper: the evolutionary loop.
 
 use cdp_dataset::SubTable;
-use cdp_metrics::Evaluator;
+use cdp_metrics::{EvalState, Evaluator, Patch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -10,12 +10,41 @@ use crate::archive::ParetoArchive;
 use crate::config::EvoConfig;
 use crate::individual::Individual;
 use crate::operators::{crossover, mutate, OperatorKind};
-use crate::parallel::evaluate_all;
+use crate::parallel::{evaluate_all, evaluate_tasks, EvalTask, MIN_PARALLEL_EVAL_ROWS};
 use crate::population::Population;
 use crate::replacement::offspring_wins;
 use crate::selection::select_leader;
-use crate::telemetry::{ScatterPoint, Trace};
+use crate::telemetry::{EvalCounts, ScatterPoint, Trace};
 use crate::{EvoError, Result};
+
+/// Mutable per-run evaluation bookkeeping threaded through the generation
+/// steps: the full/incremental call counters, the reusable scratch state of
+/// the mutation path, and the drift-refresh counter.
+struct StepCtx {
+    evals: EvalCounts,
+    scratch: Option<EvalState>,
+    accepted_incremental: usize,
+}
+
+impl StepCtx {
+    fn new() -> Self {
+        StepCtx {
+            evals: EvalCounts::default(),
+            scratch: None,
+            accepted_incremental: 0,
+        }
+    }
+
+    /// Whether the drift-refresh policy demands a full assessment now.
+    fn refresh_due(&self, cfg: &EvoConfig) -> bool {
+        cfg.incremental_refresh > 0 && self.accepted_incremental >= cfg.incremental_refresh
+    }
+
+    /// A full assessment ran on an incremental-capable path: drift resets.
+    fn note_full(&mut self) {
+        self.accepted_incremental = 0;
+    }
+}
 
 /// A configured evolutionary run.
 ///
@@ -27,6 +56,7 @@ pub struct Evolution {
     evaluator: Evaluator,
     config: EvoConfig,
     population: Option<Population>,
+    initial_evaluations: usize,
 }
 
 impl Evolution {
@@ -36,6 +66,7 @@ impl Evolution {
             evaluator,
             config,
             population: None,
+            initial_evaluations: 0,
         }
     }
 
@@ -64,6 +95,7 @@ impl Evolution {
                 })?;
         }
         let states = evaluate_all(&self.evaluator, &items, self.config.parallel_init);
+        self.initial_evaluations = items.len();
         let members = items
             .into_iter()
             .zip(states)
@@ -110,22 +142,23 @@ impl Evolution {
         for point in &initial {
             archive.offer(point.clone());
         }
-        trace.record(0, &pop.scores(), None, false);
+        trace.record(0, pop.scores(), None, false);
 
         let mut best = pop.best().score();
         let mut since_improvement = 0usize;
         let mut t = 0usize;
         let mut op_stats = OperatorStats::new(cfg.operator_schedule, cfg.mutation_rate);
+        let mut ctx = StepCtx::new();
         while !cfg.stop.should_stop(t, since_improvement) {
             let (op, accepted) = if rng.gen::<f64>() < op_stats.mutation_rate() {
                 (
                     OperatorKind::Mutation,
-                    self.mutation_step(&mut pop, &mut archive, &mut rng),
+                    self.mutation_step(&mut pop, &mut archive, &mut rng, &mut ctx),
                 )
             } else {
                 (
                     OperatorKind::Crossover,
-                    self.crossover_step(&mut pop, &mut archive, &mut rng),
+                    self.crossover_step(&mut pop, &mut archive, &mut rng, &mut ctx),
                 )
             };
             op_stats.record(op, accepted);
@@ -137,10 +170,12 @@ impl Evolution {
             } else {
                 since_improvement += 1;
             }
-            trace.record(t, &pop.scores(), Some(op), accepted);
+            trace.record(t, pop.scores(), Some(op), accepted);
             observer(trace.last().expect("just recorded"));
         }
 
+        let mut eval_counts = ctx.evals;
+        eval_counts.full += self.initial_evaluations;
         EvolutionOutcome {
             initial,
             final_points: pop.scatter(),
@@ -148,6 +183,7 @@ impl Evolution {
             iterations_run: t,
             pareto_front: archive.front(),
             final_mutation_rate: op_stats.mutation_rate(),
+            eval_counts,
             population: pop,
         }
     }
@@ -155,56 +191,137 @@ impl Evolution {
     /// One mutation generation: proportional selection, single-cell
     /// mutation, parent/offspring elitism. Returns whether the offspring
     /// survived.
+    ///
+    /// With [`EvoConfig::incremental_mutation`] the child is scored by
+    /// patching the parent's cached state into the run's scratch buffer —
+    /// rejected offspring pay no state-sized allocations (only the rank
+    /// rebuild's O(c) scratch inside the evaluator), accepted ones pay one
+    /// state clone.
     fn mutation_step(
         &self,
         pop: &mut Population,
         archive: &mut ParetoArchive,
         rng: &mut StdRng,
+        ctx: &mut StepCtx,
     ) -> bool {
-        let i = self.config.selection.select(&pop.scores(), rng);
+        let i = self.config.selection.select(pop.scores(), rng);
         let parent = pop.get(i);
         let mut child_data = parent.data.clone();
         let Some(mu) = mutate(&mut child_data, rng) else {
             return false;
         };
-        let child_state = if self.config.incremental_mutation {
-            self.evaluator
-                .reassess_mutation(parent.state(), &child_data, mu.row, mu.attr, mu.old)
+        let agg = self.config.aggregator;
+        if self.config.incremental_mutation && !ctx.refresh_due(&self.config) {
+            let patch = Patch::cell(mu.row, mu.attr, mu.old);
+            let parent_score = parent.score();
+            let name = parent.name.clone();
+            let assessment = match ctx.scratch.as_mut() {
+                Some(s) => {
+                    self.evaluator
+                        .reassess_into(parent.state(), &child_data, &patch, s);
+                    s.assessment
+                }
+                None => {
+                    ctx.scratch =
+                        Some(self.evaluator.reassess(parent.state(), &child_data, &patch));
+                    ctx.scratch.as_ref().expect("just set").assessment
+                }
+            };
+            ctx.evals.incremental += 1;
+            let score = assessment.score(agg);
+            archive.offer(ScatterPoint {
+                name: name.clone(),
+                il: assessment.il(),
+                dr: assessment.dr(),
+                score,
+            });
+            if offspring_wins(parent_score, score) {
+                ctx.accepted_incremental += 1;
+                let state = ctx.scratch.as_ref().expect("scratch just filled");
+                let child = Individual::from_scratch(name, child_data, state, agg);
+                pop.replace(i, child);
+                true
+            } else {
+                false
+            }
         } else {
-            self.evaluator.assess(&child_data)
-        };
-        let child = Individual::new(
-            parent.name.clone(),
-            child_data,
-            child_state,
-            self.config.aggregator,
-        );
-        archive.offer(ScatterPoint::of(&child));
-        if offspring_wins(parent.score(), child.score()) {
-            pop.replace(i, child);
-            true
-        } else {
-            false
+            let child_state = self.evaluator.assess(&child_data);
+            ctx.evals.full += 1;
+            if self.config.incremental_mutation {
+                ctx.note_full();
+            }
+            let child = Individual::new(parent.name.clone(), child_data, child_state, agg);
+            archive.offer(ScatterPoint::of(&child));
+            if offspring_wins(parent.score(), child.score()) {
+                pop.replace(i, child);
+                true
+            } else {
+                false
+            }
         }
     }
 
     /// One crossover generation: leader + proportional selection, 2-point
     /// crossover, Deterministic Crowding duels. Returns whether any
     /// offspring survived.
+    ///
+    /// The two offspring evaluate concurrently on scoped threads when
+    /// [`EvoConfig::parallel_offspring`] is on and the file is large enough
+    /// to amortize the spawns; with [`EvoConfig::incremental_crossover`]
+    /// each child is re-assessed from its frame parent's cached state via a
+    /// flat-range [`Patch`] instead of a full O(n²) pass. Unlike the
+    /// mutation path, each child pays one O(n) state clone inside
+    /// [`cdp_metrics::Evaluator::reassess`]: both children may enter the
+    /// population, so owned states are required either way, and the clone
+    /// is <1% of the segment-relink work it rides along with (measured in
+    /// `BENCH_evaluator.json`).
     fn crossover_step(
         &self,
         pop: &mut Population,
         archive: &mut ParetoArchive,
         rng: &mut StdRng,
+        ctx: &mut StepCtx,
     ) -> bool {
         let nb = self.config.leader_group(pop.len());
         let i1 = select_leader(pop.len(), nb, rng);
-        let i2 = self.config.selection.select(&pop.scores(), rng);
+        let i2 = self.config.selection.select(pop.scores(), rng);
 
-        let (z1_data, z2_data, _) = crossover(&pop.get(i1).data, &pop.get(i2).data, rng);
-        // offspring are genuinely new files -> full evaluation
-        let z1_state = self.evaluator.assess(&z1_data);
-        let z2_state = self.evaluator.assess(&z2_data);
+        let (z1_data, z2_data, (s, r)) = crossover(&pop.get(i1).data, &pop.get(i2).data, rng);
+        let parallel = self.config.parallel_offspring && z1_data.n_rows() >= MIN_PARALLEL_EVAL_ROWS;
+        let incremental = self.config.incremental_crossover && !ctx.refresh_due(&self.config);
+        let (z1_state, z2_state) = if incremental {
+            // each child shares its frame parent's file outside [s, r]:
+            // patch the parent's cached state with the swapped-in segment
+            let old1: Vec<_> = (s..=r).map(|p| pop.get(i1).data.get_flat(p)).collect();
+            let old2: Vec<_> = (s..=r).map(|p| pop.get(i2).data.get_flat(p)).collect();
+            let patch1 = Patch::flat_range(s, r, old1);
+            let patch2 = Patch::flat_range(s, r, old2);
+            let tasks = [
+                EvalTask::Patch {
+                    prev: pop.get(i1).state(),
+                    masked: &z1_data,
+                    patch: &patch1,
+                },
+                EvalTask::Patch {
+                    prev: pop.get(i2).state(),
+                    masked: &z2_data,
+                    patch: &patch2,
+                },
+            ];
+            let mut states = evaluate_tasks(&self.evaluator, &tasks, parallel);
+            ctx.evals.incremental += 2;
+            let z2_state = states.pop().expect("two states");
+            (states.pop().expect("two states"), z2_state)
+        } else {
+            let tasks = [EvalTask::Full(&z1_data), EvalTask::Full(&z2_data)];
+            let mut states = evaluate_tasks(&self.evaluator, &tasks, parallel);
+            ctx.evals.full += 2;
+            if self.config.incremental_crossover {
+                ctx.note_full();
+            }
+            let z2_state = states.pop().expect("two states");
+            (states.pop().expect("two states"), z2_state)
+        };
         let z1 = Individual::new(
             pop.get(i1).name.clone(),
             z1_data,
@@ -236,6 +353,9 @@ impl Evolution {
             // better offspring gets the single slot if it wins
             let best_child = if c1.score() <= c2.score() { c1 } else { c2 };
             if offspring_wins(pop.get(i1).score(), best_child.score()) {
+                if incremental {
+                    ctx.accepted_incremental += 1;
+                }
                 pop.replace(i1, best_child);
                 return true;
             }
@@ -244,6 +364,9 @@ impl Evolution {
 
         let win1 = offspring_wins(pop.get(i1).score(), c1.score());
         let win2 = offspring_wins(pop.get(i2).score(), c2.score());
+        if incremental {
+            ctx.accepted_incremental += usize::from(win1) + usize::from(win2);
+        }
         if win1 {
             pop.replace_unsorted(i1, c1);
         }
@@ -317,6 +440,9 @@ pub struct EvolutionOutcome {
     /// Mutation rate at the end of the run (differs from the configured
     /// rate only under the adaptive operator schedule).
     pub final_mutation_rate: f64,
+    /// Fitness evaluations performed, split into full assessments (initial
+    /// population included) and patch-based re-assessments.
+    pub eval_counts: EvalCounts,
     /// Iterations actually executed.
     pub iterations_run: usize,
     /// Final population, sorted by score.

@@ -32,8 +32,24 @@ pub struct EvoConfig {
     /// Use the incremental evaluator for mutation offspring (extension;
     /// exact IL/ID, record-local linkage — see `cdp-metrics`).
     pub incremental_mutation: bool,
+    /// Use the patch-based incremental evaluator for crossover offspring
+    /// (extension): each child is re-assessed from its frame parent's
+    /// cached state via a flat-range patch instead of a full O(n²) pass.
+    /// Exact for CTBIL/DBIL/EBIL/ID and DBRL; the PRL/RSRL approximation
+    /// profile matches [`EvoConfig::incremental_mutation`].
+    pub incremental_crossover: bool,
+    /// Drift-refresh policy for the incremental paths: after this many
+    /// *accepted* incrementally-evaluated offspring, the next offspring is
+    /// scored with a full assessment, bounding PRL/RSRL approximation
+    /// drift. `0` disables refreshing. Ignored while both incremental
+    /// knobs are off.
+    pub incremental_refresh: usize,
     /// Evaluate the initial population on all cores.
     pub parallel_init: bool,
+    /// Evaluate the two crossover offspring concurrently on scoped threads
+    /// (kicks in above [`crate::parallel::MIN_PARALLEL_EVAL_ROWS`] rows;
+    /// evaluation draws no RNG, so results are bit-identical either way).
+    pub parallel_offspring: bool,
 }
 
 impl Default for EvoConfig {
@@ -48,7 +64,10 @@ impl Default for EvoConfig {
             replacement: ReplacementPolicy::IndexPairedCrowding,
             stop: StopCondition::default(),
             incremental_mutation: false,
+            incremental_crossover: false,
+            incremental_refresh: 64,
             parallel_init: true,
+            parallel_offspring: true,
         }
     }
 }
@@ -156,9 +175,28 @@ impl EvoConfigBuilder {
         self
     }
 
+    /// Toggle incremental (patch-based) crossover evaluation.
+    pub fn incremental_crossover(mut self, on: bool) -> Self {
+        self.cfg.incremental_crossover = on;
+        self
+    }
+
+    /// Accepted-offspring interval between full drift-refresh assessments
+    /// on the incremental paths (`0` = never refresh).
+    pub fn incremental_refresh(mut self, every: usize) -> Self {
+        self.cfg.incremental_refresh = every;
+        self
+    }
+
     /// Toggle parallel initial evaluation.
     pub fn parallel_init(mut self, on: bool) -> Self {
         self.cfg.parallel_init = on;
+        self
+    }
+
+    /// Toggle concurrent evaluation of the two crossover offspring.
+    pub fn parallel_offspring(mut self, on: bool) -> Self {
+        self.cfg.parallel_offspring = on;
         self
     }
 
@@ -188,13 +226,19 @@ mod tests {
             .selection(SelectionWeighting::Rank)
             .replacement(ReplacementPolicy::DistancePairedCrowding)
             .incremental_mutation(true)
+            .incremental_crossover(true)
+            .incremental_refresh(9)
             .parallel_init(false)
+            .parallel_offspring(false)
             .build();
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.stop.max_iterations, 123);
         assert_eq!(cfg.stop.stagnation, Some(17));
         assert!(cfg.incremental_mutation);
+        assert!(cfg.incremental_crossover);
+        assert_eq!(cfg.incremental_refresh, 9);
         assert!(!cfg.parallel_init);
+        assert!(!cfg.parallel_offspring);
     }
 
     #[test]

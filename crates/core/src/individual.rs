@@ -31,6 +31,19 @@ impl Individual {
         }
     }
 
+    /// Wrap a protection whose state lives in a borrowed scratch buffer
+    /// (the state is cloned *here*, which is the only copy the scratch
+    /// evaluation path pays — and only for offspring that actually win
+    /// their duel).
+    pub fn from_scratch(
+        name: String,
+        data: SubTable,
+        state: &EvalState,
+        agg: ScoreAggregator,
+    ) -> Self {
+        Individual::new(name, data, state.clone(), agg)
+    }
+
     /// Cached fitness score (smaller is better).
     pub fn score(&self) -> f64 {
         self.score

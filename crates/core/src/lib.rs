@@ -45,7 +45,6 @@ mod archive;
 mod config;
 mod error;
 mod individual;
-mod parallel;
 mod population;
 mod replacement;
 mod selection;
@@ -54,6 +53,7 @@ mod telemetry;
 
 pub mod nsga;
 pub mod operators;
+pub mod parallel;
 
 pub use adaptive::{OperatorSchedule, OperatorStats};
 pub use algorithm::{Evolution, EvolutionOutcome, ScoreSummary};
@@ -63,9 +63,9 @@ pub use error::{EvoError, Result};
 pub use individual::Individual;
 pub use nsga::{FrontStats, Nsga2, NsgaConfig, NsgaOutcome};
 pub use operators::OperatorKind;
-pub use parallel::evaluate_all;
+pub use parallel::{evaluate_all, evaluate_tasks, EvalTask};
 pub use population::Population;
 pub use replacement::ReplacementPolicy;
 pub use selection::SelectionWeighting;
 pub use stop::StopCondition;
-pub use telemetry::{GenerationStats, ScatterPoint, Trace};
+pub use telemetry::{EvalCounts, GenerationStats, ScatterPoint, Trace};

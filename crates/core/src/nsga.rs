@@ -16,15 +16,15 @@
 //! example and the extension bench a clean ablation.
 
 use cdp_dataset::SubTable;
-use cdp_metrics::{Evaluator, ScoreAggregator};
+use cdp_metrics::{Evaluator, Patch, ScoreAggregator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::archive::ParetoArchive;
 use crate::individual::Individual;
 use crate::operators::{crossover, mutate};
-use crate::parallel::evaluate_all;
-use crate::telemetry::ScatterPoint;
+use crate::parallel::{evaluate_all, evaluate_tasks, EvalTask};
+use crate::telemetry::{EvalCounts, ScatterPoint};
 use crate::{EvoError, Result};
 
 /// Configuration of an NSGA-II run.
@@ -39,8 +39,21 @@ pub struct NsgaConfig {
     pub crossover_prob: f64,
     /// RNG seed; equal seeds reproduce runs exactly.
     pub seed: u64,
-    /// Evaluate the initial population on all cores.
+    /// Evaluate the initial population (and each generation's offspring
+    /// batch) on all cores.
     pub parallel_init: bool,
+    /// Score offspring by patching their primary parent's cached state
+    /// (mutation: one cell; crossover: the swapped flat segment) instead of
+    /// a full O(n²) assessment. Exact for CTBIL/DBIL/EBIL/ID and DBRL,
+    /// the frozen-weights/midrank approximation for PRL/RSRL — the same
+    /// profile as `EvoConfig::incremental_mutation`.
+    pub incremental: bool,
+    /// Drift-refresh interval for [`NsgaConfig::incremental`]: every this
+    /// many generations the *whole surviving population* is re-assessed
+    /// fully, resetting accumulated PRL/RSRL approximation error (patched
+    /// states are otherwise patches-of-patches whose drift would compound
+    /// without bound over long runs). `0` disables refreshing.
+    pub incremental_refresh: usize,
 }
 
 impl Default for NsgaConfig {
@@ -51,6 +64,8 @@ impl Default for NsgaConfig {
             crossover_prob: 0.5,
             seed: 0,
             parallel_init: true,
+            incremental: false,
+            incremental_refresh: 16,
         }
     }
 }
@@ -220,8 +235,13 @@ pub struct NsgaOutcome {
     /// Hypervolume of the population front after each generation
     /// (index 0 = initial population), reference point (100, 100).
     pub hypervolume_series: Vec<f64>,
-    /// Total fitness evaluations performed (initial population included).
+    /// Total fitness evaluations performed (initial population included);
+    /// always `eval_counts.total()` — derived at construction, never
+    /// counted separately.
     pub evaluations: usize,
+    /// The same evaluations split into full assessments and patch-based
+    /// re-assessments.
+    pub eval_counts: EvalCounts,
 }
 
 /// The hypervolume reference point: measures live in `[0, 100]²`.
@@ -303,7 +323,10 @@ impl Nsga2 {
         let n = pop.len();
         let lambda = if cfg.offspring == 0 { n } else { cfg.offspring };
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0045_A6A2);
-        let mut evaluations = n;
+        let mut eval_counts = EvalCounts {
+            full: n,
+            incremental: 0,
+        };
 
         let mut archive = ParetoArchive::new();
         for ind in &pop {
@@ -313,6 +336,23 @@ impl Nsga2 {
         let mut hv_series = vec![front_hv(&pop)];
 
         for gen in 0..cfg.generations {
+            // drift refresh: periodically replace every survivor's patched
+            // state with an exact one, so approximation error is bounded by
+            // what accumulates within one refresh window
+            if cfg.incremental
+                && cfg.incremental_refresh > 0
+                && gen > 0
+                && gen % cfg.incremental_refresh == 0
+            {
+                let tasks: Vec<EvalTask<'_>> =
+                    pop.iter().map(|ind| EvalTask::Full(&ind.data)).collect();
+                let states = evaluate_tasks(&self.evaluator, &tasks, cfg.parallel_init);
+                drop(tasks);
+                eval_counts.full += pop.len();
+                for (ind, state) in pop.iter_mut().zip(states) {
+                    ind.replace_state(state, ScoreAggregator::Max);
+                }
+            }
             let (rank_of, crowd_of) = rank_and_crowd(&pop);
             let tournament = |rng: &mut StdRng| -> usize {
                 let a = rng.gen_range(0..pop.len());
@@ -320,7 +360,10 @@ impl Nsga2 {
                 pick(a, b, &rank_of, &crowd_of, rng)
             };
 
-            let mut children: Vec<(String, SubTable)> = Vec::with_capacity(lambda + 1);
+            // each pending child remembers its primary parent and, when the
+            // incremental path is on, the patch relating it to that parent
+            let mut children: Vec<(String, SubTable, Option<Patch>, usize)> =
+                Vec::with_capacity(lambda + 1);
             while children.len() < lambda {
                 let use_crossover = pop.len() >= 2 && rng.gen::<f64>() < cfg.crossover_prob;
                 if use_crossover {
@@ -329,14 +372,27 @@ impl Nsga2 {
                     if p2 == p1 {
                         p2 = (p1 + 1) % pop.len();
                     }
-                    let (z1, z2, _) = crossover(&pop[p1].data, &pop[p2].data, &mut rng);
-                    children.push((format!("nsga-x{gen}"), z1));
-                    children.push((format!("nsga-x{gen}"), z2));
+                    let (z1, z2, (s, r)) = crossover(&pop[p1].data, &pop[p2].data, &mut rng);
+                    let (patch1, patch2) = if cfg.incremental {
+                        let old1: Vec<_> = (s..=r).map(|p| pop[p1].data.get_flat(p)).collect();
+                        let old2: Vec<_> = (s..=r).map(|p| pop[p2].data.get_flat(p)).collect();
+                        (
+                            Some(Patch::flat_range(s, r, old1)),
+                            Some(Patch::flat_range(s, r, old2)),
+                        )
+                    } else {
+                        (None, None)
+                    };
+                    children.push((format!("nsga-x{gen}"), z1, patch1, p1));
+                    children.push((format!("nsga-x{gen}"), z2, patch2, p2));
                 } else {
                     let p = tournament(&mut rng);
                     let mut data = pop[p].data.clone();
-                    if mutate(&mut data, &mut rng).is_some() {
-                        children.push((format!("nsga-m{gen}"), data));
+                    if let Some(mu) = mutate(&mut data, &mut rng) {
+                        let patch = cfg
+                            .incremental
+                            .then(|| Patch::cell(mu.row, mu.attr, mu.old));
+                        children.push((format!("nsga-m{gen}"), data, patch, p));
                     } else {
                         // degenerate schema (all attributes single-category):
                         // crossover cannot help either; stop producing
@@ -349,9 +405,26 @@ impl Nsga2 {
                 break;
             }
 
-            let states = evaluate_all(&self.evaluator, &children, cfg.parallel_init);
-            evaluations += children.len();
-            for ((name, data), state) in children.into_iter().zip(states) {
+            let tasks: Vec<EvalTask<'_>> = children
+                .iter()
+                .map(|(_, data, patch, parent)| match patch {
+                    Some(patch) => EvalTask::Patch {
+                        prev: pop[*parent].state(),
+                        masked: data,
+                        patch,
+                    },
+                    None => EvalTask::Full(data),
+                })
+                .collect();
+            let states = evaluate_tasks(&self.evaluator, &tasks, cfg.parallel_init);
+            drop(tasks);
+            for (_, _, patch, _) in &children {
+                match patch {
+                    Some(_) => eval_counts.incremental += 1,
+                    None => eval_counts.full += 1,
+                }
+            }
+            for ((name, data, _, _), state) in children.into_iter().zip(states) {
                 let ind = Individual::new(name, data, state, ScoreAggregator::Max);
                 archive.offer(ScatterPoint::of(&ind));
                 pop.push(ind);
@@ -378,7 +451,8 @@ impl Nsga2 {
             initial_front,
             archive_front,
             hypervolume_series: hv_series,
-            evaluations,
+            evaluations: eval_counts.total(),
+            eval_counts,
         }
     }
 }
@@ -589,6 +663,73 @@ mod tests {
         }
         assert_eq!(a.hypervolume_series, b.hypervolume_series);
         assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn incremental_offspring_track_the_full_run_closely() {
+        let run = |incremental: bool| {
+            let ds = DatasetKind::German.generate(&GeneratorConfig::seeded(15).with_records(60));
+            let pop = build_population(&ds, &SuiteConfig::small(), 15).unwrap();
+            let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+            let cfg = NsgaConfig {
+                generations: 6,
+                seed: 15,
+                incremental,
+                ..NsgaConfig::default()
+            };
+            Nsga2::new(ev, cfg)
+                .with_named_population(pop)
+                .unwrap()
+                .run()
+        };
+        let full = run(false);
+        let inc = run(true);
+        assert_eq!(full.eval_counts.incremental, 0);
+        assert_eq!(full.eval_counts.total(), full.evaluations);
+        // only the initial population pays a full assessment
+        assert!(inc.eval_counts.incremental > 0);
+        assert!(inc.eval_counts.full * 2 <= full.eval_counts.full);
+        assert_eq!(inc.eval_counts.total(), inc.evaluations);
+        // hypervolumes stay in the same regime (PRL/RSRL drift only)
+        let (a, b) = (
+            *full.hypervolume_series.last().unwrap(),
+            *inc.hypervolume_series.last().unwrap(),
+        );
+        assert!(
+            (a - b).abs() < 0.25 * a.max(b).max(1.0),
+            "incremental front drifted: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn incremental_refresh_periodically_re_assesses_the_population() {
+        let run = |refresh: usize| {
+            let ds = DatasetKind::German.generate(&GeneratorConfig::seeded(16).with_records(50));
+            let pop = build_population(&ds, &SuiteConfig::small(), 16).unwrap();
+            let n = pop.len();
+            let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+            let cfg = NsgaConfig {
+                generations: 8,
+                seed: 16,
+                incremental: true,
+                incremental_refresh: refresh,
+                ..NsgaConfig::default()
+            };
+            let out = Nsga2::new(ev, cfg)
+                .with_named_population(pop)
+                .unwrap()
+                .run();
+            (n, out)
+        };
+        let (n, never) = run(0);
+        assert_eq!(
+            never.eval_counts.full, n,
+            "refresh=0 must only pay the initial assessments"
+        );
+        let (n, every3) = run(3);
+        // refreshes at generations 3 and 6 re-assess the whole population
+        assert_eq!(every3.eval_counts.full, n + 2 * n);
+        assert_eq!(every3.eval_counts.total(), every3.evaluations);
     }
 
     #[test]

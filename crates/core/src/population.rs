@@ -5,16 +5,23 @@ use crate::telemetry::ScatterPoint;
 
 /// A population sorted so that `members()[0]` is the best individual
 /// (minimal score), as §2.4 of the paper assumes.
+///
+/// The score vector is cached and kept in sync by every mutating method:
+/// the evolution loop reads it three times per iteration (two selections
+/// and the trace snapshot), so materializing it on demand was a
+/// per-generation allocation hotspot.
 #[derive(Debug, Clone)]
 pub struct Population {
     members: Vec<Individual>,
+    scores: Vec<f64>,
 }
 
 impl Population {
     /// Build a population (sorts the members).
     pub fn new(mut members: Vec<Individual>) -> Self {
         members.sort_by(|a, b| a.score().partial_cmp(&b.score()).expect("finite scores"));
-        Population { members }
+        let scores = members.iter().map(Individual::score).collect();
+        Population { members, scores }
     }
 
     /// Number of individuals.
@@ -47,6 +54,7 @@ impl Population {
     /// replacements in one generation (the crossover duels) batch them and
     /// call [`Population::resort`] once, keeping indices stable in between.
     pub fn replace_unsorted(&mut self, i: usize, ind: Individual) {
+        self.scores[i] = ind.score();
         self.members[i] = ind;
     }
 
@@ -54,11 +62,14 @@ impl Population {
     pub fn resort(&mut self) {
         self.members
             .sort_by(|a, b| a.score().partial_cmp(&b.score()).expect("finite scores"));
+        for (slot, member) in self.scores.iter_mut().zip(&self.members) {
+            *slot = member.score();
+        }
     }
 
-    /// All scores, sorted ascending.
-    pub fn scores(&self) -> Vec<f64> {
-        self.members.iter().map(Individual::score).collect()
+    /// All scores, sorted ascending (cached; no allocation).
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
     }
 
     /// (IL, DR) snapshot of the whole population.
@@ -83,6 +94,7 @@ impl Population {
         let n = self.members.len();
         let drop = ((n as f64 * fraction).round() as usize).min(n.saturating_sub(1));
         self.members.drain(0..drop);
+        self.scores.drain(0..drop);
     }
 }
 
@@ -152,6 +164,27 @@ mod tests {
         let mut p = tiny_population(3);
         p.drop_best_fraction(5.0);
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn cached_scores_track_every_mutation() {
+        let mut p = tiny_population(6);
+        let check = |p: &Population| {
+            let fresh: Vec<f64> = p.members().iter().map(Individual::score).collect();
+            assert_eq!(p.scores(), &fresh[..]);
+        };
+        check(&p);
+        let best = p.best().clone();
+        p.replace(p.len() - 1, best.clone());
+        check(&p);
+        p.replace_unsorted(2, best.clone());
+        p.replace_unsorted(4, best);
+        // the cache mirrors members even while unsorted …
+        check(&p);
+        p.resort();
+        check(&p);
+        p.drop_best_fraction(0.3);
+        check(&p);
     }
 
     #[test]

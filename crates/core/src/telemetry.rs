@@ -31,6 +31,29 @@ impl ScatterPoint {
     }
 }
 
+/// How many fitness evaluations a run performed, split by path.
+///
+/// `full` counts complete [`cdp_metrics::Evaluator::assess`] passes
+/// (initial population included); `incremental` counts patch-based
+/// re-assessments ([`cdp_metrics::Evaluator::reassess`] /
+/// `reassess_into`). The split is the observable behind the delta-vs-full
+/// benchmarks: flipping the incremental knobs must move work from `full`
+/// to `incremental` without changing the RNG stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCounts {
+    /// Full O(n²) assessments.
+    pub full: usize,
+    /// Patch-based re-assessments.
+    pub incremental: usize,
+}
+
+impl EvalCounts {
+    /// Total evaluations of either kind.
+    pub fn total(&self) -> usize {
+        self.full + self.incremental
+    }
+}
+
 /// Per-iteration population statistics, as plotted in the paper's evolution
 /// figures (Figs. 2, 4, 6, 8, 10, 12, 14, 16, 19, 20).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -61,9 +61,7 @@ fn runs_are_seed_deterministic() {
     };
     let (a, b) = (run(), run());
     assert_eq!(a.iterations_run, b.iterations_run);
-    let sa: Vec<f64> = a.population.scores();
-    let sb: Vec<f64> = b.population.scores();
-    assert_eq!(sa, sb);
+    assert_eq!(a.population.scores(), b.population.scores());
     for (x, y) in a.trace.generations.iter().zip(b.trace.generations.iter()) {
         assert_eq!(x.min, y.min);
         assert_eq!(x.mean, y.mean);
@@ -237,6 +235,91 @@ fn incremental_mutation_matches_full_closely() {
         si.final_mean,
         sf.final_mean
     );
+}
+
+#[test]
+fn incremental_crossover_matches_full_closely_and_cuts_full_assessments() {
+    let run = |incremental: bool| {
+        let (ev, pop) = setup(DatasetKind::Adult, 70, 17);
+        let cfg = EvoConfig::builder()
+            .iterations(60)
+            .incremental_mutation(incremental)
+            .incremental_crossover(incremental)
+            .seed(17)
+            .build();
+        Evolution::new(ev, cfg)
+            .with_named_population(pop)
+            .unwrap()
+            .run()
+    };
+    let full = run(false);
+    let inc = run(true);
+    // the incremental run must perform at least 2x fewer full assessments
+    assert_eq!(full.eval_counts.incremental, 0);
+    assert!(
+        inc.eval_counts.full * 2 <= full.eval_counts.full,
+        "full assessments not halved: {} vs {}",
+        inc.eval_counts.full,
+        full.eval_counts.full
+    );
+    assert!(inc.eval_counts.incremental > 0);
+    assert_eq!(inc.eval_counts.total(), full.eval_counts.total());
+    // … while telling the same optimization story
+    let (sf, si) = (full.summary(), inc.summary());
+    assert!(
+        (sf.final_mean - si.final_mean).abs() < 3.0,
+        "incremental drifted: {} vs {}",
+        si.final_mean,
+        sf.final_mean
+    );
+}
+
+#[test]
+fn drift_refresh_interleaves_full_assessments() {
+    // with a tiny refresh interval, the incremental run must still perform
+    // full offspring assessments every few accepted children
+    let (ev, pop) = setup(DatasetKind::Adult, 60, 18);
+    let initial = pop.len();
+    let cfg = EvoConfig::builder()
+        .iterations(60)
+        .incremental_mutation(true)
+        .incremental_crossover(true)
+        .incremental_refresh(2)
+        .seed(18)
+        .build();
+    let outcome = Evolution::new(ev, cfg)
+        .with_named_population(pop)
+        .unwrap()
+        .run();
+    assert!(
+        outcome.eval_counts.full > initial,
+        "refresh policy never triggered a full offspring assessment"
+    );
+    assert!(outcome.eval_counts.incremental > 0);
+}
+
+#[test]
+fn parallel_offspring_is_bit_identical_to_serial() {
+    // the file must be large enough that the parallel run actually takes
+    // the threaded branch (crossover_step gates on MIN_PARALLEL_EVAL_ROWS)
+    let rows = cdp_core::parallel::MIN_PARALLEL_EVAL_ROWS + 14;
+    let run = |parallel: bool| {
+        let (ev, pop) = setup(DatasetKind::German, rows, 19);
+        assert!(ev.prepared().n_rows() >= cdp_core::parallel::MIN_PARALLEL_EVAL_ROWS);
+        let cfg = EvoConfig::builder()
+            .iterations(14)
+            .mutation_rate(0.0)
+            .parallel_offspring(parallel)
+            .seed(19)
+            .build();
+        Evolution::new(ev, cfg)
+            .with_named_population(pop)
+            .unwrap()
+            .run()
+    };
+    let (a, b) = (run(false), run(true));
+    assert_eq!(a.population.scores(), b.population.scores());
+    assert_eq!(a.eval_counts, b.eval_counts);
 }
 
 #[test]

@@ -8,7 +8,7 @@
 use cdp_dataset::{Code, SubTable};
 
 /// Order-1 and order-2 contingency tables of one sub-table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct ContingencyTables {
     /// `singles[k][v]` = number of records with value `v` on attribute `k`.
     singles: Vec<Vec<u32>>,
@@ -17,6 +17,35 @@ pub struct ContingencyTables {
     /// Category count per attribute (for flattening).
     cats: Vec<usize>,
     n_rows: usize,
+}
+
+impl Clone for ContingencyTables {
+    fn clone(&self) -> Self {
+        ContingencyTables {
+            singles: self.singles.clone(),
+            pairs: self.pairs.clone(),
+            cats: self.cats.clone(),
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Buffer-reusing copy: when the shapes match (the only case on the
+    /// evaluator's hot path, where scratch states all describe one schema),
+    /// no heap allocation is performed.
+    fn clone_from(&mut self, src: &Self) {
+        self.singles.clone_from(&src.singles);
+        self.cats.clone_from(&src.cats);
+        self.n_rows = src.n_rows;
+        if self.pairs.len() == src.pairs.len() {
+            for (dst, s) in self.pairs.iter_mut().zip(&src.pairs) {
+                dst.0 = s.0;
+                dst.1 = s.1;
+                dst.2.clone_from(&s.2);
+            }
+        } else {
+            self.pairs.clone_from(&src.pairs);
+        }
+    }
 }
 
 impl ContingencyTables {
@@ -63,22 +92,38 @@ impl ContingencyTables {
     /// attribute `k`, previous code `old` (the new code is read from
     /// `masked`). O(#attrs).
     pub fn apply_mutation(&mut self, masked: &SubTable, row: usize, k: usize, old: Code) {
-        let new = masked.get(row, k);
-        if new == old {
-            return;
-        }
-        self.singles[k][old as usize] -= 1;
-        self.singles[k][new as usize] += 1;
-        for (i, j, table) in &mut self.pairs {
-            if *i == k {
-                let other = masked.get(row, *j) as usize;
-                table[old as usize * self.cats[*j] + other] -= 1;
-                table[new as usize * self.cats[*j] + other] += 1;
-            } else if *j == k {
-                let other = masked.get(row, *i) as usize;
-                table[other * self.cats[*j] + old as usize] -= 1;
-                table[other * self.cats[*j] + new as usize] += 1;
+        self.apply_row_patch(masked, row, &[(k, old)]);
+    }
+
+    /// Update the tables after several cells of *one* record changed at
+    /// once: `changed` lists `(attribute, previous code)` pairs, the new
+    /// codes are read from `masked`. Handling a whole row in one call keeps
+    /// the pair tables exact when two attributes of the same record change
+    /// together (per-cell updates would mis-credit the intermediate pair).
+    /// O(#attrs²).
+    pub fn apply_row_patch(&mut self, masked: &SubTable, row: usize, changed: &[(usize, Code)]) {
+        let old_of = |k: usize| {
+            changed
+                .iter()
+                .find(|&&(kk, _)| kk == k)
+                .map_or_else(|| masked.get(row, k), |&(_, old)| old)
+        };
+        for &(k, old) in changed {
+            let new = masked.get(row, k);
+            if new == old {
+                continue;
             }
+            self.singles[k][old as usize] -= 1;
+            self.singles[k][new as usize] += 1;
+        }
+        for (i, j, table) in &mut self.pairs {
+            let (oi, oj) = (old_of(*i) as usize, old_of(*j) as usize);
+            let (ni, nj) = (masked.get(row, *i) as usize, masked.get(row, *j) as usize);
+            if (oi, oj) == (ni, nj) {
+                continue;
+            }
+            table[oi * self.cats[*j] + oj] -= 1;
+            table[ni * self.cats[*j] + nj] += 1;
         }
     }
 
@@ -189,6 +234,30 @@ mod tests {
             tables.apply_mutation(&m, row, k, old);
         }
         assert_eq!(tables, ContingencyTables::build(&m));
+    }
+
+    #[test]
+    fn apply_row_patch_matches_rebuild_when_two_attrs_of_one_row_change() {
+        let s = sub();
+        let mut tables = ContingencyTables::build(&s);
+        let mut m = s.clone();
+        let old0 = m.get(4, 0);
+        let old2 = m.get(4, 2);
+        m.set(4, 0, (old0 + 3) % m.attr(0).n_categories() as Code);
+        m.set(4, 2, (old2 + 5) % m.attr(2).n_categories() as Code);
+        tables.apply_row_patch(&m, 4, &[(0, old0), (2, old2)]);
+        assert_eq!(tables, ContingencyTables::build(&m));
+    }
+
+    #[test]
+    fn clone_from_reuses_matching_shape() {
+        let s = sub();
+        let a = ContingencyTables::build(&s);
+        let mut m = s.clone();
+        m.set(0, 0, (m.get(0, 0) + 1) % m.attr(0).n_categories() as Code);
+        let mut b = ContingencyTables::build(&m);
+        b.clone_from(&a);
+        assert_eq!(a, b);
     }
 
     #[test]

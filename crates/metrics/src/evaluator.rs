@@ -1,22 +1,36 @@
 //! The fitness evaluator: one struct owning every cached statistic needed
-//! to assess a masked file, plus an incremental path for single-cell
-//! mutations.
+//! to assess a masked file, plus a patch-based delta-evaluation engine.
 //!
 //! The paper reports that fitness evaluation consumes 99.98% of a
 //! generation's wall time and names faster IL/DR computation as future
-//! work. Two levers are implemented here:
+//! work. Three levers are implemented here:
 //!
 //! 1. **Original-side caching** — ranks, marginals, contingency tables and
 //!    chance-agreement probabilities of the original file are computed once
-//!    per experiment ([`PreparedOriginal`]).
-//! 2. **Incremental re-assessment** — [`Evaluator::reassess_mutation`]
-//!    updates an [`EvalState`] after a one-cell mutation: CTBIL/DBIL/EBIL/ID
-//!    are updated *exactly* (their sufficient statistics admit O(c) deltas)
-//!    while the three linkage measures relink only the mutated record,
-//!    which is exact for DBRL (links are per-masked-record independent) and
-//!    an approximation for PRL (the EM weights are frozen) and RSRL (other
-//!    records' midranks shift by at most one position). The approximation
-//!    error is measured in `cdp-bench`'s ablation suite.
+//!    per experiment ([`PreparedOriginal`]), and shared across every
+//!    evaluation against that original.
+//! 2. **Patch-based re-assessment** — [`Evaluator::reassess`] updates an
+//!    [`EvalState`] after an arbitrary [`Patch`] of cell changes (a
+//!    mutation's single cell, or a crossover's flattened segment) instead
+//!    of re-scoring the whole file. CTBIL/DBIL/EBIL/ID are updated
+//!    *exactly* per changed cell (their sufficient statistics admit O(c)
+//!    deltas; pair tables are corrected per touched *row* so simultaneous
+//!    changes to two attributes of one record stay exact). The three
+//!    linkage measures relink only the touched records, which is exact for
+//!    DBRL (links are per-masked-record independent) and an approximation
+//!    for PRL (the Fellegi–Sunter weights are frozen at the parent's fit)
+//!    and RSRL (untouched records' midranks may shift). The approximation
+//!    error is measured in `cdp-bench`'s ablation suite, and the evolution
+//!    loop bounds its accumulation with a drift-refresh policy
+//!    (`EvoConfig::incremental_refresh` in `cdp-core`).
+//! 3. **Scratch reuse** — [`Evaluator::reassess_into`] writes the updated
+//!    state into a caller-owned scratch [`EvalState`] whose buffers are
+//!    recycled (`clone_from` is allocation-free once shapes match), so the
+//!    per-offspring cost is a handful of `memcpy`s plus the delta work —
+//!    not five fresh n-sized vectors per iteration.
+//!
+//! [`Evaluator::reassess_mutation`] remains as the single-cell
+//! convenience wrapper over the patch engine.
 
 use cdp_dataset::{Code, SubTable};
 
@@ -27,6 +41,7 @@ use crate::linkage::{
     credits_value, dbrl_credit, dbrl_credits, prl_credit, prl_credits, rsrl_credit, rsrl_credits,
     PrlModel,
 };
+use crate::patch::{Patch, PatchCell};
 use crate::prepared::{MaskedStats, PreparedOriginal};
 use crate::score::ScoreAggregator;
 use crate::{MetricError, Result};
@@ -140,8 +155,8 @@ impl Assessment {
 }
 
 /// An assessment together with the sufficient statistics that make
-/// single-mutation updates cheap.
-#[derive(Debug, Clone)]
+/// patch-based updates cheap.
+#[derive(Debug)]
 pub struct EvalState {
     /// The headline numbers.
     pub assessment: Assessment,
@@ -154,6 +169,39 @@ pub struct EvalState {
     dbrl_credits: Vec<f64>,
     prl_credits: Vec<f64>,
     rsrl_credits: Vec<f64>,
+}
+
+impl Clone for EvalState {
+    fn clone(&self) -> Self {
+        EvalState {
+            assessment: self.assessment,
+            masked_tables: self.masked_tables.clone(),
+            dbil_sum: self.dbil_sum,
+            confusion: self.confusion.clone(),
+            id_counts: self.id_counts.clone(),
+            masked_stats: self.masked_stats.clone(),
+            prl_model: self.prl_model.clone(),
+            dbrl_credits: self.dbrl_credits.clone(),
+            prl_credits: self.prl_credits.clone(),
+            rsrl_credits: self.rsrl_credits.clone(),
+        }
+    }
+
+    /// Field-wise buffer reuse: copying one state over another of the same
+    /// shape performs no heap allocation. [`Evaluator::reassess_into`]
+    /// relies on this to keep the evolution loop allocation-free.
+    fn clone_from(&mut self, src: &Self) {
+        self.assessment = src.assessment;
+        self.masked_tables.clone_from(&src.masked_tables);
+        self.dbil_sum = src.dbil_sum;
+        self.confusion.clone_from(&src.confusion);
+        self.id_counts.clone_from(&src.id_counts);
+        self.masked_stats.clone_from(&src.masked_stats);
+        self.prl_model.clone_from(&src.prl_model);
+        self.dbrl_credits.clone_from(&src.dbrl_credits);
+        self.prl_credits.clone_from(&src.prl_credits);
+        self.rsrl_credits.clone_from(&src.rsrl_credits);
+    }
 }
 
 /// Fitness evaluator bound to one original file.
@@ -249,12 +297,14 @@ impl Evaluator {
         }
     }
 
-    /// Re-assess after a single-cell mutation.
+    /// Re-assess after a single-cell mutation: the single-cell wrapper
+    /// over [`Evaluator::reassess`].
     ///
     /// `masked` must already contain the new value at `(row, k)`; `old` is
-    /// the value it replaced. IL and interval disclosure are updated
-    /// exactly; the linkage measures relink only record `row` (exact for
-    /// DBRL, approximate for PRL/RSRL — see module docs).
+    /// the value it replaced. A no-op mutation (`new == old`) short-circuits
+    /// before any patch machinery runs and hands back a plain copy of
+    /// `prev` (use [`Evaluator::reassess_into`] to avoid even that copy's
+    /// allocations via scratch reuse).
     pub fn reassess_mutation(
         &self,
         prev: &EvalState,
@@ -263,47 +313,156 @@ impl Evaluator {
         k: usize,
         old: Code,
     ) -> EvalState {
-        let prep = &self.prep;
-        let new = masked.get(row, k);
-        let mut state = prev.clone();
-        if new == old {
-            return state;
+        if masked.get(row, k) == old {
+            return prev.clone();
         }
+        self.reassess(prev, masked, &Patch::cell(row, k, old))
+    }
 
-        // exact IL updates
-        state.masked_tables.apply_mutation(masked, row, k, old);
-        state.dbil_sum += prep.cell_distance(k, prep.orig().get(row, k), new)
-            - prep.cell_distance(k, prep.orig().get(row, k), old);
+    /// Re-assess after an arbitrary set of cell changes.
+    ///
+    /// `masked` must already contain the new values; `patch` names the
+    /// changed cells with their previous values. CTBIL/DBIL/EBIL/ID are
+    /// updated exactly; the linkage measures relink only the touched
+    /// records (exact for DBRL, the frozen-weights/midrank approximation
+    /// for PRL/RSRL — see the module docs). Cells whose old value equals
+    /// the masked value are skipped, so crossover segments may be handed
+    /// over verbatim.
+    pub fn reassess(&self, prev: &EvalState, masked: &SubTable, patch: &Patch) -> EvalState {
+        let mut out = prev.clone();
+        self.apply_patch(masked, patch, &mut out);
+        out
+    }
+
+    /// [`Evaluator::reassess`] with scratch reuse: `out` is overwritten
+    /// with the updated state, recycling its buffers (no heap allocation
+    /// beyond the patch bookkeeping once shapes match). `out` may hold a
+    /// state of any provenance — its previous content is discarded.
+    pub fn reassess_into(
+        &self,
+        prev: &EvalState,
+        masked: &SubTable,
+        patch: &Patch,
+        out: &mut EvalState,
+    ) {
+        out.clone_from(prev);
+        self.apply_patch(masked, patch, out);
+    }
+
+    /// Allocation-free single-cell path: the mutation operator's shape,
+    /// taken every iteration of an `incremental_mutation` run, so it skips
+    /// the general engine's resolve/sort/group bookkeeping entirely.
+    fn apply_single_cell(&self, masked: &SubTable, cell: PatchCell, state: &mut EvalState) {
+        let prep = &self.prep;
+        let PatchCell { row, attr: k, old } = cell;
+        let new = masked.get(row, k);
+        if new == old {
+            return;
+        }
+        let orig = prep.orig().get(row, k);
+        state.dbil_sum += prep.cell_distance(k, orig, new) - prep.cell_distance(k, orig, old);
         update_confusion(&mut state.confusion, prep, row, k, old, new);
-
-        // exact interval-disclosure update
-        let was = cell_disclosed(
-            prep,
-            k,
-            prep.orig().get(row, k),
-            old,
-            self.cfg.interval_fraction,
-        );
-        let is = cell_disclosed(
-            prep,
-            k,
-            prep.orig().get(row, k),
-            new,
-            self.cfg.interval_fraction,
-        );
+        let was = cell_disclosed(prep, k, orig, old, self.cfg.interval_fraction);
+        let is = cell_disclosed(prep, k, orig, new, self.cfg.interval_fraction);
         match (was, is) {
             (true, false) => state.id_counts[k] -= 1,
             (false, true) => state.id_counts[k] += 1,
             _ => {}
         }
-
-        // masked-side rank stats, then record-local relinking
+        state
+            .masked_tables
+            .apply_row_patch(masked, row, &[(k, old)]);
         state.masked_stats.apply_mutation(prep, k, old, new);
         state.dbrl_credits[row] = dbrl_credit(prep, masked, row);
         state.prl_credits[row] = prl_credit(&state.prl_model, prep, masked, row);
         state.rsrl_credits[row] =
             rsrl_credit(prep, &state.masked_stats, masked, row, self.rsrl_window());
+        self.refresh_assessment(state);
+    }
 
+    /// The patch engine: update `state` (already a copy of the pre-patch
+    /// state) in place.
+    fn apply_patch(&self, masked: &SubTable, patch: &Patch, state: &mut EvalState) {
+        let prep = &self.prep;
+        if let Some(cell) = patch.single_cell(prep.n_attrs()) {
+            self.apply_single_cell(masked, cell, state);
+            return;
+        }
+        let mut cells = patch.resolve(prep.n_attrs());
+        cells.sort_unstable_by_key(|c| (c.row, c.attr));
+        debug_assert!(
+            cells
+                .windows(2)
+                .all(|w| (w[0].row, w[0].attr) != (w[1].row, w[1].attr)),
+            "patch names the same cell twice"
+        );
+
+        // effective changes only: a patch may name cells that kept their value
+        let changed: Vec<(usize, usize, Code, Code)> = cells
+            .iter()
+            .filter_map(|c| {
+                let new = masked.get(c.row, c.attr);
+                (new != c.old).then_some((c.row, c.attr, c.old, new))
+            })
+            .collect();
+        if changed.is_empty() {
+            return;
+        }
+
+        // exact per-cell updates: DBIL, the EBIL confusion channel, and
+        // interval disclosure
+        for &(row, k, old, new) in &changed {
+            let orig = prep.orig().get(row, k);
+            state.dbil_sum += prep.cell_distance(k, orig, new) - prep.cell_distance(k, orig, old);
+            update_confusion(&mut state.confusion, prep, row, k, old, new);
+            let was = cell_disclosed(prep, k, orig, old, self.cfg.interval_fraction);
+            let is = cell_disclosed(prep, k, orig, new, self.cfg.interval_fraction);
+            match (was, is) {
+                (true, false) => state.id_counts[k] -= 1,
+                (false, true) => state.id_counts[k] += 1,
+                _ => {}
+            }
+        }
+
+        // exact contingency updates, one batched call per touched row (so
+        // two attributes changing in one record keep the pair tables exact)
+        let mut row_buf: Vec<(usize, Code)> = Vec::with_capacity(prep.n_attrs());
+        let mut i = 0;
+        while i < changed.len() {
+            let row = changed[i].0;
+            row_buf.clear();
+            while i < changed.len() && changed[i].0 == row {
+                row_buf.push((changed[i].1, changed[i].2));
+                i += 1;
+            }
+            state.masked_tables.apply_row_patch(masked, row, &row_buf);
+        }
+
+        // masked-side rank statistics: one rank rebuild per touched attribute
+        state
+            .masked_stats
+            .apply_patch(prep, changed.iter().map(|&(_, k, old, new)| (k, old, new)));
+
+        // record-local relinking of every touched row
+        let window = self.rsrl_window();
+        let mut i = 0;
+        while i < changed.len() {
+            let row = changed[i].0;
+            while i < changed.len() && changed[i].0 == row {
+                i += 1;
+            }
+            state.dbrl_credits[row] = dbrl_credit(prep, masked, row);
+            state.prl_credits[row] = prl_credit(&state.prl_model, prep, masked, row);
+            state.rsrl_credits[row] = rsrl_credit(prep, &state.masked_stats, masked, row, window);
+        }
+
+        self.refresh_assessment(state);
+    }
+
+    /// Recompute the headline numbers from the (already updated)
+    /// sufficient statistics.
+    fn refresh_assessment(&self, state: &mut EvalState) {
+        let prep = &self.prep;
         state.assessment = Assessment {
             il_parts: IlBreakdown {
                 ctbil: prep.tables().distance(&state.masked_tables),
@@ -317,13 +476,13 @@ impl Evaluator {
                 rsrl: credits_value(&state.rsrl_credits),
             },
         };
-        state
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::patch::PatchCell;
     use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -473,6 +632,111 @@ mod tests {
         let (ev, s) = setup(60);
         let state = ev.assess(&s);
         let same = ev.reassess_mutation(&state, &s, 5, 1, s.get(5, 1));
+        assert_eq!(state.assessment, same.assessment);
+    }
+
+    #[test]
+    fn multi_cell_patch_exact_measures_match_full() {
+        let (ev, s) = setup(90);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut m = s.clone();
+        let state = ev.assess(&m);
+        // one patch carrying 30 random cell changes, including same-row pairs
+        let mut cells = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        while cells.len() < 30 {
+            let row = rng.gen_range(0..m.n_rows());
+            let k = rng.gen_range(0..m.n_attrs());
+            if !seen.insert((row, k)) {
+                continue;
+            }
+            let c = ev.prepared().cats(k) as u16;
+            let old = m.get(row, k);
+            m.set(row, k, rng.gen_range(0..c));
+            cells.push(PatchCell { row, attr: k, old });
+        }
+        let patched = ev.reassess(&state, &m, &Patch::from_cells(cells));
+        let full = ev.assess(&m);
+        let (a, b) = (patched.assessment, full.assessment);
+        assert!((a.il_parts.ctbil - b.il_parts.ctbil).abs() < 1e-9);
+        assert!((a.il_parts.dbil - b.il_parts.dbil).abs() < 1e-9);
+        assert!((a.il_parts.ebil - b.il_parts.ebil).abs() < 1e-9);
+        assert!((a.dr_parts.id - b.dr_parts.id).abs() < 1e-9);
+        assert!((a.dr_parts.dbrl - b.dr_parts.dbrl).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reassess_into_matches_reassess_and_reuses_scratch() {
+        let (ev, s) = setup(70);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut m = s.clone();
+        let state = ev.assess(&m);
+        let old = m.get(3, 0);
+        m.set(3, 0, (old + 5) % ev.prepared().cats(0) as u16);
+        let patch = Patch::cell(3, 0, old);
+        let owned = ev.reassess(&state, &m, &patch);
+        // scratch starts as an arbitrary other state and must be overwritten
+        let mut scratch = ev.assess(&s);
+        ev.reassess_into(&state, &m, &patch, &mut scratch);
+        assert_eq!(owned.assessment, scratch.assessment);
+        // reuse the same scratch for a second, different patch
+        let old2 = m.get(9, 2);
+        m.set(9, 2, (old2 + 1) % ev.prepared().cats(2) as u16);
+        let state2 = owned;
+        let patch2 = Patch::cell(9, 2, old2);
+        ev.reassess_into(&state2, &m, &patch2, &mut scratch);
+        assert_eq!(
+            ev.reassess(&state2, &m, &patch2).assessment,
+            scratch.assessment
+        );
+        let _ = rng.gen::<u64>();
+    }
+
+    #[test]
+    fn crossover_segment_patch_is_close_to_full() {
+        // mirror of incremental_linkage_is_close_to_full for the segment
+        // shape: swap a flattened range in from a second file, reassess via
+        // a flat-range patch, compare against the full recompute
+        let (ev, s) = setup(90);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut other = s.clone();
+        for k in 0..other.n_attrs() {
+            let c = ev.prepared().cats(k) as u16;
+            for r in 0..other.n_rows() {
+                if rng.gen_bool(0.5) {
+                    other.set(r, k, rng.gen_range(0..c));
+                }
+            }
+        }
+        let state = ev.assess(&s);
+        let flat = s.flat_len();
+        let (a, b) = (flat / 5, flat / 2);
+        let old_values: Vec<Code> = (a..=b).map(|p| s.get_flat(p)).collect();
+        let mut child = s.clone();
+        for p in a..=b {
+            child.set_flat(p, other.get_flat(p));
+        }
+        let patched = ev.reassess(&state, &child, &Patch::flat_range(a, b, old_values));
+        let full = ev.assess(&child);
+        // exact measures
+        assert!((patched.assessment.il() - full.assessment.il()).abs() < 1e-9);
+        assert!((patched.assessment.dr_parts.id - full.assessment.dr_parts.id).abs() < 1e-9);
+        assert!((patched.assessment.dr_parts.dbrl - full.assessment.dr_parts.dbrl).abs() < 1e-9);
+        // PRL/RSRL drift stays within the mutation path's tolerance
+        assert!(
+            (patched.assessment.dr() - full.assessment.dr()).abs() < 5.0,
+            "segment patch drifted: {} vs {}",
+            patched.assessment.dr(),
+            full.assessment.dr()
+        );
+    }
+
+    #[test]
+    fn all_noop_patch_returns_prev_exactly() {
+        let (ev, s) = setup(50);
+        let state = ev.assess(&s);
+        let old_values: Vec<Code> = (0..6).map(|p| s.get_flat(p)).collect();
+        let same = ev.reassess(&state, &s, &Patch::flat_range(0, 5, old_values));
         assert_eq!(state.assessment, same.assessment);
     }
 

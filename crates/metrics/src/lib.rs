@@ -25,11 +25,13 @@
 //! The [`Evaluator`] caches every original-side statistic (ranks, marginals,
 //! contingency tables, Fellegi–Sunter weights) so that evaluating one masked
 //! file — the dominant cost the paper reports (99.98% of generation time) —
-//! touches the original data only through precomputed tables. For the
-//! mutation operator the evaluator additionally supports *incremental*
-//! re-assessment ([`Evaluator::reassess_mutation`]): a single-cell change
-//! updates IL exactly and relinks only the mutated record, addressing the
-//! paper's future-work item on fitness cost (ablated in `cdp-bench`).
+//! touches the original data only through precomputed tables. On top of
+//! that, a *delta-evaluation engine* ([`Evaluator::reassess`] /
+//! [`Evaluator::reassess_into`]) updates a cached [`EvalState`] after an
+//! arbitrary [`Patch`] of cell changes — a mutation's single cell or a
+//! crossover's flattened segment — updating IL and interval disclosure
+//! exactly and relinking only the touched records, addressing the paper's
+//! future-work item on fitness cost (ablated in `cdp-bench`).
 //!
 //! ```
 //! use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
@@ -48,6 +50,7 @@
 mod contingency;
 mod error;
 mod evaluator;
+mod patch;
 mod prepared;
 mod score;
 
@@ -58,5 +61,6 @@ pub mod linkage;
 pub use contingency::ContingencyTables;
 pub use error::{MetricError, Result};
 pub use evaluator::{Assessment, DrBreakdown, EvalState, Evaluator, IlBreakdown, MetricConfig};
+pub use patch::{Patch, PatchCell};
 pub use prepared::PreparedOriginal;
 pub use score::ScoreAggregator;

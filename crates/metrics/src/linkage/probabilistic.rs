@@ -15,13 +15,28 @@ use crate::linkage::credits_value;
 use crate::prepared::PreparedOriginal;
 
 /// Fitted Fellegi–Sunter weights.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PrlModel {
     /// `log2(m_k / u_k)` per attribute (contribution of an agreement).
     pub agree_weight: Vec<f64>,
     /// `log2((1−m_k)/(1−u_k))` per attribute (contribution of a
     /// disagreement).
     pub disagree_weight: Vec<f64>,
+}
+
+impl Clone for PrlModel {
+    fn clone(&self) -> Self {
+        PrlModel {
+            agree_weight: self.agree_weight.clone(),
+            disagree_weight: self.disagree_weight.clone(),
+        }
+    }
+
+    /// Buffer-reusing copy for scratch evaluation states.
+    fn clone_from(&mut self, src: &Self) {
+        self.agree_weight.clone_from(&src.agree_weight);
+        self.disagree_weight.clone_from(&src.disagree_weight);
+    }
 }
 
 const P_FLOOR: f64 = 1e-6;

@@ -188,12 +188,28 @@ impl PreparedOriginal {
 /// Per-evaluation statistics of one masked file: marginal counts and the
 /// first sorted-rank of each category (under the *original* order keys, the
 /// attacker's fixed view of the category order).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct MaskedStats {
     /// Marginal counts per attribute.
     pub counts: Vec<Vec<u32>>,
     /// First rank of each category in the sorted masked column.
     pub rank_start: Vec<Vec<usize>>,
+}
+
+impl Clone for MaskedStats {
+    fn clone(&self) -> Self {
+        MaskedStats {
+            counts: self.counts.clone(),
+            rank_start: self.rank_start.clone(),
+        }
+    }
+
+    /// Buffer-reusing copy (`Vec::clone_from` recycles the per-attribute
+    /// vectors), so scratch evaluation states never re-allocate here.
+    fn clone_from(&mut self, src: &Self) {
+        self.counts.clone_from(&src.counts);
+        self.rank_start.clone_from(&src.rank_start);
+    }
 }
 
 impl MaskedStats {
@@ -218,15 +234,38 @@ impl MaskedStats {
     }
 
     /// Update after one cell of attribute `k` changed from `old` to `new`.
-    /// Recomputes that attribute's rank starts (O(c)).
+    /// Recomputes that attribute's rank starts (O(c)); no allocation beyond
+    /// the rank rebuild's scratch.
     pub fn apply_mutation(&mut self, prep: &PreparedOriginal, k: usize, old: Code, new: Code) {
         if old == new {
             return;
         }
         self.counts[k][old as usize] -= 1;
         self.counts[k][new as usize] += 1;
-        let keys = prep.order_keys(k);
-        recompute_rank_start(&self.counts[k], keys, &mut self.rank_start[k]);
+        recompute_rank_start(&self.counts[k], prep.order_keys(k), &mut self.rank_start[k]);
+    }
+
+    /// Update after a batch of cell changes, given as `(attribute, old,
+    /// new)` triples (row identities are irrelevant to marginal counts).
+    /// Count deltas are applied per change; the O(c log c) rank-start
+    /// rebuild runs once per *touched attribute*, which is what makes
+    /// multi-cell patches cheaper than a chain of single-cell updates.
+    pub fn apply_patch<I>(&mut self, prep: &PreparedOriginal, changed: I)
+    where
+        I: IntoIterator<Item = (usize, Code, Code)>,
+    {
+        let mut touched = vec![false; self.counts.len()];
+        for (k, old, new) in changed {
+            if old == new {
+                continue;
+            }
+            self.counts[k][old as usize] -= 1;
+            self.counts[k][new as usize] += 1;
+            touched[k] = true;
+        }
+        for (k, _) in touched.iter().enumerate().filter(|(_, &t)| t) {
+            recompute_rank_start(&self.counts[k], prep.order_keys(k), &mut self.rank_start[k]);
+        }
     }
 }
 
@@ -349,6 +388,24 @@ mod tests {
             m.set(row, k, new);
             stats.apply_mutation(&p, k, old, new);
         }
+        assert_eq!(stats, MaskedStats::build(&p, &m));
+    }
+
+    #[test]
+    fn masked_stats_patch_matches_rebuild() {
+        let s = sub();
+        let p = PreparedOriginal::new(&s);
+        let mut m = s.clone();
+        let mut stats = MaskedStats::build(&p, &m);
+        let muts = [(0usize, 0usize, 9u16), (5, 1, 3), (10, 2, 7), (0, 0, 2)];
+        let mut batch = Vec::new();
+        for &(row, k, new) in &muts {
+            let new = new % p.cats(k) as Code;
+            let old = m.get(row, k);
+            m.set(row, k, new);
+            batch.push((k, old, new));
+        }
+        stats.apply_patch(&p, batch);
         assert_eq!(stats, MaskedStats::build(&p, &m));
     }
 

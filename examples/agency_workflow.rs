@@ -69,8 +69,14 @@ fn main() {
     let report = session
         .run_with(&job, |event| match event {
             JobEvent::PopulationReady { size } => println!("candidate protections: {size}"),
-            JobEvent::EvolutionFinished { iterations } => {
-                println!("evolved {iterations} iterations");
+            JobEvent::EvolutionFinished {
+                iterations,
+                evaluations,
+            } => {
+                println!(
+                    "evolved {iterations} iterations ({} full / {} incremental evaluations)",
+                    evaluations.full, evaluations.incremental
+                );
             }
             _ => {}
         })

@@ -46,6 +46,7 @@
 //!     .suite_small()                       // initial SDC population
 //!     .aggregator(ScoreAggregator::Mean)   // fitness: the paper's Eq. 1
 //!     .iterations(40)                      // evolution budget
+//!     .incremental_crossover(true)         // delta-evaluate crossover offspring
 //!     .seed(7)
 //!     .audit()                             // privacy audit of the winner
 //!     .build()
@@ -127,8 +128,8 @@ pub mod pipeline;
 /// One-stop imports for examples and downstream experiments.
 pub mod prelude {
     pub use cdp_core::{
-        EvoConfig, Evolution, EvolutionOutcome, Individual, Population, ReplacementPolicy,
-        SelectionWeighting, StopCondition,
+        EvalCounts, EvoConfig, Evolution, EvolutionOutcome, Individual, Population,
+        ReplacementPolicy, SelectionWeighting, StopCondition,
     };
     pub use cdp_dataset::generators::{Dataset, DatasetKind, GeneratorConfig};
     pub use cdp_dataset::{AttrKind, Attribute, Code, Hierarchy, Schema, SubTable, Table};

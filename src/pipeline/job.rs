@@ -499,6 +499,8 @@ pub struct ProtectionJobBuilder {
     metrics: MetricConfig,
     evo: EvoConfig,
     multi_objective: bool,
+    incremental_crossover: bool,
+    nsga_refresh: usize,
     offspring: Option<usize>,
     crossover_prob: Option<f64>,
     iterations: usize,
@@ -521,6 +523,8 @@ impl Default for ProtectionJobBuilder {
             metrics: MetricConfig::default(),
             evo: EvoConfig::default(),
             multi_objective: false,
+            incremental_crossover: false,
+            nsga_refresh: NsgaConfig::default().incremental_refresh,
             offspring: None,
             crossover_prob: None,
             iterations: 300,
@@ -692,6 +696,7 @@ impl ProtectionJobBuilder {
                 self.crossover_prob = None;
                 self.iterations = cfg.stop.max_iterations;
                 self.stagnation = cfg.stop.stagnation;
+                self.incremental_crossover = cfg.incremental_crossover;
                 self.evo = cfg;
             }
             OptimizerMode::Nsga(cfg) => {
@@ -699,6 +704,8 @@ impl ProtectionJobBuilder {
                 self.iterations = cfg.generations;
                 self.offspring = Some(cfg.offspring);
                 self.crossover_prob = Some(cfg.crossover_prob);
+                self.incremental_crossover = cfg.incremental;
+                self.nsga_refresh = cfg.incremental_refresh;
                 self.evo = EvoConfig {
                     parallel_init: cfg.parallel_init,
                     ..EvoConfig::default()
@@ -755,6 +762,15 @@ impl ProtectionJobBuilder {
     /// Toggle the incremental evaluator for mutation offspring.
     pub fn incremental_mutation(mut self, on: bool) -> Self {
         self.evo.incremental_mutation = on;
+        self
+    }
+
+    /// Toggle patch-based incremental evaluation of crossover offspring.
+    /// A shared knob: in scalar mode it maps to
+    /// `EvoConfig::incremental_crossover`, in NSGA-II mode to
+    /// `NsgaConfig::incremental` (which covers both operators there).
+    pub fn incremental_crossover(mut self, on: bool) -> Self {
+        self.incremental_crossover = on;
         self
     }
 
@@ -841,8 +857,11 @@ impl ProtectionJobBuilder {
         let mode = if self.multi_objective {
             // scalar-only knobs have no effect under Pareto selection;
             // reject them instead of silently dropping them
+            // (incremental_crossover is shared — it maps onto
+            // NsgaConfig::incremental — so it is not part of the check)
             let scalar_view = EvoConfig {
                 parallel_init: self.evo.parallel_init,
+                incremental_crossover: self.evo.incremental_crossover,
                 ..EvoConfig::default()
             };
             if self.evo != scalar_view {
@@ -873,6 +892,8 @@ impl ProtectionJobBuilder {
                 crossover_prob: self.crossover_prob.unwrap_or(defaults.crossover_prob),
                 seed: self.seed,
                 parallel_init: self.evo.parallel_init,
+                incremental: self.incremental_crossover,
+                incremental_refresh: self.nsga_refresh,
             };
             cfg.validate()?;
             OptimizerMode::Nsga(cfg)
@@ -891,6 +912,7 @@ impl ProtectionJobBuilder {
             evo.seed = self.seed;
             evo.stop.max_iterations = self.iterations.max(1);
             evo.stop.stagnation = self.stagnation;
+            evo.incremental_crossover = self.incremental_crossover;
             evo.validate()?;
             OptimizerMode::Scalar(evo)
         };
@@ -993,6 +1015,8 @@ mod tests {
             crossover_prob: 0.25,
             seed: 2,
             parallel_init: true,
+            incremental: true,
+            incremental_refresh: 5,
         };
         let job = ProtectionJob::builder()
             .dataset(DatasetKind::Adult)
@@ -1098,6 +1122,28 @@ mod tests {
             let err = result.unwrap_err();
             assert!(err.to_string().contains("NSGA-II mode"), "{what}: {err}");
         }
+    }
+
+    #[test]
+    fn incremental_crossover_is_a_shared_knob() {
+        // scalar mode: maps onto EvoConfig::incremental_crossover
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .incremental_crossover(true)
+            .build()
+            .unwrap();
+        assert!(job.evo_config().incremental_crossover);
+
+        // nsga mode: maps onto NsgaConfig::incremental instead of being
+        // rejected as a scalar-only knob
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .nsga()
+            .iterations(5)
+            .incremental_crossover(true)
+            .build()
+            .unwrap();
+        assert!(job.nsga_config().expect("nsga mode").incremental);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::io::{self, Write};
 
-use cdp_core::{EvolutionOutcome, NsgaOutcome, ScatterPoint, ScoreSummary};
+use cdp_core::{EvalCounts, EvolutionOutcome, NsgaOutcome, ScatterPoint, ScoreSummary};
 use cdp_dataset::generators::DatasetKind;
 use cdp_dataset::{SubTable, Table};
 use cdp_metrics::Assessment;
@@ -44,6 +44,10 @@ pub struct Front {
     pub hypervolume: Vec<f64>,
     /// Total fitness evaluations performed (initial population included).
     pub evaluations: usize,
+    /// The same evaluations split into full assessments and patch-based
+    /// re-assessments (`NsgaConfig::incremental` moves offspring from the
+    /// first bucket to the second).
+    pub eval_counts: EvalCounts,
 }
 
 impl Front {
@@ -64,6 +68,7 @@ impl Front {
             archive: outcome.archive_front,
             hypervolume: outcome.hypervolume_series,
             evaluations: outcome.evaluations,
+            eval_counts: outcome.eval_counts,
         }
     }
 
@@ -309,6 +314,7 @@ mod tests {
             archive: Vec::new(),
             hypervolume: vec![0.0, 1.0],
             evaluations: 0,
+            eval_counts: EvalCounts::default(),
         }
     }
 

@@ -1,7 +1,7 @@
 //! Job execution: the staged engine behind [`Session::run_with`], and the
 //! event stream it emits.
 
-use cdp_core::{evaluate_all, Evolution, GenerationStats, Nsga2, ScatterPoint};
+use cdp_core::{evaluate_all, EvalCounts, Evolution, GenerationStats, Nsga2, ScatterPoint};
 use cdp_dataset::{Attribute, Code, SubTable};
 use cdp_privacy::PrivacyReport;
 
@@ -55,6 +55,9 @@ pub enum JobEvent {
     EvolutionFinished {
         /// Iterations (scalar) or generations (NSGA-II) actually executed.
         iterations: usize,
+        /// Fitness evaluations performed, split into full assessments and
+        /// patch-based re-assessments (the incremental knobs' observable).
+        evaluations: EvalCounts,
     },
     /// The privacy audit of the winner completed.
     AuditReady,
@@ -122,6 +125,7 @@ pub(crate) fn run_job<F: FnMut(&JobEvent)>(
             let outcome = evolution.run_with(|g| observer(&JobEvent::Generation(*g)));
             observer(&JobEvent::EvolutionFinished {
                 iterations: outcome.iterations_run,
+                evaluations: outcome.eval_counts,
             });
             let winner = outcome.population.best();
             let best = BestProtection {
@@ -145,6 +149,7 @@ pub(crate) fn run_job<F: FnMut(&JobEvent)>(
             let front = Front::from_outcome(nsga_outcome);
             observer(&JobEvent::EvolutionFinished {
                 iterations: front.generations_run(),
+                evaluations: front.eval_counts,
             });
             let best = front.knee().clone();
             let points = front.points.clone();

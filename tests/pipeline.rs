@@ -305,3 +305,49 @@ fn facade_prelude_covers_the_whole_pipeline() {
     let _: &Individual = out.population.best();
     assert_eq!(out.iterations_run, 5);
 }
+
+#[test]
+fn incremental_job_reports_the_eval_split_and_tracks_the_full_run() {
+    // the incremental knob's observable flows through the whole pipeline:
+    // EvolutionFinished carries the full/incremental assessment split, and
+    // the winner stays close to the all-full run's
+    let job = |inc: bool| {
+        ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .records(80)
+            .suite_small()
+            .iterations(40)
+            .incremental_mutation(inc)
+            .incremental_crossover(inc)
+            .seed(6)
+            .build()
+            .unwrap()
+    };
+    let counts_of = |job: &ProtectionJob| {
+        let mut counts = None;
+        let report = Session::new()
+            .run_with(job, |e| {
+                if let JobEvent::EvolutionFinished { evaluations, .. } = e {
+                    counts = Some(*evaluations);
+                }
+            })
+            .unwrap();
+        (counts.expect("evolution ran"), report)
+    };
+    let (full_counts, full_report) = counts_of(&job(false));
+    let (inc_counts, inc_report) = counts_of(&job(true));
+    assert_eq!(full_counts.incremental, 0);
+    assert!(inc_counts.incremental > 0);
+    assert!(
+        inc_counts.full * 2 <= full_counts.full,
+        "incremental job must at least halve the full assessments: {} vs {}",
+        inc_counts.full,
+        full_counts.full
+    );
+    // the report mirrors the event stream
+    assert_eq!(inc_report.scalar_outcome().unwrap().eval_counts, inc_counts);
+    // winner drift stays within the PRL/RSRL approximation tolerance
+    let (a, b) = (&full_report.best.assessment, &inc_report.best.assessment);
+    assert!((a.il() - b.il()).abs() < 3.0);
+    assert!((a.dr() - b.dr()).abs() < 3.0);
+}

@@ -8,11 +8,11 @@
 #[allow(unused_imports)]
 use cdp::prelude::{
     build_population, AttrKind, Attribute, BestProtection, Code, DataSource, Dataset, DatasetKind,
-    DrBreakdown, EvoConfig, Evolution, EvolutionOutcome, Front, GeneratorConfig, Hierarchy,
-    IlBreakdown, Individual, JobEvent, JobOutcome, JobReport, MetricConfig, OptimizerMode,
-    PipelineError, Population, PopulationSpec, ProtectionJob, ProtectionMethod, Recoder,
-    ReplacementPolicy, Schema, ScoreAggregator, SelectionWeighting, Session, StopCondition,
-    SubTable, SuiteConfig, SuiteKind, Table,
+    DrBreakdown, EvalCounts, EvoConfig, Evolution, EvolutionOutcome, Front, GeneratorConfig,
+    Hierarchy, IlBreakdown, Individual, JobEvent, JobOutcome, JobReport, MetricConfig,
+    OptimizerMode, PipelineError, Population, PopulationSpec, ProtectionJob, ProtectionMethod,
+    Recoder, ReplacementPolicy, Schema, ScoreAggregator, SelectionWeighting, Session,
+    StopCondition, SubTable, SuiteConfig, SuiteKind, Table,
 };
 use cdp::prelude::{Assessment, CostKind, Evaluator, LatticeSearch, PrivacyReport};
 
@@ -88,6 +88,12 @@ fn legacy_entry_points_remain_public() {
         .expect("compatible")
         .run();
     assert_eq!(outcome.iterations_run, 2);
+    let counts: EvalCounts = outcome.eval_counts;
+    assert!(counts.full >= 1);
+
+    // the delta-evaluation surface of cdp::metrics
+    let _: fn(usize, usize, Code) -> cdp::metrics::Patch = cdp::metrics::Patch::cell;
+    let _: fn(usize, usize, Vec<Code>) -> cdp::metrics::Patch = cdp::metrics::Patch::flat_range;
 
     // privacy surface
     let sub: SubTable = ds.protected_subtable();

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use cdp::core::operators::{crossover, mutate};
 use cdp::dataset::{AttrKind, Attribute, Code, Hierarchy, Schema, SubTable};
-use cdp::metrics::{Evaluator, MetricConfig, ScoreAggregator};
+use cdp::metrics::{Evaluator, MetricConfig, Patch, PatchCell, ScoreAggregator};
 use cdp::sdc::{MethodContext, Pram, PramMode, ProtectionMethod, RankSwapping};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -200,6 +200,66 @@ proptest! {
         );
         prop_assert!(
             (state.assessment.dr_parts.dbrl - full.assessment.dr_parts.dbrl).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn patch_reassess_matches_full_on_exact_measures(
+        a in 2usize..=3, n in 10usize..=25, cells in 1usize..=12, seed in any::<u64>()
+    ) {
+        // one multi-cell patch == the full recompute on CTBIL/DBIL/EBIL/ID
+        // and DBRL (the exact measures), to 1e-9
+        let original = random_subtable(a, n, seed);
+        let ev = Evaluator::new(&original, MetricConfig::default()).unwrap();
+        let mut masked = random_masking(&original, seed ^ 7);
+        let state = ev.assess(&masked);
+        let mut rng = StdRng::seed_from_u64(seed ^ 8);
+        let mut patch_cells: Vec<PatchCell> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..cells {
+            let row = rng.gen_range(0..n);
+            let k = rng.gen_range(0..a);
+            if !seen.insert((row, k)) {
+                continue;
+            }
+            let c = masked.attr(k).n_categories() as Code;
+            let old = masked.get(row, k);
+            masked.set(row, k, rng.gen_range(0..c));
+            patch_cells.push(PatchCell { row, attr: k, old });
+        }
+        let patched = ev.reassess(&state, &masked, &Patch::from_cells(patch_cells));
+        let full = ev.assess(&masked);
+        let (p, f) = (patched.assessment, full.assessment);
+        prop_assert!((p.il_parts.ctbil - f.il_parts.ctbil).abs() < 1e-9);
+        prop_assert!((p.il_parts.dbil - f.il_parts.dbil).abs() < 1e-9);
+        prop_assert!((p.il_parts.ebil - f.il_parts.ebil).abs() < 1e-9);
+        prop_assert!((p.dr_parts.id - f.dr_parts.id).abs() < 1e-9);
+        prop_assert!((p.dr_parts.dbrl - f.dr_parts.dbrl).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossover_offspring_patch_matches_full_on_exact_measures(
+        a in 2usize..=3, n in 10usize..=25, seed in any::<u64>()
+    ) {
+        // evaluate a real crossover offspring via its flat-range patch and
+        // compare against the full recompute (the incremental_crossover
+        // path), plus a drift bound on the approximate DR side
+        let x = random_subtable(a, n, seed);
+        let y = random_masking(&x, seed ^ 9);
+        let ev = Evaluator::new(&x, MetricConfig::default()).unwrap();
+        let x_state = ev.assess(&x);
+        let mut rng = StdRng::seed_from_u64(seed ^ 10);
+        let (z1, _, (s, r)) = crossover(&x, &y, &mut rng);
+        let old_values: Vec<Code> = (s..=r).map(|p| x.get_flat(p)).collect();
+        let patched = ev.reassess(&x_state, &z1, &Patch::flat_range(s, r, old_values));
+        let full = ev.assess(&z1);
+        let (p, f) = (patched.assessment, full.assessment);
+        prop_assert!((p.il() - f.il()).abs() < 1e-9);
+        prop_assert!((p.dr_parts.id - f.dr_parts.id).abs() < 1e-9);
+        prop_assert!((p.dr_parts.dbrl - f.dr_parts.dbrl).abs() < 1e-9);
+        prop_assert!(
+            (p.dr() - f.dr()).abs() < 5.0,
+            "segment drift: {} vs {}", p.dr(), f.dr()
         );
     }
 
