@@ -11,10 +11,14 @@
 //!    assessment split, and the best point's (IL, DR) drift.
 //!
 //! ```text
-//! cargo run --release -p cdp_bench --bin evaluator_bench -- [--quick] [--out PATH] [--seed S]
+//! cargo run --release -p cdp_bench --bin evaluator_bench -- \
+//!     [--quick] [--check-drift] [--out PATH] [--seed S]
 //! ```
 //!
 //! `--quick` shrinks sizes and budgets for CI smoke runs (~seconds).
+//! `--check-drift` exits nonzero unless the full-vs-incremental evolution
+//! runs publish a best point with *exactly zero* (IL, DR) drift — the
+//! incremental engine is bit-exact, so any drift at all is a regression.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -30,6 +34,7 @@ use rand::{Rng, SeedableRng};
 
 struct Args {
     quick: bool,
+    check_drift: bool,
     out: PathBuf,
     seed: u64,
 }
@@ -37,6 +42,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
+        check_drift: false,
         out: PathBuf::from("BENCH_evaluator.json"),
         seed: 42,
     };
@@ -44,6 +50,7 @@ fn parse_args() -> Args {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => args.quick = true,
+            "--check-drift" => args.check_drift = true,
             "--out" => args.out = it.next().map(PathBuf::from).unwrap_or(args.out),
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
             other => {
@@ -133,8 +140,9 @@ fn micro_row(rows: usize, assess_reps: usize, seed: u64) -> MicroRow {
     }
 }
 
-/// Largest absolute difference on the exact measures between a multi-cell
-/// patch re-assessment and the full recompute (must sit at float noise).
+/// Largest absolute difference across **all seven measures** between a
+/// multi-cell patch re-assessment and the full recompute (the delta engine
+/// is bit-exact, PRL/RSRL included, so this must be exactly zero).
 fn exactness_delta(seed: u64) -> f64 {
     let original = DatasetKind::Adult
         .generate(&GeneratorConfig::seeded(seed).with_records(400))
@@ -165,6 +173,8 @@ fn exactness_delta(seed: u64) -> f64 {
         p.il_parts.ebil - f.il_parts.ebil,
         p.dr_parts.id - f.dr_parts.id,
         p.dr_parts.dbrl - f.dr_parts.dbrl,
+        p.dr_parts.prl - f.dr_parts.prl,
+        p.dr_parts.rsrl - f.dr_parts.rsrl,
     ]
     .into_iter()
     .map(f64::abs)
@@ -305,11 +315,11 @@ fn main() {
         "    \"wall_speedup\": {:.2},",
         full.wall_ms / inc.wall_ms.max(1e-9)
     );
+    let il_drift = (full.outcome.final_best().il - inc.outcome.final_best().il).abs();
+    let dr_drift = (full.outcome.final_best().dr - inc.outcome.final_best().dr).abs();
     let _ = writeln!(
         json,
-        "    \"best_il_drift\": {:.4}, \"best_dr_drift\": {:.4}",
-        (full.outcome.final_best().il - inc.outcome.final_best().il).abs(),
-        (full.outcome.final_best().dr - inc.outcome.final_best().dr).abs()
+        "    \"best_il_drift\": {il_drift:.4}, \"best_dr_drift\": {dr_drift:.4}"
     );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
@@ -322,4 +332,16 @@ fn main() {
     std::fs::write(&args.out, &json).expect("write BENCH_evaluator.json");
     print!("{json}");
     eprintln!("wrote {}", args.out.display());
+
+    // the delta engine is bit-exact: under --check-drift any drift at all
+    // (not merely above a tolerance) fails the run — after the JSON is on
+    // disk, so CI still uploads the failing numbers
+    if args.check_drift && (il_drift != 0.0 || dr_drift != 0.0) {
+        eprintln!(
+            "DRIFT CHECK FAILED: full vs incremental best diverged \
+             (|ΔIL| = {il_drift:e}, |ΔDR| = {dr_drift:e}); \
+             the incremental engine must be bit-exact"
+        );
+        std::process::exit(1);
+    }
 }

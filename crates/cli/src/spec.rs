@@ -30,7 +30,9 @@ pub const JOB_GRAMMAR: &str = "\
   seed=<u64>                             master seed
   audit=<true|false>                     privacy-audit the winner
   inc=<off|mut|xover|all>                incremental offspring evaluation
-                                         (mut/all: scalar mode only)
+                                         (default: all; under mode=nsga the
+                                         default — and only on-value — is
+                                         xover; mut/all: scalar mode only)
   -- scalar mode only --
   fitness=<mean|max>                     scalar aggregator
   iters=<n>                              evolution budget (0 = mask only)
@@ -42,13 +44,16 @@ pub const JOB_GRAMMAR: &str = "\
 
 /// The incremental-evaluation selector of the job grammar (`inc=` key).
 ///
-/// `xover` is valid in both modes (it maps onto
-/// `EvoConfig::incremental_crossover` in scalar mode and
+/// Incremental evaluation is exact (bit-identical to full assessments) and
+/// on by default: `all` in scalar mode, `xover` under `mode=nsga` (where
+/// one knob covers both operators). `xover` is valid in both modes (it
+/// maps onto `EvoConfig::incremental_crossover` in scalar mode and
 /// `NsgaConfig::incremental` under `mode=nsga`); `mut` and `all` name the
-/// mutation path and are scalar-only.
+/// mutation path and are scalar-only. `inc=off` opts back into full O(n²)
+/// scoring of every offspring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IncMode {
-    /// Every offspring pays a full assessment (default).
+    /// Every offspring pays a full assessment.
     Off,
     /// Incremental mutation offspring only.
     Mutation,
@@ -59,6 +64,15 @@ pub enum IncMode {
 }
 
 impl IncMode {
+    /// The default selector of a [`SpecMode`]: `all` in scalar mode,
+    /// `xover` under `mode=nsga` (one knob covers both operators there).
+    pub fn default_for(mode: SpecMode) -> IncMode {
+        match mode {
+            SpecMode::Scalar => IncMode::All,
+            SpecMode::Nsga => IncMode::Crossover,
+        }
+    }
+
     /// The CLI spelling (`off` / `mut` / `xover` / `all`).
     pub fn name(self) -> &'static str {
         match self {
@@ -141,7 +155,8 @@ pub struct JobSpec {
     pub drop: f64,
     /// Whether to privacy-audit the winner.
     pub audit: bool,
-    /// Incremental offspring evaluation (`inc=` key).
+    /// Incremental offspring evaluation (`inc=` key; defaults to
+    /// [`IncMode::default_for`] the spec's mode).
     pub inc: IncMode,
 }
 
@@ -163,7 +178,7 @@ impl Default for JobSpec {
             seed: 42,
             drop: 0.0,
             audit: false,
-            inc: IncMode::Off,
+            inc: IncMode::default_for(SpecMode::Scalar),
         }
     }
 }
@@ -251,6 +266,7 @@ impl JobSpec {
                 }
                 "inc" => {
                     spec.inc = parse_inc(value)?;
+                    seen.push("inc");
                 }
                 other => return Err(bad(format!("unknown key `{other}`"))),
             }
@@ -268,12 +284,18 @@ impl JobSpec {
                 spec.mode.name()
             )));
         }
-        if spec.mode == SpecMode::Nsga && spec.inc.mutation() {
-            return Err(bad(format!(
-                "`inc={}` names the mutation path and applies to the \
-                 (default) scalar mode; under mode=nsga use inc=xover",
-                spec.inc.name()
-            )));
+        if spec.mode == SpecMode::Nsga {
+            if !seen.contains(&"inc") {
+                // the default is mode-dependent: one nsga knob covers both
+                // operators, so default-on spells `xover` there
+                spec.inc = IncMode::default_for(SpecMode::Nsga);
+            } else if spec.inc.mutation() {
+                return Err(bad(format!(
+                    "`inc={}` names the mutation path and applies to the \
+                     (default) scalar mode; under mode=nsga use inc=xover",
+                    spec.inc.name()
+                )));
+            }
         }
         Ok(spec)
     }
@@ -317,7 +339,7 @@ impl JobSpec {
                 }
             }
         }
-        if self.inc != IncMode::Off {
+        if self.inc != IncMode::default_for(self.mode) {
             out.push_str(&format!(" inc={}", self.inc.name()));
         }
         if self.audit {
@@ -644,6 +666,8 @@ mod tests {
             "dataset=flare suite=paper fitness=mean iters=100 seed=5 inc=mut",
             "dataset=german suite=small fitness=max iters=90 seed=6 inc=xover",
             "dataset=housing suite=small mode=nsga gens=15 seed=7 inc=xover",
+            "dataset=adult suite=small fitness=max iters=250 seed=8 inc=off",
+            "dataset=housing suite=small mode=nsga gens=15 seed=9 inc=off",
         ] {
             let spec = JobSpec::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
             let job = spec.to_job().unwrap_or_else(|e| panic!("{text}: {e}"));
@@ -692,6 +716,40 @@ mod tests {
         // … while inc=xover is valid in both modes
         assert!(JobSpec::parse("dataset=adult mode=nsga inc=xover").is_ok());
         assert!(JobSpec::parse("dataset=adult inc=xover").is_ok());
+    }
+
+    #[test]
+    fn incremental_defaults_are_mode_dependent_and_off_is_explicit() {
+        // exact delta evaluation is the default: both operators in scalar
+        // mode, the one shared knob under mode=nsga
+        let scalar = JobSpec::parse("dataset=adult").unwrap();
+        assert_eq!(scalar.inc, IncMode::All);
+        let nsga = JobSpec::parse("dataset=adult mode=nsga").unwrap();
+        assert_eq!(nsga.inc, IncMode::Crossover);
+        // the default never renders; opting out does
+        assert!(!scalar.to_spec_string().contains("inc="));
+        assert!(!nsga.to_spec_string().contains("inc="));
+        let off = JobSpec::parse("dataset=adult inc=off").unwrap();
+        assert_eq!(off.inc, IncMode::Off);
+        assert!(off.to_spec_string().contains("inc=off"));
+        assert_eq!(JobSpec::parse(&off.to_spec_string()).unwrap(), off);
+        // and the built jobs carry the right optimizer knobs
+        match scalar.to_job().unwrap().optimizer() {
+            OptimizerMode::Scalar(evo) => {
+                assert!(evo.incremental_mutation && evo.incremental_crossover);
+            }
+            _ => panic!("scalar job expected"),
+        }
+        match nsga.to_job().unwrap().optimizer() {
+            OptimizerMode::Nsga(cfg) => assert!(cfg.incremental),
+            _ => panic!("nsga job expected"),
+        }
+        match off.to_job().unwrap().optimizer() {
+            OptimizerMode::Scalar(evo) => {
+                assert!(!evo.incremental_mutation && !evo.incremental_crossover);
+            }
+            _ => panic!("scalar job expected"),
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::{EvoError, Result};
 
 /// Mutable per-run evaluation bookkeeping threaded through the generation
 /// steps: the full/incremental call counters, the reusable scratch state of
-/// the mutation path, and the drift-refresh counter.
+/// the mutation path, and the cross-check counter.
 struct StepCtx {
     evals: EvalCounts,
     scratch: Option<EvalState>,
@@ -35,13 +35,14 @@ impl StepCtx {
         }
     }
 
-    /// Whether the drift-refresh policy demands a full assessment now.
-    fn refresh_due(&self, cfg: &EvoConfig) -> bool {
+    /// Whether the verification policy demands a full-assessment
+    /// cross-check now ([`EvoConfig::incremental_refresh`]).
+    fn verify_due(&self, cfg: &EvoConfig) -> bool {
         cfg.incremental_refresh > 0 && self.accepted_incremental >= cfg.incremental_refresh
     }
 
-    /// A full assessment ran on an incremental-capable path: drift resets.
-    fn note_full(&mut self) {
+    /// A cross-check ran: restart the interval.
+    fn note_verified(&mut self) {
         self.accepted_incremental = 0;
     }
 }
@@ -196,7 +197,9 @@ impl Evolution {
     /// patching the parent's cached state into the run's scratch buffer —
     /// rejected offspring pay no state-sized allocations (only the rank
     /// rebuild's O(c) scratch inside the evaluator), accepted ones pay one
-    /// state clone.
+    /// state clone. The patched assessment is bit-identical to a full one;
+    /// [`EvoConfig::incremental_refresh`] optionally asserts exactly that,
+    /// every K accepted offspring.
     fn mutation_step(
         &self,
         pop: &mut Population,
@@ -211,7 +214,7 @@ impl Evolution {
             return false;
         };
         let agg = self.config.aggregator;
-        if self.config.incremental_mutation && !ctx.refresh_due(&self.config) {
+        if self.config.incremental_mutation {
             let patch = Patch::cell(mu.row, mu.attr, mu.old);
             let parent_score = parent.score();
             let name = parent.name.clone();
@@ -228,6 +231,15 @@ impl Evolution {
                 }
             };
             ctx.evals.incremental += 1;
+            if ctx.verify_due(&self.config) {
+                let full = self.evaluator.assess(&child_data);
+                ctx.evals.full += 1;
+                assert_eq!(
+                    assessment, full.assessment,
+                    "incremental mutation state diverged from the full assessment"
+                );
+                ctx.note_verified();
+            }
             let score = assessment.score(agg);
             archive.offer(ScatterPoint {
                 name: name.clone(),
@@ -247,9 +259,6 @@ impl Evolution {
         } else {
             let child_state = self.evaluator.assess(&child_data);
             ctx.evals.full += 1;
-            if self.config.incremental_mutation {
-                ctx.note_full();
-            }
             let child = Individual::new(parent.name.clone(), child_data, child_state, agg);
             archive.offer(ScatterPoint::of(&child));
             if offspring_wins(parent.score(), child.score()) {
@@ -269,12 +278,13 @@ impl Evolution {
     /// [`EvoConfig::parallel_offspring`] is on and the file is large enough
     /// to amortize the spawns; with [`EvoConfig::incremental_crossover`]
     /// each child is re-assessed from its frame parent's cached state via a
-    /// flat-range [`Patch`] instead of a full O(n²) pass. Unlike the
-    /// mutation path, each child pays one O(n) state clone inside
-    /// [`cdp_metrics::Evaluator::reassess`]: both children may enter the
-    /// population, so owned states are required either way, and the clone
-    /// is <1% of the segment-relink work it rides along with (measured in
-    /// `BENCH_evaluator.json`).
+    /// flat-range [`Patch`] instead of a full O(n²) pass — bit-identical to
+    /// the full pass ([`EvoConfig::incremental_refresh`] optionally asserts
+    /// it). Unlike the mutation path, each child pays one O(n) state clone
+    /// inside [`cdp_metrics::Evaluator::reassess`]: both children may enter
+    /// the population, so owned states are required either way, and the
+    /// clone is <1% of the segment-relink work it rides along with
+    /// (measured in `BENCH_evaluator.json`).
     fn crossover_step(
         &self,
         pop: &mut Population,
@@ -288,7 +298,7 @@ impl Evolution {
 
         let (z1_data, z2_data, (s, r)) = crossover(&pop.get(i1).data, &pop.get(i2).data, rng);
         let parallel = self.config.parallel_offspring && z1_data.n_rows() >= MIN_PARALLEL_EVAL_ROWS;
-        let incremental = self.config.incremental_crossover && !ctx.refresh_due(&self.config);
+        let incremental = self.config.incremental_crossover;
         let (z1_state, z2_state) = if incremental {
             // each child shares its frame parent's file outside [s, r]:
             // patch the parent's cached state with the swapped-in segment
@@ -310,15 +320,26 @@ impl Evolution {
             ];
             let mut states = evaluate_tasks(&self.evaluator, &tasks, parallel);
             ctx.evals.incremental += 2;
+            if ctx.verify_due(&self.config) {
+                let full_tasks = [EvalTask::Full(&z1_data), EvalTask::Full(&z2_data)];
+                let fulls = evaluate_tasks(&self.evaluator, &full_tasks, parallel);
+                ctx.evals.full += 2;
+                assert_eq!(
+                    states[0].assessment, fulls[0].assessment,
+                    "incremental crossover state diverged from the full assessment"
+                );
+                assert_eq!(
+                    states[1].assessment, fulls[1].assessment,
+                    "incremental crossover state diverged from the full assessment"
+                );
+                ctx.note_verified();
+            }
             let z2_state = states.pop().expect("two states");
             (states.pop().expect("two states"), z2_state)
         } else {
             let tasks = [EvalTask::Full(&z1_data), EvalTask::Full(&z2_data)];
             let mut states = evaluate_tasks(&self.evaluator, &tasks, parallel);
             ctx.evals.full += 2;
-            if self.config.incremental_crossover {
-                ctx.note_full();
-            }
             let z2_state = states.pop().expect("two states");
             (states.pop().expect("two states"), z2_state)
         };

@@ -29,20 +29,24 @@ pub struct EvoConfig {
     pub replacement: ReplacementPolicy,
     /// Termination.
     pub stop: StopCondition,
-    /// Use the incremental evaluator for mutation offspring (extension;
-    /// exact IL/ID, record-local linkage — see `cdp-metrics`).
+    /// Use the incremental evaluator for mutation offspring (on by
+    /// default): the child is scored by patching the parent's cached
+    /// state, which is bit-identical to a full assessment — every measure
+    /// derives from exactly-updated integer sufficient statistics (see
+    /// `cdp-metrics`). Turning it off changes nothing but wall time.
     pub incremental_mutation: bool,
     /// Use the patch-based incremental evaluator for crossover offspring
-    /// (extension): each child is re-assessed from its frame parent's
-    /// cached state via a flat-range patch instead of a full O(n²) pass.
-    /// Exact for CTBIL/DBIL/EBIL/ID and DBRL; the PRL/RSRL approximation
-    /// profile matches [`EvoConfig::incremental_mutation`].
+    /// (on by default): each child is re-assessed from its frame parent's
+    /// cached state via a flat-range patch instead of a full O(n²) pass,
+    /// with the same bit-exactness guarantee as
+    /// [`EvoConfig::incremental_mutation`].
     pub incremental_crossover: bool,
-    /// Drift-refresh policy for the incremental paths: after this many
+    /// Debug-verification knob for the incremental paths: after this many
     /// *accepted* incrementally-evaluated offspring, the next offspring is
-    /// scored with a full assessment, bounding PRL/RSRL approximation
-    /// drift. `0` disables refreshing. Ignored while both incremental
-    /// knobs are off.
+    /// additionally scored with a full assessment and the two results are
+    /// asserted identical (a cross-check of the exact delta engine, not a
+    /// drift bound — there is no drift). `0` (the default) disables the
+    /// cross-check. Ignored while both incremental knobs are off.
     pub incremental_refresh: usize,
     /// Evaluate the initial population on all cores.
     pub parallel_init: bool,
@@ -63,9 +67,9 @@ impl Default for EvoConfig {
             selection: SelectionWeighting::InverseScore,
             replacement: ReplacementPolicy::IndexPairedCrowding,
             stop: StopCondition::default(),
-            incremental_mutation: false,
-            incremental_crossover: false,
-            incremental_refresh: 64,
+            incremental_mutation: true,
+            incremental_crossover: true,
+            incremental_refresh: 0,
             parallel_init: true,
             parallel_offspring: true,
         }
@@ -181,8 +185,8 @@ impl EvoConfigBuilder {
         self
     }
 
-    /// Accepted-offspring interval between full drift-refresh assessments
-    /// on the incremental paths (`0` = never refresh).
+    /// Accepted-offspring interval between full-assessment cross-checks of
+    /// the incremental paths (`0`, the default, = never verify).
     pub fn incremental_refresh(mut self, every: usize) -> Self {
         self.cfg.incremental_refresh = every;
         self
@@ -216,6 +220,9 @@ mod tests {
 
     #[test]
     fn builder_round_trip() {
+        assert!(EvoConfig::default().incremental_mutation);
+        assert!(EvoConfig::default().incremental_crossover);
+        assert_eq!(EvoConfig::default().incremental_refresh, 0);
         let cfg = EvoConfig::builder()
             .seed(42)
             .aggregator(ScoreAggregator::Mean)
@@ -225,8 +232,8 @@ mod tests {
             .leader_fraction(0.2)
             .selection(SelectionWeighting::Rank)
             .replacement(ReplacementPolicy::DistancePairedCrowding)
-            .incremental_mutation(true)
-            .incremental_crossover(true)
+            .incremental_mutation(false)
+            .incremental_crossover(false)
             .incremental_refresh(9)
             .parallel_init(false)
             .parallel_offspring(false)
@@ -234,8 +241,8 @@ mod tests {
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.stop.max_iterations, 123);
         assert_eq!(cfg.stop.stagnation, Some(17));
-        assert!(cfg.incremental_mutation);
-        assert!(cfg.incremental_crossover);
+        assert!(!cfg.incremental_mutation);
+        assert!(!cfg.incremental_crossover);
         assert_eq!(cfg.incremental_refresh, 9);
         assert!(!cfg.parallel_init);
         assert!(!cfg.parallel_offspring);

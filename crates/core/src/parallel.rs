@@ -81,33 +81,15 @@ pub fn evaluate_tasks(
 
 /// Evaluate every named protection, preserving order. `parallel = false`
 /// degrades to a serial loop (used by the ablation bench as the baseline).
+/// A thin wrapper over [`evaluate_tasks`]: one chunked scoped-thread
+/// engine serves both the initial population and per-generation batches.
 pub fn evaluate_all(
     evaluator: &Evaluator,
     items: &[(String, SubTable)],
     parallel: bool,
 ) -> Vec<EvalState> {
-    if !parallel || items.len() < 2 {
-        return items.iter().map(|(_, d)| evaluator.assess(d)).collect();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len());
-    let chunk = items.len().div_ceil(workers);
-    let mut out: Vec<Option<EvalState>> = vec![None; items.len()];
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (slot, (_, data)) in slot_chunk.iter_mut().zip(item_chunk.iter()) {
-                    *slot = Some(evaluator.assess(data));
-                }
-            });
-        }
-    })
-    .expect("evaluation workers must not panic");
-    out.into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+    let tasks: Vec<EvalTask<'_>> = items.iter().map(|(_, d)| EvalTask::Full(d)).collect();
+    evaluate_tasks(evaluator, &tasks, parallel)
 }
 
 #[cfg(test)]

@@ -8,23 +8,47 @@ use cdp_dataset::SubTable;
 
 use crate::prepared::PreparedOriginal;
 
-/// Sum of per-cell distances (the quantity cached for incremental updates).
-pub fn dbil_sum(prep: &PreparedOriginal, masked: &SubTable) -> f64 {
-    let mut sum = 0.0;
-    for k in 0..prep.n_attrs() {
-        let (o, m) = (prep.orig().column(k), masked.column(k));
-        if prep.is_ordinal(k) {
-            let scale = prep.inv_span(k);
-            let mut acc = 0u64;
-            for (&x, &y) in o.iter().zip(m.iter()) {
-                acc += u64::from(x.abs_diff(y));
+/// Per-attribute integer distance accumulators — DBIL's sufficient
+/// statistic. Ordinal attributes accumulate the summed code distance
+/// `Σ |x − x′|`, nominal ones the disagreement count. Keeping the
+/// accumulators in integers is what makes the incremental evaluator's DBIL
+/// *bit-identical* to a full pass: cell deltas are exact integer
+/// arithmetic, and the float conversion happens once, in the same order as
+/// [`dbil_sum`].
+pub fn dbil_accs(prep: &PreparedOriginal, masked: &SubTable) -> Vec<u64> {
+    (0..prep.n_attrs())
+        .map(|k| {
+            let (o, m) = (prep.orig().column(k), masked.column(k));
+            if prep.is_ordinal(k) {
+                o.iter()
+                    .zip(m.iter())
+                    .map(|(&x, &y)| u64::from(x.abs_diff(y)))
+                    .sum()
+            } else {
+                o.iter().zip(m.iter()).filter(|(x, y)| x != y).count() as u64
             }
-            sum += acc as f64 * scale;
+        })
+        .collect()
+}
+
+/// Convert per-attribute accumulators (see [`dbil_accs`]) into the
+/// distance sum, scaling each ordinal attribute by `1/(c−1)` in attribute
+/// order.
+pub fn dbil_sum_from_accs(prep: &PreparedOriginal, accs: &[u64]) -> f64 {
+    let mut sum = 0.0;
+    for (k, &acc) in accs.iter().enumerate() {
+        if prep.is_ordinal(k) {
+            sum += acc as f64 * prep.inv_span(k);
         } else {
-            sum += o.iter().zip(m.iter()).filter(|(x, y)| x != y).count() as f64;
+            sum += acc as f64;
         }
     }
     sum
+}
+
+/// Sum of per-cell distances (the quantity cached for incremental updates).
+pub fn dbil_sum(prep: &PreparedOriginal, masked: &SubTable) -> f64 {
+    dbil_sum_from_accs(prep, &dbil_accs(prep, masked))
 }
 
 /// Convert a distance sum into the `[0, 100]` DBIL value.

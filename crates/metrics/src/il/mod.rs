@@ -14,5 +14,5 @@ mod dbil;
 mod ebil;
 
 pub use ctbil::ctbil;
-pub use dbil::{dbil, dbil_sum, dbil_value};
+pub use dbil::{dbil, dbil_accs, dbil_sum, dbil_sum_from_accs, dbil_value};
 pub use ebil::{build_confusion, ebil, ebil_from_confusion, update_confusion};

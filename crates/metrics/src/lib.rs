@@ -62,5 +62,5 @@ pub use contingency::ContingencyTables;
 pub use error::{MetricError, Result};
 pub use evaluator::{Assessment, DrBreakdown, EvalState, Evaluator, IlBreakdown, MetricConfig};
 pub use patch::{Patch, PatchCell};
-pub use prepared::PreparedOriginal;
+pub use prepared::{MaskedStats, MovedCategory, PreparedOriginal};
 pub use score::ScoreAggregator;

@@ -13,15 +13,29 @@
 //! Each measure exposes per-record credits (`1/|ties|` when the true record
 //! is among the best candidates, else 0); the measure value is the mean
 //! credit × 100. Per-record granularity is what allows the incremental
-//! evaluator to relink only the mutated record.
+//! evaluator to relink *exactly* the records a patch affects:
+//!
+//! * DBRL credits depend only on the record's own masked values — touched
+//!   records relink, nothing else can change;
+//! * PRL credits are a function of integer agreement-pattern histograms
+//!   ([`PatternCensus`]) — a touched record rebuilds its histogram, the
+//!   Fellegi–Sunter model refits from the summed census (identical to a
+//!   from-scratch fit), and every credit is recomputed from the histograms
+//!   in O(n·2^a);
+//! * RSRL credits depend on the masked midranks of the record's own
+//!   values — `MaskedStats::apply_patch` reports every midrank that moved,
+//!   and the holders of categories whose rank window changed re-credit.
+//!
+//! A patched evaluation is therefore bit-identical to a full one; there is
+//! no frozen-weights or stale-midrank approximation left to bound.
 
 mod distance;
 mod probabilistic;
 mod rankswap_aware;
 
 pub use distance::{dbrl, dbrl_credit, dbrl_credits, dbrl_topk, dbrl_topk_disclosed};
-pub use probabilistic::{prl, prl_credit, prl_credits, PrlModel};
-pub use rankswap_aware::{rsrl, rsrl_credit, rsrl_credits};
+pub use probabilistic::{prl, prl_credit, prl_credits, PatternCensus, PrlModel};
+pub use rankswap_aware::{compatible_categories, rsrl, rsrl_credit, rsrl_credits};
 
 /// Mean per-record credit scaled to `[0, 100]`.
 pub fn credits_value(credits: &[f64]) -> f64 {

@@ -8,6 +8,16 @@
 //! `Σ_k δ_k·log2(m_k/u_k) + (1−δ_k)·log2((1−m_k)/(1−u_k))`; every masked
 //! record links to the original(s) with maximal weight, and the measure is
 //! the tie-credited share of correct links × 100.
+//!
+//! Because a pair's weight is a function of its agreement pattern alone,
+//! the whole measure is determined by *integer pattern data*: a
+//! [`PatternCensus`] keeps one `2^a`-bin histogram per masked record (plus
+//! their global sum), and a record's credit needs only its histogram and
+//! the weight of its own self-pattern. This is what makes the incremental
+//! evaluator exact — patching a record updates its histogram in O(n·a),
+//! the model refits from the summed census (identical to a from-scratch
+//! fit, since the census is identical), and every credit is recomputed
+//! from histograms in O(n·2^a).
 
 use cdp_dataset::SubTable;
 
@@ -48,22 +58,49 @@ impl PrlModel {
     /// Panics when the file has more than 20 protected attributes (the
     /// pattern census is `2^a`; the paper protects 3).
     pub fn fit(prep: &PreparedOriginal, masked: &SubTable, em_iters: usize) -> Self {
-        let n = prep.n_rows();
         let a = prep.n_attrs();
         assert!(a <= 20, "pattern census needs 2^a space, a = {a}");
         let n_patterns = 1usize << a;
 
         // Census of agreement patterns over all pairs.
         let mut counts = vec![0u64; n_patterns];
-        for i in 0..n {
-            for j in 0..n {
+        for i in 0..prep.n_rows() {
+            for j in 0..prep.n_rows() {
                 counts[pattern(prep, masked, i, j)] += 1;
             }
         }
+        Self::fit_from_counts(prep, &counts, em_iters)
+    }
+
+    /// Fit `m`/`u` by EM on a precomputed agreement-pattern census
+    /// (`counts[p]` = number of original–masked pairs with pattern `p`,
+    /// over all `n²` pairs). Bit-identical to [`PrlModel::fit`] on the
+    /// file that produced the census: the census is the EM's sufficient
+    /// statistic, and the initialization depends only on the original.
+    pub fn fit_from_counts(prep: &PreparedOriginal, counts: &[u64], em_iters: usize) -> Self {
+        let a = prep.n_attrs();
+        let mut model = PrlModel {
+            agree_weight: vec![0.0; a],
+            disagree_weight: vec![0.0; a],
+        };
+        model.refit_from_counts(prep, counts, em_iters);
+        model
+    }
+
+    /// [`PrlModel::fit_from_counts`] into an existing model, recycling its
+    /// weight buffers (the incremental evaluator refits on every patch).
+    pub fn refit_from_counts(&mut self, prep: &PreparedOriginal, counts: &[u64], em_iters: usize) {
+        let n = prep.n_rows();
+        let a = prep.n_attrs();
+        let n_patterns = counts.len();
+        debug_assert_eq!(n_patterns, 1usize << a);
         let total = (n as f64) * (n as f64);
 
         // EM initialization: matches are the diagonal fraction; agreement by
-        // chance initializes u.
+        // chance initializes u. Probabilities are clamped away from {0, 1}
+        // throughout: a category that always (or never) agrees would
+        // otherwise drive a weight to ±∞ and poison `pair_weight`
+        // tie-breaking with NaNs.
         let mut pi = 1.0 / n.max(1) as f64;
         let mut m: Vec<f64> = vec![0.9; a];
         let mut u: Vec<f64> = (0..a)
@@ -109,11 +146,9 @@ impl PrlModel {
             }
         }
 
-        PrlModel {
-            agree_weight: (0..a).map(|k| (m[k] / u[k]).log2()).collect(),
-            disagree_weight: (0..a)
-                .map(|k| ((1.0 - m[k]) / (1.0 - u[k])).log2())
-                .collect(),
+        for k in 0..a {
+            self.agree_weight[k] = (m[k] / u[k]).log2();
+            self.disagree_weight[k] = ((1.0 - m[k]) / (1.0 - u[k])).log2();
         }
     }
 
@@ -136,6 +171,25 @@ impl PrlModel {
         }
         w
     }
+
+    /// Total match weight of every agreement pattern, summed in attribute
+    /// order so `weights[p]` is bit-identical to [`PrlModel::pair_weight`]
+    /// of any pair exhibiting pattern `p`.
+    pub fn pattern_weights(&self, n_attrs: usize) -> Vec<f64> {
+        (0..1usize << n_attrs)
+            .map(|p| {
+                let mut w = 0.0;
+                for k in 0..n_attrs {
+                    if p >> k & 1 == 1 {
+                        w += self.agree_weight[k];
+                    } else {
+                        w += self.disagree_weight[k];
+                    }
+                }
+                w
+            })
+            .collect()
+    }
 }
 
 #[inline]
@@ -147,6 +201,139 @@ fn pattern(prep: &PreparedOriginal, masked: &SubTable, i: usize, j: usize) -> us
         }
     }
     p
+}
+
+/// The integer sufficient statistic of PRL: one `2^a`-bin agreement-pattern
+/// histogram per masked record (against every original record), their
+/// global sum (the EM census), and each record's cached self-pattern.
+///
+/// All counts are integers, so incrementally maintained instances are
+/// *identical* — not merely close — to freshly built ones, which is what
+/// lets the delta evaluator reproduce a full assessment bit-for-bit.
+#[derive(Debug, PartialEq)]
+pub struct PatternCensus {
+    n_patterns: usize,
+    /// `hist[i * n_patterns + p]` = #originals whose pattern against masked
+    /// record `i` is `p`.
+    hist: Vec<u32>,
+    /// Column sums of `hist`: the EM census over all `n²` pairs.
+    census: Vec<u64>,
+    /// `pattern(i, i)` per masked record.
+    self_pattern: Vec<u32>,
+}
+
+impl Clone for PatternCensus {
+    fn clone(&self) -> Self {
+        PatternCensus {
+            n_patterns: self.n_patterns,
+            hist: self.hist.clone(),
+            census: self.census.clone(),
+            self_pattern: self.self_pattern.clone(),
+        }
+    }
+
+    /// Buffer-reusing copy for scratch evaluation states.
+    fn clone_from(&mut self, src: &Self) {
+        self.n_patterns = src.n_patterns;
+        self.hist.clone_from(&src.hist);
+        self.census.clone_from(&src.census);
+        self.self_pattern.clone_from(&src.self_pattern);
+    }
+}
+
+impl PatternCensus {
+    /// Build the histograms of every masked record — O(n²·a), the same
+    /// cost the plain EM census already paid.
+    ///
+    /// # Panics
+    /// Panics when the file has more than 20 protected attributes.
+    pub fn build(prep: &PreparedOriginal, masked: &SubTable) -> Self {
+        let n = prep.n_rows();
+        let a = prep.n_attrs();
+        assert!(a <= 20, "pattern census needs 2^a space, a = {a}");
+        let n_patterns = 1usize << a;
+        let mut out = PatternCensus {
+            n_patterns,
+            hist: vec![0u32; n * n_patterns],
+            census: vec![0u64; n_patterns],
+            self_pattern: vec![0u32; n],
+        };
+        for i in 0..n {
+            let row = &mut out.hist[i * n_patterns..(i + 1) * n_patterns];
+            for j in 0..n {
+                row[pattern(prep, masked, i, j)] += 1;
+            }
+            for (p, &c) in row.iter().enumerate() {
+                out.census[p] += u64::from(c);
+            }
+            out.self_pattern[i] = pattern(prep, masked, i, i) as u32;
+        }
+        out
+    }
+
+    /// Re-derive masked record `i`'s histogram after its values changed —
+    /// O(n·a). Only the touched record's histogram moves: patterns compare
+    /// one masked record against the (immutable) originals.
+    pub fn rebuild_row(&mut self, prep: &PreparedOriginal, masked: &SubTable, i: usize) {
+        let row = &mut self.hist[i * self.n_patterns..(i + 1) * self.n_patterns];
+        for (p, c) in row.iter_mut().enumerate() {
+            self.census[p] -= u64::from(*c);
+            *c = 0;
+        }
+        for j in 0..prep.n_rows() {
+            row[pattern(prep, masked, i, j)] += 1;
+        }
+        for (p, &c) in row.iter().enumerate() {
+            self.census[p] += u64::from(c);
+        }
+        self.self_pattern[i] = pattern(prep, masked, i, i) as u32;
+    }
+
+    /// The global pattern census (the EM sufficient statistic).
+    pub fn counts(&self) -> &[u64] {
+        &self.census
+    }
+
+    /// Re-identification credit of masked record `i` given the per-pattern
+    /// weights of a fitted model (see [`PrlModel::pattern_weights`]).
+    pub fn credit(&self, weights: &[f64], i: usize) -> f64 {
+        let row = &self.hist[i * self.n_patterns..(i + 1) * self.n_patterns];
+        let mut best = f64::NEG_INFINITY;
+        let mut ties = 0u64;
+        for (p, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let w = weights[p];
+            if w > best + 1e-12 {
+                best = w;
+                ties = u64::from(c);
+            } else if (w - best).abs() <= 1e-12 {
+                ties += u64::from(c);
+            }
+        }
+        let self_w = weights[self.self_pattern[i] as usize];
+        if (self_w - best).abs() <= 1e-12 && ties > 0 {
+            1.0 / ties as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Credits of every masked record, written into `out` (recycled).
+    pub fn credits_into(&self, model: &PrlModel, out: &mut Vec<f64>) {
+        let a = model.agree_weight.len();
+        let weights = model.pattern_weights(a);
+        out.clear();
+        out.extend((0..self.self_pattern.len()).map(|i| self.credit(&weights, i)));
+    }
+
+    /// Credits of every masked record.
+    pub fn credits(&self, model: &PrlModel) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.credits_into(model, &mut out);
+        out
+    }
 }
 
 /// Re-identification credit of masked record `i` under a fitted model.
@@ -190,8 +377,10 @@ pub fn prl(prep: &PreparedOriginal, masked: &SubTable, em_iters: usize) -> f64 {
 mod tests {
     use super::*;
     use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+    use cdp_dataset::{Attribute, Code, Schema};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
 
     fn prep_and_sub(n: usize) -> (PreparedOriginal, SubTable) {
         let s = DatasetKind::German
@@ -264,5 +453,110 @@ mod tests {
             assert!(model.agree_weight[k].is_finite());
             assert!(model.disagree_weight[k].is_finite());
         }
+    }
+
+    #[test]
+    fn em_weights_stay_finite_for_never_and_always_agreeing_attrs() {
+        // degenerate file: attr 0 agrees on every pair (u -> 1 without the
+        // clamp, driving the disagreement weight to -inf), attr 1 agrees on
+        // no pair (m, u -> 0 without the clamp, driving the agreement
+        // weight to ±inf). The probability clamps must keep every weight —
+        // and hence every pair weight the linker compares — finite.
+        let schema = Arc::new(
+            Schema::new(vec![Attribute::ordinal("C", 2), Attribute::ordinal("D", 4)]).unwrap(),
+        );
+        let n = 8usize;
+        let orig = SubTable::new(
+            Arc::clone(&schema),
+            vec![0, 1],
+            vec![vec![0; n], (0..n as Code).map(|v| v % 2).collect()],
+        )
+        .unwrap();
+        // masked: attr 0 identical everywhere; attr 1 shifted into codes the
+        // original never uses
+        let masked = SubTable::new(
+            schema,
+            vec![0, 1],
+            vec![vec![0; n], (0..n as Code).map(|v| 2 + v % 2).collect()],
+        )
+        .unwrap();
+        let p = PreparedOriginal::new(&orig);
+        let model = PrlModel::fit(&p, &masked, 50);
+        for k in 0..p.n_attrs() {
+            assert!(
+                model.agree_weight[k].is_finite(),
+                "agree weight {k} = {}",
+                model.agree_weight[k]
+            );
+            assert!(
+                model.disagree_weight[k].is_finite(),
+                "disagree weight {k} = {}",
+                model.disagree_weight[k]
+            );
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert!(model.pair_weight(&p, &masked, i, j).is_finite());
+            }
+        }
+        // the census-driven credits are finite probabilities, too
+        let census = PatternCensus::build(&p, &masked);
+        for c in census.credits(&model) {
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn fit_from_counts_matches_direct_fit_bit_for_bit() {
+        let (p, s) = prep_and_sub(60);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = s.clone();
+        for k in 0..m.n_attrs() {
+            let c = p.cats(k) as u16;
+            for r in 0..m.n_rows() {
+                if rng.gen_bool(0.4) {
+                    m.set(r, k, rng.gen_range(0..c));
+                }
+            }
+        }
+        let direct = PrlModel::fit(&p, &m, 15);
+        let census = PatternCensus::build(&p, &m);
+        let via_census = PrlModel::fit_from_counts(&p, census.counts(), 15);
+        assert_eq!(direct.agree_weight, via_census.agree_weight);
+        assert_eq!(direct.disagree_weight, via_census.disagree_weight);
+    }
+
+    #[test]
+    fn rebuilt_rows_match_a_fresh_census_exactly() {
+        let (p, s) = prep_and_sub(50);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = s.clone();
+        let mut census = PatternCensus::build(&p, &m);
+        for _ in 0..20 {
+            let row = rng.gen_range(0..m.n_rows());
+            let k = rng.gen_range(0..m.n_attrs());
+            let c = p.cats(k) as u16;
+            m.set(row, k, rng.gen_range(0..c));
+            census.rebuild_row(&p, &m, row);
+        }
+        assert_eq!(census, PatternCensus::build(&p, &m));
+    }
+
+    #[test]
+    fn census_credits_match_the_pairwise_linker() {
+        let (p, s) = prep_and_sub(60);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = s.clone();
+        for k in 0..m.n_attrs() {
+            let c = p.cats(k) as u16;
+            for r in 0..m.n_rows() {
+                if rng.gen_bool(0.3) {
+                    m.set(r, k, rng.gen_range(0..c));
+                }
+            }
+        }
+        let model = PrlModel::fit(&p, &m, 15);
+        let census = PatternCensus::build(&p, &m);
+        assert_eq!(census.credits(&model), prl_credits(&model, &p, &m));
     }
 }

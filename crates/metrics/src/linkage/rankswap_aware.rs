@@ -18,6 +18,34 @@ use cdp_dataset::SubTable;
 use crate::linkage::credits_value;
 use crate::prepared::{MaskedStats, PreparedOriginal};
 
+/// The original categories of attribute `k` whose rank interval intersects
+/// the window of `window` positions around `midrank`. A `NaN` midrank (a
+/// category absent from the masked file, see
+/// [`MaskedStats::midrank`]) is compatible with nothing: every interval
+/// comparison against `NaN` is false.
+pub fn compatible_categories(
+    prep: &PreparedOriginal,
+    k: usize,
+    midrank: f64,
+    window: f64,
+) -> Vec<bool> {
+    let lo = midrank - window;
+    let hi = midrank + window;
+    let starts = prep.rank_start(k);
+    let counts = prep.counts(k);
+    let mut ok = vec![false; prep.cats(k)];
+    for (v, flag) in ok.iter_mut().enumerate() {
+        if counts[v] == 0 {
+            continue;
+        }
+        let first = starts[v] as f64;
+        let last = (starts[v] + counts[v] as usize - 1) as f64;
+        // original rank interval of category v intersects [lo, hi]
+        *flag = first <= hi && last >= lo;
+    }
+    ok
+}
+
 /// Re-identification credit of masked record `i` under an assumed rank
 /// window of `window` positions.
 pub fn rsrl_credit(
@@ -32,26 +60,9 @@ pub fn rsrl_credit(
 
     // Per attribute: which original categories are rank-compatible with the
     // masked value of record i.
-    let mut compatible: Vec<Vec<bool>> = Vec::with_capacity(a);
-    for k in 0..a {
-        let c = prep.cats(k);
-        let rank = stats.midrank(k, masked.get(i, k));
-        let lo = rank - window;
-        let hi = rank + window;
-        let starts = prep.rank_start(k);
-        let counts = prep.counts(k);
-        let mut ok = vec![false; c];
-        for v in 0..c {
-            if counts[v] == 0 {
-                continue;
-            }
-            let first = starts[v] as f64;
-            let last = (starts[v] + counts[v] as usize - 1) as f64;
-            // original rank interval of category v intersects [lo, hi]
-            ok[v] = first <= hi && last >= lo;
-        }
-        compatible.push(ok);
-    }
+    let compatible: Vec<Vec<bool>> = (0..a)
+        .map(|k| compatible_categories(prep, k, stats.midrank(k, masked.get(i, k)), window))
+        .collect();
 
     let mut candidates = 0usize;
     let mut self_in = false;
@@ -143,6 +154,33 @@ mod tests {
         for c in rsrl_credits(&p, &stats, &s, 5.0) {
             assert!((0.0..=1.0).contains(&c));
         }
+    }
+
+    #[test]
+    fn absent_categories_are_compatible_with_nothing() {
+        // regression for the zero-count midrank bug: an absent masked
+        // category used to report midrank == rank_start, so its window
+        // aliased whatever category starts at that rank
+        let (p, s) = prep_and_sub(100);
+        let mut m = s.clone();
+        // drive category 0 of attribute 0 out of the masked file
+        let c0 = p.cats(0) as cdp_dataset::Code;
+        for r in 0..m.n_rows() {
+            if m.get(r, 0) == 0 {
+                m.set(r, 0, 1 % c0);
+            }
+        }
+        let stats = MaskedStats::build(&p, &m);
+        let mid = stats.midrank(0, 0);
+        assert!(mid.is_nan());
+        let ok = compatible_categories(&p, 0, mid, 50.0);
+        assert!(
+            ok.iter().all(|&b| !b),
+            "absent category must match no rank window"
+        );
+        // a present category still matches at least itself
+        let present = compatible_categories(&p, 0, stats.midrank(0, m.get(0, 0)), 50.0);
+        assert!(present.iter().any(|&b| b));
     }
 
     #[test]

@@ -227,22 +227,28 @@ impl MaskedStats {
         MaskedStats { counts, rank_start }
     }
 
-    /// Midrank of category `v` of attribute `k` in the masked column.
+    /// Midrank of category `v` of attribute `k` in the masked column, or
+    /// `NaN` when the category does not occur in the masked file. A
+    /// zero-count category has no rank interval at all; reporting its
+    /// `rank_start` (as a `saturating_sub` formulation would) places it on
+    /// top of whatever category happens to start there, letting RSRL
+    /// windows match values the masked file never publishes. The `NaN`
+    /// sentinel makes every window comparison false instead, so absent
+    /// categories are never rank-compatible with anything.
     pub fn midrank(&self, k: usize, v: Code) -> f64 {
         let c = self.counts[k][v as usize];
-        self.rank_start[k][v as usize] as f64 + (c.saturating_sub(1)) as f64 / 2.0
+        if c == 0 {
+            return f64::NAN;
+        }
+        self.rank_start[k][v as usize] as f64 + (c - 1) as f64 / 2.0
     }
 
     /// Update after one cell of attribute `k` changed from `old` to `new`.
     /// Recomputes that attribute's rank starts (O(c)); no allocation beyond
-    /// the rank rebuild's scratch.
+    /// the rank rebuild's scratch. See [`MaskedStats::apply_patch`] for the
+    /// variant that reports which midranks moved.
     pub fn apply_mutation(&mut self, prep: &PreparedOriginal, k: usize, old: Code, new: Code) {
-        if old == new {
-            return;
-        }
-        self.counts[k][old as usize] -= 1;
-        self.counts[k][new as usize] += 1;
-        recompute_rank_start(&self.counts[k], prep.order_keys(k), &mut self.rank_start[k]);
+        let _ = self.apply_patch(prep, [(k, old, new)]);
     }
 
     /// Update after a batch of cell changes, given as `(attribute, old,
@@ -250,23 +256,68 @@ impl MaskedStats {
     /// Count deltas are applied per change; the O(c log c) rank-start
     /// rebuild runs once per *touched attribute*, which is what makes
     /// multi-cell patches cheaper than a chain of single-cell updates.
-    pub fn apply_patch<I>(&mut self, prep: &PreparedOriginal, changed: I)
+    ///
+    /// Returns every `(attribute, category)` whose **midrank actually
+    /// moved** — a count change of one category shifts the rank starts of
+    /// every category after it in the total order, so midranks of
+    /// *untouched* categories move too. The report is what lets the
+    /// incremental evaluator re-credit exactly the records whose RSRL rank
+    /// windows changed, instead of only the touched records (the PR 4
+    /// approximation) or the whole file.
+    pub fn apply_patch<I>(&mut self, prep: &PreparedOriginal, changed: I) -> Vec<MovedCategory>
     where
         I: IntoIterator<Item = (usize, Code, Code)>,
     {
-        let mut touched = vec![false; self.counts.len()];
+        // snapshot each attribute's (counts, rank starts) on first touch,
+        // so old midranks survive the in-place update
+        let mut snapshots: Vec<(usize, Vec<u32>, Vec<usize>)> = Vec::new();
         for (k, old, new) in changed {
             if old == new {
                 continue;
             }
+            if !snapshots.iter().any(|(sk, _, _)| *sk == k) {
+                snapshots.push((k, self.counts[k].clone(), self.rank_start[k].clone()));
+            }
             self.counts[k][old as usize] -= 1;
             self.counts[k][new as usize] += 1;
-            touched[k] = true;
         }
-        for (k, _) in touched.iter().enumerate().filter(|(_, &t)| t) {
+        let mut moved = Vec::new();
+        for (k, old_counts, old_starts) in snapshots {
             recompute_rank_start(&self.counts[k], prep.order_keys(k), &mut self.rank_start[k]);
+            for v in 0..self.counts[k].len() {
+                if old_counts[v] == self.counts[k][v] && old_starts[v] == self.rank_start[k][v] {
+                    continue;
+                }
+                let old_midrank = if old_counts[v] == 0 {
+                    f64::NAN
+                } else {
+                    old_starts[v] as f64 + (old_counts[v] - 1) as f64 / 2.0
+                };
+                moved.push(MovedCategory {
+                    attr: k,
+                    cat: v as Code,
+                    old_midrank,
+                    new_midrank: self.midrank(k, v as Code),
+                });
+            }
         }
+        moved
     }
+}
+
+/// An `(attribute, category)` whose masked-file midrank changed under a
+/// [`MaskedStats::apply_patch`], with the midrank before and after
+/// (`NaN` marks a category absent from the masked file on that side).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovedCategory {
+    /// Protected-attribute index.
+    pub attr: usize,
+    /// Category code within that attribute.
+    pub cat: Code,
+    /// Midrank before the patch (`NaN` if the category was absent).
+    pub old_midrank: f64,
+    /// Midrank after the patch (`NaN` if the category is now absent).
+    pub new_midrank: f64,
 }
 
 fn rank_starts(counts: &[Vec<u32>], order_keys: &[Vec<usize>]) -> Vec<Vec<usize>> {
@@ -421,6 +472,69 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn midrank_of_absent_category_is_nan() {
+        // regression: a zero-count category used to report midrank ==
+        // rank_start (via saturating_sub), aliasing whatever present
+        // category starts at that rank and letting RSRL windows match
+        // values the masked file never publishes
+        let s = sub();
+        let p = PreparedOriginal::new(&s);
+        let mut m = s.clone();
+        // wipe category 0 of attribute 0 out of the masked file
+        for r in 0..m.n_rows() {
+            if m.get(r, 0) == 0 {
+                m.set(r, 0, 1);
+            }
+        }
+        let stats = MaskedStats::build(&p, &m);
+        assert_eq!(stats.counts[0][0], 0);
+        assert!(stats.midrank(0, 0).is_nan(), "absent category must be NaN");
+        // present categories keep real midranks
+        assert!(stats.midrank(0, 1).is_finite());
+    }
+
+    #[test]
+    fn apply_patch_reports_exactly_the_moved_midranks() {
+        let s = sub();
+        let p = PreparedOriginal::new(&s);
+        let mut m = s.clone();
+        let mut stats = MaskedStats::build(&p, &m);
+        let before = stats.clone();
+        let (row, k) = (0usize, 0usize);
+        let old = m.get(row, k);
+        let new = (old + 3) % p.cats(k) as Code;
+        m.set(row, k, new);
+        let moved = stats.apply_patch(&p, [(k, old, new)]);
+        // every reported category really moved, with the right endpoints …
+        for mc in &moved {
+            assert_eq!(mc.attr, k);
+            let was = before.midrank(mc.attr, mc.cat);
+            let is = stats.midrank(mc.attr, mc.cat);
+            assert!(
+                was.to_bits() == mc.old_midrank.to_bits()
+                    && is.to_bits() == mc.new_midrank.to_bits(),
+                "cat {}: reported {} -> {}, actual {} -> {}",
+                mc.cat,
+                mc.old_midrank,
+                mc.new_midrank,
+                was,
+                is
+            );
+        }
+        // … and every unreported category kept count and rank start
+        for v in 0..p.cats(k) {
+            if moved.iter().any(|mc| mc.cat == v as Code) {
+                continue;
+            }
+            assert_eq!(before.counts[k][v], stats.counts[k][v]);
+            assert_eq!(before.rank_start[k][v], stats.rank_start[k][v]);
+        }
+        // both mutated categories are always part of the report
+        assert!(moved.iter().any(|mc| mc.cat == old));
+        assert!(moved.iter().any(|mc| mc.cat == new));
     }
 
     #[test]

@@ -185,24 +185,27 @@ fn aggregates_follow_from_components() {
 }
 
 #[test]
-fn incremental_path_il_and_dbrl_exact_rsrl_approximate() {
+fn incremental_path_matches_full_exactly() {
+    // the 0->1 mutation changes o0's and o1's masked counts, so the
+    // midranks of *untouched* records' values move too (o1: 1.5 -> 1.0).
+    // The midrank-aware relink re-credits their holders, making the
+    // incremental RSRL the exact 62.5 of `rsrl_candidate_sets_by_hand` —
+    // under the old touched-rows-only approximation records 1..3 kept
+    // their identity-run credits and the patched state read 75.
     let ev = evaluator();
     let orig = original();
     let state0 = ev.assess(&orig);
     let m = masked();
     let state1 = ev.reassess_mutation(&state0, &m, 0, 0, 0);
-    let full = ev.evaluate(&m);
-    // IL and DBRL are exact under the incremental contract
-    assert!((state1.assessment.il() - full.il()).abs() < 1e-9);
+    let full = ev.assess(&m);
+    assert_eq!(
+        state1.assessment, full.assessment,
+        "patched state must equal the full recompute bit for bit"
+    );
     assert!((state1.assessment.dr_parts.dbrl - 75.0).abs() < TOL);
-    // RSRL is the documented approximation: only the mutated record is
-    // relinked, so records 1..3 keep their identity-run credits (1, ½, 1)
-    // while record 0 is recomputed to ½ -> 100·(½+1+½+1)/4 = 75, whereas
-    // the exact value (all records relinked) is 62.5.
     assert!(
-        (state1.assessment.dr_parts.rsrl - 75.0).abs() < TOL,
+        (state1.assessment.dr_parts.rsrl - 62.5).abs() < TOL,
         "incremental rsrl = {}",
         state1.assessment.dr_parts.rsrl
     );
-    assert!((full.dr_parts.rsrl - 62.5).abs() < TOL);
 }

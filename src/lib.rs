@@ -35,7 +35,11 @@
 //! ## Quickstart
 //!
 //! The paper's whole workflow — mask the original with an SDC suite, score
-//! IL/DR, evolve the population, audit the winner — is one builder chain:
+//! IL/DR, evolve the population, audit the winner — is one builder chain.
+//! Offspring are delta-evaluated by default (patch-based re-assessment,
+//! bit-identical to full scoring — opt out with
+//! `.incremental_mutation(false).incremental_crossover(false)` if you want
+//! to pay the full O(n²) per offspring):
 //!
 //! ```
 //! use cdp::prelude::*;
@@ -46,7 +50,6 @@
 //!     .suite_small()                       // initial SDC population
 //!     .aggregator(ScoreAggregator::Mean)   // fitness: the paper's Eq. 1
 //!     .iterations(40)                      // evolution budget
-//!     .incremental_crossover(true)         // delta-evaluate crossover offspring
 //!     .seed(7)
 //!     .audit()                             // privacy audit of the winner
 //!     .build()

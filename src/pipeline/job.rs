@@ -523,7 +523,7 @@ impl Default for ProtectionJobBuilder {
             metrics: MetricConfig::default(),
             evo: EvoConfig::default(),
             multi_objective: false,
-            incremental_crossover: false,
+            incremental_crossover: EvoConfig::default().incremental_crossover,
             nsga_refresh: NsgaConfig::default().incremental_refresh,
             offspring: None,
             crossover_prob: None,
@@ -759,16 +759,19 @@ impl ProtectionJobBuilder {
         self
     }
 
-    /// Toggle the incremental evaluator for mutation offspring.
+    /// Toggle the incremental evaluator for mutation offspring (on by
+    /// default; bit-identical to full assessment, so turning it off only
+    /// changes wall time).
     pub fn incremental_mutation(mut self, on: bool) -> Self {
         self.evo.incremental_mutation = on;
         self
     }
 
-    /// Toggle patch-based incremental evaluation of crossover offspring.
-    /// A shared knob: in scalar mode it maps to
-    /// `EvoConfig::incremental_crossover`, in NSGA-II mode to
-    /// `NsgaConfig::incremental` (which covers both operators there).
+    /// Toggle patch-based incremental evaluation of crossover offspring
+    /// (on by default; bit-identical to full assessment). A shared knob:
+    /// in scalar mode it maps to `EvoConfig::incremental_crossover`, in
+    /// NSGA-II mode to `NsgaConfig::incremental` (which covers both
+    /// operators there).
     pub fn incremental_crossover(mut self, on: bool) -> Self {
         self.incremental_crossover = on;
         self

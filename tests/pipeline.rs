@@ -101,14 +101,34 @@ fn unbalanced_protections_penalized_only_by_max() {
 #[test]
 fn protection_job_reproduces_the_hand_wired_run_exactly() {
     // the pipeline is a re-packaging, not a re-implementation: same seeds
-    // -> same RNG streams -> bit-identical outcome
-    let hand = mini_run(DatasetKind::German, ScoreAggregator::Max, 6);
+    // -> same RNG streams -> bit-identical outcome. Incremental evaluation
+    // is pinned off on *both* sides, so this stays a pure re-packaging
+    // check whatever the delta-engine defaults are (the default-on path is
+    // covered by default_incremental_run_publishes_the_same_winner).
+    let hand = {
+        let ds = DatasetKind::German.generate(&GeneratorConfig::seeded(6).with_records(80));
+        let population = build_population(&ds, &SuiteConfig::small(), 6).unwrap();
+        let evaluator = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+        let config = EvoConfig::builder()
+            .iterations(30)
+            .aggregator(ScoreAggregator::Max)
+            .incremental_mutation(false)
+            .incremental_crossover(false)
+            .seed(6)
+            .build();
+        Evolution::new(evaluator, config)
+            .with_named_population(population)
+            .unwrap()
+            .run()
+    };
     let job = ProtectionJob::builder()
         .dataset(DatasetKind::German)
         .records(80)
         .suite_small()
         .aggregator(ScoreAggregator::Max)
         .iterations(30)
+        .incremental_mutation(false)
+        .incremental_crossover(false)
         .seed(6)
         .build()
         .unwrap();
@@ -138,6 +158,8 @@ fn nsga_job_reproduces_the_hand_wired_run_exactly() {
         NsgaConfig {
             generations: 12,
             seed: 6,
+            // pinned off on both sides — see the scalar mirror above
+            incremental: false,
             ..NsgaConfig::default()
         },
     )
@@ -151,6 +173,7 @@ fn nsga_job_reproduces_the_hand_wired_run_exactly() {
         .suite_small()
         .nsga()
         .iterations(12)
+        .incremental_crossover(false)
         .seed(6)
         .build()
         .unwrap();
@@ -307,10 +330,10 @@ fn facade_prelude_covers_the_whole_pipeline() {
 }
 
 #[test]
-fn incremental_job_reports_the_eval_split_and_tracks_the_full_run() {
+fn incremental_job_reports_the_eval_split_and_matches_the_full_run() {
     // the incremental knob's observable flows through the whole pipeline:
     // EvolutionFinished carries the full/incremental assessment split, and
-    // the winner stays close to the all-full run's
+    // the winner is bit-identical to the all-full run's
     let job = |inc: bool| {
         ProtectionJob::builder()
             .dataset(DatasetKind::Adult)
@@ -346,8 +369,71 @@ fn incremental_job_reports_the_eval_split_and_tracks_the_full_run() {
     );
     // the report mirrors the event stream
     assert_eq!(inc_report.scalar_outcome().unwrap().eval_counts, inc_counts);
-    // winner drift stays within the PRL/RSRL approximation tolerance
+    // exact delta evaluation: zero winner drift, bit for bit
     let (a, b) = (&full_report.best.assessment, &inc_report.best.assessment);
-    assert!((a.il() - b.il()).abs() < 3.0);
-    assert!((a.dr() - b.dr()).abs() < 3.0);
+    assert_eq!(a, b);
+    assert_eq!(full_report.best.data, inc_report.best.data);
+}
+
+#[test]
+fn default_incremental_run_publishes_the_same_winner_as_inc_off() {
+    // the defaults equivalence behind the flip: an untouched builder now
+    // runs the exact delta engine, and must publish the identical winner
+    // (same protected file, same assessment) as an explicit inc=off run —
+    // in both optimizer modes
+    let scalar = |inc_off: bool| {
+        let mut b = ProtectionJob::builder()
+            .dataset(DatasetKind::German)
+            .records(80)
+            .suite_small()
+            .iterations(35)
+            .seed(11);
+        if inc_off {
+            b = b.incremental_mutation(false).incremental_crossover(false);
+        }
+        b.build().unwrap().run().unwrap()
+    };
+    let default_run = scalar(false);
+    let off_run = scalar(true);
+    // the default really is the incremental path …
+    let default_counts = default_run.scalar_outcome().unwrap().eval_counts;
+    assert!(default_counts.incremental > 0, "defaults must be on");
+    assert_eq!(off_run.scalar_outcome().unwrap().eval_counts.incremental, 0);
+    // … and it changes nothing observable
+    assert_eq!(default_run.best.assessment, off_run.best.assessment);
+    assert_eq!(
+        default_run.best.data, off_run.best.data,
+        "published winner must be identical"
+    );
+    assert_eq!(
+        default_run.scalar_outcome().unwrap().summary(),
+        off_run.scalar_outcome().unwrap().summary()
+    );
+
+    let nsga = |inc_off: bool| {
+        let mut b = ProtectionJob::builder()
+            .dataset(DatasetKind::German)
+            .records(80)
+            .suite_small()
+            .nsga()
+            .iterations(10)
+            .seed(11);
+        if inc_off {
+            b = b.incremental_crossover(false);
+        }
+        b.build().unwrap().run().unwrap()
+    };
+    let default_front = nsga(false);
+    let off_front = nsga(true);
+    assert!(
+        default_front.front().unwrap().eval_counts.incremental > 0,
+        "nsga defaults must be on"
+    );
+    assert_eq!(off_front.front().unwrap().eval_counts.incremental, 0);
+    assert_eq!(default_front.best.assessment, off_front.best.assessment);
+    assert_eq!(default_front.best.data, off_front.best.data);
+    assert_eq!(
+        default_front.front().unwrap().hypervolume,
+        off_front.front().unwrap().hypervolume
+    );
 }

@@ -177,9 +177,11 @@ proptest! {
     }
 
     #[test]
-    fn incremental_il_matches_full_on_random_chains(
+    fn incremental_chain_matches_full_exactly(
         a in 2usize..=3, n in 10usize..=25, seed in any::<u64>()
     ) {
+        // a chain of 8 single-cell reassessments equals the full recompute
+        // bit for bit — every measure, PRL and RSRL included
         let original = random_subtable(a, n, seed);
         let ev = Evaluator::new(&original, MetricConfig::default()).unwrap();
         let mut masked = original.clone();
@@ -194,21 +196,16 @@ proptest! {
             state = ev.reassess_mutation(&state, &masked, row, k, old);
         }
         let full = ev.assess(&masked);
-        prop_assert!((state.assessment.il() - full.assessment.il()).abs() < 1e-9);
-        prop_assert!(
-            (state.assessment.dr_parts.id - full.assessment.dr_parts.id).abs() < 1e-9
-        );
-        prop_assert!(
-            (state.assessment.dr_parts.dbrl - full.assessment.dr_parts.dbrl).abs() < 1e-9
-        );
+        prop_assert_eq!(state.assessment, full.assessment);
     }
 
     #[test]
-    fn patch_reassess_matches_full_on_exact_measures(
+    fn patch_reassess_matches_full_exactly(
         a in 2usize..=3, n in 10usize..=25, cells in 1usize..=12, seed in any::<u64>()
     ) {
-        // one multi-cell patch == the full recompute on CTBIL/DBIL/EBIL/ID
-        // and DBRL (the exact measures), to 1e-9
+        // one multi-cell patch == the full recompute, bit for bit: the
+        // exact-by-construction measures (CTBIL/DBIL/EBIL/ID, DBRL) and
+        // the census-refit PRL / midrank-aware RSRL alike
         let original = random_subtable(a, n, seed);
         let ev = Evaluator::new(&original, MetricConfig::default()).unwrap();
         let mut masked = random_masking(&original, seed ^ 7);
@@ -230,20 +227,18 @@ proptest! {
         let patched = ev.reassess(&state, &masked, &Patch::from_cells(patch_cells));
         let full = ev.assess(&masked);
         let (p, f) = (patched.assessment, full.assessment);
-        prop_assert!((p.il_parts.ctbil - f.il_parts.ctbil).abs() < 1e-9);
-        prop_assert!((p.il_parts.dbil - f.il_parts.dbil).abs() < 1e-9);
-        prop_assert!((p.il_parts.ebil - f.il_parts.ebil).abs() < 1e-9);
-        prop_assert!((p.dr_parts.id - f.dr_parts.id).abs() < 1e-9);
-        prop_assert!((p.dr_parts.dbrl - f.dr_parts.dbrl).abs() < 1e-9);
+        prop_assert_eq!(p.dr_parts.prl, f.dr_parts.prl);
+        prop_assert_eq!(p.dr_parts.rsrl, f.dr_parts.rsrl);
+        prop_assert_eq!(p, f);
     }
 
     #[test]
-    fn crossover_offspring_patch_matches_full_on_exact_measures(
+    fn crossover_offspring_patch_matches_full_exactly(
         a in 2usize..=3, n in 10usize..=25, seed in any::<u64>()
     ) {
         // evaluate a real crossover offspring via its flat-range patch and
         // compare against the full recompute (the incremental_crossover
-        // path), plus a drift bound on the approximate DR side
+        // path): bit-identical across all seven measures
         let x = random_subtable(a, n, seed);
         let y = random_masking(&x, seed ^ 9);
         let ev = Evaluator::new(&x, MetricConfig::default()).unwrap();
@@ -254,13 +249,9 @@ proptest! {
         let patched = ev.reassess(&x_state, &z1, &Patch::flat_range(s, r, old_values));
         let full = ev.assess(&z1);
         let (p, f) = (patched.assessment, full.assessment);
-        prop_assert!((p.il() - f.il()).abs() < 1e-9);
-        prop_assert!((p.dr_parts.id - f.dr_parts.id).abs() < 1e-9);
-        prop_assert!((p.dr_parts.dbrl - f.dr_parts.dbrl).abs() < 1e-9);
-        prop_assert!(
-            (p.dr() - f.dr()).abs() < 5.0,
-            "segment drift: {} vs {}", p.dr(), f.dr()
-        );
+        prop_assert_eq!(p.dr_parts.prl, f.dr_parts.prl);
+        prop_assert_eq!(p.dr_parts.rsrl, f.dr_parts.rsrl);
+        prop_assert_eq!(p, f);
     }
 
     #[test]
