@@ -1,24 +1,35 @@
 //! Delta-vs-full evaluation benchmark: the perf baseline for the
 //! `Evaluator::assess` / `Evaluator::reassess` hot path.
 //!
-//! Two sections, written as `BENCH_evaluator.json`:
+//! Three sections, written as `BENCH_evaluator.json`:
 //!
 //! 1. **micro** — per-dataset-size cost of a full assessment vs a
 //!    single-cell and a quarter-segment patch re-assessment (ns/op and the
-//!    resulting speedups), across 1k/5k/20k rows.
-//! 2. **evolution** — a 250-iteration paper-suite evolution run with the
+//!    resulting speedups), across 1k/5k/20k/50k/100k rows (full
+//!    assessments run the default blocked linkage).
+//! 2. **linkage** — all-pairs vs blocked DBRL credit scans per size, with
+//!    the distinct-pattern counts behind the blocked complexity bound.
+//!    The all-pairs scan (and the credit-equality cross-check over DBRL
+//!    *and* RSRL) runs only up to 20k rows — beyond that O(n²·a) is the
+//!    wall this section exists to document.
+//! 3. **evolution** — a 250-iteration paper-suite evolution run with the
 //!    incremental knobs off vs on: wall time, the full/incremental
 //!    assessment split, and the best point's (IL, DR) drift.
 //!
 //! ```text
 //! cargo run --release -p cdp_bench --bin evaluator_bench -- \
-//!     [--quick] [--check-drift] [--out PATH] [--seed S]
+//!     [--quick] [--check-drift] [--rows N] [--no-evolution] \
+//!     [--out PATH] [--seed S]
 //! ```
 //!
 //! `--quick` shrinks sizes and budgets for CI smoke runs (~seconds).
-//! `--check-drift` exits nonzero unless the full-vs-incremental evolution
-//! runs publish a best point with *exactly zero* (IL, DR) drift — the
-//! incremental engine is bit-exact, so any drift at all is a regression.
+//! `--rows N` replaces the size ladder with the single size `N` (scaling
+//! smoke runs). `--no-evolution` skips section 3.
+//! `--check-drift` exits nonzero unless (a) the full-vs-incremental
+//! evolution runs publish a best point with *exactly zero* (IL, DR) drift,
+//! (b) the patch-vs-full exactness delta is exactly zero, and (c) every
+//! blocked-vs-all-pairs credit comparison is `==`-equal — all three are
+//! bit-exactness contracts, so any difference at all is a regression.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -26,8 +37,11 @@ use std::time::Instant;
 
 use cdp_core::{EvoConfig, Evolution, EvolutionOutcome};
 use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
-use cdp_dataset::{Code, SubTable};
-use cdp_metrics::{Evaluator, MetricConfig, Patch};
+use cdp_dataset::{Code, PatternIndex, SubTable};
+use cdp_metrics::linkage::{
+    dbrl_credits, dbrl_credits_blocked, rsrl_credits, rsrl_credits_blocked,
+};
+use cdp_metrics::{Evaluator, MaskedStats, MetricConfig, Patch, PreparedOriginal};
 use cdp_sdc::{build_population, SuiteConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,6 +49,8 @@ use rand::{Rng, SeedableRng};
 struct Args {
     quick: bool,
     check_drift: bool,
+    rows: Option<usize>,
+    no_evolution: bool,
     out: PathBuf,
     seed: u64,
 }
@@ -43,6 +59,8 @@ fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         check_drift: false,
+        rows: None,
+        no_evolution: false,
         out: PathBuf::from("BENCH_evaluator.json"),
         seed: 42,
     };
@@ -51,6 +69,8 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--check-drift" => args.check_drift = true,
+            "--rows" => args.rows = it.next().and_then(|v| v.parse().ok()),
+            "--no-evolution" => args.no_evolution = true,
             "--out" => args.out = it.next().map(PathBuf::from).unwrap_or(args.out),
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
             other => {
@@ -61,6 +81,11 @@ fn parse_args() -> Args {
     }
     args
 }
+
+/// Largest row count at which the O(n²·a) all-pairs scans still run in
+/// reasonable bench time; beyond it the linkage section reports the
+/// blocked numbers alone.
+const PAIRS_CEILING: usize = 20_000;
 
 /// A masked variant with ~30% of cells re-drawn (a realistic distance from
 /// the original, so linkage work is neither trivial nor degenerate).
@@ -137,6 +162,62 @@ fn micro_row(rows: usize, assess_reps: usize, seed: u64) -> MicroRow {
         ns_assess,
         ns_reassess_cell,
         ns_reassess_segment,
+    }
+}
+
+struct LinkageRow {
+    rows: usize,
+    patterns_original: usize,
+    patterns_masked: usize,
+    ns_blocked: f64,
+    /// `None` above `PAIRS_CEILING` — the all-pairs scan is skipped there.
+    ns_pairs: Option<f64>,
+    /// DBRL *and* RSRL credit vectors `==`-equal across backends
+    /// (`None` when the all-pairs reference was skipped).
+    credits_equal: Option<bool>,
+}
+
+/// Time the blocked DBRL credit scan against the all-pairs reference on the
+/// same (original, masked) pair and cross-check bit-equality of the DBRL
+/// and RSRL credit vectors. The all-pairs side runs only up to
+/// `PAIRS_CEILING` rows.
+fn linkage_row(rows: usize, seed: u64) -> LinkageRow {
+    let original = DatasetKind::Adult
+        .generate(&GeneratorConfig::seeded(seed).with_records(rows))
+        .protected_subtable();
+    let prep = PreparedOriginal::new(&original);
+    let masked = masked_variant(&original, seed);
+    let index = PatternIndex::build(&masked);
+
+    let blocked_reps = 5;
+    let t0 = Instant::now();
+    for _ in 0..blocked_reps {
+        std::hint::black_box(dbrl_credits_blocked(&prep, &masked, &index));
+    }
+    let ns_blocked = t0.elapsed().as_nanos() as f64 / blocked_reps as f64;
+
+    let (ns_pairs, credits_equal) = if rows <= PAIRS_CEILING {
+        let t0 = Instant::now();
+        let pairs_dbrl = dbrl_credits(&prep, &masked);
+        let ns_pairs = t0.elapsed().as_nanos() as f64;
+        let blocked_dbrl = dbrl_credits_blocked(&prep, &masked, &index);
+        let stats = MaskedStats::build(&prep, &masked);
+        let window = (MetricConfig::default().rsrl_window_fraction * rows as f64).max(1.0);
+        let equal = blocked_dbrl == pairs_dbrl
+            && rsrl_credits_blocked(&prep, &stats, &index, window)
+                == rsrl_credits(&prep, &stats, &masked, window);
+        (Some(ns_pairs), Some(equal))
+    } else {
+        (None, None)
+    };
+
+    LinkageRow {
+        rows,
+        patterns_original: prep.pattern_index().n_patterns(),
+        patterns_masked: index.n_patterns(),
+        ns_blocked,
+        ns_pairs,
+        credits_equal,
     }
 }
 
@@ -235,16 +316,21 @@ fn evo_json(run: &EvoRun) -> String {
 
 fn main() {
     let args = parse_args();
-    let sizes: &[(usize, usize)] = if args.quick {
-        &[(1000, 2)] // (rows, assess reps)
+    let sizes: Vec<(usize, usize)> = if let Some(rows) = args.rows {
+        vec![(rows, if rows <= 20_000 { 2 } else { 1 })] // (rows, assess reps)
+    } else if args.quick {
+        vec![(1000, 2)]
     } else {
-        &[(1000, 6), (5000, 3), (20000, 2)]
+        vec![(1000, 6), (5000, 3), (20000, 2), (50000, 1), (100000, 1)]
     };
 
     let mut micro = Vec::new();
-    for &(rows, reps) in sizes {
+    let mut linkage = Vec::new();
+    for &(rows, reps) in &sizes {
         eprintln!("micro: {rows} rows …");
         micro.push(micro_row(rows, reps, args.seed));
+        eprintln!("linkage: {rows} rows …");
+        linkage.push(linkage_row(rows, args.seed));
     }
     let exact_delta = exactness_delta(args.seed);
 
@@ -255,24 +341,29 @@ fn main() {
     } else {
         (1000, 250, true)
     };
-    eprintln!("evolution: full …");
-    let full = evolution_run(
-        DatasetKind::Adult,
-        records,
-        iterations,
-        paper_suite,
-        false,
-        args.seed,
-    );
-    eprintln!("evolution: incremental …");
-    let inc = evolution_run(
-        DatasetKind::Adult,
-        records,
-        iterations,
-        paper_suite,
-        true,
-        args.seed,
-    );
+    let evolution = if args.no_evolution {
+        None
+    } else {
+        eprintln!("evolution: full …");
+        let full = evolution_run(
+            DatasetKind::Adult,
+            records,
+            iterations,
+            paper_suite,
+            false,
+            args.seed,
+        );
+        eprintln!("evolution: incremental …");
+        let inc = evolution_run(
+            DatasetKind::Adult,
+            records,
+            iterations,
+            paper_suite,
+            true,
+            args.seed,
+        );
+        Some((full, inc))
+    };
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -295,33 +386,60 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"linkage\": [");
+    for (i, row) in linkage.iter().enumerate() {
+        let comma = if i + 1 < linkage.len() { "," } else { "" };
+        let ns_pairs = row
+            .ns_pairs
+            .map_or("null".to_string(), |v| format!("{v:.0}"));
+        let speedup = row
+            .ns_pairs
+            .map_or("null".to_string(), |v| format!("{:.1}", v / row.ns_blocked));
+        let equal = row
+            .credits_equal
+            .map_or("null".to_string(), |e| e.to_string());
+        let _ = writeln!(
+            json,
+            "    {{\"rows\": {}, \"patterns_original\": {}, \"patterns_masked\": {}, \
+             \"ns_dbrl_blocked\": {:.0}, \"ns_dbrl_pairs\": {ns_pairs}, \
+             \"pairs_over_blocked\": {speedup}, \"credits_equal\": {equal}}}{comma}",
+            row.rows, row.patterns_original, row.patterns_masked, row.ns_blocked,
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"exactness_max_abs_delta\": {exact_delta:e},");
-    let _ = writeln!(json, "  \"evolution\": {{");
-    let _ = writeln!(
-        json,
-        "    \"dataset\": \"adult\", \"records\": {records}, \"iterations\": {iterations}, \
-         \"suite\": \"{}\",",
-        if paper_suite { "paper" } else { "small" }
-    );
-    let _ = writeln!(json, "    \"full\": {},", evo_json(&full));
-    let _ = writeln!(json, "    \"incremental\": {},", evo_json(&inc));
-    let _ = writeln!(
-        json,
-        "    \"full_assess_reduction\": {:.2},",
-        full.outcome.eval_counts.full as f64 / inc.outcome.eval_counts.full.max(1) as f64
-    );
-    let _ = writeln!(
-        json,
-        "    \"wall_speedup\": {:.2},",
-        full.wall_ms / inc.wall_ms.max(1e-9)
-    );
-    let il_drift = (full.outcome.final_best().il - inc.outcome.final_best().il).abs();
-    let dr_drift = (full.outcome.final_best().dr - inc.outcome.final_best().dr).abs();
-    let _ = writeln!(
-        json,
-        "    \"best_il_drift\": {il_drift:.4}, \"best_dr_drift\": {dr_drift:.4}"
-    );
-    let _ = writeln!(json, "  }}");
+    let (il_drift, dr_drift) = if let Some((full, inc)) = &evolution {
+        let _ = writeln!(json, "  \"evolution\": {{");
+        let _ = writeln!(
+            json,
+            "    \"dataset\": \"adult\", \"records\": {records}, \"iterations\": {iterations}, \
+             \"suite\": \"{}\",",
+            if paper_suite { "paper" } else { "small" }
+        );
+        let _ = writeln!(json, "    \"full\": {},", evo_json(full));
+        let _ = writeln!(json, "    \"incremental\": {},", evo_json(inc));
+        let _ = writeln!(
+            json,
+            "    \"full_assess_reduction\": {:.2},",
+            full.outcome.eval_counts.full as f64 / inc.outcome.eval_counts.full.max(1) as f64
+        );
+        let _ = writeln!(
+            json,
+            "    \"wall_speedup\": {:.2},",
+            full.wall_ms / inc.wall_ms.max(1e-9)
+        );
+        let il_drift = (full.outcome.final_best().il - inc.outcome.final_best().il).abs();
+        let dr_drift = (full.outcome.final_best().dr - inc.outcome.final_best().dr).abs();
+        let _ = writeln!(
+            json,
+            "    \"best_il_drift\": {il_drift:.4}, \"best_dr_drift\": {dr_drift:.4}"
+        );
+        let _ = writeln!(json, "  }}");
+        (il_drift, dr_drift)
+    } else {
+        let _ = writeln!(json, "  \"evolution\": null");
+        (0.0, 0.0)
+    };
     let _ = writeln!(json, "}}");
 
     if let Some(parent) = args.out.parent() {
@@ -333,15 +451,38 @@ fn main() {
     print!("{json}");
     eprintln!("wrote {}", args.out.display());
 
-    // the delta engine is bit-exact: under --check-drift any drift at all
-    // (not merely above a tolerance) fails the run — after the JSON is on
-    // disk, so CI still uploads the failing numbers
-    if args.check_drift && (il_drift != 0.0 || dr_drift != 0.0) {
-        eprintln!(
-            "DRIFT CHECK FAILED: full vs incremental best diverged \
-             (|ΔIL| = {il_drift:e}, |ΔDR| = {dr_drift:e}); \
-             the incremental engine must be bit-exact"
-        );
-        std::process::exit(1);
+    // three bit-exactness contracts: under --check-drift any difference at
+    // all (not merely above a tolerance) fails the run — after the JSON is
+    // on disk, so CI still uploads the failing numbers
+    if args.check_drift {
+        let mut failed = false;
+        if il_drift != 0.0 || dr_drift != 0.0 {
+            eprintln!(
+                "DRIFT CHECK FAILED: full vs incremental best diverged \
+                 (|ΔIL| = {il_drift:e}, |ΔDR| = {dr_drift:e}); \
+                 the incremental engine must be bit-exact"
+            );
+            failed = true;
+        }
+        if exact_delta != 0.0 {
+            eprintln!(
+                "DRIFT CHECK FAILED: patch re-assessment diverged from the \
+                 full recompute (max |Δ| = {exact_delta:e})"
+            );
+            failed = true;
+        }
+        for row in &linkage {
+            if row.credits_equal == Some(false) {
+                eprintln!(
+                    "DRIFT CHECK FAILED: blocked vs all-pairs credit mismatch \
+                     at {} rows; the blocked scans must be bit-exact",
+                    row.rows
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

@@ -10,7 +10,7 @@
 use cdp::pipeline::{DataSource, OptimizerMode, PopulationSpec, ProtectionJob, SuiteKind};
 use cdp_core::NsgaConfig;
 use cdp_dataset::generators::DatasetKind;
-use cdp_metrics::ScoreAggregator;
+use cdp_metrics::{LinkageMode, ScoreAggregator};
 use cdp_sdc::{
     Aggregate, BottomCoding, GlobalRecoding, Grouping, LocalSuppression, MicroVariant,
     Microaggregation, Pram, PramMode, ProtectionMethod, RandomSwap, RankSwapping, TopCoding,
@@ -33,6 +33,10 @@ pub const JOB_GRAMMAR: &str = "\
                                          (default: all; under mode=nsga the
                                          default — and only on-value — is
                                          xover; mut/all: scalar mode only)
+  link=<pairs|blocked>                   DBRL/RSRL scan backend (default
+                                         blocked: distinct-pattern index
+                                         scans, identical credits to the
+                                         all-pairs reference)
   -- scalar mode only --
   fitness=<mean|max>                     scalar aggregator
   iters=<n>                              evolution budget (0 = mask only)
@@ -158,6 +162,9 @@ pub struct JobSpec {
     /// Incremental offspring evaluation (`inc=` key; defaults to
     /// [`IncMode::default_for`] the spec's mode).
     pub inc: IncMode,
+    /// DBRL/RSRL scan backend (`link=` key; defaults to
+    /// [`LinkageMode::Blocked`]).
+    pub link: LinkageMode,
 }
 
 impl Default for JobSpec {
@@ -179,6 +186,7 @@ impl Default for JobSpec {
             drop: 0.0,
             audit: false,
             inc: IncMode::default_for(SpecMode::Scalar),
+            link: LinkageMode::default(),
         }
     }
 }
@@ -268,6 +276,9 @@ impl JobSpec {
                     spec.inc = parse_inc(value)?;
                     seen.push("inc");
                 }
+                "link" => {
+                    spec.link = parse_link(value)?;
+                }
                 other => return Err(bad(format!("unknown key `{other}`"))),
             }
         }
@@ -342,6 +353,9 @@ impl JobSpec {
         if self.inc != IncMode::default_for(self.mode) {
             out.push_str(&format!(" inc={}", self.inc.name()));
         }
+        if self.link != LinkageMode::default() {
+            out.push_str(&format!(" link={}", link_name(self.link)));
+        }
         if self.audit {
             out.push_str(" audit=true");
         }
@@ -356,7 +370,8 @@ impl JobSpec {
         let mut builder = ProtectionJob::builder()
             .dataset(self.dataset)
             .suite_kind(self.suite)
-            .seed(self.seed);
+            .seed(self.seed)
+            .linkage(self.link);
         builder = match self.mode {
             SpecMode::Scalar => builder
                 .aggregator(self.fitness)
@@ -421,7 +436,13 @@ impl JobSpec {
         {
             return Err(unrepresentable("a named sensitive audit attribute"));
         }
-        if job.metrics() != cdp_metrics::MetricConfig::default() {
+        // the linkage backend is the one metric knob the grammar carries
+        // (`link=`); everything else must sit at its default
+        let expected_metrics = cdp_metrics::MetricConfig {
+            linkage: job.metrics().linkage,
+            ..cdp_metrics::MetricConfig::default()
+        };
+        if job.metrics() != expected_metrics {
             return Err(unrepresentable("a non-default metric configuration"));
         }
         let mut spec = JobSpec {
@@ -430,6 +451,7 @@ impl JobSpec {
             suite,
             seed: job.seed(),
             audit: job.audit_spec().is_some(),
+            link: job.metrics().linkage,
             ..JobSpec::default()
         };
         match job.optimizer() {
@@ -477,6 +499,25 @@ impl JobSpec {
             }
         }
         Ok(spec)
+    }
+}
+
+/// Parse a `link=` value.
+pub fn parse_link(value: &str) -> Result<LinkageMode> {
+    match value {
+        "pairs" => Ok(LinkageMode::Pairs),
+        "blocked" => Ok(LinkageMode::Blocked),
+        other => Err(CliError::Usage(format!(
+            "unknown link `{other}` (pairs, blocked)"
+        ))),
+    }
+}
+
+/// The CLI spelling of a [`LinkageMode`] (`pairs` / `blocked`).
+pub fn link_name(mode: LinkageMode) -> &'static str {
+    match mode {
+        LinkageMode::Pairs => "pairs",
+        LinkageMode::Blocked => "blocked",
     }
 }
 
@@ -668,6 +709,9 @@ mod tests {
             "dataset=housing suite=small mode=nsga gens=15 seed=7 inc=xover",
             "dataset=adult suite=small fitness=max iters=250 seed=8 inc=off",
             "dataset=housing suite=small mode=nsga gens=15 seed=9 inc=off",
+            "dataset=adult suite=small fitness=max iters=100 seed=10 link=pairs",
+            "dataset=german suite=small mode=nsga gens=15 seed=11 link=pairs",
+            "dataset=flare suite=paper fitness=mean iters=50 seed=12 link=blocked",
         ] {
             let spec = JobSpec::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
             let job = spec.to_job().unwrap_or_else(|e| panic!("{text}: {e}"));
@@ -778,6 +822,7 @@ mod tests {
             "dataset=adult mode=nsga gens=0",  // builder rejects 0 generations
             "dataset=adult mode=nsga xprob=2", // builder rejects the probability
             "dataset=adult inc=fast",          // unknown inc value
+            "dataset=adult link=sorted",       // unknown link value
         ] {
             let result = JobSpec::parse(text).and_then(|s| s.to_job().map(|_| ()));
             assert!(result.is_err(), "`{text}` should be rejected");
@@ -805,6 +850,7 @@ mod tests {
             drop_20th in 0u8..20,
             audit in proptest::prelude::any::<bool>(),
             inc_i in 0usize..4,
+            pairs_link in proptest::prelude::any::<bool>(),
         ) {
             let mut spec = JobSpec {
                 dataset: [
@@ -817,6 +863,7 @@ mod tests {
                 suite: if paper_suite { SuiteKind::Paper } else { SuiteKind::Small },
                 seed,
                 audit,
+                link: if pairs_link { LinkageMode::Pairs } else { LinkageMode::Blocked },
                 ..JobSpec::default()
             };
             if nsga_mode {

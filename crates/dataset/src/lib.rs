@@ -15,10 +15,14 @@
 //!   evolutionary algorithm and the information-loss / disclosure-risk
 //!   measures are allocation-free.
 //! * [`Table`] — a column-major categorical data file (the paper's
-//!   "original file X").
+//!   "original file X"), backed by one contiguous code arena.
 //! * [`SubTable`] — the columns of the attributes selected for protection
 //!   (the paper protects 3 attributes per dataset); this is the genotype the
-//!   evolutionary algorithm manipulates.
+//!   evolutionary algorithm manipulates. Same contiguous columnar arena.
+//! * [`PatternIndex`] — dictionary-encoded deduplication of rows into
+//!   distinct patterns with multiplicities and per-attribute inverted
+//!   postings; the substrate for the blocked (sub-quadratic) record-linkage
+//!   scans in `cdp-metrics`.
 //! * [`Hierarchy`] — generalization hierarchies used by global recoding and
 //!   top/bottom coding.
 //! * [`generators`] — seeded synthetic generators for the four UCI-shaped
@@ -48,6 +52,7 @@
 mod attribute;
 mod error;
 mod hierarchy;
+mod pattern;
 mod schema;
 mod subtable;
 mod table;
@@ -60,6 +65,7 @@ pub mod stats;
 pub use attribute::{AttrKind, Attribute};
 pub use error::{DatasetError, Result};
 pub use hierarchy::{Hierarchy, HierarchyLevel};
+pub use pattern::{PatternId, PatternIndex};
 pub use schema::Schema;
 pub use subtable::SubTable;
 pub use table::Table;

@@ -1,5 +1,20 @@
 //! Sub-tables: the protected columns of a file, i.e. the genotype that the
 //! evolutionary algorithm mutates and recombines.
+//!
+//! # Columnar layout
+//!
+//! The cells live in **one contiguous code arena** laid out
+//! structure-of-arrays: attribute `k` occupies the slice
+//! `arena[k·n .. (k+1)·n]` (`n` = number of rows). A whole column is a
+//! single cache-friendly slice, which is what every measure that scans one
+//! attribute at a time (contingency tables, midranks, pattern dedup) wants;
+//! a cell access is one multiply-add away. Codes stay [`Code`] (`u16`) —
+//! category dictionaries in this domain are tiny, and half-width codes halve
+//! the memory traffic of the evolutionary hot loop.
+//!
+//! The external API is unchanged apart from [`SubTable::column_mut`], which
+//! now hands out a `&mut [Code]` slice of the arena instead of a
+//! `&mut Vec<Code>` (columns can no longer be resized independently).
 
 use std::sync::Arc;
 
@@ -15,14 +30,17 @@ use crate::{Code, DatasetError, Result, Schema};
 /// used by the 2-point crossover is **row-major** over the protected
 /// columns — position `p` maps to `(row, attr) = (p / a, p % a)` — matching
 /// the paper's view of a file as a linear sequence of values read record by
-/// record.
+/// record. (The flattening is a *view*; the storage itself is the
+/// column-major arena described in the module docs.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SubTable {
     schema: Arc<Schema>,
     /// Indices of the protected attributes inside `schema`.
     attr_indices: Vec<usize>,
-    /// `columns[k]` is the data of attribute `attr_indices[k]`.
-    columns: Vec<Vec<Code>>,
+    /// Contiguous column-major cell arena: attribute `k`, row `r` lives at
+    /// `arena[k * n_rows + r]`.
+    arena: Vec<Code>,
+    n_attrs: usize,
     n_rows: usize,
 }
 
@@ -47,6 +65,8 @@ impl SubTable {
             return Err(DatasetError::Empty("sub-table attribute list".into()));
         }
         let n_rows = columns[0].len();
+        let n_attrs = columns.len();
+        let mut arena = Vec::with_capacity(n_rows * n_attrs);
         for (k, col) in columns.iter().enumerate() {
             if col.len() != n_rows {
                 return Err(DatasetError::RaggedColumns {
@@ -59,11 +79,13 @@ impl SubTable {
             for &code in col {
                 attr.check(code)?;
             }
+            arena.extend_from_slice(col);
         }
         Ok(SubTable {
             schema,
             attr_indices,
-            columns,
+            arena,
+            n_attrs,
             n_rows,
         })
     }
@@ -90,39 +112,57 @@ impl SubTable {
 
     /// Number of protected attributes.
     pub fn n_attrs(&self) -> usize {
-        self.columns.len()
+        self.n_attrs
     }
 
     /// Total number of cells; the length of the flattened genome.
     pub fn flat_len(&self) -> usize {
-        self.n_rows * self.columns.len()
+        self.n_rows * self.n_attrs
     }
 
-    /// Column `k` (local index).
+    /// Column `k` (local index) as a contiguous slice of the arena.
     pub fn column(&self, k: usize) -> &[Code] {
-        &self.columns[k]
+        &self.arena[k * self.n_rows..(k + 1) * self.n_rows]
     }
 
     /// Mutable column `k`. Callers are responsible for writing valid codes;
     /// [`SubTable::validate`] re-checks the invariant.
-    pub fn column_mut(&mut self, k: usize) -> &mut Vec<Code> {
-        &mut self.columns[k]
+    pub fn column_mut(&mut self, k: usize) -> &mut [Code] {
+        let n = self.n_rows;
+        &mut self.arena[k * n..(k + 1) * n]
+    }
+
+    /// The whole cell arena (column-major, attribute-contiguous).
+    pub fn arena(&self) -> &[Code] {
+        &self.arena
     }
 
     /// Cell accessor.
+    #[inline]
     pub fn get(&self, row: usize, k: usize) -> Code {
-        self.columns[k][row]
+        self.arena[k * self.n_rows + row]
     }
 
     /// Cell mutator (unchecked code; see [`SubTable::validate`]).
+    #[inline]
     pub fn set(&mut self, row: usize, k: usize, code: Code) {
-        self.columns[k][row] = code;
+        self.arena[k * self.n_rows + row] = code;
+    }
+
+    /// Copy record `row` into `out` (one code per attribute, attribute
+    /// order). `out.len()` must equal [`SubTable::n_attrs`].
+    #[inline]
+    pub fn read_row(&self, row: usize, out: &mut [Code]) {
+        debug_assert_eq!(out.len(), self.n_attrs);
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.arena[k * self.n_rows + row];
+        }
     }
 
     /// `(row, attr)` coordinates of flattened position `p`.
     #[inline]
     pub fn coords_of_flat(&self, p: usize) -> (usize, usize) {
-        let a = self.columns.len();
+        let a = self.n_attrs;
         (p / a, p % a)
     }
 
@@ -130,14 +170,14 @@ impl SubTable {
     #[inline]
     pub fn get_flat(&self, p: usize) -> Code {
         let (row, k) = self.coords_of_flat(p);
-        self.columns[k][row]
+        self.get(row, k)
     }
 
     /// Write the cell at flattened position `p`.
     #[inline]
     pub fn set_flat(&mut self, p: usize, code: Code) {
         let (row, k) = self.coords_of_flat(p);
-        self.columns[k][row] = code;
+        self.set(row, k, code);
     }
 
     /// Swap the flattened range `[s, r]` (inclusive, the paper's 2-point
@@ -151,7 +191,8 @@ impl SubTable {
         assert!(s <= r && r < self.flat_len(), "range out of bounds");
         for p in s..=r {
             let (row, k) = self.coords_of_flat(p);
-            std::mem::swap(&mut self.columns[k][row], &mut other.columns[k][row]);
+            let idx = k * self.n_rows + row;
+            std::mem::swap(&mut self.arena[idx], &mut other.arena[idx]);
         }
     }
 
@@ -159,19 +200,19 @@ impl SubTable {
     /// used by distance-paired deterministic crowding).
     pub fn hamming(&self, other: &SubTable) -> usize {
         debug_assert_eq!(self.flat_len(), other.flat_len());
-        self.columns
+        self.arena
             .iter()
-            .zip(other.columns.iter())
-            .map(|(a, b)| a.iter().zip(b.iter()).filter(|(x, y)| x != y).count())
-            .sum()
+            .zip(other.arena.iter())
+            .filter(|(x, y)| x != y)
+            .count()
     }
 
     /// Re-validate every cell against the dictionaries — used by tests and
     /// after bulk mutation through [`SubTable::column_mut`].
     pub fn validate(&self) -> Result<()> {
-        for (k, col) in self.columns.iter().enumerate() {
+        for k in 0..self.n_attrs {
             let attr = self.schema.attr(self.attr_indices[k]);
-            for &code in col {
+            for &code in self.column(k) {
                 attr.check(code)?;
             }
         }
@@ -214,6 +255,17 @@ mod tests {
         let mut s2 = s.clone();
         s2.set_flat(3, 0);
         assert_eq!(s2.get(1, 1), 0);
+    }
+
+    #[test]
+    fn arena_is_column_major_and_contiguous() {
+        let s = sub();
+        assert_eq!(s.arena(), &[0, 1, 2, 3, 4, 3, 2, 1]);
+        assert_eq!(s.column(0), &[0, 1, 2, 3]);
+        assert_eq!(s.column(1), &[4, 3, 2, 1]);
+        let mut row = [0; 2];
+        s.read_row(2, &mut row);
+        assert_eq!(row, [2, 2]);
     }
 
     #[test]

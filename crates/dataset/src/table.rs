@@ -1,4 +1,11 @@
 //! Column-major categorical tables (the paper's data files).
+//!
+//! Like [`SubTable`], a [`Table`] stores its cells in one contiguous
+//! column-major code arena (attribute `j` is the slice
+//! `arena[j·n .. (j+1)·n]`) so per-attribute scans — contingency tables,
+//! rank computations, swapping — run over cache-friendly contiguous memory,
+//! which is where the fitness function (by far the dominant cost reported by
+//! the paper) spends its time.
 
 use std::sync::Arc;
 
@@ -7,14 +14,14 @@ use crate::{Code, DatasetError, Result, Schema, SubTable};
 /// A categorical microdata file: an immutable, column-major matrix of
 /// interned category codes plus its schema.
 ///
-/// Columns are stored as `Vec<Code>` so per-attribute scans (contingency
-/// tables, rank computations, swapping) are cache-friendly, which is where
-/// the fitness function — by far the dominant cost reported by the paper —
-/// spends its time.
+/// Cells live in a single contiguous arena (see the module docs); the
+/// accessors below present the conventional per-column view.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Arc<Schema>,
-    columns: Vec<Vec<Code>>,
+    /// Column-major cell arena: attribute `j`, row `r` at `arena[j*n_rows + r]`.
+    arena: Vec<Code>,
+    n_attrs: usize,
     n_rows: usize,
 }
 
@@ -35,6 +42,8 @@ impl Table {
             )));
         }
         let n_rows = columns.first().map_or(0, Vec::len);
+        let n_attrs = columns.len();
+        let mut arena = Vec::with_capacity(n_rows * n_attrs);
         for (j, col) in columns.iter().enumerate() {
             if col.len() != n_rows {
                 return Err(DatasetError::RaggedColumns {
@@ -47,10 +56,12 @@ impl Table {
             for &code in col {
                 attr.check(code)?;
             }
+            arena.extend_from_slice(col);
         }
         Ok(Table {
             schema,
-            columns,
+            arena,
+            n_attrs,
             n_rows,
         })
     }
@@ -85,24 +96,25 @@ impl Table {
 
     /// Number of attributes.
     pub fn n_attrs(&self) -> usize {
-        self.columns.len()
+        self.n_attrs
     }
 
-    /// Column of attribute `j`.
+    /// Column of attribute `j` as a contiguous slice of the arena.
     pub fn column(&self, j: usize) -> &[Code] {
-        &self.columns[j]
+        &self.arena[j * self.n_rows..(j + 1) * self.n_rows]
     }
 
     /// Cell accessor.
+    #[inline]
     pub fn value(&self, row: usize, attr: usize) -> Code {
-        self.columns[attr][row]
+        self.arena[attr * self.n_rows + row]
     }
 
     /// Materialize row `i` into `buf` (cleared first). Reusing one buffer
     /// across calls avoids per-row allocation.
     pub fn row_into(&self, i: usize, buf: &mut Vec<Code>) {
         buf.clear();
-        buf.extend(self.columns.iter().map(|c| c[i]));
+        buf.extend((0..self.n_attrs).map(|j| self.value(i, j)));
     }
 
     /// Extract an owned [`SubTable`] of the given attributes — the genotype
@@ -114,7 +126,7 @@ impl Table {
         for &a in attrs {
             self.schema.try_attr(a)?;
         }
-        let columns = attrs.iter().map(|&a| self.columns[a].clone()).collect();
+        let columns = attrs.iter().map(|&a| self.column(a).to_vec()).collect();
         SubTable::new(Arc::clone(&self.schema), attrs.to_vec(), columns)
     }
 
@@ -137,7 +149,8 @@ impl Table {
                 self.n_rows
             )));
         }
-        let mut columns = self.columns.clone();
+        let mut columns: Vec<Vec<Code>> =
+            (0..self.n_attrs).map(|j| self.column(j).to_vec()).collect();
         for (k, &a) in sub.attr_indices().iter().enumerate() {
             columns[a] = sub.column(k).to_vec();
         }

@@ -4,7 +4,7 @@
 //!
 //! The paper reports that fitness evaluation consumes 99.98% of a
 //! generation's wall time and names faster IL/DR computation as future
-//! work. Three levers are implemented here:
+//! work. Four levers are implemented here:
 //!
 //! 1. **Original-side caching** — ranks, marginals, contingency tables and
 //!    chance-agreement probabilities of the original file are computed once
@@ -32,11 +32,21 @@
 //!    recycled (`clone_from` is allocation-free once shapes match), so the
 //!    per-offspring cost is a handful of `memcpy`s plus the delta work —
 //!    not five fresh n-sized vectors per iteration.
+//! 4. **Blocked linkage** — with [`LinkageMode::Blocked`] (the default),
+//!    DBRL and RSRL scan the *distinct patterns* of a [`PatternIndex`]
+//!    instead of all `n²` record pairs, and the PRL census is built the
+//!    same way; the state carries a masked-side index that every patch
+//!    moves rows through ([`PatternIndex::move_row`]), so the delta path
+//!    and the full path stay on the same sufficient statistics. Credits
+//!    are `assert_eq!`-identical to [`LinkageMode::Pairs`] — see
+//!    [`crate::linkage`] for the exactness argument.
 //!
 //! [`Evaluator::reassess_mutation`] remains as the single-cell
 //! convenience wrapper over the patch engine.
 
-use cdp_dataset::{Code, SubTable};
+use std::collections::HashMap;
+
+use cdp_dataset::{Code, PatternId, PatternIndex, SubTable};
 
 use crate::contingency::ContingencyTables;
 use crate::dr::{cell_disclosed, disclosed_counts, id_value};
@@ -45,13 +55,38 @@ use crate::il::{
     update_confusion,
 };
 use crate::linkage::{
-    compatible_categories, credits_value, dbrl_credit, dbrl_credits, rsrl_credit, rsrl_credits,
-    PatternCensus, PrlModel,
+    compatible_categories, count_candidates, credits_value, dbrl_credit, dbrl_credits,
+    dbrl_credits_blocked, pattern_link, pattern_to_row_distance, rsrl_credit, rsrl_credits,
+    rsrl_credits_blocked, self_compatible, PatternCensus, PrlModel, DIST_EPS,
 };
 use crate::patch::{Patch, PatchCell};
 use crate::prepared::{MaskedStats, MovedCategory, PreparedOriginal};
 use crate::score::ScoreAggregator;
 use crate::{MetricError, Result};
+
+/// Which implementation computes the DBRL and RSRL credits.
+///
+/// Both produce `assert_eq!`-identical credits (the blocked scans are
+/// property-tested against the all-pairs references, patch path included);
+/// the choice only trades scan shape:
+///
+/// * [`LinkageMode::Pairs`] — the textbook `O(n²·a)` scans over all
+///   original–masked record pairs;
+/// * [`LinkageMode::Blocked`] — the [`PatternIndex`]-based scans over
+///   *distinct* patterns, `O(n·a + p_m·p_o·a)` with `p ≤ Π_k c_k`
+///   independent of the row count.
+///
+/// PRL always derives from the pattern census (itself index-built — the
+/// census is identical integers either way), so this knob does not affect
+/// it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LinkageMode {
+    /// All-pairs reference scans.
+    Pairs,
+    /// Pattern-index (blocked) scans — the default.
+    #[default]
+    Blocked,
+}
 
 /// Tunable measure parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +97,8 @@ pub struct MetricConfig {
     pub rsrl_window_fraction: f64,
     /// EM iterations for the Fellegi–Sunter fit.
     pub prl_em_iters: usize,
+    /// DBRL/RSRL scan implementation (identical results either way).
+    pub linkage: LinkageMode,
 }
 
 impl Default for MetricConfig {
@@ -70,6 +107,7 @@ impl Default for MetricConfig {
             interval_fraction: 0.1,
             rsrl_window_fraction: 0.05,
             prl_em_iters: 15,
+            linkage: LinkageMode::default(),
         }
     }
 }
@@ -178,6 +216,10 @@ pub struct EvalState {
     confusion: Vec<Vec<u32>>,
     id_counts: Vec<u32>,
     masked_stats: MaskedStats,
+    /// Distinct-pattern index of the masked file, patched row-by-row as
+    /// cells change. Maintained in both linkage modes: the PRL census is
+    /// keyed by its pattern ids.
+    masked_index: PatternIndex,
     pattern_census: PatternCensus,
     prl_model: PrlModel,
     dbrl_credits: Vec<f64>,
@@ -194,6 +236,7 @@ impl Clone for EvalState {
             confusion: self.confusion.clone(),
             id_counts: self.id_counts.clone(),
             masked_stats: self.masked_stats.clone(),
+            masked_index: self.masked_index.clone(),
             pattern_census: self.pattern_census.clone(),
             prl_model: self.prl_model.clone(),
             dbrl_credits: self.dbrl_credits.clone(),
@@ -212,6 +255,7 @@ impl Clone for EvalState {
         self.confusion.clone_from(&src.confusion);
         self.id_counts.clone_from(&src.id_counts);
         self.masked_stats.clone_from(&src.masked_stats);
+        self.masked_index.clone_from_reuse(&src.masked_index);
         self.pattern_census.clone_from(&src.pattern_census);
         self.prl_model.clone_from(&src.prl_model);
         self.dbrl_credits.clone_from(&src.dbrl_credits);
@@ -280,13 +324,22 @@ impl Evaluator {
         let confusion = build_confusion(prep, masked);
         let id_counts = disclosed_counts(prep, masked, self.cfg.interval_fraction);
         let masked_stats = MaskedStats::build(prep, masked);
-        let pattern_census = PatternCensus::build(prep, masked);
+        let masked_index = PatternIndex::build(masked);
+        let pattern_census = PatternCensus::build(prep, masked, &masked_index);
         let prl_model =
             PrlModel::fit_from_counts(prep, pattern_census.counts(), self.cfg.prl_em_iters);
 
-        let dbrl_cr = dbrl_credits(prep, masked);
-        let prl_cr = pattern_census.credits(&prl_model);
-        let rsrl_cr = rsrl_credits(prep, &masked_stats, masked, self.rsrl_window());
+        let dbrl_cr = match self.cfg.linkage {
+            LinkageMode::Pairs => dbrl_credits(prep, masked),
+            LinkageMode::Blocked => dbrl_credits_blocked(prep, masked, &masked_index),
+        };
+        let prl_cr = pattern_census.credits(&prl_model, &masked_index);
+        let rsrl_cr = match self.cfg.linkage {
+            LinkageMode::Pairs => rsrl_credits(prep, &masked_stats, masked, self.rsrl_window()),
+            LinkageMode::Blocked => {
+                rsrl_credits_blocked(prep, &masked_stats, &masked_index, self.rsrl_window())
+            }
+        };
 
         let assessment = Assessment {
             il_parts: IlBreakdown {
@@ -312,6 +365,7 @@ impl Evaluator {
             confusion,
             id_counts,
             masked_stats,
+            masked_index,
             pattern_census,
             prl_model,
             dbrl_credits: dbrl_cr,
@@ -393,11 +447,35 @@ impl Evaluator {
         }
     }
 
-    /// Exact relinking after the sufficient statistics moved: touched rows
-    /// rebuild their agreement-pattern histograms (PRL refits from the
-    /// census and re-credits every record from integer pattern data),
-    /// DBRL relinks the touched rows, and RSRL re-credits the touched rows
-    /// plus every record holding a category whose rank window changed.
+    /// Move every touched row to its new bucket in the masked pattern
+    /// index, shifting the PRL census by the corresponding histogram
+    /// differences. Must run *after* `masked` holds the new values and
+    /// before [`Evaluator::relink`] reads the index.
+    fn repattern(&self, masked: &SubTable, touched_rows: &[usize], state: &mut EvalState) {
+        let prep = &self.prep;
+        let mut buf = vec![0 as Code; prep.n_attrs()];
+        for &row in touched_rows {
+            masked.read_row(row, &mut buf);
+            let (old_pid, new_pid) = state.masked_index.move_row(row, &buf);
+            state.pattern_census.row_moved(
+                prep,
+                masked,
+                &state.masked_index,
+                row,
+                old_pid,
+                new_pid,
+            );
+        }
+    }
+
+    /// Exact relinking after the sufficient statistics (including the
+    /// masked pattern index and census — see [`Evaluator::repattern`])
+    /// moved: PRL refits from the census and re-credits every record from
+    /// integer pattern data, DBRL relinks the touched rows, and RSRL
+    /// re-credits the touched rows plus every record holding a category
+    /// whose rank window changed. DBRL/RSRL re-credits go through the
+    /// configured [`LinkageMode`] backend; in blocked mode, touched rows
+    /// sharing a masked pattern share one pattern-level link.
     fn relink(
         &self,
         masked: &SubTable,
@@ -407,24 +485,43 @@ impl Evaluator {
     ) {
         let prep = &self.prep;
 
-        // PRL: O(n·a) per touched row, then an EM refit over 2^a patterns
-        // and an O(n·2^a) credit sweep — bit-identical to a full fit+link,
-        // because census and histograms are identical integers
-        for &row in touched_rows {
-            state.pattern_census.rebuild_row(prep, masked, row);
-        }
+        // PRL: the census already moved with the index; an EM refit over
+        // 2^a patterns and an O(n·2^a) credit sweep — bit-identical to a
+        // full fit+link, because census and histograms are identical
+        // integers
         state.prl_model.refit_from_counts(
             prep,
             state.pattern_census.counts(),
             self.cfg.prl_em_iters,
         );
-        state
-            .pattern_census
-            .credits_into(&state.prl_model, &mut state.prl_credits);
+        state.pattern_census.credits_into(
+            &state.prl_model,
+            &state.masked_index,
+            &mut state.prl_credits,
+        );
 
         // DBRL: per-masked-record independent, touched rows only
-        for &row in touched_rows {
-            state.dbrl_credits[row] = dbrl_credit(prep, masked, row);
+        match self.cfg.linkage {
+            LinkageMode::Pairs => {
+                for &row in touched_rows {
+                    state.dbrl_credits[row] = dbrl_credit(prep, masked, row);
+                }
+            }
+            LinkageMode::Blocked => {
+                let mut links: HashMap<PatternId, (f64, u64)> = HashMap::new();
+                let mut q = vec![0 as Code; prep.n_attrs()];
+                for &row in touched_rows {
+                    masked.read_row(row, &mut q);
+                    let pid = state.masked_index.pattern_of(row);
+                    let (best, ties) = *links.entry(pid).or_insert_with(|| pattern_link(prep, &q));
+                    let d_self = pattern_to_row_distance(prep, &q, row);
+                    state.dbrl_credits[row] = if (d_self - best).abs() <= DIST_EPS && ties > 0 {
+                        1.0 / ties as f64
+                    } else {
+                        0.0
+                    };
+                }
+            }
         }
 
         // RSRL: a midrank move only matters when it changes the window's
@@ -452,9 +549,42 @@ impl Evaluator {
                 }
             }
         }
-        for (i, &due) in recredit.iter().enumerate() {
-            if due {
-                state.rsrl_credits[i] = rsrl_credit(prep, &state.masked_stats, masked, i, window);
+        match self.cfg.linkage {
+            LinkageMode::Pairs => {
+                for (i, &due) in recredit.iter().enumerate() {
+                    if due {
+                        state.rsrl_credits[i] =
+                            rsrl_credit(prep, &state.masked_stats, masked, i, window);
+                    }
+                }
+            }
+            LinkageMode::Blocked => {
+                let mut pools: HashMap<PatternId, (u64, Vec<Vec<bool>>)> = HashMap::new();
+                for (i, &due) in recredit.iter().enumerate() {
+                    if !due {
+                        continue;
+                    }
+                    let pid = state.masked_index.pattern_of(i);
+                    let (candidates, compat) = pools.entry(pid).or_insert_with(|| {
+                        let q = state.masked_index.codes_of(pid);
+                        let compat: Vec<Vec<bool>> = (0..prep.n_attrs())
+                            .map(|k| {
+                                compatible_categories(
+                                    prep,
+                                    k,
+                                    state.masked_stats.midrank(k, q[k]),
+                                    window,
+                                )
+                            })
+                            .collect();
+                        (count_candidates(prep, &compat), compat)
+                    });
+                    state.rsrl_credits[i] = if *candidates > 0 && self_compatible(prep, compat, i) {
+                        1.0 / *candidates as f64
+                    } else {
+                        0.0
+                    };
+                }
             }
         }
 
@@ -476,6 +606,7 @@ impl Evaluator {
             .masked_tables
             .apply_row_patch(masked, row, &[(k, old)]);
         let moved = state.masked_stats.apply_patch(prep, [(k, old, new)]);
+        self.repattern(masked, &[row], state);
         self.relink(masked, &[row], &moved, state);
     }
 
@@ -539,6 +670,7 @@ impl Evaluator {
             .masked_stats
             .apply_patch(prep, changed.iter().map(|&(_, k, old, new)| (k, old, new)));
 
+        self.repattern(masked, &touched_rows, state);
         self.relink(masked, &touched_rows, &moved, state);
     }
 

@@ -60,7 +60,9 @@ pub mod linkage;
 
 pub use contingency::ContingencyTables;
 pub use error::{MetricError, Result};
-pub use evaluator::{Assessment, DrBreakdown, EvalState, Evaluator, IlBreakdown, MetricConfig};
+pub use evaluator::{
+    Assessment, DrBreakdown, EvalState, Evaluator, IlBreakdown, LinkageMode, MetricConfig,
+};
 pub use patch::{Patch, PatchCell};
 pub use prepared::{MaskedStats, MovedCategory, PreparedOriginal};
 pub use score::ScoreAggregator;

@@ -5,10 +5,38 @@
 //! true source is among the nearest originals; ties are credited
 //! fractionally (`1/|ties|`), the standard correction when the intruder
 //! must pick among equally close candidates.
+//!
+//! # Two implementations, one result
+//!
+//! The `*_blocked` functions compute the same credits over the
+//! [`PatternIndex`] of *distinct* patterns instead of all `n²` record
+//! pairs: each distinct masked pattern is compared against each distinct
+//! original pattern (a tie expands by the original pattern's multiplicity),
+//! and the per-record pass only computes the record's self-distance —
+//! `O(n·a + p_m·p_o·a)` against the scan's `O(n²·a)`, with `p ≤ Π_k c_k`
+//! bounded by the category-combination count regardless of row count.
+//!
+//! **Exactness contract.** Blocked credits are `assert_eq!`-identical to
+//! the all-pairs scan (property-tested in `tests/properties.rs`). The
+//! argument: per-attribute distances are multiples of `1/(c−1)` (or 0/1),
+//! so two a-term distance sums are either exactly equal or separated by
+//! far more than [`DIST_EPS`] — "within eps" coincides with "equal", the
+//! tie set is scan-order-independent, and grouping duplicates changes
+//! nothing. Both paths fold per-attribute distances in the same attribute
+//! order, so even the floating-point representative of each sum is the
+//! same bit pattern.
+//!
+//! **Pruning.** The blocked scan abandons an original pattern as soon as a
+//! lower bound on its final distance exceeds `best + DIST_EPS`. The bound
+//! continues the *same left-to-right fold* with each remaining attribute
+//! replaced by its minimum possible cell distance
+//! ([`PreparedOriginal::min_cell_dist`]); since IEEE-754 addition of
+//! non-negative terms is monotone, the bound never exceeds the true folded
+//! distance, so no pattern that could enter the tie set is ever skipped.
 
-use cdp_dataset::SubTable;
+use cdp_dataset::{Code, PatternIndex, SubTable};
 
-use crate::linkage::credits_value;
+use crate::linkage::{credits_value, DIST_EPS};
 use crate::prepared::PreparedOriginal;
 
 /// Re-identification credit of masked record `i` (0, or `1/|ties|`).
@@ -23,11 +51,11 @@ pub fn dbrl_credit(prep: &PreparedOriginal, masked: &SubTable, i: usize) -> f64 
         for k in 0..a {
             d += prep.cell_distance(k, masked.get(i, k), prep.orig().get(j, k));
         }
-        if d + 1e-12 < best {
+        if d + DIST_EPS < best {
             best = d;
             ties = 1;
             self_is_best = j == i;
-        } else if (d - best).abs() <= 1e-12 {
+        } else if (d - best).abs() <= DIST_EPS {
             ties += 1;
             self_is_best |= j == i;
         }
@@ -39,17 +67,113 @@ pub fn dbrl_credit(prep: &PreparedOriginal, masked: &SubTable, i: usize) -> f64 
     }
 }
 
-/// Credits for every masked record.
+/// Credits for every masked record (all-pairs reference scan).
 pub fn dbrl_credits(prep: &PreparedOriginal, masked: &SubTable) -> Vec<f64> {
     (0..prep.n_rows())
         .map(|i| dbrl_credit(prep, masked, i))
         .collect()
 }
 
+/// Distance of masked pattern `q` to original record `j`, folded in
+/// attribute order — the same fold the all-pairs scan performs.
+#[inline]
+pub(crate) fn pattern_to_row_distance(prep: &PreparedOriginal, q: &[Code], j: usize) -> f64 {
+    let mut d = 0.0;
+    for (k, &x) in q.iter().enumerate() {
+        d += prep.cell_distance(k, x, prep.orig().get(j, k));
+    }
+    d
+}
+
+/// `(best distance, tie mass)` of masked pattern `q` against the distinct
+/// original patterns, ties weighted by pattern multiplicity. Patterns are
+/// visited in first-occurrence order and pruned with the fold-continuation
+/// lower bound described in the module docs.
+pub(crate) fn pattern_link(prep: &PreparedOriginal, q: &[Code]) -> (f64, u64) {
+    let a = q.len();
+    let mut best = f64::INFINITY;
+    let mut ties = 0u64;
+    for (_, p, mult) in prep.pattern_index().iter_live() {
+        let mut d = 0.0;
+        let mut pruned = false;
+        for k in 0..a {
+            d += prep.cell_distance(k, q[k], p[k]);
+            // continue the fold with per-attribute minima: a true lower
+            // bound on the final distance (monotone f64 addition)
+            let mut lb = d;
+            for (k2, &x) in q.iter().enumerate().skip(k + 1) {
+                lb += prep.min_cell_dist(k2, x);
+            }
+            if lb > best + DIST_EPS {
+                pruned = true;
+                break;
+            }
+        }
+        if pruned {
+            continue;
+        }
+        if d + DIST_EPS < best {
+            best = d;
+            ties = u64::from(mult);
+        } else if (d - best).abs() <= DIST_EPS {
+            ties += u64::from(mult);
+        }
+    }
+    (best, ties)
+}
+
+/// Blocked equivalent of [`dbrl_credit`]: compares record `i`'s pattern
+/// against the distinct original patterns. `O(p_o·a)` instead of `O(n·a)`.
+pub fn dbrl_credit_blocked(prep: &PreparedOriginal, masked: &SubTable, i: usize) -> f64 {
+    let a = prep.n_attrs();
+    let mut q = vec![0 as Code; a];
+    masked.read_row(i, &mut q);
+    let (best, ties) = pattern_link(prep, &q);
+    let d_self = pattern_to_row_distance(prep, &q, i);
+    if (d_self - best).abs() <= DIST_EPS && ties > 0 {
+        1.0 / ties as f64
+    } else {
+        0.0
+    }
+}
+
+/// Blocked equivalent of [`dbrl_credits`], sharing one pattern-vs-pattern
+/// link per distinct masked pattern of `index` (which must index `masked`).
+pub fn dbrl_credits_blocked(
+    prep: &PreparedOriginal,
+    masked: &SubTable,
+    index: &PatternIndex,
+) -> Vec<f64> {
+    let a = prep.n_attrs();
+    let mut link: Vec<Option<(f64, u64)>> = vec![None; index.n_patterns()];
+    for (pid, q, _) in index.iter_live() {
+        link[pid as usize] = Some(pattern_link(prep, q));
+    }
+    let mut q = vec![0 as Code; a];
+    (0..prep.n_rows())
+        .map(|i| {
+            let (best, ties) = link[index.pattern_of(i) as usize].expect("live pattern");
+            masked.read_row(i, &mut q);
+            let d_self = pattern_to_row_distance(prep, &q, i);
+            if (d_self - best).abs() <= DIST_EPS && ties > 0 {
+                1.0 / ties as f64
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
 /// Top-`k` variant (extension, the LD-kNN attack): masked record `i` is
 /// considered re-identified when its true source ranks among the `k`
-/// nearest originals (fewer than `k` records strictly closer). Reduces to
-/// a 0/1 version of [`dbrl_credit`] at `k = 1` minus tie credit.
+/// nearest originals (fewer than `k` records strictly closer).
+///
+/// **`k = 1` reduction:** `dbrl_topk_disclosed(i, 1)` holds iff
+/// `dbrl_credit(i) > 0` — nobody strictly closer than the true source means
+/// the source is in the minimal-distance tie set, which is exactly the
+/// positive-credit condition (the credit merely divides by the tie count).
+/// Pinned by `top1_disclosure_iff_positive_credit` below, so the blocked
+/// rewrite cannot silently change top-k semantics.
 pub fn dbrl_topk_disclosed(prep: &PreparedOriginal, masked: &SubTable, i: usize, k: usize) -> bool {
     let n = prep.n_rows();
     let a = prep.n_attrs();
@@ -66,7 +190,7 @@ pub fn dbrl_topk_disclosed(prep: &PreparedOriginal, masked: &SubTable, i: usize,
         for kx in 0..a {
             d += prep.cell_distance(kx, masked.get(i, kx), prep.orig().get(j, kx));
         }
-        if d + 1e-12 < d_self {
+        if d + DIST_EPS < d_self {
             strictly_closer += 1;
             if strictly_closer >= k {
                 return false;
@@ -76,7 +200,8 @@ pub fn dbrl_topk_disclosed(prep: &PreparedOriginal, masked: &SubTable, i: usize,
     true
 }
 
-/// Share of records disclosed by the top-`k` attack, in `[0, 100]`.
+/// Share of records disclosed by the top-`k` attack, in `[0, 100]`
+/// (all-pairs reference scan).
 pub fn dbrl_topk(prep: &PreparedOriginal, masked: &SubTable, k: usize) -> f64 {
     let n = prep.n_rows();
     if n == 0 {
@@ -88,9 +213,79 @@ pub fn dbrl_topk(prep: &PreparedOriginal, masked: &SubTable, k: usize) -> f64 {
     100.0 * hits as f64 / n as f64
 }
 
-/// DBRL of a masked file, in `[0, 100]`.
+/// Blocked equivalent of [`dbrl_topk`]: per distinct masked pattern, the
+/// multiplicity-weighted distances to the distinct original patterns are
+/// sorted once; each record then answers "how many originals are strictly
+/// closer than my source" with one binary search.
+///
+/// The strictly-closer count needs no self-exclusion: original record `i`
+/// contributes distance `d_self` itself, and `d_self + DIST_EPS < d_self`
+/// is never true — identical to the reference scan's `j != i` skip.
+pub fn dbrl_topk_blocked(
+    prep: &PreparedOriginal,
+    masked: &SubTable,
+    index: &PatternIndex,
+    k: usize,
+) -> f64 {
+    let n = prep.n_rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = k.max(1);
+    let a = prep.n_attrs();
+    // per masked pattern: distances to original patterns, sorted, with
+    // cumulative multiplicity
+    let mut table: Vec<Option<(Vec<f64>, Vec<u64>)>> = vec![None; index.n_patterns()];
+    for (pid, q, _) in index.iter_live() {
+        let mut dists: Vec<(f64, u64)> = prep
+            .pattern_index()
+            .iter_live()
+            .map(|(_, p, mult)| {
+                let mut d = 0.0;
+                for k2 in 0..a {
+                    d += prep.cell_distance(k2, q[k2], p[k2]);
+                }
+                (d, u64::from(mult))
+            })
+            .collect();
+        dists.sort_by(|x, y| x.0.total_cmp(&y.0));
+        let ds: Vec<f64> = dists.iter().map(|&(d, _)| d).collect();
+        let mut cum = Vec::with_capacity(ds.len());
+        let mut acc = 0u64;
+        for &(_, m) in &dists {
+            acc += m;
+            cum.push(acc);
+        }
+        table[pid as usize] = Some((ds, cum));
+    }
+    let mut q = vec![0 as Code; a];
+    let hits = (0..n)
+        .filter(|&i| {
+            let (ds, cum) = table[index.pattern_of(i) as usize]
+                .as_ref()
+                .expect("live pattern");
+            masked.read_row(i, &mut q);
+            let d_self = pattern_to_row_distance(prep, &q, i);
+            // originals with d + eps < d_self form a sorted prefix
+            let cut = ds.partition_point(|&d| d + DIST_EPS < d_self);
+            let strictly_closer = if cut == 0 { 0 } else { cum[cut - 1] };
+            (strictly_closer as usize) < k
+        })
+        .count();
+    100.0 * hits as f64 / n as f64
+}
+
+/// DBRL of a masked file, in `[0, 100]` (all-pairs reference scan).
 pub fn dbrl(prep: &PreparedOriginal, masked: &SubTable) -> f64 {
     credits_value(&dbrl_credits(prep, masked))
+}
+
+/// DBRL of a masked file via the blocked scan (builds a pattern index of
+/// the masked file internally; callers with one at hand should prefer
+/// [`dbrl_credits_blocked`]).
+pub fn dbrl_blocked(prep: &PreparedOriginal, masked: &SubTable) -> f64 {
+    let index = PatternIndex::build(masked);
+    credits_value(&dbrl_credits_blocked(prep, masked, &index))
 }
 
 #[cfg(test)]
@@ -107,6 +302,20 @@ mod tests {
         (PreparedOriginal::new(&s), s)
     }
 
+    fn scrambled(prep: &PreparedOriginal, s: &SubTable, p_redraw: f64, seed: u64) -> SubTable {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = s.clone();
+        for k in 0..m.n_attrs() {
+            let c = prep.cats(k) as u16;
+            for r in 0..m.n_rows() {
+                if rng.gen_bool(p_redraw) {
+                    m.set(r, k, rng.gen_range(0..c));
+                }
+            }
+        }
+        m
+    }
+
     #[test]
     fn identity_links_almost_everything() {
         let (p, s) = prep_and_sub(150);
@@ -119,14 +328,7 @@ mod tests {
     #[test]
     fn heavy_randomization_breaks_links() {
         let (p, s) = prep_and_sub(150);
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut m = s.clone();
-        for k in 0..m.n_attrs() {
-            let c = p.cats(k) as u16;
-            for r in 0..m.n_rows() {
-                m.set(r, k, rng.gen_range(0..c));
-            }
-        }
+        let m = scrambled(&p, &s, 1.0, 1);
         let masked = dbrl(&p, &m);
         let clear = dbrl(&p, &s);
         assert!(masked < clear / 2.0, "masked {masked} vs clear {clear}");
@@ -143,7 +345,7 @@ mod tests {
         }
         let p2 = PreparedOriginal::new(&dup);
         let credit = dbrl_credit(&p2, &dup, 0);
-        assert!(credit <= 0.5 + 1e-12);
+        assert!(credit <= 0.5 + DIST_EPS);
         assert!(credit > 0.0);
     }
 
@@ -187,6 +389,24 @@ mod tests {
     }
 
     #[test]
+    fn top1_disclosure_iff_positive_credit() {
+        // the k = 1 reduction stated in the dbrl_topk_disclosed docs:
+        // disclosed at k = 1  <=>  the source is in the minimal tie set
+        // <=>  dbrl_credit > 0
+        let (p, s) = prep_and_sub(120);
+        for seed in 0..3u64 {
+            let m = scrambled(&p, &s, 0.5, 10 + seed);
+            for i in 0..m.n_rows() {
+                assert_eq!(
+                    dbrl_topk_disclosed(&p, &m, i, 1),
+                    dbrl_credit(&p, &m, i) > 0.0,
+                    "record {i}, seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn credit_is_record_local() {
         // changing record 5 must not change record 9's credit
         let (p, s) = prep_and_sub(80);
@@ -195,5 +415,43 @@ mod tests {
         m.set(5, 0, (m.get(5, 0) + 4) % 16);
         let after = dbrl_credit(&p, &m, 9);
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn blocked_credits_match_all_pairs_exactly() {
+        let (p, s) = prep_and_sub(140);
+        for seed in 0..4u64 {
+            let m = scrambled(&p, &s, 0.4, 20 + seed);
+            let index = PatternIndex::build(&m);
+            assert_eq!(dbrl_credits_blocked(&p, &m, &index), dbrl_credits(&p, &m));
+        }
+    }
+
+    #[test]
+    fn blocked_single_credit_matches_all_pairs_exactly() {
+        let (p, s) = prep_and_sub(90);
+        let m = scrambled(&p, &s, 0.5, 33);
+        for i in 0..m.n_rows() {
+            assert_eq!(dbrl_credit_blocked(&p, &m, i), dbrl_credit(&p, &m, i));
+        }
+    }
+
+    #[test]
+    fn blocked_topk_matches_all_pairs_exactly() {
+        let (p, s) = prep_and_sub(130);
+        for seed in 0..3u64 {
+            let m = scrambled(&p, &s, 0.4, 40 + seed);
+            let index = PatternIndex::build(&m);
+            for k in [1, 3, 10, 100] {
+                assert_eq!(dbrl_topk_blocked(&p, &m, &index, k), dbrl_topk(&p, &m, k));
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_value_matches_scan_value() {
+        let (p, s) = prep_and_sub(110);
+        let m = scrambled(&p, &s, 0.6, 55);
+        assert_eq!(dbrl_blocked(&p, &m), dbrl(&p, &m));
     }
 }

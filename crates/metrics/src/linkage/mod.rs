@@ -33,9 +33,31 @@ mod distance;
 mod probabilistic;
 mod rankswap_aware;
 
-pub use distance::{dbrl, dbrl_credit, dbrl_credits, dbrl_topk, dbrl_topk_disclosed};
+pub use distance::{
+    dbrl, dbrl_blocked, dbrl_credit, dbrl_credit_blocked, dbrl_credits, dbrl_credits_blocked,
+    dbrl_topk, dbrl_topk_blocked, dbrl_topk_disclosed,
+};
 pub use probabilistic::{prl, prl_credit, prl_credits, PatternCensus, PrlModel};
-pub use rankswap_aware::{compatible_categories, rsrl, rsrl_credit, rsrl_credits};
+pub use rankswap_aware::{
+    compatible_categories, rsrl, rsrl_credit, rsrl_credit_blocked, rsrl_credits,
+    rsrl_credits_blocked,
+};
+
+pub(crate) use distance::{pattern_link, pattern_to_row_distance};
+pub(crate) use rankswap_aware::{count_candidates, self_compatible};
+
+/// Tie tolerance of every linkage comparison (distances and Fellegi–Sunter
+/// weights): two scores within `DIST_EPS` of each other are considered tied,
+/// and a candidate must beat the incumbent by more than `DIST_EPS` to
+/// dethrone it.
+///
+/// One shared constant — used identically by the all-pairs scans and the
+/// blocked (pattern-index) scans — is part of the bit-exactness contract
+/// between the two: with the measures' score lattices (cell distances are
+/// multiples of `1/(c−1)` summed over ≤ a attributes), distinct scores
+/// differ by far more than `1e-12`, so "tied within eps" coincides with
+/// "exactly equal" and the grouped scan order cannot change any credit.
+pub(crate) const DIST_EPS: f64 = 1e-12;
 
 /// Mean per-record credit scaled to `[0, 100]`.
 pub fn credits_value(credits: &[f64]) -> f64 {

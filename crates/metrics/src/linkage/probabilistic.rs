@@ -11,17 +11,23 @@
 //!
 //! Because a pair's weight is a function of its agreement pattern alone,
 //! the whole measure is determined by *integer pattern data*: a
-//! [`PatternCensus`] keeps one `2^a`-bin histogram per masked record (plus
-//! their global sum), and a record's credit needs only its histogram and
-//! the weight of its own self-pattern. This is what makes the incremental
-//! evaluator exact — patching a record updates its histogram in O(n·a),
-//! the model refits from the summed census (identical to a from-scratch
-//! fit, since the census is identical), and every credit is recomputed
-//! from histograms in O(n·2^a).
+//! [`PatternCensus`] keeps one `2^a`-bin histogram per **distinct masked
+//! pattern** (the agreement pattern of a pair depends only on the two
+//! records' code tuples, so duplicate masked rows share a histogram), plus
+//! the multiplicity-weighted global sum, and a record's credit needs only
+//! its pattern's histogram and the weight of its own self-pattern. The
+//! histograms themselves are computed from the *original* side's
+//! [`PatternIndex`] — `O(p_m·p_o·a)` for the whole census instead of the
+//! old `O(n²·a)` pair scan — and every count is an integer identical to
+//! the pair-scan count, which is what makes the incremental evaluator
+//! exact: moving a row between masked patterns shifts the census by the
+//! difference of two cached histograms, the model refits from the summed
+//! census (identical to a from-scratch fit), and every credit is
+//! recomputed from histograms in O(n·2^a).
 
-use cdp_dataset::SubTable;
+use cdp_dataset::{PatternId, PatternIndex, SubTable};
 
-use crate::linkage::credits_value;
+use crate::linkage::{credits_value, DIST_EPS};
 use crate::prepared::PreparedOriginal;
 
 /// Fitted Fellegi–Sunter weights.
@@ -204,19 +210,27 @@ fn pattern(prep: &PreparedOriginal, masked: &SubTable, i: usize, j: usize) -> us
 }
 
 /// The integer sufficient statistic of PRL: one `2^a`-bin agreement-pattern
-/// histogram per masked record (against every original record), their
-/// global sum (the EM census), and each record's cached self-pattern.
+/// histogram per **distinct masked pattern**, the multiplicity-weighted sum
+/// over all records (the EM census over the `n²` pairs), and each record's
+/// cached self-pattern.
+///
+/// Histogram rows are keyed by the masked [`PatternIndex`]'s pattern ids.
+/// Ids never recycle, so a histogram, once computed (one `O(p_o·a)` sweep
+/// of the original's pattern index), stays valid across arbitrary row
+/// moves — including a pattern emptying out and later reviving.
 ///
 /// All counts are integers, so incrementally maintained instances are
 /// *identical* — not merely close — to freshly built ones, which is what
 /// lets the delta evaluator reproduce a full assessment bit-for-bit.
-#[derive(Debug, PartialEq)]
+#[derive(Debug)]
 pub struct PatternCensus {
     n_patterns: usize,
-    /// `hist[i * n_patterns + p]` = #originals whose pattern against masked
-    /// record `i` is `p`.
+    /// `hist[pid * n_patterns + p]` = #original records whose agreement
+    /// pattern against masked pattern `pid` is `p`. Grown lazily as the
+    /// masked index assigns ids.
     hist: Vec<u32>,
-    /// Column sums of `hist`: the EM census over all `n²` pairs.
+    /// Multiplicity-weighted sums of `hist`: the EM census over all `n²`
+    /// pairs.
     census: Vec<u64>,
     /// `pattern(i, i)` per masked record.
     self_pattern: Vec<u32>,
@@ -242,51 +256,88 @@ impl Clone for PatternCensus {
 }
 
 impl PatternCensus {
-    /// Build the histograms of every masked record — O(n²·a), the same
-    /// cost the plain EM census already paid.
+    /// Build the histograms of every distinct masked pattern of `index`
+    /// (which must index `masked`) against the original's pattern index —
+    /// `O(p_m·p_o·a + n·a)`, where the old pair scan was `O(n²·a)`.
     ///
     /// # Panics
     /// Panics when the file has more than 20 protected attributes.
-    pub fn build(prep: &PreparedOriginal, masked: &SubTable) -> Self {
+    pub fn build(prep: &PreparedOriginal, masked: &SubTable, index: &PatternIndex) -> Self {
         let n = prep.n_rows();
         let a = prep.n_attrs();
         assert!(a <= 20, "pattern census needs 2^a space, a = {a}");
         let n_patterns = 1usize << a;
         let mut out = PatternCensus {
             n_patterns,
-            hist: vec![0u32; n * n_patterns],
+            hist: Vec::new(),
             census: vec![0u64; n_patterns],
             self_pattern: vec![0u32; n],
         };
+        out.ensure_patterns(prep, index);
+        for (pid, _, mult) in index.iter_live() {
+            let base = pid as usize * n_patterns;
+            for p in 0..n_patterns {
+                out.census[p] += u64::from(mult) * u64::from(out.hist[base + p]);
+            }
+        }
         for i in 0..n {
-            let row = &mut out.hist[i * n_patterns..(i + 1) * n_patterns];
-            for j in 0..n {
-                row[pattern(prep, masked, i, j)] += 1;
-            }
-            for (p, &c) in row.iter().enumerate() {
-                out.census[p] += u64::from(c);
-            }
             out.self_pattern[i] = pattern(prep, masked, i, i) as u32;
         }
         out
     }
 
-    /// Re-derive masked record `i`'s histogram after its values changed —
-    /// O(n·a). Only the touched record's histogram moves: patterns compare
-    /// one masked record against the (immutable) originals.
-    pub fn rebuild_row(&mut self, prep: &PreparedOriginal, masked: &SubTable, i: usize) {
-        let row = &mut self.hist[i * self.n_patterns..(i + 1) * self.n_patterns];
-        for (p, c) in row.iter_mut().enumerate() {
-            self.census[p] -= u64::from(*c);
-            *c = 0;
+    /// Compute the histogram of every masked pattern id not yet covered
+    /// (ids are assigned sequentially and never recycled, so one length
+    /// check suffices). `O(p_o·a)` per new pattern, paid once ever.
+    fn ensure_patterns(&mut self, prep: &PreparedOriginal, index: &PatternIndex) {
+        let np = self.n_patterns;
+        let have = self.hist.len() / np;
+        let want = index.n_patterns();
+        if have >= want {
+            return;
         }
-        for j in 0..prep.n_rows() {
-            row[pattern(prep, masked, i, j)] += 1;
+        self.hist.resize(want * np, 0);
+        for pid in have..want {
+            let q = index.codes_of(pid as PatternId);
+            let base = pid * np;
+            for (_, pcodes, mult) in prep.pattern_index().iter_live() {
+                let mut pat = 0usize;
+                for (k, &x) in q.iter().enumerate() {
+                    if x == pcodes[k] {
+                        pat |= 1 << k;
+                    }
+                }
+                self.hist[base + pat] += mult;
+            }
         }
-        for (p, &c) in row.iter().enumerate() {
-            self.census[p] += u64::from(c);
+    }
+
+    /// Account for one row having moved from masked pattern `old_pid` to
+    /// `new_pid` (as reported by [`PatternIndex::move_row`], which must run
+    /// first): the census shifts by the difference of the two histograms,
+    /// and the row's self-pattern is recomputed. `O(2^a + p_o·a)` worst
+    /// case (the histogram of a never-seen pattern), `O(2^a + a)` steady
+    /// state.
+    pub fn row_moved(
+        &mut self,
+        prep: &PreparedOriginal,
+        masked: &SubTable,
+        index: &PatternIndex,
+        row: usize,
+        old_pid: PatternId,
+        new_pid: PatternId,
+    ) {
+        if old_pid != new_pid {
+            self.ensure_patterns(prep, index);
+            let np = self.n_patterns;
+            let ob = old_pid as usize * np;
+            let nb = new_pid as usize * np;
+            for p in 0..np {
+                self.census[p] -= u64::from(self.hist[ob + p]);
+                self.census[p] += u64::from(self.hist[nb + p]);
+            }
         }
-        self.self_pattern[i] = pattern(prep, masked, i, i) as u32;
+        self.self_pattern[row] = pattern(prep, masked, row, row) as u32;
     }
 
     /// The global pattern census (the EM sufficient statistic).
@@ -294,10 +345,11 @@ impl PatternCensus {
         &self.census
     }
 
-    /// Re-identification credit of masked record `i` given the per-pattern
-    /// weights of a fitted model (see [`PrlModel::pattern_weights`]).
-    pub fn credit(&self, weights: &[f64], i: usize) -> f64 {
-        let row = &self.hist[i * self.n_patterns..(i + 1) * self.n_patterns];
+    /// Re-identification credit of the masked records carrying pattern
+    /// `pid`, given record `i`'s self-pattern and the per-pattern weights
+    /// of a fitted model (see [`PrlModel::pattern_weights`]).
+    pub fn credit(&self, weights: &[f64], pid: PatternId, i: usize) -> f64 {
+        let row = &self.hist[pid as usize * self.n_patterns..][..self.n_patterns];
         let mut best = f64::NEG_INFINITY;
         let mut ties = 0u64;
         for (p, &c) in row.iter().enumerate() {
@@ -305,15 +357,15 @@ impl PatternCensus {
                 continue;
             }
             let w = weights[p];
-            if w > best + 1e-12 {
+            if w > best + DIST_EPS {
                 best = w;
                 ties = u64::from(c);
-            } else if (w - best).abs() <= 1e-12 {
+            } else if (w - best).abs() <= DIST_EPS {
                 ties += u64::from(c);
             }
         }
         let self_w = weights[self.self_pattern[i] as usize];
-        if (self_w - best).abs() <= 1e-12 && ties > 0 {
+        if (self_w - best).abs() <= DIST_EPS && ties > 0 {
             1.0 / ties as f64
         } else {
             0.0
@@ -321,17 +373,19 @@ impl PatternCensus {
     }
 
     /// Credits of every masked record, written into `out` (recycled).
-    pub fn credits_into(&self, model: &PrlModel, out: &mut Vec<f64>) {
+    pub fn credits_into(&self, model: &PrlModel, index: &PatternIndex, out: &mut Vec<f64>) {
         let a = model.agree_weight.len();
         let weights = model.pattern_weights(a);
         out.clear();
-        out.extend((0..self.self_pattern.len()).map(|i| self.credit(&weights, i)));
+        out.extend(
+            (0..self.self_pattern.len()).map(|i| self.credit(&weights, index.pattern_of(i), i)),
+        );
     }
 
     /// Credits of every masked record.
-    pub fn credits(&self, model: &PrlModel) -> Vec<f64> {
+    pub fn credits(&self, model: &PrlModel, index: &PatternIndex) -> Vec<f64> {
         let mut out = Vec::new();
-        self.credits_into(model, &mut out);
+        self.credits_into(model, index, &mut out);
         out
     }
 }
@@ -344,11 +398,11 @@ pub fn prl_credit(model: &PrlModel, prep: &PreparedOriginal, masked: &SubTable, 
     let mut self_is_best = false;
     for j in 0..n {
         let w = model.pair_weight(prep, masked, i, j);
-        if w > best + 1e-12 {
+        if w > best + DIST_EPS {
             best = w;
             ties = 1;
             self_is_best = j == i;
-        } else if (w - best).abs() <= 1e-12 {
+        } else if (w - best).abs() <= DIST_EPS {
             ties += 1;
             self_is_best |= j == i;
         }
@@ -500,8 +554,9 @@ mod tests {
             }
         }
         // the census-driven credits are finite probabilities, too
-        let census = PatternCensus::build(&p, &masked);
-        for c in census.credits(&model) {
+        let index = PatternIndex::build(&masked);
+        let census = PatternCensus::build(&p, &masked, &index);
+        for c in census.credits(&model, &index) {
             assert!((0.0..=1.0).contains(&c));
         }
     }
@@ -520,26 +575,66 @@ mod tests {
             }
         }
         let direct = PrlModel::fit(&p, &m, 15);
-        let census = PatternCensus::build(&p, &m);
+        let index = PatternIndex::build(&m);
+        let census = PatternCensus::build(&p, &m, &index);
         let via_census = PrlModel::fit_from_counts(&p, census.counts(), 15);
         assert_eq!(direct.agree_weight, via_census.agree_weight);
         assert_eq!(direct.disagree_weight, via_census.disagree_weight);
     }
 
     #[test]
-    fn rebuilt_rows_match_a_fresh_census_exactly() {
+    fn census_counts_match_the_pair_scan_exactly() {
+        // the blocked census must reproduce the O(n²·a) pair census bin
+        // for bin — this is the EM sufficient statistic
+        let (p, s) = prep_and_sub(60);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = s.clone();
+        for k in 0..m.n_attrs() {
+            let c = p.cats(k) as u16;
+            for r in 0..m.n_rows() {
+                if rng.gen_bool(0.5) {
+                    m.set(r, k, rng.gen_range(0..c));
+                }
+            }
+        }
+        let index = PatternIndex::build(&m);
+        let census = PatternCensus::build(&p, &m, &index);
+        let mut pairwise = vec![0u64; 1 << p.n_attrs()];
+        for i in 0..p.n_rows() {
+            for j in 0..p.n_rows() {
+                pairwise[pattern(&p, &m, i, j)] += 1;
+            }
+        }
+        assert_eq!(census.counts(), &pairwise[..]);
+    }
+
+    #[test]
+    fn moved_rows_match_a_fresh_census_exactly() {
         let (p, s) = prep_and_sub(50);
         let mut rng = StdRng::seed_from_u64(3);
         let mut m = s.clone();
-        let mut census = PatternCensus::build(&p, &m);
+        let mut index = PatternIndex::build(&m);
+        let mut census = PatternCensus::build(&p, &m, &index);
+        let mut buf = vec![0u16; m.n_attrs()];
         for _ in 0..20 {
             let row = rng.gen_range(0..m.n_rows());
             let k = rng.gen_range(0..m.n_attrs());
             let c = p.cats(k) as u16;
             m.set(row, k, rng.gen_range(0..c));
-            census.rebuild_row(&p, &m, row);
+            m.read_row(row, &mut buf);
+            let (old_pid, new_pid) = index.move_row(row, &buf);
+            census.row_moved(&p, &m, &index, row, old_pid, new_pid);
         }
-        assert_eq!(census, PatternCensus::build(&p, &m));
+        // the incrementally maintained census and credits are identical to
+        // a from-scratch build over the final file
+        let fresh_index = PatternIndex::build(&m);
+        let fresh = PatternCensus::build(&p, &m, &fresh_index);
+        assert_eq!(census.counts(), fresh.counts());
+        let model = PrlModel::fit_from_counts(&p, census.counts(), 15);
+        assert_eq!(
+            census.credits(&model, &index),
+            fresh.credits(&model, &fresh_index)
+        );
     }
 
     #[test]
@@ -556,7 +651,8 @@ mod tests {
             }
         }
         let model = PrlModel::fit(&p, &m, 15);
-        let census = PatternCensus::build(&p, &m);
-        assert_eq!(census.credits(&model), prl_credits(&model, &p, &m));
+        let index = PatternIndex::build(&m);
+        let census = PatternCensus::build(&p, &m, &index);
+        assert_eq!(census.credits(&model, &index), prl_credits(&model, &p, &m));
     }
 }

@@ -13,7 +13,7 @@
 //! unknown to them); we default to 5% of the records, configurable through
 //! [`crate::MetricConfig::rsrl_window_fraction`].
 
-use cdp_dataset::SubTable;
+use cdp_dataset::{Code, PatternIndex, SubTable};
 
 use crate::linkage::credits_value;
 use crate::prepared::{MaskedStats, PreparedOriginal};
@@ -82,7 +82,7 @@ pub fn rsrl_credit(
     }
 }
 
-/// Credits for every masked record.
+/// Credits for every masked record (all-pairs reference scan).
 pub fn rsrl_credits(
     prep: &PreparedOriginal,
     stats: &MaskedStats,
@@ -91,6 +91,116 @@ pub fn rsrl_credits(
 ) -> Vec<f64> {
     (0..prep.n_rows())
         .map(|i| rsrl_credit(prep, stats, masked, i, window))
+        .collect()
+}
+
+/// Count the original records whose every attribute is rank-compatible,
+/// via the original [`PatternIndex`]: pick the attribute whose compatible
+/// posting lists are shortest (the *blocking key*), walk only those
+/// postings, and check the remaining attributes per distinct pattern. The
+/// count is an integer — `Σ multiplicity` over compatible patterns equals
+/// the number of compatible records exactly.
+pub(crate) fn count_candidates(prep: &PreparedOriginal, compat: &[Vec<bool>]) -> u64 {
+    let idx = prep.pattern_index();
+    let mut pivot = 0usize;
+    let mut best_mass = usize::MAX;
+    for (k, ok) in compat.iter().enumerate() {
+        let mass: usize = ok
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(v, _)| idx.postings(k, v as Code).len())
+            .sum();
+        if mass < best_mass {
+            best_mass = mass;
+            pivot = k;
+        }
+    }
+    let mut cand = 0u64;
+    for (v, &ok) in compat[pivot].iter().enumerate() {
+        if !ok {
+            continue;
+        }
+        'pid: for &pid in idx.postings(pivot, v as Code) {
+            let mult = idx.multiplicity(pid);
+            if mult == 0 {
+                continue;
+            }
+            let codes = idx.codes_of(pid);
+            for (k, ok2) in compat.iter().enumerate() {
+                if k != pivot && !ok2[codes[k] as usize] {
+                    continue 'pid;
+                }
+            }
+            cand += u64::from(mult);
+        }
+    }
+    cand
+}
+
+/// Whether original record `i` itself survives the per-attribute
+/// compatibility intersection.
+#[inline]
+pub(crate) fn self_compatible(prep: &PreparedOriginal, compat: &[Vec<bool>], i: usize) -> bool {
+    compat
+        .iter()
+        .enumerate()
+        .all(|(k, ok)| ok[prep.orig().get(i, k) as usize])
+}
+
+/// Blocked equivalent of [`rsrl_credit`]: candidate counting runs over the
+/// distinct original patterns (`O(p_o·a)` after the `O(Σ c_k)` window
+/// setup) instead of all `n` records. Credits are identical — the
+/// candidate count is an exact integer either way.
+pub fn rsrl_credit_blocked(
+    prep: &PreparedOriginal,
+    stats: &MaskedStats,
+    masked: &SubTable,
+    i: usize,
+    window: f64,
+) -> f64 {
+    let a = prep.n_attrs();
+    let compat: Vec<Vec<bool>> = (0..a)
+        .map(|k| compatible_categories(prep, k, stats.midrank(k, masked.get(i, k)), window))
+        .collect();
+    let candidates = count_candidates(prep, &compat);
+    if candidates > 0 && self_compatible(prep, &compat, i) {
+        1.0 / candidates as f64
+    } else {
+        0.0
+    }
+}
+
+/// Blocked equivalent of [`rsrl_credits`]: the window intersection and
+/// candidate count are computed once per distinct masked pattern of
+/// `index` (which must index the masked file behind `stats`), then fanned
+/// out to the records.
+pub fn rsrl_credits_blocked(
+    prep: &PreparedOriginal,
+    stats: &MaskedStats,
+    index: &PatternIndex,
+    window: f64,
+) -> Vec<f64> {
+    let a = prep.n_attrs();
+    let mut per_pattern: Vec<Option<(u64, Vec<Vec<bool>>)>> = vec![None; index.n_patterns()];
+    for (pid, q, _) in index.iter_live() {
+        let compat: Vec<Vec<bool>> = (0..a)
+            .map(|k| compatible_categories(prep, k, stats.midrank(k, q[k]), window))
+            .collect();
+        let candidates = count_candidates(prep, &compat);
+        per_pattern[pid as usize] = Some((candidates, compat));
+    }
+    (0..prep.n_rows())
+        .map(|i| {
+            let (candidates, compat) = per_pattern[index.pattern_of(i) as usize]
+                .as_ref()
+                .expect("live pattern");
+            if *candidates > 0 && self_compatible(prep, compat, i) {
+                1.0 / *candidates as f64
+            } else {
+                0.0
+            }
+        })
         .collect()
 }
 
@@ -189,5 +299,34 @@ mod tests {
         let stats = MaskedStats::build(&p, &s);
         let credits = rsrl_credits(&p, &stats, &s, 5.0);
         assert!((credits_value(&credits) - rsrl(&p, &s, 0.05)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_credits_match_all_pairs_exactly() {
+        let (p, s) = prep_and_sub(120);
+        let mut rng = StdRng::seed_from_u64(11);
+        for window in [1.0, 4.0, 20.0] {
+            let mut m = s.clone();
+            for k in 0..m.n_attrs() {
+                let c = p.cats(k) as u16;
+                for r in 0..m.n_rows() {
+                    if rng.gen_bool(0.4) {
+                        m.set(r, k, rng.gen_range(0..c));
+                    }
+                }
+            }
+            let stats = MaskedStats::build(&p, &m);
+            let index = PatternIndex::build(&m);
+            assert_eq!(
+                rsrl_credits_blocked(&p, &stats, &index, window),
+                rsrl_credits(&p, &stats, &m, window)
+            );
+            for i in (0..m.n_rows()).step_by(7) {
+                assert_eq!(
+                    rsrl_credit_blocked(&p, &stats, &m, i, window),
+                    rsrl_credit(&p, &stats, &m, i, window)
+                );
+            }
+        }
     }
 }

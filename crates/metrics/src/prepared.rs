@@ -5,7 +5,7 @@
 //! masked-side statistics live in [`MaskedStats`]. Keeping both explicit is
 //! what makes the incremental (single-mutation) re-assessment possible.
 
-use cdp_dataset::{AttrKind, Code, SubTable};
+use cdp_dataset::{AttrKind, Code, PatternIndex, SubTable};
 
 use crate::contingency::ContingencyTables;
 use crate::{MetricError, Result};
@@ -32,6 +32,14 @@ pub struct PreparedOriginal {
     /// `Σ_v p(v)²` per attribute: the probability two random records agree
     /// by chance (the Fellegi–Sunter `u` initialization).
     chance_agreement: Vec<f64>,
+    /// Distinct-pattern index of the original file — the static half of the
+    /// blocked record-linkage scans.
+    pattern_index: PatternIndex,
+    /// `min_cell_dist[k][x]` = minimum of `cell_distance(k, x, y)` over the
+    /// codes `y` actually present in original column `k`: a per-attribute
+    /// lower bound on any masked-to-original cell distance, used to prune
+    /// pattern comparisons in the blocked DBRL scan.
+    min_cell_dist: Vec<Vec<f64>>,
 }
 
 impl PreparedOriginal {
@@ -79,8 +87,37 @@ impl PreparedOriginal {
             .map(|p| p.iter().map(|&x| x * x).sum())
             .collect();
 
+        let min_cell_dist: Vec<Vec<f64>> = (0..a)
+            .map(|k| {
+                (0..cats[k])
+                    .map(|x| {
+                        let mut best = f64::INFINITY;
+                        for (y, &cnt) in counts[k].iter().enumerate() {
+                            if cnt == 0 {
+                                continue;
+                            }
+                            let d = if ordinal[k] {
+                                f64::from((x as Code).abs_diff(y as Code)) * inv_span[k]
+                            } else if x == y {
+                                0.0
+                            } else {
+                                1.0
+                            };
+                            best = best.min(d);
+                        }
+                        if best.is_finite() {
+                            best
+                        } else {
+                            0.0 // empty column: no pairs to bound
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
         PreparedOriginal {
             tables: ContingencyTables::build(orig),
+            pattern_index: PatternIndex::build(orig),
             orig: orig.clone(),
             cats,
             ordinal,
@@ -90,6 +127,7 @@ impl PreparedOriginal {
             order_keys,
             rank_start,
             chance_agreement,
+            min_cell_dist,
         }
     }
 
@@ -151,6 +189,19 @@ impl PreparedOriginal {
     /// Chance-agreement probability of attribute `k`.
     pub fn chance_agreement(&self, k: usize) -> f64 {
         self.chance_agreement[k]
+    }
+
+    /// Distinct-pattern index of the original protected columns (static;
+    /// built once with the rest of the original-side statistics).
+    pub fn pattern_index(&self) -> &PatternIndex {
+        &self.pattern_index
+    }
+
+    /// Lower bound on `cell_distance(k, x, ·)` against any code present in
+    /// the original column `k`.
+    #[inline]
+    pub fn min_cell_dist(&self, k: usize, x: Code) -> f64 {
+        self.min_cell_dist[k][x as usize]
     }
 
     /// Distance between two codes of attribute `k`: normalized code

@@ -15,8 +15,9 @@
 
 use std::sync::Arc;
 
-use cdp_dataset::{AttrKind, Attribute, Schema, SubTable};
-use cdp_metrics::{Evaluator, MetricConfig};
+use cdp_dataset::{AttrKind, Attribute, PatternIndex, Schema, SubTable};
+use cdp_metrics::linkage::{dbrl_credit, dbrl_credit_blocked, dbrl_credits_blocked};
+use cdp_metrics::{Evaluator, LinkageMode, MetricConfig, PreparedOriginal};
 
 fn schema() -> Arc<Schema> {
     Arc::new(
@@ -182,6 +183,58 @@ fn aggregates_follow_from_components() {
     let dr = (a.dr_parts.id + a.dr_parts.dbrl + a.dr_parts.prl + a.dr_parts.rsrl) / 4.0;
     assert!((a.il() - il).abs() < 1e-12);
     assert!((a.dr() - dr).abs() < 1e-12);
+}
+
+#[test]
+fn blocked_backend_reproduces_the_hand_checked_numbers() {
+    // the same file under both linkage backends: assessments must be
+    // assert_eq!-identical, so every hand-derived number above holds for
+    // the blocked scans verbatim
+    let orig = original();
+    let pairs = Evaluator::new(
+        &orig,
+        MetricConfig {
+            linkage: LinkageMode::Pairs,
+            ..MetricConfig::default()
+        },
+    )
+    .unwrap();
+    let blocked = evaluator(); // LinkageMode::Blocked is the default
+    for m in [original(), masked()] {
+        assert_eq!(pairs.evaluate(&m), blocked.evaluate(&m));
+    }
+}
+
+#[test]
+fn blocked_tie_mass_expands_duplicate_originals_by_hand() {
+    // original with a duplicated row — (1,0) appears twice:
+    //
+    // | row | O | N |   distinct patterns: (1,0)×2, (2,1)×1, (1,1)×1
+    // |-----|---|---|
+    // | 0   | 1 | 0 |
+    // | 1   | 1 | 0 |
+    // | 2   | 2 | 1 |
+    // | 3   | 1 | 1 |
+    //
+    // identity masking: record 0 sits at distance 0 from originals 0 AND 1,
+    // so its tie set has two members and the credit is 1/2. The blocked
+    // scan sees ONE original pattern (1,0) with multiplicity 2 and must
+    // expand the tie mass to the same 2 — per-record and batch.
+    let dup = SubTable::new(
+        schema(),
+        vec![0, 1],
+        vec![vec![1, 1, 2, 1], vec![0, 0, 1, 1]],
+    )
+    .unwrap();
+    let prep = PreparedOriginal::new(&dup);
+    let index = PatternIndex::build(&dup);
+    assert_eq!(prep.pattern_index().n_patterns(), 3);
+    let expected = [0.5, 0.5, 1.0, 1.0];
+    for (i, &want) in expected.iter().enumerate() {
+        assert_eq!(dbrl_credit_blocked(&prep, &dup, i), want, "record {i}");
+        assert_eq!(dbrl_credit(&prep, &dup, i), want, "record {i} (pairs)");
+    }
+    assert_eq!(dbrl_credits_blocked(&prep, &dup, &index), expected.to_vec());
 }
 
 #[test]

@@ -1,0 +1,174 @@
+//! Property tests of the blocked-linkage exactness contract: the
+//! pattern-index (blocked) scans produce credits and assessments that are
+//! `assert_eq!`-identical — not merely close — to the all-pairs reference
+//! scans, on random tables *and* after random patch sequences through the
+//! incremental evaluator.
+//!
+//! Random instances are generated from `(shape, seed)` tuples via seeded
+//! RNGs, so proptest shrinks over compact parameters while the instances
+//! stay arbitrary.
+
+use std::sync::Arc;
+
+use cdp_dataset::{Attribute, Code, PatternIndex, Schema, SubTable};
+use cdp_metrics::linkage::{
+    dbrl_credits, dbrl_credits_blocked, dbrl_topk, dbrl_topk_blocked, rsrl_credits,
+    rsrl_credits_blocked,
+};
+use cdp_metrics::{
+    Evaluator, LinkageMode, MaskedStats, MetricConfig, Patch, PatchCell, PreparedOriginal,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random sub-table: `a` attributes (mixed kinds), `n` rows.
+fn random_subtable(a: usize, n: usize, seed: u64) -> SubTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let attrs: Vec<Attribute> = (0..a)
+        .map(|i| {
+            let cats = rng.gen_range(2..=6);
+            if rng.gen_bool(0.5) {
+                Attribute::ordinal(format!("A{i}"), cats)
+            } else {
+                Attribute::nominal(format!("A{i}"), cats)
+            }
+        })
+        .collect();
+    let schema = Arc::new(Schema::new(attrs).unwrap());
+    let columns: Vec<Vec<Code>> = (0..a)
+        .map(|k| {
+            let c = schema.attr(k).n_categories() as Code;
+            (0..n).map(|_| rng.gen_range(0..c)).collect()
+        })
+        .collect();
+    SubTable::new(schema, (0..a).collect(), columns).unwrap()
+}
+
+/// A random masking of `sub`: each cell re-drawn with probability ~0.4.
+fn random_masking(sub: &SubTable, seed: u64) -> SubTable {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut m = sub.clone();
+    for k in 0..m.n_attrs() {
+        let c = m.attr(k).n_categories() as Code;
+        for r in 0..m.n_rows() {
+            if rng.gen_bool(0.4) {
+                m.set(r, k, rng.gen_range(0..c));
+            }
+        }
+    }
+    m
+}
+
+fn evaluator(original: &SubTable, linkage: LinkageMode) -> Evaluator {
+    Evaluator::new(
+        original,
+        MetricConfig {
+            linkage,
+            ..MetricConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The free-function scans: DBRL credits, RSRL credits and the top-k
+    /// disclosure rate agree bit for bit between the two backends. Few
+    /// categories (2..=6) force heavy pattern duplication, exercising the
+    /// multiplicity-weighted tie expansion.
+    #[test]
+    fn blocked_scans_equal_all_pairs_on_random_tables(
+        a in 2usize..=4, n in 10usize..=60, seed in any::<u64>()
+    ) {
+        let original = random_subtable(a, n, seed);
+        let masked = random_masking(&original, seed ^ 1);
+        let prep = PreparedOriginal::new(&original);
+        let index = PatternIndex::build(&masked);
+        prop_assert_eq!(
+            dbrl_credits_blocked(&prep, &masked, &index),
+            dbrl_credits(&prep, &masked)
+        );
+        let stats = MaskedStats::build(&prep, &masked);
+        for window in [1.0, 3.0, 10.0] {
+            prop_assert_eq!(
+                rsrl_credits_blocked(&prep, &stats, &index, window),
+                rsrl_credits(&prep, &stats, &masked, window)
+            );
+        }
+        for k in [1, 2, 7, 1000] {
+            prop_assert_eq!(
+                dbrl_topk_blocked(&prep, &masked, &index, k),
+                dbrl_topk(&prep, &masked, k)
+            );
+        }
+    }
+
+    /// Whole-evaluator equality: a Pairs-mode and a Blocked-mode evaluator
+    /// assess the same masked file to the identical `Assessment`.
+    #[test]
+    fn blocked_assessment_equals_pairs_assessment(
+        a in 2usize..=4, n in 10usize..=50, seed in any::<u64>()
+    ) {
+        let original = random_subtable(a, n, seed);
+        let masked = random_masking(&original, seed ^ 2);
+        let pairs = evaluator(&original, LinkageMode::Pairs);
+        let blocked = evaluator(&original, LinkageMode::Blocked);
+        prop_assert_eq!(pairs.evaluate(&masked), blocked.evaluate(&masked));
+    }
+
+    /// The patch path: drive both evaluators through the same random
+    /// mutation/patch sequence. After every step the two incremental
+    /// states must agree with each other AND with a from-scratch blocked
+    /// assessment — the PR's exactness contract extended to the index-
+    /// patching (`PatternIndex::move_row`) code path.
+    #[test]
+    fn blocked_patch_path_stays_identical_to_pairs_and_full(
+        a in 2usize..=3, n in 10usize..=40, seed in any::<u64>()
+    ) {
+        let original = random_subtable(a, n, seed);
+        let mut masked = random_masking(&original, seed ^ 3);
+        let pairs = evaluator(&original, LinkageMode::Pairs);
+        let blocked = evaluator(&original, LinkageMode::Blocked);
+        let mut state_p = pairs.assess(&masked);
+        let mut state_b = blocked.assess(&masked);
+        prop_assert_eq!(state_p.assessment, state_b.assessment);
+        let mut rng = StdRng::seed_from_u64(seed ^ 4);
+        for step in 0..6 {
+            // alternate single-cell mutations and multi-cell patches
+            let patch = if step % 2 == 0 {
+                let row = rng.gen_range(0..masked.n_rows());
+                let k = rng.gen_range(0..masked.n_attrs());
+                let c = masked.attr(k).n_categories() as Code;
+                let old = masked.get(row, k);
+                masked.set(row, k, rng.gen_range(0..c));
+                Patch::cell(row, k, old)
+            } else {
+                let mut cells = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..rng.gen_range(2..8) {
+                    let row = rng.gen_range(0..masked.n_rows());
+                    let k = rng.gen_range(0..masked.n_attrs());
+                    if !seen.insert((row, k)) {
+                        continue;
+                    }
+                    let c = masked.attr(k).n_categories() as Code;
+                    let old = masked.get(row, k);
+                    masked.set(row, k, rng.gen_range(0..c));
+                    cells.push(PatchCell { row, attr: k, old });
+                }
+                Patch::from_cells(cells)
+            };
+            state_p = pairs.reassess(&state_p, &masked, &patch);
+            state_b = blocked.reassess(&state_b, &masked, &patch);
+            prop_assert_eq!(state_p.assessment, state_b.assessment, "step {}", step);
+            prop_assert_eq!(
+                state_b.assessment,
+                blocked.assess(&masked).assessment,
+                "step {} vs full",
+                step
+            );
+        }
+    }
+}

@@ -39,7 +39,11 @@
 //! Offspring are delta-evaluated by default (patch-based re-assessment,
 //! bit-identical to full scoring — opt out with
 //! `.incremental_mutation(false).incremental_crossover(false)` if you want
-//! to pay the full O(n²) per offspring):
+//! to pay the full O(n²) per offspring), and the linkage measures run on
+//! the blocked distinct-pattern scans by default (`link=blocked` in the
+//! CLI job grammar; `.linkage(LinkageMode::Pairs)` or `link=pairs` opts
+//! back into the all-pairs reference scans — the credits, and hence every
+//! published number, are identical either way):
 //!
 //! ```
 //! use cdp::prelude::*;
@@ -137,7 +141,7 @@ pub mod prelude {
     pub use cdp_dataset::generators::{Dataset, DatasetKind, GeneratorConfig};
     pub use cdp_dataset::{AttrKind, Attribute, Code, Hierarchy, Schema, SubTable, Table};
     pub use cdp_metrics::{
-        Assessment, DrBreakdown, Evaluator, IlBreakdown, MetricConfig, ScoreAggregator,
+        Assessment, DrBreakdown, Evaluator, IlBreakdown, LinkageMode, MetricConfig, ScoreAggregator,
     };
     pub use cdp_privacy::{CostKind, LatticeSearch, PrivacyReport, Recoder};
     pub use cdp_sdc::{build_population, ProtectionMethod, SuiteConfig};

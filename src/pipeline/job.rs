@@ -5,7 +5,7 @@ use std::fmt;
 use cdp_core::{EvoConfig, NsgaConfig, OperatorSchedule, ReplacementPolicy, SelectionWeighting};
 use cdp_dataset::generators::{Dataset, DatasetKind, GeneratorConfig};
 use cdp_dataset::{stats, AttrKind, Hierarchy, SubTable, Table};
-use cdp_metrics::{MetricConfig, ScoreAggregator};
+use cdp_metrics::{LinkageMode, MetricConfig, ScoreAggregator};
 use cdp_sdc::{build_population_from, MethodContext, ProtectionMethod, SuiteConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -647,6 +647,15 @@ impl ProtectionJobBuilder {
     /// Measure parameters (interval fraction, RSRL window, EM iterations).
     pub fn metrics(mut self, cfg: MetricConfig) -> Self {
         self.metrics = cfg;
+        self
+    }
+
+    /// DBRL/RSRL scan backend: the default [`LinkageMode::Blocked`]
+    /// pattern-index scans, or the all-pairs [`LinkageMode::Pairs`]
+    /// reference. Credits — and hence every published result — are
+    /// identical either way; the CLI spells this `link=<pairs|blocked>`.
+    pub fn linkage(mut self, mode: LinkageMode) -> Self {
+        self.metrics.linkage = mode;
         self
     }
 
