@@ -6,3 +6,4 @@ pub mod generate;
 pub mod hierarchy;
 pub mod optimize;
 pub mod protect;
+pub mod serve;

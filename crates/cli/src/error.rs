@@ -19,6 +19,9 @@ pub enum CliError {
     Evo(cdp_core::EvoError),
     /// Pipeline-job failure (invalid job description or staged execution).
     Pipeline(cdp::pipeline::PipelineError),
+    /// Protection-server failure (`cdp serve`): a broken wire exchange or
+    /// a failed smoke-mode contract.
+    Server(String),
     /// Filesystem failure outside the dataset layer.
     Io(std::io::Error),
 }
@@ -33,6 +36,7 @@ impl fmt::Display for CliError {
             CliError::Privacy(e) => write!(f, "{e}"),
             CliError::Evo(e) => write!(f, "{e}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::Server(msg) => write!(f, "server error: {msg}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -48,6 +52,7 @@ impl std::error::Error for CliError {
             CliError::Privacy(e) => Some(e),
             CliError::Evo(e) => Some(e),
             CliError::Pipeline(e) => Some(e),
+            CliError::Server(_) => None,
             CliError::Io(e) => Some(e),
         }
     }

@@ -2,66 +2,15 @@
 //!
 //! Wraps the workspace crates into an end-user tool: generate synthetic
 //! evaluation data, protect CSV files with the paper's SDC methods,
-//! evaluate the seven IL/DR measures, audit privacy models, and run the
-//! evolutionary optimizer (scalar or NSGA-II).
-
-mod args;
-mod commands;
-mod data;
-mod error;
-mod spec;
+//! evaluate the seven IL/DR measures, audit privacy models, run the
+//! evolutionary optimizer (scalar or NSGA-II), and serve all of it as a
+//! long-lived protection server. All logic lives in the `cdp_cli`
+//! library; this binary only routes `argv`.
 
 use std::process::ExitCode;
 
-use args::Args;
-use error::{CliError, Result};
-
-const TOP_USAGE: &str = "\
-cdp — categorical data protection toolkit
-
-commands:
-  generate   write a synthetic evaluation dataset as CSV
-  protect    mask a CSV file with one SDC method
-  evaluate   information-loss / disclosure-risk measures of a masked file
-  analyze    privacy-model audit (k-anonymity, risk, diversity)
-  optimize   evolutionary optimization of a protection population
-  hierarchy  export editable generalization-hierarchy files
-  help       this text (or `cdp help <command>`)
-
-run `cdp help <command>` for flags.";
-
-fn usage_of(command: &str) -> Option<String> {
-    match command {
-        "generate" => Some(commands::generate::USAGE.to_string()),
-        "protect" => Some(commands::protect::usage()),
-        "evaluate" => Some(commands::evaluate::USAGE.to_string()),
-        "analyze" => Some(commands::analyze::USAGE.to_string()),
-        "optimize" => Some(commands::optimize::USAGE.to_string()),
-        "hierarchy" => Some(commands::hierarchy::USAGE.to_string()),
-        _ => None,
-    }
-}
-
-fn dispatch(command: &str, rest: Vec<String>) -> Result<()> {
-    match command {
-        "generate" => commands::generate::run(&Args::parse(rest)?),
-        "protect" => commands::protect::run(&Args::parse(rest)?),
-        "evaluate" => commands::evaluate::run(&Args::parse(rest)?),
-        "analyze" => commands::analyze::run(&Args::parse(rest)?),
-        "optimize" => commands::optimize::run(&Args::parse(rest)?),
-        "hierarchy" => commands::hierarchy::run(&Args::parse(rest)?),
-        "help" | "--help" | "-h" => {
-            match rest.first().and_then(|c| usage_of(c)) {
-                Some(text) => println!("{text}"),
-                None => println!("{TOP_USAGE}"),
-            }
-            Ok(())
-        }
-        other => Err(CliError::Usage(format!(
-            "unknown command `{other}`\n\n{TOP_USAGE}"
-        ))),
-    }
-}
+use cdp_cli::error::CliError;
+use cdp_cli::{dispatch, usage_of, TOP_USAGE};
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);

@@ -71,7 +71,11 @@ pub struct MethodContext<'a> {
 /// dictionaries and preserve shape; [`SubTable::new`] re-validates this on
 /// construction, so a buggy method fails loudly rather than poisoning the
 /// population.
-pub trait ProtectionMethod {
+///
+/// Methods are `Send + Sync`: they are pure configuration (all mutable
+/// state flows through the `rng` argument), and jobs that carry them must
+/// be shareable across the protection server's worker threads.
+pub trait ProtectionMethod: Send + Sync {
     /// Identifier including parameters, e.g. `"microagg(k=5,multi,median)"`.
     fn name(&self) -> String;
 

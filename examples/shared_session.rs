@@ -1,0 +1,84 @@
+//! Shared session: many threads, one evaluator cache — the in-process
+//! form of what `cdp serve` does over TCP.
+//!
+//! ```sh
+//! cargo run --release --example shared_session
+//! ```
+//!
+//! Four worker threads each run a job. Three of them target the same
+//! original (Adult, seed 7 — the seed generates the table, so same seed
+//! means same original), so the expensive evaluator preparation —
+//! hierarchy walks, record linkage tables — is paid **once** and the
+//! other two block briefly on that key and then hit the cache. The
+//! German job prepares its own evaluator in parallel. `SessionStats`
+//! shows the ledger at the end.
+
+use cdp::prelude::*;
+
+fn main() {
+    let adult = |iterations: usize| {
+        ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .records(200)
+            .suite_small()
+            .iterations(iterations)
+            .seed(7)
+            .build()
+            .expect("valid job")
+    };
+    let german = ProtectionJob::builder()
+        .dataset(DatasetKind::German)
+        .records(200)
+        .suite_small()
+        .iterations(60)
+        .seed(9)
+        .build()
+        .expect("valid job");
+
+    // A SharedSession is cheap to clone; every clone sees the same cache.
+    let session = SharedSession::new();
+    let jobs = vec![
+        ("adult, 40 iters", adult(40)),
+        ("adult, 60 iters", adult(60)),
+        ("adult, 80 iters", adult(80)),
+        ("german, 60 iters", german),
+    ];
+    std::thread::scope(|scope| {
+        for (label, job) in &jobs {
+            let session = session.clone();
+            scope.spawn(move || {
+                let report = session
+                    .run_with(job, |event| {
+                        if let JobEvent::EvaluatorReady { reused } = event {
+                            let verdict = if *reused { "cache hit" } else { "prepared" };
+                            println!("{label}: evaluator {verdict}");
+                        }
+                    })
+                    .expect("job runs");
+                let best = &report.best;
+                println!(
+                    "{label}: best `{}` IL = {:.2}, DR = {:.2}",
+                    best.name,
+                    best.assessment.il(),
+                    best.assessment.dr()
+                );
+            });
+        }
+    });
+
+    // The ledger: 4 jobs, 2 distinct originals, 2 preparations total.
+    let stats = session.stats();
+    println!(
+        "cache: {} preparations, {} hits, {} misses ({} evaluators, ~{} KiB resident)",
+        stats.preparations,
+        stats.hits,
+        stats.misses,
+        stats.cached,
+        stats.approx_bytes / 1024
+    );
+    assert_eq!(stats.preparations, 2, "one per distinct original");
+    assert_eq!(stats.hits + stats.misses, 4, "one lookup per job");
+    if let Some(rate) = stats.hit_rate() {
+        println!("hit rate: {:.0}%", rate * 100.0);
+    }
+}

@@ -100,6 +100,50 @@
 //! assert_eq!(report.published_best().unwrap().n_rows(), 100);
 //! ```
 //!
+//! ## Serving jobs concurrently — `cdp serve`
+//!
+//! The pipeline doubles as a long-lived protection service. A
+//! [`pipeline::SharedSession`] is the concurrency-safe form of
+//! [`pipeline::Session`] — cloneable, `&self` methods, one shared
+//! evaluator cache — so N threads (or N clients of the `cdp serve`
+//! subcommand) running jobs against the same original trigger exactly
+//! **one** preparation; the rest block briefly on that key and then hit
+//! the cache. [`pipeline::SessionStats`] reports the counters (also
+//! streamed per job as [`pipeline::JobEvent::CacheStats`]); the hit rate
+//! `hits / (hits + misses)` is the service's headline metric.
+//!
+//! ```
+//! use cdp::prelude::*;
+//!
+//! let job = ProtectionJob::builder()
+//!     .dataset(DatasetKind::German)
+//!     .records(80)
+//!     .iterations(5)
+//!     .seed(3)
+//!     .build()
+//!     .unwrap();
+//! let session = SharedSession::new();
+//! std::thread::scope(|scope| {
+//!     for _ in 0..2 {
+//!         let session = session.clone();
+//!         let job = &job;
+//!         scope.spawn(move || session.run(job).unwrap());
+//!     }
+//! });
+//! assert_eq!(session.stats().preparations, 1); // hot original, one prep
+//! assert!(session.stats().hit_rate().unwrap() > 0.0);
+//! ```
+//!
+//! Over the wire, `cdp serve --addr 127.0.0.1:7171` accepts the same
+//! canonical `key=value` job grammar the CLI uses, line-delimited:
+//! `JOB dataset=adult records=120 iters=40 seed=7` streams one `EVENT …`
+//! line per [`pipeline::JobEvent`] and ends with a `DONE …` summary
+//! (winner IL/DR breakdown, eval counts, cache-hit flag) or a one-line
+//! `ERR …`; `STATS` returns the [`pipeline::SessionStats`] counters. The
+//! determinism contract holds across the wire: a job submitted to the
+//! server produces the bit-identical summary to [`pipeline::Session::run`]
+//! on the same spec — asserted end-to-end in the server tests.
+//!
 //! ## Low-level entry points
 //!
 //! The free-form APIs the pipeline is built from stay public — existing
@@ -148,6 +192,7 @@ pub mod prelude {
 
     pub use crate::pipeline::{
         BestProtection, DataSource, Front, JobEvent, JobOutcome, JobReport, OptimizerMode,
-        PipelineError, PopulationSpec, ProtectionJob, Session, SuiteKind,
+        PipelineError, PopulationSpec, ProtectionJob, Session, SessionStats, SharedSession,
+        SuiteKind,
     };
 }

@@ -20,7 +20,10 @@
 //!   [`cdp_metrics::Evaluator`]), so repeated jobs against the same
 //!   original skip re-preparation — scalar and NSGA-II jobs share the one
 //!   cache. One session can serve many jobs — the CLI, the bench harness
-//!   and (eventually) a protection server all drive this type.
+//!   and the `cdp serve` protection server all drive this cache;
+//!   [`SharedSession`] is its thread-safe form (cloneable, `&self`
+//!   methods, exactly-once preparation under concurrency) and
+//!   [`SessionStats`] its observability counters.
 //! * [`JobReport`] — everything a run produces: the mode-aware
 //!   [`JobOutcome`] (scalar [`cdp_core::EvolutionOutcome`] telemetry, or a
 //!   Pareto [`Front`] with hypervolume trajectory), the winning protection
@@ -53,6 +56,7 @@
 mod job;
 mod report;
 mod session;
+mod shared;
 mod stages;
 
 use std::fmt;
@@ -63,6 +67,7 @@ pub use job::{
 };
 pub use report::{BestProtection, Front, JobOutcome, JobReport};
 pub use session::Session;
+pub use shared::{SessionStats, SharedSession};
 pub use stages::JobEvent;
 
 /// Everything that can go wrong while describing or executing a job.

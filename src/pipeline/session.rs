@@ -1,20 +1,20 @@
 //! The reusable execution context: evaluator preparation amortized across
 //! jobs.
+//!
+//! Since the `cdp serve` refactor this type is a thin `&mut self` wrapper
+//! over [`SharedSession`] — same cache, same counters, single-threaded
+//! ergonomics. Code that wants to run jobs from several threads at once
+//! (the protection server, sweep harnesses) should hold a
+//! [`SharedSession`] directly, or take one via [`Session::shared`].
 
 use cdp_dataset::SubTable;
 use cdp_metrics::{Evaluator, MetricConfig};
 
 use super::job::ProtectionJob;
 use super::report::JobReport;
-use super::stages::{run_job, JobEvent};
+use super::shared::{SessionStats, SharedSession};
+use super::stages::JobEvent;
 use super::Result;
-
-/// One prepared evaluator, keyed by the original it was built for.
-struct CacheEntry {
-    original: SubTable,
-    cfg: MetricConfig,
-    evaluator: Evaluator,
-}
 
 /// A job execution context that caches prepared originals.
 ///
@@ -22,7 +22,8 @@ struct CacheEntry {
 /// marginals, contingency tables and chance-agreement probabilities —
 /// work that depends only on the original, not on the job. A `Session`
 /// keeps those preparations, so sweeps (many jobs over one original) and
-/// future services (many requests over few originals) pay the cost once.
+/// the protection server (many requests over few originals) pay the cost
+/// once.
 ///
 /// ```
 /// use cdp::prelude::*;
@@ -38,11 +39,11 @@ struct CacheEntry {
 /// session.run(&job).unwrap();
 /// session.run(&job).unwrap(); // same original: no second preparation
 /// assert_eq!(session.preparations(), 1);
+/// assert_eq!(session.stats().hits, 1);
 /// ```
 #[derive(Default)]
 pub struct Session {
-    cache: Vec<CacheEntry>,
-    preparations: usize,
+    shared: SharedSession,
 }
 
 impl Session {
@@ -54,17 +55,32 @@ impl Session {
     /// How many evaluator preparations this session has performed (cache
     /// misses; the observable the reuse tests assert on).
     pub fn preparations(&self) -> usize {
-        self.preparations
+        self.shared.stats().preparations
     }
 
     /// Number of distinct (original, metric-config) pairs currently cached.
     pub fn cached_evaluators(&self) -> usize {
-        self.cache.len()
+        self.shared.stats().cached
     }
 
-    /// Drop all cached preparations.
+    /// The full cache counters (preparations, hits, misses, resident
+    /// footprint) — the same snapshot jobs stream as
+    /// [`JobEvent::CacheStats`].
+    pub fn stats(&self) -> SessionStats {
+        self.shared.stats()
+    }
+
+    /// The thread-safe session backing this one. Clones share the cache:
+    /// jobs run through the clone count toward this session's stats and
+    /// vice versa.
+    pub fn shared(&self) -> SharedSession {
+        self.shared.clone()
+    }
+
+    /// Drop all cached preparations (counters survive; they are session
+    /// history, not cache contents).
     pub fn clear(&mut self) {
-        self.cache.clear();
+        self.shared.clear();
     }
 
     /// The evaluator for an original, preparing it on first sight. Returns
@@ -77,21 +93,7 @@ impl Session {
         original: &SubTable,
         cfg: MetricConfig,
     ) -> Result<(Evaluator, bool)> {
-        if let Some(entry) = self
-            .cache
-            .iter()
-            .find(|e| e.cfg == cfg && e.original == *original)
-        {
-            return Ok((entry.evaluator.clone(), true));
-        }
-        let evaluator = Evaluator::new(original, cfg)?;
-        self.preparations += 1;
-        self.cache.push(CacheEntry {
-            original: original.clone(),
-            cfg,
-            evaluator: evaluator.clone(),
-        });
-        Ok((evaluator, false))
+        self.shared.evaluator_for(original, cfg)
     }
 
     /// Execute a job.
@@ -99,7 +101,7 @@ impl Session {
     /// # Errors
     /// Any [`super::PipelineError`] raised by a stage.
     pub fn run(&mut self, job: &ProtectionJob) -> Result<JobReport> {
-        self.run_with(job, |_| {})
+        self.shared.run(job)
     }
 
     /// Execute a job, streaming [`JobEvent`]s to `observer`.
@@ -109,9 +111,9 @@ impl Session {
     pub fn run_with<F: FnMut(&JobEvent)>(
         &mut self,
         job: &ProtectionJob,
-        mut observer: F,
+        observer: F,
     ) -> Result<JobReport> {
-        run_job(self, job, &mut observer)
+        self.shared.run_with(job, observer)
     }
 }
 
@@ -141,6 +143,8 @@ mod tests {
         assert!(rb.evaluator_reused);
         assert_eq!(session.preparations(), 1);
         assert_eq!(session.cached_evaluators(), 1);
+        let stats = session.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]
@@ -164,10 +168,22 @@ mod tests {
         assert_eq!(session.preparations(), 2);
     }
 
+    #[test]
+    fn shared_clone_feeds_the_same_cache() {
+        let mut session = Session::new();
+        let job = tiny_job(DatasetKind::Adult, 9, 3);
+        session.run(&job).unwrap();
+        let report = session.shared().run(&job).unwrap();
+        assert!(report.evaluator_reused, "clone sees the session's cache");
+        assert_eq!(session.preparations(), 1);
+        assert_eq!(session.stats().hits, 1);
+    }
+
     fn tag_of(e: &JobEvent) -> &'static str {
         match e {
             JobEvent::SourceReady { .. } => "source",
             JobEvent::EvaluatorReady { .. } => "evaluator",
+            JobEvent::CacheStats(_) => "cache",
             JobEvent::PopulationReady { .. } => "population",
             JobEvent::Generation(_) => "generation",
             JobEvent::FrontAdvanced { .. } => "front",
@@ -182,10 +198,34 @@ mod tests {
         let job = tiny_job(DatasetKind::German, 5, 6);
         let mut tags = Vec::new();
         session.run_with(&job, |e| tags.push(tag_of(e))).unwrap();
-        assert_eq!(tags[..3], ["source", "evaluator", "population"]);
+        assert_eq!(tags[..4], ["source", "evaluator", "cache", "population"]);
         assert_eq!(tags.iter().filter(|t| **t == "generation").count(), 6);
         assert!(!tags.contains(&"front"), "scalar jobs emit no front events");
         assert_eq!(*tags.last().unwrap(), "finished");
+    }
+
+    #[test]
+    fn cache_stats_event_reports_the_session_counters() {
+        let mut session = Session::new();
+        let job = tiny_job(DatasetKind::Adult, 6, 2);
+        let mut snapshots = Vec::new();
+        for _ in 0..2 {
+            session
+                .run_with(&job, |e| {
+                    if let JobEvent::CacheStats(s) = e {
+                        snapshots.push(*s);
+                    }
+                })
+                .unwrap();
+        }
+        assert_eq!(snapshots.len(), 2);
+        // first job: fresh miss, one preparation; second: pure hit
+        assert_eq!((snapshots[0].misses, snapshots[0].hits), (1, 0));
+        assert_eq!(snapshots[0].preparations, 1);
+        assert_eq!((snapshots[1].misses, snapshots[1].hits), (1, 1));
+        assert_eq!(snapshots[1].preparations, 1);
+        assert_eq!(snapshots[1].hit_rate(), Some(0.5));
+        assert_eq!(snapshots[1], session.stats(), "final snapshot is current");
     }
 
     #[test]
@@ -214,7 +254,7 @@ mod tests {
                 }
             })
             .unwrap();
-        assert_eq!(tags[..3], ["source", "evaluator", "population"]);
+        assert_eq!(tags[..4], ["source", "evaluator", "cache", "population"]);
         assert_eq!(tags.iter().filter(|t| **t == "front").count(), 4);
         assert!(!tags.contains(&"generation"), "nsga emits front events");
         assert_eq!(*tags.last().unwrap(), "finished");

@@ -1,0 +1,365 @@
+//! The concurrency-safe session: a shared evaluator cache many threads
+//! amortize, plus the [`SessionStats`] observability counters.
+//!
+//! [`SharedSession`] is the seam the protection server (`cdp serve`)
+//! builds on: N concurrent clients submitting jobs against the same
+//! original must trigger exactly **one** preparation of that original's
+//! measure statistics. The cache therefore coordinates at two levels:
+//!
+//! 1. a registry lock guards the list of cache slots (one per distinct
+//!    `(original, MetricConfig)` pair) — held only to *find or insert* a
+//!    slot, never while preparing;
+//! 2. a per-slot lock guards the slot's evaluator — the first arrival
+//!    prepares while holding it, racing arrivals block on the slot (not
+//!    the registry) and wake up to a cache hit.
+//!
+//! Distinct originals prepare in parallel; the same original prepares
+//! once no matter how many threads ask for it. [`Session`] (the
+//! single-threaded API every example and the bench harness use) is a thin
+//! wrapper over this type since the server refactor.
+//!
+//! [`Session`]: super::Session
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cdp_dataset::{Code, SubTable};
+use cdp_metrics::{Evaluator, MetricConfig};
+
+use super::job::ProtectionJob;
+use super::report::JobReport;
+use super::stages::{run_job, JobEvent};
+use super::Result;
+
+/// Cache observability counters of a session ([`SharedSession::stats`] /
+/// [`Session::stats`]): how much preparation work the evaluator cache
+/// amortized. Under server load, `hits / (hits + misses)` — the cache hit
+/// rate — is the headline metric.
+///
+/// [`Session::stats`]: super::Session::stats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Evaluator preparations actually performed (the expensive path:
+    /// ranks, marginals, contingency tables, PRL census, pattern index).
+    pub preparations: usize,
+    /// Requests served from an already-registered slot. A request that
+    /// arrives while the first one is still preparing counts as a hit —
+    /// it blocks on the slot instead of re-preparing.
+    pub hits: usize,
+    /// Requests that had to register a new slot (== `preparations`, minus
+    /// slots whose preparation failed and was evicted).
+    pub misses: usize,
+    /// Distinct `(original, MetricConfig)` slots currently cached.
+    pub cached: usize,
+    /// Approximate resident size of the cached preparations, in bytes:
+    /// the retained original arenas plus the per-row agreement-pattern
+    /// histograms (`n · 2^a` u32s per prepared original). A lower bound —
+    /// contingency tables and rank stats are not counted.
+    pub approx_bytes: usize,
+}
+
+impl SessionStats {
+    /// Cache hit rate in `[0, 1]`; `None` before the first request.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// One cached preparation: the original it was built for, and the
+/// evaluator — `None` while the first arrival is still preparing it.
+struct CacheSlot {
+    original: SubTable,
+    cfg: MetricConfig,
+    evaluator: Mutex<Option<Evaluator>>,
+}
+
+impl CacheSlot {
+    /// Approximate resident bytes (see [`SessionStats::approx_bytes`]).
+    fn approx_bytes(&self) -> usize {
+        let (n, a) = (self.original.n_rows(), self.original.n_attrs());
+        let arena = n * a * std::mem::size_of::<Code>();
+        let prepared = if self.evaluator.lock().is_ok_and(|g| g.is_some()) {
+            n * (1usize << a.min(24)) * std::mem::size_of::<u32>()
+        } else {
+            0
+        };
+        arena + prepared
+    }
+}
+
+/// The shared state behind every clone of one [`SharedSession`].
+#[derive(Default)]
+struct SharedCache {
+    slots: Mutex<Vec<Arc<CacheSlot>>>,
+    preparations: AtomicUsize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// A cloneable, thread-safe job execution context: the evaluator cache of
+/// [`Session`], shareable across threads.
+///
+/// Clones are shallow — every clone sees (and feeds) the same cache and
+/// the same [`SessionStats`] counters. All methods take `&self`, so one
+/// `SharedSession` can drive jobs from many worker threads concurrently;
+/// jobs against the same original trigger exactly one preparation.
+///
+/// ```
+/// use cdp::prelude::*;
+///
+/// let job = ProtectionJob::builder()
+///     .dataset(DatasetKind::German)
+///     .records(80)
+///     .iterations(5)
+///     .seed(3)
+///     .build()
+///     .unwrap();
+/// let session = SharedSession::new();
+/// std::thread::scope(|scope| {
+///     for _ in 0..2 {
+///         let session = session.clone();
+///         let job = &job;
+///         scope.spawn(move || session.run(job).unwrap());
+///     }
+/// });
+/// let stats = session.stats();
+/// assert_eq!(stats.preparations, 1); // the second job waited, then hit
+/// assert_eq!(stats.hits, 1);
+/// ```
+///
+/// [`Session`]: super::Session
+#[derive(Clone, Default)]
+pub struct SharedSession {
+    cache: Arc<SharedCache>,
+}
+
+impl SharedSession {
+    /// An empty shared session.
+    pub fn new() -> Self {
+        SharedSession::default()
+    }
+
+    /// Current cache counters. Cheap (two lock acquisitions, no
+    /// preparation work); safe to poll per request.
+    pub fn stats(&self) -> SessionStats {
+        let slots = self.cache.slots.lock().expect("cache registry lock");
+        SessionStats {
+            preparations: self.cache.preparations.load(Ordering::Relaxed),
+            hits: self.cache.hits.load(Ordering::Relaxed),
+            misses: self.cache.misses.load(Ordering::Relaxed),
+            cached: slots.len(),
+            approx_bytes: slots.iter().map(|s| s.approx_bytes()).sum(),
+        }
+    }
+
+    /// Drop every cached preparation. Counters are cumulative and survive
+    /// the clear (they describe session history, not cache contents).
+    pub fn clear(&self) {
+        self.cache
+            .slots
+            .lock()
+            .expect("cache registry lock")
+            .clear();
+    }
+
+    /// The evaluator for an original, preparing it on first sight.
+    /// Returns the evaluator and whether it came from the cache.
+    ///
+    /// Concurrent calls for the *same* `(original, cfg)` key serialize on
+    /// that key's slot: exactly one caller prepares, the rest block and
+    /// receive the cached clone (`reused = true`). Calls for distinct
+    /// keys prepare in parallel.
+    ///
+    /// # Errors
+    /// [`cdp_metrics::MetricError`] for an invalid metric configuration;
+    /// the failed slot is evicted, so a later corrected call re-prepares.
+    pub fn evaluator_for(
+        &self,
+        original: &SubTable,
+        cfg: MetricConfig,
+    ) -> Result<(Evaluator, bool)> {
+        let (slot, registered) = {
+            let mut slots = self.cache.slots.lock().expect("cache registry lock");
+            match slots
+                .iter()
+                .find(|s| s.cfg == cfg && s.original == *original)
+            {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(CacheSlot {
+                        original: original.clone(),
+                        cfg,
+                        evaluator: Mutex::new(None),
+                    });
+                    slots.push(Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if registered {
+            self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut guard = slot.evaluator.lock().expect("cache slot lock");
+        if let Some(evaluator) = guard.as_ref() {
+            return Ok((evaluator.clone(), true));
+        }
+        match Evaluator::new(&slot.original, cfg) {
+            Ok(evaluator) => {
+                self.cache.preparations.fetch_add(1, Ordering::Relaxed);
+                *guard = Some(evaluator.clone());
+                // a racing caller that found the slot mid-preparation
+                // still reused the preparation — only the registrant paid
+                Ok((evaluator, !registered))
+            }
+            Err(e) => {
+                drop(guard);
+                // failed preparations must not poison the cache
+                let mut slots = self.cache.slots.lock().expect("cache registry lock");
+                if let Some(i) = slots.iter().position(|s| Arc::ptr_eq(s, &slot)) {
+                    slots.remove(i);
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Execute a job.
+    ///
+    /// # Errors
+    /// Any [`super::PipelineError`] raised by a stage.
+    pub fn run(&self, job: &ProtectionJob) -> Result<JobReport> {
+        self.run_with(job, |_| {})
+    }
+
+    /// Execute a job, streaming [`JobEvent`]s to `observer`.
+    ///
+    /// # Errors
+    /// Any [`super::PipelineError`] raised by a stage.
+    pub fn run_with<F: FnMut(&JobEvent)>(
+        &self,
+        job: &ProtectionJob,
+        mut observer: F,
+    ) -> Result<JobReport> {
+        run_job(self, job, &mut observer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::DatasetKind;
+
+    fn tiny_job(kind: DatasetKind, seed: u64, iterations: usize) -> ProtectionJob {
+        ProtectionJob::builder()
+            .dataset(kind)
+            .records(60)
+            .iterations(iterations)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn concurrent_jobs_on_one_original_prepare_once() {
+        let session = SharedSession::new();
+        let job = tiny_job(DatasetKind::Adult, 7, 3);
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let session = session.clone();
+                let (job, barrier) = (&job, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    session.run(job).unwrap();
+                });
+            }
+        });
+        let stats = session.stats();
+        assert_eq!(stats.preparations, 1, "one hot original, one preparation");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.cached, 1);
+        assert_eq!(stats.hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn concurrent_distinct_originals_prepare_independently() {
+        let session = SharedSession::new();
+        let kinds = [DatasetKind::Adult, DatasetKind::German, DatasetKind::Flare];
+        std::thread::scope(|scope| {
+            for kind in kinds {
+                let session = session.clone();
+                scope.spawn(move || session.run(&tiny_job(kind, 5, 2)).unwrap());
+            }
+        });
+        let stats = session.stats();
+        assert_eq!(stats.preparations, 3);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.cached, 3);
+    }
+
+    #[test]
+    fn shared_run_matches_owned_session_bit_for_bit() {
+        let job = tiny_job(DatasetKind::German, 11, 6);
+        let shared = SharedSession::new().run(&job).unwrap();
+        let owned = super::super::Session::new().run(&job).unwrap();
+        assert_eq!(shared.best.assessment, owned.best.assessment);
+        assert_eq!(shared.best.name, owned.best.name);
+        assert_eq!(shared.best.data, owned.best.data);
+        assert_eq!(shared.points.len(), owned.points.len());
+        for (a, b) in shared.points.iter().zip(&owned.points) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn clear_drops_slots_but_keeps_history() {
+        let session = SharedSession::new();
+        let job = tiny_job(DatasetKind::Flare, 3, 2);
+        session.run(&job).unwrap();
+        assert_eq!(session.stats().cached, 1);
+        session.clear();
+        let stats = session.stats();
+        assert_eq!(stats.cached, 0);
+        assert_eq!(stats.approx_bytes, 0);
+        assert_eq!(stats.preparations, 1, "history survives the clear");
+        session.run(&job).unwrap();
+        assert_eq!(session.stats().preparations, 2);
+    }
+
+    #[test]
+    fn failed_preparation_is_evicted_not_cached() {
+        let session = SharedSession::new();
+        let ds = DatasetKind::Adult
+            .generate(&cdp_dataset::generators::GeneratorConfig::seeded(1).with_records(30));
+        let original = ds.protected_subtable();
+        let bad = MetricConfig {
+            prl_em_iters: 0, // rejected by the evaluator
+            ..MetricConfig::default()
+        };
+        if session.evaluator_for(&original, bad).is_err() {
+            let stats = session.stats();
+            assert_eq!(stats.cached, 0, "failed slot must be evicted");
+            assert_eq!(stats.preparations, 0);
+        }
+        // a corrected call on the same original works
+        let (_, reused) = session
+            .evaluator_for(&original, MetricConfig::default())
+            .unwrap();
+        assert!(!reused);
+        assert_eq!(session.stats().cached, 1);
+    }
+
+    #[test]
+    fn stats_report_nonzero_footprint() {
+        let session = SharedSession::new();
+        session.run(&tiny_job(DatasetKind::Adult, 2, 0)).unwrap();
+        let stats = session.stats();
+        assert!(stats.approx_bytes > 0);
+        assert!(stats.hit_rate().is_some());
+    }
+}

@@ -7,15 +7,15 @@ use cdp_privacy::PrivacyReport;
 
 use super::job::{AuditSpec, OptimizerMode, ProtectionJob, SourceData};
 use super::report::{BestProtection, Front, JobOutcome, JobReport};
-use super::session::Session;
+use super::shared::{SessionStats, SharedSession};
 use super::{PipelineError, Result};
 
 /// Progress events emitted while a job executes.
 ///
 /// One stream serves every consumer — CLI progress lines, bench telemetry,
-/// future server push channels — instead of each re-wiring
+/// the `cdp serve` push channel — instead of each re-wiring
 /// [`Evolution::run_with`] by hand.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum JobEvent {
     /// The data source resolved into a concrete table.
     SourceReady {
@@ -32,6 +32,10 @@ pub enum JobEvent {
         /// re-computing the original-side statistics.
         reused: bool,
     },
+    /// Snapshot of the session's cache counters, taken right after the
+    /// evaluator stage resolved (so `hits + misses` already includes this
+    /// job's request).
+    CacheStats(SessionStats),
     /// The initial population of protections is masked and ready.
     PopulationReady {
         /// Number of protections entering the run.
@@ -64,7 +68,7 @@ pub enum JobEvent {
 }
 
 pub(crate) fn run_job<F: FnMut(&JobEvent)>(
-    session: &mut Session,
+    session: &SharedSession,
     job: &ProtectionJob,
     observer: &mut F,
 ) -> Result<JobReport> {
@@ -78,6 +82,7 @@ pub(crate) fn run_job<F: FnMut(&JobEvent)>(
 
     let (evaluator, reused) = session.evaluator_for(&original, job.metrics)?;
     observer(&JobEvent::EvaluatorReady { reused });
+    observer(&JobEvent::CacheStats(session.stats()));
 
     let population = job.seed_population(&src)?;
     observer(&JobEvent::PopulationReady {

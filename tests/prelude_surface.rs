@@ -11,8 +11,8 @@ use cdp::prelude::{
     DrBreakdown, EvalCounts, EvoConfig, Evolution, EvolutionOutcome, Front, GeneratorConfig,
     Hierarchy, IlBreakdown, Individual, JobEvent, JobOutcome, JobReport, MetricConfig,
     OptimizerMode, PipelineError, Population, PopulationSpec, ProtectionJob, ProtectionMethod,
-    Recoder, ReplacementPolicy, Schema, ScoreAggregator, SelectionWeighting, Session,
-    StopCondition, SubTable, SuiteConfig, SuiteKind, Table,
+    Recoder, ReplacementPolicy, Schema, ScoreAggregator, SelectionWeighting, Session, SessionStats,
+    SharedSession, StopCondition, SubTable, SuiteConfig, SuiteKind, Table,
 };
 use cdp::prelude::{Assessment, CostKind, Evaluator, LatticeSearch, PrivacyReport};
 
@@ -70,6 +70,16 @@ fn pipeline_types_are_usable_from_the_prelude() {
     assert_eq!(session.preparations(), 1, "modes share the evaluator cache");
     let front: &Front = nsga_report.front().expect("front");
     assert!(!front.members.is_empty());
+
+    // the concurrency-safe surface: SharedSession shares the same cache,
+    // SessionStats reports it (both on the prelude since `cdp serve`)
+    let shared: SharedSession = session.shared();
+    let stats: SessionStats = shared.stats();
+    assert_eq!(stats.preparations, 1);
+    assert_eq!(stats, session.stats());
+    let rerun = shared.run(&job).expect("shared rerun");
+    assert!(rerun.evaluator_reused, "clone sees the session cache");
+    assert!(shared.stats().hit_rate().expect("requests seen") > 0.0);
 
     let err: PipelineError = ProtectionJob::builder().build().unwrap_err();
     assert!(err.to_string().contains("invalid job"));
