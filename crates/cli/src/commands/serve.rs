@@ -46,7 +46,9 @@ Line-delimited protocol (UTF-8, one request per line):
                          <winner IL/DR breakdown, eval counts, cache_hit>`
                          or `ERR <message>` line
   STATS                  one `STATS <preparations/hits/misses/cached/
-                         approx_bytes>` line for the shared cache
+                         approx_bytes>` line for the shared cache, plus
+                         one `entry=rows:attrs:hits:bytes:prepared` field
+                         of per-slot detail per cached original
   SHUTDOWN               acknowledge with `OK bye` and stop the server
 
 Jobs served over the wire are bit-identical to `Session::run` on the same
@@ -93,9 +95,11 @@ fn default_workers() -> usize {
         .clamp(2, 8)
 }
 
-/// The human-readable cache summary printed at shutdown and by `--once`.
+/// The human-readable cache summary printed at shutdown and by `--once`:
+/// the headline counters, then one line of per-slot detail per cached
+/// entry ([`cdp::pipeline::CacheEntryStats`]).
 fn stats_headline(stats: &SessionStats) -> String {
-    format!(
+    let mut out = format!(
         "cache hit rate {} (preparations={}, hits={}, misses={}, cached={}, ~{} KiB resident)",
         match stats.hit_rate() {
             Some(rate) => format!("{:.0}%", rate * 100.0),
@@ -106,7 +110,18 @@ fn stats_headline(stats: &SessionStats) -> String {
         stats.misses,
         stats.cached,
         stats.approx_bytes / 1024,
-    )
+    );
+    for (i, e) in stats.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "\n  slot {i}: {} rows x {} attrs, hits={}, ~{} KiB{}",
+            e.rows,
+            e.attrs,
+            e.hits,
+            e.approx_bytes / 1024,
+            if e.prepared { "" } else { " (preparing)" },
+        ));
+    }
+    out
 }
 
 /// Accept-and-serve loop: `workers` threads block on `accept` and each
@@ -298,7 +313,7 @@ fn run_once(addr: &str, spec_text: Option<&str>) -> Result<()> {
     let fail = |msg: String| CliError::Server(format!("smoke failed: {msg}"));
     let dones: Vec<DoneSummary> = replies.iter().map(|r| done_of(r)).collect::<Result<_>>()?;
     let stats = match stats.as_slice() {
-        [Response::Stats(stats)] => *stats,
+        [Response::Stats(stats)] => stats.clone(),
         other => return Err(fail(format!("unexpected STATS reply: {other:?}"))),
     };
     if stats.preparations != 1 {
@@ -377,6 +392,11 @@ mod tests {
                 [Response::Stats(s)] => {
                     assert_eq!((s.preparations, s.hits, s.misses), (1, 1, 1));
                     assert_eq!(s.hit_rate(), Some(0.5));
+                    // per-slot detail crosses the wire too
+                    assert_eq!(s.entries.len(), 1);
+                    assert_eq!(s.entries[0].hits, 1);
+                    assert_eq!(s.entries[0].rows, 60);
+                    assert!(s.entries[0].prepared);
                 }
                 other => panic!("unexpected STATS reply: {other:?}"),
             }

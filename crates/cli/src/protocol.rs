@@ -16,7 +16,7 @@
 //! (protection names, error messages) is percent-escaped so spaces and
 //! newlines cannot break the framing.
 
-use cdp::pipeline::{JobEvent, JobReport, SessionStats};
+use cdp::pipeline::{CacheEntryStats, JobEvent, JobReport, SessionStats};
 use cdp_core::OperatorKind;
 
 use crate::error::{CliError, Result};
@@ -308,13 +308,44 @@ impl<'a> Fields<'a> {
         raw.parse()
             .map_err(|_| CliError::Usage(format!("protocol field {key}: cannot parse `{raw}`")))
     }
+
+    /// Every value of a repeated key, in line order (`entry=` fields).
+    fn all(&self, key: &str) -> Vec<&'a str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .collect()
+    }
 }
 
 fn encode_stats(s: &SessionStats) -> String {
-    format!(
+    let mut out = format!(
         "preparations={} hits={} misses={} cached={} approx_bytes={}",
         s.preparations, s.hits, s.misses, s.cached, s.approx_bytes
-    )
+    );
+    for e in &s.entries {
+        out.push_str(&format!(
+            " entry={}:{}:{}:{}:{}",
+            e.rows, e.attrs, e.hits, e.approx_bytes, e.prepared
+        ));
+    }
+    out
+}
+
+fn decode_entry(raw: &str) -> Result<CacheEntryStats> {
+    let bad = || CliError::Usage(format!("protocol field entry: cannot parse `{raw}`"));
+    let parts: Vec<&str> = raw.split(':').collect();
+    let [rows, attrs, hits, approx_bytes, prepared] = parts.as_slice() else {
+        return Err(bad());
+    };
+    Ok(CacheEntryStats {
+        rows: rows.parse().map_err(|_| bad())?,
+        attrs: attrs.parse().map_err(|_| bad())?,
+        hits: hits.parse().map_err(|_| bad())?,
+        approx_bytes: approx_bytes.parse().map_err(|_| bad())?,
+        prepared: prepared.parse().map_err(|_| bad())?,
+    })
 }
 
 fn decode_stats(f: &Fields<'_>) -> Result<SessionStats> {
@@ -324,6 +355,43 @@ fn decode_stats(f: &Fields<'_>) -> Result<SessionStats> {
         misses: f.num("misses")?,
         cached: f.num("cached")?,
         approx_bytes: f.num("approx_bytes")?,
+        entries: f
+            .all("entry")
+            .into_iter()
+            .map(decode_entry)
+            .collect::<Result<_>>()?,
+    })
+}
+
+fn encode_generation_stats(g: &cdp_core::GenerationStats) -> String {
+    format!(
+        "iteration={} min={} mean={} max={} operator={} accepted={}",
+        g.iteration,
+        g.min,
+        g.mean,
+        g.max,
+        g.operator.map_or("none", OperatorKind::name),
+        g.accepted,
+    )
+}
+
+fn decode_generation_stats(f: &Fields<'_>) -> Result<cdp_core::GenerationStats> {
+    Ok(cdp_core::GenerationStats {
+        iteration: f.num("iteration")?,
+        min: f.num("min")?,
+        mean: f.num("mean")?,
+        max: f.num("max")?,
+        operator: match f.require("operator")? {
+            "none" => None,
+            "mutation" => Some(OperatorKind::Mutation),
+            "crossover" => Some(OperatorKind::Crossover),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "protocol field operator: unknown value `{other}`"
+                )))
+            }
+        },
+        accepted: f.num("accepted")?,
     })
 }
 
@@ -339,15 +407,7 @@ pub fn encode_event(event: &JobEvent) -> String {
         JobEvent::EvaluatorReady { reused } => format!("evaluator reused={reused}"),
         JobEvent::CacheStats(stats) => format!("cache {}", encode_stats(stats)),
         JobEvent::PopulationReady { size } => format!("population size={size}"),
-        JobEvent::Generation(g) => format!(
-            "generation iteration={} min={} mean={} max={} operator={} accepted={}",
-            g.iteration,
-            g.min,
-            g.mean,
-            g.max,
-            g.operator.map_or("none", OperatorKind::name),
-            g.accepted,
-        ),
+        JobEvent::Generation(g) => format!("generation {}", encode_generation_stats(g)),
         JobEvent::FrontAdvanced {
             generation,
             front_size,
@@ -355,6 +415,24 @@ pub fn encode_event(event: &JobEvent) -> String {
         } => format!(
             "front generation={generation} front_size={front_size} hypervolume={hypervolume}"
         ),
+        JobEvent::IslandGeneration { island, stats } => format!(
+            "island_generation island={island} {}",
+            encode_generation_stats(stats)
+        ),
+        JobEvent::IslandFront {
+            island,
+            generation,
+            front_size,
+            hypervolume,
+        } => format!(
+            "island_front island={island} generation={generation} \
+             front_size={front_size} hypervolume={hypervolume}"
+        ),
+        JobEvent::Migration {
+            generation,
+            island,
+            emigrants,
+        } => format!("migration generation={generation} island={island} emigrants={emigrants}"),
         JobEvent::EvolutionFinished {
             iterations,
             evaluations,
@@ -389,27 +467,26 @@ pub fn decode_event(rest: &str) -> Result<JobEvent> {
         "population" => Ok(JobEvent::PopulationReady {
             size: f.num("size")?,
         }),
-        "generation" => Ok(JobEvent::Generation(cdp_core::GenerationStats {
-            iteration: f.num("iteration")?,
-            min: f.num("min")?,
-            mean: f.num("mean")?,
-            max: f.num("max")?,
-            operator: match f.require("operator")? {
-                "none" => None,
-                "mutation" => Some(OperatorKind::Mutation),
-                "crossover" => Some(OperatorKind::Crossover),
-                other => {
-                    return Err(CliError::Usage(format!(
-                        "protocol field operator: unknown value `{other}`"
-                    )))
-                }
-            },
-            accepted: f.num("accepted")?,
-        })),
+        "generation" => Ok(JobEvent::Generation(decode_generation_stats(&f)?)),
         "front" => Ok(JobEvent::FrontAdvanced {
             generation: f.num("generation")?,
             front_size: f.num("front_size")?,
             hypervolume: f.num("hypervolume")?,
+        }),
+        "island_generation" => Ok(JobEvent::IslandGeneration {
+            island: f.num("island")?,
+            stats: decode_generation_stats(&f)?,
+        }),
+        "island_front" => Ok(JobEvent::IslandFront {
+            island: f.num("island")?,
+            generation: f.num("generation")?,
+            front_size: f.num("front_size")?,
+            hypervolume: f.num("hypervolume")?,
+        }),
+        "migration" => Ok(JobEvent::Migration {
+            generation: f.num("generation")?,
+            island: f.num("island")?,
+            emigrants: f.num("emigrants")?,
         }),
         "finished" => Ok(JobEvent::EvolutionFinished {
             iterations: f.num("iterations")?,
@@ -483,6 +560,13 @@ mod tests {
                 misses: 1,
                 cached: 1,
                 approx_bytes: 32_768,
+                entries: vec![CacheEntryStats {
+                    rows: 1000,
+                    attrs: 3,
+                    hits: 3,
+                    approx_bytes: 32_768,
+                    prepared: true,
+                }],
             }),
             JobEvent::PopulationReady { size: 110 },
             JobEvent::Generation(GenerationStats {
@@ -505,6 +589,28 @@ mod tests {
                 generation: 3,
                 front_size: 9,
                 hypervolume: 9123.0625,
+            },
+            JobEvent::IslandGeneration {
+                island: 3,
+                stats: GenerationStats {
+                    iteration: 42,
+                    min: 11.5,
+                    mean: 23.75,
+                    max: 88.0625,
+                    operator: Some(OperatorKind::Mutation),
+                    accepted: false,
+                },
+            },
+            JobEvent::IslandFront {
+                island: 1,
+                generation: 7,
+                front_size: 5,
+                hypervolume: 8127.5,
+            },
+            JobEvent::Migration {
+                generation: 10,
+                island: 2,
+                emigrants: 2,
             },
             JobEvent::EvolutionFinished {
                 iterations: 250,
@@ -555,12 +661,38 @@ mod tests {
 
     #[test]
     fn stats_round_trip() {
+        // without per-entry detail …
         roundtrip_response(&Response::Stats(SessionStats {
             preparations: 2,
             hits: 40,
             misses: 2,
             cached: 2,
             approx_bytes: 1 << 20,
+            entries: Vec::new(),
+        }));
+        // … and with: repeated `entry=` fields, order-preserving
+        roundtrip_response(&Response::Stats(SessionStats {
+            preparations: 2,
+            hits: 40,
+            misses: 2,
+            cached: 2,
+            approx_bytes: 1 << 20,
+            entries: vec![
+                CacheEntryStats {
+                    rows: 1000,
+                    attrs: 3,
+                    hits: 39,
+                    approx_bytes: 1 << 19,
+                    prepared: true,
+                },
+                CacheEntryStats {
+                    rows: 500,
+                    attrs: 4,
+                    hits: 1,
+                    approx_bytes: 1 << 19,
+                    prepared: false,
+                },
+            ],
         }));
     }
 
@@ -573,7 +705,10 @@ mod tests {
             "EVENT source rows=1 attrs=2",        // protected missing
             "EVENT generation iteration=1 min=a", // bad float
             "EVENT generation iteration=1 operator=warp", // unknown operator
-            "DONE name=x",                        // breakdown missing
+            "EVENT migration generation=1 island=0", // emigrants missing
+            "EVENT island_front island=0 generation=1", // front fields missing
+            "STATS preparations=1 hits=0 misses=1 cached=1 approx_bytes=8 entry=1:2:3", // short entry
+            "DONE name=x", // breakdown missing
         ] {
             assert!(Response::parse(line).is_err(), "`{line}` must be rejected");
         }

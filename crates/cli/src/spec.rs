@@ -37,6 +37,11 @@ pub const JOB_GRAMMAR: &str = "\
                                          blocked: distinct-pattern index
                                          scans, identical credits to the
                                          all-pairs reference)
+  islands=<k>                            island-model parallel run with k
+                                         islands (default 1 = the legacy
+                                         single-population streams)
+  mig=<n>                                generations between migration
+                                         epochs when islands>1 (default 10)
   -- scalar mode only --
   fitness=<mean|max>                     scalar aggregator
   iters=<n>                              evolution budget (0 = mask only)
@@ -165,6 +170,11 @@ pub struct JobSpec {
     /// DBRL/RSRL scan backend (`link=` key; defaults to
     /// [`LinkageMode::Blocked`]).
     pub link: LinkageMode,
+    /// Island count (`islands=` key; default 1 = the legacy
+    /// single-population run). Shared between the two modes.
+    pub islands: usize,
+    /// Migration interval in generations (`mig=` key; default 10).
+    pub mig: usize,
 }
 
 impl Default for JobSpec {
@@ -187,6 +197,8 @@ impl Default for JobSpec {
             audit: false,
             inc: IncMode::default_for(SpecMode::Scalar),
             link: LinkageMode::default(),
+            islands: 1,
+            mig: cdp_core::IslandConfig::default().migration_interval,
         }
     }
 }
@@ -279,6 +291,16 @@ impl JobSpec {
                 "link" => {
                     spec.link = parse_link(value)?;
                 }
+                "islands" => {
+                    spec.islands = value
+                        .parse()
+                        .map_err(|_| bad(format!("islands: bad count `{value}`")))?;
+                }
+                "mig" => {
+                    spec.mig = value
+                        .parse()
+                        .map_err(|_| bad(format!("mig: bad interval `{value}`")))?;
+                }
                 other => return Err(bad(format!("unknown key `{other}`"))),
             }
         }
@@ -356,6 +378,12 @@ impl JobSpec {
         if self.link != LinkageMode::default() {
             out.push_str(&format!(" link={}", link_name(self.link)));
         }
+        if self.islands != defaults.islands {
+            out.push_str(&format!(" islands={}", self.islands));
+        }
+        if self.mig != defaults.mig {
+            out.push_str(&format!(" mig={}", self.mig));
+        }
         if self.audit {
             out.push_str(" audit=true");
         }
@@ -371,7 +399,9 @@ impl JobSpec {
             .dataset(self.dataset)
             .suite_kind(self.suite)
             .seed(self.seed)
-            .linkage(self.link);
+            .linkage(self.link)
+            .islands(self.islands)
+            .migration_interval(self.mig);
         builder = match self.mode {
             SpecMode::Scalar => builder
                 .aggregator(self.fitness)
@@ -456,13 +486,19 @@ impl JobSpec {
         };
         match job.optimizer() {
             OptimizerMode::Scalar(evo) => {
-                // the grammar carries fitness/iters/drop/seed/inc; every
-                // other evolution knob must sit at its default
+                // the grammar carries fitness/iters/drop/seed/inc plus the
+                // islands/mig pair; every other evolution knob must sit at
+                // its default
                 let mut expected = cdp_core::EvoConfig {
                     aggregator: evo.aggregator,
                     seed: job.seed(),
                     incremental_mutation: evo.incremental_mutation,
                     incremental_crossover: evo.incremental_crossover,
+                    islands: cdp_core::IslandConfig {
+                        count: evo.islands.count,
+                        migration_interval: evo.islands.migration_interval,
+                        ..cdp_core::IslandConfig::default()
+                    },
                     ..cdp_core::EvoConfig::default()
                 };
                 expected.stop.max_iterations = job.iterations().max(1);
@@ -473,6 +509,8 @@ impl JobSpec {
                 spec.fitness = evo.aggregator;
                 spec.iters = job.iterations();
                 spec.drop = job.drop_fraction();
+                spec.islands = evo.islands.count;
+                spec.mig = evo.islands.migration_interval;
                 spec.inc = match (evo.incremental_mutation, evo.incremental_crossover) {
                     (false, false) => IncMode::Off,
                     (true, false) => IncMode::Mutation,
@@ -487,10 +525,20 @@ impl JobSpec {
                 if cfg.incremental_refresh != NsgaConfig::default().incremental_refresh {
                     return Err(unrepresentable("an incremental_refresh override"));
                 }
+                let expected_islands = cdp_core::IslandConfig {
+                    count: cfg.islands.count,
+                    migration_interval: cfg.islands.migration_interval,
+                    ..cdp_core::IslandConfig::default()
+                };
+                if cfg.islands != expected_islands {
+                    return Err(unrepresentable("a migration_size/topology override"));
+                }
                 spec.mode = SpecMode::Nsga;
                 spec.gens = cfg.generations;
                 spec.offspring = cfg.offspring;
                 spec.xprob = cfg.crossover_prob;
+                spec.islands = cfg.islands.count;
+                spec.mig = cfg.islands.migration_interval;
                 spec.inc = if cfg.incremental {
                     IncMode::Crossover
                 } else {
@@ -712,6 +760,10 @@ mod tests {
             "dataset=adult suite=small fitness=max iters=100 seed=10 link=pairs",
             "dataset=german suite=small mode=nsga gens=15 seed=11 link=pairs",
             "dataset=flare suite=paper fitness=mean iters=50 seed=12 link=blocked",
+            "dataset=adult suite=small fitness=max iters=200 seed=13 islands=4",
+            "dataset=german suite=small fitness=mean iters=120 seed=14 islands=2 mig=5",
+            "dataset=housing suite=small mode=nsga gens=20 seed=15 islands=3",
+            "dataset=flare suite=paper mode=nsga gens=30 seed=16 islands=2 mig=4 audit=true",
         ] {
             let spec = JobSpec::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
             let job = spec.to_job().unwrap_or_else(|e| panic!("{text}: {e}"));
@@ -823,6 +875,9 @@ mod tests {
             "dataset=adult mode=nsga xprob=2", // builder rejects the probability
             "dataset=adult inc=fast",          // unknown inc value
             "dataset=adult link=sorted",       // unknown link value
+            "dataset=adult islands=many",      // bad count
+            "dataset=adult islands=0",         // builder rejects 0 islands
+            "dataset=adult mig=0",             // builder rejects 0 interval
         ] {
             let result = JobSpec::parse(text).and_then(|s| s.to_job().map(|_| ()));
             assert!(result.is_err(), "`{text}` should be rejected");
@@ -851,6 +906,8 @@ mod tests {
             audit in proptest::prelude::any::<bool>(),
             inc_i in 0usize..4,
             pairs_link in proptest::prelude::any::<bool>(),
+            islands in 1usize..=8,
+            mig in 1usize..=50,
         ) {
             let mut spec = JobSpec {
                 dataset: [
@@ -864,6 +921,8 @@ mod tests {
                 seed,
                 audit,
                 link: if pairs_link { LinkageMode::Pairs } else { LinkageMode::Blocked },
+                islands,
+                mig,
                 ..JobSpec::default()
             };
             if nsga_mode {

@@ -96,7 +96,7 @@ fn concurrent_clients_share_one_preparation_and_match_in_process() {
 
     // exactly one preparation was paid between the two of them
     let stats = match request(server.addr, &Request::Stats).unwrap().as_slice() {
-        [Response::Stats(stats)] => *stats,
+        [Response::Stats(stats)] => stats.clone(),
         other => panic!("unexpected STATS reply: {other:?}"),
     };
     assert_eq!(stats.preparations, 1, "one hot original, one preparation");

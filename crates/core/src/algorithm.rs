@@ -117,6 +117,33 @@ impl Evolution {
         Ok(self)
     }
 
+    /// Size of the loaded population (0 before loading).
+    pub(crate) fn population_len(&self) -> usize {
+        self.population.as_ref().map_or(0, Population::len)
+    }
+
+    /// Disassemble for the island scheduler: evaluator, config, the
+    /// loaded population (if any), and the initial-evaluation count.
+    pub(crate) fn into_parts(self) -> (Evaluator, EvoConfig, Option<Population>, usize) {
+        (
+            self.evaluator,
+            self.config,
+            self.population,
+            self.initial_evaluations,
+        )
+    }
+
+    /// Bind an already-evaluated population. The island scheduler
+    /// evaluates the full initial population once, partitions the
+    /// resulting members, and hands each island its share through here;
+    /// `initial_evaluations` is the number of full assessments attributed
+    /// to these members in the outcome's [`EvalCounts`].
+    pub(crate) fn with_population(mut self, pop: Population, initial_evaluations: usize) -> Self {
+        self.population = Some(pop);
+        self.initial_evaluations = initial_evaluations;
+        self
+    }
+
     /// Run Algorithm 1 to completion.
     ///
     /// # Panics
@@ -127,66 +154,13 @@ impl Evolution {
 
     /// Run with a per-iteration observer (receives the trace entry just
     /// recorded; useful for progress reporting in long experiments).
-    pub fn run_with<F>(mut self, mut observer: F) -> EvolutionOutcome
+    pub fn run_with<F>(self, mut observer: F) -> EvolutionOutcome
     where
         F: FnMut(&crate::telemetry::GenerationStats),
     {
-        let mut pop = self
-            .population
-            .take()
-            .expect("population must be loaded before run()");
-        let cfg = self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE70_A160);
-        let mut trace = Trace::default();
-        let initial = pop.scatter();
-        let mut archive = ParetoArchive::new();
-        for point in &initial {
-            archive.offer(point.clone());
-        }
-        trace.record(0, pop.scores(), None, false);
-
-        let mut best = pop.best().score();
-        let mut since_improvement = 0usize;
-        let mut t = 0usize;
-        let mut op_stats = OperatorStats::new(cfg.operator_schedule, cfg.mutation_rate);
-        let mut ctx = StepCtx::new();
-        while !cfg.stop.should_stop(t, since_improvement) {
-            let (op, accepted) = if rng.gen::<f64>() < op_stats.mutation_rate() {
-                (
-                    OperatorKind::Mutation,
-                    self.mutation_step(&mut pop, &mut archive, &mut rng, &mut ctx),
-                )
-            } else {
-                (
-                    OperatorKind::Crossover,
-                    self.crossover_step(&mut pop, &mut archive, &mut rng, &mut ctx),
-                )
-            };
-            op_stats.record(op, accepted);
-            t += 1;
-            let new_best = pop.best().score();
-            if new_best + 1e-12 < best {
-                best = new_best;
-                since_improvement = 0;
-            } else {
-                since_improvement += 1;
-            }
-            trace.record(t, pop.scores(), Some(op), accepted);
-            observer(trace.last().expect("just recorded"));
-        }
-
-        let mut eval_counts = ctx.evals;
-        eval_counts.full += self.initial_evaluations;
-        EvolutionOutcome {
-            initial,
-            final_points: pop.scatter(),
-            trace,
-            iterations_run: t,
-            pareto_front: archive.front(),
-            final_mutation_rate: op_stats.mutation_rate(),
-            eval_counts,
-            population: pop,
-        }
+        let mut runner = EvolutionRunner::start(self);
+        while runner.step(&mut observer) {}
+        runner.finish()
     }
 
     /// One mutation generation: proportional selection, single-cell
@@ -399,6 +373,177 @@ impl Evolution {
             true
         } else {
             false
+        }
+    }
+}
+
+/// The resumable state of a running Algorithm 1 loop: everything the
+/// one-shot [`Evolution::run_with`] used to keep in local variables,
+/// factored out so the island scheduler ([`crate::islands`]) can advance a
+/// run in bounded chunks, exchange members at migration barriers, and
+/// finish it later. `start` + `while step()` + `finish` replays the exact
+/// RNG stream of the historical one-shot loop — the engine's bit-exactness
+/// tests pin this.
+pub(crate) struct EvolutionRunner {
+    evolution: Evolution,
+    pop: Population,
+    rng: StdRng,
+    trace: Trace,
+    initial: Vec<ScatterPoint>,
+    archive: ParetoArchive,
+    best: f64,
+    since_improvement: usize,
+    t: usize,
+    op_stats: OperatorStats,
+    ctx: StepCtx,
+}
+
+impl EvolutionRunner {
+    /// Snapshot the initial population and seed the loop state.
+    ///
+    /// # Panics
+    /// Panics when no population was loaded (builder misuse).
+    pub(crate) fn start(mut evolution: Evolution) -> EvolutionRunner {
+        let pop = evolution
+            .population
+            .take()
+            .expect("population must be loaded before run()");
+        let cfg = evolution.config;
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0xE70_A160);
+        let mut trace = Trace::default();
+        let initial = pop.scatter();
+        let mut archive = ParetoArchive::new();
+        for point in &initial {
+            archive.offer(point.clone());
+        }
+        trace.record(0, pop.scores(), None, false);
+        let best = pop.best().score();
+        let op_stats = OperatorStats::new(cfg.operator_schedule, cfg.mutation_rate);
+        EvolutionRunner {
+            evolution,
+            pop,
+            rng,
+            trace,
+            initial,
+            archive,
+            best,
+            since_improvement: 0,
+            t: 0,
+            op_stats,
+            ctx: StepCtx::new(),
+        }
+    }
+
+    /// Whether the stop condition already holds.
+    pub(crate) fn finished(&self) -> bool {
+        self.evolution
+            .config
+            .stop
+            .should_stop(self.t, self.since_improvement)
+    }
+
+    /// Execute one iteration unless the stop condition holds; returns
+    /// whether an iteration ran.
+    pub(crate) fn step<F>(&mut self, observer: &mut F) -> bool
+    where
+        F: FnMut(&crate::telemetry::GenerationStats),
+    {
+        if self.finished() {
+            return false;
+        }
+        let (op, accepted) = if self.rng.gen::<f64>() < self.op_stats.mutation_rate() {
+            (
+                OperatorKind::Mutation,
+                self.evolution.mutation_step(
+                    &mut self.pop,
+                    &mut self.archive,
+                    &mut self.rng,
+                    &mut self.ctx,
+                ),
+            )
+        } else {
+            (
+                OperatorKind::Crossover,
+                self.evolution.crossover_step(
+                    &mut self.pop,
+                    &mut self.archive,
+                    &mut self.rng,
+                    &mut self.ctx,
+                ),
+            )
+        };
+        self.op_stats.record(op, accepted);
+        self.t += 1;
+        let new_best = self.pop.best().score();
+        if new_best + 1e-12 < self.best {
+            self.best = new_best;
+            self.since_improvement = 0;
+        } else {
+            self.since_improvement += 1;
+        }
+        self.trace
+            .record(self.t, self.pop.scores(), Some(op), accepted);
+        observer(self.trace.last().expect("just recorded"));
+        true
+    }
+
+    /// Run at most `max` iterations; returns how many actually ran (fewer
+    /// only when the stop condition interrupts the chunk).
+    pub(crate) fn run_chunk<F>(&mut self, max: usize, observer: &mut F) -> usize
+    where
+        F: FnMut(&crate::telemetry::GenerationStats),
+    {
+        let mut ran = 0;
+        while ran < max && self.step(observer) {
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Iterations executed so far.
+    pub(crate) fn iterations_run(&self) -> usize {
+        self.t
+    }
+
+    /// Clones of the `count` best members (the population is score-sorted,
+    /// ties by insertion order — deterministic).
+    pub(crate) fn export_best(&self, count: usize) -> Vec<Individual> {
+        (0..count.min(self.pop.len()))
+            .map(|i| self.pop.get(i).clone())
+            .collect()
+    }
+
+    /// Replace the worst members with `immigrants` (at most `len - 1`, so
+    /// at least one native always survives), then resort. An immigrant
+    /// that beats the island's best resets the stagnation counter exactly
+    /// like a native improvement would.
+    pub(crate) fn migrate_in(&mut self, immigrants: Vec<Individual>) {
+        let n = self.pop.len();
+        let take = immigrants.len().min(n.saturating_sub(1));
+        for (j, immigrant) in immigrants.into_iter().take(take).enumerate() {
+            self.pop.replace_unsorted(n - 1 - j, immigrant);
+        }
+        self.pop.resort();
+        let new_best = self.pop.best().score();
+        if new_best + 1e-12 < self.best {
+            self.best = new_best;
+            self.since_improvement = 0;
+        }
+    }
+
+    /// Assemble the outcome; identical to what the one-shot loop returned.
+    pub(crate) fn finish(self) -> EvolutionOutcome {
+        let mut eval_counts = self.ctx.evals;
+        eval_counts.full += self.evolution.initial_evaluations;
+        EvolutionOutcome {
+            initial: self.initial,
+            final_points: self.pop.scatter(),
+            trace: self.trace,
+            iterations_run: self.t,
+            pareto_front: self.archive.front(),
+            final_mutation_rate: self.op_stats.mutation_rate(),
+            eval_counts,
+            population: self.pop,
         }
     }
 }

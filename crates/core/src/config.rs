@@ -8,6 +8,63 @@ use crate::selection::SelectionWeighting;
 use crate::stop::StopCondition;
 use crate::{EvoError, Result};
 
+/// Migration topology of an island-model run (see [`crate::islands`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Directed ring: island `k` exports to island `(k + 1) mod K`.
+    #[default]
+    Ring,
+}
+
+/// Island-model knobs shared by both optimizers: how many islands a run
+/// splits into and how they exchange members (see [`crate::islands`] for
+/// the scheduler and its determinism contract). The default (`count` = 1)
+/// is the legacy single-population run, bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IslandConfig {
+    /// Number of islands `K`; `1` disables the island machinery entirely.
+    pub count: usize,
+    /// Generations between migration barriers `M`.
+    pub migration_interval: usize,
+    /// Members each island exports per migration; `0` disables migration
+    /// (islands still run independently and merge at the end).
+    pub migration_size: usize,
+    /// Who sends to whom.
+    pub topology: Topology,
+}
+
+impl Default for IslandConfig {
+    fn default() -> Self {
+        IslandConfig {
+            count: 1,
+            migration_interval: 10,
+            migration_size: 2,
+            topology: Topology::Ring,
+        }
+    }
+}
+
+impl IslandConfig {
+    /// Validate ranges (at least one island, a positive migration
+    /// interval).
+    ///
+    /// # Errors
+    /// [`EvoError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<()> {
+        if self.count == 0 {
+            return Err(EvoError::InvalidConfig(
+                "islands count must be at least 1".into(),
+            ));
+        }
+        if self.migration_interval == 0 {
+            return Err(EvoError::InvalidConfig(
+                "migration_interval must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// All knobs of Algorithm 1 plus this implementation's extensions.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvoConfig {
@@ -54,6 +111,9 @@ pub struct EvoConfig {
     /// (kicks in above [`crate::parallel::MIN_PARALLEL_EVAL_ROWS`] rows;
     /// evaluation draws no RNG, so results are bit-identical either way).
     pub parallel_offspring: bool,
+    /// Island-model split (see [`crate::islands`]); the default single
+    /// island runs the legacy loop untouched.
+    pub islands: IslandConfig,
 }
 
 impl Default for EvoConfig {
@@ -72,6 +132,7 @@ impl Default for EvoConfig {
             incremental_refresh: 0,
             parallel_init: true,
             parallel_offspring: true,
+            islands: IslandConfig::default(),
         }
     }
 }
@@ -103,6 +164,7 @@ impl EvoConfig {
                 "max_iterations must be at least 1".into(),
             ));
         }
+        self.islands.validate()?;
         Ok(())
     }
 
@@ -204,6 +266,24 @@ impl EvoConfigBuilder {
         self
     }
 
+    /// Number of islands (`1`, the default, = the legacy single loop).
+    pub fn islands(mut self, k: usize) -> Self {
+        self.cfg.islands.count = k;
+        self
+    }
+
+    /// Generations between migration barriers.
+    pub fn migration_interval(mut self, m: usize) -> Self {
+        self.cfg.islands.migration_interval = m;
+        self
+    }
+
+    /// Members each island exports per migration (`0` = no migration).
+    pub fn migration_size(mut self, s: usize) -> Self {
+        self.cfg.islands.migration_size = s;
+        self
+    }
+
     /// Finish. Panics on invalid ranges (builder misuse is a programming
     /// error); use [`EvoConfig::validate`] for data-driven configs.
     pub fn build(self) -> EvoConfig {
@@ -223,6 +303,8 @@ mod tests {
         assert!(EvoConfig::default().incremental_mutation);
         assert!(EvoConfig::default().incremental_crossover);
         assert_eq!(EvoConfig::default().incremental_refresh, 0);
+        assert_eq!(EvoConfig::default().islands, IslandConfig::default());
+        assert_eq!(IslandConfig::default().count, 1);
         let cfg = EvoConfig::builder()
             .seed(42)
             .aggregator(ScoreAggregator::Mean)
@@ -237,6 +319,9 @@ mod tests {
             .incremental_refresh(9)
             .parallel_init(false)
             .parallel_offspring(false)
+            .islands(4)
+            .migration_interval(25)
+            .migration_size(3)
             .build();
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.stop.max_iterations, 123);
@@ -246,6 +331,19 @@ mod tests {
         assert_eq!(cfg.incremental_refresh, 9);
         assert!(!cfg.parallel_init);
         assert!(!cfg.parallel_offspring);
+        assert_eq!(cfg.islands.count, 4);
+        assert_eq!(cfg.islands.migration_interval, 25);
+        assert_eq!(cfg.islands.migration_size, 3);
+    }
+
+    #[test]
+    fn validate_rejects_bad_island_configs() {
+        let mut cfg = EvoConfig::default();
+        cfg.islands.count = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = EvoConfig::default();
+        cfg.islands.migration_interval = 0;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod selection;
 mod stop;
 mod telemetry;
 
+pub mod islands;
 pub mod nsga;
 pub mod operators;
 pub mod parallel;
@@ -58,9 +59,10 @@ pub mod parallel;
 pub use adaptive::{OperatorSchedule, OperatorStats};
 pub use algorithm::{Evolution, EvolutionOutcome, ScoreSummary};
 pub use archive::ParetoArchive;
-pub use config::{EvoConfig, EvoConfigBuilder};
+pub use config::{EvoConfig, EvoConfigBuilder, IslandConfig, Topology};
 pub use error::{EvoError, Result};
 pub use individual::Individual;
+pub use islands::{IslandEvent, IslandModel, IslandTiming};
 pub use nsga::{FrontStats, Nsga2, NsgaConfig, NsgaOutcome};
 pub use operators::OperatorKind;
 pub use parallel::{evaluate_all, evaluate_tasks, EvalTask};

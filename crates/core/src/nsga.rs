@@ -55,6 +55,9 @@ pub struct NsgaConfig {
     /// recompute — a cross-check of the exact delta engine, not a drift
     /// bound. `0` (the default) disables the cross-check.
     pub incremental_refresh: usize,
+    /// Island-model split (see [`crate::islands`]); the default single
+    /// island runs the legacy loop untouched.
+    pub islands: crate::config::IslandConfig,
 }
 
 impl Default for NsgaConfig {
@@ -67,6 +70,7 @@ impl Default for NsgaConfig {
             parallel_init: true,
             incremental: true,
             incremental_refresh: 0,
+            islands: crate::config::IslandConfig::default(),
         }
     }
 }
@@ -89,6 +93,7 @@ impl NsgaConfig {
                 self.crossover_prob
             )));
         }
+        self.islands.validate()?;
         Ok(())
     }
 }
@@ -204,6 +209,19 @@ pub fn pareto_front_of(pop: &[Individual]) -> Vec<ScatterPoint> {
         .collect()
 }
 
+/// Non-dominated filter of arbitrary (IL, DR) points, IL-ascending with
+/// ties kept in input order (stable) — the rule the island scheduler
+/// applies when merging per-island fronts into one global front.
+pub fn non_dominated_points(points: &[ScatterPoint]) -> Vec<ScatterPoint> {
+    let objs: Vec<(f64, f64)> = points.iter().map(|p| (p.il, p.dr)).collect();
+    let mut idx = non_dominated_sort(&objs)
+        .into_iter()
+        .next()
+        .unwrap_or_default();
+    idx.sort_by(|&a, &b| objs[a].0.partial_cmp(&objs[b].0).expect("finite"));
+    idx.into_iter().map(|i| points[i].clone()).collect()
+}
+
 /// Per-generation front progress, streamed to [`Nsga2::run_with`]
 /// observers (the multi-objective counterpart of
 /// [`crate::GenerationStats`]).
@@ -315,150 +333,299 @@ impl Nsga2 {
     ///
     /// # Panics
     /// Panics when no population was loaded (builder misuse).
-    pub fn run_with<F: FnMut(&FrontStats)>(mut self, mut observer: F) -> NsgaOutcome {
-        let mut pop = self
+    pub fn run_with<F: FnMut(&FrontStats)>(self, mut observer: F) -> NsgaOutcome {
+        let mut runner = NsgaRunner::start(self);
+        while runner.step(&mut observer) {}
+        runner.finish()
+    }
+
+    /// Bind an already-evaluated population (see
+    /// [`crate::algorithm::Evolution::with_population`]): the island
+    /// scheduler evaluates once and partitions the members.
+    pub(crate) fn with_population(mut self, members: Vec<Individual>) -> Self {
+        self.population = Some(members);
+        self
+    }
+
+    /// Size of the loaded population (0 before loading).
+    pub(crate) fn population_len(&self) -> usize {
+        self.population.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Disassemble for the island scheduler.
+    pub(crate) fn into_parts(self) -> (Evaluator, NsgaConfig, Option<Vec<Individual>>) {
+        (self.evaluator, self.config, self.population)
+    }
+}
+
+/// The resumable state of a running NSGA-II loop, factored out of the
+/// one-shot [`Nsga2::run_with`] so the island scheduler
+/// ([`crate::islands`]) can advance a run in bounded generation chunks,
+/// exchange elites at migration barriers, and finish it later. `start` +
+/// `while step()` + `finish` replays the exact RNG stream of the
+/// historical one-shot loop.
+pub(crate) struct NsgaRunner {
+    nsga: Nsga2,
+    pop: Vec<Individual>,
+    n: usize,
+    lambda: usize,
+    rng: StdRng,
+    eval_counts: EvalCounts,
+    archive: ParetoArchive,
+    initial_front: Vec<ScatterPoint>,
+    hv_series: Vec<f64>,
+    gen: usize,
+    halted: bool,
+}
+
+impl NsgaRunner {
+    /// Snapshot the initial population and seed the loop state.
+    ///
+    /// # Panics
+    /// Panics when no population was loaded (builder misuse).
+    pub(crate) fn start(mut nsga: Nsga2) -> NsgaRunner {
+        let pop = nsga
             .population
             .take()
             .expect("population must be loaded before run()");
-        let cfg = self.config;
+        let cfg = nsga.config;
         let n = pop.len();
         let lambda = if cfg.offspring == 0 { n } else { cfg.offspring };
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0045_A6A2);
-        let mut eval_counts = EvalCounts {
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0x0045_A6A2);
+        let eval_counts = EvalCounts {
             full: n,
             incremental: 0,
         };
-
         let mut archive = ParetoArchive::new();
         for ind in &pop {
             archive.offer(ScatterPoint::of(ind));
         }
         let initial_front = pareto_front_of(&pop);
-        let mut hv_series = vec![front_hv(&pop)];
+        let hv_series = vec![front_hv(&pop)];
+        NsgaRunner {
+            nsga,
+            pop,
+            n,
+            lambda,
+            rng,
+            eval_counts,
+            archive,
+            initial_front,
+            hv_series,
+            gen: 0,
+            halted: false,
+        }
+    }
 
-        for gen in 0..cfg.generations {
-            // debug verification: periodically recompute every survivor's
-            // state from scratch and assert the cached patched state is
-            // identical — patches-of-patches must reproduce the full
-            // assessment bit for bit
-            if cfg.incremental
-                && cfg.incremental_refresh > 0
-                && gen > 0
-                && gen % cfg.incremental_refresh == 0
-            {
-                let tasks: Vec<EvalTask<'_>> =
-                    pop.iter().map(|ind| EvalTask::Full(&ind.data)).collect();
-                let states = evaluate_tasks(&self.evaluator, &tasks, cfg.parallel_init);
-                drop(tasks);
-                eval_counts.full += pop.len();
-                for (ind, state) in pop.iter().zip(states) {
-                    assert_eq!(
-                        *ind.assessment(),
-                        state.assessment,
-                        "incremental nsga state diverged from the full assessment"
-                    );
-                }
-            }
-            let (rank_of, crowd_of) = rank_and_crowd(&pop);
-            let tournament = |rng: &mut StdRng| -> usize {
-                let a = rng.gen_range(0..pop.len());
-                let b = rng.gen_range(0..pop.len());
-                pick(a, b, &rank_of, &crowd_of, rng)
-            };
+    /// Whether every generation ran (or the schema degenerated).
+    pub(crate) fn finished(&self) -> bool {
+        self.halted || self.gen >= self.nsga.config.generations
+    }
 
-            // each pending child remembers its primary parent and, when the
-            // incremental path is on, the patch relating it to that parent
-            let mut children: Vec<(String, SubTable, Option<Patch>, usize)> =
-                Vec::with_capacity(lambda + 1);
-            while children.len() < lambda {
-                let use_crossover = pop.len() >= 2 && rng.gen::<f64>() < cfg.crossover_prob;
-                if use_crossover {
-                    let p1 = tournament(&mut rng);
-                    let mut p2 = tournament(&mut rng);
-                    if p2 == p1 {
-                        p2 = (p1 + 1) % pop.len();
-                    }
-                    let (z1, z2, (s, r)) = crossover(&pop[p1].data, &pop[p2].data, &mut rng);
-                    let (patch1, patch2) = if cfg.incremental {
-                        let old1: Vec<_> = (s..=r).map(|p| pop[p1].data.get_flat(p)).collect();
-                        let old2: Vec<_> = (s..=r).map(|p| pop[p2].data.get_flat(p)).collect();
-                        (
-                            Some(Patch::flat_range(s, r, old1)),
-                            Some(Patch::flat_range(s, r, old2)),
-                        )
-                    } else {
-                        (None, None)
-                    };
-                    children.push((format!("nsga-x{gen}"), z1, patch1, p1));
-                    children.push((format!("nsga-x{gen}"), z2, patch2, p2));
-                } else {
-                    let p = tournament(&mut rng);
-                    let mut data = pop[p].data.clone();
-                    if let Some(mu) = mutate(&mut data, &mut rng) {
-                        let patch = cfg
-                            .incremental
-                            .then(|| Patch::cell(mu.row, mu.attr, mu.old));
-                        children.push((format!("nsga-m{gen}"), data, patch, p));
-                    } else {
-                        // degenerate schema (all attributes single-category):
-                        // crossover cannot help either; stop producing
-                        break;
-                    }
-                }
-            }
-            children.truncate(lambda);
-            if children.is_empty() {
-                break;
-            }
-
-            let tasks: Vec<EvalTask<'_>> = children
-                .iter()
-                .map(|(_, data, patch, parent)| match patch {
-                    Some(patch) => EvalTask::Patch {
-                        prev: pop[*parent].state(),
-                        masked: data,
-                        patch,
-                    },
-                    None => EvalTask::Full(data),
-                })
-                .collect();
-            let states = evaluate_tasks(&self.evaluator, &tasks, cfg.parallel_init);
+    /// Execute one generation unless the run is finished; returns whether
+    /// a generation ran.
+    pub(crate) fn step<F: FnMut(&FrontStats)>(&mut self, observer: &mut F) -> bool {
+        if self.finished() {
+            return false;
+        }
+        let cfg = self.nsga.config;
+        let gen = self.gen;
+        let pop = &mut self.pop;
+        // debug verification: periodically recompute every survivor's
+        // state from scratch and assert the cached patched state is
+        // identical — patches-of-patches must reproduce the full
+        // assessment bit for bit
+        if cfg.incremental
+            && cfg.incremental_refresh > 0
+            && gen > 0
+            && gen.is_multiple_of(cfg.incremental_refresh)
+        {
+            let tasks: Vec<EvalTask<'_>> =
+                pop.iter().map(|ind| EvalTask::Full(&ind.data)).collect();
+            let states = evaluate_tasks(&self.nsga.evaluator, &tasks, cfg.parallel_init);
             drop(tasks);
-            for (_, _, patch, _) in &children {
-                match patch {
-                    Some(_) => eval_counts.incremental += 1,
-                    None => eval_counts.full += 1,
+            self.eval_counts.full += pop.len();
+            for (ind, state) in pop.iter().zip(states) {
+                assert_eq!(
+                    *ind.assessment(),
+                    state.assessment,
+                    "incremental nsga state diverged from the full assessment"
+                );
+            }
+        }
+        let (rank_of, crowd_of) = rank_and_crowd(pop);
+        let rng = &mut self.rng;
+        let tournament = |rng: &mut StdRng, pop: &[Individual]| -> usize {
+            let a = rng.gen_range(0..pop.len());
+            let b = rng.gen_range(0..pop.len());
+            pick(a, b, &rank_of, &crowd_of, rng)
+        };
+
+        // each pending child remembers its primary parent and, when the
+        // incremental path is on, the patch relating it to that parent
+        let mut children: Vec<(String, SubTable, Option<Patch>, usize)> =
+            Vec::with_capacity(self.lambda + 1);
+        while children.len() < self.lambda {
+            let use_crossover = pop.len() >= 2 && rng.gen::<f64>() < cfg.crossover_prob;
+            if use_crossover {
+                let p1 = tournament(rng, pop);
+                let mut p2 = tournament(rng, pop);
+                if p2 == p1 {
+                    p2 = (p1 + 1) % pop.len();
+                }
+                let (z1, z2, (s, r)) = crossover(&pop[p1].data, &pop[p2].data, rng);
+                let (patch1, patch2) = if cfg.incremental {
+                    let old1: Vec<_> = (s..=r).map(|p| pop[p1].data.get_flat(p)).collect();
+                    let old2: Vec<_> = (s..=r).map(|p| pop[p2].data.get_flat(p)).collect();
+                    (
+                        Some(Patch::flat_range(s, r, old1)),
+                        Some(Patch::flat_range(s, r, old2)),
+                    )
+                } else {
+                    (None, None)
+                };
+                children.push((format!("nsga-x{gen}"), z1, patch1, p1));
+                children.push((format!("nsga-x{gen}"), z2, patch2, p2));
+            } else {
+                let p = tournament(rng, pop);
+                let mut data = pop[p].data.clone();
+                if let Some(mu) = mutate(&mut data, rng) {
+                    let patch = cfg
+                        .incremental
+                        .then(|| Patch::cell(mu.row, mu.attr, mu.old));
+                    children.push((format!("nsga-m{gen}"), data, patch, p));
+                } else {
+                    // degenerate schema (all attributes single-category):
+                    // crossover cannot help either; stop producing
+                    break;
                 }
             }
-            for ((name, data, _, _), state) in children.into_iter().zip(states) {
-                let ind = Individual::new(name, data, state, ScoreAggregator::Max);
-                archive.offer(ScatterPoint::of(&ind));
-                pop.push(ind);
-            }
-            pop = environmental_selection(pop, n);
-            let (front_size, hv) = front_metrics(&pop);
-            hv_series.push(hv);
-            observer(&FrontStats {
-                generation: gen + 1,
-                front_size,
-                hypervolume: hv,
-            });
+        }
+        children.truncate(self.lambda);
+        if children.is_empty() {
+            self.halted = true;
+            return false;
         }
 
-        let mut archive_front = archive.front();
+        let tasks: Vec<EvalTask<'_>> = children
+            .iter()
+            .map(|(_, data, patch, parent)| match patch {
+                Some(patch) => EvalTask::Patch {
+                    prev: pop[*parent].state(),
+                    masked: data,
+                    patch,
+                },
+                None => EvalTask::Full(data),
+            })
+            .collect();
+        let states = evaluate_tasks(&self.nsga.evaluator, &tasks, cfg.parallel_init);
+        drop(tasks);
+        for (_, _, patch, _) in &children {
+            match patch {
+                Some(_) => self.eval_counts.incremental += 1,
+                None => self.eval_counts.full += 1,
+            }
+        }
+        for ((name, data, _, _), state) in children.into_iter().zip(states) {
+            let ind = Individual::new(name, data, state, ScoreAggregator::Max);
+            self.archive.offer(ScatterPoint::of(&ind));
+            pop.push(ind);
+        }
+        self.pop = environmental_selection(std::mem::take(&mut self.pop), self.n);
+        self.gen += 1;
+        let (front_size, hv) = front_metrics(&self.pop);
+        self.hv_series.push(hv);
+        observer(&FrontStats {
+            generation: self.gen,
+            front_size,
+            hypervolume: hv,
+        });
+        true
+    }
+
+    /// Run at most `max` generations; returns how many actually ran.
+    pub(crate) fn run_chunk<F: FnMut(&FrontStats)>(
+        &mut self,
+        max: usize,
+        observer: &mut F,
+    ) -> usize {
+        let mut ran = 0;
+        while ran < max && self.step(observer) {
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Generations executed so far.
+    pub(crate) fn generations_run(&self) -> usize {
+        self.gen
+    }
+
+    /// Clones of the `count` best members by (rank ascending, crowding
+    /// descending, index ascending) — the deterministic elite.
+    pub(crate) fn export_elite(&self, count: usize) -> Vec<Individual> {
+        let (rank_of, crowd_of) = rank_and_crowd(&self.pop);
+        let mut order: Vec<usize> = (0..self.pop.len()).collect();
+        order.sort_by(|&a, &b| {
+            rank_of[a]
+                .cmp(&rank_of[b])
+                .then_with(|| {
+                    crowd_of[b]
+                        .partial_cmp(&crowd_of[a])
+                        .expect("crowding comparable")
+                })
+                .then_with(|| a.cmp(&b))
+        });
+        order
+            .into_iter()
+            .take(count.min(self.pop.len()))
+            .map(|i| self.pop[i].clone())
+            .collect()
+    }
+
+    /// Replace the worst members (rank descending, crowding ascending,
+    /// index descending — the deterministic anti-elite) with `immigrants`;
+    /// at most `len - 1` are replaced so a native always survives.
+    pub(crate) fn migrate_in(&mut self, immigrants: Vec<Individual>) {
+        if immigrants.is_empty() {
+            return;
+        }
+        let n = self.pop.len();
+        let take = immigrants.len().min(n.saturating_sub(1));
+        let (rank_of, crowd_of) = rank_and_crowd(&self.pop);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            rank_of[b]
+                .cmp(&rank_of[a])
+                .then_with(|| {
+                    crowd_of[a]
+                        .partial_cmp(&crowd_of[b])
+                        .expect("crowding comparable")
+                })
+                .then_with(|| b.cmp(&a))
+        });
+        for (&slot, immigrant) in order.iter().zip(immigrants.into_iter().take(take)) {
+            self.archive.offer(ScatterPoint::of(&immigrant));
+            self.pop[slot] = immigrant;
+        }
+    }
+
+    /// Assemble the outcome; identical to what the one-shot loop returned.
+    pub(crate) fn finish(self) -> NsgaOutcome {
+        let mut archive_front = self.archive.front();
         archive_front.sort_by(|a, b| a.il.partial_cmp(&b.il).expect("finite"));
-        let front_idx = front_indices(&pop);
+        let front_idx = front_indices(&self.pop);
         NsgaOutcome {
             front: front_idx
                 .iter()
-                .map(|&i| ScatterPoint::of(&pop[i]))
+                .map(|&i| ScatterPoint::of(&self.pop[i]))
                 .collect(),
-            front_members: front_idx.into_iter().map(|i| pop[i].clone()).collect(),
-            initial_front,
+            front_members: front_idx.into_iter().map(|i| self.pop[i].clone()).collect(),
+            initial_front: self.initial_front,
             archive_front,
-            hypervolume_series: hv_series,
-            evaluations: eval_counts.total(),
-            eval_counts,
+            hypervolume_series: self.hv_series,
+            evaluations: self.eval_counts.total(),
+            eval_counts: self.eval_counts,
         }
     }
 }

@@ -87,6 +87,12 @@ impl Population {
         &self.members[self.members.len() - 1]
     }
 
+    /// Take ownership of the sorted members (the island scheduler
+    /// partitions them across islands).
+    pub(crate) fn into_members(self) -> Vec<Individual> {
+        self.members
+    }
+
     /// Drop the best `fraction` of individuals (the paper's §3.3 robustness
     /// experiment removes the best 5% / 10%). At least one individual is
     /// kept.

@@ -54,6 +54,7 @@
 //!     .suite_small()                       // initial SDC population
 //!     .aggregator(ScoreAggregator::Mean)   // fitness: the paper's Eq. 1
 //!     .iterations(40)                      // evolution budget
+//!     .islands(4)                          // island-model run, same budget
 //!     .seed(7)
 //!     .audit()                             // privacy audit of the winner
 //!     .build()
@@ -179,8 +180,9 @@ pub mod pipeline;
 /// One-stop imports for examples and downstream experiments.
 pub mod prelude {
     pub use cdp_core::{
-        EvalCounts, EvoConfig, Evolution, EvolutionOutcome, Individual, Population,
-        ReplacementPolicy, SelectionWeighting, StopCondition,
+        EvalCounts, EvoConfig, Evolution, EvolutionOutcome, Individual, IslandConfig, IslandEvent,
+        IslandModel, IslandTiming, Population, ReplacementPolicy, SelectionWeighting,
+        StopCondition, Topology,
     };
     pub use cdp_dataset::generators::{Dataset, DatasetKind, GeneratorConfig};
     pub use cdp_dataset::{AttrKind, Attribute, Code, Hierarchy, Schema, SubTable, Table};
@@ -191,8 +193,8 @@ pub mod prelude {
     pub use cdp_sdc::{build_population, ProtectionMethod, SuiteConfig};
 
     pub use crate::pipeline::{
-        BestProtection, DataSource, Front, JobEvent, JobOutcome, JobReport, OptimizerMode,
-        PipelineError, PopulationSpec, ProtectionJob, Session, SessionStats, SharedSession,
-        SuiteKind,
+        BestProtection, CacheEntryStats, DataSource, Front, JobEvent, JobOutcome, JobReport,
+        OptimizerMode, PipelineError, PopulationSpec, ProtectionJob, Session, SessionStats,
+        SharedSession, SuiteKind,
     };
 }

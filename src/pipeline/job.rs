@@ -422,6 +422,7 @@ impl ProtectionJob {
                 let mut evo = EvoConfig {
                     seed: self.seed,
                     parallel_init: cfg.parallel_init,
+                    islands: cfg.islands,
                     ..EvoConfig::default()
                 };
                 evo.stop.max_iterations = self.iterations.max(1);
@@ -717,6 +718,7 @@ impl ProtectionJobBuilder {
                 self.nsga_refresh = cfg.incremental_refresh;
                 self.evo = EvoConfig {
                     parallel_init: cfg.parallel_init,
+                    islands: cfg.islands,
                     ..EvoConfig::default()
                 };
                 self.stagnation = None;
@@ -789,6 +791,29 @@ impl ProtectionJobBuilder {
     /// Toggle parallel initial evaluation.
     pub fn parallel_init(mut self, on: bool) -> Self {
         self.evo.parallel_init = on;
+        self
+    }
+
+    /// Number of islands for the island-model scheduler (default 1 =
+    /// single-population legacy run, bit-identical streams). A shared
+    /// knob: it applies to both the scalar and NSGA-II optimizers; see
+    /// [`cdp_core::islands`] for the determinism contract.
+    pub fn islands(mut self, count: usize) -> Self {
+        self.evo.islands.count = count;
+        self
+    }
+
+    /// Generations between migration epochs when `islands > 1`
+    /// (default 10). Shared between the scalar and NSGA-II modes.
+    pub fn migration_interval(mut self, interval: usize) -> Self {
+        self.evo.islands.migration_interval = interval;
+        self
+    }
+
+    /// Individuals exchanged per migration epoch (default 2; `0` runs
+    /// fully isolated islands). Shared between the two modes.
+    pub fn migration_size(mut self, size: usize) -> Self {
+        self.evo.islands.migration_size = size;
         self
     }
 
@@ -874,6 +899,7 @@ impl ProtectionJobBuilder {
             let scalar_view = EvoConfig {
                 parallel_init: self.evo.parallel_init,
                 incremental_crossover: self.evo.incremental_crossover,
+                islands: self.evo.islands,
                 ..EvoConfig::default()
             };
             if self.evo != scalar_view {
@@ -906,6 +932,7 @@ impl ProtectionJobBuilder {
                 parallel_init: self.evo.parallel_init,
                 incremental: self.incremental_crossover,
                 incremental_refresh: self.nsga_refresh,
+                islands: self.evo.islands,
             };
             cfg.validate()?;
             OptimizerMode::Nsga(cfg)
@@ -1029,6 +1056,7 @@ mod tests {
             parallel_init: true,
             incremental: true,
             incremental_refresh: 5,
+            islands: cdp_core::IslandConfig::default(),
         };
         let job = ProtectionJob::builder()
             .dataset(DatasetKind::Adult)
@@ -1156,6 +1184,52 @@ mod tests {
             .build()
             .unwrap();
         assert!(job.nsga_config().expect("nsga mode").incremental);
+    }
+
+    #[test]
+    fn island_knobs_are_shared_between_both_modes() {
+        // scalar mode: knobs land on EvoConfig::islands
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .islands(4)
+            .migration_interval(25)
+            .migration_size(3)
+            .build()
+            .unwrap();
+        let islands = job.evo_config().islands;
+        assert_eq!(islands.count, 4);
+        assert_eq!(islands.migration_interval, 25);
+        assert_eq!(islands.migration_size, 3);
+
+        // nsga mode: the same knobs land on NsgaConfig::islands instead of
+        // being rejected as scalar-only
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .nsga()
+            .iterations(5)
+            .islands(2)
+            .migration_interval(3)
+            .build()
+            .unwrap();
+        let cfg = job.nsga_config().expect("nsga mode");
+        assert_eq!(cfg.islands.count, 2);
+        assert_eq!(cfg.islands.migration_interval, 3);
+        // and the scalar view reflects them too
+        assert_eq!(job.evo_config().islands.count, 2);
+
+        // invalid island configs are rejected at build time in both modes
+        assert!(ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .islands(0)
+            .build()
+            .is_err());
+        assert!(ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .nsga()
+            .iterations(5)
+            .migration_interval(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -187,6 +187,9 @@ mod tests {
             JobEvent::PopulationReady { .. } => "population",
             JobEvent::Generation(_) => "generation",
             JobEvent::FrontAdvanced { .. } => "front",
+            JobEvent::IslandGeneration { .. } => "island-generation",
+            JobEvent::IslandFront { .. } => "island-front",
+            JobEvent::Migration { .. } => "migration",
             JobEvent::EvolutionFinished { .. } => "finished",
             JobEvent::AuditReady => "audit",
         }
@@ -213,7 +216,7 @@ mod tests {
             session
                 .run_with(&job, |e| {
                     if let JobEvent::CacheStats(s) = e {
-                        snapshots.push(*s);
+                        snapshots.push(s.clone());
                     }
                 })
                 .unwrap();
@@ -266,6 +269,71 @@ mod tests {
             assert!(front_size >= 1);
         }
         assert_eq!(front.generations_run(), 4);
+    }
+
+    #[test]
+    fn island_job_streams_per_island_events_deterministically() {
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::German)
+            .records(60)
+            .iterations(24)
+            .islands(3)
+            .migration_interval(4)
+            .seed(5)
+            .build()
+            .unwrap();
+        let run = || {
+            let mut session = Session::new();
+            let mut tags = Vec::new();
+            let mut events = Vec::new();
+            let report = session
+                .run_with(&job, |e| {
+                    tags.push(tag_of(e));
+                    events.push(e.clone());
+                })
+                .unwrap();
+            (tags, events, report)
+        };
+        let (tags, events, report) = run();
+        assert_eq!(tags[..4], ["source", "evaluator", "cache", "population"]);
+        assert!(
+            !tags.contains(&"generation"),
+            "island jobs emit per-island events instead of the legacy kind"
+        );
+        assert_eq!(
+            tags.iter().filter(|t| **t == "island-generation").count(),
+            24,
+            "the iteration budget is split across islands, not multiplied"
+        );
+        assert!(tags.contains(&"migration"));
+        assert_eq!(*tags.last().unwrap(), "finished");
+
+        // same job, fresh session: bit-identical events and winner
+        let (_, events2, report2) = run();
+        assert_eq!(events, events2);
+        assert_eq!(report.best.data, report2.best.data);
+    }
+
+    #[test]
+    fn island_nsga_job_streams_island_front_events() {
+        let mut session = Session::new();
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::German)
+            .records(60)
+            .nsga()
+            .iterations(4)
+            .islands(2)
+            .migration_interval(2)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut tags = Vec::new();
+        session.run_with(&job, |e| tags.push(tag_of(e))).unwrap();
+        // each island runs the full generation count on its subpopulation
+        assert_eq!(tags.iter().filter(|t| **t == "island-front").count(), 8);
+        assert!(!tags.contains(&"front"), "island jobs use per-island kinds");
+        assert!(tags.contains(&"migration"));
+        assert_eq!(*tags.last().unwrap(), "finished");
     }
 
     #[test]

@@ -37,7 +37,7 @@ use super::Result;
 /// rate — is the headline metric.
 ///
 /// [`Session::stats`]: super::Session::stats
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Evaluator preparations actually performed (the expensive path:
     /// ranks, marginals, contingency tables, PRL census, pattern index).
@@ -56,6 +56,28 @@ pub struct SessionStats {
     /// histograms (`n · 2^a` u32s per prepared original). A lower bound —
     /// contingency tables and rank stats are not counted.
     pub approx_bytes: usize,
+    /// Per-slot detail, in registration order — one entry per cached
+    /// `(original, MetricConfig)` pair (`entries.len() == cached`).
+    pub entries: Vec<CacheEntryStats>,
+}
+
+/// Observability detail of one cache slot (one element of
+/// [`SessionStats::entries`]): which original it holds, how often it was
+/// hit, and what it costs to keep resident.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheEntryStats {
+    /// Records of the cached original.
+    pub rows: usize,
+    /// Protected attributes of the cached original.
+    pub attrs: usize,
+    /// Requests served from this slot after its registration.
+    pub hits: usize,
+    /// Approximate resident bytes of this slot (same accounting as
+    /// [`SessionStats::approx_bytes`]).
+    pub approx_bytes: usize,
+    /// Whether the slot's preparation has completed (`false` while the
+    /// first arrival is still preparing it).
+    pub prepared: bool,
 }
 
 impl SessionStats {
@@ -71,20 +93,33 @@ impl SessionStats {
 struct CacheSlot {
     original: SubTable,
     cfg: MetricConfig,
+    hits: AtomicUsize,
     evaluator: Mutex<Option<Evaluator>>,
 }
 
 impl CacheSlot {
     /// Approximate resident bytes (see [`SessionStats::approx_bytes`]).
-    fn approx_bytes(&self) -> usize {
+    fn approx_bytes(&self, prepared: bool) -> usize {
         let (n, a) = (self.original.n_rows(), self.original.n_attrs());
         let arena = n * a * std::mem::size_of::<Code>();
-        let prepared = if self.evaluator.lock().is_ok_and(|g| g.is_some()) {
+        let prepared = if prepared {
             n * (1usize << a.min(24)) * std::mem::size_of::<u32>()
         } else {
             0
         };
         arena + prepared
+    }
+
+    /// The slot's [`SessionStats::entries`] element.
+    fn entry_stats(&self) -> CacheEntryStats {
+        let prepared = self.evaluator.lock().is_ok_and(|g| g.is_some());
+        CacheEntryStats {
+            rows: self.original.n_rows(),
+            attrs: self.original.n_attrs(),
+            hits: self.hits.load(Ordering::Relaxed),
+            approx_bytes: self.approx_bytes(prepared),
+            prepared,
+        }
     }
 }
 
@@ -144,12 +179,14 @@ impl SharedSession {
     /// preparation work); safe to poll per request.
     pub fn stats(&self) -> SessionStats {
         let slots = self.cache.slots.lock().expect("cache registry lock");
+        let entries: Vec<CacheEntryStats> = slots.iter().map(|s| s.entry_stats()).collect();
         SessionStats {
             preparations: self.cache.preparations.load(Ordering::Relaxed),
             hits: self.cache.hits.load(Ordering::Relaxed),
             misses: self.cache.misses.load(Ordering::Relaxed),
             cached: slots.len(),
-            approx_bytes: slots.iter().map(|s| s.approx_bytes()).sum(),
+            approx_bytes: entries.iter().map(|e| e.approx_bytes).sum(),
+            entries,
         }
     }
 
@@ -185,11 +222,15 @@ impl SharedSession {
                 .iter()
                 .find(|s| s.cfg == cfg && s.original == *original)
             {
-                Some(slot) => (Arc::clone(slot), false),
+                Some(slot) => {
+                    slot.hits.fetch_add(1, Ordering::Relaxed);
+                    (Arc::clone(slot), false)
+                }
                 None => {
                     let slot = Arc::new(CacheSlot {
                         original: original.clone(),
                         cfg,
+                        hits: AtomicUsize::new(0),
                         evaluator: Mutex::new(None),
                     });
                     slots.push(Arc::clone(&slot));
@@ -361,5 +402,36 @@ mod tests {
         let stats = session.stats();
         assert!(stats.approx_bytes > 0);
         assert!(stats.hit_rate().is_some());
+    }
+
+    #[test]
+    fn per_entry_stats_track_slot_hits_and_footprint() {
+        let session = SharedSession::new();
+        let adult = tiny_job(DatasetKind::Adult, 7, 0);
+        let german = tiny_job(DatasetKind::German, 7, 0);
+        session.run(&adult).unwrap();
+        session.run(&adult).unwrap();
+        session.run(&adult).unwrap();
+        session.run(&german).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.entries.len(), stats.cached);
+        assert_eq!(stats.entries.len(), 2);
+        // registration order: the adult slot first, hit twice after its miss
+        let (a, g) = (&stats.entries[0], &stats.entries[1]);
+        assert_eq!(a.hits, 2);
+        assert_eq!(g.hits, 0);
+        assert!(a.prepared && g.prepared);
+        assert_eq!(a.rows, 60);
+        assert!(a.attrs > 0);
+        // the aggregate footprint is exactly the sum of the entries
+        assert_eq!(
+            stats.approx_bytes,
+            stats.entries.iter().map(|e| e.approx_bytes).sum::<usize>()
+        );
+        // per-slot hits partition the session-wide hit counter
+        assert_eq!(
+            stats.hits,
+            stats.entries.iter().map(|e| e.hits).sum::<usize>()
+        );
     }
 }

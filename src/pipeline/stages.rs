@@ -1,7 +1,10 @@
 //! Job execution: the staged engine behind [`Session::run_with`], and the
 //! event stream it emits.
 
-use cdp_core::{evaluate_all, EvalCounts, Evolution, GenerationStats, Nsga2, ScatterPoint};
+use cdp_core::{
+    evaluate_all, EvalCounts, Evolution, GenerationStats, IslandEvent, IslandModel, Nsga2,
+    ScatterPoint,
+};
 use cdp_dataset::{Attribute, Code, SubTable};
 use cdp_privacy::PrivacyReport;
 
@@ -54,6 +57,38 @@ pub enum JobEvent {
         /// Hypervolume of that front w.r.t.
         /// [`cdp_core::nsga::HV_REFERENCE`].
         hypervolume: f64,
+    },
+    /// One island finished one scalar iteration (island-model jobs,
+    /// `islands >= 2`; the per-island counterpart of
+    /// [`JobEvent::Generation`]).
+    IslandGeneration {
+        /// Island index.
+        island: usize,
+        /// The iteration's population statistics, scoped to that island.
+        stats: GenerationStats,
+    },
+    /// One island finished one NSGA-II generation (island-model jobs;
+    /// the per-island counterpart of [`JobEvent::FrontAdvanced`]).
+    IslandFront {
+        /// Island index.
+        island: usize,
+        /// Generation index within that island, 1-based.
+        generation: usize,
+        /// Size of the island population's non-dominated front.
+        front_size: usize,
+        /// Hypervolume of that front w.r.t.
+        /// [`cdp_core::nsga::HV_REFERENCE`].
+        hypervolume: f64,
+    },
+    /// An island exported members to its ring neighbour at a migration
+    /// barrier (island-model jobs with `migration_size > 0`).
+    Migration {
+        /// Generations the source island had completed at the barrier.
+        generation: usize,
+        /// Source island index.
+        island: usize,
+        /// Members exported.
+        emigrants: usize,
     },
     /// The optimizer stage finished (either mode).
     EvolutionFinished {
@@ -121,6 +156,26 @@ pub(crate) fn run_job<F: FnMut(&JobEvent)>(
             };
             (JobOutcome::Scored, points, best)
         }
+        OptimizerMode::Scalar(evo_cfg) if evo_cfg.islands.count > 1 => {
+            let mut model = IslandModel::scalar(evaluator.clone(), evo_cfg)
+                .with_named_population(population)?;
+            if job.drop_fraction() > 0.0 {
+                model = model.drop_best_fraction(job.drop_fraction())?;
+            }
+            let outcome = model.run_with(|e| observer(&island_event(e)));
+            observer(&JobEvent::EvolutionFinished {
+                iterations: outcome.iterations_run,
+                evaluations: outcome.eval_counts,
+            });
+            let winner = outcome.population.best();
+            let best = BestProtection {
+                name: winner.name.clone(),
+                data: winner.data.clone(),
+                assessment: *winner.assessment(),
+            };
+            let points = outcome.final_points.clone();
+            (JobOutcome::Scalar(outcome), points, best)
+        }
         OptimizerMode::Scalar(evo_cfg) => {
             let mut evolution =
                 Evolution::new(evaluator.clone(), evo_cfg).with_named_population(population)?;
@@ -140,6 +195,19 @@ pub(crate) fn run_job<F: FnMut(&JobEvent)>(
             };
             let points = outcome.final_points.clone();
             (JobOutcome::Scalar(outcome), points, best)
+        }
+        OptimizerMode::Nsga(cfg) if cfg.islands.count > 1 => {
+            let nsga_outcome = IslandModel::nsga(evaluator.clone(), cfg)
+                .with_named_population(population)?
+                .run_with(|e| observer(&island_event(e)));
+            let front = Front::from_outcome(nsga_outcome);
+            observer(&JobEvent::EvolutionFinished {
+                iterations: front.generations_run(),
+                evaluations: front.eval_counts,
+            });
+            let best = front.knee().clone();
+            let points = front.points.clone();
+            (JobOutcome::Pareto(front), points, best)
         }
         OptimizerMode::Nsga(cfg) => {
             let nsga_outcome = Nsga2::new(evaluator.clone(), cfg)
@@ -182,6 +250,31 @@ pub(crate) fn run_job<F: FnMut(&JobEvent)>(
         best,
         privacy,
     })
+}
+
+/// Map a core island-scheduler event onto the job event stream.
+fn island_event(e: &IslandEvent) -> JobEvent {
+    match e {
+        IslandEvent::Generation { island, stats } => JobEvent::IslandGeneration {
+            island: *island,
+            stats: *stats,
+        },
+        IslandEvent::Front { island, stats } => JobEvent::IslandFront {
+            island: *island,
+            generation: stats.generation,
+            front_size: stats.front_size,
+            hypervolume: stats.hypervolume,
+        },
+        IslandEvent::Migration {
+            generation,
+            island,
+            emigrants,
+        } => JobEvent::Migration {
+            generation: *generation,
+            island: *island,
+            emigrants: *emigrants,
+        },
+    }
 }
 
 /// Audit the winning protection: k-anonymity and re-identification risk
