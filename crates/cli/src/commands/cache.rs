@@ -1,0 +1,288 @@
+//! `cdp cache` — inspect, verify or clear a snapshot-cache directory.
+//!
+//! The persistent evaluator cache (`--cache-dir` on `cdp serve` and
+//! `cdp optimize`) is a flat directory of `<content-hash>.cdpsnap` files
+//! in the versioned binary format of [`cdp_metrics::snapshot`]. This
+//! command is the operator's view of that directory:
+//!
+//! * `ls` — one line per snapshot (hash, shape, size), broken files
+//!   flagged inline, plus a totals line;
+//! * `verify` — structurally check every file (magic, version, section
+//!   framing, checksums); exits non-zero if any file is defective;
+//! * `clear` — delete every snapshot file (and stale temp files from
+//!   interrupted writers), reporting the bytes reclaimed. Other files in
+//!   the directory are never touched.
+//!
+//! Defective files are *operationally harmless* — the loader falls back
+//! to cold preparation and the next write replaces them — so `verify`
+//! failing is a health signal, not an emergency.
+
+use std::path::{Path, PathBuf};
+
+use cdp::pipeline::SnapshotCacheConfig;
+use cdp_metrics::snapshot;
+
+use crate::args::Args;
+use crate::error::{CliError, Result};
+
+/// Usage text.
+pub const USAGE: &str = "\
+cdp cache <ls|verify|clear> --dir <dir>
+  ls      list every snapshot in <dir>: content hash, original shape,
+          file size; broken files are flagged inline
+  verify  structurally check every snapshot (magic, format version,
+          section framing, checksums); non-zero exit when any file is
+          defective
+  clear   delete every *.cdpsnap file (plus stale temp files left by
+          interrupted writers) in <dir>; other files are never touched
+
+<dir> is the directory passed as --cache-dir to `cdp serve` or
+`cdp optimize`. Defective snapshots are harmless at runtime — the loader
+falls back to cold preparation and rewrites them — so `verify` is a
+health check, not a recovery step.";
+
+/// Parse the shared `--cache-dir` / `--cache-cap` flag pair used by
+/// `cdp serve` and `cdp optimize` into a snapshot-cache configuration.
+pub(crate) fn snapshot_config_from(args: &Args) -> Result<Option<SnapshotCacheConfig>> {
+    let cap = args.get_parse::<usize>("cache-cap")?;
+    match args.get("cache-dir") {
+        Some(dir) => {
+            let mut config = SnapshotCacheConfig::new(dir);
+            if let Some(cap) = cap {
+                config = config.with_cap(cap);
+            }
+            Ok(Some(config))
+        }
+        None if cap.is_some() => Err(CliError::Usage(
+            "--cache-cap requires --cache-dir (there is no in-memory-only cap)".into(),
+        )),
+        None => Ok(None),
+    }
+}
+
+/// Run the command. `action` is the positional token after `cache`
+/// (consumed by the dispatcher, since the flag parser is flag-only).
+pub fn run(action: Option<&str>, args: &Args) -> Result<()> {
+    args.expect_only(&["dir"])?;
+    let dir = PathBuf::from(args.require("dir")?);
+    match action {
+        Some("ls") => ls(&dir),
+        Some("verify") => verify(&dir),
+        Some("clear") => clear(&dir),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown cache action `{other}` (expected ls, verify or clear)"
+        ))),
+        None => Err(CliError::Usage(
+            "missing cache action (expected ls, verify or clear)".into(),
+        )),
+    }
+}
+
+/// Snapshot files in `dir`, sorted by file name (i.e. by content hash) so
+/// the output is stable across runs.
+fn snapshot_files(dir: &Path) -> Result<Vec<PathBuf>> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| CliError::Cache(format!("cannot read {}: {e}", dir.display())))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(snapshot::EXTENSION))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Stale temp files from interrupted writers (`.{hash}.{pid}.{seq}.tmp`).
+fn stale_temp_files(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().and_then(|e| e.to_str()) == Some("tmp")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with('.'))
+        })
+        .collect()
+}
+
+fn ls(dir: &Path) -> Result<()> {
+    let files = snapshot_files(dir)?;
+    let mut total_bytes = 0u64;
+    let mut broken = 0usize;
+    for path in &files {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        match snapshot::inspect(path) {
+            Ok(info) => {
+                total_bytes += info.bytes;
+                println!(
+                    "{name}  v{}  {} rows x {} attrs  {} KiB",
+                    info.version,
+                    info.rows,
+                    info.attrs,
+                    info.bytes / 1024,
+                );
+            }
+            Err(e) => {
+                broken += 1;
+                println!("{name}  BROKEN: {e}");
+            }
+        }
+    }
+    println!(
+        "{} snapshot(s), ~{} KiB{}",
+        files.len(),
+        total_bytes / 1024,
+        if broken > 0 {
+            format!(", {broken} broken")
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+fn verify(dir: &Path) -> Result<()> {
+    let files = snapshot_files(dir)?;
+    let mut defects = Vec::new();
+    for path in &files {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        match snapshot::inspect(path) {
+            Ok(_) => println!("{name}  ok"),
+            Err(e) => {
+                println!("{name}  FAILED: {e}");
+                defects.push(format!("{name}: {e}"));
+            }
+        }
+    }
+    if defects.is_empty() {
+        println!("verified {} snapshot(s), all ok", files.len());
+        Ok(())
+    } else {
+        Err(CliError::Cache(format!(
+            "{} of {} snapshot(s) defective: {}",
+            defects.len(),
+            files.len(),
+            defects.join("; ")
+        )))
+    }
+}
+
+fn clear(dir: &Path) -> Result<()> {
+    let mut files = snapshot_files(dir)?;
+    files.extend(stale_temp_files(dir));
+    let mut bytes = 0u64;
+    let mut removed = 0usize;
+    for path in &files {
+        bytes += std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        std::fs::remove_file(path)
+            .map_err(|e| CliError::Cache(format!("cannot remove {}: {e}", path.display())))?;
+        removed += 1;
+    }
+    println!("removed {removed} file(s), ~{} KiB reclaimed", bytes / 1024);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+    use cdp_metrics::{Evaluator, MetricConfig};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cdp_cli_cache").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    /// Write one real snapshot into `dir` and return its path.
+    fn write_snapshot(dir: &Path) -> PathBuf {
+        let original = DatasetKind::German
+            .generate(&GeneratorConfig::seeded(4).with_records(50))
+            .protected_subtable();
+        let evaluator = Evaluator::new(&original, MetricConfig::default()).unwrap();
+        snapshot::write(&evaluator, dir).unwrap()
+    }
+
+    #[test]
+    fn ls_verify_clear_round_trip() {
+        let dir = tmp_dir("round_trip");
+        write_snapshot(&dir);
+        // an unrelated file must survive `clear`
+        std::fs::write(dir.join("README.txt"), "not a snapshot").unwrap();
+
+        let dir_s = dir.to_str().unwrap();
+        run(Some("ls"), &args(&["--dir", dir_s])).unwrap();
+        run(Some("verify"), &args(&["--dir", dir_s])).unwrap();
+        run(Some("clear"), &args(&["--dir", dir_s])).unwrap();
+        assert!(snapshot_files(&dir).unwrap().is_empty());
+        assert!(
+            dir.join("README.txt").exists(),
+            "clear only takes snapshots"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_fails_on_a_corrupt_snapshot() {
+        let dir = tmp_dir("corrupt");
+        let path = write_snapshot(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, bytes).unwrap();
+
+        let err = run(Some("verify"), &args(&["--dir", dir.to_str().unwrap()])).unwrap_err();
+        assert!(matches!(err, CliError::Cache(_)), "{err}");
+        assert!(err.to_string().contains("defective"), "{err}");
+        // ls keeps going and flags it instead of failing
+        run(Some("ls"), &args(&["--dir", dir.to_str().unwrap()])).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn action_and_flag_validation() {
+        let dir = tmp_dir("validation");
+        let dir_s = dir.to_str().unwrap();
+        assert!(
+            run(None, &args(&["--dir", dir_s])).is_err(),
+            "missing action"
+        );
+        assert!(
+            run(Some("prune"), &args(&["--dir", dir_s])).is_err(),
+            "unknown action"
+        );
+        assert!(run(Some("ls"), &args(&[])).is_err(), "missing --dir");
+        assert!(
+            run(Some("ls"), &args(&["--dir", dir_s, "--force"])).is_err(),
+            "unknown flag"
+        );
+        let missing = dir.join("no_such_subdir");
+        assert!(run(Some("ls"), &args(&["--dir", missing.to_str().unwrap()])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_config_parsing() {
+        assert_eq!(snapshot_config_from(&args(&[])).unwrap(), None);
+        let plain = snapshot_config_from(&args(&["--cache-dir", "/tmp/x"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(plain.dir(), Path::new("/tmp/x"));
+        assert_eq!(plain.cap_bytes(), None);
+        let capped = snapshot_config_from(&args(&["--cache-dir", "/tmp/x", "--cache-cap", "4096"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(capped.cap_bytes(), Some(4096));
+        assert!(snapshot_config_from(&args(&["--cache-cap", "4096"])).is_err());
+        assert!(
+            snapshot_config_from(&args(&["--cache-dir", "/tmp/x", "--cache-cap", "lots"])).is_err()
+        );
+    }
+}

@@ -321,8 +321,16 @@ impl<'a> Fields<'a> {
 
 fn encode_stats(s: &SessionStats) -> String {
     let mut out = format!(
-        "preparations={} hits={} misses={} cached={} approx_bytes={}",
-        s.preparations, s.hits, s.misses, s.cached, s.approx_bytes
+        "preparations={} hits={} misses={} snapshot_hits={} snapshot_misses={} \
+         evictions={} cached={} approx_bytes={}",
+        s.preparations,
+        s.hits,
+        s.misses,
+        s.snapshot_hits,
+        s.snapshot_misses,
+        s.evictions,
+        s.cached,
+        s.approx_bytes
     );
     for e in &s.entries {
         out.push_str(&format!(
@@ -353,6 +361,9 @@ fn decode_stats(f: &Fields<'_>) -> Result<SessionStats> {
         preparations: f.num("preparations")?,
         hits: f.num("hits")?,
         misses: f.num("misses")?,
+        snapshot_hits: f.num("snapshot_hits")?,
+        snapshot_misses: f.num("snapshot_misses")?,
+        evictions: f.num("evictions")?,
         cached: f.num("cached")?,
         approx_bytes: f.num("approx_bytes")?,
         entries: f
@@ -558,6 +569,9 @@ mod tests {
                 preparations: 1,
                 hits: 3,
                 misses: 1,
+                snapshot_hits: 2,
+                snapshot_misses: 1,
+                evictions: 1,
                 cached: 1,
                 approx_bytes: 32_768,
                 entries: vec![CacheEntryStats {
@@ -666,6 +680,9 @@ mod tests {
             preparations: 2,
             hits: 40,
             misses: 2,
+            snapshot_hits: 0,
+            snapshot_misses: 0,
+            evictions: 0,
             cached: 2,
             approx_bytes: 1 << 20,
             entries: Vec::new(),
@@ -675,6 +692,9 @@ mod tests {
             preparations: 2,
             hits: 40,
             misses: 2,
+            snapshot_hits: 7,
+            snapshot_misses: 2,
+            evictions: 6,
             cached: 2,
             approx_bytes: 1 << 20,
             entries: vec![
@@ -707,7 +727,11 @@ mod tests {
             "EVENT generation iteration=1 operator=warp", // unknown operator
             "EVENT migration generation=1 island=0", // emigrants missing
             "EVENT island_front island=0 generation=1", // front fields missing
-            "STATS preparations=1 hits=0 misses=1 cached=1 approx_bytes=8 entry=1:2:3", // short entry
+            // short entry list
+            "STATS preparations=1 hits=0 misses=1 snapshot_hits=0 snapshot_misses=1 \
+             evictions=0 cached=1 approx_bytes=8 entry=1:2:3",
+            // pre-snapshot STATS lines lack the new mandatory counters
+            "STATS preparations=1 hits=0 misses=1 cached=1 approx_bytes=8",
             "DONE name=x", // breakdown missing
         ] {
             assert!(Response::parse(line).is_err(), "`{line}` must be rejected");
@@ -772,6 +796,38 @@ mod tests {
             }));
             let line = event.to_line();
             proptest::prop_assert_eq!(&Response::parse(&line).unwrap(), &event);
+        }
+
+        /// `STATS` lines (and the identical `EVENT cache` payload) carry
+        /// the full counter set — including the snapshot-tier counters —
+        /// losslessly, for any entry list.
+        #[test]
+        fn session_stats_round_trip_losslessly(
+            preparations in 0usize..1_000, hits in 0usize..1_000_000,
+            misses in 0usize..1_000, snapshot_hits in 0usize..1_000,
+            snapshot_misses in 0usize..1_000, evictions in 0usize..1_000,
+            approx_bytes in proptest::prelude::any::<usize>(),
+            entry_rows in proptest::collection::vec(0usize..1_000_000, 0..4),
+            entry_hits in 0usize..1_000,
+            entry_prepared in proptest::prelude::any::<bool>(),
+        ) {
+            let entries: Vec<CacheEntryStats> = entry_rows
+                .iter()
+                .map(|&rows| CacheEntryStats {
+                    rows,
+                    attrs: rows % 7,
+                    hits: entry_hits,
+                    approx_bytes: rows * 13,
+                    prepared: entry_prepared,
+                })
+                .collect();
+            let stats = Response::Stats(SessionStats {
+                preparations, hits, misses, snapshot_hits, snapshot_misses,
+                evictions, cached: entries.len(), approx_bytes, entries,
+            });
+            let line = stats.to_line();
+            proptest::prop_assert_eq!(line.lines().count(), 1);
+            proptest::prop_assert_eq!(&Response::parse(&line).unwrap(), &stats);
         }
 
         /// `JOB` framing: any canonical job-spec line survives the trip

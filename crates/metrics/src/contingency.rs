@@ -7,6 +7,10 @@
 
 use cdp_dataset::{Code, SubTable};
 
+/// Borrowed serialized parts of [`ContingencyTables`]:
+/// `(singles, pairs, cats)`.
+pub(crate) type RawTableParts<'a> = (&'a [Vec<u32>], &'a [(usize, usize, Vec<u32>)], &'a [usize]);
+
 /// Order-1 and order-2 contingency tables of one sub-table.
 #[derive(Debug, PartialEq, Eq)]
 pub struct ContingencyTables {
@@ -76,6 +80,38 @@ impl ContingencyTables {
             cats,
             n_rows: sub.n_rows(),
         }
+    }
+
+    /// Reassemble tables from their serialized parts (the snapshot codec's
+    /// constructor). The caller is responsible for consistency — snapshot
+    /// loads guard the payload with checksums and a content hash instead of
+    /// re-validating cell sums here.
+    pub(crate) fn from_parts(
+        singles: Vec<Vec<u32>>,
+        pairs: Vec<(usize, usize, Vec<u32>)>,
+        cats: Vec<usize>,
+        n_rows: usize,
+    ) -> Self {
+        ContingencyTables {
+            singles,
+            pairs,
+            cats,
+            n_rows,
+        }
+    }
+
+    /// The serialized parts: `(singles, pairs, cats)`; `n_rows` is
+    /// [`ContingencyTables::n_rows`].
+    pub(crate) fn raw_parts(&self) -> RawTableParts<'_> {
+        (&self.singles, &self.pairs, &self.cats)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let cell = std::mem::size_of::<u32>();
+        let singles: usize = self.singles.iter().map(|s| s.len() * cell).sum();
+        let pairs: usize = self.pairs.iter().map(|(_, _, t)| t.len() * cell).sum();
+        singles + pairs + self.cats.len() * std::mem::size_of::<usize>()
     }
 
     /// Number of tables (singles + pairs).

@@ -284,6 +284,21 @@ impl Evaluator {
         })
     }
 
+    /// Bind an already-prepared original (a snapshot rehydration) to a
+    /// configuration. The config is re-validated; the preparation is
+    /// adopted verbatim, so an evaluator rebuilt this way assesses
+    /// bit-identically to one built by [`Evaluator::new`].
+    pub(crate) fn from_prepared(prep: PreparedOriginal, cfg: MetricConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(Evaluator { prep, cfg })
+    }
+
+    /// Approximate heap footprint of the retained preparation, in bytes
+    /// (see [`PreparedOriginal::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        self.prep.approx_bytes()
+    }
+
     /// The prepared original statistics.
     pub fn prepared(&self) -> &PreparedOriginal {
         &self.prep

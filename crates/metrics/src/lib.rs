@@ -33,6 +33,11 @@
 //! exactly and relinking only the touched records, addressing the paper's
 //! future-work item on fitness cost (ablated in `cdp-bench`).
 //!
+//! The prepared state also persists across processes: the [`snapshot`]
+//! module serializes it to a versioned binary file keyed by a content hash
+//! of `(original, config)`, so a later session rehydrates the evaluator
+//! with a near-memcpy load instead of re-preparing.
+//!
 //! ```
 //! use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
 //! use cdp_metrics::{Evaluator, MetricConfig, ScoreAggregator};
@@ -57,6 +62,7 @@ mod score;
 pub mod dr;
 pub mod il;
 pub mod linkage;
+pub mod snapshot;
 
 pub use contingency::ContingencyTables;
 pub use error::{MetricError, Result};

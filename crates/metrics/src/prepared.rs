@@ -131,6 +131,63 @@ impl PreparedOriginal {
         }
     }
 
+    /// Reassemble a prepared original from its serialized parts (the
+    /// snapshot codec's constructor). Field order and semantics match the
+    /// struct; the caller (the snapshot loader) guards integrity with
+    /// per-section checksums and a content hash of `orig`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        orig: SubTable,
+        cats: Vec<usize>,
+        ordinal: Vec<bool>,
+        inv_span: Vec<f64>,
+        counts: Vec<Vec<u32>>,
+        probs: Vec<Vec<f64>>,
+        order_keys: Vec<Vec<usize>>,
+        rank_start: Vec<Vec<usize>>,
+        tables: ContingencyTables,
+        chance_agreement: Vec<f64>,
+        pattern_index: PatternIndex,
+        min_cell_dist: Vec<Vec<f64>>,
+    ) -> Self {
+        PreparedOriginal {
+            orig,
+            cats,
+            ordinal,
+            inv_span,
+            counts,
+            probs,
+            order_keys,
+            rank_start,
+            tables,
+            chance_agreement,
+            pattern_index,
+            min_cell_dist,
+        }
+    }
+
+    /// Approximate heap footprint in bytes: the retained original arena
+    /// plus every derived component (marginals, probabilities, rank stats,
+    /// contingency tables, the pattern index and the distance bounds).
+    /// This is the accounting behind the session cache's byte cap.
+    pub fn approx_bytes(&self) -> usize {
+        let arena = self.orig.flat_len() * std::mem::size_of::<Code>();
+        let per_cat: usize = (0..self.cats.len())
+            .map(|k| {
+                self.counts[k].len() * std::mem::size_of::<u32>()
+                    + self.probs[k].len() * std::mem::size_of::<f64>()
+                    + self.order_keys[k].len() * std::mem::size_of::<usize>()
+                    + self.rank_start[k].len() * std::mem::size_of::<usize>()
+                    + self.min_cell_dist[k].len() * std::mem::size_of::<f64>()
+            })
+            .sum();
+        let scalars = self.cats.len()
+            * (std::mem::size_of::<usize>()
+                + std::mem::size_of::<bool>()
+                + 2 * std::mem::size_of::<f64>());
+        arena + per_cat + scalars + self.tables.approx_bytes() + self.pattern_index.approx_bytes()
+    }
+
     /// The original sub-table.
     pub fn orig(&self) -> &SubTable {
         &self.orig

@@ -195,6 +195,6 @@ pub mod prelude {
     pub use crate::pipeline::{
         BestProtection, CacheEntryStats, DataSource, Front, JobEvent, JobOutcome, JobReport,
         OptimizerMode, PipelineError, PopulationSpec, ProtectionJob, Session, SessionStats,
-        SharedSession, SuiteKind,
+        SharedSession, SnapshotCacheConfig, SuiteKind,
     };
 }

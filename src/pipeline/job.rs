@@ -12,6 +12,7 @@ use rand::SeedableRng;
 
 use super::report::JobReport;
 use super::session::Session;
+use super::shared::SnapshotCacheConfig;
 use super::stages::JobEvent;
 use super::{PipelineError, Result};
 
@@ -303,6 +304,7 @@ pub struct ProtectionJob {
     pub(crate) iterations: usize,
     pub(crate) drop_best_fraction: f64,
     pub(crate) audit: Option<AuditSpec>,
+    pub(crate) snapshot: Option<SnapshotCacheConfig>,
     pub(crate) seed: u64,
 }
 
@@ -485,6 +487,12 @@ impl ProtectionJob {
     pub fn audit_spec(&self) -> Option<&AuditSpec> {
         self.audit.as_ref()
     }
+
+    /// The persistent snapshot-cache tier the job attaches to its
+    /// session, when configured.
+    pub fn snapshot_cache(&self) -> Option<&SnapshotCacheConfig> {
+        self.snapshot.as_ref()
+    }
 }
 
 /// Fluent builder for [`ProtectionJob`]; see the module docs for the
@@ -508,6 +516,7 @@ pub struct ProtectionJobBuilder {
     stagnation: Option<usize>,
     drop_best_fraction: f64,
     audit: Option<AuditSpec>,
+    snapshot: Option<SnapshotCacheConfig>,
     seed: u64,
 }
 
@@ -532,6 +541,7 @@ impl Default for ProtectionJobBuilder {
             stagnation: None,
             drop_best_fraction: 0.0,
             audit: None,
+            snapshot: None,
             seed: 42,
         }
     }
@@ -843,6 +853,18 @@ impl ProtectionJobBuilder {
         self
     }
 
+    /// Attach a persistent snapshot cache: the session running this job
+    /// serializes prepared evaluators under the configured directory and
+    /// rehydrates them on later runs — even in a fresh process — instead
+    /// of re-preparing (see [`SnapshotCacheConfig`] and
+    /// [`super::SharedSession::set_snapshot_cache`]). The configuration
+    /// is applied to the session at run time and stays in effect for its
+    /// subsequent jobs.
+    pub fn snapshot_cache(mut self, config: SnapshotCacheConfig) -> Self {
+        self.snapshot = Some(config);
+        self
+    }
+
     /// Master seed: population masking, evolution, and the generator
     /// (unless overridden with [`ProtectionJobBuilder::generator_seed`]).
     pub fn seed(mut self, seed: u64) -> Self {
@@ -967,6 +989,7 @@ impl ProtectionJobBuilder {
             iterations: self.iterations,
             drop_best_fraction: self.drop_best_fraction,
             audit: self.audit,
+            snapshot: self.snapshot,
             seed: self.seed,
         })
     }

@@ -67,7 +67,7 @@ pub use job::{
 };
 pub use report::{BestProtection, Front, JobOutcome, JobReport};
 pub use session::Session;
-pub use shared::{CacheEntryStats, SessionStats, SharedSession};
+pub use shared::{CacheEntryStats, SessionStats, SharedSession, SnapshotCacheConfig};
 pub use stages::JobEvent;
 
 /// Everything that can go wrong while describing or executing a job.

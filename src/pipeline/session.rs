@@ -12,7 +12,7 @@ use cdp_metrics::{Evaluator, MetricConfig};
 
 use super::job::ProtectionJob;
 use super::report::JobReport;
-use super::shared::{SessionStats, SharedSession};
+use super::shared::{SessionStats, SharedSession, SnapshotCacheConfig};
 use super::stages::JobEvent;
 use super::Result;
 
@@ -81,6 +81,14 @@ impl Session {
     /// history, not cache contents).
     pub fn clear(&mut self) {
         self.shared.clear();
+    }
+
+    /// Attach (or with `None` detach) the persistent snapshot tier: cold
+    /// preparations are written to disk and later sessions — even in a
+    /// fresh process — rehydrate them instead of re-preparing. See
+    /// [`SharedSession::set_snapshot_cache`].
+    pub fn set_snapshot_cache(&mut self, config: Option<SnapshotCacheConfig>) {
+        self.shared.set_snapshot_cache(config);
     }
 
     /// The evaluator for an original, preparing it on first sight. Returns
@@ -334,6 +342,73 @@ mod tests {
         assert!(!tags.contains(&"front"), "island jobs use per-island kinds");
         assert!(tags.contains(&"migration"));
         assert_eq!(*tags.last().unwrap(), "finished");
+    }
+
+    fn snap_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("cdp_session_snapshot_tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshot_rehydrated_jobs_are_bit_identical_in_both_modes() {
+        for nsga in [false, true] {
+            let dir = snap_dir(if nsga { "job-nsga" } else { "job-scalar" });
+            let mut builder = ProtectionJob::builder()
+                .dataset(DatasetKind::German)
+                .records(60)
+                .iterations(4)
+                .seed(5)
+                .snapshot_cache(SnapshotCacheConfig::new(&dir));
+            if nsga {
+                builder = builder.nsga();
+            }
+            let job = builder.build().unwrap();
+            // cold run: prepares and writes the snapshot
+            let mut cold = Session::new();
+            let report_cold = cold.run(&job).unwrap();
+            assert_eq!(cold.stats().snapshot_misses, 1);
+            assert_eq!(cold.preparations(), 1);
+            // fresh session (a new process, in effect): rehydrates
+            let mut warm = Session::new();
+            let report_warm = warm.run(&job).unwrap();
+            assert_eq!(warm.preparations(), 0, "served entirely from disk");
+            assert_eq!(warm.stats().snapshot_hits, 1);
+            assert!(report_warm.evaluator_reused);
+            // whole job output, bit for bit
+            assert_eq!(report_cold.best.assessment, report_warm.best.assessment);
+            assert_eq!(report_cold.best.data, report_warm.best.data);
+            assert_eq!(report_cold.points, report_warm.points);
+        }
+    }
+
+    #[test]
+    fn cache_stats_event_carries_the_snapshot_counters() {
+        let dir = snap_dir("event-counters");
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::Adult)
+            .records(60)
+            .iterations(2)
+            .seed(6)
+            .snapshot_cache(SnapshotCacheConfig::new(&dir))
+            .build()
+            .unwrap();
+        let mut session = Session::new();
+        session.run(&job).unwrap();
+        let mut seen = None;
+        Session::new()
+            .run_with(&job, |e| {
+                if let JobEvent::CacheStats(s) = e {
+                    seen = Some(s.clone());
+                }
+            })
+            .unwrap();
+        let stats = seen.expect("jobs stream a CacheStats event");
+        assert_eq!(stats.snapshot_hits, 1, "second session loads from disk");
+        assert_eq!(stats.preparations, 0);
     }
 
     #[test]

@@ -18,18 +18,76 @@
 //! single-threaded API every example and the bench harness use) is a thin
 //! wrapper over this type since the server refactor.
 //!
+//! # The snapshot tier
+//!
+//! With [`SharedSession::set_snapshot_cache`] the in-memory cache gains a
+//! second, persistent tier backed by [`cdp_metrics::snapshot`] files:
+//!
+//! * an in-memory **miss** first tries the snapshot directory — a valid
+//!   snapshot rehydrates the evaluator with a near-memcpy load
+//!   ([`SessionStats::snapshot_hits`]) instead of a cold preparation;
+//! * every cold preparation is written back (atomically, temp + rename),
+//!   so the *next process* starts warm;
+//! * an optional byte cap turns the in-memory tier into an LRU: when the
+//!   resident prepared state exceeds the cap, least-recently-used slots
+//!   are demoted ([`SessionStats::evictions`]) — their evaluators drop
+//!   from memory but fault back from disk on the next request, never
+//!   re-preparing.
+//!
 //! [`Session`]: super::Session
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cdp_dataset::{Code, SubTable};
-use cdp_metrics::{Evaluator, MetricConfig};
+use cdp_metrics::{snapshot, Evaluator, MetricConfig};
 
 use super::job::ProtectionJob;
 use super::report::JobReport;
 use super::stages::{run_job, JobEvent};
 use super::Result;
+
+/// Configuration of the persistent snapshot tier
+/// ([`SharedSession::set_snapshot_cache`]): where prepared-evaluator
+/// snapshots live on disk, and an optional LRU byte cap on the in-memory
+/// tier above it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotCacheConfig {
+    dir: PathBuf,
+    cap_bytes: Option<usize>,
+}
+
+impl SnapshotCacheConfig {
+    /// Snapshot tier rooted at `dir` (created on first write), no cap.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SnapshotCacheConfig {
+            dir: dir.into(),
+            cap_bytes: None,
+        }
+    }
+
+    /// Cap the in-memory tier's *evictable* resident bytes (the prepared
+    /// state; the original arenas that key the slots are never evicted).
+    /// When an insert pushes the resident prepared state past the cap,
+    /// least-recently-used slots demote to disk until it fits — a cap of
+    /// `0` keeps nothing in memory and serves every request from disk.
+    #[must_use]
+    pub fn with_cap(mut self, cap_bytes: usize) -> Self {
+        self.cap_bytes = Some(cap_bytes);
+        self
+    }
+
+    /// The snapshot directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// The in-memory LRU cap in bytes, if any.
+    pub fn cap_bytes(&self) -> Option<usize> {
+        self.cap_bytes
+    }
+}
 
 /// Cache observability counters of a session ([`SharedSession::stats`] /
 /// [`Session::stats`]): how much preparation work the evaluator cache
@@ -39,22 +97,36 @@ use super::Result;
 /// [`Session::stats`]: super::Session::stats
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SessionStats {
-    /// Evaluator preparations actually performed (the expensive path:
-    /// ranks, marginals, contingency tables, PRL census, pattern index).
+    /// Evaluator preparations actually performed (the expensive cold
+    /// path: ranks, marginals, contingency tables, PRL census, pattern
+    /// index). Snapshot loads do **not** count here.
     pub preparations: usize,
     /// Requests served from an already-registered slot. A request that
     /// arrives while the first one is still preparing counts as a hit —
     /// it blocks on the slot instead of re-preparing.
     pub hits: usize,
-    /// Requests that had to register a new slot (== `preparations`, minus
-    /// slots whose preparation failed and was evicted).
+    /// Requests that had to register a new slot (== `preparations` +
+    /// `snapshot_hits`, minus slots whose preparation failed and was
+    /// evicted).
     pub misses: usize,
+    /// Evaluators rehydrated from an on-disk snapshot instead of a cold
+    /// preparation — both first-sight loads and post-eviction fault-backs.
+    pub snapshot_hits: usize,
+    /// Disk lookups that found no usable snapshot (missing, corrupt,
+    /// stale content hash, wrong format version) and fell back to a cold
+    /// preparation. Zero unless a snapshot cache is configured.
+    pub snapshot_misses: usize,
+    /// In-memory slots demoted to disk by the LRU byte cap. Evicted
+    /// slots fault back from their snapshot, so an eviction never causes
+    /// a re-preparation.
+    pub evictions: usize,
     /// Distinct `(original, MetricConfig)` slots currently cached.
     pub cached: usize,
-    /// Approximate resident size of the cached preparations, in bytes:
-    /// the retained original arenas plus the per-row agreement-pattern
-    /// histograms (`n · 2^a` u32s per prepared original). A lower bound —
-    /// contingency tables and rank stats are not counted.
+    /// Approximate resident size of the cache, in bytes: the retained
+    /// original arenas plus, per prepared slot, every component of the
+    /// prepared state — marginal counts/probabilities, rank statistics,
+    /// contingency tables, the pattern index with its postings, and the
+    /// evaluator's retained copy of the original.
     pub approx_bytes: usize,
     /// Per-slot detail, in registration order — one entry per cached
     /// `(original, MetricConfig)` pair (`entries.len() == cached`).
@@ -75,8 +147,9 @@ pub struct CacheEntryStats {
     /// Approximate resident bytes of this slot (same accounting as
     /// [`SessionStats::approx_bytes`]).
     pub approx_bytes: usize,
-    /// Whether the slot's preparation has completed (`false` while the
-    /// first arrival is still preparing it).
+    /// Whether the slot's evaluator is resident in memory (`false` while
+    /// the first arrival is still preparing it, or after an LRU
+    /// eviction demoted it to its on-disk snapshot).
     pub prepared: bool,
 }
 
@@ -89,36 +162,35 @@ impl SessionStats {
 }
 
 /// One cached preparation: the original it was built for, and the
-/// evaluator — `None` while the first arrival is still preparing it.
+/// evaluator — `None` while the first arrival is still preparing it or
+/// after an LRU eviction demoted it to disk.
 struct CacheSlot {
     original: SubTable,
     cfg: MetricConfig,
     hits: AtomicUsize,
+    /// LRU stamp: the session clock value of the last request that
+    /// touched this slot. Never decreases.
+    last_used: AtomicUsize,
     evaluator: Mutex<Option<Evaluator>>,
 }
 
 impl CacheSlot {
-    /// Approximate resident bytes (see [`SessionStats::approx_bytes`]).
-    fn approx_bytes(&self, prepared: bool) -> usize {
-        let (n, a) = (self.original.n_rows(), self.original.n_attrs());
-        let arena = n * a * std::mem::size_of::<Code>();
-        let prepared = if prepared {
-            n * (1usize << a.min(24)) * std::mem::size_of::<u32>()
-        } else {
-            0
-        };
-        arena + prepared
+    /// Bytes of the retained original arena — the slot's irreducible
+    /// footprint, kept even after eviction (it is the cache key).
+    fn arena_bytes(&self) -> usize {
+        self.original.flat_len() * std::mem::size_of::<Code>()
     }
 
     /// The slot's [`SessionStats::entries`] element.
     fn entry_stats(&self) -> CacheEntryStats {
-        let prepared = self.evaluator.lock().is_ok_and(|g| g.is_some());
+        let guard = self.evaluator.lock().expect("cache slot lock");
+        let evaluator_bytes = guard.as_ref().map_or(0, Evaluator::approx_bytes);
         CacheEntryStats {
             rows: self.original.n_rows(),
             attrs: self.original.n_attrs(),
             hits: self.hits.load(Ordering::Relaxed),
-            approx_bytes: self.approx_bytes(prepared),
-            prepared,
+            approx_bytes: self.arena_bytes() + evaluator_bytes,
+            prepared: guard.is_some(),
         }
     }
 }
@@ -127,9 +199,15 @@ impl CacheSlot {
 #[derive(Default)]
 struct SharedCache {
     slots: Mutex<Vec<Arc<CacheSlot>>>,
+    snapshot: Mutex<Option<SnapshotCacheConfig>>,
     preparations: AtomicUsize,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    snapshot_hits: AtomicUsize,
+    snapshot_misses: AtomicUsize,
+    evictions: AtomicUsize,
+    /// Monotonic request counter feeding the slots' LRU stamps.
+    clock: AtomicUsize,
 }
 
 /// A cloneable, thread-safe job execution context: the evaluator cache of
@@ -175,7 +253,7 @@ impl SharedSession {
         SharedSession::default()
     }
 
-    /// Current cache counters. Cheap (two lock acquisitions, no
+    /// Current cache counters. Cheap (lock acquisitions only, no
     /// preparation work); safe to poll per request.
     pub fn stats(&self) -> SessionStats {
         let slots = self.cache.slots.lock().expect("cache registry lock");
@@ -184,10 +262,34 @@ impl SharedSession {
             preparations: self.cache.preparations.load(Ordering::Relaxed),
             hits: self.cache.hits.load(Ordering::Relaxed),
             misses: self.cache.misses.load(Ordering::Relaxed),
+            snapshot_hits: self.cache.snapshot_hits.load(Ordering::Relaxed),
+            snapshot_misses: self.cache.snapshot_misses.load(Ordering::Relaxed),
+            evictions: self.cache.evictions.load(Ordering::Relaxed),
             cached: slots.len(),
             approx_bytes: entries.iter().map(|e| e.approx_bytes).sum(),
             entries,
         }
+    }
+
+    /// Attach (or with `None` detach) the persistent snapshot tier: see
+    /// the module docs. Takes effect for every subsequent request on any
+    /// clone of this session; if the new config carries a lower byte cap
+    /// than the current residency, the excess is evicted immediately.
+    pub fn set_snapshot_cache(&self, config: Option<SnapshotCacheConfig>) {
+        let cap = config.as_ref().and_then(SnapshotCacheConfig::cap_bytes);
+        *self.cache.snapshot.lock().expect("snapshot config lock") = config;
+        if let Some(cap) = cap {
+            self.enforce_cap(cap);
+        }
+    }
+
+    /// The currently attached snapshot-tier configuration, if any.
+    pub fn snapshot_cache(&self) -> Option<SnapshotCacheConfig> {
+        self.cache
+            .snapshot
+            .lock()
+            .expect("snapshot config lock")
+            .clone()
     }
 
     /// Drop every cached preparation. Counters are cumulative and survive
@@ -207,6 +309,11 @@ impl SharedSession {
     /// that key's slot: exactly one caller prepares, the rest block and
     /// receive the cached clone (`reused = true`). Calls for distinct
     /// keys prepare in parallel.
+    ///
+    /// With a snapshot cache attached, an in-memory miss (a fresh slot,
+    /// or one the LRU demoted) first tries the snapshot directory; a
+    /// rehydrated evaluator also counts as `reused = true` — the caller
+    /// got a cached preparation, just from disk.
     ///
     /// # Errors
     /// [`cdp_metrics::MetricError`] for an invalid metric configuration;
@@ -231,6 +338,7 @@ impl SharedSession {
                         original: original.clone(),
                         cfg,
                         hits: AtomicUsize::new(0),
+                        last_used: AtomicUsize::new(0),
                         evaluator: Mutex::new(None),
                     });
                     slots.push(Arc::clone(&slot));
@@ -243,14 +351,41 @@ impl SharedSession {
         } else {
             self.cache.hits.fetch_add(1, Ordering::Relaxed);
         }
+        slot.last_used.store(
+            self.cache.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        let snap = self.snapshot_cache();
         let mut guard = slot.evaluator.lock().expect("cache slot lock");
         if let Some(evaluator) = guard.as_ref() {
             return Ok((evaluator.clone(), true));
+        }
+        if let Some(snap) = &snap {
+            let path = snapshot::snapshot_path(snap.dir(), &slot.original, &cfg);
+            if let Some(evaluator) = snapshot::load(&path, &slot.original, &cfg) {
+                self.cache.snapshot_hits.fetch_add(1, Ordering::Relaxed);
+                *guard = Some(evaluator.clone());
+                drop(guard);
+                if let Some(cap) = snap.cap_bytes() {
+                    self.enforce_cap(cap);
+                }
+                return Ok((evaluator, true));
+            }
+            self.cache.snapshot_misses.fetch_add(1, Ordering::Relaxed);
         }
         match Evaluator::new(&slot.original, cfg) {
             Ok(evaluator) => {
                 self.cache.preparations.fetch_add(1, Ordering::Relaxed);
                 *guard = Some(evaluator.clone());
+                drop(guard);
+                if let Some(snap) = &snap {
+                    // write-back is an optimization: a full disk or
+                    // unwritable directory must not fail the job
+                    let _ = snapshot::write(&evaluator, snap.dir());
+                    if let Some(cap) = snap.cap_bytes() {
+                        self.enforce_cap(cap);
+                    }
+                }
                 // a racing caller that found the slot mid-preparation
                 // still reused the preparation — only the registrant paid
                 Ok((evaluator, !registered))
@@ -264,6 +399,46 @@ impl SharedSession {
                 }
                 Err(e.into())
             }
+        }
+    }
+
+    /// Demote least-recently-used prepared slots until the resident
+    /// evictable bytes (the in-memory prepared state; retained arenas
+    /// are the cache keys and never count) fit under `cap`.
+    ///
+    /// Slots whose evaluator lock is held by a concurrent request are
+    /// skipped — under contention the cap is enforced best-effort and
+    /// re-checked on the next insert; with no concurrent holders (every
+    /// single-threaded caller) the bound is exact after every insert.
+    fn enforce_cap(&self, cap: usize) {
+        let slots = self.cache.slots.lock().expect("cache registry lock");
+        loop {
+            let mut resident = 0usize;
+            let mut lru: Option<(usize, usize)> = None; // (stamp, index)
+            for (i, slot) in slots.iter().enumerate() {
+                let Ok(guard) = slot.evaluator.try_lock() else {
+                    continue;
+                };
+                if let Some(evaluator) = guard.as_ref() {
+                    resident += evaluator.approx_bytes();
+                    let stamp = slot.last_used.load(Ordering::Relaxed);
+                    if lru.is_none_or(|(s, _)| stamp < s) {
+                        lru = Some((stamp, i));
+                    }
+                }
+            }
+            if resident <= cap {
+                return;
+            }
+            let Some((_, victim)) = lru else { return };
+            if let Ok(mut guard) = slots[victim].evaluator.try_lock() {
+                if guard.take().is_some() {
+                    self.cache.evictions.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            // the victim got busy between the two passes; don't spin
+            return;
         }
     }
 
@@ -433,5 +608,156 @@ mod tests {
             stats.hits,
             stats.entries.iter().map(|e| e.hits).sum::<usize>()
         );
+        // no snapshot cache attached: the disk-tier counters stay zero
+        assert_eq!(
+            (stats.snapshot_hits, stats.snapshot_misses, stats.evictions),
+            (0, 0, 0)
+        );
+    }
+
+    fn snap_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("cdp_shared_snapshot_tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn original(kind: DatasetKind, n: usize) -> SubTable {
+        kind.generate(&cdp_dataset::generators::GeneratorConfig::seeded(9).with_records(n))
+            .protected_subtable()
+    }
+
+    #[test]
+    fn snapshot_tier_warms_a_new_session() {
+        let dir = snap_dir("warm");
+        let orig = original(DatasetKind::Adult, 60);
+        let cfg = MetricConfig::default();
+        let cold = SharedSession::new();
+        cold.set_snapshot_cache(Some(SnapshotCacheConfig::new(&dir)));
+        let (ev_cold, reused) = cold.evaluator_for(&orig, cfg).unwrap();
+        assert!(!reused);
+        let s = cold.stats();
+        assert_eq!(
+            (s.preparations, s.snapshot_hits, s.snapshot_misses),
+            (1, 0, 1),
+            "first sight: empty directory, cold prepare, write-back"
+        );
+        // a brand-new session — a new process, in effect — starts warm
+        let warm = SharedSession::new();
+        warm.set_snapshot_cache(Some(SnapshotCacheConfig::new(&dir)));
+        let (ev_warm, reused) = warm.evaluator_for(&orig, cfg).unwrap();
+        assert!(reused, "a snapshot load is a reuse, not a preparation");
+        let s = warm.stats();
+        assert_eq!(
+            (s.preparations, s.snapshot_hits, s.snapshot_misses),
+            (0, 1, 0)
+        );
+        // the rehydrated evaluator assesses bit-identically
+        let mut masked = orig.clone();
+        for r in 0..masked.n_rows() {
+            let c = masked.attr(1).n_categories() as Code;
+            masked.set(r, 1, (masked.get(r, 1) + 1) % c);
+        }
+        assert_eq!(ev_cold.evaluate(&orig), ev_warm.evaluate(&orig));
+        assert_eq!(ev_cold.evaluate(&masked), ev_warm.evaluate(&masked));
+    }
+
+    #[test]
+    fn eviction_faults_back_from_disk_without_repreparing() {
+        let dir = snap_dir("faultback");
+        let orig = original(DatasetKind::German, 60);
+        let cfg = MetricConfig::default();
+        let session = SharedSession::new();
+        session.set_snapshot_cache(Some(SnapshotCacheConfig::new(&dir).with_cap(0)));
+        let (first, _) = session.evaluator_for(&orig, cfg).unwrap();
+        let s = session.stats();
+        assert_eq!(s.preparations, 1);
+        assert_eq!(s.evictions, 1, "cap 0 demotes the slot immediately");
+        assert!(!s.entries[0].prepared);
+        // the next request faults back from disk: a registry hit plus a
+        // snapshot load — never a second preparation
+        let (second, reused) = session.evaluator_for(&orig, cfg).unwrap();
+        assert!(reused);
+        let s = session.stats();
+        assert_eq!(s.preparations, 1, "eviction must not cause re-preparation");
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.snapshot_hits, 1);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(first.evaluate(&orig), second.evaluate(&orig));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_slot_first() {
+        let dir = snap_dir("lru");
+        let cfg = MetricConfig::default();
+        let a = original(DatasetKind::Adult, 60);
+        let b = original(DatasetKind::German, 60);
+        let c = original(DatasetKind::Flare, 60);
+        let session = SharedSession::new();
+        session.set_snapshot_cache(Some(SnapshotCacheConfig::new(&dir)));
+        let (ea, _) = session.evaluator_for(&a, cfg).unwrap();
+        let (eb, _) = session.evaluator_for(&b, cfg).unwrap();
+        let (ec, _) = session.evaluator_for(&c, cfg).unwrap();
+        let total = ea.approx_bytes() + eb.approx_bytes() + ec.approx_bytes();
+        // one byte short of everything: exactly one eviction, LRU first
+        session.set_snapshot_cache(Some(SnapshotCacheConfig::new(&dir).with_cap(total - 1)));
+        let s = session.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(!s.entries[0].prepared, "A was the least recently used");
+        assert!(s.entries[1].prepared && s.entries[2].prepared);
+        // touching A faults it back and pushes out B, the new LRU
+        session.evaluator_for(&a, cfg).unwrap();
+        let s = session.stats();
+        assert_eq!(s.snapshot_hits, 1);
+        assert_eq!(s.preparations, 3, "no re-preparation anywhere");
+        assert_eq!(s.evictions, 2);
+        assert!(s.entries[0].prepared);
+        assert!(!s.entries[1].prepared, "B became the LRU after A's touch");
+        assert!(s.entries[2].prepared);
+    }
+
+    mod lru_property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 16 })]
+            #[test]
+            fn resident_bytes_never_exceed_the_cap(
+                seq in proptest::collection::vec(0usize..3, 1..10),
+                cap_kib in 0usize..260,
+            ) {
+                let dir = snap_dir("prop");
+                let pool = [
+                    original(DatasetKind::Adult, 40),
+                    original(DatasetKind::German, 40),
+                    original(DatasetKind::Flare, 40),
+                ];
+                let cap = cap_kib * 1024;
+                let session = SharedSession::new();
+                session
+                    .set_snapshot_cache(Some(SnapshotCacheConfig::new(&dir).with_cap(cap)));
+                for &i in &seq {
+                    session
+                        .evaluator_for(&pool[i], MetricConfig::default())
+                        .unwrap();
+                    // the evictable residency (prepared state minus the
+                    // irreducible key arenas) honors the cap after every
+                    // single insert
+                    let stats = session.stats();
+                    let resident: usize = stats
+                        .entries
+                        .iter()
+                        .filter(|e| e.prepared)
+                        .map(|e| {
+                            e.approx_bytes - e.rows * e.attrs * std::mem::size_of::<Code>()
+                        })
+                        .sum();
+                    prop_assert!(resident <= cap, "resident {resident} > cap {cap}");
+                }
+            }
+        }
     }
 }
