@@ -1,7 +1,7 @@
 //! Delta-vs-full evaluation benchmark: the perf baseline for the
 //! `Evaluator::assess` / `Evaluator::reassess` hot path.
 //!
-//! Four sections, written as `BENCH_evaluator.json`:
+//! Five sections, written as `BENCH_evaluator.json`:
 //!
 //! 1. **micro** — per-dataset-size cost of a full assessment vs a
 //!    single-cell and a quarter-segment patch re-assessment (ns/op and the
@@ -19,6 +19,12 @@
 //! 4. **evolution** — a 250-iteration paper-suite evolution run with the
 //!    incremental knobs off vs on: wall time, the full/incremental
 //!    assessment split, and the best point's (IL, DR) drift.
+//! 5. **objectives** — the objective-vector overhead: the same NSGA-II
+//!    run over the canonical (IL, DR) pair vs the 3-component
+//!    (IL, DR, eps) vector, with per-generation wall cost and the
+//!    N=3/N=2 ratio (dominance, crowding, and hypervolume all scale
+//!    with the vector length; the canonical path must stay at its
+//!    pre-refactor cost).
 //!
 //! ```text
 //! cargo run --release -p cdp_bench --bin evaluator_bench -- \
@@ -41,13 +47,15 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use cdp_core::{EvoConfig, Evolution, EvolutionOutcome};
+use cdp_core::{EvoConfig, Evolution, EvolutionOutcome, Nsga2, NsgaConfig};
 use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
 use cdp_dataset::{Code, PatternIndex, SubTable};
 use cdp_metrics::linkage::{
     dbrl_credits, dbrl_credits_blocked, rsrl_credits, rsrl_credits_blocked,
 };
-use cdp_metrics::{snapshot, Evaluator, MaskedStats, MetricConfig, Patch, PreparedOriginal};
+use cdp_metrics::{
+    snapshot, Evaluator, MaskedStats, MetricConfig, ObjectiveSet, Patch, PreparedOriginal,
+};
 use cdp_sdc::{build_population, SuiteConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -361,6 +369,60 @@ fn evolution_run(
     }
 }
 
+struct ObjRun {
+    n: usize,
+    wall_ms: f64,
+    ms_per_generation: f64,
+    front_size: usize,
+    final_hypervolume: f64,
+    evaluations: usize,
+}
+
+/// One NSGA-II run over `il,dr` plus `extra` objective keys, timed
+/// wall-to-wall (evaluator preparation excluded — the vector length only
+/// touches selection, so that is what the section isolates).
+fn objectives_run(extra: &[&str], records: usize, generations: usize, seed: u64) -> ObjRun {
+    let ds = DatasetKind::German.generate(&GeneratorConfig::seeded(seed).with_records(records));
+    let pop = build_population(&ds, &SuiteConfig::small(), seed).expect("suite");
+    let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).expect("evaluator");
+    let mut keys = vec!["il", "dr"];
+    keys.extend_from_slice(extra);
+    let objectives = ObjectiveSet::from_keys(&keys).expect("valid objective keys");
+    let cfg = NsgaConfig {
+        generations,
+        seed,
+        ..NsgaConfig::default()
+    };
+    let t0 = Instant::now();
+    let outcome = Nsga2::new(ev, cfg)
+        .with_objectives(objectives)
+        .with_named_population(pop)
+        .expect("compatible population")
+        .run();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ObjRun {
+        n: 2 + extra.len(),
+        wall_ms,
+        ms_per_generation: wall_ms / generations as f64,
+        front_size: outcome.front.len(),
+        final_hypervolume: *outcome.hypervolume_series.last().expect("series non-empty"),
+        evaluations: outcome.evaluations,
+    }
+}
+
+fn obj_json(run: &ObjRun) -> String {
+    format!(
+        "{{\"n\": {}, \"wall_ms\": {:.1}, \"ms_per_generation\": {:.2}, \
+         \"front_size\": {}, \"hypervolume\": {:.1}, \"evaluations\": {}}}",
+        run.n,
+        run.wall_ms,
+        run.ms_per_generation,
+        run.front_size,
+        run.final_hypervolume,
+        run.evaluations
+    )
+}
+
 fn evo_json(run: &EvoRun) -> String {
     let best = run.outcome.final_best();
     format!(
@@ -439,6 +501,17 @@ fn main() {
         Some((full, inc))
     };
 
+    let objectives_bench = if args.no_evolution {
+        None
+    } else {
+        let (obj_records, obj_gens) = if args.quick { (200, 10) } else { (500, 40) };
+        eprintln!("objectives: N=2 …");
+        let two = objectives_run(&[], obj_records, obj_gens, args.seed);
+        eprintln!("objectives: N=3 …");
+        let three = objectives_run(&["eps"], obj_records, obj_gens, args.seed);
+        Some((two, three, obj_records, obj_gens))
+    };
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"quick\": {},", args.quick);
@@ -499,6 +572,24 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"exactness_max_abs_delta\": {exact_delta:e},");
+    if let Some((two, three, obj_records, obj_gens)) = &objectives_bench {
+        let _ = writeln!(json, "  \"objectives\": {{");
+        let _ = writeln!(
+            json,
+            "    \"dataset\": \"german\", \"records\": {obj_records}, \
+             \"generations\": {obj_gens},"
+        );
+        let _ = writeln!(json, "    \"n2\": {},", obj_json(two));
+        let _ = writeln!(json, "    \"n3\": {},", obj_json(three));
+        let _ = writeln!(
+            json,
+            "    \"n3_over_n2_ms_per_generation\": {:.2}",
+            three.ms_per_generation / two.ms_per_generation.max(1e-9)
+        );
+        let _ = writeln!(json, "  }},");
+    } else {
+        let _ = writeln!(json, "  \"objectives\": null,");
+    }
     let (il_drift, dr_drift) = if let Some((full, inc)) = &evolution {
         let _ = writeln!(json, "  \"evolution\": {{");
         let _ = writeln!(

@@ -96,12 +96,7 @@ mod tests {
     use cdp_core::OperatorKind;
 
     fn pt(il: f64, dr: f64) -> ScatterPoint {
-        ScatterPoint {
-            name: "x".into(),
-            il,
-            dr,
-            score: (il + dr) / 2.0,
-        }
+        ScatterPoint::from_pair("x".into(), il, dr, (il + dr) / 2.0)
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! newlines cannot break the framing.
 
 use cdp::pipeline::{CacheEntryStats, JobEvent, JobReport, SessionStats};
-use cdp_core::OperatorKind;
+use cdp_core::{ObjectiveVector, OperatorKind};
 
 use crate::error::{CliError, Result};
 use crate::spec::JobSpec;
@@ -374,6 +374,28 @@ fn decode_stats(f: &Fields<'_>) -> Result<SessionStats> {
     })
 }
 
+/// Encode an objective vector as colon-joined shortest-round-trip floats
+/// (`ideal=12.5:40.25:3.75`); component count = run's objective count.
+fn encode_vector(v: &ObjectiveVector) -> String {
+    v.as_slice()
+        .iter()
+        .map(f64::to_string)
+        .collect::<Vec<_>>()
+        .join(":")
+}
+
+fn decode_vector(raw: &str) -> Result<ObjectiveVector> {
+    let bad = || CliError::Usage(format!("protocol field ideal: cannot parse `{raw}`"));
+    let vals: Vec<f64> = raw
+        .split(':')
+        .map(|t| t.parse().map_err(|_| bad()))
+        .collect::<Result<_>>()?;
+    if vals.is_empty() || vals.len() > cdp_metrics::MAX_OBJECTIVES {
+        return Err(bad());
+    }
+    Ok(ObjectiveVector::from_slice(&vals))
+}
+
 fn encode_generation_stats(g: &cdp_core::GenerationStats) -> String {
     format!(
         "iteration={} min={} mean={} max={} operator={} accepted={}",
@@ -423,8 +445,11 @@ pub fn encode_event(event: &JobEvent) -> String {
             generation,
             front_size,
             hypervolume,
+            ideal,
         } => format!(
-            "front generation={generation} front_size={front_size} hypervolume={hypervolume}"
+            "front generation={generation} front_size={front_size} hypervolume={hypervolume} \
+             ideal={}",
+            encode_vector(ideal)
         ),
         JobEvent::IslandGeneration { island, stats } => format!(
             "island_generation island={island} {}",
@@ -435,9 +460,11 @@ pub fn encode_event(event: &JobEvent) -> String {
             generation,
             front_size,
             hypervolume,
+            ideal,
         } => format!(
             "island_front island={island} generation={generation} \
-             front_size={front_size} hypervolume={hypervolume}"
+             front_size={front_size} hypervolume={hypervolume} ideal={}",
+            encode_vector(ideal)
         ),
         JobEvent::Migration {
             generation,
@@ -483,6 +510,7 @@ pub fn decode_event(rest: &str) -> Result<JobEvent> {
             generation: f.num("generation")?,
             front_size: f.num("front_size")?,
             hypervolume: f.num("hypervolume")?,
+            ideal: decode_vector(f.require("ideal")?)?,
         }),
         "island_generation" => Ok(JobEvent::IslandGeneration {
             island: f.num("island")?,
@@ -493,6 +521,7 @@ pub fn decode_event(rest: &str) -> Result<JobEvent> {
             generation: f.num("generation")?,
             front_size: f.num("front_size")?,
             hypervolume: f.num("hypervolume")?,
+            ideal: decode_vector(f.require("ideal")?)?,
         }),
         "migration" => Ok(JobEvent::Migration {
             generation: f.num("generation")?,
@@ -603,6 +632,15 @@ mod tests {
                 generation: 3,
                 front_size: 9,
                 hypervolume: 9123.0625,
+                ideal: ObjectiveVector::pair(18.15625, 43.890625),
+            },
+            // a three-objective front line: the ideal vector's length is
+            // the run's objective count, not always 2
+            JobEvent::FrontAdvanced {
+                generation: 4,
+                front_size: 11,
+                hypervolume: 712_831.25,
+                ideal: ObjectiveVector::from_slice(&[18.15625, 43.890625, 12.5]),
             },
             JobEvent::IslandGeneration {
                 island: 3,
@@ -620,6 +658,7 @@ mod tests {
                 generation: 7,
                 front_size: 5,
                 hypervolume: 8127.5,
+                ideal: ObjectiveVector::pair(9.03125, 61.25),
             },
             JobEvent::Migration {
                 generation: 10,
@@ -727,6 +766,11 @@ mod tests {
             "EVENT generation iteration=1 operator=warp", // unknown operator
             "EVENT migration generation=1 island=0", // emigrants missing
             "EVENT island_front island=0 generation=1", // front fields missing
+            // ideal vector: missing, empty, unparsable, over-long
+            "EVENT front generation=1 front_size=2 hypervolume=3",
+            "EVENT front generation=1 front_size=2 hypervolume=3 ideal=",
+            "EVENT front generation=1 front_size=2 hypervolume=3 ideal=1:x",
+            "EVENT front generation=1 front_size=2 hypervolume=3 ideal=1:2:3:4:5",
             // short entry list
             "STATS preparations=1 hits=0 misses=1 snapshot_hits=0 snapshot_misses=1 \
              evictions=0 cached=1 approx_bytes=8 entry=1:2:3",
@@ -827,7 +871,16 @@ mod tests {
             });
             let line = stats.to_line();
             proptest::prop_assert_eq!(line.lines().count(), 1);
-            proptest::prop_assert_eq!(&Response::parse(&line).unwrap(), &stats);
+            let parsed = Response::parse(&line).unwrap();
+            proptest::prop_assert_eq!(&parsed, &stats);
+            // hit_rate is None at zero lookups and finite otherwise —
+            // never NaN, on either side of the wire
+            if let Response::Stats(s) = &parsed {
+                match s.hit_rate() {
+                    None => proptest::prop_assert_eq!(s.hits + s.misses, 0),
+                    Some(r) => proptest::prop_assert!(r.is_finite() && (0.0..=1.0).contains(&r)),
+                }
+            }
         }
 
         /// `JOB` framing: any canonical job-spec line survives the trip

@@ -49,7 +49,13 @@ pub const JOB_GRAMMAR: &str = "\
   -- nsga mode only --
   gens=<n>                               NSGA-II generations
   offspring=<n>                          offspring per generation (0 = population size)
-  xprob=<p>                              crossover probability";
+  xprob=<p>                              crossover probability
+  obj=il,dr[,eps|util]                   objective vector (leads with the
+                                         canonical il,dr pair; extras: eps
+                                         empirical-LDP leakage, util
+                                         task-utility gap)
+  eps=<budget>                           add an ε-calibrated invariant-PRAM
+                                         member to the initial population";
 
 /// The incremental-evaluation selector of the job grammar (`inc=` key).
 ///
@@ -175,6 +181,13 @@ pub struct JobSpec {
     pub islands: usize,
     /// Migration interval in generations (`mig=` key; default 10).
     pub mig: usize,
+    /// Extra objective keys beyond the canonical leading `il, dr` pair
+    /// (`obj=` key; nsga mode only — the scalar optimizer aggregates the
+    /// fixed pair).
+    pub obj: Vec<String>,
+    /// ε-calibrated invariant-PRAM population member: the budget of the
+    /// `eps=` key (nsga mode only).
+    pub eps: Option<f64>,
 }
 
 impl Default for JobSpec {
@@ -199,6 +212,8 @@ impl Default for JobSpec {
             link: LinkageMode::default(),
             islands: 1,
             mig: cdp_core::IslandConfig::default().migration_interval,
+            obj: Vec::new(),
+            eps: None,
         }
     }
 }
@@ -301,15 +316,31 @@ impl JobSpec {
                         .parse()
                         .map_err(|_| bad(format!("mig: bad interval `{value}`")))?;
                 }
+                "obj" => {
+                    // the metrics registry owns the key grammar; the CLI
+                    // stores only the extension beyond the canonical pair
+                    let set = cdp_metrics::ObjectiveSet::parse(value)
+                        .map_err(|e| bad(format!("obj: {e}")))?;
+                    spec.obj = set.keys()[2..].iter().map(|k| (*k).to_string()).collect();
+                    seen.push("obj");
+                }
+                "eps" => {
+                    spec.eps = Some(
+                        value
+                            .parse()
+                            .map_err(|_| bad(format!("eps: bad budget `{value}`")))?,
+                    );
+                    seen.push("eps");
+                }
                 other => return Err(bad(format!("unknown key `{other}`"))),
             }
         }
         if !saw_dataset {
             return Err(bad("a dataset= key is required".into()));
         }
-        let (wrong, right_mode) = match spec.mode {
-            SpecMode::Scalar => (["gens", "offspring", "xprob"], "mode=nsga"),
-            SpecMode::Nsga => (["fitness", "iters", "drop"], "the (default) scalar mode"),
+        let (wrong, right_mode): (&[&str], &str) = match spec.mode {
+            SpecMode::Scalar => (&["gens", "offspring", "xprob", "obj", "eps"], "mode=nsga"),
+            SpecMode::Nsga => (&["fitness", "iters", "drop"], "the (default) scalar mode"),
         };
         if let Some(key) = seen.iter().find(|k| wrong.contains(k)) {
             return Err(bad(format!(
@@ -370,6 +401,12 @@ impl JobSpec {
                 if self.xprob != defaults.xprob {
                     out.push_str(&format!(" xprob={}", self.xprob));
                 }
+                if !self.obj.is_empty() {
+                    out.push_str(&format!(" obj=il,dr,{}", self.obj.join(",")));
+                }
+                if let Some(eps) = self.eps {
+                    out.push_str(&format!(" eps={eps}"));
+                }
             }
         }
         if self.inc != IncMode::default_for(self.mode) {
@@ -416,6 +453,12 @@ impl JobSpec {
                 .crossover_prob(self.xprob)
                 .incremental_crossover(self.inc.crossover()),
         };
+        for key in &self.obj {
+            builder = builder.objective(key.clone());
+        }
+        if let Some(eps) = self.eps {
+            builder = builder.epsilon_pram(eps);
+        }
         if let Some(n) = self.records {
             builder = builder.records(n);
         }
@@ -486,6 +529,14 @@ impl JobSpec {
         };
         match job.optimizer() {
             OptimizerMode::Scalar(evo) => {
+                // the grammar keeps obj=/eps= nsga-only, so a scalar job
+                // carrying an ε-PRAM member has no spelling (the builder
+                // already forbids a non-canonical objective set here)
+                if job.pram_epsilon().is_some() {
+                    return Err(unrepresentable(
+                        "an ε-PRAM member under the scalar optimizer",
+                    ));
+                }
                 // the grammar carries fitness/iters/drop/seed/inc plus the
                 // islands/mig pair; every other evolution knob must sit at
                 // its default
@@ -544,6 +595,11 @@ impl JobSpec {
                 } else {
                     IncMode::Off
                 };
+                spec.obj = job.objectives().keys()[2..]
+                    .iter()
+                    .map(|k| (*k).to_string())
+                    .collect();
+                spec.eps = job.pram_epsilon();
             }
         }
         Ok(spec)
@@ -764,6 +820,10 @@ mod tests {
             "dataset=german suite=small fitness=mean iters=120 seed=14 islands=2 mig=5",
             "dataset=housing suite=small mode=nsga gens=20 seed=15 islands=3",
             "dataset=flare suite=paper mode=nsga gens=30 seed=16 islands=2 mig=4 audit=true",
+            "dataset=german suite=small mode=nsga gens=12 seed=17 obj=il,dr,eps eps=1.5",
+            "dataset=adult suite=small mode=nsga gens=10 seed=18 obj=il,dr,util",
+            "dataset=flare suite=small mode=nsga gens=8 seed=19 obj=il,dr,eps,util eps=0.75 audit=true",
+            "dataset=housing suite=small mode=nsga gens=6 seed=20 eps=2.5",
         ] {
             let spec = JobSpec::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
             let job = spec.to_job().unwrap_or_else(|e| panic!("{text}: {e}"));
@@ -794,6 +854,12 @@ mod tests {
             ("dataset=adult gens=10", "gens"),
             ("dataset=adult offspring=4", "offspring"),
             ("dataset=adult mode=scalar xprob=0.5", "xprob"),
+            // the objective vector (even spelled canonically) and the
+            // ε-PRAM member only exist under the multi-objective optimizer
+            ("dataset=adult obj=il,dr", "obj"),
+            ("dataset=adult obj=il,dr,eps", "obj"),
+            ("dataset=adult eps=1.5", "eps"),
+            ("dataset=adult eps=1.5 mode=scalar", "eps"),
         ] {
             let err = JobSpec::parse(text).unwrap_err().to_string();
             assert!(err.contains(&format!("`{key}`")), "{text}: {err}");
@@ -855,29 +921,48 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.suite, cdp::pipeline::SuiteKind::Small);
         assert_eq!(a.iters, 300);
+        // the objective keys participate in the order-insensitive grammar:
+        // mode= may trail the keys it licenses
+        let c = JobSpec::parse("eps=1.5 obj=il,dr,eps gens=5 mode=nsga dataset=adult").unwrap();
+        let d = JobSpec::parse("dataset=adult mode=nsga gens=5 obj=il,dr,eps eps=1.5").unwrap();
+        assert_eq!(c, d);
+        assert_eq!(c.obj, vec!["eps".to_string()]);
+        assert_eq!(c.eps, Some(1.5));
+        // a spelled-out canonical obj= list is accepted and renders away
+        let e = JobSpec::parse("dataset=adult mode=nsga gens=5 obj=il,dr").unwrap();
+        assert!(e.obj.is_empty());
+        assert!(!e.to_spec_string().contains("obj="));
     }
 
     #[test]
     fn job_spec_rejects_malformed_input() {
         for text in [
-            "",                                // dataset missing
-            "dataset=iris",                    // unknown dataset
-            "dataset=adult suite=huge",        // unknown suite
-            "dataset=adult fitness=min",       // unknown fitness
-            "dataset=adult iters=many",        // bad number
-            "dataset=adult audit=yes",         // bad bool
-            "dataset=adult unknown=1",         // unknown key
-            "dataset=adult records",           // not key=value
-            "dataset=adult drop=1.5",          // builder rejects the fraction
-            "dataset=adult mode=annealing",    // unknown mode
-            "dataset=adult mode=nsga gens=x",  // bad count
-            "dataset=adult mode=nsga gens=0",  // builder rejects 0 generations
-            "dataset=adult mode=nsga xprob=2", // builder rejects the probability
-            "dataset=adult inc=fast",          // unknown inc value
-            "dataset=adult link=sorted",       // unknown link value
-            "dataset=adult islands=many",      // bad count
-            "dataset=adult islands=0",         // builder rejects 0 islands
-            "dataset=adult mig=0",             // builder rejects 0 interval
+            "",                                               // dataset missing
+            "dataset=iris",                                   // unknown dataset
+            "dataset=adult suite=huge",                       // unknown suite
+            "dataset=adult fitness=min",                      // unknown fitness
+            "dataset=adult iters=many",                       // bad number
+            "dataset=adult audit=yes",                        // bad bool
+            "dataset=adult unknown=1",                        // unknown key
+            "dataset=adult records",                          // not key=value
+            "dataset=adult drop=1.5",                         // builder rejects the fraction
+            "dataset=adult mode=annealing",                   // unknown mode
+            "dataset=adult mode=nsga gens=x",                 // bad count
+            "dataset=adult mode=nsga gens=0",                 // builder rejects 0 generations
+            "dataset=adult mode=nsga xprob=2",                // builder rejects the probability
+            "dataset=adult inc=fast",                         // unknown inc value
+            "dataset=adult link=sorted",                      // unknown link value
+            "dataset=adult islands=many",                     // bad count
+            "dataset=adult islands=0",                        // builder rejects 0 islands
+            "dataset=adult mig=0",                            // builder rejects 0 interval
+            "dataset=adult mode=nsga obj=dr,il",              // must lead il,dr
+            "dataset=adult mode=nsga obj=il",                 // canonical pair incomplete
+            "dataset=adult mode=nsga obj=il,dr,warp",         // unknown objective
+            "dataset=adult mode=nsga obj=il,dr,eps,eps",      // duplicate
+            "dataset=adult mode=nsga obj=il,dr,eps,util,eps", // over MAX_OBJECTIVES
+            "dataset=adult mode=nsga eps=fast",               // bad float
+            "dataset=adult mode=nsga eps=0",                  // builder rejects zero budget
+            "dataset=adult mode=nsga eps=-1.5",               // builder rejects negatives
         ] {
             let result = JobSpec::parse(text).and_then(|s| s.to_job().map(|_| ()));
             assert!(result.is_err(), "`{text}` should be rejected");
@@ -908,6 +993,9 @@ mod tests {
             pairs_link in proptest::prelude::any::<bool>(),
             islands in 1usize..=8,
             mig in 1usize..=50,
+            obj_i in 0usize..4,
+            eps_set in proptest::prelude::any::<bool>(),
+            eps_20th in 1u8..=80,
         ) {
             let mut spec = JobSpec {
                 dataset: [
@@ -932,6 +1020,11 @@ mod tests {
                 spec.xprob = f64::from(xprob_pct) / 100.0;
                 // only the crossover path exists as an nsga inc value
                 spec.inc = [IncMode::Off, IncMode::Crossover][inc_i % 2];
+                // every legal extension of the canonical pair, plus the
+                // ε-PRAM member knob (exact 20ths survive the float trip)
+                const EXTENSIONS: [&[&str]; 4] = [&[], &["eps"], &["util"], &["eps", "util"]];
+                spec.obj = EXTENSIONS[obj_i].iter().map(|k| (*k).to_string()).collect();
+                spec.eps = eps_set.then(|| f64::from(eps_20th) / 20.0);
             } else {
                 spec.fitness = if mean_fitness {
                     ScoreAggregator::Mean

@@ -215,12 +215,12 @@ impl Evolution {
                 ctx.note_verified();
             }
             let score = assessment.score(agg);
-            archive.offer(ScatterPoint {
-                name: name.clone(),
-                il: assessment.il(),
-                dr: assessment.dr(),
+            archive.offer(ScatterPoint::from_pair(
+                name.clone(),
+                assessment.il(),
+                assessment.dr(),
                 score,
-            });
+            ));
             if offspring_wins(parent_score, score) {
                 ctx.accepted_incremental += 1;
                 let state = ctx.scratch.as_ref().expect("scratch just filled");

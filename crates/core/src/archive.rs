@@ -10,9 +10,11 @@
 
 use crate::telemetry::ScatterPoint;
 
-/// Does `a` dominate `b` (no worse in both objectives, better in one)?
+/// Does `a` dominate `b` (no worse in every objective, better in one)?
+/// Compares the full objective vectors; for canonical runs these are
+/// exactly the (IL, DR) pairs.
 fn dominates(a: &ScatterPoint, b: &ScatterPoint) -> bool {
-    (a.il <= b.il && a.dr <= b.dr) && (a.il < b.il || a.dr < b.dr)
+    a.objectives.dominates(&b.objectives)
 }
 
 /// A minimal Pareto archive over (IL, DR), minimizing both.
@@ -34,7 +36,7 @@ impl ParetoArchive {
         if self
             .points
             .iter()
-            .any(|p| dominates(p, &point) || (p.il == point.il && p.dr == point.dr))
+            .any(|p| dominates(p, &point) || p.objectives == point.objectives)
         {
             return false;
         }
@@ -66,12 +68,7 @@ mod tests {
     use super::*;
 
     fn pt(il: f64, dr: f64) -> ScatterPoint {
-        ScatterPoint {
-            name: format!("{il}/{dr}"),
-            il,
-            dr,
-            score: il.max(dr),
-        }
+        ScatterPoint::from_pair(format!("{il}/{dr}"), il, dr, il.max(dr))
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Individuals: one protected file plus its cached assessment.
 
 use cdp_dataset::SubTable;
-use cdp_metrics::{Assessment, EvalState, ScoreAggregator};
+use cdp_metrics::{Assessment, EvalState, ObjectiveVector, ScoreAggregator};
 
 /// A member of the evolutionary population.
 ///
@@ -17,17 +17,22 @@ pub struct Individual {
     pub data: SubTable,
     state: EvalState,
     score: f64,
+    objectives: ObjectiveVector,
 }
 
 impl Individual {
-    /// Wrap an evaluated protection.
+    /// Wrap an evaluated protection. The cached objective vector starts as
+    /// the canonical `(IL, DR)` pair; optimizers running an extended set
+    /// overwrite it via [`Individual::set_objectives`].
     pub fn new(name: String, data: SubTable, state: EvalState, agg: ScoreAggregator) -> Self {
         let score = state.assessment.score(agg);
+        let objectives = ObjectiveVector::pair(state.assessment.il(), state.assessment.dr());
         Individual {
             name,
             data,
             state,
             score,
+            objectives,
         }
     }
 
@@ -64,14 +69,27 @@ impl Individual {
         self.state.assessment.dr()
     }
 
+    /// The cached objective vector — the coordinates Pareto selection
+    /// compares. Defaults to the canonical `(IL, DR)` pair.
+    pub fn objectives(&self) -> ObjectiveVector {
+        self.objectives
+    }
+
+    /// Cache the objective vector computed under an extended objective set.
+    pub fn set_objectives(&mut self, objectives: ObjectiveVector) {
+        self.objectives = objectives;
+    }
+
     /// The cached evaluation state (for incremental re-assessment).
     pub fn state(&self) -> &EvalState {
         &self.state
     }
 
-    /// Replace the cached state and re-derive the score.
+    /// Replace the cached state and re-derive the score (resetting the
+    /// objective vector to the canonical pair of the new assessment).
     pub fn replace_state(&mut self, state: EvalState, agg: ScoreAggregator) {
         self.score = state.assessment.score(agg);
+        self.objectives = ObjectiveVector::pair(state.assessment.il(), state.assessment.dr());
         self.state = state;
     }
 }

@@ -44,9 +44,11 @@ use crate::algorithm::{Evolution, EvolutionOutcome, EvolutionRunner};
 use crate::archive::ParetoArchive;
 use crate::config::{EvoConfig, IslandConfig, Topology};
 use crate::individual::Individual;
+use cdp_metrics::{ObjectiveSet, ObjectiveVector};
+
 use crate::nsga::{
-    hypervolume, non_dominated_sort, pareto_front_of, FrontStats, Nsga2, NsgaConfig, NsgaOutcome,
-    NsgaRunner, HV_REFERENCE,
+    hypervolume_vec, non_dominated_sort_vec, pareto_front_of, FrontStats, Nsga2, NsgaConfig,
+    NsgaOutcome, NsgaRunner,
 };
 use crate::population::Population;
 use crate::telemetry::{EvalCounts, GenerationStats, ScatterPoint, Trace};
@@ -411,6 +413,16 @@ pub struct NsgaIslands {
 }
 
 impl NsgaIslands {
+    /// Replace the objective set every island minimizes (defaults to the
+    /// canonical `il, dr` pair). Forwarded to [`Nsga2::with_objectives`];
+    /// the merge rule is unchanged — island fronts union under dominance
+    /// over whatever vector the set produces.
+    #[must_use]
+    pub fn with_objectives(mut self, objectives: ObjectiveSet) -> Self {
+        self.nsga = self.nsga.with_objectives(objectives);
+        self
+    }
+
     /// Load and evaluate the initial population (once, for all islands).
     ///
     /// # Errors
@@ -458,12 +470,15 @@ impl NsgaIslands {
         mut observer: F,
     ) -> (NsgaOutcome, IslandTiming) {
         let wall_start = Instant::now();
-        let (evaluator, config, population) = self.nsga.into_parts();
+        let (evaluator, config, objectives, population) = self.nsga.into_parts();
         let members = population.expect("population must be loaded before run()");
         let k = config.islands.count.min(members.len()).max(1);
         if k <= 1 {
-            let mut runner =
-                NsgaRunner::start(Nsga2::new(evaluator, config).with_population(members));
+            let mut runner = NsgaRunner::start(
+                Nsga2::new(evaluator, config)
+                    .with_objectives(objectives)
+                    .with_population(members),
+            );
             let mut obs = |s: &FrontStats| {
                 observer(&IslandEvent::Front {
                     island: 0,
@@ -482,9 +497,11 @@ impl NsgaIslands {
             );
         }
 
+        let reference = objectives.reference();
         let initial_front = pareto_front_of(&members);
-        let initial_pts: Vec<(f64, f64)> = initial_front.iter().map(|p| (p.il, p.dr)).collect();
-        let initial_hv = hypervolume(&initial_pts, HV_REFERENCE);
+        let initial_pts: Vec<ObjectiveVector> =
+            initial_front.iter().map(|p| p.objectives).collect();
+        let initial_hv = hypervolume_vec(&initial_pts, &reference);
         // round-robin by insertion order
         let mut parts: Vec<Vec<Individual>> = (0..k).map(|_| Vec::new()).collect();
         for (i, m) in members.into_iter().enumerate() {
@@ -505,7 +522,11 @@ impl NsgaIslands {
                     island_cfg.offspring =
                         (config.offspring / k + usize::from(j < config.offspring % k)).max(1);
                 }
-                NsgaRunner::start(Nsga2::new(evaluator.clone(), island_cfg).with_population(part))
+                NsgaRunner::start(
+                    Nsga2::new(evaluator.clone(), island_cfg)
+                        .with_objectives(objectives.clone())
+                        .with_population(part),
+                )
             })
             .collect();
 
@@ -575,12 +596,17 @@ impl NsgaIslands {
         }
         // the merged front is the non-dominated filter of the union of
         // island fronts, IL-ascending (ties keep island order)
-        let objs: Vec<(f64, f64)> = union.iter().map(|i| (i.il(), i.dr())).collect();
-        let mut idx = non_dominated_sort(&objs)
+        let objs: Vec<ObjectiveVector> = union.iter().map(Individual::objectives).collect();
+        let mut idx = non_dominated_sort_vec(&objs)
             .into_iter()
             .next()
             .unwrap_or_default();
-        idx.sort_by(|&a, &b| objs[a].0.partial_cmp(&objs[b].0).expect("finite"));
+        idx.sort_by(|&a, &b| {
+            objs[a]
+                .first()
+                .partial_cmp(&objs[b].first())
+                .expect("finite")
+        });
         let front: Vec<ScatterPoint> = idx.iter().map(|&i| ScatterPoint::of(&union[i])).collect();
         let front_members: Vec<Individual> = idx.into_iter().map(|i| union[i].clone()).collect();
         // merged hypervolume series: the initial full-population front,
@@ -597,8 +623,8 @@ impl NsgaIslands {
                 .fold(f64::NEG_INFINITY, f64::max);
             hv_series.push(best);
         }
-        let merged_pts: Vec<(f64, f64)> = front.iter().map(|p| (p.il, p.dr)).collect();
-        let merged_hv = hypervolume(&merged_pts, HV_REFERENCE);
+        let merged_pts: Vec<ObjectiveVector> = front.iter().map(|p| p.objectives).collect();
+        let merged_hv = hypervolume_vec(&merged_pts, &reference);
         if hv_series.len() > 1 {
             *hv_series.last_mut().expect("non-empty") = merged_hv;
         }
@@ -612,6 +638,7 @@ impl NsgaIslands {
             hypervolume_series: hv_series,
             evaluations: eval_counts.total(),
             eval_counts,
+            objectives,
         };
         let wall = wall_start.elapsed();
         (
@@ -627,7 +654,7 @@ impl NsgaIslands {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::nsga::non_dominated_points;
+    use crate::nsga::{hypervolume, non_dominated_points, HV_REFERENCE};
     use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
     use cdp_metrics::MetricConfig;
     use cdp_sdc::{build_population, SuiteConfig};
@@ -908,12 +935,12 @@ mod tests {
             let union: Vec<ScatterPoint> = points
                 .iter()
                 .enumerate()
-                .map(|(i, &(il, dr))| ScatterPoint {
-                    name: format!("p{i}"),
-                    il: f64::from(il),
-                    dr: f64::from(dr),
-                    score: f64::from(il.max(dr)),
-                })
+                .map(|(i, &(il, dr))| ScatterPoint::from_pair(
+                    format!("p{i}"),
+                    f64::from(il),
+                    f64::from(dr),
+                    f64::from(il.max(dr)),
+                ))
                 .collect();
             let merged = non_dominated_points(&union);
             let dominated = |p: &ScatterPoint| {

@@ -59,6 +59,7 @@ pub mod parallel;
 pub use adaptive::{OperatorSchedule, OperatorStats};
 pub use algorithm::{Evolution, EvolutionOutcome, ScoreSummary};
 pub use archive::ParetoArchive;
+pub use cdp_metrics::{ObjectiveSet, ObjectiveVector};
 pub use config::{EvoConfig, EvoConfigBuilder, IslandConfig, Topology};
 pub use error::{EvoError, Result};
 pub use individual::Individual;

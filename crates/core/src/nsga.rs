@@ -14,9 +14,19 @@
 //! with the same 0.5 rate. Only the selection/replacement scheme differs,
 //! which makes the scalar-vs-Pareto comparison in the `multi_objective`
 //! example and the extension bench a clean ablation.
+//!
+//! Since the objective-vector refactor, selection is generic over an
+//! [`ObjectiveSet`]: dominance, crowding, and hypervolume all run over
+//! N-dimensional [`ObjectiveVector`]s ([`non_dominated_sort_vec`],
+//! [`crowding_distance_vec`], [`hypervolume_vec`]). The historical
+//! 2-objective tuple entry points remain as thin wrappers, and the
+//! canonical `il,dr` set reproduces the hard-wired pair bit for bit —
+//! same comparisons, same RNG stream, same front.
 
 use cdp_dataset::SubTable;
-use cdp_metrics::{Evaluator, Patch, ScoreAggregator};
+use cdp_metrics::{
+    Evaluator, ObjectiveContext, ObjectiveSet, ObjectiveVector, Patch, ScoreAggregator,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -98,21 +108,20 @@ impl NsgaConfig {
     }
 }
 
-/// Fast non-dominated sort (Deb et al. 2002): partition points into fronts
-/// `F0, F1, …` where `F0` is the non-dominated set, `F1` the non-dominated
-/// set after removing `F0`, and so on. Both objectives are minimized.
-pub fn non_dominated_sort(objs: &[(f64, f64)]) -> Vec<Vec<usize>> {
+/// Fast non-dominated sort (Deb et al. 2002) over N-dim objective vectors:
+/// partition points into fronts `F0, F1, …` where `F0` is the non-dominated
+/// set, `F1` the non-dominated set after removing `F0`, and so on. All
+/// objectives are minimized.
+pub fn non_dominated_sort_vec(objs: &[ObjectiveVector]) -> Vec<Vec<usize>> {
     let n = objs.len();
-    let dominates =
-        |a: (f64, f64), b: (f64, f64)| a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1);
     let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
     let mut domination_count = vec![0usize; n];
     for i in 0..n {
         for j in (i + 1)..n {
-            if dominates(objs[i], objs[j]) {
+            if objs[i].dominates(&objs[j]) {
                 dominated_by[i].push(j);
                 domination_count[j] += 1;
-            } else if dominates(objs[j], objs[i]) {
+            } else if objs[j].dominates(&objs[i]) {
                 dominated_by[j].push(i);
                 domination_count[i] += 1;
             }
@@ -135,18 +144,32 @@ pub fn non_dominated_sort(objs: &[(f64, f64)]) -> Vec<Vec<usize>> {
     fronts
 }
 
+/// The historical 2-objective entry point of [`non_dominated_sort_vec`].
+pub fn non_dominated_sort(objs: &[(f64, f64)]) -> Vec<Vec<usize>> {
+    let objs: Vec<ObjectiveVector> = objs
+        .iter()
+        .map(|&(il, dr)| ObjectiveVector::pair(il, dr))
+        .collect();
+    non_dominated_sort_vec(&objs)
+}
+
 /// Crowding distance of each member of one front (aligned with `front`'s
-/// order). Boundary points get `f64::INFINITY`; interior points the sum of
-/// normalized neighbour gaps per objective.
-pub fn crowding_distance(objs: &[(f64, f64)], front: &[usize]) -> Vec<f64> {
+/// order), over N-dim objective vectors. Boundary points get
+/// `f64::INFINITY`; interior points the sum of normalized neighbour gaps
+/// per objective.
+pub fn crowding_distance_vec(objs: &[ObjectiveVector], front: &[usize]) -> Vec<f64> {
     let m = front.len();
     let mut dist = vec![0f64; m];
     if m <= 2 {
         dist.iter_mut().for_each(|d| *d = f64::INFINITY);
         return dist;
     }
-    for obj in 0..2 {
-        let value = |i: usize| if obj == 0 { objs[i].0 } else { objs[i].1 };
+    let dims = objs.first().map_or(0, ObjectiveVector::len);
+    // `obj` is a dimension index into each inner vector, not an index
+    // into `objs` — the iterator rewrite the lint wants doesn't apply
+    #[allow(clippy::needless_range_loop)]
+    for obj in 0..dims {
+        let value = |i: usize| objs[i][obj];
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by(|&a, &b| {
             value(front[a])
@@ -167,9 +190,20 @@ pub fn crowding_distance(objs: &[(f64, f64)], front: &[usize]) -> Vec<f64> {
     dist
 }
 
+/// The historical 2-objective entry point of [`crowding_distance_vec`].
+pub fn crowding_distance(objs: &[(f64, f64)], front: &[usize]) -> Vec<f64> {
+    let objs: Vec<ObjectiveVector> = objs
+        .iter()
+        .map(|&(il, dr)| ObjectiveVector::pair(il, dr))
+        .collect();
+    crowding_distance_vec(&objs, front)
+}
+
 /// 2-D hypervolume (area dominated between the front and a reference point,
 /// minimization): the standard quality indicator for comparing fronts.
-/// Points at or beyond the reference contribute nothing.
+/// Points at or beyond the reference contribute nothing. This sweep is the
+/// exact N=2 kernel of [`hypervolume_vec`] — the vector path delegates
+/// here, so 2-objective hypervolumes are bit-identical either way.
 pub fn hypervolume(points: &[(f64, f64)], reference: (f64, f64)) -> f64 {
     let mut front: Vec<(f64, f64)> = points
         .iter()
@@ -191,12 +225,77 @@ pub fn hypervolume(points: &[(f64, f64)], reference: (f64, f64)) -> f64 {
     hv
 }
 
-/// Indices of a population's non-dominated members, IL-ascending.
+/// N-D hypervolume via recursive slicing: sweep the first objective
+/// ascending and integrate the (N−1)-D hypervolume of the points active in
+/// each slab. N=2 delegates to the exact [`hypervolume`] sweep (same
+/// floats, same additions); N=1 is the span to the reference.
+pub fn hypervolume_vec(points: &[ObjectiveVector], reference: &ObjectiveVector) -> f64 {
+    let d = reference.len();
+    let inside: Vec<Vec<f64>> = points
+        .iter()
+        .filter(|p| {
+            assert_eq!(p.len(), d, "point/reference dimensions differ");
+            (0..d).all(|k| p[k] < reference[k])
+        })
+        .map(|p| p.as_slice().to_vec())
+        .collect();
+    if inside.is_empty() {
+        return 0.0;
+    }
+    hv_slices(&inside, reference.as_slice())
+}
+
+/// Recursive kernel of [`hypervolume_vec`]; `points` are strictly inside
+/// `reference` on every dimension.
+fn hv_slices(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    match reference.len() {
+        0 => 0.0,
+        1 => {
+            let best = points.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
+            reference[0] - best
+        }
+        2 => {
+            let pts: Vec<(f64, f64)> = points.iter().map(|p| (p[0], p[1])).collect();
+            hypervolume(&pts, (reference[0], reference[1]))
+        }
+        _ => {
+            let mut order: Vec<usize> = (0..points.len()).collect();
+            order.sort_by(|&a, &b| points[a][0].partial_cmp(&points[b][0]).expect("finite"));
+            let mut hv = 0.0;
+            let mut active: Vec<Vec<f64>> = Vec::with_capacity(points.len());
+            let mut k = 0;
+            while k < order.len() {
+                let x = points[order[k]][0];
+                while k < order.len() && points[order[k]][0] == x {
+                    active.push(points[order[k]][1..].to_vec());
+                    k += 1;
+                }
+                let next_x = if k < order.len() {
+                    points[order[k]][0]
+                } else {
+                    reference[0]
+                };
+                if next_x > x {
+                    hv += (next_x - x) * hv_slices(&active, &reference[1..]);
+                }
+            }
+            hv
+        }
+    }
+}
+
+/// Indices of a population's non-dominated members, first-objective
+/// (IL) ascending.
 fn front_indices(pop: &[Individual]) -> Vec<usize> {
-    let objs: Vec<(f64, f64)> = pop.iter().map(|i| (i.il(), i.dr())).collect();
-    let fronts = non_dominated_sort(&objs);
+    let objs: Vec<ObjectiveVector> = pop.iter().map(Individual::objectives).collect();
+    let fronts = non_dominated_sort_vec(&objs);
     let mut idx = fronts.into_iter().next().unwrap_or_default();
-    idx.sort_by(|&a, &b| objs[a].0.partial_cmp(&objs[b].0).expect("finite"));
+    idx.sort_by(|&a, &b| {
+        objs[a]
+            .first()
+            .partial_cmp(&objs[b].first())
+            .expect("finite")
+    });
     idx
 }
 
@@ -209,16 +308,22 @@ pub fn pareto_front_of(pop: &[Individual]) -> Vec<ScatterPoint> {
         .collect()
 }
 
-/// Non-dominated filter of arbitrary (IL, DR) points, IL-ascending with
-/// ties kept in input order (stable) — the rule the island scheduler
-/// applies when merging per-island fronts into one global front.
+/// Non-dominated filter of arbitrary objective points, first-objective
+/// (IL) ascending with ties kept in input order (stable) — the rule the
+/// island scheduler applies when merging per-island fronts into one global
+/// front.
 pub fn non_dominated_points(points: &[ScatterPoint]) -> Vec<ScatterPoint> {
-    let objs: Vec<(f64, f64)> = points.iter().map(|p| (p.il, p.dr)).collect();
-    let mut idx = non_dominated_sort(&objs)
+    let objs: Vec<ObjectiveVector> = points.iter().map(|p| p.objectives).collect();
+    let mut idx = non_dominated_sort_vec(&objs)
         .into_iter()
         .next()
         .unwrap_or_default();
-    idx.sort_by(|&a, &b| objs[a].0.partial_cmp(&objs[b].0).expect("finite"));
+    idx.sort_by(|&a, &b| {
+        objs[a]
+            .first()
+            .partial_cmp(&objs[b].first())
+            .expect("finite")
+    });
     idx.into_iter().map(|i| points[i].clone()).collect()
 }
 
@@ -233,8 +338,12 @@ pub struct FrontStats {
     pub generation: usize,
     /// Size of the population's non-dominated front after the generation.
     pub front_size: usize,
-    /// Hypervolume of that front w.r.t. [`HV_REFERENCE`].
+    /// Hypervolume of that front w.r.t. the objective set's reference
+    /// point ([`HV_REFERENCE`] for the canonical pair).
     pub hypervolume: f64,
+    /// The front's ideal point: the per-objective minimum over the front
+    /// — the vector observers stream alongside the scalar summary.
+    pub ideal: ObjectiveVector,
 }
 
 /// Result of an NSGA-II run.
@@ -261,6 +370,9 @@ pub struct NsgaOutcome {
     /// The same evaluations split into full assessments and patch-based
     /// re-assessments.
     pub eval_counts: EvalCounts,
+    /// The objective set the run minimized (canonical `il,dr` unless
+    /// extended via [`Nsga2::with_objectives`]).
+    pub objectives: ObjectiveSet,
 }
 
 /// The hypervolume reference point: measures live in `[0, 100]²`.
@@ -270,17 +382,40 @@ pub const HV_REFERENCE: (f64, f64) = (100.0, 100.0);
 pub struct Nsga2 {
     evaluator: Evaluator,
     config: NsgaConfig,
+    objectives: ObjectiveSet,
     population: Option<Vec<Individual>>,
 }
 
 impl Nsga2 {
-    /// Bind evaluator and configuration.
+    /// Bind evaluator and configuration (canonical `il,dr` objectives).
     pub fn new(evaluator: Evaluator, config: NsgaConfig) -> Self {
         Nsga2 {
             evaluator,
             config,
+            objectives: ObjectiveSet::canonical(),
             population: None,
         }
+    }
+
+    /// Replace the objective set. With the canonical `il,dr` set (the
+    /// default) every selection decision — and therefore every RNG draw —
+    /// is bit-identical to the historical hard-wired pair; extended sets
+    /// append measures that selection then minimizes jointly. Call before
+    /// loading the population so member vectors are computed once.
+    #[must_use]
+    pub fn with_objectives(mut self, objectives: ObjectiveSet) -> Self {
+        self.objectives = objectives;
+        if let Some(pop) = &mut self.population {
+            for ind in pop.iter_mut() {
+                assign_objectives(&self.objectives, &self.evaluator, ind);
+            }
+        }
+        self
+    }
+
+    /// The objective set of this run.
+    pub fn objectives(&self) -> &ObjectiveSet {
+        &self.objectives
     }
 
     /// Load and evaluate the initial population of named protections.
@@ -313,7 +448,11 @@ impl Nsga2 {
         let members = items
             .into_iter()
             .zip(states)
-            .map(|((name, data), state)| Individual::new(name, data, state, ScoreAggregator::Max))
+            .map(|((name, data), state)| {
+                let mut ind = Individual::new(name, data, state, ScoreAggregator::Max);
+                assign_objectives(&self.objectives, &self.evaluator, &mut ind);
+                ind
+            })
             .collect();
         self.population = Some(members);
         Ok(self)
@@ -353,9 +492,30 @@ impl Nsga2 {
     }
 
     /// Disassemble for the island scheduler.
-    pub(crate) fn into_parts(self) -> (Evaluator, NsgaConfig, Option<Vec<Individual>>) {
-        (self.evaluator, self.config, self.population)
+    pub(crate) fn into_parts(
+        self,
+    ) -> (Evaluator, NsgaConfig, ObjectiveSet, Option<Vec<Individual>>) {
+        (
+            self.evaluator,
+            self.config,
+            self.objectives,
+            self.population,
+        )
     }
+}
+
+/// Cache an individual's objective vector under `set`. The canonical set
+/// short-circuits: [`Individual::new`] already cached the exact
+/// `(il, dr)` pair, so the default path computes nothing extra.
+fn assign_objectives(set: &ObjectiveSet, evaluator: &Evaluator, ind: &mut Individual) {
+    if set.is_canonical() {
+        return;
+    }
+    let vector = set.vector_of(&ObjectiveContext {
+        state: ind.state(),
+        prepared: evaluator.prepared(),
+    });
+    ind.set_objectives(vector);
 }
 
 /// The resumable state of a running NSGA-II loop, factored out of the
@@ -401,7 +561,7 @@ impl NsgaRunner {
             archive.offer(ScatterPoint::of(ind));
         }
         let initial_front = pareto_front_of(&pop);
-        let hv_series = vec![front_hv(&pop)];
+        let hv_series = vec![front_metrics(&pop, &nsga.objectives.reference()).1];
         NsgaRunner {
             nsga,
             pop,
@@ -527,18 +687,20 @@ impl NsgaRunner {
             }
         }
         for ((name, data, _, _), state) in children.into_iter().zip(states) {
-            let ind = Individual::new(name, data, state, ScoreAggregator::Max);
+            let mut ind = Individual::new(name, data, state, ScoreAggregator::Max);
+            assign_objectives(&self.nsga.objectives, &self.nsga.evaluator, &mut ind);
             self.archive.offer(ScatterPoint::of(&ind));
             pop.push(ind);
         }
         self.pop = environmental_selection(std::mem::take(&mut self.pop), self.n);
         self.gen += 1;
-        let (front_size, hv) = front_metrics(&self.pop);
+        let (front_size, hv, ideal) = front_stats(&self.pop, &self.nsga.objectives.reference());
         self.hv_series.push(hv);
         observer(&FrontStats {
             generation: self.gen,
             front_size,
             hypervolume: hv,
+            ideal,
         });
         true
     }
@@ -626,27 +788,50 @@ impl NsgaRunner {
             hypervolume_series: self.hv_series,
             evaluations: self.eval_counts.total(),
             eval_counts: self.eval_counts,
+            objectives: self.nsga.objectives,
         }
     }
 }
 
-fn front_hv(pop: &[Individual]) -> f64 {
-    front_metrics(pop).1
+/// Size and hypervolume of a population's non-dominated front.
+pub(crate) fn front_metrics(pop: &[Individual], reference: &ObjectiveVector) -> (usize, f64) {
+    let (size, hv, _) = front_stats(pop, reference);
+    (size, hv)
 }
 
-/// Size and hypervolume of a population's non-dominated front.
-fn front_metrics(pop: &[Individual]) -> (usize, f64) {
-    let pts: Vec<(f64, f64)> = pareto_front_of(pop).iter().map(|p| (p.il, p.dr)).collect();
-    (pts.len(), hypervolume(&pts, HV_REFERENCE))
+/// Size, hypervolume, and ideal point of a population's non-dominated
+/// front.
+fn front_stats(pop: &[Individual], reference: &ObjectiveVector) -> (usize, f64, ObjectiveVector) {
+    let pts: Vec<ObjectiveVector> = pareto_front_of(pop).iter().map(|p| p.objectives).collect();
+    (
+        pts.len(),
+        hypervolume_vec(&pts, reference),
+        ideal_point(&pts, reference.len()),
+    )
+}
+
+/// Per-objective minimum over a set of points (the reference point itself
+/// for an empty set).
+pub(crate) fn ideal_point(points: &[ObjectiveVector], dims: usize) -> ObjectiveVector {
+    let mut best = vec![f64::INFINITY; dims];
+    for p in points {
+        for (slot, k) in best.iter_mut().zip(0..dims) {
+            *slot = slot.min(p[k]);
+        }
+    }
+    if points.is_empty() {
+        best.fill(100.0);
+    }
+    ObjectiveVector::from_slice(&best)
 }
 
 fn rank_and_crowd(pop: &[Individual]) -> (Vec<usize>, Vec<f64>) {
-    let objs: Vec<(f64, f64)> = pop.iter().map(|i| (i.il(), i.dr())).collect();
-    let fronts = non_dominated_sort(&objs);
+    let objs: Vec<ObjectiveVector> = pop.iter().map(Individual::objectives).collect();
+    let fronts = non_dominated_sort_vec(&objs);
     let mut rank_of = vec![0usize; pop.len()];
     let mut crowd_of = vec![0f64; pop.len()];
     for (r, front) in fronts.iter().enumerate() {
-        let crowd = crowding_distance(&objs, front);
+        let crowd = crowding_distance_vec(&objs, front);
         for (&i, &c) in front.iter().zip(&crowd) {
             rank_of[i] = r;
             crowd_of[i] = c;
@@ -676,14 +861,14 @@ fn pick(a: usize, b: usize, rank_of: &[usize], crowd_of: &[f64], rng: &mut StdRn
 /// Keep the `n` best of `pop` by (rank, crowding): whole fronts first, the
 /// overflowing front truncated by descending crowding distance.
 fn environmental_selection(pop: Vec<Individual>, n: usize) -> Vec<Individual> {
-    let objs: Vec<(f64, f64)> = pop.iter().map(|i| (i.il(), i.dr())).collect();
-    let fronts = non_dominated_sort(&objs);
+    let objs: Vec<ObjectiveVector> = pop.iter().map(Individual::objectives).collect();
+    let fronts = non_dominated_sort_vec(&objs);
     let mut keep: Vec<usize> = Vec::with_capacity(n);
     for front in fronts {
         if keep.len() + front.len() <= n {
             keep.extend(front);
         } else {
-            let crowd = crowding_distance(&objs, &front);
+            let crowd = crowding_distance_vec(&objs, &front);
             let mut order: Vec<usize> = (0..front.len()).collect();
             order.sort_by(|&x, &y| {
                 crowd[y]
@@ -781,6 +966,96 @@ mod tests {
         let worse = hypervolume(&[(30.0, 30.0)], r);
         let better = hypervolume(&[(20.0, 20.0)], r);
         assert!(better > worse);
+    }
+
+    #[test]
+    fn hypervolume_vec_matches_the_2d_sweep_bitwise() {
+        let pts = [(20.0, 40.0), (40.0, 20.0), (50.0, 50.0), (3.25, 97.5)];
+        let tuple = hypervolume(&pts, (100.0, 100.0));
+        let vecs: Vec<ObjectiveVector> = pts
+            .iter()
+            .map(|&(a, b)| ObjectiveVector::pair(a, b))
+            .collect();
+        let vec = hypervolume_vec(&vecs, &ObjectiveVector::pair(100.0, 100.0));
+        assert_eq!(tuple.to_bits(), vec.to_bits());
+    }
+
+    #[test]
+    fn hypervolume_3d_by_recursive_slicing() {
+        let r = ObjectiveVector::from_slice(&[100.0, 100.0, 100.0]);
+        assert_eq!(hypervolume_vec(&[], &r), 0.0);
+        // one box: 100³
+        let one = hypervolume_vec(&[ObjectiveVector::from_slice(&[0.0, 0.0, 0.0])], &r);
+        assert!((one - 1_000_000.0).abs() < 1e-6);
+        // union of two boxes minus their intersection:
+        // 80·60·50 + 60·80·50 − 60·60·50 = 300000
+        let two = hypervolume_vec(
+            &[
+                ObjectiveVector::from_slice(&[20.0, 40.0, 50.0]),
+                ObjectiveVector::from_slice(&[40.0, 20.0, 50.0]),
+            ],
+            &r,
+        );
+        assert!((two - 300_000.0).abs() < 1e-6, "got {two}");
+        // a dominated point adds nothing
+        let three = hypervolume_vec(
+            &[
+                ObjectiveVector::from_slice(&[20.0, 40.0, 50.0]),
+                ObjectiveVector::from_slice(&[40.0, 20.0, 50.0]),
+                ObjectiveVector::from_slice(&[60.0, 60.0, 60.0]),
+            ],
+            &r,
+        );
+        assert!((three - two).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hypervolume_1d_is_the_span() {
+        let r = ObjectiveVector::from_slice(&[100.0]);
+        let pts = [
+            ObjectiveVector::from_slice(&[30.0]),
+            ObjectiveVector::from_slice(&[70.0]),
+        ];
+        assert_eq!(hypervolume_vec(&pts, &r), 70.0);
+    }
+
+    #[test]
+    fn three_objective_run_minimizes_jointly_and_stays_deterministic() {
+        let run = || {
+            let ds = DatasetKind::German.generate(&GeneratorConfig::seeded(31).with_records(60));
+            let pop = build_population(&ds, &SuiteConfig::small(), 31).unwrap();
+            let ev = Evaluator::new(&ds.protected_subtable(), MetricConfig::default()).unwrap();
+            let cfg = NsgaConfig {
+                generations: 5,
+                seed: 31,
+                ..NsgaConfig::default()
+            };
+            Nsga2::new(ev, cfg)
+                .with_objectives(cdp_metrics::ObjectiveSet::parse("il,dr,eps").unwrap())
+                .with_named_population(pop)
+                .unwrap()
+                .run()
+        };
+        let out = run();
+        assert_eq!(out.objectives.keys(), ["il", "dr", "eps"]);
+        // every front point carries a 3-D vector whose prefix is (il, dr)
+        for p in &out.front {
+            assert_eq!(p.objectives.len(), 3);
+            assert_eq!(p.objectives[0].to_bits(), p.il.to_bits());
+            assert_eq!(p.objectives[1].to_bits(), p.dr.to_bits());
+            assert!((0.0..100.0).contains(&p.objectives[2]));
+        }
+        // mutual non-dominance in the full 3-D space
+        for a in &out.front {
+            for b in &out.front {
+                assert!(!a.objectives.dominates(&b.objectives));
+            }
+        }
+        // a front may keep 2-D-dominated points that win on the third axis;
+        // the run stays bit-deterministic per seed
+        let again = run();
+        assert_eq!(out.front, again.front);
+        assert_eq!(out.hypervolume_series, again.hypervolume_series);
     }
 
     fn small_run(seed: u64, generations: usize) -> NsgaOutcome {

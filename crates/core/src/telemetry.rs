@@ -1,12 +1,15 @@
 //! Run telemetry: exactly the data behind the paper's two figure families —
 //! (IL, DR) dispersion snapshots and max/mean/min score evolution series.
 
+use cdp_metrics::ObjectiveVector;
+
 use crate::individual::Individual;
 use crate::operators::OperatorKind;
 
 /// One population snapshot point: an individual's (IL, DR) pair, as plotted
 /// in the paper's dispersion figures (Figs. 1, 3, 5, 7, 9, 11, 13, 15, 17,
-/// 18).
+/// 18), plus its full objective vector (identical to the pair under the
+/// canonical objective set).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScatterPoint {
     /// Individual's provenance label.
@@ -17,6 +20,9 @@ pub struct ScatterPoint {
     pub dr: f64,
     /// Aggregated score under the run's aggregator.
     pub score: f64,
+    /// The full objective vector (leads with `il, dr`; extended sets
+    /// append their extra measures).
+    pub objectives: ObjectiveVector,
 }
 
 impl ScatterPoint {
@@ -27,6 +33,19 @@ impl ScatterPoint {
             il: ind.il(),
             dr: ind.dr(),
             score: ind.score(),
+            objectives: ind.objectives(),
+        }
+    }
+
+    /// A 2-objective point from its parts (test/plot helper; `objectives`
+    /// is the canonical pair).
+    pub fn from_pair(name: String, il: f64, dr: f64, score: f64) -> Self {
+        ScatterPoint {
+            name,
+            il,
+            dr,
+            score,
+            objectives: ObjectiveVector::pair(il, dr),
         }
     }
 }

@@ -12,6 +12,9 @@ pub enum MetricError {
     ShapeMismatch(String),
     /// A configuration value outside its admissible range.
     InvalidConfig(String),
+    /// A malformed objective-set specification (unknown key, duplicate,
+    /// missing canonical prefix, or too many objectives).
+    InvalidObjectives(String),
 }
 
 impl fmt::Display for MetricError {
@@ -19,6 +22,7 @@ impl fmt::Display for MetricError {
         match self {
             MetricError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
             MetricError::InvalidConfig(msg) => write!(f, "invalid metric config: {msg}"),
+            MetricError::InvalidObjectives(msg) => write!(f, "invalid objectives: {msg}"),
         }
     }
 }
@@ -37,5 +41,8 @@ mod tests {
         assert!(MetricError::ShapeMismatch("y".into())
             .to_string()
             .contains("shape mismatch"));
+        assert!(MetricError::InvalidObjectives("z".into())
+            .to_string()
+            .contains("invalid objectives"));
     }
 }

@@ -227,6 +227,21 @@ pub struct EvalState {
     rsrl_credits: Vec<f64>,
 }
 
+impl EvalState {
+    /// The per-attribute original→masked confusion matrices
+    /// (`conf[k][o*c + v]`, `c` = category count of attribute `k`) — the
+    /// channel view the ε-leakage objective reads.
+    pub(crate) fn confusion(&self) -> &[Vec<u32>] {
+        &self.confusion
+    }
+
+    /// The masked file's contingency tables — the training side of the
+    /// task-utility objective.
+    pub(crate) fn masked_tables(&self) -> &ContingencyTables {
+        &self.masked_tables
+    }
+}
+
 impl Clone for EvalState {
     fn clone(&self) -> Self {
         EvalState {

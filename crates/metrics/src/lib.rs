@@ -55,6 +55,7 @@
 mod contingency;
 mod error;
 mod evaluator;
+mod objective;
 mod patch;
 mod prepared;
 mod score;
@@ -68,6 +69,9 @@ pub use contingency::ContingencyTables;
 pub use error::{MetricError, Result};
 pub use evaluator::{
     Assessment, DrBreakdown, EvalState, Evaluator, IlBreakdown, LinkageMode, MetricConfig,
+};
+pub use objective::{
+    objective_by_key, Objective, ObjectiveContext, ObjectiveSet, ObjectiveVector, MAX_OBJECTIVES,
 };
 pub use patch::{Patch, PatchCell};
 pub use prepared::{MaskedStats, MovedCategory, PreparedOriginal};

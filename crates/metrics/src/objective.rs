@@ -1,0 +1,615 @@
+//! Open objective space: the vector the optimizer minimizes, and the
+//! registry of measures that can fill it.
+//!
+//! The paper's Algorithm 1 (and our NSGA-II port) hard-wired exactly two
+//! objectives — information loss and disclosure risk — as `(f64, f64)`
+//! tuples. This module breaks that pair open: an [`ObjectiveVector`] holds
+//! up to [`MAX_OBJECTIVES`] minimized measures inline (no allocation, so
+//! the dominance hot loop stays as cheap as the tuple it replaces), an
+//! [`Objective`] computes one component from an evaluated masking, and an
+//! [`ObjectiveSet`] names the components of a run.
+//!
+//! The two canonical entries reproduce the paper exactly:
+//!
+//! * `il` — aggregated information loss, `(CTBIL + DBIL + EBIL) / 3`;
+//! * `dr` — aggregated disclosure risk, `(ID + DBRL + PRL + RSRL) / 4`.
+//!
+//! Two extension objectives open the scenario space the ROADMAP gated on
+//! this refactor:
+//!
+//! * `eps` — the empirical local-differential-privacy leakage of the
+//!   masking channel (information-theoretic PRAM under DP, after
+//!   arXiv 2009.11257): per attribute, the confusion matrix
+//!   original→masked is read as a randomized-response channel and its
+//!   worst-case log-likelihood ratio `ln P(v|o) / P(v|o′)` is taken over
+//!   all outputs `v` and input pairs `(o, o′)` (Laplace-smoothed so empty
+//!   cells stay finite); the run-level ε is the maximum over attributes,
+//!   squashed onto `[0, 100)` via `100·ε/(1+ε)` so it shares the
+//!   hypervolume reference of the paper measures. Lower is better: a
+//!   masking that leaks little about any original value scores near 0.
+//! * `util` — the task-utility gap (multi-objective anonymization for
+//!   ML-task preservation, after arXiv 2501.01002): the last protected
+//!   attribute is read as the label, and for every feature attribute a
+//!   majority-class (OneR) classifier is trained on the *protected* pair
+//!   table and tested against the *original* pair table; `util` is the
+//!   mean accuracy it gives up versus the same classifier trained on the
+//!   original, scaled to `[0, 100]`. Zero means the masking kept every
+//!   feature→label vote intact.
+//!
+//! All objectives are pure functions of integer sufficient statistics the
+//! evaluator already maintains — they draw no randomness, so adding or
+//! removing objectives never perturbs an optimizer's RNG streams, and the
+//! canonical `il,dr` set produces bit-for-bit the tuples the hard-wired
+//! code produced.
+
+use std::fmt;
+use std::ops::Index;
+use std::sync::Arc;
+
+use crate::evaluator::EvalState;
+use crate::prepared::PreparedOriginal;
+use crate::{MetricError, Result};
+
+/// Inline capacity of an [`ObjectiveVector`]; sets longer than this are
+/// rejected at parse time.
+pub const MAX_OBJECTIVES: usize = 4;
+
+/// A fixed small-N vector of minimized objective values.
+///
+/// Stored inline (`Copy`, no heap) so the NSGA-II dominance loop over a
+/// whole population costs what the old `(f64, f64)` tuples cost. Equality
+/// is component-wise on the active prefix.
+#[derive(Clone, Copy, Debug)]
+pub struct ObjectiveVector {
+    vals: [f64; MAX_OBJECTIVES],
+    len: u8,
+}
+
+impl ObjectiveVector {
+    /// The canonical 2-objective vector `(IL, DR)`.
+    pub fn pair(il: f64, dr: f64) -> ObjectiveVector {
+        ObjectiveVector {
+            vals: [il, dr, 0.0, 0.0],
+            len: 2,
+        }
+    }
+
+    /// Build from a slice of at most [`MAX_OBJECTIVES`] values.
+    ///
+    /// # Panics
+    /// Panics when `values` is longer than [`MAX_OBJECTIVES`] (programming
+    /// error: sets are length-checked at construction).
+    pub fn from_slice(values: &[f64]) -> ObjectiveVector {
+        assert!(
+            values.len() <= MAX_OBJECTIVES,
+            "at most {MAX_OBJECTIVES} objectives, got {}",
+            values.len()
+        );
+        let mut vals = [0.0; MAX_OBJECTIVES];
+        vals[..values.len()].copy_from_slice(values);
+        ObjectiveVector {
+            vals,
+            len: values.len() as u8,
+        }
+    }
+
+    /// A vector of `n` copies of `value` (the hypervolume reference point
+    /// constructor).
+    pub fn splat(value: f64, n: usize) -> ObjectiveVector {
+        assert!(n <= MAX_OBJECTIVES, "at most {MAX_OBJECTIVES} objectives");
+        let mut vals = [0.0; MAX_OBJECTIVES];
+        vals[..n].fill(value);
+        ObjectiveVector { vals, len: n as u8 }
+    }
+
+    /// Number of active components.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no components are active.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The active components.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.vals[..self.len as usize]
+    }
+
+    /// Pareto dominance (minimization): `self` is no worse on every
+    /// component and strictly better on at least one. The N=2 case
+    /// evaluates exactly the comparison the hard-wired
+    /// `a.il <= b.il && a.dr <= b.dr && (a.il < b.il || a.dr < b.dr)`
+    /// tuple test evaluated.
+    ///
+    /// # Panics
+    /// Panics when the two vectors have different lengths (programming
+    /// error: one run has one objective set).
+    pub fn dominates(&self, other: &ObjectiveVector) -> bool {
+        assert_eq!(self.len, other.len, "objective vectors of mixed lengths");
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut strictly = false;
+        for (x, y) in a.iter().zip(b) {
+            if x > y {
+                return false;
+            }
+            if x < y {
+                strictly = true;
+            }
+        }
+        strictly
+    }
+
+    /// First component — IL under every registry set (they all lead with
+    /// the canonical pair).
+    pub fn first(&self) -> f64 {
+        self.vals[0]
+    }
+}
+
+impl Index<usize> for ObjectiveVector {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.as_slice()[i]
+    }
+}
+
+impl PartialEq for ObjectiveVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.as_slice() == other.as_slice()
+    }
+}
+
+/// Everything an [`Objective`] may read when computing its component:
+/// the masked file's evaluated state (assessment + the integer sufficient
+/// statistics behind it) and the prepared original it was scored against.
+pub struct ObjectiveContext<'a> {
+    /// Evaluated state of the masked candidate.
+    pub state: &'a EvalState,
+    /// Original-side statistics (tables, ranks, category counts).
+    pub prepared: &'a PreparedOriginal,
+}
+
+/// One minimized objective: a key for the CLI grammar and a pure function
+/// of an evaluated masking. Implementations must not draw randomness —
+/// the optimizer's determinism contract depends on it.
+pub trait Objective: Send + Sync {
+    /// Grammar key (`il`, `dr`, `eps`, `util`).
+    fn key(&self) -> &'static str;
+
+    /// The component value, normalized to `[0, 100]` (minimized).
+    fn compute(&self, ctx: &ObjectiveContext<'_>) -> f64;
+}
+
+/// Canonical objective: aggregated information loss (paper Eq. IL).
+struct IlObjective;
+
+impl Objective for IlObjective {
+    fn key(&self) -> &'static str {
+        "il"
+    }
+
+    fn compute(&self, ctx: &ObjectiveContext<'_>) -> f64 {
+        ctx.state.assessment.il()
+    }
+}
+
+/// Canonical objective: aggregated disclosure risk (paper Eq. DR).
+struct DrObjective;
+
+impl Objective for DrObjective {
+    fn key(&self) -> &'static str {
+        "dr"
+    }
+
+    fn compute(&self, ctx: &ObjectiveContext<'_>) -> f64 {
+        ctx.state.assessment.dr()
+    }
+}
+
+/// Extension objective: empirical LDP leakage ε of the masking channel,
+/// squashed to `[0, 100)` (see the module docs).
+struct EpsObjective;
+
+/// Smoothed worst-case log-likelihood ratio of one confusion matrix
+/// (`conf[o*c + v]`, original value `o` → masked value `v`).
+fn channel_epsilon(conf: &[u32], c: usize) -> f64 {
+    if c <= 1 {
+        return 0.0;
+    }
+    // Laplace smoothing: P(v|o) = (n_ov + 1) / (n_o + c); empty channels
+    // stay finite and an unobserved input row is exactly uniform.
+    let row_sum: Vec<f64> = (0..c)
+        .map(|o| (0..c).map(|v| f64::from(conf[o * c + v])).sum::<f64>() + c as f64)
+        .collect();
+    let mut eps = 0.0f64;
+    for v in 0..c {
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for o in 0..c {
+            let p = (f64::from(conf[o * c + v]) + 1.0) / row_sum[o];
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        if lo > 0.0 {
+            eps = eps.max((hi / lo).ln());
+        }
+    }
+    eps
+}
+
+impl Objective for EpsObjective {
+    fn key(&self) -> &'static str {
+        "eps"
+    }
+
+    fn compute(&self, ctx: &ObjectiveContext<'_>) -> f64 {
+        let mut eps = 0.0f64;
+        for (k, conf) in ctx.state.confusion().iter().enumerate() {
+            eps = eps.max(channel_epsilon(conf, ctx.prepared.cats(k)));
+        }
+        100.0 * eps / (1.0 + eps)
+    }
+}
+
+/// Extension objective: task-utility gap of a per-feature majority-class
+/// classifier for the last protected attribute (see the module docs).
+struct UtilObjective;
+
+/// Index of the largest count; ties break to the lowest index
+/// (deterministic).
+fn argmax(row: &[u32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+impl Objective for UtilObjective {
+    fn key(&self) -> &'static str {
+        "util"
+    }
+
+    fn compute(&self, ctx: &ObjectiveContext<'_>) -> f64 {
+        let orig = ctx.prepared.tables();
+        let masked = ctx.state.masked_tables();
+        let (_, o_pairs, cats) = orig.raw_parts();
+        let (_, m_pairs, _) = masked.raw_parts();
+        let n = orig.n_rows();
+        if cats.len() < 2 || n == 0 {
+            return 0.0;
+        }
+        let label = cats.len() - 1;
+        let cl = cats[label];
+        let mut gap_sum = 0.0;
+        let mut features = 0usize;
+        for ((i, j, to), (_, _, tm)) in o_pairs.iter().zip(m_pairs) {
+            if *j != label {
+                continue;
+            }
+            let ci = cats[*i];
+            // per feature value v: the rule predicts the modal label of
+            // its training table; accuracy is counted on the original
+            let (mut best_possible, mut kept) = (0u64, 0u64);
+            for v in 0..ci {
+                let row_o = &to[v * cl..(v + 1) * cl];
+                let row_m = &tm[v * cl..(v + 1) * cl];
+                best_possible += u64::from(row_o[argmax(row_o)]);
+                kept += u64::from(row_o[argmax(row_m)]);
+            }
+            gap_sum += (best_possible - kept) as f64 / n as f64;
+            features += 1;
+        }
+        if features == 0 {
+            0.0
+        } else {
+            100.0 * gap_sum / features as f64
+        }
+    }
+}
+
+/// Look up one objective by its grammar key.
+pub fn objective_by_key(key: &str) -> Option<Arc<dyn Objective>> {
+    match key {
+        "il" => Some(Arc::new(IlObjective)),
+        "dr" => Some(Arc::new(DrObjective)),
+        "eps" => Some(Arc::new(EpsObjective)),
+        "util" => Some(Arc::new(UtilObjective)),
+        _ => None,
+    }
+}
+
+/// The ordered objectives of one run. Always leads with the canonical
+/// `il, dr` pair (the paper's measures stay the contract; extensions
+/// append), compares by key, and produces one [`ObjectiveVector`] per
+/// evaluated masking.
+#[derive(Clone)]
+pub struct ObjectiveSet {
+    objectives: Vec<Arc<dyn Objective>>,
+}
+
+impl ObjectiveSet {
+    /// The canonical paper pair `il, dr`.
+    pub fn canonical() -> ObjectiveSet {
+        ObjectiveSet::from_keys(&["il", "dr"]).expect("canonical keys registered")
+    }
+
+    /// Build from grammar keys; must lead with `il, dr` and stay within
+    /// [`MAX_OBJECTIVES`] distinct keys.
+    ///
+    /// # Errors
+    /// [`MetricError::InvalidObjectives`] naming the offending key or
+    /// shape.
+    pub fn from_keys<S: AsRef<str>>(keys: &[S]) -> Result<ObjectiveSet> {
+        let bad = |msg: String| MetricError::InvalidObjectives(msg);
+        if keys.len() < 2 || keys[0].as_ref() != "il" || keys[1].as_ref() != "dr" {
+            return Err(bad(
+                "objective sets lead with the canonical pair `il,dr`".into()
+            ));
+        }
+        if keys.len() > MAX_OBJECTIVES {
+            return Err(bad(format!(
+                "at most {MAX_OBJECTIVES} objectives, got {}",
+                keys.len()
+            )));
+        }
+        let mut objectives: Vec<Arc<dyn Objective>> = Vec::with_capacity(keys.len());
+        for key in keys {
+            let key = key.as_ref();
+            let obj = objective_by_key(key)
+                .ok_or_else(|| bad(format!("unknown objective `{key}` (il|dr|eps|util)")))?;
+            if objectives.iter().any(|o| o.key() == obj.key()) {
+                return Err(bad(format!("objective `{key}` listed twice")));
+            }
+            objectives.push(obj);
+        }
+        Ok(ObjectiveSet { objectives })
+    }
+
+    /// Parse a comma-separated key list (`il,dr,eps`).
+    ///
+    /// # Errors
+    /// [`MetricError::InvalidObjectives`], as in
+    /// [`ObjectiveSet::from_keys`].
+    pub fn parse(spec: &str) -> Result<ObjectiveSet> {
+        let keys: Vec<&str> = spec.split(',').map(str::trim).collect();
+        ObjectiveSet::from_keys(&keys)
+    }
+
+    /// Append one more objective by key.
+    ///
+    /// # Errors
+    /// [`MetricError::InvalidObjectives`] for unknown keys, duplicates, or
+    /// overflowing [`MAX_OBJECTIVES`].
+    pub fn push_key(&mut self, key: &str) -> Result<()> {
+        let mut keys: Vec<&str> = self.keys();
+        keys.push(key);
+        *self = ObjectiveSet::from_keys(&keys)?;
+        Ok(())
+    }
+
+    /// The grammar keys, in order.
+    pub fn keys(&self) -> Vec<&'static str> {
+        self.objectives.iter().map(|o| o.key()).collect()
+    }
+
+    /// Number of objectives.
+    pub fn len(&self) -> usize {
+        self.objectives.len()
+    }
+
+    /// Objective sets are never empty (the canonical pair is the floor).
+    pub fn is_empty(&self) -> bool {
+        self.objectives.is_empty()
+    }
+
+    /// Whether this is exactly the canonical `il, dr` pair.
+    pub fn is_canonical(&self) -> bool {
+        self.keys() == ["il", "dr"]
+    }
+
+    /// Evaluate every objective on one masked candidate.
+    pub fn vector_of(&self, ctx: &ObjectiveContext<'_>) -> ObjectiveVector {
+        let mut vals = [0.0; MAX_OBJECTIVES];
+        for (slot, obj) in vals.iter_mut().zip(&self.objectives) {
+            *slot = obj.compute(ctx);
+        }
+        ObjectiveVector {
+            vals,
+            len: self.objectives.len() as u8,
+        }
+    }
+
+    /// The hypervolume reference point: every measure lives in `[0, 100]`,
+    /// so the reference is 100 on each axis.
+    pub fn reference(&self) -> ObjectiveVector {
+        ObjectiveVector::splat(100.0, self.len())
+    }
+}
+
+impl Default for ObjectiveSet {
+    fn default() -> Self {
+        ObjectiveSet::canonical()
+    }
+}
+
+impl PartialEq for ObjectiveSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.keys() == other.keys()
+    }
+}
+
+impl fmt::Debug for ObjectiveSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectiveSet({})", self.keys().join(","))
+    }
+}
+
+impl fmt::Display for ObjectiveSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.keys().join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Evaluator, MetricConfig};
+    use cdp_dataset::generators::{DatasetKind, GeneratorConfig};
+    use cdp_dataset::{Code, SubTable};
+
+    fn originals() -> SubTable {
+        DatasetKind::Adult
+            .generate(&GeneratorConfig::seeded(9).with_records(120))
+            .protected_subtable()
+    }
+
+    fn shuffled(original: &SubTable, seed: u64) -> SubTable {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = original.clone();
+        for k in 0..m.n_attrs() {
+            let c = m.attr(k).n_categories() as Code;
+            for r in 0..m.n_rows() {
+                if rng.gen_bool(0.5) {
+                    m.set(r, k, rng.gen_range(0..c));
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn dominance_matches_the_tuple_rule() {
+        let cases = [
+            ((1.0, 2.0), (2.0, 3.0), true),
+            ((1.0, 2.0), (1.0, 2.0), false), // equal: no strict gain
+            ((1.0, 3.0), (2.0, 2.0), false), // incomparable
+            ((2.0, 2.0), (2.0, 3.0), true),  // tie on one axis
+        ];
+        for ((a0, a1), (b0, b1), expect) in cases {
+            let (a, b) = (ObjectiveVector::pair(a0, a1), ObjectiveVector::pair(b0, b1));
+            assert_eq!(a.dominates(&b), expect, "{a:?} vs {b:?}");
+            let tuple = a0 <= b0 && a1 <= b1 && (a0 < b0 || a1 < b1);
+            assert_eq!(tuple, expect);
+        }
+    }
+
+    #[test]
+    fn dominance_over_three_dims() {
+        let a = ObjectiveVector::from_slice(&[1.0, 2.0, 3.0]);
+        let b = ObjectiveVector::from_slice(&[1.0, 2.0, 4.0]);
+        let c = ObjectiveVector::from_slice(&[0.5, 9.0, 3.0]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c) && !c.dominates(&a));
+        assert!(!a.dominates(&a));
+    }
+
+    #[test]
+    fn set_parsing_and_shape_guards() {
+        assert!(ObjectiveSet::parse("il,dr").unwrap().is_canonical());
+        let three = ObjectiveSet::parse("il,dr,eps").unwrap();
+        assert_eq!(three.keys(), ["il", "dr", "eps"]);
+        assert!(!three.is_canonical());
+        assert_eq!(three.reference().as_slice(), &[100.0, 100.0, 100.0]);
+        let four = ObjectiveSet::parse("il, dr, eps, util").unwrap();
+        assert_eq!(four.len(), 4);
+        for bad in ["", "il", "dr,il", "il,dr,warp", "il,dr,eps,eps"] {
+            assert!(ObjectiveSet::parse(bad).is_err(), "`{bad}` must fail");
+        }
+        let mut set = ObjectiveSet::canonical();
+        set.push_key("util").unwrap();
+        assert_eq!(set.keys(), ["il", "dr", "util"]);
+        assert!(set.push_key("util").is_err(), "duplicate push");
+    }
+
+    #[test]
+    fn canonical_vector_is_bitwise_the_assessment_pair() {
+        let original = originals();
+        let ev = Evaluator::new(&original, MetricConfig::default()).unwrap();
+        let state = ev.assess(&shuffled(&original, 3));
+        let ctx = ObjectiveContext {
+            state: &state,
+            prepared: ev.prepared(),
+        };
+        let v = ObjectiveSet::canonical().vector_of(&ctx);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].to_bits(), state.assessment.il().to_bits());
+        assert_eq!(v[1].to_bits(), state.assessment.dr().to_bits());
+    }
+
+    #[test]
+    fn eps_orders_maskings_by_leakage() {
+        // identity masking leaks everything; a heavy shuffle leaks less
+        let original = originals();
+        let ev = Evaluator::new(&original, MetricConfig::default()).unwrap();
+        let set = ObjectiveSet::parse("il,dr,eps").unwrap();
+        let identity = set.vector_of(&ObjectiveContext {
+            state: &ev.assess(&original),
+            prepared: ev.prepared(),
+        });
+        let noisy = set.vector_of(&ObjectiveContext {
+            state: &ev.assess(&shuffled(&original, 5)),
+            prepared: ev.prepared(),
+        });
+        assert!(
+            identity[2] > noisy[2],
+            "identity ε {} must exceed shuffled ε {}",
+            identity[2],
+            noisy[2]
+        );
+        for v in [identity, noisy] {
+            assert!((0.0..100.0).contains(&v[2]), "squashed ε in [0,100)");
+        }
+    }
+
+    #[test]
+    fn util_gap_is_zero_on_identity_and_grows_with_damage() {
+        let original = originals();
+        let ev = Evaluator::new(&original, MetricConfig::default()).unwrap();
+        let set = ObjectiveSet::parse("il,dr,util").unwrap();
+        let identity = set.vector_of(&ObjectiveContext {
+            state: &ev.assess(&original),
+            prepared: ev.prepared(),
+        });
+        assert_eq!(identity[2], 0.0, "identity keeps every vote");
+        let noisy = set.vector_of(&ObjectiveContext {
+            state: &ev.assess(&shuffled(&original, 7)),
+            prepared: ev.prepared(),
+        });
+        assert!((0.0..=100.0).contains(&noisy[2]));
+    }
+
+    #[test]
+    fn objectives_compose_with_incremental_states() {
+        // a patched EvalState carries the same sufficient statistics as a
+        // full assessment, so every objective agrees bit-for-bit
+        let original = originals();
+        let ev = Evaluator::new(&original, MetricConfig::default()).unwrap();
+        let mut masked = shuffled(&original, 11);
+        let state = ev.assess(&masked);
+        let old = masked.get(3, 0);
+        let c = masked.attr(0).n_categories() as Code;
+        masked.set(3, 0, (old + 1) % c);
+        let patched = ev.reassess(&state, &masked, &crate::Patch::cell(3, 0, old));
+        let full = ev.assess(&masked);
+        let set = ObjectiveSet::parse("il,dr,eps,util").unwrap();
+        let a = set.vector_of(&ObjectiveContext {
+            state: &patched,
+            prepared: ev.prepared(),
+        });
+        let b = set.vector_of(&ObjectiveContext {
+            state: &full,
+            prepared: ev.prepared(),
+        });
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

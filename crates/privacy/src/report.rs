@@ -22,6 +22,10 @@ pub struct PrivacyReport {
     /// l-diversity and t-closeness per audited sensitive attribute,
     /// by attribute name.
     pub sensitive: Vec<SensitiveAudit>,
+    /// Differential-privacy budget the masking was calibrated to, when
+    /// the protection is an ε-calibrated PRAM (`None` otherwise — the
+    /// audit itself cannot derive a budget from the masked file alone).
+    pub epsilon: Option<f64>,
 }
 
 /// Diversity/closeness figures for one sensitive attribute.
@@ -66,6 +70,7 @@ pub fn audit(
             .map(|orig| journalist_risk(masked, orig))
             .transpose()?,
         sensitive: audits,
+        epsilon: None,
     })
 }
 
@@ -102,6 +107,9 @@ impl fmt::Display for PrivacyReport {
                 "  sensitive `{}`    distinct-l={} entropy-l={:.2} t={:.3}",
                 s.attribute, s.l_diversity.distinct_l, s.l_diversity.entropy_l, s.t_closeness.t
             )?;
+        }
+        if let Some(eps) = self.epsilon {
+            writeln!(f, "  dp budget          eps={eps:.3} (calibrated PRAM)")?;
         }
         Ok(())
     }
@@ -167,6 +175,16 @@ mod tests {
         assert!(text.contains("prosecutor risk"));
         assert!(text.contains("journalist risk"));
         assert!(text.contains("INCOME"));
+    }
+
+    #[test]
+    fn epsilon_is_reported_when_set() {
+        let masked = sub(vec![vec![0, 0, 1, 1]]);
+        let mut report = audit(&masked, None, &[]).unwrap();
+        assert_eq!(report.epsilon, None);
+        assert!(!report.to_string().contains("dp budget"));
+        report.epsilon = Some(1.25);
+        assert!(report.to_string().contains("eps=1.250"));
     }
 
     #[test]

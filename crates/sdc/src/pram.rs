@@ -14,6 +14,14 @@
 //!   `Q` the Bayes reversal of the uniform matrix `R`, so the expected
 //!   marginal distribution of the published file equals the original one
 //!   (`p·T = p`).
+//!
+//! Instead of a fixed retention probability, the matrix can be calibrated
+//! to a differential-privacy budget ([`Pram::epsilon_calibrated`]): the
+//! per-attribute retention becomes `θ_k = e^ε / (e^ε + K_k − 1)` — the
+//! ε-LDP randomized-response rate for an attribute with `K_k` categories
+//! (information-theoretic PRAM under DP, after arXiv 2009.11257) — so one
+//! ε yields a stronger retention on wide attributes and a weaker one on
+//! narrow attributes, exactly matching the budget each channel affords.
 
 use cdp_dataset::sample::weighted_index;
 use cdp_dataset::{Code, SubTable};
@@ -47,16 +55,48 @@ impl PramMode {
 /// PRAM with retention probability `theta` applied independently per cell.
 #[derive(Debug, Clone, Copy)]
 pub struct Pram {
-    /// Diagonal retention probability, in `(0, 1]`.
+    /// Diagonal retention probability, in `(0, 1]`. Ignored when
+    /// `epsilon` is set — the retention is then derived per attribute.
     pub theta: f64,
     /// Matrix construction.
     pub mode: PramMode,
+    /// Differential-privacy budget; when set, the per-attribute retention
+    /// is `θ_k = e^ε / (e^ε + K_k − 1)` instead of the fixed `theta`.
+    pub epsilon: Option<f64>,
 }
 
 impl Pram {
     /// Convenience constructor.
     pub fn new(theta: f64, mode: PramMode) -> Self {
-        Pram { theta, mode }
+        Pram {
+            theta,
+            mode,
+            epsilon: None,
+        }
+    }
+
+    /// ε-calibrated invariant PRAM: retention derived per attribute from
+    /// the DP budget (`θ_k = e^ε / (e^ε + K_k − 1)`), with the
+    /// marginal-preserving [`PramMode::Invariant`] matrix on top.
+    pub fn epsilon_calibrated(epsilon: f64) -> Self {
+        Pram {
+            theta: 0.0,
+            mode: PramMode::Invariant,
+            epsilon: Some(epsilon),
+        }
+    }
+
+    /// The retention probability used for an attribute with `k`
+    /// categories: the fixed `theta`, or the ε-derived rate when a budget
+    /// is set.
+    pub fn retention_for(&self, k: usize) -> f64 {
+        match self.epsilon {
+            Some(eps) => {
+                let e = eps.exp();
+                e / (e + k.saturating_sub(1) as f64)
+            }
+            None => self.theta,
+        }
     }
 
     /// Build the transition matrix for one attribute given its empirical
@@ -66,7 +106,7 @@ impl Pram {
         if k == 1 {
             return vec![vec![1.0]];
         }
-        let theta = self.theta;
+        let theta = self.retention_for(k);
         match self.mode {
             PramMode::Uniform => {
                 let off = (1.0 - theta) / (k - 1) as f64;
@@ -131,7 +171,10 @@ impl Pram {
 
 impl ProtectionMethod for Pram {
     fn name(&self) -> String {
-        format!("pram(theta={:.2},{})", self.theta, self.mode.tag())
+        match self.epsilon {
+            Some(eps) => format!("pram(eps={:.2},{})", eps, self.mode.tag()),
+            None => format!("pram(theta={:.2},{})", self.theta, self.mode.tag()),
+        }
     }
 
     fn family(&self) -> MethodFamily {
@@ -144,11 +187,22 @@ impl ProtectionMethod for Pram {
         _ctx: &MethodContext<'_>,
         rng: &mut dyn RngCore,
     ) -> Result<SubTable> {
-        if !(self.theta > 0.0 && self.theta <= 1.0) {
-            return Err(SdcError::InvalidParam(format!(
-                "PRAM retention probability must lie in (0, 1], got {}",
-                self.theta
-            )));
+        match self.epsilon {
+            Some(eps) => {
+                if !(eps.is_finite() && eps > 0.0) {
+                    return Err(SdcError::InvalidParam(format!(
+                        "PRAM privacy budget must be a positive finite ε, got {eps}"
+                    )));
+                }
+            }
+            None => {
+                if !(self.theta > 0.0 && self.theta <= 1.0) {
+                    return Err(SdcError::InvalidParam(format!(
+                        "PRAM retention probability must lie in (0, 1], got {}",
+                        self.theta
+                    )));
+                }
+            }
         }
         let n = original.n_rows();
         let mut columns: Vec<Vec<Code>> = Vec::with_capacity(original.n_attrs());
@@ -287,5 +341,61 @@ mod tests {
             Pram::new(0.75, PramMode::Invariant).name(),
             "pram(theta=0.75,inv)"
         );
+        assert_eq!(Pram::epsilon_calibrated(1.5).name(), "pram(eps=1.50,inv)");
+    }
+
+    #[test]
+    fn epsilon_calibration_derives_per_attribute_retention() {
+        let pram = Pram::epsilon_calibrated(1.0);
+        let e = 1.0f64.exp();
+        // K = 2: the classic binary randomized-response rate e/(e+1)
+        assert!((pram.retention_for(2) - e / (e + 1.0)).abs() < 1e-12);
+        // wider attributes retain less under the same budget
+        assert!(pram.retention_for(8) < pram.retention_for(3));
+        // a bigger budget retains more at fixed width
+        assert!(Pram::epsilon_calibrated(3.0).retention_for(4) > pram.retention_for(4));
+        // the matrix row built from the derived rate still sums to 1 and
+        // stays marginal-preserving (invariant construction)
+        let probs = [0.4, 0.3, 0.2, 0.1];
+        let t = pram.transition_matrix(&probs);
+        for row in &t {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        for b in 0..probs.len() {
+            let out: f64 = (0..probs.len()).map(|a| probs[a] * t[a][b]).sum();
+            assert!((out - probs[b]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn epsilon_budget_orders_distortion() {
+        let sub = setup();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let tight = Pram::epsilon_calibrated(0.5)
+            .protect(&sub, &ctx(&hs), &mut StdRng::seed_from_u64(4))
+            .unwrap();
+        let loose = Pram::epsilon_calibrated(4.0)
+            .protect(&sub, &ctx(&hs), &mut StdRng::seed_from_u64(4))
+            .unwrap();
+        assert!(
+            sub.hamming(&tight) > sub.hamming(&loose),
+            "a tighter budget must distort more"
+        );
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        let sub = setup();
+        let hs: Vec<&cdp_dataset::Hierarchy> = vec![];
+        let mut rng = StdRng::seed_from_u64(1);
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                Pram::epsilon_calibrated(eps)
+                    .protect(&sub, &ctx(&hs), &mut rng)
+                    .is_err(),
+                "ε = {eps} must be rejected"
+            );
+        }
     }
 }

@@ -101,6 +101,46 @@
 //! assert_eq!(report.published_best().unwrap().n_rows(), 100);
 //! ```
 //!
+//! ## Beyond (IL, DR): extending the objective vector
+//!
+//! The canonical pair is the floor of the objective vector, not its
+//! ceiling. Under `.nsga()`, `.objective("eps")` appends the empirical-LDP
+//! leakage objective — and `.objective("util")` a task-utility gap — so
+//! dominance, crowding, hypervolume, and the knee all work over the longer
+//! vector. `.epsilon_pram(1.5)` seeds the population with an ε-calibrated
+//! invariant PRAM member (per-attribute retention `e^ε/(e^ε + K − 1)`,
+//! drawn from its own seeded stream) and echoes the budget in the privacy
+//! audit. A job that never calls `.objective(...)` keeps the canonical
+//! pair and reproduces the two-objective RNG streams bit-identically:
+//!
+//! ```
+//! use cdp::prelude::*;
+//!
+//! let report = ProtectionJob::builder()
+//!     .dataset(DatasetKind::German)
+//!     .records(80)
+//!     .suite_small()
+//!     .nsga()                              // objectives are nsga-only
+//!     .objective("eps")                    // minimize leakage as a third axis
+//!     .epsilon_pram(1.5)                   // ε-calibrated invariant PRAM member
+//!     .iterations(6)
+//!     .seed(11)
+//!     .audit()
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//!
+//! let front = report.front().expect("nsga job");
+//! assert_eq!(front.objective_keys, ["il", "dr", "eps"]);
+//! // every front member carries a 3-component objective vector …
+//! assert!(front.points.iter().all(|p| p.objectives.len() == 3));
+//! // … the published winner is still the knee, now balanced over 3 axes
+//! assert_eq!(report.best.data, front.knee().data);
+//! // and the calibrated budget surfaces in the audit
+//! assert_eq!(report.privacy.as_ref().unwrap().epsilon, Some(1.5));
+//! ```
+//!
 //! ## Serving jobs concurrently — `cdp serve`
 //!
 //! The pipeline doubles as a long-lived protection service. A
@@ -187,7 +227,8 @@ pub mod prelude {
     pub use cdp_dataset::generators::{Dataset, DatasetKind, GeneratorConfig};
     pub use cdp_dataset::{AttrKind, Attribute, Code, Hierarchy, Schema, SubTable, Table};
     pub use cdp_metrics::{
-        Assessment, DrBreakdown, Evaluator, IlBreakdown, LinkageMode, MetricConfig, ScoreAggregator,
+        Assessment, DrBreakdown, Evaluator, IlBreakdown, LinkageMode, MetricConfig, ObjectiveSet,
+        ObjectiveVector, ScoreAggregator,
     };
     pub use cdp_privacy::{CostKind, LatticeSearch, PrivacyReport, Recoder};
     pub use cdp_sdc::{build_population, ProtectionMethod, SuiteConfig};

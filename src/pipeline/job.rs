@@ -5,8 +5,8 @@ use std::fmt;
 use cdp_core::{EvoConfig, NsgaConfig, OperatorSchedule, ReplacementPolicy, SelectionWeighting};
 use cdp_dataset::generators::{Dataset, DatasetKind, GeneratorConfig};
 use cdp_dataset::{stats, AttrKind, Hierarchy, SubTable, Table};
-use cdp_metrics::{LinkageMode, MetricConfig, ScoreAggregator};
-use cdp_sdc::{build_population_from, MethodContext, ProtectionMethod, SuiteConfig};
+use cdp_metrics::{LinkageMode, MetricConfig, ObjectiveSet, ScoreAggregator};
+use cdp_sdc::{build_population_from, MethodContext, Pram, ProtectionMethod, SuiteConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -133,6 +133,8 @@ impl fmt::Debug for ProtectionJob {
             .field("copies", &self.copies)
             .field("extra", &self.extra.len())
             .field("optimizer", &optimizer)
+            .field("objectives", &self.objectives)
+            .field("pram_epsilon", &self.pram_epsilon)
             .field("iterations", &self.iterations)
             .field("drop_best_fraction", &self.drop_best_fraction)
             .field("audit", &self.audit)
@@ -301,6 +303,8 @@ pub struct ProtectionJob {
     pub(crate) extra: Vec<(String, SubTable)>,
     pub(crate) metrics: MetricConfig,
     pub(crate) mode: OptimizerMode,
+    pub(crate) objectives: ObjectiveSet,
+    pub(crate) pram_epsilon: Option<f64>,
     pub(crate) iterations: usize,
     pub(crate) drop_best_fraction: f64,
     pub(crate) audit: Option<AuditSpec>,
@@ -399,6 +403,16 @@ impl ProtectionJob {
             PopulationSpec::Named(items) => items.clone(),
         };
         pop.extend(self.extra.iter().cloned());
+        if let Some(eps) = self.pram_epsilon {
+            // the ε member draws from its own seeded stream so that
+            // adding (or removing) it never perturbs the recipe's or the
+            // optimizer's RNG streams
+            let ctx = MethodContext { hierarchies: &refs };
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0x00E5_0CA1);
+            let method = Pram::epsilon_calibrated(eps);
+            let data = method.protect(&original, &ctx, &mut rng)?;
+            pop.push((method.name(), data));
+        }
         if pop.is_empty() {
             return Err(PipelineError::InvalidJob(
                 "the population recipe produced no protections".into(),
@@ -439,6 +453,19 @@ impl ProtectionJob {
             OptimizerMode::Scalar(_) => None,
             OptimizerMode::Nsga(cfg) => Some(cfg),
         }
+    }
+
+    /// The objective vector the NSGA-II mode minimizes (the canonical
+    /// `il, dr` pair unless [`ProtectionJobBuilder::objective`] appended
+    /// extras).
+    pub fn objectives(&self) -> &ObjectiveSet {
+        &self.objectives
+    }
+
+    /// The ε budget of the calibrated-PRAM population member, when
+    /// [`ProtectionJobBuilder::epsilon_pram`] requested one.
+    pub fn pram_epsilon(&self) -> Option<f64> {
+        self.pram_epsilon
     }
 
     /// Metric configuration.
@@ -508,6 +535,8 @@ pub struct ProtectionJobBuilder {
     metrics: MetricConfig,
     evo: EvoConfig,
     multi_objective: bool,
+    objectives: Vec<String>,
+    pram_epsilon: Option<f64>,
     incremental_crossover: bool,
     nsga_refresh: usize,
     offspring: Option<usize>,
@@ -533,6 +562,8 @@ impl Default for ProtectionJobBuilder {
             metrics: MetricConfig::default(),
             evo: EvoConfig::default(),
             multi_objective: false,
+            objectives: Vec::new(),
+            pram_epsilon: None,
             incremental_crossover: EvoConfig::default().incremental_crossover,
             nsga_refresh: NsgaConfig::default().incremental_refresh,
             offspring: None,
@@ -687,6 +718,27 @@ impl ProtectionJobBuilder {
         self
     }
 
+    /// Append one more minimized objective (registry key `eps` or
+    /// `util`) to the NSGA-II objective vector, after the canonical
+    /// `il, dr` pair. NSGA-II mode only: Pareto dominance, crowding and
+    /// the published front then work over the extended vector; the
+    /// default pair keeps the run bit-identical to the hard-wired
+    /// two-objective engine.
+    pub fn objective(mut self, key: impl Into<String>) -> Self {
+        self.objectives.push(key.into());
+        self
+    }
+
+    /// Append an ε-calibrated invariant-PRAM protection
+    /// ([`Pram::epsilon_calibrated`]) to the initial population, drawn
+    /// from its own seeded stream (so the rest of the run's RNG streams
+    /// are untouched). The budget is surfaced in the audit report's
+    /// `epsilon` field when the audit stage is enabled.
+    pub fn epsilon_pram(mut self, epsilon: f64) -> Self {
+        self.pram_epsilon = Some(epsilon);
+        self
+    }
+
     /// NSGA-II offspring per generation (`0` = population size; the
     /// default). NSGA-II mode only.
     pub fn offspring(mut self, n: usize) -> Self {
@@ -714,6 +766,7 @@ impl ProtectionJobBuilder {
                 self.multi_objective = false;
                 self.offspring = None;
                 self.crossover_prob = None;
+                self.objectives.clear();
                 self.iterations = cfg.stop.max_iterations;
                 self.stagnation = cfg.stop.stagnation;
                 self.incremental_crossover = cfg.incremental_crossover;
@@ -913,6 +966,24 @@ impl ProtectionJobBuilder {
                 self.drop_best_fraction
             )));
         }
+        let mut objectives = ObjectiveSet::canonical();
+        for key in &self.objectives {
+            objectives
+                .push_key(key)
+                .map_err(|e| PipelineError::InvalidJob(e.to_string()))?;
+        }
+        if !objectives.is_canonical() && !self.multi_objective {
+            return Err(PipelineError::InvalidJob(
+                "objective() extends the NSGA-II objective vector; call nsga() first".into(),
+            ));
+        }
+        if let Some(eps) = self.pram_epsilon {
+            if !(eps.is_finite() && eps > 0.0) {
+                return Err(PipelineError::InvalidJob(format!(
+                    "epsilon_pram() needs a positive finite budget, got {eps}"
+                )));
+            }
+        }
         let mode = if self.multi_objective {
             // scalar-only knobs have no effect under Pareto selection;
             // reject them instead of silently dropping them
@@ -986,6 +1057,8 @@ impl ProtectionJobBuilder {
             extra: self.extra,
             metrics: self.metrics,
             mode,
+            objectives,
+            pram_epsilon: self.pram_epsilon,
             iterations: self.iterations,
             drop_best_fraction: self.drop_best_fraction,
             audit: self.audit,
@@ -1316,6 +1389,72 @@ mod tests {
         let src = job.resolve_source().unwrap();
         assert_eq!(src.hierarchies.len(), ds.protected.len());
         assert!(src.kind.is_none());
+    }
+
+    #[test]
+    fn objective_extension_is_nsga_only_and_validated() {
+        // extras build under nsga()
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::German)
+            .nsga()
+            .iterations(5)
+            .objective("eps")
+            .build()
+            .unwrap();
+        assert_eq!(job.objectives().keys(), ["il", "dr", "eps"]);
+        // default stays canonical
+        let job = ProtectionJob::builder()
+            .dataset(DatasetKind::German)
+            .nsga()
+            .iterations(5)
+            .build()
+            .unwrap();
+        assert!(job.objectives().is_canonical());
+        // scalar mode rejects extras
+        let err = ProtectionJob::builder()
+            .dataset(DatasetKind::German)
+            .objective("eps")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("nsga"), "{err}");
+        // unknown keys and duplicates are named
+        for bad in ["warp", "il"] {
+            let err = ProtectionJob::builder()
+                .dataset(DatasetKind::German)
+                .nsga()
+                .iterations(5)
+                .objective(bad)
+                .build()
+                .unwrap_err();
+            assert!(err.to_string().contains("objective"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn epsilon_pram_member_joins_the_population() {
+        let base = || {
+            ProtectionJob::builder()
+                .dataset(DatasetKind::German)
+                .records(40)
+                .seed(7)
+        };
+        let plain = base().build().unwrap();
+        let with_eps = base().epsilon_pram(1.0).build().unwrap();
+        assert_eq!(with_eps.pram_epsilon(), Some(1.0));
+        let src = plain.resolve_source().unwrap();
+        let pop_plain = plain.seed_population(&src).unwrap();
+        let pop_eps = with_eps.seed_population(&src).unwrap();
+        // exactly one extra member, appended last, and the recipe's
+        // members are untouched (dedicated RNG stream)
+        assert_eq!(pop_eps.len(), pop_plain.len() + 1);
+        for ((an, ad), (bn, bd)) in pop_plain.iter().zip(&pop_eps) {
+            assert_eq!(an, bn);
+            assert_eq!(ad, bd);
+        }
+        assert_eq!(pop_eps.last().unwrap().0, "pram(eps=1.00,inv)");
+        // invalid budgets are rejected at build time
+        assert!(base().epsilon_pram(0.0).build().is_err());
+        assert!(base().epsilon_pram(f64::NAN).build().is_err());
     }
 
     #[test]

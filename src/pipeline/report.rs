@@ -48,6 +48,9 @@ pub struct Front {
     /// re-assessments (`NsgaConfig::incremental` moves offspring from the
     /// first bucket to the second).
     pub eval_counts: EvalCounts,
+    /// The grammar keys of the objectives the run minimized, in vector
+    /// order (always leads with `il, dr`).
+    pub objective_keys: Vec<&'static str>,
 }
 
 impl Front {
@@ -69,6 +72,7 @@ impl Front {
             hypervolume: outcome.hypervolume_series,
             evaluations: outcome.evaluations,
             eval_counts: outcome.eval_counts,
+            objective_keys: outcome.objectives.keys(),
         }
     }
 
@@ -90,28 +94,37 @@ impl Front {
 
     /// Index of the knee point: the member closest (in objective space
     /// normalized to the front's extent) to the ideal point — the
-    /// balanced trade-off a scalar consumer publishes by default.
+    /// balanced trade-off a scalar consumer publishes by default. Works
+    /// over the full objective vector (2 or more dimensions); an axis the
+    /// whole front shares one value on (zero span) contributes nothing to
+    /// any distance instead of poisoning the normalization with 0/0.
     ///
     /// # Panics
     /// Panics on an empty front (pipeline-built fronts never are:
     /// populations are validated non-empty).
     pub fn knee_index(&self) -> usize {
         assert!(!self.points.is_empty(), "a front has at least one member");
-        let min =
-            |f: fn(&ScatterPoint) -> f64| self.points.iter().map(f).fold(f64::INFINITY, f64::min);
-        let max = |f: fn(&ScatterPoint) -> f64| {
-            self.points.iter().map(f).fold(f64::NEG_INFINITY, f64::max)
-        };
-        let (il_min, il_span) = (min(|p| p.il), max(|p| p.il) - min(|p| p.il));
-        let (dr_min, dr_span) = (min(|p| p.dr), max(|p| p.dr) - min(|p| p.dr));
+        let dims = self.points[0].objectives.len();
+        let mut lo = vec![f64::INFINITY; dims];
+        let mut hi = vec![f64::NEG_INFINITY; dims];
+        for p in &self.points {
+            for d in 0..dims {
+                lo[d] = lo[d].min(p.objectives[d]);
+                hi[d] = hi[d].max(p.objectives[d]);
+            }
+        }
         let norm = |v: f64, lo: f64, span: f64| if span > 0.0 { (v - lo) / span } else { 0.0 };
         self.points
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                let x = norm(p.il, il_min, il_span);
-                let y = norm(p.dr, dr_min, dr_span);
-                (i, x * x + y * y)
+                let dist: f64 = (0..dims)
+                    .map(|d| {
+                        let x = norm(p.objectives[d], lo[d], hi[d] - lo[d]);
+                        x * x
+                    })
+                    .sum();
+                (i, dist)
             })
             .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite distances"))
             .map(|(i, _)| i)
@@ -134,23 +147,45 @@ impl Front {
     }
 
     /// Write the `front.csv` artifact: initial, final and archive fronts
-    /// as `phase,name,il,dr,score` rows.
+    /// as `phase,name,il,dr,score` rows. Runs with extended objective
+    /// sets append one column per extra objective (`…,score,eps`);
+    /// canonical two-objective runs emit the exact historical format,
+    /// byte for byte.
     ///
     /// # Errors
     /// Propagates writer failures.
     pub fn write_front_csv<W: Write>(&self, mut out: W) -> io::Result<()> {
-        writeln!(out, "phase,name,il,dr,score")?;
+        let extra_keys = if self.objective_keys.len() > 2 {
+            &self.objective_keys[2..]
+        } else {
+            &[]
+        };
+        write!(out, "phase,name,il,dr,score")?;
+        for key in extra_keys {
+            write!(out, ",{key}")?;
+        }
+        writeln!(out)?;
         for (phase, points) in [
             ("initial", &self.initial),
             ("final", &self.points),
             ("archive", &self.archive),
         ] {
             for p in points {
-                writeln!(
+                write!(
                     out,
                     "{phase},{},{:.4},{:.4},{:.4}",
                     p.name, p.il, p.dr, p.score
                 )?;
+                for d in 2..2 + extra_keys.len() {
+                    if d < p.objectives.len() {
+                        write!(out, ",{:.4}", p.objectives[d])?;
+                    } else {
+                        // archive points offered outside the optimizer may
+                        // carry the bare pair; pad so rows stay rectangular
+                        write!(out, ",")?;
+                    }
+                }
+                writeln!(out)?;
             }
         }
         Ok(())
@@ -297,13 +332,16 @@ impl JobReport {
 mod tests {
     use super::*;
 
+    use cdp_core::ObjectiveVector;
+
     fn pt(name: &str, il: f64, dr: f64) -> ScatterPoint {
-        ScatterPoint {
-            name: name.into(),
-            il,
-            dr,
-            score: il.max(dr),
-        }
+        ScatterPoint::from_pair(name.into(), il, dr, il.max(dr))
+    }
+
+    fn pt3(name: &str, il: f64, dr: f64, eps: f64) -> ScatterPoint {
+        let mut p = pt(name, il, dr);
+        p.objectives = ObjectiveVector::from_slice(&[il, dr, eps]);
+        p
     }
 
     fn front_of(points: Vec<ScatterPoint>) -> Front {
@@ -315,6 +353,7 @@ mod tests {
             hypervolume: vec![0.0, 1.0],
             evaluations: 0,
             eval_counts: EvalCounts::default(),
+            objective_keys: vec!["il", "dr"],
         }
     }
 
@@ -340,6 +379,28 @@ mod tests {
         // all members share one IL: the DR axis decides
         let front = front_of(vec![pt("a", 5.0, 30.0), pt("b", 5.0, 10.0)]);
         assert_eq!(front.knee_index(), 1);
+        // every axis flat: distances all zero, the first member wins
+        let front = front_of(vec![pt("a", 5.0, 5.0), pt("b", 5.0, 5.0)]);
+        assert_eq!(front.knee_index(), 0);
+    }
+
+    #[test]
+    fn knee_works_over_three_objectives() {
+        let mut front = front_of(vec![
+            pt3("corner-a", 0.0, 100.0, 50.0),
+            pt3("balanced", 15.0, 15.0, 10.0),
+            pt3("corner-b", 100.0, 0.0, 50.0),
+        ]);
+        front.objective_keys = vec!["il", "dr", "eps"];
+        assert_eq!(front.knee_index(), 1);
+        // a flat third axis must not disturb the 2-D decision
+        let mut front = front_of(vec![
+            pt3("low-il", 0.0, 100.0, 7.0),
+            pt3("knee", 20.0, 20.0, 7.0),
+            pt3("low-dr", 100.0, 0.0, 7.0),
+        ]);
+        front.objective_keys = vec!["il", "dr", "eps"];
+        assert_eq!(front.knee_index(), 1);
     }
 
     #[test]
@@ -359,6 +420,20 @@ mod tests {
         front.write_hypervolume_csv(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text, "generation,hypervolume\n0,0.0000\n1,1.0000\n");
+    }
+
+    #[test]
+    fn extended_runs_append_objective_columns() {
+        let mut front = front_of(vec![pt3("f", 1.0, 2.0, 3.5)]);
+        front.objective_keys = vec!["il", "dr", "eps"];
+        // an archive point carrying only the pair pads its extra column
+        front.archive = vec![pt("a", 1.0, 2.0)];
+        let mut buf = Vec::new();
+        front.write_front_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("phase,name,il,dr,score,eps\n"), "{text}");
+        assert!(text.contains("final,f,1.0000,2.0000,2.0000,3.5000\n"));
+        assert!(text.contains("archive,a,1.0000,2.0000,2.0000,\n"));
     }
 
     #[test]

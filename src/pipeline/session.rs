@@ -259,8 +259,12 @@ mod tests {
                     generation,
                     front_size,
                     hypervolume,
+                    ideal,
                 } = e
                 {
+                    // the ideal point leads with the canonical pair and
+                    // is a per-objective lower bound of the front
+                    assert_eq!(ideal.len(), 2, "default jobs keep the pair");
                     fronts.push((*generation, *front_size, *hypervolume));
                 }
             })

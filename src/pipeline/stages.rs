@@ -3,7 +3,7 @@
 
 use cdp_core::{
     evaluate_all, EvalCounts, Evolution, GenerationStats, IslandEvent, IslandModel, Nsga2,
-    ScatterPoint,
+    ObjectiveVector, ScatterPoint,
 };
 use cdp_dataset::{Attribute, Code, SubTable};
 use cdp_privacy::PrivacyReport;
@@ -54,9 +54,11 @@ pub enum JobEvent {
         generation: usize,
         /// Size of the population's non-dominated front.
         front_size: usize,
-        /// Hypervolume of that front w.r.t.
-        /// [`cdp_core::nsga::HV_REFERENCE`].
+        /// Hypervolume of that front w.r.t. the objective set's
+        /// reference point (100 on every axis).
         hypervolume: f64,
+        /// Per-objective minima over that front (leads with IL, DR).
+        ideal: ObjectiveVector,
     },
     /// One island finished one scalar iteration (island-model jobs,
     /// `islands >= 2`; the per-island counterpart of
@@ -76,9 +78,11 @@ pub enum JobEvent {
         generation: usize,
         /// Size of the island population's non-dominated front.
         front_size: usize,
-        /// Hypervolume of that front w.r.t.
-        /// [`cdp_core::nsga::HV_REFERENCE`].
+        /// Hypervolume of that front w.r.t. the objective set's
+        /// reference point (100 on every axis).
         hypervolume: f64,
+        /// Per-objective minima over that island front.
+        ideal: ObjectiveVector,
     },
     /// An island exported members to its ring neighbour at a migration
     /// barrier (island-model jobs with `migration_size > 0`).
@@ -143,11 +147,13 @@ pub(crate) fn run_job<F: FnMut(&JobEvent)>(
             let points: Vec<ScatterPoint> = population
                 .iter()
                 .zip(&states)
-                .map(|((name, _), state)| ScatterPoint {
-                    name: name.clone(),
-                    il: state.assessment.il(),
-                    dr: state.assessment.dr(),
-                    score: state.assessment.score(evo_cfg.aggregator),
+                .map(|((name, _), state)| {
+                    ScatterPoint::from_pair(
+                        name.clone(),
+                        state.assessment.il(),
+                        state.assessment.dr(),
+                        state.assessment.score(evo_cfg.aggregator),
+                    )
                 })
                 .collect();
             let (i, _) = points
@@ -204,6 +210,7 @@ pub(crate) fn run_job<F: FnMut(&JobEvent)>(
         }
         OptimizerMode::Nsga(cfg) if cfg.islands.count > 1 => {
             let nsga_outcome = IslandModel::nsga(evaluator.clone(), cfg)
+                .with_objectives(job.objectives().clone())
                 .with_named_population(population)?
                 .run_with(|e| observer(&island_event(e)));
             let front = Front::from_outcome(nsga_outcome);
@@ -217,12 +224,14 @@ pub(crate) fn run_job<F: FnMut(&JobEvent)>(
         }
         OptimizerMode::Nsga(cfg) => {
             let nsga_outcome = Nsga2::new(evaluator.clone(), cfg)
+                .with_objectives(job.objectives().clone())
                 .with_named_population(population)?
                 .run_with(|s| {
                     observer(&JobEvent::FrontAdvanced {
                         generation: s.generation,
                         front_size: s.front_size,
                         hypervolume: s.hypervolume,
+                        ideal: s.ideal,
                     });
                 });
             let front = Front::from_outcome(nsga_outcome);
@@ -239,7 +248,11 @@ pub(crate) fn run_job<F: FnMut(&JobEvent)>(
     let privacy = match job.audit_spec() {
         None => None,
         Some(spec) => {
-            let report = audit_best(&src, spec, &best.data, &original)?;
+            let mut report = audit_best(&src, spec, &best.data, &original)?;
+            // the calibrated-PRAM budget is job metadata the audit cannot
+            // recover from the masked file; surface it alongside the risk
+            // figures
+            report.epsilon = job.pram_epsilon();
             observer(&JobEvent::AuditReady);
             Some(report)
         }
@@ -270,6 +283,7 @@ fn island_event(e: &IslandEvent) -> JobEvent {
             generation: stats.generation,
             front_size: stats.front_size,
             hypervolume: stats.hypervolume,
+            ideal: stats.ideal,
         },
         IslandEvent::Migration {
             generation,
